@@ -1,0 +1,18 @@
+#include "bench/bench_common.hh"
+
+#include "support/stats.hh"
+
+namespace rcsim::bench
+{
+
+void
+geomeanRow(TextTable &table, const std::string &label,
+           const std::vector<std::vector<double>> &columns)
+{
+    std::vector<std::string> cells{label};
+    for (const std::vector<double> &col : columns)
+        cells.push_back(TextTable::num(geomean(col)));
+    table.row(std::move(cells));
+}
+
+} // namespace rcsim::bench

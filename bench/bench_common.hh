@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: configuration
+ * shorthand, per-benchmark sweeps with verification, and paper-style
+ * table output.  Every measurement is checked against the
+ * interpreter's golden checksum (Experiment panics otherwise), so a
+ * bench that prints numbers has also proven them correct.
+ */
+
+#ifndef RCSIM_BENCH_BENCH_COMMON_HH
+#define RCSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace rcsim::bench
+{
+
+/**
+ * The per-benchmark core size used by the "16 core integer registers
+ * for integer benchmarks, 32 core floating-point registers for
+ * floating-point benchmarks" experiments (Figures 10-13).
+ */
+inline int
+paperCore(const workloads::Workload &w, int int_core = 16,
+          int fp_core = 32)
+{
+    return w.isFp ? fp_core : int_core;
+}
+
+/** with-RC options at the paper configuration. */
+inline harness::CompileOptions
+withRc(const workloads::Workload &w, int core, int issue,
+       int load_lat = 2)
+{
+    harness::CompileOptions o;
+    o.level = opt::OptLevel::Ilp;
+    o.rc = harness::rcConfigFor(w.isFp, core);
+    o.machine = harness::Experiment::machineFor(issue, load_lat);
+    return o;
+}
+
+/** without-RC options. */
+inline harness::CompileOptions
+withoutRc(const workloads::Workload &w, int core, int issue,
+          int load_lat = 2)
+{
+    harness::CompileOptions o;
+    o.level = opt::OptLevel::Ilp;
+    o.rc = harness::baseConfigFor(w.isFp, core);
+    o.machine = harness::Experiment::machineFor(issue, load_lat);
+    return o;
+}
+
+/** unlimited-register options. */
+inline harness::CompileOptions
+unlimited(int issue, int load_lat = 2)
+{
+    harness::CompileOptions o;
+    o.level = opt::OptLevel::Ilp;
+    o.rc = core::RcConfig::unlimited();
+    o.machine = harness::Experiment::machineFor(issue, load_lat);
+    return o;
+}
+
+/** Print a figure header in a uniform style. */
+inline void
+banner(const std::string &title, const std::string &subtitle)
+{
+    std::printf("\n=== %s ===\n%s\n\n", title.c_str(),
+                subtitle.c_str());
+}
+
+/** Append a geometric-mean row to a per-benchmark table. */
+void geomeanRow(TextTable &table, const std::string &label,
+                const std::vector<std::vector<double>> &columns);
+
+} // namespace rcsim::bench
+
+#endif // RCSIM_BENCH_BENCH_COMMON_HH

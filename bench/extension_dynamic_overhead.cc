@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extension: dynamic overhead accounting.  Figure 9 reports *static*
+ * code growth; here the simulator attributes every dynamically issued
+ * instruction to its provenance, separating the spill traffic the
+ * without-RC model executes from the connect and save/restore
+ * instructions the with-RC model executes — the instruction-level
+ * mechanics behind the Figure 8 performance gap.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace rcsim;
+    using namespace rcsim::bench;
+    setQuiet(true);
+
+    banner("Extension: dynamic overhead (per issued instruction)",
+           "4-issue, 2-cycle loads, 8/16 core registers.  Percent of "
+           "dynamically issued instructions\nthat are spill memory "
+           "ops (base) or connects + extended save/restore (rc).");
+
+    struct Sample
+    {
+        double pct;
+        Count total;
+    };
+    auto measure = [](const workloads::Workload &w,
+                      const harness::CompileOptions &o,
+                      bool rc) -> Sample {
+        harness::CompiledProgram cp =
+            harness::compileWorkload(w, o);
+        sim::SimConfig sc;
+        sc.machine = o.machine;
+        sc.rc = o.rc;
+        sim::Simulator sim(cp.program, sc);
+        sim::SimResult res = sim.run();
+        if (!res.ok)
+            fatal("simulation failed: ", res.error);
+        if (sim.state().loadWord(cp.resultAddr) != cp.golden)
+            fatal("verification failed for ", w.name);
+        Count overhead =
+            rc ? res.stats.get("dyn_connect") +
+                     res.stats.get("dyn_save_restore")
+               : res.stats.get("dyn_spill_load") +
+                     res.stats.get("dyn_spill_store") +
+                     res.stats.get("dyn_save_restore");
+        return {100.0 * static_cast<double>(overhead) /
+                    static_cast<double>(res.instructions),
+                res.instructions};
+    };
+
+    TextTable t;
+    t.header({"benchmark", "base-spill%", "rc-connect%",
+              "base-instr", "rc-instr"});
+    for (const auto &w : workloads::allWorkloads()) {
+        int core = paperCore(w, 8, 16);
+        Sample sb = measure(w, withoutRc(w, core, 4), false);
+        Sample sr = measure(w, withRc(w, core, 4), true);
+        t.row({w.name, TextTable::num(sb.pct, 1),
+               TextTable::num(sr.pct, 1),
+               std::to_string(sb.total), std::to_string(sr.total)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+
+    std::printf(
+        "\nAt these core sizes the with-RC model executes both fewer "
+        "overhead instructions (one\nconnect can cover two accesses, "
+        "and model 3 makes written extended values readable for\n"
+        "free) and cheaper ones: connects are zero-latency and use "
+        "no memory channel, while every\nspill op is a latency-"
+        "bearing load or store.  Both effects feed the Figure 8 "
+        "gap.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Extension: the paper's concluding prediction — "as new code
+ * parallelization methods become available, we expect that the RC
+ * method will become beneficial for architectures with 32 or more
+ * registers."  We emulate "more aggressive parallelization" by
+ * raising the unroll budget, and measure whether an RC benefit
+ * appears at 32 core registers on an 8-issue machine.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace rcsim;
+    using namespace rcsim::bench;
+    setQuiet(true);
+
+    banner("Extension: RC at 32+ registers under more aggressive ILP",
+           "8-issue, 2-cycle loads, 32 core int registers (int "
+           "benchmarks) / 64 core fp registers\n(fp benchmarks); "
+           "default vs aggressive unrolling (the paper's Section 6 "
+           "prediction).");
+
+    harness::Experiment exp;
+
+    struct Level
+    {
+        const char *name;
+        int maxUnroll;
+        int maxBodyOps;
+    };
+    const Level levels[] = {{"default", 16, 560},
+                            {"aggressive", 64, 2400}};
+
+    TextTable t;
+    t.header({"benchmark", "base-def", "rc-def", "base-aggr",
+              "rc-aggr"});
+    std::vector<std::vector<double>> cols(4);
+    for (const auto &w : workloads::allWorkloads()) {
+        int core = paperCore(w, 32, 64);
+        std::vector<std::string> row{w.name};
+        int c = 0;
+        for (const Level &lvl : levels) {
+            for (bool rc : {false, true}) {
+                harness::CompileOptions o =
+                    rc ? withRc(w, core, 8) : withoutRc(w, core, 8);
+                o.ilp.maxUnroll = lvl.maxUnroll;
+                o.ilp.maxBodyOps = lvl.maxBodyOps;
+                double s = exp.speedup(w, o);
+                cols[c++].push_back(s);
+                row.push_back(TextTable::num(s));
+            }
+        }
+        t.row(std::move(row));
+    }
+    geomeanRow(t, "geomean", cols);
+    std::fputs(t.render().c_str(), stdout);
+
+    std::printf(
+        "\nThe prediction holds when the rc-aggr column separates "
+        "from base-aggr while rc-def and\nbase-def remain tied: the "
+        "extra parallelism raises simultaneous pressure past 32 "
+        "registers,\nand the extended section absorbs it.\n");
+    return 0;
+}

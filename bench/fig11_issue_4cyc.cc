@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Figure 11: same sweep as Figure 10 at 4-cycle load latency, where
+ * spill code hurts more and the RC benefit is larger.
+ */
+
+#define RCSIM_FIG11 1
+#include "bench/fig10_issue_2cyc.cc"
+
+int
+main()
+{
+    return runFigure(4, "Figure 11");
+}

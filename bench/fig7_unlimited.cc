@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 7: speedup for processors with an unlimited number of
+ * registers, varying issue rate (1/2/4/8) and memory channels
+ * (2/2/2/4).  Baseline: 1-issue, unlimited registers, scalar
+ * optimization.
+ */
+
+#include "bench/bench_common.hh"
+
+int
+main()
+{
+    using namespace rcsim;
+    using namespace rcsim::bench;
+    setQuiet(true);
+
+    banner("Figure 7",
+           "Speedup, unlimited registers, issue rate 1/2/4/8 "
+           "(memory channels 2/2/2/4), ILP optimization.\n"
+           "Baseline: 1-issue, unlimited registers, scalar "
+           "optimization.");
+
+    harness::Experiment exp;
+    const std::vector<int> widths{1, 2, 4, 8};
+
+    TextTable t;
+    t.header({"benchmark", "1-issue", "2-issue", "4-issue",
+              "8-issue"});
+    std::vector<std::vector<double>> cols(widths.size());
+    for (const auto &w : workloads::allWorkloads()) {
+        std::vector<std::string> row{w.name};
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            double s = exp.speedup(w, unlimited(widths[i]));
+            cols[i].push_back(s);
+            row.push_back(TextTable::num(s));
+        }
+        t.row(std::move(row));
+    }
+    geomeanRow(t, "geomean", cols);
+    std::fputs(t.render().c_str(), stdout);
+
+    std::printf("\nExpected shape (paper): speedup grows with issue "
+                "rate, sublinearly at 8-issue\n(limited program "
+                "parallelism).\n");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the infrastructure itself:
+ * mapping-table operations, the pipeline simulator's instruction
+ * throughput, the IR interpreter and the compilation pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/mapping_table.hh"
+#include "harness/experiment.hh"
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+
+namespace
+{
+
+using namespace rcsim;
+
+void
+BM_MappingTableConnect(benchmark::State &state)
+{
+    core::RegisterMappingTable table(16, 256);
+    int i = 0;
+    for (auto _ : state) {
+        table.connectUse(i & 15, (i * 7) & 255);
+        table.applyWriteSideEffect(
+            i & 15, core::RcModel::WriteResetReadUpdate);
+        benchmark::DoNotOptimize(table.readMap(i & 15));
+        ++i;
+    }
+}
+BENCHMARK(BM_MappingTableConnect);
+
+void
+BM_MappingTableSnapshot(benchmark::State &state)
+{
+    core::RegisterMappingTable table(
+        static_cast<int>(state.range(0)), 256);
+    for (auto _ : state) {
+        auto snap = table.save();
+        table.restore(snap);
+        benchmark::DoNotOptimize(snap);
+    }
+}
+BENCHMARK(BM_MappingTableSnapshot)->Arg(8)->Arg(32);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    isa::AsmResult r = isa::assemble(R"(
+func main:
+  li r1, 100000
+  li r2, 0
+  li r3, 0
+loop:
+  addi r2, r2, 3
+  xor  r3, r3, r2
+  addi r1, r1, -1
+  bgt+ r1, r3, done
+  j loop
+done:
+  halt
+)");
+    // Note: the bgt above compares against r3 and exits almost
+    // immediately; rebuild a plain counted loop instead.
+    r = isa::assemble(R"(
+func main:
+  li r1, 100000
+  li r2, 0
+  li r8, 0
+loop:
+  addi r2, r2, 3
+  addi r1, r1, -1
+  bgt+ r1, r8, loop
+  halt
+)");
+    isa::Program p = r.program;
+    p.memorySize = 1 << 16;
+    sim::SimConfig cfg;
+    cfg.machine.issueWidth = 4;
+    cfg.rc = core::RcConfig::withRc(16, 16);
+    Count instructions = 0;
+    for (auto _ : state) {
+        sim::Simulator sim(p, cfg);
+        sim::SimResult res = sim.run();
+        instructions += res.instructions;
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ir::Module m = w->build();
+    m.layout();
+    Count ops = 0;
+    for (auto _ : state) {
+        ir::Interpreter interp(m);
+        ir::ExecResult res = interp.run();
+        ops += res.dynamicOps;
+        benchmark::DoNotOptimize(res.retValue);
+    }
+    state.counters["ops/s"] = benchmark::Counter(
+        static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompilationPipeline(benchmark::State &state)
+{
+    setQuiet(true);
+    const workloads::Workload *w = workloads::findWorkload("eqn");
+    harness::CompileOptions opts;
+    opts.level = opt::OptLevel::Ilp;
+    opts.rc = harness::rcConfigFor(false, 16);
+    opts.machine = harness::Experiment::machineFor(4);
+    for (auto _ : state) {
+        harness::CompiledProgram cp =
+            harness::compileWorkload(*w, opts);
+        benchmark::DoNotOptimize(cp.staticSize);
+    }
+}
+BENCHMARK(BM_CompilationPipeline)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

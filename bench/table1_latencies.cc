@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 1: the instruction latencies assumed by every experiment,
+ * printed from the live LatencyConfig so the configuration cannot
+ * drift from what the paper specifies.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "isa/opcode.hh"
+
+int
+main()
+{
+    using namespace rcsim;
+    using namespace rcsim::bench;
+
+    banner("Table 1", "Instruction latencies (paper Table 1).");
+
+    isa::LatencyConfig lat2;
+    lat2.loadLatency = 2;
+    isa::LatencyConfig lat4;
+    lat4.loadLatency = 4;
+
+    TextTable t;
+    t.header({"instruction class", "latency"});
+    t.row({"INT ALU",
+           std::to_string(lat2.latencyOf(isa::Opcode::ADD))});
+    t.row({"INT multiply",
+           std::to_string(lat2.latencyOf(isa::Opcode::MUL))});
+    t.row({"INT divide",
+           std::to_string(lat2.latencyOf(isa::Opcode::DIV))});
+    t.row({"branch",
+           std::to_string(lat2.latencyOf(isa::Opcode::BEQ))});
+    t.row({"memory load",
+           std::to_string(lat2.latencyOf(isa::Opcode::LW)) + " or " +
+               std::to_string(lat4.latencyOf(isa::Opcode::LW))});
+    t.row({"memory store",
+           std::to_string(lat2.latencyOf(isa::Opcode::SW))});
+    t.row({"FP ALU",
+           std::to_string(lat2.latencyOf(isa::Opcode::FADD))});
+    t.row({"FP conversion",
+           std::to_string(lat2.latencyOf(isa::Opcode::CVT_IF))});
+    t.row({"FP multiply",
+           std::to_string(lat2.latencyOf(isa::Opcode::FMUL))});
+    t.row({"FP divide",
+           std::to_string(lat2.latencyOf(isa::Opcode::FDIV))});
+    t.row({"connect (Section 2.4)",
+           std::to_string(lat2.latencyOf(isa::Opcode::CONNECT_USE)) +
+               " (or 1, Figure 12)"});
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+}

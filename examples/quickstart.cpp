@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Quickstart: build a tiny workload-style IR function, compile it for
+ * a small machine with and without Register Connection, simulate both
+ * and compare.
+ *
+ * Usage: quickstart [workload-name]
+ *   With no argument a built-in dot-product kernel is used; with a
+ *   name (e.g. "compress") the corresponding paper benchmark runs.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "ir/builder.hh"
+#include "workloads/common.hh"
+
+namespace
+{
+
+using namespace rcsim;
+
+/** A small high-pressure kernel built directly against the API. */
+ir::Module
+buildDemo()
+{
+    ir::Module m;
+    m.name = "demo";
+
+    SplitMix rng(7);
+    std::vector<Word> data(2048);
+    for (auto &v : data)
+        v = static_cast<Word>(rng.below(1000));
+    int g = workloads::makeIntArray(m, "data", data);
+
+    int fi = m.addFunction("main");
+    ir::Function &fn = m.fn(fi);
+    fn.returnsValue = true;
+    fn.retClass = ir::RegClass::Int;
+    m.entryFunction = fi;
+
+    ir::IRBuilder b(m, fi);
+    ir::VReg base = b.addrOf(g);
+    ir::VReg n = b.iconst(2048);
+    ir::VReg acc = b.temp(ir::RegClass::Int);
+    b.assignI(acc, 0);
+
+    workloads::DoLoop loop(b, 0, n);
+    {
+        ir::VReg v = b.loadW(
+            workloads::elemAddr(b, base, loop.iv(), 2), 0,
+            ir::MemRef::global(g));
+        ir::VReg t = b.add(b.mul(v, v), loop.iv());
+        b.assignRR(ir::Opc::Add, acc, acc, t);
+    }
+    loop.finish();
+    b.ret(acc);
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rcsim;
+
+    workloads::Workload demo{"demo", false, buildDemo};
+    const workloads::Workload *w = &demo;
+    if (argc > 1) {
+        w = workloads::findWorkload(argv[1]);
+        if (!w) {
+            std::fprintf(stderr, "unknown workload '%s'\n", argv[1]);
+            return 1;
+        }
+    }
+
+    harness::Experiment exp;
+    const int core = 16; // a small core register file
+    std::printf("workload: %s\n", w->name.c_str());
+
+    harness::CompileOptions base;
+    base.level = opt::OptLevel::Ilp;
+    base.rc = harness::baseConfigFor(w->isFp, core);
+    base.machine = harness::Experiment::machineFor(4);
+
+    harness::CompileOptions with_rc = base;
+    with_rc.rc = harness::rcConfigFor(w->isFp, core);
+
+    harness::CompileOptions unlimited = base;
+    unlimited.rc = core::RcConfig::unlimited();
+
+    harness::RunOutcome rb = exp.measured(*w, base);
+    harness::RunOutcome rr = exp.measured(*w, with_rc);
+    harness::RunOutcome ru = exp.measured(*w, unlimited);
+
+    std::printf("4-issue, 2-cycle loads, %d core registers:\n", core);
+    std::printf("  without RC : %10llu cycles  (%llu instrs, "
+                "%llu spill ops)\n",
+                (unsigned long long)rb.cycles,
+                (unsigned long long)rb.instructions,
+                (unsigned long long)rb.compiled.spillOps);
+    std::printf("  with RC    : %10llu cycles  (%llu instrs, "
+                "%llu connects)\n",
+                (unsigned long long)rr.cycles,
+                (unsigned long long)rr.instructions,
+                (unsigned long long)rr.compiled.connectOps);
+    std::printf("  unlimited  : %10llu cycles\n",
+                (unsigned long long)ru.cycles);
+    std::printf("  RC speedup over base file: %.3fx  "
+                "(unlimited: %.3fx)\n",
+                (double)rb.cycles / (double)rr.cycles,
+                (double)rb.cycles / (double)ru.cycles);
+    std::printf("  checksum: %d (verified against interpreter)\n",
+                rr.result);
+    return 0;
+}

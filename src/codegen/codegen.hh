@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Code generation: call lowering, frame finalization and emission of
+ * the final flat machine program.
+ *
+ * Pipeline position (orchestrated by harness::CompilationPipeline):
+ *
+ *   build IR -> optimize -> [addStartWrapper earlier] -> lowerModule
+ *   -> allocate + rewrite (regalloc) -> finalizeFrames -> schedule
+ *   -> insertConnects (with RC) -> emitProgram
+ */
+
+#ifndef RCSIM_CODEGEN_CODEGEN_HH
+#define RCSIM_CODEGEN_CODEGEN_HH
+
+#include "isa/instruction.hh"
+#include "ir/function.hh"
+#include "regalloc/allocation.hh"
+
+namespace rcsim::codegen
+{
+
+/**
+ * Wrap the module's entry function in a "__start" routine that calls
+ * it, stores the returned checksum to the "__result" global and
+ * halts.  Returns the global id of "__result".  Must run before
+ * profiling so the wrapper is part of every later stage.
+ */
+int addStartWrapper(ir::Module &module);
+
+/**
+ * Lower high-level constructs to machine form:
+ *  - stack-based calling convention (argument stores, jsr, result
+ *    load; incoming-parameter loads; return-value store),
+ *  - prologue / epilogue markers and a single exit block,
+ *  - Ga -> address materialisation (assigns the global layout),
+ *  - FLi -> constant-pool load.
+ */
+void lowerModule(ir::Module &module);
+
+/**
+ * Fix the frame layout of an allocated, rewritten function: expands
+ * the Prologue / Epilogue markers (stack adjustment plus callee-save
+ * stores / reloads) and resolves every Frame memory reference to a
+ * concrete stack-pointer offset.
+ */
+void finalizeFrames(ir::Function &fn,
+                    const regalloc::FunctionAlloc &alloc);
+
+/**
+ * Emit the module (physical-register form) as a flat, linked machine
+ * program.
+ */
+isa::Program emitProgram(const ir::Module &module);
+
+} // namespace rcsim::codegen
+
+#endif // RCSIM_CODEGEN_CODEGEN_HH

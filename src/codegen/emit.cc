@@ -1,0 +1,144 @@
+#include "codegen/codegen.hh"
+
+#include "support/logging.hh"
+
+namespace rcsim::codegen
+{
+
+namespace
+{
+
+using ir::Op;
+using ir::Opc;
+
+isa::Reg
+toMachineReg(const ir::VReg &v)
+{
+    if (!v.phys)
+        panic("emit: virtual register ", v.toString(),
+              " survived allocation");
+    if (v.id > 0xffff)
+        panic("emit: register number out of range");
+    return isa::Reg(v.cls, static_cast<std::uint16_t>(v.id));
+}
+
+} // namespace
+
+isa::Program
+emitProgram(const ir::Module &module)
+{
+    isa::Program prog;
+
+    struct Fixup
+    {
+        std::size_t instr;
+        int fn;
+        int block;  // -1 for calls
+        int callee; // -1 for branches
+    };
+    std::vector<Fixup> fixups;
+
+    // block_start[fn][block] = absolute instruction index.
+    std::vector<std::vector<std::int32_t>> block_start(
+        module.functions.size());
+    std::vector<std::int32_t> fn_start(module.functions.size(), 0);
+
+    for (const ir::Function &fn : module.functions) {
+        isa::FunctionInfo fi;
+        fi.name = fn.name;
+        fi.entry = static_cast<std::int32_t>(prog.code.size());
+        fn_start[fn.index] = fi.entry;
+        block_start[fn.index].assign(fn.blocks.size(), -1);
+
+        if (fn.entryBlock != 0)
+            panic("emit: function '", fn.name,
+                  "' entry block must be laid out first");
+
+        for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+            const ir::BasicBlock &bb = fn.blocks[bi];
+            if (bb.dead)
+                panic("emit: dead block survived layout in ",
+                      fn.name);
+            block_start[fn.index][bi] =
+                static_cast<std::int32_t>(prog.code.size());
+
+            for (const Op &op : bb.ops) {
+                if (op.opc == Opc::Nop)
+                    continue;
+                if (op.info().isPseudo)
+                    panic("emit: pseudo op '", opcName(op.opc),
+                          "' survived lowering in ", fn.name);
+
+                // An unconditional jump to the next block is a
+                // fall-through: skip it.
+                bool is_last_op = &op == &bb.ops.back();
+                if (op.opc == Opc::Jmp && is_last_op &&
+                    op.takenBlock ==
+                        static_cast<int>(bi) + 1)
+                    continue;
+
+                isa::Instruction mi;
+                mi.op = ir::toMachineOpcode(op.opc);
+                mi.imm = op.imm;
+                mi.predictTaken = op.predictTaken;
+                mi.origin = op.origin;
+
+                const ir::OpcInfo &info = op.info();
+                if (info.hasDst && op.dst.valid())
+                    mi.dst = toMachineReg(op.dst);
+                for (int k = 0; k < info.numSrcs; ++k)
+                    if (op.src[k].valid())
+                        mi.src[k] = toMachineReg(op.src[k]);
+
+                if (ir::isConnectOpc(op.opc)) {
+                    mi.nconn = op.nconn;
+                    mi.conn[0] = op.conn[0];
+                    mi.conn[1] = op.conn[1];
+                    mi.connCls = op.connCls;
+                }
+
+                if (info.isBranch || op.opc == Opc::Jmp)
+                    fixups.push_back({prog.code.size(), fn.index,
+                                      op.takenBlock, -1});
+                if (op.opc == Opc::Jsr)
+                    fixups.push_back({prog.code.size(), fn.index, -1,
+                                      op.callee});
+
+                prog.code.push_back(std::move(mi));
+
+                // A conditional branch whose fall-through is not the
+                // next block needs an explicit jump after it.
+                if (info.isBranch && is_last_op &&
+                    op.fallBlock != static_cast<int>(bi) + 1) {
+                    isa::Instruction j;
+                    j.op = isa::Opcode::J;
+                    j.origin = isa::InstrOrigin::Glue;
+                    fixups.push_back({prog.code.size(), fn.index,
+                                      op.fallBlock, -1});
+                    prog.code.push_back(std::move(j));
+                }
+            }
+        }
+        fi.end = static_cast<std::int32_t>(prog.code.size());
+        prog.functions.push_back(std::move(fi));
+    }
+
+    for (const Fixup &f : fixups) {
+        std::int32_t target;
+        if (f.callee >= 0)
+            target = fn_start[f.callee];
+        else
+            target = block_start[f.fn][f.block];
+        if (target < 0)
+            panic("emit: unresolved target");
+        prog.code[f.instr].target = target;
+    }
+
+    prog.entry = fn_start[module.entryFunction];
+    prog.dataBase = ir::Module::dataBase;
+    prog.dataImage = module.buildDataImage();
+    prog.memorySize = module.memorySize;
+    return prog;
+}
+
+} // namespace rcsim::codegen

@@ -1,0 +1,127 @@
+#include "codegen/codegen.hh"
+
+#include "support/logging.hh"
+
+namespace rcsim::codegen
+{
+
+namespace
+{
+
+using ir::FrameKind;
+using ir::MemRef;
+using ir::Op;
+using ir::Opc;
+using ir::RegClass;
+using ir::VReg;
+
+VReg
+stackPointer()
+{
+    return VReg(RegClass::Int, core::ArchConvention::stackPointer,
+                true);
+}
+
+} // namespace
+
+void
+finalizeFrames(ir::Function &fn, const regalloc::FunctionAlloc &alloc)
+{
+    // Frame layout (offsets from the post-prologue stack pointer):
+    //   [0 .. 8*maxOutArgs)                  outgoing args / ret slot
+    //   [outB .. outB + 8*numLocalSlots)     spill and save slots
+    //   [outB+locB .. +8*#calleeSave)        callee-save area
+    // The jsr-pushed return address sits just above the frame, so the
+    // incoming argument i lives at frameBytes + 4 + 8*i.
+    const int out_bytes = 8 * fn.maxOutArgs;
+    const int local_bytes = 8 * alloc.numLocalSlots;
+    int save_count = 0;
+    for (int c = 0; c < isa::numRegClasses; ++c)
+        save_count +=
+            static_cast<int>(alloc.usedCalleeSave[c].size());
+    const int save_base = out_bytes + local_bytes;
+    const int frame_bytes = save_base + 8 * save_count;
+
+    auto offset_of = [&](const MemRef &mem) -> Word {
+        switch (mem.frameKind) {
+          case FrameKind::OutArg:
+            return 8 * mem.frameIndex;
+          case FrameKind::InArg:
+            return frame_bytes + 4 + 8 * mem.frameIndex;
+          case FrameKind::Local:
+            return out_bytes + 8 * mem.frameIndex;
+          default:
+            panic("frame reference without a frame kind");
+        }
+    };
+
+    for (ir::BasicBlock &bb : fn.blocks) {
+        if (bb.dead)
+            continue;
+        std::vector<Op> out;
+        out.reserve(bb.ops.size() + 2 * save_count + 2);
+        for (Op &op : bb.ops) {
+            if (op.opc == Opc::Prologue) {
+                if (frame_bytes > 0) {
+                    Op adj = Op::ri(Opc::AddI, stackPointer(),
+                                    stackPointer(), -frame_bytes);
+                    adj.origin = ir::InstrOrigin::Glue;
+                    out.push_back(std::move(adj));
+                }
+                int slot = 0;
+                for (int c = 0; c < isa::numRegClasses; ++c) {
+                    RegClass cls = static_cast<RegClass>(c);
+                    for (int reg : alloc.usedCalleeSave[c]) {
+                        Op st = Op::store(
+                            cls == RegClass::Int ? Opc::Sw : Opc::Sf,
+                            VReg(cls, reg, true), stackPointer(),
+                            save_base + 8 * slot,
+                            MemRef::frame(FrameKind::Local,
+                                          alloc.numLocalSlots + slot,
+                                          cls == RegClass::Int ? 4
+                                                               : 8));
+                        st.imm = save_base + 8 * slot;
+                        st.origin = ir::InstrOrigin::SaveRestore;
+                        out.push_back(std::move(st));
+                        ++slot;
+                    }
+                }
+                continue;
+            }
+            if (op.opc == Opc::Epilogue) {
+                int slot = 0;
+                for (int c = 0; c < isa::numRegClasses; ++c) {
+                    RegClass cls = static_cast<RegClass>(c);
+                    for (int reg : alloc.usedCalleeSave[c]) {
+                        Op ld = Op::load(
+                            cls == RegClass::Int ? Opc::Lw : Opc::Lf,
+                            VReg(cls, reg, true), stackPointer(),
+                            save_base + 8 * slot,
+                            MemRef::frame(FrameKind::Local,
+                                          alloc.numLocalSlots + slot,
+                                          cls == RegClass::Int ? 4
+                                                               : 8));
+                        ld.origin = ir::InstrOrigin::SaveRestore;
+                        out.push_back(std::move(ld));
+                        ++slot;
+                    }
+                }
+                if (frame_bytes > 0) {
+                    Op adj = Op::ri(Opc::AddI, stackPointer(),
+                                    stackPointer(), frame_bytes);
+                    adj.origin = ir::InstrOrigin::Glue;
+                    out.push_back(std::move(adj));
+                }
+                continue;
+            }
+
+            if (op.info().isMem &&
+                op.mem.region == ir::MemRegion::Frame)
+                op.imm = offset_of(op.mem);
+            out.push_back(std::move(op));
+        }
+        bb.ops = std::move(out);
+    }
+}
+
+} // namespace rcsim::codegen

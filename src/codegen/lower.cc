@@ -1,0 +1,306 @@
+#include "codegen/codegen.hh"
+
+#include <cstring>
+#include <map>
+
+#include "ir/builder.hh"
+#include "ir/verify.hh"
+#include "support/logging.hh"
+
+namespace rcsim::codegen
+{
+
+namespace
+{
+
+using ir::FrameKind;
+using ir::MemRef;
+using ir::Op;
+using ir::Opc;
+using ir::RegClass;
+using ir::VReg;
+
+VReg
+stackPointer()
+{
+    return VReg(RegClass::Int, core::ArchConvention::stackPointer,
+                true);
+}
+
+Opc
+loadOpc(RegClass cls)
+{
+    return cls == RegClass::Int ? Opc::Lw : Opc::Lf;
+}
+
+Opc
+storeOpc(RegClass cls)
+{
+    return cls == RegClass::Int ? Opc::Sw : Opc::Sf;
+}
+
+int
+widthOf(RegClass cls)
+{
+    return cls == RegClass::Int ? 4 : 8;
+}
+
+} // namespace
+
+int
+addStartWrapper(ir::Module &module)
+{
+    int result = module.addGlobal("__result", 8);
+    int user_entry = module.entryFunction;
+    const ir::Function &entry_fn = module.fn(user_entry);
+    if (!entry_fn.params.empty())
+        fatal("entry function '", entry_fn.name,
+              "' must take no parameters");
+    if (!entry_fn.returnsValue ||
+        entry_fn.retClass != RegClass::Int)
+        fatal("entry function '", entry_fn.name,
+              "' must return an integer checksum");
+
+    int start = module.addFunction("__start");
+    ir::IRBuilder b(module, start);
+    VReg v = b.call(user_entry, {}, RegClass::Int);
+    VReg base = b.addrOf(result);
+    b.storeW(v, base, 0, MemRef::global(result, true, 0));
+    b.emit(Op::make(Opc::Halt));
+    module.entryFunction = start;
+    return result;
+}
+
+void
+lowerModule(ir::Module &module)
+{
+    // 1. Gather unique floating-point literals into a constant pool.
+    std::map<std::uint64_t, int> pool_offset; // bits -> byte offset
+    for (ir::Function &fn : module.functions)
+        for (ir::BasicBlock &bb : fn.blocks) {
+            if (bb.dead)
+                continue;
+            for (Op &op : bb.ops) {
+                if (op.opc != Opc::FLi)
+                    continue;
+                std::uint64_t bits;
+                std::memcpy(&bits, &op.fimm, 8);
+                pool_offset.try_emplace(
+                    bits, static_cast<int>(pool_offset.size()) * 8);
+            }
+        }
+    int pool = -1;
+    if (!pool_offset.empty()) {
+        pool = module.addGlobal(
+            "__fpconst",
+            static_cast<std::uint32_t>(pool_offset.size() * 8));
+        ir::Global &g = module.globals[pool];
+        g.init.resize(g.size);
+        for (const auto &[bits, off] : pool_offset)
+            std::memcpy(g.init.data() + off, &bits, 8);
+    }
+
+    // 2. Addresses become final now.
+    module.layout();
+
+    // 3. Per-function lowering.
+    for (ir::Function &fn : module.functions) {
+        bool is_entry = fn.index == module.entryFunction;
+
+        // Unified exit block with Epilogue + Rts (non-entry only; the
+        // entry wrapper ends in Halt and never returns).
+        int exit_block = -1;
+        if (!is_entry) {
+            exit_block = fn.newBlock();
+            ir::BasicBlock &xb = fn.blocks[exit_block];
+            Op ep = Op::make(Opc::Epilogue);
+            ep.origin = ir::InstrOrigin::Glue;
+            xb.ops.push_back(std::move(ep));
+            Op rts = Op::make(Opc::Rts);
+            rts.origin = ir::InstrOrigin::Glue;
+            rts.mem = MemRef::unknown(4); // pops the return address
+            xb.ops.push_back(std::move(rts));
+        }
+
+        for (ir::BasicBlock &bb : fn.blocks) {
+            if (bb.dead || bb.id == exit_block)
+                continue;
+            std::vector<Op> out;
+            out.reserve(bb.ops.size() + 4);
+            for (Op &op : bb.ops) {
+                switch (op.opc) {
+                  case Opc::Call: {
+                    ir::Function &callee = module.fn(op.callee);
+                    fn.maxOutArgs = std::max(
+                        fn.maxOutArgs,
+                        std::max(1, static_cast<int>(op.args.size())));
+                    for (std::size_t i = 0; i < op.args.size(); ++i) {
+                        Op st = Op::store(
+                            storeOpc(op.args[i].cls), op.args[i],
+                            stackPointer(), 0,
+                            MemRef::frame(FrameKind::OutArg,
+                                          static_cast<int>(i),
+                                          widthOf(op.args[i].cls)));
+                        st.origin = ir::InstrOrigin::Glue;
+                        out.push_back(std::move(st));
+                    }
+                    Op jsr = Op::make(Opc::Jsr);
+                    jsr.callee = op.callee;
+                    jsr.origin = op.origin;
+                    jsr.mem = MemRef::unknown(4);
+                    out.push_back(std::move(jsr));
+                    if (op.dst.valid()) {
+                        Op ld = Op::load(
+                            loadOpc(callee.retClass), op.dst,
+                            stackPointer(), 0,
+                            MemRef::frame(FrameKind::OutArg, 0,
+                                          widthOf(callee.retClass)));
+                        ld.origin = ir::InstrOrigin::Glue;
+                        out.push_back(std::move(ld));
+                    }
+                    break;
+                  }
+                  case Opc::Ret: {
+                    if (is_entry)
+                        panic("entry wrapper must not return");
+                    if (fn.returnsValue) {
+                        Op st = Op::store(
+                            storeOpc(fn.retClass), op.src[0],
+                            stackPointer(), 0,
+                            MemRef::frame(FrameKind::InArg, 0,
+                                          widthOf(fn.retClass)));
+                        st.origin = ir::InstrOrigin::Glue;
+                        out.push_back(std::move(st));
+                    }
+                    out.push_back(Op::jmp(exit_block));
+                    break;
+                  }
+                  case Opc::Ga: {
+                    const ir::Global &g =
+                        module.globals[op.mem.globalId];
+                    Op li = Op::li(op.dst,
+                                   static_cast<Word>(g.address) +
+                                       op.imm);
+                    li.origin = op.origin;
+                    out.push_back(std::move(li));
+                    break;
+                  }
+                  case Opc::FLi: {
+                    std::uint64_t bits;
+                    std::memcpy(&bits, &op.fimm, 8);
+                    int off = pool_offset.at(bits);
+                    const ir::Global &g = module.globals[pool];
+                    VReg tmp = fn.newVreg(RegClass::Int);
+                    Op li = Op::li(tmp, static_cast<Word>(g.address) +
+                                            off);
+                    li.origin = op.origin;
+                    out.push_back(std::move(li));
+                    Op lf = Op::load(Opc::Lf, op.dst, tmp, 0,
+                                     MemRef::global(pool, true, off,
+                                                    8));
+                    lf.origin = op.origin;
+                    out.push_back(std::move(lf));
+                    break;
+                  }
+                  default:
+                    out.push_back(std::move(op));
+                }
+            }
+            bb.ops = std::move(out);
+        }
+
+        // Entry block: prologue marker, then incoming-parameter
+        // loads.
+        std::vector<Op> prefix;
+        Op pro = Op::make(Opc::Prologue);
+        pro.origin = ir::InstrOrigin::Glue;
+        prefix.push_back(std::move(pro));
+        for (std::size_t i = 0; i < fn.params.size(); ++i) {
+            const VReg &p = fn.params[i];
+            Op ld = Op::load(loadOpc(p.cls), p, stackPointer(), 0,
+                             MemRef::frame(FrameKind::InArg,
+                                           static_cast<int>(i),
+                                           widthOf(p.cls)));
+            ld.origin = ir::InstrOrigin::Glue;
+            prefix.push_back(std::move(ld));
+        }
+        ir::BasicBlock &entry = fn.blocks[fn.entryBlock];
+        entry.ops.insert(entry.ops.begin(),
+                         std::make_move_iterator(prefix.begin()),
+                         std::make_move_iterator(prefix.end()));
+
+        // 4. Legalise immediates for the 32-bit format: logical
+        // immediates are zero-extended 16-bit fields, arithmetic
+        // immediates sign-extended ones.  Wider constants are
+        // materialised through a temporary (wide LI itself becomes a
+        // LUI+ORI pair at emission).
+        for (ir::BasicBlock &bb : fn.blocks) {
+            if (bb.dead)
+                continue;
+            std::vector<Op> out;
+            out.reserve(bb.ops.size());
+            for (Op &op : bb.ops) {
+                bool logical = op.opc == Opc::AndI ||
+                               op.opc == Opc::OrI ||
+                               op.opc == Opc::XorI;
+                bool arith = op.opc == Opc::AddI ||
+                             op.opc == Opc::SltI;
+                if (op.opc == Opc::Li &&
+                    (op.imm < -32768 || op.imm > 32767)) {
+                    // Classic LUI + ORI materialisation.
+                    UWord v = static_cast<UWord>(op.imm);
+                    Op lui = Op::ri(Opc::Lui, op.dst, VReg{},
+                                    static_cast<Word>(v >> 16));
+                    lui.src[0] = VReg{}; // no source
+                    lui.origin = op.origin;
+                    out.push_back(std::move(lui));
+                    Op ori = Op::ri(Opc::OrI, op.dst, op.dst,
+                                    static_cast<Word>(v & 0xffff));
+                    ori.origin = op.origin;
+                    out.push_back(std::move(ori));
+                    continue;
+                }
+                bool wide =
+                    (logical &&
+                     (op.imm < 0 || op.imm > 0xffff)) ||
+                    (arith &&
+                     (op.imm < -32768 || op.imm > 32767));
+                if (wide) {
+                    VReg tmp = fn.newVreg(RegClass::Int);
+                    Op li = Op::li(tmp, op.imm);
+                    li.origin = op.origin;
+                    out.push_back(std::move(li));
+                    Opc reg_form = Opc::Add;
+                    switch (op.opc) {
+                      case Opc::AndI:
+                        reg_form = Opc::And;
+                        break;
+                      case Opc::OrI:
+                        reg_form = Opc::Or;
+                        break;
+                      case Opc::XorI:
+                        reg_form = Opc::Xor;
+                        break;
+                      case Opc::AddI:
+                        reg_form = Opc::Add;
+                        break;
+                      case Opc::SltI:
+                        reg_form = Opc::Slt;
+                        break;
+                      default:
+                        panic("unexpected wide-immediate op");
+                    }
+                    out.push_back(
+                        Op::rr(reg_form, op.dst, op.src[0], tmp));
+                } else {
+                    out.push_back(std::move(op));
+                }
+            }
+            bb.ops = std::move(out);
+        }
+    }
+
+    ir::verifyOrDie(module, "after call lowering", false);
+}
+
+} // namespace rcsim::codegen

@@ -1,0 +1,157 @@
+#include "core/mapping_table.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace rcsim::core
+{
+
+const char *
+rcModelName(RcModel model)
+{
+    switch (model) {
+      case RcModel::NoReset:
+        return "no-reset";
+      case RcModel::WriteReset:
+        return "write-reset";
+      case RcModel::WriteResetReadUpdate:
+        return "write-reset-read-update";
+      case RcModel::ReadWriteReset:
+        return "read-write-reset";
+    }
+    return "unknown";
+}
+
+RegisterMappingTable::RegisterMappingTable(int entries, int phys_regs,
+                                           bool unified)
+    : physRegs_(phys_regs), unified_(unified)
+{
+    if (entries <= 0)
+        panic("mapping table needs a positive entry count, got ",
+              entries);
+    if (phys_regs < entries)
+        panic("physical file (", phys_regs,
+              ") smaller than the map (", entries, ")");
+    read_.resize(entries);
+    write_.resize(entries);
+    reset();
+}
+
+void
+RegisterMappingTable::checkIndex(int idx) const
+{
+    if (idx < 0 || idx >= size())
+        panic("map index ", idx, " out of range [0, ", size(), ")");
+}
+
+void
+RegisterMappingTable::checkPhys(PhysIndex phys) const
+{
+    if (phys >= physRegs_)
+        panic("physical register ", phys, " out of range [0, ",
+              physRegs_, ")");
+}
+
+void
+RegisterMappingTable::connectUse(int idx, PhysIndex phys)
+{
+    checkIndex(idx);
+    checkPhys(phys);
+    read_[idx] = phys;
+    if (unified_)
+        write_[idx] = phys;
+}
+
+void
+RegisterMappingTable::connectDef(int idx, PhysIndex phys)
+{
+    checkIndex(idx);
+    checkPhys(phys);
+    write_[idx] = phys;
+    if (unified_)
+        read_[idx] = phys;
+}
+
+void
+RegisterMappingTable::applyWriteSideEffect(int idx, RcModel model)
+{
+    checkIndex(idx);
+    switch (model) {
+      case RcModel::NoReset:
+        break;
+      case RcModel::WriteReset:
+        write_[idx] = homeLocation(idx);
+        break;
+      case RcModel::WriteResetReadUpdate:
+        // Section 2.3, model three: the read map inherits the location
+        // just written so subsequent reads see the new value, and the
+        // write map returns home so subsequent writes cannot clobber
+        // the extended register.
+        read_[idx] = write_[idx];
+        write_[idx] = homeLocation(idx);
+        break;
+      case RcModel::ReadWriteReset:
+        read_[idx] = homeLocation(idx);
+        write_[idx] = homeLocation(idx);
+        break;
+    }
+}
+
+void
+RegisterMappingTable::reset()
+{
+    for (int i = 0; i < size(); ++i) {
+        read_[i] = static_cast<PhysIndex>(i);
+        write_[i] = static_cast<PhysIndex>(i);
+    }
+}
+
+bool
+RegisterMappingTable::atHome(int idx) const
+{
+    checkIndex(idx);
+    return read_[idx] == homeLocation(idx) &&
+           write_[idx] == homeLocation(idx);
+}
+
+bool
+RegisterMappingTable::allHome() const
+{
+    for (int i = 0; i < size(); ++i)
+        if (!atHome(i))
+            return false;
+    return true;
+}
+
+RegisterMappingTable::Snapshot
+RegisterMappingTable::save() const
+{
+    return Snapshot{read_, write_};
+}
+
+void
+RegisterMappingTable::restore(const Snapshot &snap)
+{
+    if (snap.read.size() != read_.size() ||
+        snap.write.size() != write_.size())
+        panic("mapping snapshot size mismatch");
+    read_ = snap.read;
+    write_ = snap.write;
+}
+
+std::string
+RegisterMappingTable::toString() const
+{
+    std::ostringstream os;
+    for (int i = 0; i < size(); ++i) {
+        if (atHome(i))
+            continue;
+        os << "i" << i << " -> (read p" << read_[i] << ", write p"
+           << write_[i] << ")\n";
+    }
+    std::string s = os.str();
+    return s.empty() ? "(all entries at home)\n" : s;
+}
+
+} // namespace rcsim::core

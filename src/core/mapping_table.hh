@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The m-entry register mapping table of Section 2.1.
+ *
+ * Every register access in the extended architecture indexes this
+ * table first: the operand field of the instruction selects an entry,
+ * the entry supplies the physical register number.  Each entry holds a
+ * separate *read map* (used when the index appears as a source) and
+ * *write map* (used when it appears as a destination).  The home
+ * location of entry i is physical register i — the identity mapping
+ * that makes unmodified binaries behave exactly as on the base
+ * architecture (Section 4).
+ */
+
+#ifndef RCSIM_CORE_MAPPING_TABLE_HH
+#define RCSIM_CORE_MAPPING_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rc_model.hh"
+
+namespace rcsim::core
+{
+
+/** Physical register number inside the enlarged register file. */
+using PhysIndex = std::uint16_t;
+
+/** One register mapping table (there is one per register class). */
+class RegisterMappingTable
+{
+  public:
+    /** Saved mapping state for context switches (Section 4.2). */
+    struct Snapshot
+    {
+        std::vector<PhysIndex> read;
+        std::vector<PhysIndex> write;
+        bool operator==(const Snapshot &) const = default;
+    };
+
+    /**
+     * @param entries    number of map entries m (= addressable
+     *                   registers in the instruction set)
+     * @param phys_regs  size n of the physical register file
+     * @param unified    single map per entry instead of the separate
+     *                   read and write maps of Section 2.1 (used by
+     *                   the split-map ablation); connects then
+     *                   redirect reads and writes together
+     */
+    RegisterMappingTable(int entries, int phys_regs,
+                         bool unified = false);
+
+    /** Number of map entries m. */
+    int size() const { return static_cast<int>(read_.size()); }
+
+    /** Size n of the physical register file behind the table. */
+    int physRegs() const { return physRegs_; }
+
+    /** The home location of an entry: the identity mapping. */
+    PhysIndex
+    homeLocation(int idx) const
+    {
+        checkIndex(idx);
+        return static_cast<PhysIndex>(idx);
+    }
+
+    /** Physical register a source operand with this index reaches. */
+    PhysIndex
+    readMap(int idx) const
+    {
+        checkIndex(idx);
+        return read_[idx];
+    }
+
+    /** Physical register a destination with this index reaches. */
+    PhysIndex
+    writeMap(int idx) const
+    {
+        checkIndex(idx);
+        return write_[idx];
+    }
+
+    /** connect-use: redirect subsequent reads of idx to phys. */
+    void connectUse(int idx, PhysIndex phys);
+
+    /** connect-def: redirect subsequent writes of idx to phys. */
+    void connectDef(int idx, PhysIndex phys);
+
+    /**
+     * Apply the automatic connection side effect after a write through
+     * entry idx has executed (Section 2.3, Figure 3).
+     */
+    void applyWriteSideEffect(int idx, RcModel model);
+
+    /**
+     * Reset every entry to its home location.  Performed by hardware
+     * at power-up and by the jsr / rts instructions (Section 4.1).
+     */
+    void reset();
+
+    /** True when both maps of the entry point at the home location. */
+    bool atHome(int idx) const;
+
+    /** True when every entry is at its home location. */
+    bool allHome() const;
+
+    /** Capture / restore full mapping state (context switches). */
+    Snapshot save() const;
+    void restore(const Snapshot &snap);
+
+    /** Render as "i -> (read, write)" lines for debugging. */
+    std::string toString() const;
+
+    /** Whether this table uses a single unified map per entry. */
+    bool unified() const { return unified_; }
+
+  private:
+    void checkIndex(int idx) const;
+    void checkPhys(PhysIndex phys) const;
+
+    std::vector<PhysIndex> read_;
+    std::vector<PhysIndex> write_;
+    int physRegs_;
+    bool unified_ = false;
+};
+
+} // namespace rcsim::core
+
+#endif // RCSIM_CORE_MAPPING_TABLE_HH

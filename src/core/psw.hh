@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The processor status word bits the RC extension adds (Section 4).
+ *
+ * - mapEnable: when clear, register accesses bypass the mapping table
+ *   and go directly to the core registers.  Cleared automatically on
+ *   trap / interrupt entry so handlers need no connect bookkeeping
+ *   (Section 4.3); restored by rfe.
+ * - extendedFormat: marks a process as compiled for the extended
+ *   architecture, selecting the process-context save format that
+ *   includes extended registers and connection state (Section 4.2).
+ */
+
+#ifndef RCSIM_CORE_PSW_HH
+#define RCSIM_CORE_PSW_HH
+
+#include "support/types.hh"
+
+namespace rcsim::core
+{
+
+/** Processor status word with the RC extension bits. */
+struct ProcessorStatusWord
+{
+    static constexpr UWord mapEnableBit = 1u << 0;
+    static constexpr UWord extendedFormatBit = 1u << 1;
+
+    UWord bits = mapEnableBit;
+
+    bool mapEnable() const { return bits & mapEnableBit; }
+    bool extendedFormat() const { return bits & extendedFormatBit; }
+
+    void
+    setMapEnable(bool on)
+    {
+        bits = on ? (bits | mapEnableBit) : (bits & ~mapEnableBit);
+    }
+
+    void
+    setExtendedFormat(bool on)
+    {
+        bits = on ? (bits | extendedFormatBit)
+                  : (bits & ~extendedFormatBit);
+    }
+};
+
+} // namespace rcsim::core
+
+#endif // RCSIM_CORE_PSW_HH

@@ -1,0 +1,69 @@
+#include "core/rc_config.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace rcsim::core
+{
+
+RcConfig
+RcConfig::withoutRc(int int_core, int fp_core)
+{
+    RcConfig c;
+    c.enabled = false;
+    c.coreSize[0] = int_core;
+    c.coreSize[1] = fp_core;
+    c.totalSize[0] = int_core;
+    c.totalSize[1] = fp_core;
+    return c;
+}
+
+RcConfig
+RcConfig::withRc(int int_core, int fp_core, RcModel model)
+{
+    if (int_core > isa::rcTotalRegisters ||
+        fp_core > isa::rcTotalRegisters)
+        fatal("core section larger than the 256-register file");
+    RcConfig c;
+    c.enabled = true;
+    c.coreSize[0] = int_core;
+    c.coreSize[1] = fp_core;
+    c.totalSize[0] = isa::rcTotalRegisters;
+    c.totalSize[1] = isa::rcTotalRegisters;
+    c.model = model;
+    return c;
+}
+
+RcConfig
+RcConfig::unlimited()
+{
+    // "Unlimited" in the paper means no allocation pressure at all; a
+    // 2048-entry direct file is unreachable by any workload here.
+    constexpr int plenty = 2048;
+    RcConfig c;
+    c.enabled = false;
+    c.coreSize[0] = plenty;
+    c.coreSize[1] = plenty;
+    c.totalSize[0] = plenty;
+    c.totalSize[1] = plenty;
+    return c;
+}
+
+std::string
+RcConfig::toString() const
+{
+    std::ostringstream os;
+    if (enabled) {
+        os << "RC(" << coreSize[0] << "+" << extended(isa::RegClass::Int)
+           << " int, " << coreSize[1] << "+"
+           << extended(isa::RegClass::Fp) << " fp, "
+           << rcModelName(model) << ")";
+    } else {
+        os << "base(" << coreSize[0] << " int, " << coreSize[1]
+           << " fp)";
+    }
+    return os.str();
+}
+
+} // namespace rcsim::core

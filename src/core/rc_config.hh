@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Architecture-level configuration of the register files and the RC
+ * extension, shared by the compiler back end and the simulator.
+ */
+
+#ifndef RCSIM_CORE_RC_CONFIG_HH
+#define RCSIM_CORE_RC_CONFIG_HH
+
+#include <string>
+
+#include "core/rc_model.hh"
+#include "isa/reg.hh"
+
+namespace rcsim::core
+{
+
+/**
+ * Register file and RC parameters for one experiment configuration.
+ *
+ * Section 5.2: with RC support the physical file always holds 256
+ * registers and the experiment varies the size m of the core section;
+ * without RC support the file holds only the m core registers.
+ */
+struct RcConfig
+{
+    /** Whether the RC extension (mapping table + connects) is used. */
+    bool enabled = false;
+
+    /** Core section size m, per register class [Int, Fp]. */
+    int coreSize[isa::numRegClasses] = {32, 64};
+
+    /** Physical file size n, per register class. */
+    int totalSize[isa::numRegClasses] = {32, 64};
+
+    /** Automatic reset model (Section 2.3); model 3 in the paper. */
+    RcModel model = RcModel::WriteResetReadUpdate;
+
+    /** Connect execution latency: 0 (forwarded) or 1 (Figure 12). */
+    int connectLatency = 0;
+
+    /**
+     * Whether decode/dispatch needs an extra pipeline stage to access
+     * the mapping table (Section 2.1 / Figure 12); costs one extra
+     * cycle of branch redirect penalty.
+     */
+    bool extraPipeStage = false;
+
+    /**
+     * Separate read and write maps per entry (Section 2.1).  The
+     * split-map ablation sets this false; unified maps are only
+     * meaningful with RcModel::NoReset (the reset models were defined
+     * for split maps).
+     */
+    bool splitMaps = true;
+
+    /**
+     * Whether the compiler hoists loop-invariant connect-uses into
+     * preheaders (the "proper selection" of Section 3).  On by
+     * default; bench/ablation_hoisting measures its value.
+     */
+    bool hoistConnects = true;
+
+    int core(isa::RegClass cls) const
+    {
+        return coreSize[static_cast<int>(cls)];
+    }
+    int total(isa::RegClass cls) const
+    {
+        return totalSize[static_cast<int>(cls)];
+    }
+    int extended(isa::RegClass cls) const
+    {
+        return total(cls) - core(cls);
+    }
+
+    /** Plain base architecture: m registers, no mapping table. */
+    static RcConfig withoutRc(int int_core, int fp_core);
+
+    /** RC extension: m core + (256 - m) extended registers. */
+    static RcConfig withRc(int int_core, int fp_core,
+                           RcModel model = RcModel::WriteResetReadUpdate);
+
+    /** The paper's "unlimited registers" reference machine. */
+    static RcConfig unlimited();
+
+    /** Short description, e.g. "RC(16+240 int, model 3)". */
+    std::string toString() const;
+};
+
+/**
+ * Software conventions for the register files (Section 5.1): integer
+ * register 0 is the stack pointer, the next four integer registers are
+ * reserved spill registers.  Four floating-point spill registers are
+ * reserved as well (the paper reserves only integer registers; fp
+ * reloads still need fp targets, so we mirror the reservation —
+ * recorded in DESIGN.md).
+ */
+struct ArchConvention
+{
+    static constexpr int stackPointer = 0; // integer register 0
+    static constexpr int numSpillRegs = 4;
+
+    /** First spill register index for a class. */
+    static int
+    firstSpillReg(isa::RegClass cls)
+    {
+        return cls == isa::RegClass::Int ? 1 : 0;
+    }
+
+    /** First register index the allocator may hand out. */
+    static int
+    firstAllocatable(isa::RegClass cls)
+    {
+        return firstSpillReg(cls) + numSpillRegs;
+    }
+
+    /** Reserved (non-allocatable) register count for a class. */
+    static int
+    numReserved(isa::RegClass cls)
+    {
+        return firstAllocatable(cls);
+    }
+};
+
+} // namespace rcsim::core
+
+#endif // RCSIM_CORE_RC_CONFIG_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The four automatic register-connection models of Section 2.3.
+ *
+ * All four differ only in how the register mapping table entry of an
+ * instruction's *destination* index is adjusted after the write
+ * executes (Figure 3 of the paper):
+ *
+ *  1. NoReset               - maps change only via connect instructions.
+ *  2. WriteReset            - write map resets to the home location.
+ *  3. WriteResetReadUpdate  - read map := previous write map, write map
+ *                             := home.  The model the paper implements.
+ *  4. ReadWriteReset        - both maps reset to the home location.
+ */
+
+#ifndef RCSIM_CORE_RC_MODEL_HH
+#define RCSIM_CORE_RC_MODEL_HH
+
+namespace rcsim::core
+{
+
+/** Automatic reset behaviour after a register write (Section 2.3). */
+enum class RcModel
+{
+    NoReset = 1,
+    WriteReset = 2,
+    WriteResetReadUpdate = 3, // the paper's choice
+    ReadWriteReset = 4,
+};
+
+/** Human-readable model name. */
+const char *rcModelName(RcModel model);
+
+} // namespace rcsim::core
+
+#endif // RCSIM_CORE_RC_MODEL_HH

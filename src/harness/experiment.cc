@@ -1,0 +1,88 @@
+#include "harness/experiment.hh"
+
+#include "support/logging.hh"
+
+namespace rcsim::harness
+{
+
+RunOutcome
+runConfiguration(const workloads::Workload &workload,
+                 const CompileOptions &opts, bool keep_program)
+{
+    CompiledProgram compiled = compileWorkload(workload, opts);
+
+    sim::SimConfig sc;
+    sc.machine = opts.machine;
+    sc.rc = opts.rc;
+    sim::Simulator simulator(compiled.program, sc);
+    sim::SimResult res = simulator.run();
+    if (!res.ok)
+        panic("simulation of '", workload.name, "' (",
+              opts.rc.toString(), ", ", opts.machine.issueWidth,
+              "-issue) failed: ", res.error);
+
+    RunOutcome out;
+    out.cycles = res.cycles;
+    out.instructions = res.instructions;
+    out.result =
+        simulator.state().loadWord(compiled.resultAddr);
+    out.golden = compiled.golden;
+    out.verified = out.result == out.golden;
+    if (!keep_program)
+        compiled.program = isa::Program{};
+    out.compiled = std::move(compiled);
+    return out;
+}
+
+sched::MachineModel
+Experiment::machineFor(int issue_width, int load_latency)
+{
+    sched::MachineModel mm;
+    mm.issueWidth = issue_width;
+    mm.memChannels = sched::MachineModel::defaultChannels(issue_width);
+    mm.lat.loadLatency = load_latency;
+    return mm;
+}
+
+Cycle
+Experiment::baselineCycles(const workloads::Workload &workload)
+{
+    auto it = baselines_.find(workload.name);
+    if (it != baselines_.end())
+        return it->second;
+
+    CompileOptions opts;
+    opts.level = opt::OptLevel::Scalar;
+    opts.rc = core::RcConfig::unlimited();
+    opts.machine = machineFor(1);
+
+    RunOutcome out = runConfiguration(workload, opts);
+    if (!out.verified)
+        panic("baseline run of '", workload.name,
+              "' produced a wrong result");
+    baselines_[workload.name] = out.cycles;
+    return out.cycles;
+}
+
+RunOutcome
+Experiment::measured(const workloads::Workload &workload,
+                     const CompileOptions &opts)
+{
+    RunOutcome out = runConfiguration(workload, opts);
+    if (!out.verified)
+        panic("run of '", workload.name, "' (", opts.rc.toString(),
+              ") produced ", out.result, ", expected ", out.golden);
+    return out;
+}
+
+double
+Experiment::speedup(const workloads::Workload &workload,
+                    const CompileOptions &opts)
+{
+    Cycle base = baselineCycles(workload);
+    RunOutcome out = measured(workload, opts);
+    return static_cast<double>(base) /
+           static_cast<double>(out.cycles);
+}
+
+} // namespace rcsim::harness

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Experiment runner: compiles + simulates configurations, verifies
+ * every run against the interpreter's golden checksum, and caches the
+ * per-benchmark baseline (1-issue, unlimited registers, scalar
+ * optimization — paper Section 5.3) that all speedups are relative
+ * to.
+ */
+
+#ifndef RCSIM_HARNESS_EXPERIMENT_HH
+#define RCSIM_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+
+#include "harness/pipeline.hh"
+#include "sim/simulator.hh"
+
+namespace rcsim::harness
+{
+
+/** One configuration's measured outcome. */
+struct RunOutcome
+{
+    Cycle cycles = 0;
+    Count instructions = 0;
+    bool verified = false; // simulated result == interpreter golden
+    Word result = 0;
+    Word golden = 0;
+    CompiledProgram compiled; // sizes etc. (program cleared to save
+                              // memory when keep_program is false)
+};
+
+/** Compile and simulate one configuration. */
+RunOutcome runConfiguration(const workloads::Workload &workload,
+                            const CompileOptions &opts,
+                            bool keep_program = false);
+
+/**
+ * Caches baseline cycle counts and runs experiment sweeps.  Any
+ * verification failure panics: a run that produces the wrong answer
+ * must never contribute a data point.
+ */
+class Experiment
+{
+  public:
+    /** Baseline cycles (1-issue, unlimited, scalar) for a workload. */
+    Cycle baselineCycles(const workloads::Workload &workload);
+
+    /** Speedup of a configuration over the paper baseline. */
+    double speedup(const workloads::Workload &workload,
+                   const CompileOptions &opts);
+
+    /** Measured outcome with verification enforced. */
+    RunOutcome measured(const workloads::Workload &workload,
+                        const CompileOptions &opts);
+
+    /** Default machine for a given issue width (paper channels). */
+    static sched::MachineModel machineFor(int issue_width,
+                                          int load_latency = 2);
+
+  private:
+    std::map<std::string, Cycle> baselines_;
+};
+
+} // namespace rcsim::harness
+
+#endif // RCSIM_HARNESS_EXPERIMENT_HH

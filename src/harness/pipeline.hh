@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The compilation pipeline: workload IR -> optimized, allocated,
+ * scheduled, connect-inserted machine program, with the golden
+ * checksum from the reference interpreter attached.
+ */
+
+#ifndef RCSIM_HARNESS_PIPELINE_HH
+#define RCSIM_HARNESS_PIPELINE_HH
+
+#include <string>
+
+#include "codegen/codegen.hh"
+#include "core/rc_config.hh"
+#include "ir/interp.hh"
+#include "opt/passes.hh"
+#include "sched/machine_model.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::harness
+{
+
+/** Everything that defines one compiled configuration. */
+struct CompileOptions
+{
+    opt::OptLevel level = opt::OptLevel::Ilp;
+    core::RcConfig rc = core::RcConfig::unlimited();
+    sched::MachineModel machine;
+
+    /** ILP transformation knobs (unroll factors etc.). */
+    opt::IlpOptions ilp;
+};
+
+/** A compiled program plus verification and size metadata. */
+struct CompiledProgram
+{
+    isa::Program program;
+
+    /** Golden checksum from the IR interpreter. */
+    Word golden = 0;
+
+    /** Address of the __result word in simulated memory. */
+    Addr resultAddr = 0;
+
+    /** Static code size (non-nop instructions). */
+    Count staticSize = 0;
+    Count spillOps = 0;       // SpillLoad + SpillStore
+    Count connectOps = 0;     // Connect
+    Count saveRestoreOps = 0; // SaveRestore
+
+    /** Allocation summary across functions. */
+    int spilledRanges = 0;
+    int extendedRanges = 0;
+};
+
+/**
+ * Run the full pipeline on one workload.
+ *
+ * Stages: build -> wrap entry -> profile -> optimize -> re-profile ->
+ * lower calls -> allocate -> rewrite -> finalize frames -> schedule
+ * -> insert connects (RC) -> emit.
+ */
+CompiledProgram compileWorkload(const workloads::Workload &workload,
+                                const CompileOptions &opts);
+
+/**
+ * The paper's RC configuration for a benchmark: RC is applied to the
+ * register file under study (integer file for integer benchmarks,
+ * floating-point file for fp benchmarks) with a 256-register physical
+ * file; the other file is fixed at 64 registers (Section 5.2).
+ */
+core::RcConfig rcConfigFor(bool is_fp_benchmark, int core_size,
+                           core::RcModel model =
+                               core::RcModel::WriteResetReadUpdate);
+
+/** The matching without-RC configuration (core registers only). */
+core::RcConfig baseConfigFor(bool is_fp_benchmark, int core_size);
+
+} // namespace rcsim::harness
+
+#endif // RCSIM_HARNESS_PIPELINE_HH

@@ -1,0 +1,219 @@
+#include "ir/builder.hh"
+
+#include "support/logging.hh"
+
+namespace rcsim::ir
+{
+
+IRBuilder::IRBuilder(Module &module, int fn_index)
+    : module_(module), fn_(module.fn(fn_index))
+{
+    if (fn_.blocks.empty())
+        fn_.newBlock();
+    cur_ = fn_.entryBlock;
+}
+
+void
+IRBuilder::setBlock(int block)
+{
+    if (block < 0 || block >= static_cast<int>(fn_.blocks.size()))
+        panic("setBlock: bad block ", block);
+    cur_ = block;
+}
+
+void
+IRBuilder::emit(Op op)
+{
+    BasicBlock &bb = fn_.blocks[cur_];
+    if (bb.hasTerminator())
+        panic("emit into terminated block b", cur_, " of ", fn_.name);
+    bb.ops.push_back(std::move(op));
+}
+
+VReg
+IRBuilder::iconst(Word value)
+{
+    VReg d = fn_.newVreg(RegClass::Int);
+    emit(Op::li(d, value));
+    return d;
+}
+
+VReg
+IRBuilder::fconst(double value)
+{
+    VReg d = fn_.newVreg(RegClass::Fp);
+    Op o;
+    o.opc = Opc::FLi;
+    o.dst = d;
+    o.fimm = value;
+    emit(std::move(o));
+    return d;
+}
+
+VReg
+IRBuilder::addrOf(int global_id, Word offset)
+{
+    if (global_id < 0 ||
+        global_id >= static_cast<int>(module_.globals.size()))
+        panic("addrOf: bad global ", global_id);
+    VReg d = fn_.newVreg(RegClass::Int);
+    Op o;
+    o.opc = Opc::Ga;
+    o.dst = d;
+    o.imm = offset;
+    o.mem.region = MemRegion::Global;
+    o.mem.globalId = global_id;
+    emit(std::move(o));
+    return d;
+}
+
+VReg
+IRBuilder::rr(Opc opc, VReg a, VReg b)
+{
+    VReg d = fn_.newVreg(opcInfo(opc).dstClass);
+    emit(Op::rr(opc, d, a, b));
+    return d;
+}
+
+VReg
+IRBuilder::ri(Opc opc, VReg a, Word imm)
+{
+    VReg d = fn_.newVreg(opcInfo(opc).dstClass);
+    emit(Op::ri(opc, d, a, imm));
+    return d;
+}
+
+VReg
+IRBuilder::un(Opc opc, VReg a)
+{
+    VReg d = fn_.newVreg(opcInfo(opc).dstClass);
+    emit(Op::unary(opc, d, a));
+    return d;
+}
+
+void
+IRBuilder::assign(VReg dst, VReg src)
+{
+    if (dst.cls != src.cls)
+        panic("assign: class mismatch");
+    emit(Op::unary(dst.cls == RegClass::Int ? Opc::Mov : Opc::FMov,
+                   dst, src));
+}
+
+void
+IRBuilder::assignI(VReg dst, Word value)
+{
+    emit(Op::li(dst, value));
+}
+
+void
+IRBuilder::assignRR(Opc opc, VReg dst, VReg a, VReg b)
+{
+    emit(Op::rr(opc, dst, a, b));
+}
+
+void
+IRBuilder::assignRI(Opc opc, VReg dst, VReg a, Word imm)
+{
+    emit(Op::ri(opc, dst, a, imm));
+}
+
+VReg
+IRBuilder::loadW(VReg base, Word off, MemRef mem)
+{
+    VReg d = fn_.newVreg(RegClass::Int);
+    loadWInto(d, base, off, mem);
+    return d;
+}
+
+VReg
+IRBuilder::loadF(VReg base, Word off, MemRef mem)
+{
+    VReg d = fn_.newVreg(RegClass::Fp);
+    loadFInto(d, base, off, mem);
+    return d;
+}
+
+void
+IRBuilder::loadWInto(VReg dst, VReg base, Word off, MemRef mem)
+{
+    mem.width = 4;
+    emit(Op::load(Opc::Lw, dst, base, off, mem));
+}
+
+void
+IRBuilder::loadFInto(VReg dst, VReg base, Word off, MemRef mem)
+{
+    mem.width = 8;
+    emit(Op::load(Opc::Lf, dst, base, off, mem));
+}
+
+void
+IRBuilder::storeW(VReg value, VReg base, Word off, MemRef mem)
+{
+    mem.width = 4;
+    emit(Op::store(Opc::Sw, value, base, off, mem));
+}
+
+void
+IRBuilder::storeF(VReg value, VReg base, Word off, MemRef mem)
+{
+    mem.width = 8;
+    emit(Op::store(Opc::Sf, value, base, off, mem));
+}
+
+void
+IRBuilder::br(Opc opc, VReg a, VReg b, int taken, int fall)
+{
+    if (!opcInfo(opc).isBranch)
+        panic("br: '", opcName(opc), "' is not a branch");
+    emit(Op::branch(opc, a, b, taken, fall));
+}
+
+void
+IRBuilder::jmp(int target)
+{
+    emit(Op::jmp(target));
+}
+
+VReg
+IRBuilder::call(int callee, std::vector<VReg> args, RegClass ret_cls)
+{
+    VReg d = fn_.newVreg(ret_cls);
+    Op o;
+    o.opc = Opc::Call;
+    o.dst = d;
+    o.callee = callee;
+    o.args = std::move(args);
+    emit(std::move(o));
+    return d;
+}
+
+void
+IRBuilder::callVoid(int callee, std::vector<VReg> args)
+{
+    Op o;
+    o.opc = Opc::Call;
+    o.callee = callee;
+    o.args = std::move(args);
+    emit(std::move(o));
+}
+
+void
+IRBuilder::ret(VReg value)
+{
+    Op o;
+    o.opc = Opc::Ret;
+    o.src[0] = value;
+    emit(std::move(o));
+}
+
+void
+IRBuilder::retVoid()
+{
+    Op o;
+    o.opc = Opc::Ret;
+    emit(std::move(o));
+}
+
+} // namespace rcsim::ir

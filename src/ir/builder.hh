@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Convenience builder for constructing IR functions.
+ *
+ * This is the public construction API used by the workload kernels,
+ * the examples and the tests.  All emission helpers append to the
+ * current block and most return the freshly defined virtual register.
+ */
+
+#ifndef RCSIM_IR_BUILDER_HH
+#define RCSIM_IR_BUILDER_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace rcsim::ir
+{
+
+/** Emits IR operations into one function. */
+class IRBuilder
+{
+  public:
+    IRBuilder(Module &module, int fn_index);
+
+    Module &module() { return module_; }
+    Function &function() { return fn_; }
+
+    /** Create a fresh block (does not switch to it). */
+    int newBlock() { return fn_.newBlock(); }
+
+    /** Switch the insertion point to a block. */
+    void setBlock(int block);
+
+    /** Current insertion block. */
+    int block() const { return cur_; }
+
+    /** Allocate a virtual register without defining it. */
+    VReg temp(RegClass cls) { return fn_.newVreg(cls); }
+
+    // -- Constants and addresses --------------------------------------
+
+    /** Materialise an integer constant. */
+    VReg iconst(Word value);
+
+    /** Materialise a floating-point constant. */
+    VReg fconst(double value);
+
+    /** Materialise the address of a global (+ byte offset). */
+    VReg addrOf(int global_id, Word offset = 0);
+
+    // -- Arithmetic (fresh destination) -------------------------------
+
+    VReg rr(Opc opc, VReg a, VReg b);
+    VReg ri(Opc opc, VReg a, Word imm);
+    VReg un(Opc opc, VReg a);
+
+    VReg add(VReg a, VReg b) { return rr(Opc::Add, a, b); }
+    VReg sub(VReg a, VReg b) { return rr(Opc::Sub, a, b); }
+    VReg mul(VReg a, VReg b) { return rr(Opc::Mul, a, b); }
+    VReg div(VReg a, VReg b) { return rr(Opc::Div, a, b); }
+    VReg rem(VReg a, VReg b) { return rr(Opc::Rem, a, b); }
+    VReg and_(VReg a, VReg b) { return rr(Opc::And, a, b); }
+    VReg or_(VReg a, VReg b) { return rr(Opc::Or, a, b); }
+    VReg xor_(VReg a, VReg b) { return rr(Opc::Xor, a, b); }
+    VReg slt(VReg a, VReg b) { return rr(Opc::Slt, a, b); }
+    VReg addi(VReg a, Word k) { return ri(Opc::AddI, a, k); }
+    VReg andi(VReg a, Word k) { return ri(Opc::AndI, a, k); }
+    VReg ori(VReg a, Word k) { return ri(Opc::OrI, a, k); }
+    VReg xori(VReg a, Word k) { return ri(Opc::XorI, a, k); }
+    VReg slli(VReg a, Word k) { return ri(Opc::SllI, a, k); }
+    VReg srli(VReg a, Word k) { return ri(Opc::SrlI, a, k); }
+    VReg srai(VReg a, Word k) { return ri(Opc::SraI, a, k); }
+
+    VReg fabs(VReg a) { return un(Opc::FAbs, a); }
+    VReg fadd(VReg a, VReg b) { return rr(Opc::FAdd, a, b); }
+    VReg fsub(VReg a, VReg b) { return rr(Opc::FSub, a, b); }
+    VReg fmul(VReg a, VReg b) { return rr(Opc::FMul, a, b); }
+    VReg fdiv(VReg a, VReg b) { return rr(Opc::FDiv, a, b); }
+
+    // -- Assignments into existing registers --------------------------
+
+    /** dst <- src (Mov / FMov by class). */
+    void assign(VReg dst, VReg src);
+
+    /** dst <- constant. */
+    void assignI(VReg dst, Word value);
+
+    /** dst <- a OP b into an existing register. */
+    void assignRR(Opc opc, VReg dst, VReg a, VReg b);
+    void assignRI(Opc opc, VReg dst, VReg a, Word imm);
+
+    // -- Memory --------------------------------------------------------
+
+    VReg loadW(VReg base, Word off, MemRef mem);
+    VReg loadF(VReg base, Word off, MemRef mem);
+    void loadWInto(VReg dst, VReg base, Word off, MemRef mem);
+    void loadFInto(VReg dst, VReg base, Word off, MemRef mem);
+    void storeW(VReg value, VReg base, Word off, MemRef mem);
+    void storeF(VReg value, VReg base, Word off, MemRef mem);
+
+    // -- Control flow ---------------------------------------------------
+
+    /** Conditional branch (a OP b): taken / fall-through blocks. */
+    void br(Opc opc, VReg a, VReg b, int taken, int fall);
+
+    void jmp(int target);
+
+    /** Call a function, returning its value in a fresh register. */
+    VReg call(int callee, std::vector<VReg> args, RegClass ret_cls);
+
+    /** Call a function with no interesting return value. */
+    void callVoid(int callee, std::vector<VReg> args);
+
+    void ret(VReg value);
+    void retVoid();
+
+    /** Append an arbitrary op. */
+    void emit(Op op);
+
+  private:
+    Module &module_;
+    Function &fn_;
+    int cur_ = -1;
+};
+
+} // namespace rcsim::ir
+
+#endif // RCSIM_IR_BUILDER_HH

@@ -1,0 +1,206 @@
+#include "ir/cfg.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/logging.hh"
+
+namespace rcsim::ir
+{
+
+std::vector<int>
+successors(const Function &fn, int block)
+{
+    const BasicBlock &bb = fn.blocks[block];
+    if (bb.dead || bb.ops.empty())
+        return {};
+    const Op &t = bb.ops.back();
+    if (t.isBranch())
+        return {t.takenBlock, t.fallBlock};
+    if (t.info().isJmp)
+        return {t.takenBlock};
+    return {}; // Ret / Rts / Halt
+}
+
+Cfg
+Cfg::build(const Function &fn)
+{
+    Cfg cfg;
+    int n = static_cast<int>(fn.blocks.size());
+    cfg.succs.resize(n);
+    cfg.preds.resize(n);
+    for (int b = 0; b < n; ++b) {
+        if (fn.blocks[b].dead)
+            continue;
+        cfg.succs[b] = successors(fn, b);
+        for (int s : cfg.succs[b])
+            cfg.preds[s].push_back(b);
+    }
+
+    // Iterative postorder DFS from the entry block.
+    std::vector<char> seen(n, 0);
+    std::vector<int> post;
+    // Stack entries: (block, next successor position).
+    std::vector<std::pair<int, std::size_t>> stack;
+    seen[fn.entryBlock] = 1;
+    stack.emplace_back(fn.entryBlock, 0);
+    while (!stack.empty()) {
+        auto &[b, pos] = stack.back();
+        if (pos < cfg.succs[b].size()) {
+            int s = cfg.succs[b][pos++];
+            if (!seen[s]) {
+                seen[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            post.push_back(b);
+            stack.pop_back();
+        }
+    }
+    cfg.rpo.assign(post.rbegin(), post.rend());
+    cfg.rpoIndex.assign(n, -1);
+    for (std::size_t i = 0; i < cfg.rpo.size(); ++i)
+        cfg.rpoIndex[cfg.rpo[i]] = static_cast<int>(i);
+    return cfg;
+}
+
+bool
+DomTree::dominates(int a, int b) const
+{
+    // Walk the dominator tree from b up to the entry.
+    while (true) {
+        if (b == a)
+            return true;
+        if (b < 0 || idom[b] == b)
+            return b == a;
+        if (idom[b] < 0)
+            return false;
+        b = idom[b];
+    }
+}
+
+DomTree
+DomTree::build(const Function &fn, const Cfg &cfg)
+{
+    // Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm".
+    int n = static_cast<int>(fn.blocks.size());
+    DomTree dom;
+    dom.idom.assign(n, -1);
+    int entry = fn.entryBlock;
+    dom.idom[entry] = entry;
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (cfg.rpoIndex[a] > cfg.rpoIndex[b])
+                a = dom.idom[a];
+            while (cfg.rpoIndex[b] > cfg.rpoIndex[a])
+                b = dom.idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : cfg.rpo) {
+            if (b == entry)
+                continue;
+            int new_idom = -1;
+            for (int p : cfg.preds[b]) {
+                if (dom.idom[p] < 0)
+                    continue; // not yet processed / unreachable
+                new_idom =
+                    new_idom < 0 ? p : intersect(p, new_idom);
+            }
+            if (new_idom >= 0 && dom.idom[b] != new_idom) {
+                dom.idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return dom;
+}
+
+LoopInfo
+LoopInfo::build(const Function &fn, const Cfg &cfg, const DomTree &dom)
+{
+    int n = static_cast<int>(fn.blocks.size());
+    LoopInfo info;
+    info.innermost.assign(n, -1);
+
+    // Find back edges: latch -> header where header dominates latch.
+    // Group by header (a header may have several latches).
+    std::vector<std::vector<int>> latches_of(n);
+    for (int b : cfg.rpo)
+        for (int s : cfg.succs[b])
+            if (dom.dominates(s, b))
+                latches_of[s].push_back(b);
+
+    for (int h : cfg.rpo) {
+        if (latches_of[h].empty())
+            continue;
+        Loop loop;
+        loop.header = h;
+        loop.latches = latches_of[h];
+        loop.contains.assign(n, 0);
+        loop.contains[h] = 1;
+        loop.blocks.push_back(h);
+        // Reverse-reachability from the latches without crossing h.
+        std::vector<int> work = loop.latches;
+        while (!work.empty()) {
+            int b = work.back();
+            work.pop_back();
+            if (loop.contains[b])
+                continue;
+            loop.contains[b] = 1;
+            loop.blocks.push_back(b);
+            for (int p : cfg.preds[b])
+                work.push_back(p);
+        }
+        info.loops.push_back(std::move(loop));
+    }
+
+    // Nesting: loop A is inside loop B when B contains A's header and
+    // A != B.  Headers are visited in RPO so outer loops come first.
+    for (std::size_t i = 0; i < info.loops.size(); ++i) {
+        for (std::size_t j = 0; j < info.loops.size(); ++j) {
+            if (i == j)
+                continue;
+            if (info.loops[j].has(info.loops[i].header) &&
+                info.loops[i].header != info.loops[j].header) {
+                // Choose the smallest enclosing loop as parent.
+                if (info.loops[i].parent < 0 ||
+                    info.loops[j].blocks.size() <
+                        info.loops[static_cast<std::size_t>(
+                                       info.loops[i].parent)]
+                            .blocks.size())
+                    info.loops[i].parent = static_cast<int>(j);
+            }
+        }
+    }
+    for (std::size_t i = 0; i < info.loops.size(); ++i) {
+        int d = 1, p = info.loops[i].parent;
+        while (p >= 0) {
+            ++d;
+            p = info.loops[p].parent;
+        }
+        info.loops[i].depth = d;
+    }
+
+    // Innermost loop per block = containing loop with fewest blocks.
+    for (int b = 0; b < n; ++b) {
+        std::size_t best_size = 0;
+        for (std::size_t i = 0; i < info.loops.size(); ++i) {
+            if (!info.loops[i].has(b))
+                continue;
+            if (info.innermost[b] < 0 ||
+                info.loops[i].blocks.size() < best_size) {
+                info.innermost[b] = static_cast<int>(i);
+                best_size = info.loops[i].blocks.size();
+            }
+        }
+    }
+    return info;
+}
+
+} // namespace rcsim::ir

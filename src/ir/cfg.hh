@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Control-flow graph analyses: successors/predecessors, reverse
+ * postorder, dominators and natural loops.
+ */
+
+#ifndef RCSIM_IR_CFG_HH
+#define RCSIM_IR_CFG_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace rcsim::ir
+{
+
+/** Successor block ids of one block (taken first for branches). */
+std::vector<int> successors(const Function &fn, int block);
+
+/** CFG edge lists for a whole function. */
+struct Cfg
+{
+    std::vector<std::vector<int>> succs;
+    std::vector<std::vector<int>> preds;
+
+    /** Blocks in reverse postorder from the entry (dead blocks and
+     * unreachable blocks excluded). */
+    std::vector<int> rpo;
+
+    /** Position of each block in rpo; -1 when unreachable. */
+    std::vector<int> rpoIndex;
+
+    static Cfg build(const Function &fn);
+};
+
+/** Immediate-dominator tree (Cooper-Harvey-Kennedy iteration). */
+struct DomTree
+{
+    /** idom[b] = immediate dominator; entry maps to itself;
+     * unreachable blocks map to -1. */
+    std::vector<int> idom;
+
+    /** Does a dominate b? */
+    bool dominates(int a, int b) const;
+
+    static DomTree build(const Function &fn, const Cfg &cfg);
+};
+
+/** One natural loop. */
+struct Loop
+{
+    int header = -1;
+    std::vector<int> latches;   // sources of back edges
+    std::vector<int> blocks;    // header first
+    std::vector<char> contains; // indexed by block id
+    int parent = -1;            // enclosing loop index, -1 at top level
+    int depth = 1;
+
+    bool
+    has(int block) const
+    {
+        return block >= 0 &&
+               block < static_cast<int>(contains.size()) &&
+               contains[block];
+    }
+};
+
+/** All natural loops of a function, innermost ordered last. */
+struct LoopInfo
+{
+    std::vector<Loop> loops;
+
+    /** Index of the innermost loop containing a block; -1 if none. */
+    std::vector<int> innermost;
+
+    static LoopInfo build(const Function &fn, const Cfg &cfg,
+                          const DomTree &dom);
+};
+
+} // namespace rcsim::ir
+
+#endif // RCSIM_IR_CFG_HH

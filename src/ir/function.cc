@@ -1,0 +1,226 @@
+#include "ir/function.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace rcsim::ir
+{
+
+std::string
+VReg::toString() const
+{
+    if (!valid())
+        return "v?";
+    std::ostringstream os;
+    os << (phys ? "p" : "v") << (cls == RegClass::Fp ? "f" : "") << id;
+    return os.str();
+}
+
+bool
+MemRef::mayAlias(const MemRef &other) const
+{
+    if (region == MemRegion::None || other.region == MemRegion::None)
+        return false;
+    if (region == MemRegion::Unknown ||
+        other.region == MemRegion::Unknown)
+        return true;
+    if (region != other.region)
+        return false; // Global vs Frame never alias
+    if (region == MemRegion::Global) {
+        if (globalId != other.globalId)
+            return false;
+        if (offsetKnown && other.offsetKnown) {
+            std::int64_t a0 = offset, a1 = offset + width;
+            std::int64_t b0 = other.offset, b1 = other.offset + other.width;
+            return a0 < b1 && b0 < a1;
+        }
+        return true;
+    }
+    // Frame: distinct areas never alias; same area, distinct index
+    // never aliases (slots are width-separated by construction).
+    if (frameKind != other.frameKind)
+        return false;
+    return frameIndex == other.frameIndex;
+}
+
+std::vector<VReg>
+Op::uses() const
+{
+    std::vector<VReg> u;
+    const OpcInfo &i = info();
+    for (int k = 0; k < i.numSrcs; ++k)
+        if (src[k].valid())
+            u.push_back(src[k]);
+    for (const VReg &a : args)
+        if (a.valid())
+            u.push_back(a);
+    return u;
+}
+
+std::vector<VReg>
+Op::defs() const
+{
+    std::vector<VReg> d;
+    if (info().hasDst && dst.valid())
+        d.push_back(dst);
+    return d;
+}
+
+std::string
+Op::toString() const
+{
+    const OpcInfo &i = info();
+    std::ostringstream os;
+    os << i.name;
+    bool first = true;
+    auto sep = [&]() -> std::ostream & {
+        os << (first ? " " : ", ");
+        first = false;
+        return os;
+    };
+    if (i.hasDst && dst.valid())
+        sep() << dst.toString();
+    for (int k = 0; k < i.numSrcs; ++k)
+        if (src[k].valid())
+            sep() << src[k].toString();
+    if (i.hasImm)
+        sep() << imm;
+    if (opc == Opc::FLi)
+        sep() << fimm;
+    if (i.isBranch)
+        sep() << "b" << takenBlock << " / b" << fallBlock
+              << (predictTaken ? " [T]" : " [NT]");
+    if (i.isJmp)
+        sep() << "b" << takenBlock;
+    if (opc == Opc::Call || opc == Opc::Jsr) {
+        sep() << "fn" << callee;
+        for (const VReg &a : args)
+            os << ", " << a.toString();
+    }
+    if (opc == Opc::Ga)
+        sep() << "g" << mem.globalId;
+    return os.str();
+}
+
+Count
+Function::opCount() const
+{
+    Count n = 0;
+    for (const BasicBlock &bb : blocks)
+        if (!bb.dead)
+            n += bb.ops.size();
+    return n;
+}
+
+std::string
+Function::toString() const
+{
+    std::ostringstream os;
+    os << "func " << name << "(";
+    for (std::size_t i = 0; i < params.size(); ++i)
+        os << (i ? ", " : "") << params[i].toString();
+    os << ")\n";
+    for (const BasicBlock &bb : blocks) {
+        if (bb.dead)
+            continue;
+        os << " b" << bb.id << ":\n";
+        for (const Op &op : bb.ops)
+            os << "   " << op.toString() << "\n";
+    }
+    return os.str();
+}
+
+int
+Module::addFunction(const std::string &fname)
+{
+    Function f;
+    f.name = fname;
+    f.index = static_cast<int>(functions.size());
+    functions.push_back(std::move(f));
+    return static_cast<int>(functions.size()) - 1;
+}
+
+Function &
+Module::fn(int index)
+{
+    if (index < 0 || index >= static_cast<int>(functions.size()))
+        panic("bad function index ", index);
+    return functions[index];
+}
+
+const Function &
+Module::fn(int index) const
+{
+    if (index < 0 || index >= static_cast<int>(functions.size()))
+        panic("bad function index ", index);
+    return functions[index];
+}
+
+int
+Module::findFunction(const std::string &fname) const
+{
+    for (const Function &f : functions)
+        if (f.name == fname)
+            return f.index;
+    return -1;
+}
+
+int
+Module::addGlobal(const std::string &gname, std::uint32_t size)
+{
+    Global g;
+    g.name = gname;
+    g.size = size;
+    globals.push_back(std::move(g));
+    return static_cast<int>(globals.size()) - 1;
+}
+
+void
+Module::layout()
+{
+    Addr addr = dataBase;
+    for (Global &g : globals) {
+        addr = (addr + 7u) & ~7u; // 8-byte alignment
+        g.address = addr;
+        addr += g.size;
+    }
+    if (addr > memorySize / 2)
+        memorySize = addr * 2 + (1u << 20);
+}
+
+std::vector<std::uint8_t>
+Module::buildDataImage() const
+{
+    Addr end = dataBase;
+    for (const Global &g : globals)
+        end = std::max(end, g.address + g.size);
+    std::vector<std::uint8_t> image(end - dataBase, 0);
+    for (const Global &g : globals) {
+        if (g.init.size() > g.size)
+            panic("global '", g.name, "' init larger than size");
+        for (std::size_t i = 0; i < g.init.size(); ++i)
+            image[g.address - dataBase + i] = g.init[i];
+    }
+    return image;
+}
+
+Count
+Module::opCount() const
+{
+    Count n = 0;
+    for (const Function &f : functions)
+        n += f.opCount();
+    return n;
+}
+
+std::string
+Module::toString() const
+{
+    std::ostringstream os;
+    for (const Function &f : functions)
+        os << f.toString() << "\n";
+    return os.str();
+}
+
+} // namespace rcsim::ir

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Basic blocks, functions, globals and the module.
+ */
+
+#ifndef RCSIM_IR_FUNCTION_HH
+#define RCSIM_IR_FUNCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/op.hh"
+#include "support/types.hh"
+
+namespace rcsim::ir
+{
+
+/**
+ * A basic block: straight-line ops ending in one terminator.
+ * Blocks are stored by index inside their function; the vector order
+ * is the code layout order used at emission.
+ */
+struct BasicBlock
+{
+    int id = -1;
+    std::vector<Op> ops;
+    bool dead = false; // removed blocks are compacted lazily
+
+    const Op &
+    terminator() const
+    {
+        return ops.back();
+    }
+
+    bool
+    hasTerminator() const
+    {
+        return !ops.empty() && ops.back().isTerminator();
+    }
+};
+
+/** A function: parameters, virtual registers and basic blocks. */
+struct Function
+{
+    std::string name;
+    int index = -1; // position within the module
+
+    /** Formal parameters (virtual registers, read-only by idiom). */
+    std::vector<VReg> params;
+
+    /** Return-value class; meaningful only when returnsValue. */
+    RegClass retClass = RegClass::Int;
+    bool returnsValue = false;
+
+    std::vector<BasicBlock> blocks;
+    int entryBlock = 0;
+
+    /** Per-class virtual register counters. */
+    std::uint32_t nextVreg[isa::numRegClasses] = {0, 0};
+
+    /**
+     * Outgoing-argument area size in slots (set by call lowering;
+     * consumed by frame finalization).  Slot 0 doubles as the
+     * return-value slot.
+     */
+    int maxOutArgs = 0;
+
+    /** Allocate a fresh virtual register. */
+    VReg
+    newVreg(RegClass cls)
+    {
+        return VReg(cls, nextVreg[static_cast<int>(cls)]++);
+    }
+
+    /** Append an empty block; returns its id. */
+    int
+    newBlock()
+    {
+        BasicBlock bb;
+        bb.id = static_cast<int>(blocks.size());
+        blocks.push_back(std::move(bb));
+        return static_cast<int>(blocks.size()) - 1;
+    }
+
+    /** Total (live) op count. */
+    Count opCount() const;
+
+    /** Readable multi-line dump. */
+    std::string toString() const;
+};
+
+/** A module global: a named byte region with optional initial data. */
+struct Global
+{
+    std::string name;
+    std::uint32_t size = 0; // bytes
+    std::vector<std::uint8_t> init; // may be shorter than size
+    Addr address = 0; // assigned by Module::layout()
+};
+
+/** A whole program: functions plus globals. */
+struct Module
+{
+    std::string name;
+    std::vector<Function> functions;
+    std::vector<Global> globals;
+
+    /** Entry function index (the one executed by the harness). */
+    int entryFunction = 0;
+
+    /** First byte address of global data. */
+    static constexpr Addr dataBase = 0x1000;
+
+    /** Simulated memory size (data + stack). */
+    Addr memorySize = 8u << 20;
+
+    /** Create a function; returns its index. */
+    int addFunction(const std::string &name);
+
+    Function &fn(int index);
+    const Function &fn(int index) const;
+
+    /** Find a function index by name; -1 when absent. */
+    int findFunction(const std::string &name) const;
+
+    /**
+     * Add a global region of the given byte size; returns its id.
+     * Initial data may be attached via the returned reference.
+     */
+    int addGlobal(const std::string &name, std::uint32_t size);
+
+    /**
+     * Assign addresses to all globals and build the initial memory
+     * image.  Must be called once after all globals are final.
+     */
+    void layout();
+
+    /** The packed initial data image starting at dataBase. */
+    std::vector<std::uint8_t> buildDataImage() const;
+
+    /** Total (live) op count across functions. */
+    Count opCount() const;
+
+    std::string toString() const;
+};
+
+} // namespace rcsim::ir
+
+#endif // RCSIM_IR_FUNCTION_HH

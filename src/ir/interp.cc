@@ -1,0 +1,442 @@
+#include "ir/interp.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace rcsim::ir
+{
+
+Profile
+Profile::forModule(const Module &module)
+{
+    Profile p;
+    p.funcs.resize(module.functions.size());
+    for (std::size_t i = 0; i < module.functions.size(); ++i) {
+        std::size_t nb = module.functions[i].blocks.size();
+        p.funcs[i].blockCount.assign(nb, 0);
+        p.funcs[i].takenCount.assign(nb, 0);
+    }
+    return p;
+}
+
+double
+Profile::takenRatio(int fn, int block) const
+{
+    if (fn < 0 || fn >= static_cast<int>(funcs.size()))
+        return 0.5;
+    const FuncProfile &f = funcs[fn];
+    if (block >= static_cast<int>(f.blockCount.size()) ||
+        f.blockCount[block] == 0)
+        return 0.5;
+    return static_cast<double>(f.takenCount[block]) /
+           static_cast<double>(f.blockCount[block]);
+}
+
+Count
+Profile::blockWeight(int fn, int block) const
+{
+    if (fn < 0 || fn >= static_cast<int>(funcs.size()))
+        return 0;
+    const FuncProfile &f = funcs[fn];
+    if (block < 0 || block >= static_cast<int>(f.blockCount.size()))
+        return 0;
+    return f.blockCount[block];
+}
+
+Interpreter::Interpreter(const Module &module) : module_(module)
+{
+}
+
+Word
+Interpreter::loadWord(Addr addr) const
+{
+    Word v;
+    std::memcpy(&v, memory_.data() + addr, 4);
+    return v;
+}
+
+double
+Interpreter::loadDouble(Addr addr) const
+{
+    double v;
+    std::memcpy(&v, memory_.data() + addr, 8);
+    return v;
+}
+
+bool
+Interpreter::checkAddr(Addr addr, int width)
+{
+    if (addr + static_cast<Addr>(width) > memory_.size() ||
+        addr + static_cast<Addr>(width) < addr) {
+        error_ = "memory access out of bounds at address " +
+                 std::to_string(addr);
+        return false;
+    }
+    return true;
+}
+
+ExecResult
+Interpreter::run(Count max_ops, Profile *profile)
+{
+    ExecResult result;
+    const Function &entry = module_.fn(module_.entryFunction);
+    if (!entry.params.empty()) {
+        result.error = "entry function must take no parameters";
+        return result;
+    }
+
+    memory_.assign(module_.memorySize, 0);
+    std::vector<std::uint8_t> image = module_.buildDataImage();
+    if (Module::dataBase + image.size() > memory_.size()) {
+        result.error = "data image exceeds memory";
+        return result;
+    }
+    std::memcpy(memory_.data() + Module::dataBase, image.data(),
+                image.size());
+
+    opsLeft_ = max_ops;
+    profile_ = profile;
+    error_.clear();
+    executed_ = 0;
+    halted_ = false;
+
+    Word iret = 0;
+    double fret = 0.0;
+    bool ok = execFunction(module_.entryFunction, {}, {}, iret, fret, 0);
+    result.ok = ok && error_.empty();
+    result.error = error_;
+    result.retValue = iret;
+    result.dynamicOps = executed_;
+    return result;
+}
+
+bool
+Interpreter::execFunction(int fn_index, const std::vector<Word> &iargs,
+                          const std::vector<double> &fargs, Word &iret,
+                          double &fret, int depth)
+{
+    if (depth > 900) {
+        error_ = "call depth limit exceeded";
+        return false;
+    }
+    const Function &fn = module_.fn(fn_index);
+    Frame frame;
+    frame.iregs.assign(fn.nextVreg[0], 0);
+    frame.fregs.assign(fn.nextVreg[1], 0.0);
+
+    auto iget = [&](const VReg &r) -> Word & {
+        return frame.iregs[r.id];
+    };
+    auto fget = [&](const VReg &r) -> double & {
+        return frame.fregs[r.id];
+    };
+
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        const VReg &p = fn.params[i];
+        if (p.cls == RegClass::Int)
+            iget(p) = iargs[i];
+        else
+            fget(p) = fargs[i];
+    }
+
+    if (profile_)
+        ++profile_->funcs[fn_index].calls;
+
+    int block = fn.entryBlock;
+    while (true) {
+        if (profile_)
+            ++profile_->funcs[fn_index].blockCount[block];
+        const BasicBlock &bb = fn.blocks[block];
+        for (std::size_t pc = 0; pc < bb.ops.size(); ++pc) {
+            const Op &op = bb.ops[pc];
+            if (opsLeft_ == 0) {
+                error_ = "dynamic op limit exceeded";
+                return false;
+            }
+            --opsLeft_;
+            ++executed_;
+
+            auto uw = [](Word w) { return static_cast<UWord>(w); };
+
+            switch (op.opc) {
+              case Opc::Nop:
+                break;
+              case Opc::Halt:
+                halted_ = true;
+                return true;
+
+              case Opc::Add:
+                iget(op.dst) = static_cast<Word>(uw(iget(op.src[0])) +
+                                                 uw(iget(op.src[1])));
+                break;
+              case Opc::Sub:
+                iget(op.dst) = static_cast<Word>(uw(iget(op.src[0])) -
+                                                 uw(iget(op.src[1])));
+                break;
+              case Opc::And:
+                iget(op.dst) = iget(op.src[0]) & iget(op.src[1]);
+                break;
+              case Opc::Or:
+                iget(op.dst) = iget(op.src[0]) | iget(op.src[1]);
+                break;
+              case Opc::Xor:
+                iget(op.dst) = iget(op.src[0]) ^ iget(op.src[1]);
+                break;
+              case Opc::Nor:
+                iget(op.dst) = ~(iget(op.src[0]) | iget(op.src[1]));
+                break;
+              case Opc::Sll:
+                iget(op.dst) = static_cast<Word>(
+                    uw(iget(op.src[0])) << (iget(op.src[1]) & 31));
+                break;
+              case Opc::Srl:
+                iget(op.dst) = static_cast<Word>(
+                    uw(iget(op.src[0])) >> (iget(op.src[1]) & 31));
+                break;
+              case Opc::Sra:
+                iget(op.dst) =
+                    iget(op.src[0]) >> (iget(op.src[1]) & 31);
+                break;
+              case Opc::Slt:
+                iget(op.dst) = iget(op.src[0]) < iget(op.src[1]);
+                break;
+              case Opc::Sltu:
+                iget(op.dst) =
+                    uw(iget(op.src[0])) < uw(iget(op.src[1]));
+                break;
+
+              case Opc::AddI:
+                iget(op.dst) = static_cast<Word>(uw(iget(op.src[0])) +
+                                                 uw(op.imm));
+                break;
+              case Opc::AndI:
+                iget(op.dst) = iget(op.src[0]) & op.imm;
+                break;
+              case Opc::OrI:
+                iget(op.dst) = iget(op.src[0]) | op.imm;
+                break;
+              case Opc::XorI:
+                iget(op.dst) = iget(op.src[0]) ^ op.imm;
+                break;
+              case Opc::SllI:
+                iget(op.dst) = static_cast<Word>(uw(iget(op.src[0]))
+                                                 << (op.imm & 31));
+                break;
+              case Opc::SrlI:
+                iget(op.dst) = static_cast<Word>(uw(iget(op.src[0])) >>
+                                                 (op.imm & 31));
+                break;
+              case Opc::SraI:
+                iget(op.dst) = iget(op.src[0]) >> (op.imm & 31);
+                break;
+              case Opc::SltI:
+                iget(op.dst) = iget(op.src[0]) < op.imm;
+                break;
+              case Opc::Li:
+                iget(op.dst) = op.imm;
+                break;
+              case Opc::Lui:
+                iget(op.dst) = static_cast<Word>(
+                    static_cast<UWord>(op.imm) << 16);
+                break;
+              case Opc::Ga: {
+                const Global &g = module_.globals[op.mem.globalId];
+                if (g.address == 0) {
+                    error_ = "ga before Module::layout()";
+                    return false;
+                }
+                iget(op.dst) = static_cast<Word>(g.address) + op.imm;
+                break;
+              }
+              case Opc::FLi:
+                fget(op.dst) = op.fimm;
+                break;
+              case Opc::Mov:
+                iget(op.dst) = iget(op.src[0]);
+                break;
+
+              case Opc::Mul:
+                iget(op.dst) = static_cast<Word>(uw(iget(op.src[0])) *
+                                                 uw(iget(op.src[1])));
+                break;
+              case Opc::Div:
+                if (iget(op.src[1]) == 0) {
+                    error_ = "integer division by zero";
+                    return false;
+                }
+                iget(op.dst) = iget(op.src[0]) / iget(op.src[1]);
+                break;
+              case Opc::Rem:
+                if (iget(op.src[1]) == 0) {
+                    error_ = "integer remainder by zero";
+                    return false;
+                }
+                iget(op.dst) = iget(op.src[0]) % iget(op.src[1]);
+                break;
+
+              case Opc::FAdd:
+                fget(op.dst) = fget(op.src[0]) + fget(op.src[1]);
+                break;
+              case Opc::FSub:
+                fget(op.dst) = fget(op.src[0]) - fget(op.src[1]);
+                break;
+              case Opc::FNeg:
+                fget(op.dst) = -fget(op.src[0]);
+                break;
+              case Opc::FAbs:
+                fget(op.dst) = std::fabs(fget(op.src[0]));
+                break;
+              case Opc::FMov:
+                fget(op.dst) = fget(op.src[0]);
+                break;
+              case Opc::FMin:
+                fget(op.dst) =
+                    std::fmin(fget(op.src[0]), fget(op.src[1]));
+                break;
+              case Opc::FMax:
+                fget(op.dst) =
+                    std::fmax(fget(op.src[0]), fget(op.src[1]));
+                break;
+              case Opc::FCmpLt:
+                iget(op.dst) = fget(op.src[0]) < fget(op.src[1]);
+                break;
+              case Opc::FCmpLe:
+                iget(op.dst) = fget(op.src[0]) <= fget(op.src[1]);
+                break;
+              case Opc::FCmpEq:
+                iget(op.dst) = fget(op.src[0]) == fget(op.src[1]);
+                break;
+              case Opc::CvtIF:
+                fget(op.dst) = static_cast<double>(iget(op.src[0]));
+                break;
+              case Opc::CvtFI:
+                fget(op.src[0]); // class check only
+                iget(op.dst) = static_cast<Word>(
+                    static_cast<std::int64_t>(fget(op.src[0])));
+                break;
+              case Opc::FMul:
+                fget(op.dst) = fget(op.src[0]) * fget(op.src[1]);
+                break;
+              case Opc::FDiv:
+                fget(op.dst) = fget(op.src[0]) / fget(op.src[1]);
+                break;
+
+              case Opc::Lw: {
+                Addr a = static_cast<Addr>(uw(iget(op.src[0])) +
+                                           uw(op.imm));
+                if (!checkAddr(a, 4))
+                    return false;
+                std::memcpy(&iget(op.dst), memory_.data() + a, 4);
+                break;
+              }
+              case Opc::Sw: {
+                Addr a = static_cast<Addr>(uw(iget(op.src[1])) +
+                                           uw(op.imm));
+                if (!checkAddr(a, 4))
+                    return false;
+                std::memcpy(memory_.data() + a, &iget(op.src[0]), 4);
+                break;
+              }
+              case Opc::Lf: {
+                Addr a = static_cast<Addr>(uw(iget(op.src[0])) +
+                                           uw(op.imm));
+                if (!checkAddr(a, 8))
+                    return false;
+                std::memcpy(&fget(op.dst), memory_.data() + a, 8);
+                break;
+              }
+              case Opc::Sf: {
+                Addr a = static_cast<Addr>(uw(iget(op.src[1])) +
+                                           uw(op.imm));
+                if (!checkAddr(a, 8))
+                    return false;
+                std::memcpy(memory_.data() + a, &fget(op.src[0]), 8);
+                break;
+              }
+
+              case Opc::Beq:
+              case Opc::Bne:
+              case Opc::Blt:
+              case Opc::Bge:
+              case Opc::Ble:
+              case Opc::Bgt: {
+                Word a = iget(op.src[0]), b = iget(op.src[1]);
+                bool taken = false;
+                switch (op.opc) {
+                  case Opc::Beq:
+                    taken = a == b;
+                    break;
+                  case Opc::Bne:
+                    taken = a != b;
+                    break;
+                  case Opc::Blt:
+                    taken = a < b;
+                    break;
+                  case Opc::Bge:
+                    taken = a >= b;
+                    break;
+                  case Opc::Ble:
+                    taken = a <= b;
+                    break;
+                  default:
+                    taken = a > b;
+                    break;
+                }
+                if (profile_ && taken)
+                    ++profile_->funcs[fn_index].takenCount[block];
+                block = taken ? op.takenBlock : op.fallBlock;
+                goto next_block;
+              }
+              case Opc::Jmp:
+                block = op.takenBlock;
+                goto next_block;
+
+              case Opc::Call: {
+                const Function &callee = module_.fn(op.callee);
+                std::vector<Word> ia(op.args.size(), 0);
+                std::vector<double> fa(op.args.size(), 0.0);
+                for (std::size_t i = 0; i < op.args.size(); ++i) {
+                    if (op.args[i].cls == RegClass::Int)
+                        ia[i] = iget(op.args[i]);
+                    else
+                        fa[i] = fget(op.args[i]);
+                }
+                Word ir = 0;
+                double fr = 0.0;
+                if (!execFunction(op.callee, ia, fa, ir, fr,
+                                  depth + 1))
+                    return false;
+                if (halted_)
+                    return true;
+                if (op.dst.valid()) {
+                    if (callee.retClass == RegClass::Int)
+                        iget(op.dst) = ir;
+                    else
+                        fget(op.dst) = fr;
+                }
+                break;
+              }
+              case Opc::Ret:
+                if (fn.returnsValue) {
+                    if (fn.retClass == RegClass::Int)
+                        iret = iget(op.src[0]);
+                    else
+                        fret = fget(op.src[0]);
+                }
+                return true;
+
+              default:
+                error_ = std::string("interpreter cannot execute '") +
+                         opcName(op.opc) + "'";
+                return false;
+            }
+        }
+        error_ = "fell off the end of block " + std::to_string(block);
+        return false;
+      next_block:;
+    }
+}
+
+} // namespace rcsim::ir

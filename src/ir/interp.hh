@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reference interpreter for the mid-level IR.
+ *
+ * Plays the role the DEC-3100 played for the paper's authors: it
+ * executes workloads directly at the IR level (virtual registers,
+ * native calls) and produces golden results that every compiled and
+ * simulated configuration must reproduce.  It also gathers the
+ * execution profile (block counts, branch-taken counts) that drives
+ * the profile-sensitive parts of the compiler.
+ */
+
+#ifndef RCSIM_IR_INTERP_HH
+#define RCSIM_IR_INTERP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+#include "support/types.hh"
+
+namespace rcsim::ir
+{
+
+/** Execution profile of one run. */
+struct Profile
+{
+    struct FuncProfile
+    {
+        /** Executions of each block. */
+        std::vector<Count> blockCount;
+        /** Taken executions of each block's terminating branch. */
+        std::vector<Count> takenCount;
+        /** Invocations of the function. */
+        Count calls = 0;
+    };
+
+    std::vector<FuncProfile> funcs;
+
+    /** Size the vectors for a module. */
+    static Profile forModule(const Module &module);
+
+    /** Probability [0,1] that a block's branch is taken. */
+    double takenRatio(int fn, int block) const;
+
+    /** Block execution count (0 for never-sized entries). */
+    Count blockWeight(int fn, int block) const;
+};
+
+/** Result of one interpreted run. */
+struct ExecResult
+{
+    bool ok = false;
+    std::string error;
+    Word retValue = 0;     // entry function's integer return value
+    Count dynamicOps = 0;  // IR operations executed
+};
+
+/** Executes a module at the IR level. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Module &module);
+
+    /**
+     * Run the module's entry function (no parameters, integer
+     * return).  Memory is re-initialised from the data image on
+     * every call.
+     *
+     * @param max_ops   abort after this many dynamic IR ops
+     * @param profile   optional profile to fill in
+     */
+    ExecResult run(Count max_ops = 500'000'000,
+                   Profile *profile = nullptr);
+
+    /** Read simulated memory after a run (tests). */
+    Word loadWord(Addr addr) const;
+    double loadDouble(Addr addr) const;
+
+  private:
+    struct Frame
+    {
+        std::vector<Word> iregs;
+        std::vector<double> fregs;
+    };
+
+    /** Execute one function; returns false on error. */
+    bool execFunction(int fn_index, const std::vector<Word> &iargs,
+                      const std::vector<double> &fargs, Word &iret,
+                      double &fret, int depth);
+
+    bool checkAddr(Addr addr, int width);
+
+    const Module &module_;
+    std::vector<std::uint8_t> memory_;
+    Count opsLeft_ = 0;
+    Profile *profile_ = nullptr;
+    std::string error_;
+    Count executed_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace rcsim::ir
+
+#endif // RCSIM_IR_INTERP_HH

@@ -1,0 +1,122 @@
+#include "ir/liveness.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace rcsim::ir
+{
+
+bool
+RegSet::orWith(const RegSet &other)
+{
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        std::uint64_t merged = words_[i] | other.words_[i];
+        if (merged != words_[i]) {
+            words_[i] = merged;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+int
+RegSet::count() const
+{
+    int n = 0;
+    for (std::uint64_t w : words_)
+        n += __builtin_popcountll(w);
+    return n;
+}
+
+RegIndexer
+RegIndexer::collect(const Function &fn)
+{
+    RegIndexer idx;
+    for (const VReg &p : fn.params)
+        idx.getOrAdd(p);
+    for (const BasicBlock &bb : fn.blocks) {
+        if (bb.dead)
+            continue;
+        for (const Op &op : bb.ops) {
+            for (const VReg &u : op.uses())
+                idx.getOrAdd(u);
+            for (const VReg &d : op.defs())
+                idx.getOrAdd(d);
+        }
+    }
+    return idx;
+}
+
+Liveness
+Liveness::compute(const Function &fn, const Cfg &cfg)
+{
+    Liveness lv;
+    lv.regs = RegIndexer::collect(fn);
+    int nblocks = static_cast<int>(fn.blocks.size());
+    int nregs = lv.regs.size();
+
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    std::vector<RegSet> gen(nblocks, RegSet(nregs));
+    std::vector<RegSet> kill(nblocks, RegSet(nregs));
+    for (int b = 0; b < nblocks; ++b) {
+        const BasicBlock &bb = fn.blocks[b];
+        if (bb.dead)
+            continue;
+        for (const Op &op : bb.ops) {
+            for (const VReg &u : op.uses()) {
+                int i = lv.regs.indexOf(u);
+                if (!kill[b].test(i))
+                    gen[b].set(i);
+            }
+            for (const VReg &d : op.defs())
+                kill[b].set(lv.regs.indexOf(d));
+        }
+    }
+
+    lv.liveIn.assign(nblocks, RegSet(nregs));
+    lv.liveOut.assign(nblocks, RegSet(nregs));
+
+    // Iterate to fixpoint in reverse RPO (fast for reducible CFGs).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = cfg.rpo.rbegin(); it != cfg.rpo.rend(); ++it) {
+            int b = *it;
+            for (int s : cfg.succs[b])
+                changed |= lv.liveOut[b].orWith(lv.liveIn[s]);
+            // liveIn = gen | (liveOut - kill)
+            RegSet in = gen[b];
+            RegSet out_minus_kill = lv.liveOut[b];
+            // subtract kill
+            for (int i = 0; i < nregs; ++i)
+                if (kill[b].test(i))
+                    out_minus_kill.clear(i);
+            in.orWith(out_minus_kill);
+            changed |= lv.liveIn[b].orWith(in);
+        }
+    }
+    return lv;
+}
+
+int
+Liveness::maxPressure(const Function &fn, RegClass cls) const
+{
+    int peak = 0;
+    for (const BasicBlock &bb : fn.blocks) {
+        if (bb.dead)
+            continue;
+        backwardScan(fn, bb.id, [&](int, const RegSet &live) {
+            int n = 0;
+            live.forEach([&](int i) {
+                if (regs.regOf(i).cls == cls)
+                    ++n;
+            });
+            peak = std::max(peak, n);
+        });
+    }
+    return peak;
+}
+
+} // namespace rcsim::ir

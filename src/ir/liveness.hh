@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Register liveness: dense register indexing, bit sets and the
+ * standard backward dataflow over the CFG.  Works both before
+ * register allocation (virtual registers) and after (physical
+ * registers), since operands are VReg values in either case.
+ */
+
+#ifndef RCSIM_IR_LIVENESS_HH
+#define RCSIM_IR_LIVENESS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/cfg.hh"
+#include "ir/function.hh"
+
+namespace rcsim::ir
+{
+
+/** Maps the registers appearing in a function to dense indices. */
+class RegIndexer
+{
+  public:
+    /** Index of a register; -1 when it never appears. */
+    int
+    indexOf(const VReg &r) const
+    {
+        auto it = index_.find(r);
+        return it == index_.end() ? -1 : it->second;
+    }
+
+    int
+    getOrAdd(const VReg &r)
+    {
+        auto [it, fresh] = index_.try_emplace(
+            r, static_cast<int>(regs_.size()));
+        if (fresh)
+            regs_.push_back(r);
+        return it->second;
+    }
+
+    const VReg &regOf(int idx) const { return regs_[idx]; }
+    int size() const { return static_cast<int>(regs_.size()); }
+
+    /** Index every register used or defined in the function. */
+    static RegIndexer collect(const Function &fn);
+
+  private:
+    std::unordered_map<VReg, int> index_;
+    std::vector<VReg> regs_;
+};
+
+/** A fixed-capacity bit set over dense register indices. */
+class RegSet
+{
+  public:
+    RegSet() = default;
+    explicit RegSet(int capacity)
+        : words_((capacity + 63) / 64, 0)
+    {
+    }
+
+    void
+    set(int i)
+    {
+        words_[i >> 6] |= 1ull << (i & 63);
+    }
+    void
+    clear(int i)
+    {
+        words_[i >> 6] &= ~(1ull << (i & 63));
+    }
+    bool
+    test(int i) const
+    {
+        return words_[i >> 6] >> (i & 63) & 1;
+    }
+
+    /** this |= other; returns true when this changed. */
+    bool orWith(const RegSet &other);
+
+    /** Number of set bits. */
+    int count() const;
+
+    /** Invoke fn(index) for every set bit. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t bits = words_[w];
+            while (bits) {
+                int b = __builtin_ctzll(bits);
+                fn(static_cast<int>(w * 64 + b));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+  private:
+    std::vector<std::uint64_t> words_;
+};
+
+/** Per-block live-in / live-out information. */
+struct Liveness
+{
+    RegIndexer regs;
+    std::vector<RegSet> liveIn;
+    std::vector<RegSet> liveOut;
+
+    static Liveness compute(const Function &fn, const Cfg &cfg);
+
+    /**
+     * Walk a block backwards maintaining the live set, invoking
+     * visit(op_index, live_after_op) for each op.  live_after_op is
+     * the set of registers live immediately after the op executes.
+     */
+    template <typename Visit>
+    void
+    backwardScan(const Function &fn, int block, Visit &&visit) const
+    {
+        RegSet live = liveOut[block];
+        const BasicBlock &bb = fn.blocks[block];
+        for (int i = static_cast<int>(bb.ops.size()) - 1; i >= 0; --i) {
+            const Op &op = bb.ops[i];
+            visit(i, live);
+            for (const VReg &d : op.defs()) {
+                int idx = regs.indexOf(d);
+                if (idx >= 0)
+                    live.clear(idx);
+            }
+            for (const VReg &u : op.uses()) {
+                int idx = regs.indexOf(u);
+                if (idx >= 0)
+                    live.set(idx);
+            }
+        }
+    }
+
+    /**
+     * Maximum number of simultaneously live registers of one class at
+     * any point in the function (register-pressure probe for tests).
+     */
+    int maxPressure(const Function &fn, RegClass cls) const;
+};
+
+} // namespace rcsim::ir
+
+#endif // RCSIM_IR_LIVENESS_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * One IR operation.
+ */
+
+#ifndef RCSIM_IR_OP_HH
+#define RCSIM_IR_OP_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/opc.hh"
+#include "ir/vreg.hh"
+#include "isa/instruction.hh"
+#include "support/types.hh"
+
+namespace rcsim::ir
+{
+
+using isa::InstrOrigin;
+
+/** A single IR operation. */
+struct Op
+{
+    Opc opc = Opc::Nop;
+
+    /** Destination register (valid iff opcInfo().hasDst and set). */
+    VReg dst{};
+
+    /** Source registers. */
+    VReg src[2]{};
+
+    /** Immediate / shift amount / memory offset. */
+    Word imm = 0;
+
+    /** Floating-point literal (FLi only). */
+    double fimm = 0.0;
+
+    /** Conditional branch: taken successor block id. Jmp: target. */
+    int takenBlock = -1;
+
+    /** Conditional branch: fall-through successor block id. */
+    int fallBlock = -1;
+
+    /** Call / Jsr: callee function index within the module. */
+    int callee = -1;
+
+    /** Call only: argument registers (int or fp). */
+    std::vector<VReg> args;
+
+    /** Ga: global id.  Loads/stores: alias information. */
+    MemRef mem{};
+
+    /** Connect ops: (map index -> physical register) pairs. */
+    isa::ConnectPair conn[2]{};
+    std::uint8_t nconn = 0;
+    RegClass connCls = RegClass::Int;
+
+    /** Static branch prediction, set from profile information. */
+    bool predictTaken = false;
+
+    /** Provenance for the Figure 9 code-size accounting. */
+    InstrOrigin origin = InstrOrigin::Normal;
+
+    const OpcInfo &info() const { return opcInfo(opc); }
+
+    bool isBranch() const { return info().isBranch; }
+    bool isMem() const { return info().isMem; }
+    bool isCall() const { return info().isCall; }
+    bool isTerminator() const { return ir::isTerminator(opc); }
+
+    /** All registers this op reads (sources, call args, ret value). */
+    std::vector<VReg> uses() const;
+
+    /** All registers this op writes (dst; empty otherwise). */
+    std::vector<VReg> defs() const;
+
+    /** Readable one-line rendering. */
+    std::string toString() const;
+
+    // -- Convenience constructors -------------------------------------
+
+    static Op
+    make(Opc opc)
+    {
+        Op o;
+        o.opc = opc;
+        return o;
+    }
+
+    static Op
+    rr(Opc opc, VReg dst, VReg a, VReg b)
+    {
+        Op o;
+        o.opc = opc;
+        o.dst = dst;
+        o.src[0] = a;
+        o.src[1] = b;
+        return o;
+    }
+
+    static Op
+    ri(Opc opc, VReg dst, VReg a, Word imm)
+    {
+        Op o;
+        o.opc = opc;
+        o.dst = dst;
+        o.src[0] = a;
+        o.imm = imm;
+        return o;
+    }
+
+    static Op
+    unary(Opc opc, VReg dst, VReg a)
+    {
+        Op o;
+        o.opc = opc;
+        o.dst = dst;
+        o.src[0] = a;
+        return o;
+    }
+
+    static Op
+    li(VReg dst, Word value)
+    {
+        Op o;
+        o.opc = Opc::Li;
+        o.dst = dst;
+        o.imm = value;
+        return o;
+    }
+
+    static Op
+    load(Opc opc, VReg dst, VReg base, Word offset, MemRef mem)
+    {
+        Op o;
+        o.opc = opc;
+        o.dst = dst;
+        o.src[0] = base;
+        o.imm = offset;
+        o.mem = mem;
+        return o;
+    }
+
+    static Op
+    store(Opc opc, VReg value, VReg base, Word offset, MemRef mem)
+    {
+        Op o;
+        o.opc = opc;
+        o.src[0] = value;
+        o.src[1] = base;
+        o.imm = offset;
+        o.mem = mem;
+        return o;
+    }
+
+    static Op
+    branch(Opc opc, VReg a, VReg b, int taken, int fall)
+    {
+        Op o;
+        o.opc = opc;
+        o.src[0] = a;
+        o.src[1] = b;
+        o.takenBlock = taken;
+        o.fallBlock = fall;
+        return o;
+    }
+
+    static Op
+    jmp(int target)
+    {
+        Op o;
+        o.opc = Opc::Jmp;
+        o.takenBlock = target;
+        return o;
+    }
+};
+
+} // namespace rcsim::ir
+
+#endif // RCSIM_IR_OP_HH

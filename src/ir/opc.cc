@@ -1,0 +1,336 @@
+#include "ir/opc.hh"
+
+#include <array>
+
+#include "support/logging.hh"
+
+namespace rcsim::ir
+{
+
+namespace
+{
+
+constexpr RegClass I = RegClass::Int;
+constexpr RegClass F = RegClass::Fp;
+using LC = isa::LatencyClass;
+
+// {name, hasDst, numSrcs, hasImm, isBranch, isJmp, isMem, isLoad,
+//  isStore, isCall, isRet, isPseudo, dstClass, {srcClass}, latClass}
+const std::array<OpcInfo, static_cast<std::size_t>(Opc::NUM_OPCS)>
+    table = {{
+        {"nop", false, 0, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::None},
+        {"halt", false, 0, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::None},
+
+        {"add", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"sub", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"and", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"or", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"xor", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"nor", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"sll", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"srl", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"sra", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"slt", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"sltu", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"addi", true, 1, true, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"andi", true, 1, true, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"ori", true, 1, true, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"xori", true, 1, true, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"slli", true, 1, true, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"srli", true, 1, true, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"srai", true, 1, true, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"slti", true, 1, true, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"li", true, 0, true, false, false, false, false, false, false,
+         false, false, I, {I, I}, LC::IntAlu},
+        {"lui", true, 0, true, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+        {"mov", true, 1, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntAlu},
+
+        {"mul", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntMul},
+        {"div", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntDiv},
+        {"rem", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {I, I}, LC::IntDiv},
+
+        {"fadd", true, 2, false, false, false, false, false, false,
+         false, false, false, F, {F, F}, LC::FpAlu},
+        {"fsub", true, 2, false, false, false, false, false, false,
+         false, false, false, F, {F, F}, LC::FpAlu},
+        {"fneg", true, 1, false, false, false, false, false, false,
+         false, false, false, F, {F, F}, LC::FpAlu},
+        {"fabs", true, 1, false, false, false, false, false, false,
+         false, false, false, F, {F, F}, LC::FpAlu},
+        {"fmov", true, 1, false, false, false, false, false, false,
+         false, false, false, F, {F, F}, LC::FpAlu},
+        {"fmin", true, 2, false, false, false, false, false, false,
+         false, false, false, F, {F, F}, LC::FpAlu},
+        {"fmax", true, 2, false, false, false, false, false, false,
+         false, false, false, F, {F, F}, LC::FpAlu},
+        {"fcmp.lt", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {F, F}, LC::FpAlu},
+        {"fcmp.le", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {F, F}, LC::FpAlu},
+        {"fcmp.eq", true, 2, false, false, false, false, false, false,
+         false, false, false, I, {F, F}, LC::FpAlu},
+        {"cvt.if", true, 1, false, false, false, false, false, false,
+         false, false, false, F, {I, I}, LC::FpAlu},
+        {"cvt.fi", true, 1, false, false, false, false, false, false,
+         false, false, false, I, {F, F}, LC::FpAlu},
+        {"fmul", true, 2, false, false, false, false, false, false,
+         false, false, false, F, {F, F}, LC::FpMul},
+        {"fdiv", true, 2, false, false, false, false, false, false,
+         false, false, false, F, {F, F}, LC::FpDiv},
+
+        {"lw", true, 1, true, false, false, true, true, false, false,
+         false, false, I, {I, I}, LC::Load},
+        {"sw", false, 2, true, false, false, true, false, true, false,
+         false, false, I, {I, I}, LC::Store},
+        {"lf", true, 1, true, false, false, true, true, false, false,
+         false, false, F, {I, I}, LC::Load},
+        {"sf", false, 2, true, false, false, true, false, true, false,
+         false, false, F, {F, I}, LC::Store},
+
+        {"beq", false, 2, false, true, false, false, false, false,
+         false, false, false, I, {I, I}, LC::Branch},
+        {"bne", false, 2, false, true, false, false, false, false,
+         false, false, false, I, {I, I}, LC::Branch},
+        {"blt", false, 2, false, true, false, false, false, false,
+         false, false, false, I, {I, I}, LC::Branch},
+        {"bge", false, 2, false, true, false, false, false, false,
+         false, false, false, I, {I, I}, LC::Branch},
+        {"ble", false, 2, false, true, false, false, false, false,
+         false, false, false, I, {I, I}, LC::Branch},
+        {"bgt", false, 2, false, true, false, false, false, false,
+         false, false, false, I, {I, I}, LC::Branch},
+        {"jmp", false, 0, false, false, true, false, false, false,
+         false, false, false, I, {I, I}, LC::Branch},
+
+        {"call", true, 0, false, false, false, false, false, false,
+         true, false, true, I, {I, I}, LC::Branch},
+        {"ret", false, 1, false, false, false, false, false, false,
+         false, true, true, I, {I, I}, LC::Branch},
+        {"jsr", false, 0, false, false, false, true, false, true, true,
+         false, false, I, {I, I}, LC::Branch},
+        {"rts", false, 0, false, false, false, true, true, false,
+         false, true, false, I, {I, I}, LC::Branch},
+
+        {"ga", true, 0, true, false, false, false, false, false, false,
+         false, true, I, {I, I}, LC::IntAlu},
+        {"fli", true, 0, false, false, false, false, false, false,
+         false, false, true, F, {F, F}, LC::Load},
+
+        {"prologue", false, 0, false, false, false, false, false,
+         false, false, false, true, I, {I, I}, LC::None},
+        {"epilogue", false, 0, false, false, false, false, false,
+         false, false, false, true, I, {I, I}, LC::None},
+
+        {"connect.use", false, 0, false, false, false, false, false,
+         false, false, false, false, I, {I, I}, LC::Connect},
+        {"connect.def", false, 0, false, false, false, false, false,
+         false, false, false, false, I, {I, I}, LC::Connect},
+        {"connect.uu", false, 0, false, false, false, false, false,
+         false, false, false, false, I, {I, I}, LC::Connect},
+        {"connect.du", false, 0, false, false, false, false, false,
+         false, false, false, false, I, {I, I}, LC::Connect},
+        {"connect.dd", false, 0, false, false, false, false, false,
+         false, false, false, false, I, {I, I}, LC::Connect},
+    }};
+
+} // namespace
+
+const OpcInfo &
+opcInfo(Opc opc)
+{
+    auto i = static_cast<std::size_t>(opc);
+    if (i >= table.size())
+        panic("opcInfo: bad opc ", i);
+    return table[i];
+}
+
+const char *
+opcName(Opc opc)
+{
+    return opcInfo(opc).name;
+}
+
+bool
+isTerminator(Opc opc)
+{
+    const OpcInfo &info = opcInfo(opc);
+    return info.isBranch || info.isJmp || info.isRet ||
+           opc == Opc::Halt;
+}
+
+isa::Opcode
+toMachineOpcode(Opc opc)
+{
+    switch (opc) {
+      case Opc::Nop:
+        return isa::Opcode::NOP;
+      case Opc::Halt:
+        return isa::Opcode::HALT;
+      case Opc::Add:
+        return isa::Opcode::ADD;
+      case Opc::Sub:
+        return isa::Opcode::SUB;
+      case Opc::And:
+        return isa::Opcode::AND;
+      case Opc::Or:
+        return isa::Opcode::OR;
+      case Opc::Xor:
+        return isa::Opcode::XOR;
+      case Opc::Nor:
+        return isa::Opcode::NOR;
+      case Opc::Sll:
+        return isa::Opcode::SLL;
+      case Opc::Srl:
+        return isa::Opcode::SRL;
+      case Opc::Sra:
+        return isa::Opcode::SRA;
+      case Opc::Slt:
+        return isa::Opcode::SLT;
+      case Opc::Sltu:
+        return isa::Opcode::SLTU;
+      case Opc::AddI:
+        return isa::Opcode::ADDI;
+      case Opc::AndI:
+        return isa::Opcode::ANDI;
+      case Opc::OrI:
+        return isa::Opcode::ORI;
+      case Opc::XorI:
+        return isa::Opcode::XORI;
+      case Opc::SllI:
+        return isa::Opcode::SLLI;
+      case Opc::SrlI:
+        return isa::Opcode::SRLI;
+      case Opc::SraI:
+        return isa::Opcode::SRAI;
+      case Opc::SltI:
+        return isa::Opcode::SLTI;
+      case Opc::Li:
+        return isa::Opcode::LI;
+      case Opc::Lui:
+        return isa::Opcode::LUI;
+      case Opc::Mov:
+        return isa::Opcode::MOV;
+      case Opc::Mul:
+        return isa::Opcode::MUL;
+      case Opc::Div:
+        return isa::Opcode::DIV;
+      case Opc::Rem:
+        return isa::Opcode::REM;
+      case Opc::FAdd:
+        return isa::Opcode::FADD;
+      case Opc::FSub:
+        return isa::Opcode::FSUB;
+      case Opc::FNeg:
+        return isa::Opcode::FNEG;
+      case Opc::FAbs:
+        return isa::Opcode::FABS;
+      case Opc::FMov:
+        return isa::Opcode::FMOV;
+      case Opc::FMin:
+        return isa::Opcode::FMIN;
+      case Opc::FMax:
+        return isa::Opcode::FMAX;
+      case Opc::FCmpLt:
+        return isa::Opcode::FCMP_LT;
+      case Opc::FCmpLe:
+        return isa::Opcode::FCMP_LE;
+      case Opc::FCmpEq:
+        return isa::Opcode::FCMP_EQ;
+      case Opc::CvtIF:
+        return isa::Opcode::CVT_IF;
+      case Opc::CvtFI:
+        return isa::Opcode::CVT_FI;
+      case Opc::FMul:
+        return isa::Opcode::FMUL;
+      case Opc::FDiv:
+        return isa::Opcode::FDIV;
+      case Opc::Lw:
+        return isa::Opcode::LW;
+      case Opc::Sw:
+        return isa::Opcode::SW;
+      case Opc::Lf:
+        return isa::Opcode::LF;
+      case Opc::Sf:
+        return isa::Opcode::SF;
+      case Opc::Beq:
+        return isa::Opcode::BEQ;
+      case Opc::Bne:
+        return isa::Opcode::BNE;
+      case Opc::Blt:
+        return isa::Opcode::BLT;
+      case Opc::Bge:
+        return isa::Opcode::BGE;
+      case Opc::Ble:
+        return isa::Opcode::BLE;
+      case Opc::Bgt:
+        return isa::Opcode::BGT;
+      case Opc::Jmp:
+        return isa::Opcode::J;
+      case Opc::Jsr:
+        return isa::Opcode::JSR;
+      case Opc::Rts:
+        return isa::Opcode::RTS;
+      case Opc::ConnUse:
+        return isa::Opcode::CONNECT_USE;
+      case Opc::ConnDef:
+        return isa::Opcode::CONNECT_DEF;
+      case Opc::ConnUU:
+        return isa::Opcode::CONNECT_UU;
+      case Opc::ConnDU:
+        return isa::Opcode::CONNECT_DU;
+      case Opc::ConnDD:
+        return isa::Opcode::CONNECT_DD;
+      default:
+        panic("toMachineOpcode: pseudo op '", opcName(opc),
+              "' must be expanded before emission");
+    }
+}
+
+Opc
+invertBranch(Opc opc)
+{
+    switch (opc) {
+      case Opc::Beq:
+        return Opc::Bne;
+      case Opc::Bne:
+        return Opc::Beq;
+      case Opc::Blt:
+        return Opc::Bge;
+      case Opc::Bge:
+        return Opc::Blt;
+      case Opc::Ble:
+        return Opc::Bgt;
+      case Opc::Bgt:
+        return Opc::Ble;
+      default:
+        panic("invertBranch: '", opcName(opc), "' is not a branch");
+    }
+}
+
+} // namespace rcsim::ir

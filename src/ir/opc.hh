@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Operation codes of the rcsim mid-level IR.
+ *
+ * The set mirrors the RCM machine ISA plus a handful of pseudo
+ * operations (Call/Ret before call lowering, Ga / FLi constant
+ * materialisation, Prologue/Epilogue frame markers) that later passes
+ * expand.  Final code generation maps each remaining Opc 1:1 onto an
+ * isa::Opcode.
+ */
+
+#ifndef RCSIM_IR_OPC_HH
+#define RCSIM_IR_OPC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+#include "isa/reg.hh"
+
+namespace rcsim::ir
+{
+
+using isa::RegClass;
+
+/** IR operation codes. */
+enum class Opc : std::uint8_t
+{
+    Nop,
+    Halt,
+
+    // Integer ALU (latency 1).
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Nor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    AddI,
+    AndI,
+    OrI,
+    XorI,
+    SllI,
+    SrlI,
+    SraI,
+    SltI,
+    Li,
+    Lui,
+    Mov,
+
+    // Integer multiply / divide.
+    Mul,
+    Div,
+    Rem,
+
+    // Floating point.
+    FAdd,
+    FSub,
+    FNeg,
+    FAbs,
+    FMov,
+    FMin,
+    FMax,
+    FCmpLt,
+    FCmpLe,
+    FCmpEq,
+    CvtIF,
+    CvtFI,
+    FMul,
+    FDiv,
+
+    // Memory.
+    Lw,
+    Sw,
+    Lf,
+    Sf,
+
+    // Control flow: conditional branches carry a taken and a
+    // fall-through block; Jmp only a target block.
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Ble,
+    Bgt,
+    Jmp,
+
+    // High-level call / return (expanded by the call-lowering pass).
+    Call,
+    Ret,
+
+    // Machine-level call / return (after call lowering).
+    Jsr,
+    Rts,
+
+    // Constant materialisation pseudos.
+    Ga,  // dst <- address of global + imm
+    FLi, // dst <- fp literal (via constant pool at code generation)
+
+    // Frame markers, expanded when the frame layout is final.
+    Prologue,
+    Epilogue,
+
+    // Register-connection ops, inserted by the connect inserter after
+    // scheduling (Section 2.2).  Payload lives in Op::conn.
+    ConnUse,
+    ConnDef,
+    ConnUU,
+    ConnDU,
+    ConnDD,
+
+    NUM_OPCS
+};
+
+/** Static properties of an IR operation code. */
+struct OpcInfo
+{
+    const char *name;
+    bool hasDst;
+    int numSrcs;
+    bool hasImm;
+    bool isBranch; // conditional, two successors
+    bool isJmp;    // unconditional jump
+    bool isMem;
+    bool isLoad;
+    bool isStore;
+    bool isCall; // Call or Jsr
+    bool isRet;  // Ret or Rts
+    bool isPseudo;
+    RegClass dstClass;
+    RegClass srcClass[2];
+    /** Functional-unit class for scheduling latencies. */
+    isa::LatencyClass latClass;
+};
+
+/** Look up the static properties of an Opc. */
+const OpcInfo &opcInfo(Opc opc);
+
+/** Mnemonic for diagnostics. */
+const char *opcName(Opc opc);
+
+/** True when the op must terminate a basic block. */
+bool isTerminator(Opc opc);
+
+/** True for the register-connection ops. */
+inline bool
+isConnectOpc(Opc opc)
+{
+    return opc >= Opc::ConnUse && opc <= Opc::ConnDD;
+}
+
+/**
+ * Machine opcode a (non-pseudo) Opc lowers to.
+ * Panics for pseudos that must be expanded before emission.
+ */
+isa::Opcode toMachineOpcode(Opc opc);
+
+/** Invert a comparison branch: Beq <-> Bne, Blt <-> Bge, ... */
+Opc invertBranch(Opc opc);
+
+} // namespace rcsim::ir
+
+#endif // RCSIM_IR_OPC_HH

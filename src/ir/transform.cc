@@ -1,0 +1,104 @@
+#include "ir/transform.hh"
+
+#include <algorithm>
+
+#include "ir/cfg.hh"
+#include "support/logging.hh"
+
+namespace rcsim::ir
+{
+
+void
+renumberBlocks(Function &fn, const std::vector<int> &order)
+{
+    int nold = static_cast<int>(fn.blocks.size());
+    std::vector<int> new_id(nold, -1);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        int b = order[i];
+        if (b < 0 || b >= nold || fn.blocks[b].dead)
+            panic("renumberBlocks: bad block ", b, " in order");
+        if (new_id[b] != -1)
+            panic("renumberBlocks: duplicate block ", b);
+        new_id[b] = static_cast<int>(i);
+    }
+
+    std::vector<BasicBlock> blocks;
+    blocks.reserve(order.size());
+    for (int b : order)
+        blocks.push_back(std::move(fn.blocks[b]));
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        blocks[i].id = static_cast<int>(i);
+        for (Op &op : blocks[i].ops) {
+            if (op.takenBlock >= 0) {
+                op.takenBlock = new_id[op.takenBlock];
+                if (op.takenBlock < 0)
+                    panic("renumberBlocks: branch to dropped block");
+            }
+            if (op.fallBlock >= 0) {
+                op.fallBlock = new_id[op.fallBlock];
+                if (op.fallBlock < 0)
+                    panic("renumberBlocks: branch to dropped block");
+            }
+        }
+    }
+    fn.blocks = std::move(blocks);
+    fn.entryBlock = new_id[fn.entryBlock];
+    if (fn.entryBlock < 0)
+        panic("renumberBlocks: entry block dropped");
+}
+
+void
+layoutBlocks(Function &fn)
+{
+    Cfg cfg = Cfg::build(fn);
+    int n = static_cast<int>(fn.blocks.size());
+    std::vector<char> placed(n, 0);
+    std::vector<int> order;
+    order.reserve(n);
+
+    // Greedy trace placement: start a chain at the entry (then at any
+    // unplaced reachable block in RPO) and extend along fall-through
+    // successors; for predicted-taken branches extend along the taken
+    // successor instead, so the hot path is sequential.
+    auto chain_from = [&](int start) {
+        int b = start;
+        while (b >= 0 && !placed[b]) {
+            placed[b] = 1;
+            order.push_back(b);
+            const Op &t = fn.blocks[b].ops.back();
+            int next = -1;
+            if (t.isBranch())
+                next = t.predictTaken ? t.takenBlock : t.fallBlock;
+            else if (t.info().isJmp)
+                next = t.takenBlock;
+            b = next;
+        }
+    };
+
+    chain_from(fn.entryBlock);
+    for (int b : cfg.rpo)
+        if (!placed[b])
+            chain_from(b);
+
+    renumberBlocks(fn, order);
+
+    // After placement, make every conditional branch's fall-through
+    // edge point at the next block in layout where possible, by
+    // inverting the comparison; otherwise leave it (emission inserts
+    // an explicit jump).
+    for (int b = 0; b < static_cast<int>(fn.blocks.size()); ++b) {
+        Op &t = fn.blocks[b].ops.back();
+        if (!t.isBranch())
+            continue;
+        int next = b + 1;
+        if (t.fallBlock == next)
+            continue;
+        if (t.takenBlock == next) {
+            t.opc = invertBranch(t.opc);
+            std::swap(t.takenBlock, t.fallBlock);
+            t.predictTaken = !t.predictTaken;
+        }
+    }
+}
+
+} // namespace rcsim::ir

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structural IR transformations shared by optimizer and code
+ * generator: block renumbering, compaction and layout.
+ */
+
+#ifndef RCSIM_IR_TRANSFORM_HH
+#define RCSIM_IR_TRANSFORM_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace rcsim::ir
+{
+
+/**
+ * Reorder and renumber blocks.  @p order lists the ids of all live
+ * blocks in their new layout order; dead and unlisted blocks are
+ * dropped.  All branch targets and the entry block are rewritten.
+ */
+void renumberBlocks(Function &fn, const std::vector<int> &order);
+
+/**
+ * Compute a fall-through-friendly layout: a DFS from the entry that
+ * prefers the fall-through successor (and for branches predicted
+ * taken, the taken successor is *not* preferred — it will be reached
+ * by its own chain).  Unreachable blocks are removed.
+ */
+void layoutBlocks(Function &fn);
+
+} // namespace rcsim::ir
+
+#endif // RCSIM_IR_TRANSFORM_HH

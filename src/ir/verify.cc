@@ -1,0 +1,309 @@
+#include "ir/verify.hh"
+
+#include <sstream>
+
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+#include "support/logging.hh"
+
+namespace rcsim::ir
+{
+
+namespace
+{
+
+class Verifier
+{
+  public:
+    Verifier(const Function &fn, const Module *module)
+        : fn_(fn), module_(module)
+    {
+    }
+
+    void
+    problem(int block, const std::string &msg)
+    {
+        std::ostringstream os;
+        os << fn_.name << " b" << block << ": " << msg;
+        problems_.push_back(os.str());
+    }
+
+    void
+    checkStructure()
+    {
+        int nblocks = static_cast<int>(fn_.blocks.size());
+        if (fn_.entryBlock < 0 || fn_.entryBlock >= nblocks ||
+            fn_.blocks[fn_.entryBlock].dead) {
+            problem(-1, "bad entry block");
+            return;
+        }
+        for (const BasicBlock &bb : fn_.blocks) {
+            if (bb.dead)
+                continue;
+            if (bb.ops.empty()) {
+                problem(bb.id, "empty block");
+                continue;
+            }
+            if (!bb.hasTerminator())
+                problem(bb.id, "missing terminator");
+            for (std::size_t i = 0; i + 1 < bb.ops.size(); ++i)
+                if (bb.ops[i].isTerminator())
+                    problem(bb.id, "terminator before end of block");
+            for (const Op &op : bb.ops)
+                checkOp(bb.id, op);
+        }
+    }
+
+    void
+    checkTarget(int block, int target)
+    {
+        if (target < 0 ||
+            target >= static_cast<int>(fn_.blocks.size()) ||
+            fn_.blocks[target].dead)
+            problem(block, "bad branch target");
+    }
+
+    void
+    checkOp(int block, const Op &op)
+    {
+        const OpcInfo &info = op.info();
+        if (info.isBranch) {
+            checkTarget(block, op.takenBlock);
+            checkTarget(block, op.fallBlock);
+        } else if (info.isJmp) {
+            checkTarget(block, op.takenBlock);
+        }
+
+        if (op.opc == Opc::Call) {
+            if (!module_) {
+                problem(block, "call outside module verification");
+            } else if (op.callee < 0 ||
+                       op.callee >=
+                           static_cast<int>(module_->functions.size())) {
+                problem(block, "call to bad function index");
+            } else {
+                const Function &callee = module_->fn(op.callee);
+                if (op.args.size() != callee.params.size())
+                    problem(block, "call argument count mismatch for " +
+                                       callee.name);
+                for (std::size_t i = 0;
+                     i < std::min(op.args.size(),
+                                  callee.params.size());
+                     ++i)
+                    if (op.args[i].cls != callee.params[i].cls)
+                        problem(block,
+                                "call argument class mismatch for " +
+                                    callee.name);
+                if (op.dst.valid() && !callee.returnsValue)
+                    problem(block,
+                            "using return value of void function " +
+                                callee.name);
+                if (op.dst.valid() &&
+                    callee.returnsValue &&
+                    op.dst.cls != callee.retClass)
+                    problem(block, "return class mismatch for " +
+                                       callee.name);
+            }
+            return;
+        }
+
+        if (op.opc == Opc::Ret) {
+            if (fn_.returnsValue) {
+                if (!op.src[0].valid())
+                    problem(block, "ret without value");
+                else if (op.src[0].cls != fn_.retClass)
+                    problem(block, "ret value class mismatch");
+            } else if (op.src[0].valid()) {
+                problem(block, "ret with value in void function");
+            }
+            return;
+        }
+
+        if (info.hasDst) {
+            if (!op.dst.valid())
+                problem(block, std::string(info.name) +
+                                   ": missing destination");
+            else if (op.dst.cls != info.dstClass)
+                problem(block, std::string(info.name) +
+                                   ": destination class mismatch");
+        }
+        for (int k = 0; k < info.numSrcs; ++k) {
+            if (!op.src[k].valid()) {
+                problem(block, std::string(info.name) +
+                                   ": missing source operand");
+            } else if (op.src[k].cls != info.srcClass[k]) {
+                problem(block, std::string(info.name) +
+                                   ": source class mismatch");
+            }
+        }
+        if (info.isMem && op.mem.region == MemRegion::None)
+            problem(block, std::string(info.name) +
+                               ": memory op without MemRef");
+        if (op.opc == Opc::Ga &&
+            (!module_ || op.mem.globalId < 0 ||
+             op.mem.globalId >=
+                 static_cast<int>(module_->globals.size())))
+            problem(block, "ga references bad global");
+    }
+
+    /**
+     * Forward definite-assignment dataflow: a register use is flagged
+     * when some path reaches it without a prior definition.
+     */
+    void
+    checkUndef()
+    {
+        Cfg cfg = Cfg::build(fn_);
+        RegIndexer regs = RegIndexer::collect(fn_);
+        int nregs = regs.size();
+        int nblocks = static_cast<int>(fn_.blocks.size());
+
+        // definedOut[b]: registers definitely defined at block exit.
+        // Initialised to "everything" (top) for must-analysis.
+        RegSet all(nregs);
+        for (int i = 0; i < nregs; ++i)
+            all.set(i);
+        std::vector<RegSet> defined_out(nblocks, all);
+        std::vector<char> visited(nblocks, 0);
+
+        RegSet entry_in(nregs);
+        for (const VReg &p : fn_.params)
+            entry_in.set(regs.indexOf(p));
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (int b : cfg.rpo) {
+                RegSet in(nregs);
+                if (b == fn_.entryBlock) {
+                    in = entry_in;
+                } else {
+                    bool first = true;
+                    for (int p : cfg.preds[b]) {
+                        if (!visited[p])
+                            continue;
+                        if (first) {
+                            in = defined_out[p];
+                            first = false;
+                        } else {
+                            // intersection
+                            RegSet tmp(nregs);
+                            in.forEach([&](int i) {
+                                if (defined_out[p].test(i))
+                                    tmp.set(i);
+                            });
+                            in = tmp;
+                        }
+                    }
+                    if (first)
+                        in = entry_in; // unreachable-ish; be lenient
+                }
+                RegSet cur = in;
+                for (const Op &op : fn_.blocks[b].ops)
+                    for (const VReg &d : op.defs())
+                        cur.set(regs.indexOf(d));
+                // Change detection via manual compare.
+                bool diff = !visited[b];
+                if (!diff) {
+                    for (int i = 0; i < nregs && !diff; ++i)
+                        if (cur.test(i) != defined_out[b].test(i))
+                            diff = true;
+                }
+                if (diff) {
+                    defined_out[b] = cur;
+                    visited[b] = 1;
+                    changed = true;
+                }
+            }
+        }
+
+        // Report uses not definitely defined.
+        for (int b : cfg.rpo) {
+            RegSet cur(nregs);
+            if (b == fn_.entryBlock) {
+                cur = entry_in;
+            } else {
+                bool first = true;
+                for (int p : cfg.preds[b]) {
+                    if (!visited[p])
+                        continue;
+                    if (first) {
+                        cur = defined_out[p];
+                        first = false;
+                    } else {
+                        RegSet tmp(nregs);
+                        cur.forEach([&](int i) {
+                            if (defined_out[p].test(i))
+                                tmp.set(i);
+                        });
+                        cur = tmp;
+                    }
+                }
+            }
+            for (const Op &op : fn_.blocks[b].ops) {
+                for (const VReg &u : op.uses()) {
+                    int i = regs.indexOf(u);
+                    if (i >= 0 && !cur.test(i))
+                        problem(b, "possibly-undefined use of " +
+                                       u.toString() + " in '" +
+                                       op.toString() + "'");
+                }
+                for (const VReg &d : op.defs())
+                    cur.set(regs.indexOf(d));
+            }
+        }
+    }
+
+    std::vector<std::string> problems_;
+
+  private:
+    const Function &fn_;
+    const Module *module_;
+};
+
+} // namespace
+
+std::string
+VerifyResult::summary() const
+{
+    std::ostringstream os;
+    for (const std::string &p : problems)
+        os << p << "\n";
+    return os.str();
+}
+
+VerifyResult
+verifyFunction(const Function &fn, bool check_undef)
+{
+    Verifier v(fn, nullptr);
+    v.checkStructure();
+    if (check_undef && v.problems_.empty())
+        v.checkUndef();
+    return VerifyResult{std::move(v.problems_)};
+}
+
+VerifyResult
+verifyModule(const Module &module, bool check_undef)
+{
+    VerifyResult all;
+    for (const Function &fn : module.functions) {
+        Verifier v(fn, &module);
+        v.checkStructure();
+        if (check_undef && v.problems_.empty())
+            v.checkUndef();
+        for (std::string &p : v.problems_)
+            all.problems.push_back(std::move(p));
+    }
+    return all;
+}
+
+void
+verifyOrDie(const Module &module, const std::string &when,
+            bool check_undef)
+{
+    VerifyResult r = verifyModule(module, check_undef);
+    if (!r.ok())
+        panic("IR verification failed ", when, ":\n", r.summary());
+}
+
+} // namespace rcsim::ir

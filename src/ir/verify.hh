@@ -1,0 +1,46 @@
+/**
+ * @file
+ * IR structural verifier.  Catches malformed workloads and broken
+ * transformation passes early: missing terminators, bad branch
+ * targets, operand class mismatches and potentially-undefined
+ * register uses.
+ */
+
+#ifndef RCSIM_IR_VERIFY_HH
+#define RCSIM_IR_VERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace rcsim::ir
+{
+
+/** Verification outcome; empty problem list means the IR is valid. */
+struct VerifyResult
+{
+    std::vector<std::string> problems;
+    bool ok() const { return problems.empty(); }
+    std::string summary() const;
+};
+
+/**
+ * Verify one function.
+ *
+ * @param check_undef also run the forward definite-assignment
+ *        analysis that flags possibly-undefined register uses
+ *        (pre-allocation IR only)
+ */
+VerifyResult verifyFunction(const Function &fn, bool check_undef = true);
+
+/** Verify a whole module, including call signatures. */
+VerifyResult verifyModule(const Module &module, bool check_undef = true);
+
+/** Panic with the problem list unless the module verifies. */
+void verifyOrDie(const Module &module, const std::string &when,
+                 bool check_undef = true);
+
+} // namespace rcsim::ir
+
+#endif // RCSIM_IR_VERIFY_HH

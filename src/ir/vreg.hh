@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Virtual registers and memory references for the rcsim mid-level IR.
+ *
+ * The IR is a machine-level, non-SSA representation: operations read
+ * and write virtual registers of two classes (integer / floating
+ * point).  Register allocation rewrites operands in place to physical
+ * registers (phys = true); the connect inserter later rewrites
+ * physical numbers to register-map indices for with-RC code.
+ */
+
+#ifndef RCSIM_IR_VREG_HH
+#define RCSIM_IR_VREG_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/reg.hh"
+
+namespace rcsim::ir
+{
+
+using isa::RegClass;
+
+/** A register operand: virtual before allocation, physical after. */
+struct VReg
+{
+    static constexpr std::uint32_t invalidId = 0xffffffffu;
+
+    RegClass cls = RegClass::Int;
+    std::uint32_t id = invalidId;
+    bool phys = false;
+
+    constexpr VReg() = default;
+    constexpr VReg(RegClass c, std::uint32_t i, bool p = false)
+        : cls(c), id(i), phys(p)
+    {
+    }
+
+    bool valid() const { return id != invalidId; }
+
+    bool
+    operator==(const VReg &o) const
+    {
+        return cls == o.cls && id == o.id && phys == o.phys;
+    }
+    bool operator!=(const VReg &o) const { return !(*this == o); }
+    bool
+    operator<(const VReg &o) const
+    {
+        if (cls != o.cls)
+            return static_cast<int>(cls) < static_cast<int>(o.cls);
+        if (phys != o.phys)
+            return phys < o.phys;
+        return id < o.id;
+    }
+
+    /** "v12" / "vf3" / "p7" / "pf40" rendering. */
+    std::string toString() const;
+};
+
+/** Memory region classification used for scheduling alias queries. */
+enum class MemRegion : std::uint8_t
+{
+    None,    // not a memory operation
+    Global,  // a named module global (array / constant pool)
+    Frame,   // the current function's stack frame
+    Unknown, // anything (conservative)
+};
+
+/** Frame areas; pairwise disjoint within one function's view. */
+enum class FrameKind : std::uint8_t
+{
+    None,
+    OutArg, // outgoing argument / return-value area (bottom of frame)
+    InArg,  // incoming arguments (in the caller's frame)
+    Local,  // spill and save slots
+};
+
+/**
+ * Static description of a memory access for dependence tests.  Two
+ * accesses are provably independent when they touch different globals,
+ * a global vs. the frame, different frame areas, or the same area at
+ * known non-overlapping offsets.
+ */
+struct MemRef
+{
+    MemRegion region = MemRegion::None;
+    int globalId = -1;
+    FrameKind frameKind = FrameKind::None;
+    int frameIndex = 0; // slot or argument number
+    bool offsetKnown = false;
+    std::int64_t offset = 0; // byte offset within the region
+    int width = 4;           // access width in bytes
+
+    static MemRef
+    global(int gid, bool known = false, std::int64_t off = 0,
+           int width = 4)
+    {
+        MemRef m;
+        m.region = MemRegion::Global;
+        m.globalId = gid;
+        m.offsetKnown = known;
+        m.offset = off;
+        m.width = width;
+        return m;
+    }
+
+    static MemRef
+    frame(FrameKind kind, int index, int width = 4)
+    {
+        MemRef m;
+        m.region = MemRegion::Frame;
+        m.frameKind = kind;
+        m.frameIndex = index;
+        m.offsetKnown = true;
+        m.width = width;
+        return m;
+    }
+
+    static MemRef
+    unknown(int width = 4)
+    {
+        MemRef m;
+        m.region = MemRegion::Unknown;
+        m.width = width;
+        return m;
+    }
+
+    /** May this access overlap with another? (conservative). */
+    bool mayAlias(const MemRef &other) const;
+};
+
+} // namespace rcsim::ir
+
+template <>
+struct std::hash<rcsim::ir::VReg>
+{
+    std::size_t
+    operator()(const rcsim::ir::VReg &v) const noexcept
+    {
+        return (static_cast<std::size_t>(v.id) << 3) ^
+               (static_cast<std::size_t>(v.cls) << 1) ^
+               static_cast<std::size_t>(v.phys);
+    }
+};
+
+#endif // RCSIM_IR_VREG_HH

@@ -1,0 +1,274 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace rcsim::isa
+{
+
+namespace
+{
+
+/** Cursor over one line of assembly text. */
+class LineParser
+{
+  public:
+    explicit LineParser(const std::string &line) : line_(line) {}
+
+    void
+    skipSpace()
+    {
+        while (pos_ < line_.size() &&
+               (std::isspace(static_cast<unsigned char>(line_[pos_])) ||
+                line_[pos_] == ','))
+            ++pos_;
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos_ >= line_.size();
+    }
+
+    /** Next identifier-like token ([A-Za-z0-9_.+-]). */
+    std::string
+    token()
+    {
+        skipSpace();
+        std::size_t start = pos_;
+        while (pos_ < line_.size() && !std::isspace(static_cast<unsigned
+                   char>(line_[pos_])) && line_[pos_] != ',')
+            ++pos_;
+        return line_.substr(start, pos_ - start);
+    }
+
+  private:
+    const std::string &line_;
+    std::size_t pos_ = 0;
+};
+
+struct PendingRef
+{
+    std::size_t instrIndex;
+    std::string label;
+    bool isCall;
+    int lineNo;
+};
+
+bool
+parseReg(const std::string &tok, Reg &out)
+{
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'f'))
+        return false;
+    for (std::size_t i = 1; i < tok.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return false;
+    out.cls = tok[0] == 'r' ? RegClass::Int : RegClass::Fp;
+    out.idx = static_cast<std::uint16_t>(std::stoi(tok.substr(1)));
+    return true;
+}
+
+bool
+parseImm(const std::string &tok, Word &out)
+{
+    if (tok.empty())
+        return false;
+    std::size_t i = tok[0] == '-' || tok[0] == '+' ? 1 : 0;
+    if (i >= tok.size())
+        return false;
+    if (tok.size() > i + 2 && tok[i] == '0' &&
+        (tok[i + 1] == 'x' || tok[i + 1] == 'X')) {
+        out = static_cast<Word>(std::stoll(tok, nullptr, 16));
+        return true;
+    }
+    for (std::size_t k = i; k < tok.size(); ++k)
+        if (!std::isdigit(static_cast<unsigned char>(tok[k])))
+            return false;
+    out = static_cast<Word>(std::stoll(tok));
+    return true;
+}
+
+bool
+parsePrefixed(const std::string &tok, char prefix, std::uint16_t &out)
+{
+    if (tok.size() < 2 || tok[0] != prefix)
+        return false;
+    for (std::size_t i = 1; i < tok.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return false;
+    out = static_cast<std::uint16_t>(std::stoi(tok.substr(1)));
+    return true;
+}
+
+} // namespace
+
+AsmResult
+assemble(const std::string &source)
+{
+    AsmResult result;
+    Program &prog = result.program;
+
+    std::map<std::string, std::int32_t> labels;
+    std::vector<PendingRef> pending;
+
+    auto fail = [&](int line_no, const std::string &msg) {
+        std::ostringstream os;
+        os << "line " << line_no << ": " << msg;
+        result.error = os.str();
+    };
+
+    std::istringstream in(source);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        // Strip comments.
+        auto hash = raw.find('#');
+        std::string line =
+            hash == std::string::npos ? raw : raw.substr(0, hash);
+        // Skip blank lines.
+        bool blank = true;
+        for (char c : line)
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                blank = false;
+        if (blank)
+            continue;
+
+        LineParser lp(line);
+        std::string first = lp.token();
+
+        if (first == "func") {
+            std::string name = lp.token();
+            if (name.empty() || name.back() != ':')
+                return fail(line_no, "expected 'func name:'"), result;
+            name.pop_back();
+            if (!prog.functions.empty())
+                prog.functions.back().end =
+                    static_cast<std::int32_t>(prog.code.size());
+            FunctionInfo fi;
+            fi.name = name;
+            fi.entry = static_cast<std::int32_t>(prog.code.size());
+            prog.functions.push_back(fi);
+            labels[name] = fi.entry;
+            continue;
+        }
+
+        if (first.size() > 1 && first.back() == ':') {
+            std::string name = first.substr(0, first.size() - 1);
+            if (labels.count(name))
+                return fail(line_no, "duplicate label '" + name + "'"),
+                       result;
+            labels[name] = static_cast<std::int32_t>(prog.code.size());
+            if (!lp.atEnd())
+                return fail(line_no, "text after label"), result;
+            continue;
+        }
+
+        // Instruction.  A '+' suffix on branch mnemonics marks a
+        // predict-taken branch.
+        bool predict_taken = false;
+        std::string mnemonic = first;
+        if (!mnemonic.empty() && mnemonic.back() == '+') {
+            predict_taken = true;
+            mnemonic.pop_back();
+        }
+        Opcode op = opcodeFromName(mnemonic);
+        if (op == Opcode::NUM_OPCODES)
+            return fail(line_no, "unknown opcode '" + mnemonic + "'"),
+                   result;
+
+        Instruction ins;
+        ins.op = op;
+        ins.predictTaken = predict_taken;
+        const OpcodeInfo &info = opcodeInfo(op);
+
+        if (info.isConnect) {
+            std::string cls = lp.token();
+            if (cls == "int")
+                ins.connCls = RegClass::Int;
+            else if (cls == "fp")
+                ins.connCls = RegClass::Fp;
+            else
+                return fail(line_no, "connect needs 'int' or 'fp'"),
+                       result;
+            int pairs =
+                (op == Opcode::CONNECT_USE || op == Opcode::CONNECT_DEF)
+                    ? 1
+                    : 2;
+            ins.nconn = static_cast<std::uint8_t>(pairs);
+            for (int k = 0; k < pairs; ++k) {
+                std::string it = lp.token(), pt = lp.token();
+                if (!parsePrefixed(it, 'i', ins.conn[k].mapIdx) ||
+                    !parsePrefixed(pt, 'p', ins.conn[k].phys))
+                    return fail(line_no,
+                                "connect expects iN, pN pairs"),
+                           result;
+            }
+            bool defs[2] = {false, false};
+            if (op == Opcode::CONNECT_DEF)
+                defs[0] = true;
+            if (op == Opcode::CONNECT_DU)
+                defs[0] = true;
+            if (op == Opcode::CONNECT_DD)
+                defs[0] = defs[1] = true;
+            ins.conn[0].isDef = defs[0];
+            ins.conn[1].isDef = defs[1];
+            prog.code.push_back(ins);
+            continue;
+        }
+
+        if (info.hasDst) {
+            std::string t = lp.token();
+            if (!parseReg(t, ins.dst) ||
+                ins.dst.cls != info.dstClass)
+                return fail(line_no, "bad destination '" + t + "'"),
+                       result;
+        }
+        for (int k = 0; k < info.numSrcs; ++k) {
+            std::string t = lp.token();
+            if (!parseReg(t, ins.src[k]) ||
+                ins.src[k].cls != info.srcClass[k])
+                return fail(line_no, "bad source '" + t + "'"), result;
+        }
+        if (info.hasImm) {
+            std::string t = lp.token();
+            if (!parseImm(t, ins.imm))
+                return fail(line_no, "bad immediate '" + t + "'"),
+                       result;
+        }
+        if (info.isBranch || op == Opcode::J || op == Opcode::JSR) {
+            std::string t = lp.token();
+            if (t.empty())
+                return fail(line_no, "missing target"), result;
+            pending.push_back({prog.code.size(), t,
+                               op == Opcode::JSR, line_no});
+        }
+        if (!lp.atEnd())
+            return fail(line_no, "trailing operands"), result;
+        prog.code.push_back(ins);
+    }
+
+    if (!prog.functions.empty())
+        prog.functions.back().end =
+            static_cast<std::int32_t>(prog.code.size());
+
+    for (const PendingRef &ref : pending) {
+        auto it = labels.find(ref.label);
+        if (it == labels.end())
+            return fail(ref.lineNo,
+                        "undefined label '" + ref.label + "'"),
+                   result;
+        prog.code[ref.instrIndex].target = it->second;
+    }
+
+    prog.entry = 0;
+    for (const FunctionInfo &fi : prog.functions)
+        if (fi.name == "main")
+            prog.entry = fi.entry;
+    return result;
+}
+
+} // namespace rcsim::isa

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * A small text assembler for the RCM instruction set.
+ *
+ * Used by directed tests and examples to express machine programs
+ * exactly.  Syntax, one instruction per line ('#' starts a comment):
+ *
+ *   func main:                  ; begins a function
+ *   loop:                       ; a label
+ *     li   r1, 100
+ *     addi r1, r1, -1
+ *     bgt  r1, r0, loop         ; branch to label (predict-not-taken)
+ *     bgt+ r1, r0, loop         ; '+' suffix = predict-taken
+ *     jsr  helper               ; call by function name
+ *     connect.use int i3, p100  ; single connect
+ *     connect.du  fp  i2, p40, i5, p41
+ *     halt
+ */
+
+#ifndef RCSIM_ISA_ASSEMBLER_HH
+#define RCSIM_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/instruction.hh"
+
+namespace rcsim::isa
+{
+
+/** Result of assembling a source string. */
+struct AsmResult
+{
+    Program program;
+    std::string error; // empty on success; includes the line number
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Assemble RCM assembly text into a linked Program.
+ *
+ * The program entry point is the function named "main" if present,
+ * otherwise the first function (or instruction) in the file.
+ */
+AsmResult assemble(const std::string &source);
+
+} // namespace rcsim::isa
+
+#endif // RCSIM_ISA_ASSEMBLER_HH

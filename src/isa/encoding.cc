@@ -1,0 +1,446 @@
+#include "isa/encoding.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace rcsim::isa
+{
+
+namespace
+{
+
+// Primary 6-bit opcode assignments.  Opcode 0 is the R-format escape
+// with an 11-bit function field holding the Opcode enum value.
+constexpr MachineWord opRFormat = 0;
+
+MachineWord
+primaryOpcode(Opcode op, RegClass conn_cls)
+{
+    switch (op) {
+      case Opcode::ADDI:
+        return 1;
+      case Opcode::ANDI:
+        return 2;
+      case Opcode::ORI:
+        return 3;
+      case Opcode::XORI:
+        return 4;
+      case Opcode::SLLI:
+        return 5;
+      case Opcode::SRLI:
+        return 6;
+      case Opcode::SRAI:
+        return 7;
+      case Opcode::SLTI:
+        return 8;
+      case Opcode::LI:
+        return 9;
+      case Opcode::LUI:
+        return 10;
+      case Opcode::LW:
+        return 11;
+      case Opcode::SW:
+        return 12;
+      case Opcode::LF:
+        return 13;
+      case Opcode::SF:
+        return 14;
+      case Opcode::TRAP:
+        return 15;
+      case Opcode::BEQ:
+        return 16;
+      case Opcode::BNE:
+        return 17;
+      case Opcode::BLT:
+        return 18;
+      case Opcode::BGE:
+        return 19;
+      case Opcode::BLE:
+        return 20;
+      case Opcode::BGT:
+        return 21;
+      case Opcode::J:
+        return 22;
+      case Opcode::JSR:
+        return 23;
+      case Opcode::CONNECT_USE:
+        return 24;
+      case Opcode::CONNECT_DEF:
+        return 25;
+      case Opcode::CONNECT_UU:
+        return conn_cls == RegClass::Int ? 26 : 27;
+      case Opcode::CONNECT_DU:
+        return conn_cls == RegClass::Int ? 28 : 29;
+      case Opcode::CONNECT_DD:
+        return conn_cls == RegClass::Int ? 30 : 31;
+      default:
+        return opRFormat;
+    }
+}
+
+bool
+fitsSigned(Word v, int bits)
+{
+    Word lo = -(Word(1) << (bits - 1));
+    Word hi = (Word(1) << (bits - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+MachineWord
+field(MachineWord v, int shift)
+{
+    return v << shift;
+}
+
+} // namespace
+
+EncodeResult
+encode(const Instruction &ins, std::int32_t pc)
+{
+    const OpcodeInfo &info = ins.info();
+    EncodeResult r;
+
+    auto check_reg = [&](const Reg &reg) {
+        if (reg.idx >= 32)
+            r.error = EncodeError::RegisterTooHigh;
+        return MachineWord(reg.idx & 0x1f);
+    };
+
+    if (info.isConnect) {
+        MachineWord op6 = primaryOpcode(ins.op, ins.connCls);
+        MachineWord w = field(op6, 26);
+        if (ins.nconn == 1) {
+            if (ins.conn[0].mapIdx >= 32) {
+                r.error = EncodeError::RegisterTooHigh;
+                return r;
+            }
+            if (ins.conn[0].phys >= 256) {
+                r.error = EncodeError::PhysTooHigh;
+                return r;
+            }
+            w |= field(ins.connCls == RegClass::Fp ? 1 : 0, 25);
+            w |= field(ins.conn[0].mapIdx & 0x1f, 20);
+            w |= field(ins.conn[0].phys & 0xff, 12);
+        } else {
+            for (int k = 0; k < 2; ++k) {
+                if (ins.conn[k].mapIdx >= 32) {
+                    r.error = EncodeError::RegisterTooHigh;
+                    return r;
+                }
+                if (ins.conn[k].phys >= 256) {
+                    r.error = EncodeError::PhysTooHigh;
+                    return r;
+                }
+            }
+            w |= field(ins.conn[0].mapIdx & 0x1f, 21);
+            w |= field(ins.conn[0].phys & 0xff, 13);
+            w |= field(ins.conn[1].mapIdx & 0x1f, 8);
+            w |= field(ins.conn[1].phys & 0xff, 0);
+        }
+        r.word = w;
+        return r;
+    }
+
+    MachineWord op6 = primaryOpcode(ins.op, RegClass::Int);
+
+    if (info.isBranch) {
+        std::int32_t disp = ins.target - pc;
+        if (!fitsSigned(disp, 15)) {
+            r.error = EncodeError::DisplacementTooWide;
+            return r;
+        }
+        MachineWord w = field(op6, 26);
+        w |= field(check_reg(ins.src[0]), 21);
+        w |= field(check_reg(ins.src[1]), 16);
+        w |= field(ins.predictTaken ? 1 : 0, 15);
+        w |= MachineWord(disp) & 0x7fff;
+        r.word = w;
+        return r;
+    }
+
+    if (ins.op == Opcode::J || ins.op == Opcode::JSR) {
+        if (ins.target < 0 || ins.target >= (1 << 26))
+            panic("encode: jump target out of range: ", ins.target);
+        r.word = field(op6, 26) | (MachineWord(ins.target) & 0x3ffffff);
+        return r;
+    }
+
+    if (op6 != opRFormat) {
+        // I-format.
+        MachineWord w = field(op6, 26);
+        MachineWord rd = 0, rs = 0;
+        if (info.hasDst)
+            rd = check_reg(ins.dst);
+        if (ins.op == Opcode::SW || ins.op == Opcode::SF) {
+            rd = check_reg(ins.src[0]); // value
+            rs = check_reg(ins.src[1]); // base
+        } else if (info.numSrcs >= 1) {
+            rs = check_reg(ins.src[0]);
+        }
+        Word imm = ins.imm;
+        // Logical immediates are zero-extended (MIPS style), so the
+        // LUI+ORI idiom can materialise any 32-bit constant exactly;
+        // arithmetic and memory immediates are sign-extended.
+        bool zero_ext = ins.op == Opcode::LUI ||
+                        ins.op == Opcode::ANDI ||
+                        ins.op == Opcode::ORI ||
+                        ins.op == Opcode::XORI;
+        bool imm_ok = zero_ext ? (imm >= 0 && imm <= 0xffff)
+                               : fitsSigned(imm, 16);
+        if (!imm_ok) {
+            r.error = EncodeError::ImmediateTooWide;
+            return r;
+        }
+        w |= field(rd, 21) | field(rs, 16) | (MachineWord(imm) & 0xffff);
+        r.word = w;
+        return r;
+    }
+
+    // R-format: funct = enum value.
+    MachineWord w = field(opRFormat, 26);
+    MachineWord rd = 0, rs = 0, rt = 0;
+    if (info.hasDst)
+        rd = check_reg(ins.dst);
+    if (info.numSrcs >= 1)
+        rs = check_reg(ins.src[0]);
+    if (info.numSrcs >= 2)
+        rt = check_reg(ins.src[1]);
+    w |= field(rd, 21) | field(rs, 16) | field(rt, 11);
+    w |= static_cast<MachineWord>(ins.op) & 0x7ff;
+    r.word = w;
+    return r;
+}
+
+namespace
+{
+
+Opcode
+primaryToOpcode(MachineWord op6, RegClass &conn_cls)
+{
+    switch (op6) {
+      case 1:
+        return Opcode::ADDI;
+      case 2:
+        return Opcode::ANDI;
+      case 3:
+        return Opcode::ORI;
+      case 4:
+        return Opcode::XORI;
+      case 5:
+        return Opcode::SLLI;
+      case 6:
+        return Opcode::SRLI;
+      case 7:
+        return Opcode::SRAI;
+      case 8:
+        return Opcode::SLTI;
+      case 9:
+        return Opcode::LI;
+      case 10:
+        return Opcode::LUI;
+      case 11:
+        return Opcode::LW;
+      case 12:
+        return Opcode::SW;
+      case 13:
+        return Opcode::LF;
+      case 14:
+        return Opcode::SF;
+      case 15:
+        return Opcode::TRAP;
+      case 16:
+        return Opcode::BEQ;
+      case 17:
+        return Opcode::BNE;
+      case 18:
+        return Opcode::BLT;
+      case 19:
+        return Opcode::BGE;
+      case 20:
+        return Opcode::BLE;
+      case 21:
+        return Opcode::BGT;
+      case 22:
+        return Opcode::J;
+      case 23:
+        return Opcode::JSR;
+      case 24:
+        return Opcode::CONNECT_USE;
+      case 25:
+        return Opcode::CONNECT_DEF;
+      case 26:
+        conn_cls = RegClass::Int;
+        return Opcode::CONNECT_UU;
+      case 27:
+        conn_cls = RegClass::Fp;
+        return Opcode::CONNECT_UU;
+      case 28:
+        conn_cls = RegClass::Int;
+        return Opcode::CONNECT_DU;
+      case 29:
+        conn_cls = RegClass::Fp;
+        return Opcode::CONNECT_DU;
+      case 30:
+        conn_cls = RegClass::Int;
+        return Opcode::CONNECT_DD;
+      case 31:
+        conn_cls = RegClass::Fp;
+        return Opcode::CONNECT_DD;
+      default:
+        return Opcode::NUM_OPCODES;
+    }
+}
+
+void
+setConnectKinds(Instruction &ins)
+{
+    switch (ins.op) {
+      case Opcode::CONNECT_USE:
+        ins.conn[0].isDef = false;
+        break;
+      case Opcode::CONNECT_DEF:
+        ins.conn[0].isDef = true;
+        break;
+      case Opcode::CONNECT_UU:
+        ins.conn[0].isDef = false;
+        ins.conn[1].isDef = false;
+        break;
+      case Opcode::CONNECT_DU:
+        ins.conn[0].isDef = true;
+        ins.conn[1].isDef = false;
+        break;
+      case Opcode::CONNECT_DD:
+        ins.conn[0].isDef = true;
+        ins.conn[1].isDef = true;
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+std::optional<Instruction>
+decode(MachineWord word, std::int32_t pc)
+{
+    MachineWord op6 = word >> 26;
+    Instruction ins;
+
+    if (op6 == opRFormat) {
+        MachineWord funct = word & 0x7ff;
+        if (funct >= static_cast<MachineWord>(Opcode::NUM_OPCODES))
+            return std::nullopt;
+        ins.op = static_cast<Opcode>(funct);
+        const OpcodeInfo &info = ins.info();
+        if (info.isConnect || info.isBranch || ins.op == Opcode::J ||
+            ins.op == Opcode::JSR || info.hasImm)
+            return std::nullopt; // those are never R-format
+        if (info.hasDst)
+            ins.dst = Reg(info.dstClass, (word >> 21) & 0x1f);
+        if (info.numSrcs >= 1)
+            ins.src[0] = Reg(info.srcClass[0], (word >> 16) & 0x1f);
+        if (info.numSrcs >= 2)
+            ins.src[1] = Reg(info.srcClass[1], (word >> 11) & 0x1f);
+        return ins;
+    }
+
+    RegClass conn_cls = RegClass::Int;
+    Opcode op = primaryToOpcode(op6, conn_cls);
+    if (op == Opcode::NUM_OPCODES)
+        return std::nullopt;
+    ins.op = op;
+    const OpcodeInfo &info = ins.info();
+
+    if (info.isConnect) {
+        ins.connCls = conn_cls;
+        if (op == Opcode::CONNECT_USE || op == Opcode::CONNECT_DEF) {
+            ins.connCls = (word >> 25) & 1 ? RegClass::Fp : RegClass::Int;
+            ins.nconn = 1;
+            ins.conn[0].mapIdx = (word >> 20) & 0x1f;
+            ins.conn[0].phys = (word >> 12) & 0xff;
+        } else {
+            ins.nconn = 2;
+            ins.conn[0].mapIdx = (word >> 21) & 0x1f;
+            ins.conn[0].phys = (word >> 13) & 0xff;
+            ins.conn[1].mapIdx = (word >> 8) & 0x1f;
+            ins.conn[1].phys = word & 0xff;
+        }
+        setConnectKinds(ins);
+        return ins;
+    }
+
+    if (info.isBranch) {
+        ins.src[0] = Reg(info.srcClass[0], (word >> 21) & 0x1f);
+        ins.src[1] = Reg(info.srcClass[1], (word >> 16) & 0x1f);
+        ins.predictTaken = (word >> 15) & 1;
+        std::int32_t disp = word & 0x7fff;
+        if (disp & 0x4000)
+            disp -= 0x8000; // sign-extend 15 bits
+        ins.target = pc + disp;
+        return ins;
+    }
+
+    if (op == Opcode::J || op == Opcode::JSR) {
+        ins.target = word & 0x3ffffff;
+        return ins;
+    }
+
+    // I-format.
+    MachineWord rd = (word >> 21) & 0x1f;
+    MachineWord rs = (word >> 16) & 0x1f;
+    Word imm = word & 0xffff;
+    bool zero_ext = op == Opcode::LUI || op == Opcode::ANDI ||
+                    op == Opcode::ORI || op == Opcode::XORI;
+    if (!zero_ext && (imm & 0x8000))
+        imm -= 0x10000; // sign-extend 16 bits
+    ins.imm = imm;
+    if (op == Opcode::SW || op == Opcode::SF) {
+        ins.src[0] = Reg(info.srcClass[0], rd);
+        ins.src[1] = Reg(info.srcClass[1], rs);
+    } else {
+        if (info.hasDst)
+            ins.dst = Reg(info.dstClass, rd);
+        if (info.numSrcs >= 1)
+            ins.src[0] = Reg(info.srcClass[0], rs);
+    }
+    return ins;
+}
+
+ProgramImage
+encodeProgram(const Program &prog)
+{
+    ProgramImage img;
+    img.words.reserve(prog.code.size());
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        EncodeResult r =
+            encode(prog.code[i], static_cast<std::int32_t>(i));
+        if (!r.ok()) {
+            std::ostringstream os;
+            os << "instruction " << i << " ("
+               << prog.code[i].toString() << ") not encodable: ";
+            switch (r.error) {
+              case EncodeError::ImmediateTooWide:
+                os << "immediate too wide";
+                break;
+              case EncodeError::RegisterTooHigh:
+                os << "register index needs more than 5 bits";
+                break;
+              case EncodeError::PhysTooHigh:
+                os << "physical register needs more than 8 bits";
+                break;
+              case EncodeError::DisplacementTooWide:
+                os << "branch displacement too wide";
+                break;
+              default:
+                os << "unknown";
+            }
+            img.error = os.str();
+            return img;
+        }
+        img.words.push_back(r.word);
+    }
+    return img;
+}
+
+} // namespace rcsim::isa

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Binary instruction encoding for the RCM instruction set.
+ *
+ * This demonstrates the paper's central compatibility claim: the RC
+ * extension fits a fixed 32-bit MIPS-style instruction format without
+ * touching the existing operand fields.  The instantiation encoded
+ * here is the m <= 32 base architecture (5-bit register index fields)
+ * with up to 256 physical registers (8-bit fields in the connect
+ * payloads):
+ *
+ *   R-format   op=0   | rd(5) | rs(5) | rt(5) | funct(11)
+ *   I-format   op(6)  | rd(5) | rs(5) | imm(16 signed)
+ *   Branch     op(6)  | rs1(5)| rs2(5)| pred(1) | disp(15 signed)
+ *   Jump       op(6)  | target(26)
+ *   Connect-1  op(6)  | cls(1) | idx(5) | phys(8) | zero(12)
+ *   Connect-2  op(6)  | idx1(5) | phys1(8) | idx2(5) | phys2(8)
+ *
+ * The dual-connect forms (connect-use-use, connect-def-use,
+ * connect-def-def; Section 2.2 footnote 1) consume the full 26 payload
+ * bits; the register class is folded into the opcode for those.
+ */
+
+#ifndef RCSIM_ISA_ENCODING_HH
+#define RCSIM_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace rcsim::isa
+{
+
+/** An encoded 32-bit machine word. */
+using MachineWord = std::uint32_t;
+
+/** Reasons an instruction cannot be encoded in the 32-bit format. */
+enum class EncodeError
+{
+    Ok,
+    ImmediateTooWide,   // immediate does not fit the 16-bit field
+    RegisterTooHigh,    // register index needs more than 5 bits
+    PhysTooHigh,        // connect physical register needs > 8 bits
+    DisplacementTooWide // branch displacement does not fit 15 bits
+};
+
+/** Result of encoding one instruction. */
+struct EncodeResult
+{
+    EncodeError error = EncodeError::Ok;
+    MachineWord word = 0;
+    bool ok() const { return error == EncodeError::Ok; }
+};
+
+/**
+ * Encode one instruction.
+ *
+ * @param ins the decoded instruction
+ * @param pc  the instruction's own index (branch displacements are
+ *            encoded pc-relative)
+ */
+EncodeResult encode(const Instruction &ins, std::int32_t pc);
+
+/**
+ * Decode one machine word back into an Instruction.
+ *
+ * @param word the encoded instruction
+ * @param pc   the instruction's index, to rebuild absolute targets
+ * @return std::nullopt if the word is not a valid RCM encoding
+ */
+std::optional<Instruction> decode(MachineWord word, std::int32_t pc);
+
+/**
+ * Encode a whole program; fails fast with a description of the first
+ * non-encodable instruction.
+ */
+struct ProgramImage
+{
+    std::vector<MachineWord> words;
+    std::string error; // empty on success
+    bool ok() const { return error.empty(); }
+};
+
+ProgramImage encodeProgram(const Program &prog);
+
+} // namespace rcsim::isa
+
+#endif // RCSIM_ISA_ENCODING_HH

@@ -1,0 +1,93 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace rcsim::isa
+{
+
+std::string
+regName(const Reg &r)
+{
+    std::ostringstream os;
+    os << (r.cls == RegClass::Int ? 'r' : 'f') << r.idx;
+    return os.str();
+}
+
+std::string
+Instruction::toString() const
+{
+    const OpcodeInfo &i = info();
+    std::ostringstream os;
+    os << i.name;
+
+    if (isConnect()) {
+        os << (connCls == RegClass::Int ? " i" : " f");
+        for (int k = 0; k < nconn; ++k) {
+            if (k)
+                os << ",";
+            os << " [" << (conn[k].isDef ? "def" : "use") << " i"
+               << conn[k].mapIdx << " -> p" << conn[k].phys << "]";
+        }
+        return os.str();
+    }
+
+    bool first = true;
+    auto sep = [&]() -> std::ostream & {
+        os << (first ? " " : ", ");
+        first = false;
+        return os;
+    };
+
+    if (i.hasDst)
+        sep() << regName(dst);
+    for (int k = 0; k < i.numSrcs; ++k)
+        sep() << regName(src[k]);
+    if (i.hasImm)
+        sep() << imm;
+    if (i.isBranch || op == Opcode::J || op == Opcode::JSR) {
+        sep() << "@" << target;
+        if (i.isBranch)
+            os << (predictTaken ? " [T]" : " [NT]");
+    }
+    return os.str();
+}
+
+Count
+Program::countByOrigin(InstrOrigin origin) const
+{
+    Count n = 0;
+    for (const Instruction &ins : code)
+        if (ins.origin == origin && ins.op != Opcode::NOP)
+            ++n;
+    return n;
+}
+
+Count
+Program::staticSize() const
+{
+    Count n = 0;
+    for (const Instruction &ins : code)
+        if (ins.op != Opcode::NOP)
+            ++n;
+    return n;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    std::size_t next_func = 0;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        while (next_func < functions.size() &&
+               functions[next_func].entry == static_cast<std::int32_t>(i)) {
+            os << functions[next_func].name << ":\n";
+            ++next_func;
+        }
+        os << "  " << i << ": " << code[i].toString() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rcsim::isa

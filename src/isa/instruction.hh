@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The decoded machine instruction and the flat machine program.
+ *
+ * This is the form the pipeline simulator executes and the binary
+ * encoder serialises.  In with-RC code the register fields of ordinary
+ * instructions hold *map indices* that the hardware resolves through
+ * the register mapping table; connect instructions carry explicit
+ * (map index, physical register) pairs.
+ */
+
+#ifndef RCSIM_ISA_INSTRUCTION_HH
+#define RCSIM_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+#include "isa/reg.hh"
+#include "support/types.hh"
+
+namespace rcsim::isa
+{
+
+/**
+ * Why an instruction exists — used for the paper's code-size
+ * accounting (Figure 9 separates spill code, connect instructions and
+ * extended-register save/restore around calls).
+ */
+enum class InstrOrigin : std::uint8_t
+{
+    Normal,      // came from the source program
+    SpillLoad,   // reload of a spilled value (without-RC model)
+    SpillStore,  // store of a spilled value
+    Connect,     // inserted connect instruction (with-RC model)
+    SaveRestore, // caller/callee save-restore around calls
+    Glue,        // calling convention / prologue / epilogue
+};
+
+/** One (map index -> physical register) pair of a connect. */
+struct ConnectPair
+{
+    std::uint16_t mapIdx = 0;
+    std::uint16_t phys = 0;
+    bool isDef = false; // write-map (connect-def) vs read-map update
+};
+
+/** A decoded RCM machine instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+
+    /** Destination register (valid when opcodeInfo().hasDst). */
+    Reg dst{};
+
+    /** Source registers (count = opcodeInfo().numSrcs). */
+    Reg src[2]{};
+
+    /** Immediate operand / memory offset. */
+    Word imm = 0;
+
+    /** Branch or jump target: absolute instruction index. */
+    std::int32_t target = -1;
+
+    /** Connect payload (1 pair for USE/DEF, 2 for UU/DU/DD). */
+    ConnectPair conn[2]{};
+    std::uint8_t nconn = 0;
+
+    /** Register class the connect pairs apply to. */
+    RegClass connCls = RegClass::Int;
+
+    /** Compiler static branch prediction (profile-driven). */
+    bool predictTaken = false;
+
+    /** Provenance for code-size accounting. */
+    InstrOrigin origin = InstrOrigin::Normal;
+
+    const OpcodeInfo &info() const { return opcodeInfo(op); }
+
+    bool isConnect() const { return info().isConnect; }
+    bool isBranch() const { return info().isBranch; }
+    bool isLoad() const { return info().isLoad; }
+    bool isStore() const { return info().isStore; }
+    bool hasDst() const { return info().hasDst; }
+    int numSrcs() const { return info().numSrcs; }
+
+    /** One-line disassembly, e.g. "add r3, r1, r2". */
+    std::string toString() const;
+};
+
+/** Per-function metadata inside a flat program. */
+struct FunctionInfo
+{
+    std::string name;
+    std::int32_t entry = 0; // first instruction index
+    std::int32_t end = 0;   // one past the last instruction
+};
+
+/**
+ * A linked, flat machine program: all functions concatenated, branch
+ * and call targets resolved to absolute instruction indices.
+ */
+struct Program
+{
+    std::vector<Instruction> code;
+    std::vector<FunctionInfo> functions;
+    std::int32_t entry = 0; // index of the first instruction to run
+
+    /** Initial memory image (globals); copied into simulated memory. */
+    std::vector<std::uint8_t> dataImage;
+    Addr dataBase = 0;
+
+    /** Total simulated memory size in bytes (data + heap + stack). */
+    Addr memorySize = 0;
+
+    /** Static instruction counts by origin (Figure 9 accounting). */
+    Count countByOrigin(InstrOrigin origin) const;
+
+    /** Static size excluding NOPs. */
+    Count staticSize() const;
+
+    /** Multi-line disassembly with indices and function headers. */
+    std::string disassemble() const;
+};
+
+} // namespace rcsim::isa
+
+#endif // RCSIM_ISA_INSTRUCTION_HH

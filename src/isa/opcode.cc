@@ -1,0 +1,231 @@
+#include "isa/opcode.hh"
+
+#include <array>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace rcsim::isa
+{
+
+namespace
+{
+
+constexpr RegClass I = RegClass::Int;
+constexpr RegClass F = RegClass::Fp;
+
+// One row per Opcode, in declaration order.
+// {name, class, hasDst, numSrcs, hasImm, isBranch, isJump,
+//  isMem, isLoad, isStore, isConnect, dstClass, {srcClass[2]}}
+const std::array<OpcodeInfo,
+                 static_cast<std::size_t>(Opcode::NUM_OPCODES)> table = {{
+    {"nop", LatencyClass::None, false, 0, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"halt", LatencyClass::None, false, 0, false, false, false, false,
+     false, false, false, I, {I, I}},
+
+    {"add", LatencyClass::IntAlu, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"sub", LatencyClass::IntAlu, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"and", LatencyClass::IntAlu, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"or", LatencyClass::IntAlu, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"xor", LatencyClass::IntAlu, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"nor", LatencyClass::IntAlu, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"sll", LatencyClass::IntAlu, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"srl", LatencyClass::IntAlu, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"sra", LatencyClass::IntAlu, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"slt", LatencyClass::IntAlu, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"sltu", LatencyClass::IntAlu, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+
+    {"addi", LatencyClass::IntAlu, true, 1, true, false, false, false,
+     false, false, false, I, {I, I}},
+    {"andi", LatencyClass::IntAlu, true, 1, true, false, false, false,
+     false, false, false, I, {I, I}},
+    {"ori", LatencyClass::IntAlu, true, 1, true, false, false, false,
+     false, false, false, I, {I, I}},
+    {"xori", LatencyClass::IntAlu, true, 1, true, false, false, false,
+     false, false, false, I, {I, I}},
+    {"slli", LatencyClass::IntAlu, true, 1, true, false, false, false,
+     false, false, false, I, {I, I}},
+    {"srli", LatencyClass::IntAlu, true, 1, true, false, false, false,
+     false, false, false, I, {I, I}},
+    {"srai", LatencyClass::IntAlu, true, 1, true, false, false, false,
+     false, false, false, I, {I, I}},
+    {"slti", LatencyClass::IntAlu, true, 1, true, false, false, false,
+     false, false, false, I, {I, I}},
+
+    {"li", LatencyClass::IntAlu, true, 0, true, false, false, false,
+     false, false, false, I, {I, I}},
+    {"lui", LatencyClass::IntAlu, true, 0, true, false, false, false,
+     false, false, false, I, {I, I}},
+    {"mov", LatencyClass::IntAlu, true, 1, false, false, false, false,
+     false, false, false, I, {I, I}},
+
+    {"mul", LatencyClass::IntMul, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"div", LatencyClass::IntDiv, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"rem", LatencyClass::IntDiv, true, 2, false, false, false, false,
+     false, false, false, I, {I, I}},
+
+    {"fadd", LatencyClass::FpAlu, true, 2, false, false, false, false,
+     false, false, false, F, {F, F}},
+    {"fsub", LatencyClass::FpAlu, true, 2, false, false, false, false,
+     false, false, false, F, {F, F}},
+    {"fneg", LatencyClass::FpAlu, true, 1, false, false, false, false,
+     false, false, false, F, {F, F}},
+    {"fabs", LatencyClass::FpAlu, true, 1, false, false, false, false,
+     false, false, false, F, {F, F}},
+    {"fmov", LatencyClass::FpAlu, true, 1, false, false, false, false,
+     false, false, false, F, {F, F}},
+    {"fmin", LatencyClass::FpAlu, true, 2, false, false, false, false,
+     false, false, false, F, {F, F}},
+    {"fmax", LatencyClass::FpAlu, true, 2, false, false, false, false,
+     false, false, false, F, {F, F}},
+
+    {"fcmp.lt", LatencyClass::FpAlu, true, 2, false, false, false,
+     false, false, false, false, I, {F, F}},
+    {"fcmp.le", LatencyClass::FpAlu, true, 2, false, false, false,
+     false, false, false, false, I, {F, F}},
+    {"fcmp.eq", LatencyClass::FpAlu, true, 2, false, false, false,
+     false, false, false, false, I, {F, F}},
+
+    {"cvt.if", LatencyClass::FpAlu, true, 1, false, false, false, false,
+     false, false, false, F, {I, I}},
+    {"cvt.fi", LatencyClass::FpAlu, true, 1, false, false, false, false,
+     false, false, false, I, {F, F}},
+
+    {"fmul", LatencyClass::FpMul, true, 2, false, false, false, false,
+     false, false, false, F, {F, F}},
+    {"fdiv", LatencyClass::FpDiv, true, 2, false, false, false, false,
+     false, false, false, F, {F, F}},
+
+    {"lw", LatencyClass::Load, true, 1, true, false, false, true, true,
+     false, false, I, {I, I}},
+    {"sw", LatencyClass::Store, false, 2, true, false, false, true,
+     false, true, false, I, {I, I}},
+    {"lf", LatencyClass::Load, true, 1, true, false, false, true, true,
+     false, false, F, {I, I}},
+    {"sf", LatencyClass::Store, false, 2, true, false, false, true,
+     false, true, false, F, {F, I}},
+
+    {"beq", LatencyClass::Branch, false, 2, false, true, false, false,
+     false, false, false, I, {I, I}},
+    {"bne", LatencyClass::Branch, false, 2, false, true, false, false,
+     false, false, false, I, {I, I}},
+    {"blt", LatencyClass::Branch, false, 2, false, true, false, false,
+     false, false, false, I, {I, I}},
+    {"bge", LatencyClass::Branch, false, 2, false, true, false, false,
+     false, false, false, I, {I, I}},
+    {"ble", LatencyClass::Branch, false, 2, false, true, false, false,
+     false, false, false, I, {I, I}},
+    {"bgt", LatencyClass::Branch, false, 2, false, true, false, false,
+     false, false, false, I, {I, I}},
+
+    {"j", LatencyClass::Branch, false, 0, false, false, true, false,
+     false, false, false, I, {I, I}},
+    {"jsr", LatencyClass::Branch, false, 0, false, false, true, false,
+     false, false, false, I, {I, I}},
+    {"rts", LatencyClass::Branch, false, 0, false, false, true, false,
+     false, false, false, I, {I, I}},
+
+    {"trap", LatencyClass::Branch, false, 0, true, false, true, false,
+     false, false, false, I, {I, I}},
+    {"rfe", LatencyClass::Branch, false, 0, false, false, true, false,
+     false, false, false, I, {I, I}},
+    {"mfpsw", LatencyClass::IntAlu, true, 0, false, false, false, false,
+     false, false, false, I, {I, I}},
+    {"mtpsw", LatencyClass::IntAlu, false, 1, false, false, false,
+     false, false, false, false, I, {I, I}},
+
+    {"connect.use", LatencyClass::Connect, false, 0, false, false,
+     false, false, false, false, true, I, {I, I}},
+    {"connect.def", LatencyClass::Connect, false, 0, false, false,
+     false, false, false, false, true, I, {I, I}},
+    {"connect.uu", LatencyClass::Connect, false, 0, false, false, false,
+     false, false, false, true, I, {I, I}},
+    {"connect.du", LatencyClass::Connect, false, 0, false, false, false,
+     false, false, false, true, I, {I, I}},
+    {"connect.dd", LatencyClass::Connect, false, 0, false, false, false,
+     false, false, false, true, I, {I, I}},
+}};
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    auto i = static_cast<std::size_t>(op);
+    if (i >= table.size())
+        panic("opcodeInfo: bad opcode ", i);
+    return table[i];
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    return opcodeInfo(op).name;
+}
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    static const std::unordered_map<std::string, Opcode> index = [] {
+        std::unordered_map<std::string, Opcode> m;
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(Opcode::NUM_OPCODES); ++i)
+            m.emplace(table[i].name, static_cast<Opcode>(i));
+        return m;
+    }();
+    auto it = index.find(name);
+    return it == index.end() ? Opcode::NUM_OPCODES : it->second;
+}
+
+bool
+isControlFlow(Opcode op)
+{
+    const OpcodeInfo &info = opcodeInfo(op);
+    return info.isBranch || info.isJump || op == Opcode::HALT;
+}
+
+int
+LatencyConfig::latencyOf(Opcode op) const
+{
+    switch (opcodeInfo(op).latClass) {
+      case LatencyClass::IntAlu:
+        return 1;
+      case LatencyClass::IntMul:
+        return 3;
+      case LatencyClass::IntDiv:
+        return 10;
+      case LatencyClass::FpAlu:
+        return 3;
+      case LatencyClass::FpMul:
+        return 3;
+      case LatencyClass::FpDiv:
+        return 10;
+      case LatencyClass::Load:
+        return loadLatency;
+      case LatencyClass::Store:
+        return 1;
+      case LatencyClass::Branch:
+        return 1;
+      case LatencyClass::Connect:
+        return connectLatency;
+      case LatencyClass::None:
+        return 1;
+    }
+    panic("latencyOf: unreachable");
+}
+
+} // namespace rcsim::isa

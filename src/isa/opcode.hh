@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The RCM opcode set: a MIPS-R2000-like RISC instruction set extended
+ * with general compare-and-branch opcodes (as in the paper, Section
+ * 5.2) and the five register-connection opcodes (Section 2.2).
+ */
+
+#ifndef RCSIM_ISA_OPCODE_HH
+#define RCSIM_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/reg.hh"
+#include "support/types.hh"
+
+namespace rcsim::isa
+{
+
+/** Every operation in the RCM instruction set. */
+enum class Opcode : std::uint8_t
+{
+    // No-op / control.
+    NOP,
+    HALT,
+
+    // Integer ALU, register-register (latency 1).
+    ADD,
+    SUB,
+    AND,
+    OR,
+    XOR,
+    NOR,
+    SLL,
+    SRL,
+    SRA,
+    SLT,
+    SLTU,
+
+    // Integer ALU, register-immediate (latency 1).
+    ADDI,
+    ANDI,
+    ORI,
+    XORI,
+    SLLI,
+    SRLI,
+    SRAI,
+    SLTI,
+
+    // Immediate materialisation / moves (latency 1).
+    LI,
+    LUI,
+    MOV,
+
+    // Integer multiply (latency 3) and divide (latency 10).
+    MUL,
+    DIV,
+    REM,
+
+    // Floating-point ALU (latency 3).
+    FADD,
+    FSUB,
+    FNEG,
+    FABS,
+    FMOV,
+    FMIN,
+    FMAX,
+
+    // Floating-point compare: fp sources, integer destination
+    // (latency 3, FP ALU class).
+    FCMP_LT,
+    FCMP_LE,
+    FCMP_EQ,
+
+    // Conversions (latency 3).
+    CVT_IF, // int -> fp
+    CVT_FI, // fp -> int (truncating)
+
+    // Floating-point multiply (latency 3) and divide (latency 10).
+    FMUL,
+    FDIV,
+
+    // Memory: loads have configurable latency (2 or 4), stores 1.
+    LW, // int load:  dst <- mem[src1 + imm]
+    SW, // int store: mem[src2 + imm] <- src1
+    LF, // fp load
+    SF, // fp store
+
+    // Compare-and-branch (latency 1): branch if src1 OP src2.
+    BEQ,
+    BNE,
+    BLT,
+    BGE,
+    BLE,
+    BGT,
+
+    // Unconditional control flow.
+    J,
+    JSR, // subroutine call; resets the register map (Section 4.1)
+    RTS, // subroutine return; resets the register map
+
+    // Trap support (Section 4.3).  TRAP enters the handler and clears
+    // the PSW map-enable flag; RFE restores the saved PSW.  MFPSW and
+    // MTPSW read / write the processor status word so handlers can
+    // re-enable the register map.
+    TRAP,
+    RFE,
+    MFPSW,
+    MTPSW,
+
+    // Register-connection opcodes (Section 2.2).  Zero execution
+    // latency in the default implementation (Section 2.4).
+    CONNECT_USE,
+    CONNECT_DEF,
+    CONNECT_UU, // connect-use-use
+    CONNECT_DU, // connect-def-use
+    CONNECT_DD, // connect-def-def
+
+    NUM_OPCODES
+};
+
+/** Functional-unit class an opcode executes on (paper Table 1 rows). */
+enum class LatencyClass : std::uint8_t
+{
+    IntAlu,   // 1 cycle
+    IntMul,   // 3
+    IntDiv,   // 10
+    FpAlu,    // 3 (also conversions)
+    FpMul,    // 3
+    FpDiv,    // 10
+    Load,     // 2 or 4 (configurable)
+    Store,    // 1
+    Branch,   // 1
+    Connect,  // 0 or 1 (configurable, Section 2.4 / Figure 12)
+    None,     // NOP / HALT
+};
+
+/** Instruction latencies from Table 1 of the paper. */
+struct LatencyConfig
+{
+    /** Memory load latency: 2 or 4 cycles in the experiments. */
+    int loadLatency = 2;
+    /** Connect latency: 0 (forwarded) or 1 (Figure 12 scenarios). */
+    int connectLatency = 0;
+
+    /** Execution latency in cycles for an opcode. */
+    int latencyOf(Opcode op) const;
+};
+
+/** Static properties of each opcode. */
+struct OpcodeInfo
+{
+    const char *name;
+    LatencyClass latClass;
+    bool hasDst;      // writes a register
+    int numSrcs;      // register source operands (0..2)
+    bool hasImm;      // carries an immediate / offset
+    bool isBranch;    // conditional branch
+    bool isJump;      // unconditional control transfer (J/JSR/RTS)
+    bool isMem;       // memory access
+    bool isLoad;
+    bool isStore;
+    bool isConnect;   // one of the CONNECT_* opcodes
+    RegClass dstClass;
+    RegClass srcClass[2];
+};
+
+/** Look up the static properties of an opcode. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Opcode mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** Parse a mnemonic; returns NUM_OPCODES when unknown. */
+Opcode opcodeFromName(const std::string &name);
+
+/** True for any control-flow opcode (branch, J, JSR, RTS, HALT). */
+bool isControlFlow(Opcode op);
+
+} // namespace rcsim::isa
+
+#endif // RCSIM_ISA_OPCODE_HH

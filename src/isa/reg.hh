@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Register identities for the RCM instruction set.
+ *
+ * The ISA has two architectural register files (integer and floating
+ * point), mirroring the MIPS R2000 base of the paper.  A Reg names a
+ * register by class and index.  Depending on context the index is:
+ *
+ *  - before register allocation: a virtual register number,
+ *  - after allocation: a physical register number (0..255 with RC),
+ *  - in final with-RC machine code: a register *map index* (0..m-1)
+ *    that the hardware resolves through the register mapping table.
+ */
+
+#ifndef RCSIM_ISA_REG_HH
+#define RCSIM_ISA_REG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rcsim::isa
+{
+
+/** The two architectural register classes (Section 5.2). */
+enum class RegClass : std::uint8_t { Int = 0, Fp = 1 };
+
+/** Number of register classes. */
+constexpr int numRegClasses = 2;
+
+/** Physical register file capacity with RC support (Section 5.2). */
+constexpr int rcTotalRegisters = 256;
+
+/** A register reference: class plus index. */
+struct Reg
+{
+    RegClass cls = RegClass::Int;
+    std::uint16_t idx = 0;
+
+    constexpr Reg() = default;
+    constexpr Reg(RegClass c, std::uint16_t i) : cls(c), idx(i) {}
+
+    constexpr bool
+    operator==(const Reg &o) const
+    {
+        return cls == o.cls && idx == o.idx;
+    }
+    constexpr bool
+    operator!=(const Reg &o) const
+    {
+        return !(*this == o);
+    }
+    constexpr bool
+    operator<(const Reg &o) const
+    {
+        if (cls != o.cls)
+            return static_cast<int>(cls) < static_cast<int>(o.cls);
+        return idx < o.idx;
+    }
+};
+
+/** Integer register shorthand. */
+constexpr Reg
+ireg(std::uint16_t idx)
+{
+    return Reg(RegClass::Int, idx);
+}
+
+/** Floating-point register shorthand. */
+constexpr Reg
+freg(std::uint16_t idx)
+{
+    return Reg(RegClass::Fp, idx);
+}
+
+/** "r7" / "f12" style rendering. */
+std::string regName(const Reg &r);
+
+} // namespace rcsim::isa
+
+#endif // RCSIM_ISA_REG_HH

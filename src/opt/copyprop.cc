@@ -1,0 +1,63 @@
+#include "opt/passes.hh"
+
+#include <unordered_map>
+
+namespace rcsim::opt
+{
+
+/**
+ * Local (block-scoped) copy propagation: after "mov d, s", uses of d
+ * are rewritten to s until either register is redefined.
+ */
+int
+copyPropagate(ir::Function &fn)
+{
+    int rewritten = 0;
+    for (ir::BasicBlock &bb : fn.blocks) {
+        if (bb.dead)
+            continue;
+        // copy_of[d] = s means d currently holds a copy of s.
+        std::unordered_map<ir::VReg, ir::VReg> copy_of;
+
+        auto invalidate = [&](const ir::VReg &r) {
+            copy_of.erase(r);
+            for (auto it = copy_of.begin(); it != copy_of.end();) {
+                if (it->second == r)
+                    it = copy_of.erase(it);
+                else
+                    ++it;
+            }
+        };
+
+        for (ir::Op &op : bb.ops) {
+            // Rewrite source operands through the copy map.
+            const ir::OpcInfo &info = op.info();
+            for (int k = 0; k < info.numSrcs; ++k) {
+                auto it = copy_of.find(op.src[k]);
+                if (it != copy_of.end()) {
+                    op.src[k] = it->second;
+                    ++rewritten;
+                }
+            }
+            for (ir::VReg &a : op.args) {
+                auto it = copy_of.find(a);
+                if (it != copy_of.end()) {
+                    a = it->second;
+                    ++rewritten;
+                }
+            }
+
+            for (const ir::VReg &d : op.defs())
+                invalidate(d);
+
+            if ((op.opc == ir::Opc::Mov || op.opc == ir::Opc::FMov) &&
+                op.dst.valid() && op.src[0].valid() &&
+                op.dst != op.src[0] && !op.dst.phys &&
+                !op.src[0].phys)
+                copy_of[op.dst] = op.src[0];
+        }
+    }
+    return rewritten;
+}
+
+} // namespace rcsim::opt

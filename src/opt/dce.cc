@@ -1,0 +1,67 @@
+#include "opt/passes.hh"
+
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+
+namespace rcsim::opt
+{
+
+namespace
+{
+
+/** Ops that may be removed when their destination is dead. */
+bool
+removable(const ir::Op &op)
+{
+    const ir::OpcInfo &info = op.info();
+    if (!info.hasDst || !op.dst.valid())
+        return false;
+    if (info.isStore || info.isCall || op.isTerminator())
+        return false;
+    // Loads are side-effect free in this machine model (no faulting
+    // accesses survive verification), divides by zero do not reach
+    // dead code in verified workloads.
+    return true;
+}
+
+} // namespace
+
+int
+deadCodeElim(ir::Function &fn)
+{
+    int removed_total = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        ir::Cfg cfg = ir::Cfg::build(fn);
+        ir::Liveness lv = ir::Liveness::compute(fn, cfg);
+        for (ir::BasicBlock &bb : fn.blocks) {
+            if (bb.dead)
+                continue;
+            std::vector<char> drop(bb.ops.size(), 0);
+            lv.backwardScan(fn, bb.id,
+                            [&](int i, const ir::RegSet &live) {
+                const ir::Op &op = bb.ops[i];
+                if (!removable(op))
+                    return;
+                int idx = lv.regs.indexOf(op.dst);
+                if (idx < 0 || !live.test(idx))
+                    drop[i] = 1;
+            });
+            std::vector<ir::Op> kept;
+            kept.reserve(bb.ops.size());
+            for (std::size_t i = 0; i < bb.ops.size(); ++i) {
+                if (drop[i]) {
+                    ++removed_total;
+                    changed = true;
+                } else {
+                    kept.push_back(std::move(bb.ops[i]));
+                }
+            }
+            bb.ops = std::move(kept);
+        }
+    }
+    return removed_total;
+}
+
+} // namespace rcsim::opt

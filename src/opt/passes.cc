@@ -1,0 +1,49 @@
+#include "opt/passes.hh"
+
+#include "ir/transform.hh"
+#include "ir/verify.hh"
+#include "support/logging.hh"
+
+namespace rcsim::opt
+{
+
+void
+annotatePredictions(ir::Module &module, const ir::Profile &profile)
+{
+    for (ir::Function &fn : module.functions) {
+        for (ir::BasicBlock &bb : fn.blocks) {
+            if (bb.dead || bb.ops.empty())
+                continue;
+            ir::Op &t = bb.ops.back();
+            if (!t.isBranch())
+                continue;
+            // Keep the transform-supplied prediction for blocks the
+            // profile has never seen (e.g. fresh unrolled copies).
+            if (profile.blockWeight(fn.index, bb.id) == 0)
+                continue;
+            t.predictTaken =
+                profile.takenRatio(fn.index, bb.id) > 0.5;
+        }
+    }
+}
+
+void
+runOptimizations(ir::Module &module, OptLevel level,
+                 const ir::Profile &profile, const IlpOptions &opts)
+{
+    for (ir::Function &fn : module.functions) {
+        copyPropagate(fn);
+        deadCodeElim(fn);
+        if (level == OptLevel::Ilp) {
+            unrollLoops(fn, fn.index, profile, opts);
+            copyPropagate(fn);
+            deadCodeElim(fn);
+        }
+    }
+    annotatePredictions(module, profile);
+    for (ir::Function &fn : module.functions)
+        ir::layoutBlocks(fn);
+    ir::verifyOrDie(module, "after optimization");
+}
+
+} // namespace rcsim::opt

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The optimization pipeline.
+ *
+ * Two levels mirror the paper's compiler setup (Section 5.3): the
+ * baseline configuration uses "conventional scalar optimizations"
+ * while every superscalar configuration uses full instruction-level
+ * parallelisation, which in this reproduction means profile-guided
+ * superblock loop unrolling with register renaming — the transforms
+ * that raise simultaneous register pressure.
+ */
+
+#ifndef RCSIM_OPT_PASSES_HH
+#define RCSIM_OPT_PASSES_HH
+
+#include "ir/function.hh"
+#include "ir/interp.hh"
+
+namespace rcsim::opt
+{
+
+/** Optimization level (Section 5.3 of the paper). */
+enum class OptLevel
+{
+    Scalar, // classical clean-up only
+    Ilp,    // + superblock loop unrolling with renaming
+};
+
+/** Tuning knobs for the ILP transformations. */
+struct IlpOptions
+{
+    /** Maximum unroll factor (power of two). */
+    int maxUnroll = 16;
+    /** Do not let an unrolled body exceed this many ops. */
+    int maxBodyOps = 560;
+    /** Only unroll loops at least this hot (dynamic block count). */
+    rcsim::Count minWeight = 256;
+};
+
+/** Remove ops whose results are never used; returns ops removed. */
+int deadCodeElim(ir::Function &fn);
+
+/** Forward local copy propagation; returns uses rewritten. */
+int copyPropagate(ir::Function &fn);
+
+/**
+ * Superblock-unroll hot single-block (bottom-test) loops, renaming
+ * iteration-local temporaries so copies are independent.  Side exits
+ * are kept (predicted not-taken), the final copy carries the
+ * back edge.  Returns the number of loops unrolled.
+ */
+int unrollLoops(ir::Function &fn, int fn_index,
+                const ir::Profile &profile, const IlpOptions &opts);
+
+/** Set every branch's static prediction from profile frequencies. */
+void annotatePredictions(ir::Module &module,
+                         const ir::Profile &profile);
+
+/**
+ * Run the full pipeline at a level.  Uses @p profile for unrolling
+ * decisions; re-run the interpreter afterwards to obtain a fresh
+ * profile for allocation and scheduling.
+ */
+void runOptimizations(ir::Module &module, OptLevel level,
+                      const ir::Profile &profile,
+                      const IlpOptions &opts = IlpOptions{});
+
+} // namespace rcsim::opt
+
+#endif // RCSIM_OPT_PASSES_HH

@@ -1,0 +1,165 @@
+#include "opt/passes.hh"
+
+#include <unordered_map>
+
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+#include "support/logging.hh"
+
+namespace rcsim::opt
+{
+
+namespace
+{
+
+/** A single-block bottom-test loop eligible for unrolling. */
+struct Candidate
+{
+    int block;
+    bool backOnTaken; // back edge is the taken successor
+    int exitBlock;
+};
+
+/**
+ * Unroll one candidate by factor U.  The original block keeps the
+ * first copy; U-1 clones are appended.  Iteration-local temporaries
+ * (defs not live out of the loop) are renamed per copy so the copies
+ * are independent and the scheduler can overlap them — this is the
+ * register-pressure-raising renaming the paper attributes to ILP
+ * compilation.  Side exits stay in place, predicted not-taken; only
+ * the final copy carries the back edge (predicted taken), so the
+ * unrolled body forms a fall-through superblock.
+ */
+void
+unrollOne(ir::Function &fn, const Candidate &cand, int factor,
+          const ir::RegSet &live_out, const ir::RegIndexer &regs)
+{
+    const int L = cand.block;
+    const std::vector<ir::Op> body = fn.blocks[L].ops;
+
+    auto keeps_name = [&](const ir::VReg &d) {
+        int idx = regs.indexOf(d);
+        return idx >= 0 && live_out.test(idx);
+    };
+
+    std::vector<int> chain{L};
+    for (int k = 1; k < factor; ++k) {
+        int nb = fn.newBlock();
+        std::unordered_map<ir::VReg, ir::VReg> rename;
+        for (const ir::Op &orig : body) {
+            ir::Op c = orig;
+            const ir::OpcInfo &info = c.info();
+            for (int s = 0; s < info.numSrcs; ++s) {
+                auto it = rename.find(c.src[s]);
+                if (it != rename.end())
+                    c.src[s] = it->second;
+            }
+            for (ir::VReg &a : c.args) {
+                auto it = rename.find(a);
+                if (it != rename.end())
+                    a = it->second;
+            }
+            if (info.hasDst && c.dst.valid()) {
+                if (keeps_name(c.dst)) {
+                    rename.erase(c.dst);
+                } else {
+                    ir::VReg fresh = fn.newVreg(c.dst.cls);
+                    rename[c.dst] = fresh;
+                    c.dst = fresh;
+                }
+            }
+            fn.blocks[nb].ops.push_back(std::move(c));
+        }
+        chain.push_back(nb);
+    }
+
+    // Rewire the terminators of the chain.
+    for (int k = 0; k < factor; ++k) {
+        ir::Op &t = fn.blocks[chain[k]].ops.back();
+        bool last = k == factor - 1;
+        int next = last ? L : chain[k + 1];
+        // Normalise so the back-edge direction is currently "taken".
+        if (!cand.backOnTaken) {
+            t.opc = ir::invertBranch(t.opc);
+            std::swap(t.takenBlock, t.fallBlock);
+        }
+        if (last) {
+            // taken -> loop start, fall -> exit.
+            t.takenBlock = next;
+            t.fallBlock = cand.exitBlock;
+            t.predictTaken = true;
+        } else {
+            // Invert: exit taken (cold), continue on fall-through.
+            t.opc = ir::invertBranch(t.opc);
+            t.takenBlock = cand.exitBlock;
+            t.fallBlock = next;
+            t.predictTaken = false;
+        }
+    }
+}
+
+} // namespace
+
+int
+unrollLoops(ir::Function &fn, int fn_index, const ir::Profile &profile,
+            const IlpOptions &opts)
+{
+    // Collect candidates first; unrolling only appends blocks, so the
+    // recorded block ids stay valid.
+    std::vector<Candidate> candidates;
+    {
+        ir::Cfg cfg = ir::Cfg::build(fn);
+        ir::DomTree dom = ir::DomTree::build(fn, cfg);
+        ir::LoopInfo loops = ir::LoopInfo::build(fn, cfg, dom);
+        for (const ir::Loop &loop : loops.loops) {
+            if (loop.blocks.size() != 1)
+                continue;
+            const ir::BasicBlock &bb = fn.blocks[loop.header];
+            const ir::Op &t = bb.ops.back();
+            if (!t.isBranch())
+                continue;
+            bool back_taken = t.takenBlock == loop.header;
+            bool back_fall = t.fallBlock == loop.header;
+            if (back_taken == back_fall)
+                continue; // neither or both: not a simple self loop
+            int exit = back_taken ? t.fallBlock : t.takenBlock;
+            if (exit == loop.header)
+                continue;
+            candidates.push_back({loop.header, back_taken, exit});
+        }
+    }
+
+    int unrolled = 0;
+    for (const Candidate &cand : candidates) {
+        rcsim::Count weight = profile.blockWeight(fn_index, cand.block);
+        if (weight < opts.minWeight)
+            continue;
+        const auto &fp = profile.funcs[fn_index];
+        rcsim::Count taken = cand.block <
+                         static_cast<int>(fp.takenCount.size())
+                             ? fp.takenCount[cand.block]
+                             : 0;
+        rcsim::Count back = cand.backOnTaken ? taken : weight - taken;
+        rcsim::Count entries = weight > back ? weight - back : 1;
+        rcsim::Count trip = weight / std::max<rcsim::Count>(1, entries);
+
+        int body_ops =
+            static_cast<int>(fn.blocks[cand.block].ops.size());
+        int factor = 1;
+        while (factor * 2 <= opts.maxUnroll &&
+               static_cast<rcsim::Count>(factor) * 2 <= trip &&
+               body_ops * factor * 2 <= opts.maxBodyOps)
+            factor *= 2;
+        if (factor < 2)
+            continue;
+
+        // Fresh liveness: earlier unrolls changed the function.
+        ir::Cfg cfg = ir::Cfg::build(fn);
+        ir::Liveness lv = ir::Liveness::compute(fn, cfg);
+        unrollOne(fn, cand, factor, lv.liveOut[cand.block], lv.regs);
+        ++unrolled;
+    }
+    return unrolled;
+}
+
+} // namespace rcsim::opt

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Register allocation results and the register pool conventions
+ * shared between the allocator, the rewriter, the connect inserter
+ * and the code generator.
+ */
+
+#ifndef RCSIM_REGALLOC_ALLOCATION_HH
+#define RCSIM_REGALLOC_ALLOCATION_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/rc_config.hh"
+#include "ir/function.hh"
+#include "ir/interp.hh"
+
+namespace rcsim::regalloc
+{
+
+/** Where a virtual register lives after allocation. */
+enum class LocKind
+{
+    CoreReg, // core section physical register
+    ExtReg,  // extended section physical register (with-RC only)
+    Spill,   // stack slot, accessed through reserved spill registers
+};
+
+struct Location
+{
+    LocKind kind = LocKind::Spill;
+    int index = -1; // physical register number or spill slot
+};
+
+/** Register pools derived from the architecture convention. */
+class RegPools
+{
+  public:
+    explicit RegPools(const core::RcConfig &rc) : rc_(rc) {}
+
+    /** Allocatable core registers (reserved ones excluded). */
+    std::vector<int> allocatableCore(ir::RegClass cls) const;
+
+    /** Extended registers (empty when RC is disabled). */
+    std::vector<int> extendedRegs(ir::RegClass cls) const;
+
+    /**
+     * Callee-save discipline: the upper half of the allocatable core
+     * section is callee-save, the lower half (and every extended
+     * register) is caller-save.
+     */
+    bool isCalleeSave(ir::RegClass cls, int phys) const;
+
+    /** Is this physical register in the extended section? */
+    bool
+    isExtended(ir::RegClass cls, int phys) const
+    {
+        return phys >= rc_.core(cls);
+    }
+
+    const core::RcConfig &config() const { return rc_; }
+
+  private:
+    const core::RcConfig &rc_;
+};
+
+/** Allocation summary for one function. */
+struct FunctionAlloc
+{
+    std::unordered_map<ir::VReg, Location> locations;
+
+    /** Callee-save physical registers the function writes. */
+    std::vector<int> usedCalleeSave[isa::numRegClasses];
+
+    /**
+     * Local frame slots consumed so far (spill slots; the rewriter
+     * appends caller-save slots).  All slots are 8 bytes.
+     */
+    int numLocalSlots = 0;
+
+    // Diagnostics.
+    int numSpilled = 0;
+    int numExtended = 0;
+    int numCore = 0;
+
+    const Location &locationOf(const ir::VReg &v) const;
+};
+
+/**
+ * Priority graph-coloring allocation for one (call-lowered) function.
+ * Implements the paper's Section 3 policy: the most important live
+ * ranges (profile-weighted references per unit of live range) get
+ * core registers; less important ones get extended registers (with
+ * RC) or spill to memory (without).
+ */
+FunctionAlloc allocateFunction(const ir::Function &fn, int fn_index,
+                               const ir::Profile &profile,
+                               const core::RcConfig &rc);
+
+} // namespace rcsim::regalloc
+
+#endif // RCSIM_REGALLOC_ALLOCATION_HH

@@ -1,0 +1,242 @@
+#include "regalloc/allocation.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+#include "support/logging.hh"
+
+namespace rcsim::regalloc
+{
+
+std::vector<int>
+RegPools::allocatableCore(ir::RegClass cls) const
+{
+    std::vector<int> regs;
+    for (int i = core::ArchConvention::firstAllocatable(cls);
+         i < rc_.core(cls); ++i)
+        regs.push_back(i);
+    return regs;
+}
+
+std::vector<int>
+RegPools::extendedRegs(ir::RegClass cls) const
+{
+    std::vector<int> regs;
+    if (!rc_.enabled)
+        return regs;
+    for (int i = rc_.core(cls); i < rc_.total(cls); ++i)
+        regs.push_back(i);
+    return regs;
+}
+
+bool
+RegPools::isCalleeSave(ir::RegClass cls, int phys) const
+{
+    int first = core::ArchConvention::firstAllocatable(cls);
+    int count = rc_.core(cls) - first;
+    if (count <= 0 || phys < first || phys >= rc_.core(cls))
+        return false; // reserved or extended: caller-save discipline
+    return phys >= first + count / 2;
+}
+
+const Location &
+FunctionAlloc::locationOf(const ir::VReg &v) const
+{
+    auto it = locations.find(v);
+    if (it == locations.end())
+        panic("no location for ", v.toString());
+    return it->second;
+}
+
+namespace
+{
+
+/** Per-live-range facts driving the priority order. */
+struct RangeInfo
+{
+    ir::VReg vreg;
+    double dynamicRefs = 0.0; // profile-weighted use+def count
+    int span = 0;             // live program points
+    bool crossesCall = false;
+    double crossWeight = 0.0; // profile-weighted call crossings
+    double priority = 0.0;
+};
+
+} // namespace
+
+FunctionAlloc
+allocateFunction(const ir::Function &fn, int fn_index,
+                 const ir::Profile &profile, const core::RcConfig &rc)
+{
+    RegPools pools(rc);
+    ir::Cfg cfg = ir::Cfg::build(fn);
+    ir::Liveness lv = ir::Liveness::compute(fn, cfg);
+    const int nregs = lv.regs.size();
+
+    // Virtual registers only; physical operands (the stack pointer)
+    // are pre-coloured and excluded from allocation.
+    std::vector<char> is_virtual(nregs, 0);
+    for (int i = 0; i < nregs; ++i)
+        is_virtual[i] = !lv.regs.regOf(i).phys;
+
+    // -- Interference graph and range statistics ----------------------
+    std::vector<std::unordered_set<int>> interf(nregs);
+    std::vector<RangeInfo> info(nregs);
+    for (int i = 0; i < nregs; ++i)
+        info[i].vreg = lv.regs.regOf(i);
+
+    auto add_edge = [&](int a, int b) {
+        if (a == b)
+            return;
+        const ir::VReg &ra = lv.regs.regOf(a);
+        const ir::VReg &rb = lv.regs.regOf(b);
+        if (ra.cls != rb.cls)
+            return; // different files never conflict
+        interf[a].insert(b);
+        interf[b].insert(a);
+    };
+
+    for (const ir::BasicBlock &bb : fn.blocks) {
+        if (bb.dead)
+            continue;
+        double weight = static_cast<double>(std::max<Count>(
+            1, profile.blockWeight(fn_index, bb.id)));
+        lv.backwardScan(fn, bb.id, [&](int i, const ir::RegSet &live) {
+            const ir::Op &op = bb.ops[i];
+            // Defs interfere with everything live after the op.
+            for (const ir::VReg &d : op.defs()) {
+                int di = lv.regs.indexOf(d);
+                live.forEach([&](int li) { add_edge(di, li); });
+                info[di].dynamicRefs += weight;
+            }
+            for (const ir::VReg &u : op.uses())
+                info[lv.regs.indexOf(u)].dynamicRefs += weight;
+            live.forEach([&](int li) { ++info[li].span; });
+            if (op.opc == ir::Opc::Jsr)
+                live.forEach([&](int li) {
+                    info[li].crossesCall = true;
+                    info[li].crossWeight += weight;
+                });
+        });
+    }
+
+    for (RangeInfo &r : info)
+        r.priority = r.dynamicRefs /
+                     static_cast<double>(std::max(1, r.span));
+
+    // -- Priority-ordered colouring ------------------------------------
+    std::vector<int> order;
+    for (int i = 0; i < nregs; ++i)
+        if (is_virtual[i])
+            order.push_back(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        if (info[a].priority != info[b].priority)
+            return info[a].priority > info[b].priority;
+        return info[a].vreg < info[b].vreg; // deterministic ties
+    });
+
+    FunctionAlloc alloc;
+    std::vector<Location> chosen(nregs, Location{});
+    std::vector<char> assigned(nregs, 0);
+
+    for (int vi : order) {
+        ir::RegClass cls = info[vi].vreg.cls;
+
+        std::unordered_set<int> forbidden;
+        for (int ni : interf[vi])
+            if (assigned[ni] && chosen[ni].kind != LocKind::Spill)
+                forbidden.insert(chosen[ni].index);
+
+        // Candidate pools in cost order (Section 3 policy).
+        std::vector<int> core_regs = pools.allocatableCore(cls);
+        std::vector<int> caller, callee;
+        for (int r : core_regs)
+            (pools.isCalleeSave(cls, r) ? callee : caller)
+                .push_back(r);
+        std::vector<int> ext = pools.extendedRegs(cls);
+
+        std::vector<const std::vector<int> *> prefs;
+        if (info[vi].crossesCall) {
+            // Callee-save survives calls for free; a caller-save core
+            // register costs one store+load per crossed call; an
+            // extended register additionally needs connects.
+            prefs = {&callee, &caller, &ext};
+        } else {
+            prefs = {&caller, &callee, &ext};
+        }
+
+        // Chow-style cost test for call-crossing ranges: spilling
+        // costs roughly one memory op per dynamic reference, while a
+        // caller-managed register costs a save+restore per crossed
+        // call (plus connects for an extended register).  Prefer the
+        // cheaper of the two rather than burning save/restore code on
+        // rarely-referenced values.
+        auto register_worth_it = [&](bool extended) {
+            if (!info[vi].crossesCall)
+                return true;
+            double reg_cost =
+                info[vi].crossWeight * (extended ? 4.0 : 2.0);
+            double spill_cost = info[vi].dynamicRefs;
+            return reg_cost < spill_cost;
+        };
+
+        bool placed = false;
+        for (const std::vector<int> *pool : prefs) {
+            bool extended = pool == &ext;
+            bool caller_managed = pool != &callee;
+            if (caller_managed && !register_worth_it(extended))
+                continue;
+            for (int r : *pool) {
+                if (forbidden.count(r))
+                    continue;
+                chosen[vi] = Location{pools.isExtended(cls, r)
+                                          ? LocKind::ExtReg
+                                          : LocKind::CoreReg,
+                                      r};
+                placed = true;
+                break;
+            }
+            if (placed)
+                break;
+        }
+        if (!placed)
+            chosen[vi] = Location{LocKind::Spill,
+                                  alloc.numLocalSlots++};
+        assigned[vi] = 1;
+
+        switch (chosen[vi].kind) {
+          case LocKind::CoreReg:
+            ++alloc.numCore;
+            break;
+          case LocKind::ExtReg:
+            ++alloc.numExtended;
+            break;
+          case LocKind::Spill:
+            ++alloc.numSpilled;
+            break;
+        }
+    }
+
+    // Record results and the callee-save registers actually used.
+    std::unordered_set<int> callee_used[isa::numRegClasses];
+    for (int i = 0; i < nregs; ++i) {
+        if (!is_virtual[i])
+            continue;
+        alloc.locations[info[i].vreg] = chosen[i];
+        if (chosen[i].kind == LocKind::CoreReg &&
+            pools.isCalleeSave(info[i].vreg.cls, chosen[i].index))
+            callee_used[static_cast<int>(info[i].vreg.cls)].insert(
+                chosen[i].index);
+    }
+    for (int c = 0; c < isa::numRegClasses; ++c) {
+        alloc.usedCalleeSave[c].assign(callee_used[c].begin(),
+                                       callee_used[c].end());
+        std::sort(alloc.usedCalleeSave[c].begin(),
+                  alloc.usedCalleeSave[c].end());
+    }
+    return alloc;
+}
+
+} // namespace rcsim::regalloc

@@ -1,0 +1,662 @@
+#include "regalloc/connect.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "ir/cfg.hh"
+#include "support/logging.hh"
+
+namespace rcsim::regalloc
+{
+
+namespace
+{
+
+using ir::Op;
+using ir::Opc;
+using ir::RegClass;
+
+constexpr int kUnknown = -1;
+
+/** Emulated mapping state of one register class's table. */
+struct MapState
+{
+    std::vector<int> read;  // physical register or kUnknown
+    std::vector<int> write;
+
+    explicit MapState(int entries = 0)
+        : read(entries, kUnknown), write(entries, kUnknown)
+    {
+    }
+
+    static MapState
+    allHome(int entries)
+    {
+        MapState s(entries);
+        for (int i = 0; i < entries; ++i) {
+            s.read[i] = i;
+            s.write[i] = i;
+        }
+        return s;
+    }
+
+    /** Pointwise meet: disagreeing entries become unknown. */
+    void
+    meet(const MapState &other)
+    {
+        for (std::size_t i = 0; i < read.size(); ++i) {
+            if (read[i] != other.read[i])
+                read[i] = kUnknown;
+            if (write[i] != other.write[i])
+                write[i] = kUnknown;
+        }
+    }
+};
+
+/** Read positions of each physical register within one block. */
+class NextUseIndex
+{
+  public:
+    NextUseIndex(const ir::BasicBlock &bb)
+    {
+        for (std::size_t i = 0; i < bb.ops.size(); ++i) {
+            const Op &op = bb.ops[i];
+            const ir::OpcInfo &info = op.info();
+            for (int k = 0; k < info.numSrcs; ++k)
+                if (op.src[k].valid() && op.src[k].phys)
+                    positions_[key(op.src[k].cls, op.src[k].id)]
+                        .push_back(static_cast<int>(i));
+        }
+    }
+
+    /** First read of (cls, phys) at or after position pos; INT_MAX
+     * when none. */
+    int
+    nextRead(RegClass cls, int phys, int pos) const
+    {
+        auto it = positions_.find(key(cls, phys));
+        if (it == positions_.end())
+            return std::numeric_limits<int>::max();
+        const std::vector<int> &v = it->second;
+        auto p = std::lower_bound(v.begin(), v.end(), pos);
+        return p == v.end() ? std::numeric_limits<int>::max() : *p;
+    }
+
+  private:
+    static std::uint32_t
+    key(RegClass cls, std::uint32_t phys)
+    {
+        return (static_cast<std::uint32_t>(cls) << 16) | phys;
+    }
+    std::unordered_map<std::uint32_t, std::vector<int>> positions_;
+};
+
+Op
+makeConnect(RegClass cls, bool is_def, int idx, int phys,
+            ir::InstrOrigin origin)
+{
+    Op c;
+    c.opc = is_def ? Opc::ConnDef : Opc::ConnUse;
+    c.connCls = cls;
+    c.nconn = 1;
+    c.conn[0].mapIdx = static_cast<std::uint16_t>(idx);
+    c.conn[0].phys = static_cast<std::uint16_t>(phys);
+    c.conn[0].isDef = is_def;
+    c.origin = origin;
+    return c;
+}
+
+/** The whole insertion pass for one function. */
+class Inserter
+{
+  public:
+    Inserter(ir::Function &fn, int fn_index, const core::RcConfig &rc,
+             const ir::Profile *profile)
+        : fn_(fn), fnIndex_(fn_index), rc_(rc), profile_(profile),
+          unified_(!rc.splitMaps)
+    {
+    }
+
+    ConnectStats
+    run()
+    {
+        hoistLoopConnects();
+        mainPass();
+        return stats_;
+    }
+
+  private:
+    int entriesOf(RegClass cls) const { return rc_.core(cls); }
+
+    /**
+     * Victim selection is restricted to a small *volatile* index set:
+     * the reserved spill-register indices plus any index chosen by
+     * loop hoisting.  Every other entry provably stays at its home
+     * mapping at block boundaries (connects never touch it, and a
+     * write through its home index leaves both maps at home under
+     * all four reset models), so back edges only invalidate volatile
+     * entries — core-register accesses inside loops need no repair
+     * connects.
+     */
+    bool
+    isVolatile(RegClass cls, int idx) const
+    {
+        int first = core::ArchConvention::firstSpillReg(cls);
+        if (idx >= first &&
+            idx < first + core::ArchConvention::numSpillRegs)
+            return true;
+        return hoistChosen_[static_cast<int>(cls)].count(idx) > 0;
+    }
+
+    // -- Hoisting ------------------------------------------------------
+
+    /**
+     * For each loop, find map indices whose home core register is
+     * never referenced inside the loop, and connect them to the most
+     * frequently read extended registers in the loop's preheader
+     * predecessors.  Records per-block reservations so the main pass
+     * can rely on the mapping along back edges.
+     */
+    void
+    hoistLoopConnects()
+    {
+        if (!rc_.hoistConnects)
+            return;
+        ir::Cfg cfg = ir::Cfg::build(fn_);
+        ir::DomTree dom = ir::DomTree::build(fn_, cfg);
+        ir::LoopInfo loops = ir::LoopInfo::build(fn_, cfg, dom);
+
+        // Outer loops first: their reservations extend into inner
+        // loops and cover inner reads too.
+        std::vector<int> order(loops.loops.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = static_cast<int>(i);
+        std::sort(order.begin(), order.end(), [&](int a, int b) {
+            return loops.loops[a].depth < loops.loops[b].depth;
+        });
+
+        for (int li : order) {
+            const ir::Loop &loop = loops.loops[li];
+            for (int cls_i = 0; cls_i < isa::numRegClasses; ++cls_i) {
+                RegClass cls = static_cast<RegClass>(cls_i);
+                hoistForLoop(loop, cls, cfg);
+            }
+        }
+    }
+
+    void
+    hoistForLoop(const ir::Loop &loop, RegClass cls, const ir::Cfg &cfg)
+    {
+        const int m = entriesOf(cls);
+
+        // A loop containing a call cannot keep connections alive
+        // across it (jsr resets the map): skip hoisting entirely.
+        for (int b : loop.blocks)
+            for (const Op &op : fn_.blocks[b].ops)
+                if (op.opc == Opc::Jsr)
+                    return;
+
+        // Indices referenced (home accesses possible) inside the loop
+        // and reads of extended registers, profile weighted.
+        std::vector<char> referenced(m, 0);
+        std::map<int, double> ext_reads;
+        for (int b : loop.blocks) {
+            double w = 1.0;
+            if (profile_)
+                w = static_cast<double>(std::max<Count>(
+                    1, profile_->blockWeight(fnIndex_, b)));
+            for (const Op &op : fn_.blocks[b].ops) {
+                const ir::OpcInfo &info = op.info();
+                auto touch = [&](const ir::VReg &r) {
+                    if (!r.valid() || !r.phys || r.cls != cls)
+                        return;
+                    if (static_cast<int>(r.id) < m)
+                        referenced[r.id] = 1;
+                };
+                for (int k = 0; k < info.numSrcs; ++k) {
+                    touch(op.src[k]);
+                    const ir::VReg &r = op.src[k];
+                    if (r.valid() && r.phys && r.cls == cls &&
+                        static_cast<int>(r.id) >= m)
+                        ext_reads[static_cast<int>(r.id)] += w;
+                }
+                if (info.hasDst)
+                    touch(op.dst);
+            }
+        }
+
+        // Free indices: home register unused in the loop, not a
+        // scratch (spill-register) index — those must stay available
+        // as victims — and not yet reserved by an enclosing loop.
+        int scratch_first = core::ArchConvention::firstSpillReg(cls);
+        int scratch_last =
+            scratch_first + core::ArchConvention::numSpillRegs;
+        std::vector<int> free_idx;
+        for (int i = 0; i < m; ++i) {
+            if (referenced[i])
+                continue;
+            if (i >= scratch_first && i < scratch_last)
+                continue;
+            bool reserved = false;
+            for (int b : loop.blocks)
+                if (reservations_[static_cast<int>(cls)].count(b) &&
+                    reservations_[static_cast<int>(cls)][b].count(i))
+                    reserved = true;
+            if (!reserved)
+                free_idx.push_back(i);
+        }
+        int budget = static_cast<int>(free_idx.size());
+        if (budget <= 0 || ext_reads.empty())
+            return;
+
+        std::vector<std::pair<double, int>> ranked;
+        for (auto &[phys, w] : ext_reads)
+            ranked.emplace_back(w, phys);
+        std::sort(ranked.rbegin(), ranked.rend());
+
+        int used = 0;
+        for (const auto &[w, phys] : ranked) {
+            if (used >= budget ||
+                used >= static_cast<int>(free_idx.size()))
+                break;
+            int idx = free_idx[used++];
+
+            // Insert the connect-use at the end of every entering
+            // predecessor (before its terminator).
+            for (int p : cfg.preds[loop.header]) {
+                if (loop.has(p))
+                    continue;
+                std::vector<Op> &ops = fn_.blocks[p].ops;
+                Op c = makeConnect(cls, false, idx, phys,
+                                   ir::InstrOrigin::Connect);
+                ops.insert(ops.end() - 1, std::move(c));
+                ++stats_.connectOps;
+                ++stats_.hoisted;
+            }
+            for (int b : loop.blocks)
+                reservations_[static_cast<int>(cls)][b][idx] = phys;
+            hoistChosen_[static_cast<int>(cls)].insert(idx);
+        }
+    }
+
+    int
+    reservedSoFar(const ir::Loop &loop, RegClass cls)
+    {
+        int worst = 0;
+        for (int b : loop.blocks) {
+            auto it = reservations_[static_cast<int>(cls)].find(b);
+            if (it != reservations_[static_cast<int>(cls)].end())
+                worst = std::max(worst,
+                                 static_cast<int>(it->second.size()));
+        }
+        return worst;
+    }
+
+    // -- Main per-block pass --------------------------------------------
+
+    void
+    mainPass()
+    {
+        ir::Cfg cfg = ir::Cfg::build(fn_);
+        int nblocks = static_cast<int>(fn_.blocks.size());
+        for (int c = 0; c < isa::numRegClasses; ++c)
+            outStates_[c].assign(
+                nblocks, MapState(entriesOf(static_cast<RegClass>(c))));
+        processed_.assign(nblocks, 0);
+
+        for (int b : cfg.rpo) {
+            MapState state[isa::numRegClasses] = {
+                inState(b, RegClass::Int, cfg),
+                inState(b, RegClass::Fp, cfg)};
+            processBlock(b, state);
+            // Invariant check: non-volatile entries left at home.
+            for (int c = 0; c < isa::numRegClasses; ++c) {
+                RegClass cls = static_cast<RegClass>(c);
+                for (int i = 0; i < entriesOf(cls); ++i) {
+                    if (isVolatile(cls, i))
+                        continue;
+                    if (state[c].read[i] != i ||
+                        state[c].write[i] != i)
+                        panic("connect inserter: non-volatile map "
+                              "entry ", i, " left home at end of "
+                              "block ", b);
+                }
+            }
+            outStates_[0][b] = std::move(state[0]);
+            outStates_[1][b] = std::move(state[1]);
+            processed_[b] = 1;
+        }
+    }
+
+    MapState
+    inState(int block, RegClass cls, const ir::Cfg &cfg)
+    {
+        const int c = static_cast<int>(cls);
+        const int m = entriesOf(cls);
+        if (block == fn_.entryBlock)
+            return MapState::allHome(m);
+
+        // Non-volatile entries are at home on every incoming edge
+        // (see isVolatile); only volatile entries need the meet.
+        MapState state = MapState::allHome(m);
+        bool have = false;
+        bool any_unprocessed = false;
+        for (int p : cfg.preds[block]) {
+            if (!processed_[p]) {
+                any_unprocessed = true; // back edge
+                continue;
+            }
+            for (int i = 0; i < m; ++i) {
+                if (!isVolatile(cls, i))
+                    continue;
+                if (!have) {
+                    state.read[i] = outStates_[c][p].read[i];
+                    state.write[i] = outStates_[c][p].write[i];
+                } else {
+                    if (state.read[i] != outStates_[c][p].read[i])
+                        state.read[i] = kUnknown;
+                    if (state.write[i] != outStates_[c][p].write[i])
+                        state.write[i] = kUnknown;
+                }
+            }
+            have = true;
+        }
+        if (any_unprocessed || !have) {
+            // Back edges contribute nothing for volatile entries.
+            for (int i = 0; i < m; ++i)
+                if (isVolatile(cls, i)) {
+                    state.read[i] = kUnknown;
+                    state.write[i] = kUnknown;
+                }
+        }
+        // Loop reservations re-guarantee their read mappings along
+        // every edge (the reservation invariant).
+        auto it = reservations_[c].find(block);
+        if (it != reservations_[c].end())
+            for (const auto &[idx, phys] : it->second)
+                state.read[idx] = phys;
+        return state;
+    }
+
+    /** Indices reserved for this block (never usable as victims). */
+    bool
+    isReserved(int block, RegClass cls, int idx) const
+    {
+        auto it = reservations_[static_cast<int>(cls)].find(block);
+        return it != reservations_[static_cast<int>(cls)].end() &&
+               it->second.count(idx);
+    }
+
+    void
+    processBlock(int b, MapState state[])
+    {
+        ir::BasicBlock &bb = fn_.blocks[b];
+        NextUseIndex next_use(bb);
+        std::vector<Op> out;
+        out.reserve(bb.ops.size() + 8);
+
+        for (std::size_t oi = 0; oi < bb.ops.size(); ++oi) {
+            Op op = bb.ops[oi];
+            const ir::OpcInfo &info = op.info();
+
+            if (ir::isConnectOpc(op.opc)) {
+                // Hoisted connect from the pre-pass.
+                applyConnect(op, state);
+                out.push_back(std::move(op));
+                continue;
+            }
+            if (op.opc == Opc::Jsr || op.opc == Opc::Rts) {
+                out.push_back(std::move(op));
+                for (int c = 0; c < isa::numRegClasses; ++c)
+                    state[c] = MapState::allHome(entriesOf(
+                        static_cast<RegClass>(c)));
+                continue;
+            }
+
+            // Needed connects for this op: (cls, isDef, idx, phys).
+            struct Need
+            {
+                RegClass cls;
+                bool isDef;
+                int idx;
+                int phys;
+            };
+            std::vector<Need> needs;
+
+            std::vector<std::pair<int, int>> read_bound[2]; // idx,phys
+            int write_bound[2] = {-1, -1};
+
+            auto choose_read = [&](ir::VReg &r) {
+                if (!r.valid() || !r.phys)
+                    return;
+                RegClass cls = r.cls;
+                const int c = static_cast<int>(cls);
+                const int m = entriesOf(cls);
+                int p = static_cast<int>(r.id);
+
+                // Already bound by another operand of this op?
+                for (auto &[idx, bp] : read_bound[c])
+                    if (bp == p) {
+                        r = ir::VReg(cls, idx, true);
+                        return;
+                    }
+                // Natural home mapping first, then any live mapping.
+                int found = -1;
+                if (p < m && state[c].read[p] == p)
+                    found = p;
+                if (found < 0)
+                    for (int i = 0; i < m; ++i)
+                        if (state[c].read[i] == p) {
+                            found = i;
+                            break;
+                        }
+                if (found < 0) {
+                    found = pickVictim(b, cls, state[c], next_use,
+                                       static_cast<int>(oi),
+                                       read_bound[c], write_bound[c]);
+                    needs.push_back({cls, false, found, p});
+                    state[c].read[found] = p;
+                    if (unified_)
+                        state[c].write[found] = p;
+                }
+                read_bound[c].emplace_back(found, p);
+                r = ir::VReg(cls, found, true);
+            };
+
+            for (int k = 0; k < info.numSrcs; ++k)
+                choose_read(op.src[k]);
+
+            if (info.hasDst && op.dst.valid() && op.dst.phys) {
+                RegClass cls = op.dst.cls;
+                const int c = static_cast<int>(cls);
+                const int m = entriesOf(cls);
+                int p = static_cast<int>(op.dst.id);
+                int found = -1;
+                if (p < m && state[c].write[p] == p)
+                    found = p;
+                if (found < 0)
+                    for (int i = 0; i < m; ++i)
+                        if (state[c].write[i] == p) {
+                            found = i;
+                            break;
+                        }
+                if (found < 0) {
+                    found = pickVictim(b, cls, state[c], next_use,
+                                       static_cast<int>(oi),
+                                       read_bound[c], -1);
+                    needs.push_back({cls, true, found, p});
+                    state[c].write[found] = p;
+                    if (unified_)
+                        state[c].read[found] = p;
+                }
+                write_bound[c] = found;
+                op.dst = ir::VReg(cls, found, true);
+
+                // Automatic reset side effect (Section 2.3).
+                applyWriteSideEffect(state[c], found, m);
+            }
+
+            // Emit the needed connects, combined pairwise per class.
+            for (int c = 0; c < isa::numRegClasses; ++c) {
+                std::vector<Need> mine;
+                for (const Need &n : needs)
+                    if (static_cast<int>(n.cls) == c)
+                        mine.push_back(n);
+                for (std::size_t i = 0; i < mine.size(); i += 2) {
+                    if (i + 1 < mine.size()) {
+                        Op cop;
+                        bool d0 = mine[i].isDef, d1 = mine[i + 1].isDef;
+                        cop.opc = d0 && d1   ? Opc::ConnDD
+                                  : !d0 && !d1 ? Opc::ConnUU
+                                               : Opc::ConnDU;
+                        // ConnDU carries the def pair first.
+                        const Need &first =
+                            (d0 || !d1) ? mine[i] : mine[i + 1];
+                        const Need &second =
+                            (d0 || !d1) ? mine[i + 1] : mine[i];
+                        cop.connCls = static_cast<RegClass>(c);
+                        cop.nconn = 2;
+                        cop.conn[0] = {static_cast<std::uint16_t>(
+                                           first.idx),
+                                       static_cast<std::uint16_t>(
+                                           first.phys),
+                                       first.isDef};
+                        cop.conn[1] = {static_cast<std::uint16_t>(
+                                           second.idx),
+                                       static_cast<std::uint16_t>(
+                                           second.phys),
+                                       second.isDef};
+                        cop.origin = op.origin ==
+                                             ir::InstrOrigin::SaveRestore
+                                         ? ir::InstrOrigin::SaveRestore
+                                         : ir::InstrOrigin::Connect;
+                        out.push_back(std::move(cop));
+                        ++stats_.connectOps;
+                        ++stats_.combinedOps;
+                    } else {
+                        Op cop = makeConnect(
+                            static_cast<RegClass>(c), mine[i].isDef,
+                            mine[i].idx, mine[i].phys,
+                            op.origin == ir::InstrOrigin::SaveRestore
+                                ? ir::InstrOrigin::SaveRestore
+                                : ir::InstrOrigin::Connect);
+                        out.push_back(std::move(cop));
+                        ++stats_.connectOps;
+                    }
+                }
+            }
+
+            out.push_back(std::move(op));
+        }
+        bb.ops = std::move(out);
+    }
+
+    void
+    applyWriteSideEffect(MapState &s, int idx, int m)
+    {
+        switch (rc_.model) {
+          case core::RcModel::NoReset:
+            break;
+          case core::RcModel::WriteReset:
+            (void)m;
+            s.write[idx] = idx;
+            break;
+          case core::RcModel::WriteResetReadUpdate:
+            s.read[idx] = s.write[idx];
+            s.write[idx] = idx;
+            break;
+          case core::RcModel::ReadWriteReset:
+            s.read[idx] = idx;
+            s.write[idx] = idx;
+            break;
+        }
+    }
+
+    void
+    applyConnect(const Op &op, MapState state[])
+    {
+        const int c = static_cast<int>(op.connCls);
+        for (int k = 0; k < op.nconn; ++k) {
+            if (op.conn[k].isDef || unified_)
+                state[c].write[op.conn[k].mapIdx] = op.conn[k].phys;
+            if (!op.conn[k].isDef || unified_)
+                state[c].read[op.conn[k].mapIdx] = op.conn[k].phys;
+        }
+    }
+
+    /**
+     * Choose a map entry to repurpose: not reserved for the block,
+     * not already bound by this op for a different register, and with
+     * the farthest next read of whatever its read map currently
+     * reaches (unknown entries are ideal).
+     */
+    int
+    pickVictim(int block, RegClass cls, const MapState &s,
+               const NextUseIndex &next_use, int pos,
+               const std::vector<std::pair<int, int>> &read_bound,
+               int write_bound)
+    {
+        const int m = entriesOf(cls);
+        int best = -1;
+        long best_score = -1;
+        for (int i = 0; i < m; ++i) {
+            if (!isVolatile(cls, i) || isReserved(block, cls, i))
+                continue;
+            bool bound = i == write_bound;
+            for (auto &[idx, p] : read_bound)
+                if (idx == i)
+                    bound = true;
+            if (bound)
+                continue;
+            long score;
+            if (s.read[i] == kUnknown)
+                score = std::numeric_limits<long>::max();
+            else
+                score = next_use.nextRead(cls, s.read[i], pos);
+            if (score > best_score) {
+                best_score = score;
+                best = i;
+            }
+        }
+        if (best < 0)
+            panic("connect inserter: no victim index available "
+                  "(map entries over-reserved)");
+        return best;
+    }
+
+    ir::Function &fn_;
+    int fnIndex_;
+    const core::RcConfig &rc_;
+    const ir::Profile *profile_;
+    bool unified_ = false;
+    ConnectStats stats_;
+
+    // Per class: block -> (map index -> phys) loop reservations.
+    std::unordered_map<int, std::map<int, int>>
+        reservations_[isa::numRegClasses];
+
+    // Per class: indices ever chosen by loop hoisting (volatile).
+    std::set<int> hoistChosen_[isa::numRegClasses];
+    std::vector<MapState> outStates_[isa::numRegClasses];
+    std::vector<char> processed_;
+};
+
+} // namespace
+
+ConnectStats
+insertConnects(ir::Function &fn, int fn_index,
+               const core::RcConfig &rc, const ir::Profile *profile)
+{
+    if (!rc.enabled)
+        panic("insertConnects called without RC support");
+    if (!rc.splitMaps && rc.model != core::RcModel::NoReset)
+        fatal("unified maps require the no-reset model (the "
+              "automatic reset models are defined for split maps)");
+    Inserter ins(fn, fn_index, rc, profile);
+    return ins.run();
+}
+
+} // namespace rcsim::regalloc

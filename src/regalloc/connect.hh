@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Connect insertion: the compiler support for Register Connection
+ * (paper Section 3).
+ *
+ * Runs after allocation, rewriting and scheduling, when every operand
+ * is a physical register of the enlarged file.  The pass emulates the
+ * register mapping table along every path and
+ *
+ *  - rewrites each operand to the *map index* used to reach its
+ *    physical register,
+ *  - inserts connect-use / connect-def instructions (combined into
+ *    connect-use-use / connect-def-use / connect-def-def pairs, as in
+ *    the paper's experiments) where the emulated table does not
+ *    already reach the register,
+ *  - hoists loop-invariant connect-uses into loop preheaders when a
+ *    map index is free across the whole loop (the "proper selection"
+ *    of Section 3 that minimises artificial dependences),
+ *  - models the automatic reset behaviour of the configured RC model
+ *    and the jsr/rts map reset (Section 4.1).
+ */
+
+#ifndef RCSIM_REGALLOC_CONNECT_HH
+#define RCSIM_REGALLOC_CONNECT_HH
+
+#include "core/rc_config.hh"
+#include "ir/function.hh"
+#include "ir/interp.hh"
+
+namespace rcsim::regalloc
+{
+
+struct ConnectStats
+{
+    int connectOps = 0;   // connect instructions emitted
+    int combinedOps = 0;  // how many carry two pairs
+    int hoisted = 0;      // loop-invariant connect-uses hoisted
+};
+
+/**
+ * Insert connects into a fully-allocated function.  @p profile (from
+ * the optimized module) ranks hoisting candidates; it may be null.
+ */
+ConnectStats insertConnects(ir::Function &fn, int fn_index,
+                            const core::RcConfig &rc,
+                            const ir::Profile *profile);
+
+} // namespace rcsim::regalloc
+
+#endif // RCSIM_REGALLOC_CONNECT_HH

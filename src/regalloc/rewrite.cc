@@ -1,0 +1,301 @@
+#include "regalloc/rewrite.hh"
+
+#include <unordered_map>
+
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+#include "support/logging.hh"
+
+namespace rcsim::regalloc
+{
+
+namespace
+{
+
+using ir::Op;
+using ir::Opc;
+using ir::RegClass;
+using ir::VReg;
+
+/** Rotating pool of the reserved spill registers with reload reuse. */
+class SpillRegPool
+{
+  public:
+    void
+    resetBlock()
+    {
+        for (int c = 0; c < isa::numRegClasses; ++c)
+            for (int k = 0; k < core::ArchConvention::numSpillRegs; ++k)
+                holds_[c][k] = VReg{};
+    }
+
+    /** Invalidate cached reloads (e.g. across calls). */
+    void invalidateAll() { resetBlock(); }
+
+    /** Invalidate any cached copy of a vreg (it was redefined). */
+    void
+    invalidate(const VReg &v)
+    {
+        for (int c = 0; c < isa::numRegClasses; ++c)
+            for (int k = 0; k < core::ArchConvention::numSpillRegs; ++k)
+                if (holds_[c][k] == v)
+                    holds_[c][k] = VReg{};
+    }
+
+    /** Is this vreg already sitting in a spill register? */
+    int
+    lookup(const VReg &v) const
+    {
+        int c = static_cast<int>(v.cls);
+        for (int k = 0; k < core::ArchConvention::numSpillRegs; ++k)
+            if (holds_[c][k] == v)
+                return physOf(v.cls, k);
+        return -1;
+    }
+
+    /**
+     * Claim a spill register for @p v, avoiding the registers already
+     * claimed by the current op (@p pinned).
+     */
+    int
+    claim(const VReg &v, const std::vector<int> &pinned)
+    {
+        int c = static_cast<int>(v.cls);
+        for (int tries = 0;
+             tries < core::ArchConvention::numSpillRegs; ++tries) {
+            int k = next_[c];
+            next_[c] = (next_[c] + 1) %
+                       core::ArchConvention::numSpillRegs;
+            int phys = physOf(v.cls, k);
+            bool in_use = false;
+            for (int p : pinned)
+                if (p == phys)
+                    in_use = true;
+            if (in_use)
+                continue;
+            holds_[c][k] = v;
+            return phys;
+        }
+        panic("spill register pool exhausted within one op");
+    }
+
+  private:
+    static int
+    physOf(RegClass cls, int k)
+    {
+        return core::ArchConvention::firstSpillReg(cls) + k;
+    }
+
+    VReg holds_[isa::numRegClasses]
+               [core::ArchConvention::numSpillRegs];
+    int next_[isa::numRegClasses] = {0, 0};
+};
+
+Opc
+loadOpc(RegClass cls)
+{
+    return cls == RegClass::Int ? Opc::Lw : Opc::Lf;
+}
+
+Opc
+storeOpc(RegClass cls)
+{
+    return cls == RegClass::Int ? Opc::Sw : Opc::Sf;
+}
+
+VReg
+stackPointer()
+{
+    return VReg(RegClass::Int, core::ArchConvention::stackPointer,
+                true);
+}
+
+} // namespace
+
+RewriteStats
+rewriteFunction(ir::Function &fn, FunctionAlloc &alloc,
+                const core::RcConfig &rc)
+{
+    RewriteStats stats;
+    RegPools pools(rc);
+
+    // Pre-compute, for every jsr, the set of virtual registers live
+    // after it (on the pre-rewrite vreg form).
+    ir::Cfg cfg = ir::Cfg::build(fn);
+    ir::Liveness lv = ir::Liveness::compute(fn, cfg);
+    // key = block * 2^32 + op index
+    std::unordered_map<std::uint64_t, std::vector<VReg>> live_after_jsr;
+    for (const ir::BasicBlock &bb : fn.blocks) {
+        if (bb.dead)
+            continue;
+        lv.backwardScan(fn, bb.id, [&](int i, const ir::RegSet &live) {
+            if (bb.ops[i].opc != Opc::Jsr)
+                return;
+            std::vector<VReg> regs;
+            live.forEach([&](int li) {
+                const VReg &r = lv.regs.regOf(li);
+                if (!r.phys)
+                    regs.push_back(r);
+            });
+            std::uint64_t key =
+                (static_cast<std::uint64_t>(bb.id) << 32) |
+                static_cast<std::uint32_t>(i);
+            live_after_jsr[key] = std::move(regs);
+        });
+    }
+
+    // Save slots for caller-save values live across calls: one slot
+    // per vreg, shared by all its call sites.
+    std::unordered_map<VReg, int> save_slot;
+    auto slot_for = [&](const VReg &v) {
+        auto it = save_slot.find(v);
+        if (it != save_slot.end())
+            return it->second;
+        int s = alloc.numLocalSlots++;
+        save_slot.emplace(v, s);
+        return s;
+    };
+
+    SpillRegPool spillregs;
+
+    for (ir::BasicBlock &bb : fn.blocks) {
+        if (bb.dead)
+            continue;
+        spillregs.resetBlock();
+        std::vector<Op> out;
+        out.reserve(bb.ops.size() * 2);
+
+        for (std::size_t oi = 0; oi < bb.ops.size(); ++oi) {
+            Op op = bb.ops[oi];
+            const ir::OpcInfo &opinfo = op.info();
+            std::vector<int> pinned;
+
+            auto rewrite_use = [&](VReg &r) {
+                if (!r.valid() || r.phys)
+                    return;
+                const Location &loc = alloc.locationOf(r);
+                if (loc.kind != LocKind::Spill) {
+                    r = VReg(r.cls, static_cast<std::uint32_t>(
+                                        loc.index), true);
+                    pinned.push_back(loc.index);
+                    return;
+                }
+                int phys = spillregs.lookup(r);
+                if (phys < 0) {
+                    phys = spillregs.claim(r, pinned);
+                    Op reload = Op::load(
+                        loadOpc(r.cls),
+                        VReg(r.cls, phys, true), stackPointer(), 0,
+                        ir::MemRef::frame(ir::FrameKind::Local,
+                                          loc.index,
+                                          r.cls == RegClass::Int ? 4
+                                                                 : 8));
+                    reload.origin = ir::InstrOrigin::SpillLoad;
+                    out.push_back(std::move(reload));
+                    ++stats.spillLoads;
+                }
+                pinned.push_back(phys);
+                r = VReg(r.cls, phys, true);
+            };
+
+            for (int k = 0; k < opinfo.numSrcs; ++k)
+                rewrite_use(op.src[k]);
+            for (VReg &a : op.args)
+                rewrite_use(a);
+
+            // Handle the destination.
+            bool store_after = false;
+            ir::MemRef store_ref;
+            VReg def_orig = op.dst;
+            if (opinfo.hasDst && op.dst.valid() && !op.dst.phys) {
+                const Location &loc = alloc.locationOf(op.dst);
+                if (loc.kind == LocKind::Spill) {
+                    spillregs.invalidate(def_orig);
+                    int phys = spillregs.claim(def_orig, pinned);
+                    op.dst = VReg(def_orig.cls, phys, true);
+                    store_after = true;
+                    store_ref = ir::MemRef::frame(
+                        ir::FrameKind::Local, loc.index,
+                        def_orig.cls == RegClass::Int ? 4 : 8);
+                } else {
+                    op.dst = VReg(def_orig.cls,
+                                  static_cast<std::uint32_t>(
+                                      loc.index), true);
+                }
+            }
+
+            bool is_jsr = op.opc == Opc::Jsr;
+            std::vector<std::pair<VReg, Location>> to_save;
+            if (is_jsr) {
+                std::uint64_t key =
+                    (static_cast<std::uint64_t>(bb.id) << 32) |
+                    static_cast<std::uint32_t>(oi);
+                auto it = live_after_jsr.find(key);
+                if (it != live_after_jsr.end()) {
+                    for (const VReg &v : it->second) {
+                        const Location &loc = alloc.locationOf(v);
+                        bool caller_managed =
+                            loc.kind == LocKind::ExtReg ||
+                            (loc.kind == LocKind::CoreReg &&
+                             !pools.isCalleeSave(v.cls, loc.index));
+                        if (caller_managed)
+                            to_save.emplace_back(v, loc);
+                    }
+                }
+                // Deterministic order.
+                std::sort(to_save.begin(), to_save.end(),
+                          [](const auto &a, const auto &b) {
+                              return a.first < b.first;
+                          });
+                for (const auto &[v, loc] : to_save) {
+                    Op save = Op::store(
+                        storeOpc(v.cls),
+                        VReg(v.cls, static_cast<std::uint32_t>(
+                                        loc.index), true),
+                        stackPointer(), 0,
+                        ir::MemRef::frame(ir::FrameKind::Local,
+                                          slot_for(v),
+                                          v.cls == RegClass::Int ? 4
+                                                                 : 8));
+                    save.origin = ir::InstrOrigin::SaveRestore;
+                    out.push_back(std::move(save));
+                    ++stats.saveRestores;
+                }
+            }
+
+            out.push_back(op);
+
+            if (is_jsr) {
+                // The callee may use the spill registers itself.
+                spillregs.invalidateAll();
+                for (const auto &[v, loc] : to_save) {
+                    Op restore = Op::load(
+                        loadOpc(v.cls),
+                        VReg(v.cls, static_cast<std::uint32_t>(
+                                        loc.index), true),
+                        stackPointer(), 0,
+                        ir::MemRef::frame(ir::FrameKind::Local,
+                                          slot_for(v),
+                                          v.cls == RegClass::Int ? 4
+                                                                 : 8));
+                    restore.origin = ir::InstrOrigin::SaveRestore;
+                    out.push_back(std::move(restore));
+                    ++stats.saveRestores;
+                }
+            }
+
+            if (store_after) {
+                Op st = Op::store(storeOpc(def_orig.cls),
+                                  out.back().dst, stackPointer(), 0,
+                                  store_ref);
+                st.origin = ir::InstrOrigin::SpillStore;
+                out.push_back(std::move(st));
+                ++stats.spillStores;
+            }
+        }
+        bb.ops = std::move(out);
+    }
+    return stats;
+}
+
+} // namespace rcsim::regalloc

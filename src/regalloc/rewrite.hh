@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Assignment rewriting: applies a FunctionAlloc to the IR.
+ *
+ * - operands become physical registers,
+ * - spilled values get reload / store code through the reserved spill
+ *   registers (with local reload reuse),
+ * - caller-save registers (and all extended registers, Section 4.1)
+ *   live across a call get save / restore code around the jsr.
+ */
+
+#ifndef RCSIM_REGALLOC_REWRITE_HH
+#define RCSIM_REGALLOC_REWRITE_HH
+
+#include "regalloc/allocation.hh"
+
+namespace rcsim::regalloc
+{
+
+/** Statistics returned by the rewriter. */
+struct RewriteStats
+{
+    int spillLoads = 0;
+    int spillStores = 0;
+    int saveRestores = 0; // save + restore op count around calls
+};
+
+/**
+ * Rewrite @p fn in place according to @p alloc.  The allocation's
+ * numLocalSlots grows as save slots are assigned.
+ */
+RewriteStats rewriteFunction(ir::Function &fn, FunctionAlloc &alloc,
+                             const core::RcConfig &rc);
+
+} // namespace rcsim::regalloc
+
+#endif // RCSIM_REGALLOC_REWRITE_HH

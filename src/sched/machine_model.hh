@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The machine resource model shared by the list scheduler and the
+ * pipeline simulator: issue width, memory channels and operation
+ * latencies (paper Table 1 and Section 5.2).
+ */
+
+#ifndef RCSIM_SCHED_MACHINE_MODEL_HH
+#define RCSIM_SCHED_MACHINE_MODEL_HH
+
+#include "isa/opcode.hh"
+
+namespace rcsim::sched
+{
+
+/** Superscalar resource parameters. */
+struct MachineModel
+{
+    /** Instructions issued per cycle (1, 2, 4 or 8). */
+    int issueWidth = 4;
+
+    /**
+     * Function units able to perform memory accesses: 2 channels for
+     * the 1/2/4-issue models, 4 for the 8-issue model (Section 5.2),
+     * unless an experiment varies it (Figure 13).
+     */
+    int memChannels = 2;
+
+    /** Operation latencies (Table 1). */
+    isa::LatencyConfig lat;
+
+    /** The paper's default channel count for an issue width. */
+    static int
+    defaultChannels(int issue_width)
+    {
+        return issue_width >= 8 ? 4 : 2;
+    }
+};
+
+} // namespace rcsim::sched
+
+#endif // RCSIM_SCHED_MACHINE_MODEL_HH

@@ -1,0 +1,373 @@
+#include "sched/scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "ir/cfg.hh"
+#include "ir/liveness.hh"
+#include "support/logging.hh"
+
+namespace rcsim::sched
+{
+
+namespace
+{
+
+using ir::Op;
+using ir::Opc;
+
+struct Node
+{
+    Op op;
+    int origPos = 0; // position in the flattened region
+    std::vector<std::pair<int, int>> succs; // (node, latency)
+    int indeg = 0;
+    long prio = 0;
+    int earliest = 0;
+    bool isCondBranch = false;
+};
+
+bool
+isBarrier(const Op &op)
+{
+    return op.opc == Opc::Jsr || op.opc == Opc::Rts ||
+           op.opc == Opc::Halt || op.info().isPseudo;
+}
+
+/** May the op be executed speculatively (above a side exit)? */
+bool
+speculable(const Op &op)
+{
+    const ir::OpcInfo &info = op.info();
+    if (!info.hasDst || !op.dst.valid())
+        return false;
+    if (info.isStore || info.isCall || info.isRet || op.isTerminator())
+        return false;
+    if (ir::isConnectOpc(op.opc))
+        return false;
+    // Integer divide / remainder can fault; never hoist them above a
+    // guarding branch.
+    if (op.opc == Opc::Div || op.opc == Opc::Rem)
+        return false;
+    return true;
+}
+
+class RegionScheduler
+{
+  public:
+    RegionScheduler(ir::Function &fn, const std::vector<int> &chain,
+                    const MachineModel &model,
+                    const ir::Liveness &liveness, SchedStats &stats)
+        : fn_(fn), chain_(chain), model_(model), lv_(liveness),
+          stats_(stats)
+    {
+    }
+
+    void
+    run()
+    {
+        collect();
+        buildEdges();
+        computePriorities();
+        listSchedule();
+        emit();
+    }
+
+  private:
+    void
+    collect()
+    {
+        for (int b : chain_)
+            for (Op &op : fn_.blocks[b].ops) {
+                Node n;
+                n.op = op;
+                n.origPos = static_cast<int>(nodes_.size());
+                n.isCondBranch = op.isBranch();
+                nodes_.push_back(std::move(n));
+            }
+    }
+
+    void
+    addEdge(int from, int to, int lat)
+    {
+        if (from == to)
+            return;
+        nodes_[from].succs.emplace_back(to, lat);
+        ++nodes_[to].indeg;
+    }
+
+    int
+    latencyOf(const Op &op) const
+    {
+        if (op.info().isPseudo)
+            return 1; // frame markers etc. (prepass scheduling)
+        return model_.lat.latencyOf(ir::toMachineOpcode(op.opc));
+    }
+
+    /** Dead-on-exit test: dst not live into the branch's taken
+     * target. */
+    bool
+    deadAtExit(const ir::VReg &dst, const Op &branch) const
+    {
+        int target = branch.takenBlock;
+        int idx = lv_.regs.indexOf(dst);
+        if (idx < 0)
+            return true;
+        return !lv_.liveIn[target].test(idx);
+    }
+
+    void
+    buildEdges()
+    {
+        const int n = static_cast<int>(nodes_.size());
+        std::unordered_map<ir::VReg, int> last_def;
+        std::unordered_map<ir::VReg, std::vector<int>> uses_since;
+        std::vector<int> stores, loads, branches;
+        int last_barrier = -1;
+
+        for (int i = 0; i < n; ++i) {
+            const Op &op = nodes_[i].op;
+            const ir::OpcInfo &info = op.info();
+
+            // Register dependences.
+            for (const ir::VReg &u : op.uses()) {
+                auto it = last_def.find(u);
+                if (it != last_def.end())
+                    addEdge(it->second, i,
+                            latencyOf(nodes_[it->second].op));
+                uses_since[u].push_back(i);
+            }
+            for (const ir::VReg &d : op.defs()) {
+                auto it = last_def.find(d);
+                if (it != last_def.end())
+                    addEdge(it->second, i,
+                            latencyOf(nodes_[it->second].op)); // WAW
+                auto us = uses_since.find(d);
+                if (us != uses_since.end()) {
+                    for (int u : us->second)
+                        addEdge(u, i, 0); // WAR
+                    us->second.clear();
+                }
+                last_def[d] = i;
+            }
+
+            // Memory dependences.
+            if (info.isMem) {
+                if (info.isStore) {
+                    for (int s : stores)
+                        if (nodes_[s].op.mem.mayAlias(op.mem))
+                            addEdge(s, i, 1);
+                    for (int l : loads)
+                        if (nodes_[l].op.mem.mayAlias(op.mem))
+                            addEdge(l, i, 0);
+                    stores.push_back(i);
+                } else {
+                    for (int s : stores)
+                        if (nodes_[s].op.mem.mayAlias(op.mem))
+                            addEdge(s, i, 1);
+                    loads.push_back(i);
+                }
+            }
+
+            // Barriers keep everything in order around them.
+            if (last_barrier >= 0)
+                addEdge(last_barrier, i, 0);
+            if (isBarrier(op)) {
+                for (int j = 0; j < i; ++j)
+                    addEdge(j, i, 0);
+                last_barrier = i;
+            }
+
+            // Branch constraints.
+            if (nodes_[i].isCondBranch) {
+                // Branches keep their relative order.
+                if (!branches.empty())
+                    addEdge(branches.back(), i, 0);
+                // Ops before the branch that must not sink below it:
+                // stores, and defs whose value lives on the exit path.
+                for (int j = 0; j < i; ++j) {
+                    const Op &prev = nodes_[j].op;
+                    if (nodes_[j].isCondBranch)
+                        continue; // branch order already handled
+                    bool pin = prev.info().isStore || isBarrier(prev);
+                    if (!pin)
+                        for (const ir::VReg &d : prev.defs())
+                            if (!deadAtExit(d, op))
+                                pin = true;
+                    if (pin)
+                        addEdge(j, i, 0);
+                }
+                branches.push_back(i);
+            } else {
+                // Ops after a branch: speculation above it requires a
+                // side-effect-free op whose result is dead on exit.
+                for (int b : branches) {
+                    bool can = speculable(op);
+                    if (can)
+                        for (const ir::VReg &d : op.defs())
+                            if (!deadAtExit(d, nodes_[b].op))
+                                can = false;
+                    if (!can)
+                        addEdge(b, i, 0);
+                }
+            }
+        }
+
+        // The region's final terminator stays last.
+        if (n > 0) {
+            int t = n - 1;
+            if (nodes_[t].op.isTerminator())
+                for (int j = 0; j < t; ++j)
+                    addEdge(j, t, 0);
+        }
+    }
+
+    void
+    computePriorities()
+    {
+        // Node order is topological (edges only run forward).
+        for (int i = static_cast<int>(nodes_.size()) - 1; i >= 0;
+             --i) {
+            long best = latencyOf(nodes_[i].op);
+            for (auto &[s, lat] : nodes_[i].succs)
+                best = std::max(best, lat + nodes_[s].prio);
+            nodes_[i].prio = best;
+        }
+    }
+
+    void
+    listSchedule()
+    {
+        const int n = static_cast<int>(nodes_.size());
+        std::vector<int> indeg(n);
+        for (int i = 0; i < n; ++i)
+            indeg[i] = nodes_[i].indeg;
+
+        std::vector<char> scheduled(n, 0);
+        std::vector<int> cycle_of(n, 0);
+        std::vector<int> ready;
+        for (int i = 0; i < n; ++i)
+            if (indeg[i] == 0)
+                ready.push_back(i);
+
+        int cycle = 0;
+        int remaining = n;
+        while (remaining > 0) {
+            int slots = model_.issueWidth;
+            int mem = model_.memChannels;
+            bool closed = false;
+            while (slots > 0 && !closed) {
+                int best = -1;
+                for (int r : ready) {
+                    if (scheduled[r] || nodes_[r].earliest > cycle)
+                        continue;
+                    if (nodes_[r].op.isMem() && mem == 0)
+                        continue;
+                    if (best < 0 ||
+                        nodes_[r].prio > nodes_[best].prio ||
+                        (nodes_[r].prio == nodes_[best].prio &&
+                         nodes_[r].origPos < nodes_[best].origPos))
+                        best = r;
+                }
+                if (best < 0)
+                    break;
+
+                scheduled[best] = 1;
+                cycle_of[best] = cycle;
+                order_.push_back(best);
+                --slots;
+                --remaining;
+                if (nodes_[best].op.isMem())
+                    --mem;
+                if ((nodes_[best].isCondBranch &&
+                     nodes_[best].op.predictTaken) ||
+                    isBarrier(nodes_[best].op))
+                    closed = true;
+
+                for (auto &[s, lat] : nodes_[best].succs) {
+                    nodes_[s].earliest = std::max(
+                        nodes_[s].earliest, cycle + lat);
+                    if (--indeg[s] == 0)
+                        ready.push_back(s);
+                }
+            }
+            ++cycle;
+        }
+    }
+
+    void
+    emit()
+    {
+        // Redistribute the scheduled sequence back into the chain's
+        // blocks: each conditional branch terminates the current
+        // block; everything after it belongs to the next block.
+        std::size_t cur = 0;
+        std::vector<std::vector<Op>> per_block(chain_.size());
+        for (std::size_t k = 0; k < order_.size(); ++k) {
+            int ni = order_[k];
+            if (static_cast<int>(k) != ni)
+                ++stats_.reordered;
+            bool is_last = k + 1 == order_.size();
+            per_block[cur].push_back(nodes_[ni].op);
+            if (nodes_[ni].isCondBranch && !is_last &&
+                cur + 1 < chain_.size())
+                ++cur;
+        }
+        for (std::size_t i = 0; i < chain_.size(); ++i)
+            fn_.blocks[chain_[i]].ops = std::move(per_block[i]);
+
+        // Count speculation for statistics: ops that moved to an
+        // earlier block than they started in.
+        // (The reordered counter above already tracks movement.)
+    }
+
+    ir::Function &fn_;
+    const std::vector<int> &chain_;
+    const MachineModel &model_;
+    const ir::Liveness &lv_;
+    SchedStats &stats_;
+    std::vector<Node> nodes_;
+    std::vector<int> order_;
+};
+
+} // namespace
+
+SchedStats
+scheduleFunction(ir::Function &fn, const MachineModel &model)
+{
+    SchedStats stats;
+    ir::Cfg cfg = ir::Cfg::build(fn);
+    ir::Liveness lv = ir::Liveness::compute(fn, cfg);
+
+    const int n = static_cast<int>(fn.blocks.size());
+    std::vector<char> in_chain(n, 0);
+
+    for (int b = 0; b < n; ++b) {
+        if (fn.blocks[b].dead || in_chain[b])
+            continue;
+        // Grow a fall-through chain without side entrances.
+        std::vector<int> chain{b};
+        in_chain[b] = 1;
+        int cur = b;
+        while (true) {
+            const Op &t = fn.blocks[cur].ops.back();
+            if (!t.isBranch())
+                break;
+            int next = t.fallBlock;
+            if (next != cur + 1 || next >= n ||
+                fn.blocks[next].dead || in_chain[next])
+                break;
+            if (cfg.preds[next].size() != 1)
+                break;
+            chain.push_back(next);
+            in_chain[next] = 1;
+            cur = next;
+        }
+        RegionScheduler rs(fn, chain, model, lv, stats);
+        rs.run();
+        ++stats.regions;
+    }
+    return stats;
+}
+
+} // namespace rcsim::sched

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Superblock list scheduler.
+ *
+ * Operates on fully register-allocated functions (every operand a
+ * physical register).  Blocks laid out in fall-through chains without
+ * side entrances are scheduled as one region: instructions may sink
+ * below a side-exit branch when their result is dead on the exit
+ * path, and may be speculated above it when they are side-effect free
+ * and their destination is dead on the exit path — the superblock
+ * scheduling style of the IMPACT compiler the paper builds on.
+ */
+
+#ifndef RCSIM_SCHED_SCHEDULER_HH
+#define RCSIM_SCHED_SCHEDULER_HH
+
+#include "ir/function.hh"
+#include "sched/machine_model.hh"
+
+namespace rcsim::sched
+{
+
+struct SchedStats
+{
+    int regions = 0;       // superblocks scheduled
+    int speculated = 0;    // ops moved above a side exit
+    int reordered = 0;     // ops that changed position
+};
+
+/** Schedule every superblock region of a function in place. */
+SchedStats scheduleFunction(ir::Function &fn,
+                            const MachineModel &model);
+
+} // namespace rcsim::sched
+
+#endif // RCSIM_SCHED_SCHEDULER_HH

@@ -1,0 +1,163 @@
+#include "sim/machine_state.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace rcsim::sim
+{
+
+MachineState::MachineState(const isa::Program &prog,
+                           const SimConfig &cfg)
+    : prog_(prog), cfg_(cfg),
+      imap_(cfg.rc.core(isa::RegClass::Int),
+            cfg.rc.total(isa::RegClass::Int), !cfg.rc.splitMaps),
+      fmap_(cfg.rc.core(isa::RegClass::Fp),
+            cfg.rc.total(isa::RegClass::Fp), !cfg.rc.splitMaps)
+{
+    reset();
+}
+
+void
+MachineState::reset()
+{
+    iregs_.assign(cfg_.rc.total(isa::RegClass::Int), 0);
+    fregs_.assign(cfg_.rc.total(isa::RegClass::Fp), 0.0);
+    imap_.reset();
+    fmap_.reset();
+    psw_ = core::ProcessorStatusWord{};
+    psw_.setExtendedFormat(cfg_.rc.enabled);
+
+    memory_.assign(prog_.memorySize, 0);
+    if (prog_.dataBase + prog_.dataImage.size() > memory_.size())
+        fatal("program data image exceeds configured memory");
+    std::memcpy(memory_.data() + prog_.dataBase,
+                prog_.dataImage.data(), prog_.dataImage.size());
+
+    pc = prog_.entry;
+    epc = 0;
+    epsw = psw_.bits;
+    // The stack grows down from the top of memory.
+    setSp(static_cast<Word>(memory_.size() - 16));
+}
+
+core::RegisterMappingTable &
+MachineState::map(isa::RegClass cls)
+{
+    return cls == isa::RegClass::Int ? imap_ : fmap_;
+}
+
+const core::RegisterMappingTable &
+MachineState::map(isa::RegClass cls) const
+{
+    return cls == isa::RegClass::Int ? imap_ : fmap_;
+}
+
+int
+MachineState::resolveRead(const isa::Reg &r) const
+{
+    if (!cfg_.rc.enabled || !psw_.mapEnable())
+        return r.idx;
+    return map(r.cls).readMap(r.idx);
+}
+
+int
+MachineState::resolveWrite(const isa::Reg &r) const
+{
+    if (!cfg_.rc.enabled || !psw_.mapEnable())
+        return r.idx;
+    return map(r.cls).writeMap(r.idx);
+}
+
+void
+MachineState::resetMaps()
+{
+    imap_.reset();
+    fmap_.reset();
+}
+
+bool
+MachineState::validAddr(Addr addr, int width) const
+{
+    return addr + static_cast<Addr>(width) <= memory_.size() &&
+           addr + static_cast<Addr>(width) >= addr;
+}
+
+Word
+MachineState::loadWord(Addr addr) const
+{
+    Word v;
+    std::memcpy(&v, memory_.data() + addr, 4);
+    return v;
+}
+
+void
+MachineState::storeWord(Addr addr, Word v)
+{
+    std::memcpy(memory_.data() + addr, &v, 4);
+}
+
+double
+MachineState::loadDouble(Addr addr) const
+{
+    double v;
+    std::memcpy(&v, memory_.data() + addr, 8);
+    return v;
+}
+
+void
+MachineState::storeDouble(Addr addr, double v)
+{
+    std::memcpy(memory_.data() + addr, &v, 8);
+}
+
+ProcessContext
+MachineState::saveContext() const
+{
+    ProcessContext ctx;
+    ctx.psw = psw_;
+    ctx.pc = pc;
+    ctx.extended = psw_.extendedFormat();
+    if (ctx.extended) {
+        ctx.iregs = iregs_;
+        ctx.fregs = fregs_;
+        ctx.imap = imap_.save();
+        ctx.fmap = fmap_.save();
+    } else {
+        ctx.iregs.assign(iregs_.begin(),
+                         iregs_.begin() +
+                             cfg_.rc.core(isa::RegClass::Int));
+        ctx.fregs.assign(fregs_.begin(),
+                         fregs_.begin() +
+                             cfg_.rc.core(isa::RegClass::Fp));
+    }
+    return ctx;
+}
+
+void
+MachineState::restoreContext(const ProcessContext &ctx)
+{
+    psw_ = ctx.psw;
+    pc = ctx.pc;
+    if (ctx.extended) {
+        if (ctx.iregs.size() != iregs_.size() ||
+            ctx.fregs.size() != fregs_.size())
+            panic("extended context does not match register files");
+        iregs_ = ctx.iregs;
+        fregs_ = ctx.fregs;
+        imap_.restore(ctx.imap);
+        fmap_.restore(ctx.fmap);
+    } else {
+        // Original-format context: restore the core sections and make
+        // sure the maps are at their home locations, which is all a
+        // base-architecture program can observe (Section 4.2).
+        std::copy(ctx.iregs.begin(), ctx.iregs.end(),
+                  iregs_.begin());
+        std::copy(ctx.fregs.begin(), ctx.fregs.end(),
+                  fregs_.begin());
+        imap_.reset();
+        fmap_.reset();
+    }
+}
+
+} // namespace rcsim::sim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Architected machine state: the enlarged register files, the two
+ * register mapping tables, the PSW, memory and the program counter.
+ * Also implements the two process-context formats of Section 4.2.
+ */
+
+#ifndef RCSIM_SIM_MACHINE_STATE_HH
+#define RCSIM_SIM_MACHINE_STATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mapping_table.hh"
+#include "core/psw.hh"
+#include "isa/instruction.hh"
+#include "sim/sim_config.hh"
+
+namespace rcsim::sim
+{
+
+/**
+ * Saved process context.  The format flag in the PSW selects what the
+ * context-switch code must save: programs compiled for the original
+ * architecture need only the core registers, extended-architecture
+ * programs also need the extended registers and the connection state
+ * (Section 4.2).
+ */
+struct ProcessContext
+{
+    core::ProcessorStatusWord psw;
+    std::int32_t pc = 0;
+    bool extended = false;
+
+    // Core (always) and extended (extended format only) registers.
+    std::vector<Word> iregs;
+    std::vector<double> fregs;
+
+    // Connection state (extended format only).
+    core::RegisterMappingTable::Snapshot imap;
+    core::RegisterMappingTable::Snapshot fmap;
+};
+
+/** The architected state of one RCM processor. */
+class MachineState
+{
+  public:
+    MachineState(const isa::Program &prog, const SimConfig &cfg);
+
+    /** Reset registers, maps and memory to the program's image. */
+    void reset();
+
+    // -- Register access through the mapping table ---------------------
+
+    /** Physical register a source operand resolves to. */
+    int resolveRead(const isa::Reg &r) const;
+
+    /** Physical register a destination operand resolves to. */
+    int resolveWrite(const isa::Reg &r) const;
+
+    Word readInt(int phys) const { return iregs_[phys]; }
+    double readFp(int phys) const { return fregs_[phys]; }
+    void writeInt(int phys, Word v) { iregs_[phys] = v; }
+    void writeFp(int phys, double v) { fregs_[phys] = v; }
+
+    core::RegisterMappingTable &map(isa::RegClass cls);
+    const core::RegisterMappingTable &map(isa::RegClass cls) const;
+
+    /** jsr / rts / power-up: reset both mapping tables. */
+    void resetMaps();
+
+    core::ProcessorStatusWord &psw() { return psw_; }
+    const core::ProcessorStatusWord &psw() const { return psw_; }
+
+    // -- Memory ----------------------------------------------------------
+
+    bool validAddr(Addr addr, int width) const;
+    Word loadWord(Addr addr) const;
+    void storeWord(Addr addr, Word v);
+    double loadDouble(Addr addr) const;
+    void storeDouble(Addr addr, double v);
+
+    Addr memorySize() const
+    {
+        return static_cast<Addr>(memory_.size());
+    }
+
+    // -- Program counter / stack pointer ---------------------------------
+
+    std::int32_t pc = 0;
+
+    Word
+    sp() const
+    {
+        return iregs_[core::ArchConvention::stackPointer];
+    }
+    void
+    setSp(Word v)
+    {
+        iregs_[core::ArchConvention::stackPointer] = v;
+    }
+
+    // Trap shadow state (Section 4.3).
+    std::int32_t epc = 0;
+    UWord epsw = 0;
+
+    // -- Context switching (Section 4.2) ---------------------------------
+
+    /** Save in the format selected by the PSW format flag. */
+    ProcessContext saveContext() const;
+
+    /** Restore a context saved by saveContext(). */
+    void restoreContext(const ProcessContext &ctx);
+
+  private:
+    const isa::Program &prog_;
+    const SimConfig &cfg_;
+
+    std::vector<Word> iregs_;
+    std::vector<double> fregs_;
+    core::RegisterMappingTable imap_;
+    core::RegisterMappingTable fmap_;
+    core::ProcessorStatusWord psw_;
+    std::vector<std::uint8_t> memory_;
+};
+
+} // namespace rcsim::sim
+
+#endif // RCSIM_SIM_MACHINE_STATE_HH

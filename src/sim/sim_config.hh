@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Simulator configuration: microarchitecture resources (Table 1 /
+ * Section 5.2) plus the RC architecture extension parameters.
+ */
+
+#ifndef RCSIM_SIM_SIM_CONFIG_HH
+#define RCSIM_SIM_SIM_CONFIG_HH
+
+#include <vector>
+
+#include "core/rc_config.hh"
+#include "sched/machine_model.hh"
+#include "support/types.hh"
+
+namespace rcsim::sim
+{
+
+struct SimConfig
+{
+    /** Issue width, memory channels, latencies. */
+    sched::MachineModel machine;
+
+    /** Register file / RC configuration. */
+    core::RcConfig rc;
+
+    /** Give up after this many cycles (runaway guard). */
+    Cycle maxCycles = 2'000'000'000ull;
+
+    /**
+     * Pipeline variant of Figures 5 and 6: when register fetch
+     * happens *after* dispatch, a connect-use forwards updated
+     * physical register numbers, so it need not wait for the
+     * register's value; when fetch happens *before* dispatch (the
+     * default modelled here), the connect-use forwards the value
+     * itself and must wait until the register is ready.
+     */
+    bool fetchAfterDispatch = false;
+
+    /**
+     * Handler entry (instruction index) for TRAP instructions and
+     * injected interrupts; -1 means traps are fatal.
+     */
+    std::int32_t trapVector = -1;
+
+    /** Cycles at which to inject an external interrupt (tests). */
+    std::vector<Cycle> interruptCycles;
+
+    /**
+     * Collect an issue trace ("cycle pc: disassembly" per issued
+     * instruction) for the first @c traceLimit instructions; 0
+     * disables tracing.
+     */
+    Count traceLimit = 0;
+
+    /**
+     * Branch redirect penalty on a misprediction: one front-end
+     * bubble, plus one more when the RC mapping-table access needs an
+     * extra decode stage (Section 2.4 / Figure 12).
+     */
+    int
+    redirectPenalty() const
+    {
+        return 1 + (rc.extraPipeStage ? 1 : 0);
+    }
+};
+
+} // namespace rcsim::sim
+
+#endif // RCSIM_SIM_SIM_CONFIG_HH

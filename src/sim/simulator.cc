@@ -1,0 +1,597 @@
+#include "sim/simulator.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace rcsim::sim
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::OpcodeInfo;
+using isa::RegClass;
+
+Simulator::Simulator(const isa::Program &prog, const SimConfig &cfg)
+    : prog_(prog), cfg_(cfg), state_(prog, cfg_)
+{
+    if (cfg_.rc.enabled && !cfg_.rc.splitMaps &&
+        cfg_.rc.model != core::RcModel::NoReset)
+        fatal("unified maps require the no-reset model");
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    state_.reset();
+    readyInt_.assign(cfg_.rc.total(RegClass::Int), 0);
+    readyFp_.assign(cfg_.rc.total(RegClass::Fp), 0);
+    cycle_ = 0;
+    nextFetchCycle_ = 0;
+    instructions_ = 0;
+    halted_ = false;
+    error_.clear();
+    stats_.clear();
+    nextInterrupt_ = 0;
+    trace_.clear();
+    traceLeft_ = cfg_.traceLimit;
+    for (Count &c : originDyn_)
+        c = 0;
+    for (int c = 0; c < isa::numRegClasses; ++c)
+        dirtyMap_[c].assign(
+            cfg_.rc.core(static_cast<RegClass>(c)), 0);
+}
+
+Cycle &
+Simulator::readyOf(RegClass cls, int phys)
+{
+    return cls == RegClass::Int ? readyInt_[phys] : readyFp_[phys];
+}
+
+void
+Simulator::enterTrap(std::int32_t return_pc)
+{
+    if (cfg_.trapVector < 0) {
+        fail("trap taken but no trap vector configured");
+        return;
+    }
+    state_.epc = return_pc;
+    state_.epsw = state_.psw().bits;
+    // Traps bypass the register map so handlers touch the core
+    // registers directly (Section 4.3).
+    state_.psw().setMapEnable(false);
+    state_.pc = cfg_.trapVector;
+    stats_.add("traps");
+}
+
+SimResult
+Simulator::run()
+{
+    reset();
+    step(cfg_.maxCycles);
+    if (!halted_ && error_.empty())
+        fail("cycle limit exceeded");
+    return result();
+}
+
+bool
+Simulator::step(Cycle budget)
+{
+    Cycle end = cycle_ + budget;
+    while (!halted_ && cycle_ < end)
+        issueCycle();
+    return halted_;
+}
+
+SimResult
+Simulator::result() const
+{
+    SimResult r;
+    r.ok = halted_ && error_.empty();
+    r.error = error_;
+    r.cycles = cycle_;
+    r.instructions = instructions_;
+    r.stats = stats_;
+    static const char *origin_names[6] = {
+        "dyn_normal", "dyn_spill_load", "dyn_spill_store",
+        "dyn_connect", "dyn_save_restore", "dyn_glue"};
+    for (int i = 0; i < 6; ++i)
+        r.stats.set(origin_names[i], originDyn_[i]);
+    return r;
+}
+
+void
+Simulator::issueCycle()
+{
+    // External interrupts are accepted at cycle boundaries.
+    if (nextInterrupt_ < cfg_.interruptCycles.size() &&
+        cfg_.interruptCycles[nextInterrupt_] <= cycle_) {
+        ++nextInterrupt_;
+        enterTrap(state_.pc);
+        nextFetchCycle_ = cycle_ + 1 + cfg_.redirectPenalty();
+        ++cycle_;
+        return;
+    }
+
+    if (cycle_ < nextFetchCycle_) {
+        stats_.add("cycles_redirect");
+        ++cycle_;
+        return;
+    }
+
+    int slots = cfg_.machine.issueWidth;
+    int mem = cfg_.machine.memChannels;
+    bool any_dirty = false;
+
+    int issued = 0;
+    while (slots > 0 && !halted_) {
+        if (state_.pc < 0 ||
+            state_.pc >= static_cast<std::int32_t>(prog_.code.size())) {
+            fail("program counter out of range");
+            break;
+        }
+        const Instruction &ins = prog_.code[state_.pc];
+        const OpcodeInfo &info = ins.info();
+        bool rc_on = cfg_.rc.enabled && state_.psw().mapEnable();
+
+        // ---- One-cycle connects: stall consumers of map entries
+        // updated earlier this same cycle (Section 2.4). ----
+        if (any_dirty && rc_on && !info.isConnect) {
+            bool dirty = false;
+            for (int k = 0; k < info.numSrcs && !dirty; ++k)
+                if (dirtyMap_[static_cast<int>(ins.src[k].cls)]
+                             [ins.src[k].idx])
+                    dirty = true;
+            if (!dirty && info.hasDst &&
+                dirtyMap_[static_cast<int>(ins.dst.cls)][ins.dst.idx])
+                dirty = true;
+            if (dirty) {
+                stats_.add("stall_map_update");
+                break;
+            }
+        }
+
+        // ---- Operand resolution through the mapping table. ----
+        int sphys[2] = {0, 0};
+        bool resolved = true;
+        for (int k = 0; k < info.numSrcs; ++k) {
+            const isa::Reg &r = ins.src[k];
+            int limit = rc_on ? state_.map(r.cls).size()
+                              : cfg_.rc.total(r.cls);
+            if (r.idx >= limit) {
+                fail("register operand out of range");
+                resolved = false;
+                break;
+            }
+            sphys[k] = state_.resolveRead(r);
+        }
+        if (!resolved)
+            break;
+        int dphys = -1;
+        if (info.hasDst) {
+            const isa::Reg &r = ins.dst;
+            int limit = rc_on ? state_.map(r.cls).size()
+                              : cfg_.rc.total(r.cls);
+            if (r.idx >= limit) {
+                fail("destination register out of range");
+                break;
+            }
+            dphys = state_.resolveWrite(r);
+        }
+
+        // ---- Register interlocks (CRAY-1 style). ----
+        bool stalled = false;
+        for (int k = 0; k < info.numSrcs; ++k)
+            if (readyOf(ins.src[k].cls, sphys[k]) > cycle_) {
+                stats_.add("stall_src");
+                stalled = true;
+                break;
+            }
+        if (!stalled && info.hasDst &&
+            readyOf(ins.dst.cls, dphys) > cycle_) {
+            stats_.add("stall_dest_busy");
+            stalled = true;
+        }
+        if (!stalled && info.isConnect &&
+            !cfg_.fetchAfterDispatch) {
+            // Register fetch before dispatch (Figure 6): connect-use
+            // forwards the register *value*, so the source register
+            // must be ready.  With fetch after dispatch (Figure 5)
+            // only the physical register number is forwarded and the
+            // consumer performs its own ready check at register
+            // fetch.
+            for (int k = 0; k < ins.nconn; ++k)
+                if (!ins.conn[k].isDef &&
+                    readyOf(ins.connCls, ins.conn[k].phys) > cycle_) {
+                    stats_.add("stall_src");
+                    stalled = true;
+                    break;
+                }
+        }
+        if (stalled)
+            break;
+
+        // ---- Structural hazard: memory channels. ----
+        bool uses_mem = info.isMem || ins.op == Opcode::JSR ||
+                        ins.op == Opcode::RTS;
+        if (uses_mem && mem == 0) {
+            stats_.add("stall_mem_channel");
+            break;
+        }
+
+        // ---- Issue. ----
+        if (traceLeft_ > 0) {
+            --traceLeft_;
+            trace_ += std::to_string(cycle_) + "  " +
+                      std::to_string(state_.pc) + ": " +
+                      ins.toString() + "\n";
+        }
+        ++instructions_;
+        originDyn_[static_cast<int>(ins.origin)] += 1;
+        ++issued;
+        --slots;
+        if (uses_mem)
+            --mem;
+        if (info.isConnect &&
+            cfg_.machine.lat.connectLatency >= 1) {
+            for (int k = 0; k < ins.nconn; ++k) {
+                dirtyMap_[static_cast<int>(ins.connCls)]
+                         [ins.conn[k].mapIdx] = 1;
+                any_dirty = true;
+            }
+        }
+
+        bool continue_group = execute(ins, issued);
+        if (!continue_group)
+            break;
+    }
+
+    if (issued == 0)
+        stats_.add("cycles_stalled");
+    stats_.add("issued_" + std::to_string(issued));
+    if (any_dirty)
+        for (int c = 0; c < isa::numRegClasses; ++c)
+            std::fill(dirtyMap_[c].begin(), dirtyMap_[c].end(), 0);
+    ++cycle_;
+}
+
+bool
+Simulator::execute(const Instruction &ins, int)
+{
+    const OpcodeInfo &info = ins.info();
+    bool rc_on = cfg_.rc.enabled && state_.psw().mapEnable();
+
+    auto sval = [&](int k) {
+        return state_.readInt(state_.resolveRead(ins.src[k]));
+    };
+    auto fval = [&](int k) {
+        return state_.readFp(state_.resolveRead(ins.src[k]));
+    };
+    auto uw = [](Word w) { return static_cast<UWord>(w); };
+
+    int dphys = info.hasDst ? state_.resolveWrite(ins.dst) : -1;
+    int latency = cfg_.machine.lat.latencyOf(ins.op);
+
+    auto write_int = [&](Word v) {
+        state_.writeInt(dphys, v);
+        readyOf(RegClass::Int, dphys) = cycle_ + latency;
+    };
+    auto write_fp = [&](double v) {
+        state_.writeFp(dphys, v);
+        readyOf(RegClass::Fp, dphys) = cycle_ + latency;
+    };
+    auto finish_write = [&]() {
+        if (rc_on)
+            state_.map(ins.dst.cls).applyWriteSideEffect(
+                ins.dst.idx, cfg_.rc.model);
+    };
+
+    auto mem_addr = [&](int base_src) {
+        return static_cast<Addr>(uw(sval(base_src)) + uw(ins.imm));
+    };
+
+    auto branch = [&](bool taken) {
+        if (taken) {
+            state_.pc = ins.target;
+            stats_.add("taken_branches");
+        } else {
+            ++state_.pc;
+        }
+        if (taken != ins.predictTaken) {
+            stats_.add("mispredicts");
+            nextFetchCycle_ = cycle_ + 1 + cfg_.redirectPenalty();
+            return false;
+        }
+        return !taken; // correctly-predicted taken still ends fetch
+    };
+
+    switch (ins.op) {
+      case Opcode::NOP:
+        ++state_.pc;
+        return true;
+      case Opcode::HALT:
+        halted_ = true;
+        return false;
+
+      case Opcode::ADD:
+        write_int(static_cast<Word>(uw(sval(0)) + uw(sval(1))));
+        break;
+      case Opcode::SUB:
+        write_int(static_cast<Word>(uw(sval(0)) - uw(sval(1))));
+        break;
+      case Opcode::AND:
+        write_int(sval(0) & sval(1));
+        break;
+      case Opcode::OR:
+        write_int(sval(0) | sval(1));
+        break;
+      case Opcode::XOR:
+        write_int(sval(0) ^ sval(1));
+        break;
+      case Opcode::NOR:
+        write_int(~(sval(0) | sval(1)));
+        break;
+      case Opcode::SLL:
+        write_int(static_cast<Word>(uw(sval(0)) << (sval(1) & 31)));
+        break;
+      case Opcode::SRL:
+        write_int(static_cast<Word>(uw(sval(0)) >> (sval(1) & 31)));
+        break;
+      case Opcode::SRA:
+        write_int(sval(0) >> (sval(1) & 31));
+        break;
+      case Opcode::SLT:
+        write_int(sval(0) < sval(1));
+        break;
+      case Opcode::SLTU:
+        write_int(uw(sval(0)) < uw(sval(1)));
+        break;
+
+      case Opcode::ADDI:
+        write_int(static_cast<Word>(uw(sval(0)) + uw(ins.imm)));
+        break;
+      case Opcode::ANDI:
+        write_int(sval(0) & ins.imm);
+        break;
+      case Opcode::ORI:
+        write_int(sval(0) | ins.imm);
+        break;
+      case Opcode::XORI:
+        write_int(sval(0) ^ ins.imm);
+        break;
+      case Opcode::SLLI:
+        write_int(static_cast<Word>(uw(sval(0)) << (ins.imm & 31)));
+        break;
+      case Opcode::SRLI:
+        write_int(static_cast<Word>(uw(sval(0)) >> (ins.imm & 31)));
+        break;
+      case Opcode::SRAI:
+        write_int(sval(0) >> (ins.imm & 31));
+        break;
+      case Opcode::SLTI:
+        write_int(sval(0) < ins.imm);
+        break;
+      case Opcode::LI:
+        write_int(ins.imm);
+        break;
+      case Opcode::LUI:
+        write_int(static_cast<Word>(uw(ins.imm) << 16));
+        break;
+      case Opcode::MOV:
+        write_int(sval(0));
+        break;
+
+      case Opcode::MUL:
+        write_int(static_cast<Word>(uw(sval(0)) * uw(sval(1))));
+        break;
+      case Opcode::DIV:
+        if (sval(1) == 0) {
+            fail("integer division by zero");
+            return false;
+        }
+        write_int(sval(0) / sval(1));
+        break;
+      case Opcode::REM:
+        if (sval(1) == 0) {
+            fail("integer remainder by zero");
+            return false;
+        }
+        write_int(sval(0) % sval(1));
+        break;
+
+      case Opcode::FADD:
+        write_fp(fval(0) + fval(1));
+        break;
+      case Opcode::FSUB:
+        write_fp(fval(0) - fval(1));
+        break;
+      case Opcode::FNEG:
+        write_fp(-fval(0));
+        break;
+      case Opcode::FABS:
+        write_fp(std::fabs(fval(0)));
+        break;
+      case Opcode::FMOV:
+        write_fp(fval(0));
+        break;
+      case Opcode::FMIN:
+        write_fp(std::fmin(fval(0), fval(1)));
+        break;
+      case Opcode::FMAX:
+        write_fp(std::fmax(fval(0), fval(1)));
+        break;
+      case Opcode::FCMP_LT:
+        write_int(fval(0) < fval(1));
+        break;
+      case Opcode::FCMP_LE:
+        write_int(fval(0) <= fval(1));
+        break;
+      case Opcode::FCMP_EQ:
+        write_int(fval(0) == fval(1));
+        break;
+      case Opcode::CVT_IF:
+        write_fp(static_cast<double>(sval(0)));
+        break;
+      case Opcode::CVT_FI:
+        write_int(static_cast<Word>(
+            static_cast<std::int64_t>(fval(0))));
+        break;
+      case Opcode::FMUL:
+        write_fp(fval(0) * fval(1));
+        break;
+      case Opcode::FDIV:
+        write_fp(fval(0) / fval(1));
+        break;
+
+      case Opcode::LW: {
+        Addr a = mem_addr(0);
+        if (!state_.validAddr(a, 4)) {
+            fail("load out of bounds");
+            return false;
+        }
+        stats_.add("loads");
+        write_int(state_.loadWord(a));
+        break;
+      }
+      case Opcode::LF: {
+        Addr a = mem_addr(0);
+        if (!state_.validAddr(a, 8)) {
+            fail("load out of bounds");
+            return false;
+        }
+        stats_.add("loads");
+        write_fp(state_.loadDouble(a));
+        break;
+      }
+      case Opcode::SW: {
+        Addr a = mem_addr(1);
+        if (!state_.validAddr(a, 4)) {
+            fail("store out of bounds");
+            return false;
+        }
+        stats_.add("stores");
+        state_.storeWord(a, sval(0));
+        ++state_.pc;
+        return true;
+      }
+      case Opcode::SF: {
+        Addr a = mem_addr(1);
+        if (!state_.validAddr(a, 8)) {
+            fail("store out of bounds");
+            return false;
+        }
+        stats_.add("stores");
+        state_.storeDouble(
+            a, state_.readFp(state_.resolveRead(ins.src[0])));
+        ++state_.pc;
+        return true;
+      }
+
+      case Opcode::BEQ:
+        return branch(sval(0) == sval(1));
+      case Opcode::BNE:
+        return branch(sval(0) != sval(1));
+      case Opcode::BLT:
+        return branch(sval(0) < sval(1));
+      case Opcode::BGE:
+        return branch(sval(0) >= sval(1));
+      case Opcode::BLE:
+        return branch(sval(0) <= sval(1));
+      case Opcode::BGT:
+        return branch(sval(0) > sval(1));
+
+      case Opcode::J:
+        state_.pc = ins.target;
+        return false;
+
+      case Opcode::JSR: {
+        Word sp = state_.sp() - 4;
+        if (!state_.validAddr(static_cast<Addr>(sp), 4)) {
+            fail("stack overflow on jsr");
+            return false;
+        }
+        state_.storeWord(static_cast<Addr>(sp), state_.pc + 1);
+        state_.setSp(sp);
+        readyOf(RegClass::Int,
+                core::ArchConvention::stackPointer) = cycle_ + 1;
+        state_.pc = ins.target;
+        if (cfg_.rc.enabled)
+            state_.resetMaps(); // Section 4.1
+        stats_.add("calls");
+        return false;
+      }
+      case Opcode::RTS: {
+        Word sp = state_.sp();
+        if (!state_.validAddr(static_cast<Addr>(sp), 4)) {
+            fail("stack underflow on rts");
+            return false;
+        }
+        state_.pc = state_.loadWord(static_cast<Addr>(sp));
+        state_.setSp(sp + 4);
+        readyOf(RegClass::Int,
+                core::ArchConvention::stackPointer) = cycle_ + 1;
+        if (cfg_.rc.enabled)
+            state_.resetMaps(); // Section 4.1
+        return false;
+      }
+
+      case Opcode::TRAP:
+        enterTrap(state_.pc + 1);
+        nextFetchCycle_ = cycle_ + 1 + cfg_.redirectPenalty();
+        return false;
+      case Opcode::RFE:
+        state_.psw().bits = state_.epsw;
+        state_.pc = state_.epc;
+        return false;
+      case Opcode::MFPSW:
+        write_int(static_cast<Word>(state_.psw().bits));
+        break;
+      case Opcode::MTPSW:
+        state_.psw().bits = static_cast<UWord>(sval(0));
+        ++state_.pc;
+        return false; // mapping semantics may have changed
+
+      case Opcode::CONNECT_USE:
+      case Opcode::CONNECT_DEF:
+      case Opcode::CONNECT_UU:
+      case Opcode::CONNECT_DU:
+      case Opcode::CONNECT_DD: {
+        if (!cfg_.rc.enabled) {
+            fail("connect instruction without RC support");
+            return false;
+        }
+        stats_.add("connects");
+        core::RegisterMappingTable &map = state_.map(ins.connCls);
+        for (int k = 0; k < ins.nconn; ++k) {
+            if (ins.conn[k].phys >= map.physRegs()) {
+                fail("connect to bad physical register");
+                return false;
+            }
+            if (ins.conn[k].mapIdx >= map.size()) {
+                fail("connect to bad map index");
+                return false;
+            }
+            if (ins.conn[k].isDef)
+                map.connectDef(ins.conn[k].mapIdx,
+                               ins.conn[k].phys);
+            else
+                map.connectUse(ins.conn[k].mapIdx,
+                               ins.conn[k].phys);
+        }
+        ++state_.pc;
+        return true;
+      }
+
+      default:
+        fail("unimplemented opcode");
+        return false;
+    }
+
+    // Common epilogue for register-writing straight-line ops.
+    finish_write();
+    ++state_.pc;
+    return true;
+}
+
+} // namespace rcsim::sim

@@ -1,0 +1,40 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+
+namespace rcsim
+{
+
+namespace
+{
+bool quietFlag = false;
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+namespace logging_detail
+{
+
+void
+emit(const char *level, const std::string &msg)
+{
+    bool is_error =
+        std::string(level) == "panic" || std::string(level) == "fatal";
+    if (quietFlag && !is_error)
+        return;
+    std::fprintf(stderr, "rcsim: %s: %s\n", level, msg.c_str());
+}
+
+} // namespace logging_detail
+
+} // namespace rcsim

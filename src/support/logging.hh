@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition.
+ *
+ * panic()  - internal invariant violated; a bug in rcsim itself.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments).
+ * warn()   - something is modelled approximately; results may be
+ *            affected but execution continues.
+ * inform() - plain status output.
+ */
+
+#ifndef RCSIM_SUPPORT_LOGGING_HH
+#define RCSIM_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rcsim
+{
+
+/** Exception thrown by panic(); carries the formatted message. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal(); carries the formatted message. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace logging_detail
+{
+
+void emit(const char *level, const std::string &msg);
+
+inline void
+format(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+format(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    format(os, rest...);
+}
+
+template <typename... Args>
+std::string
+join(const Args &...args)
+{
+    std::ostringstream os;
+    format(os, args...);
+    return os.str();
+}
+
+} // namespace logging_detail
+
+/**
+ * Abort with a message: an rcsim-internal invariant was violated.
+ * Throws PanicError so tests can observe it.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::string msg = logging_detail::join(args...);
+    logging_detail::emit("panic", msg);
+    throw PanicError(msg);
+}
+
+/**
+ * Abort with a message: the user asked for something unsupported.
+ * Throws FatalError so tests can observe it.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::string msg = logging_detail::join(args...);
+    logging_detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Warn about approximate or suspicious behaviour; keeps running. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logging_detail::emit("warn", logging_detail::join(args...));
+}
+
+/** Plain status output. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logging_detail::emit("info", logging_detail::join(args...));
+}
+
+/** Globally silence warn()/inform() (used by benches). */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+} // namespace rcsim
+
+#endif // RCSIM_SUPPORT_LOGGING_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload data.
+ *
+ * Workload inputs must be bit-identical across runs and platforms so
+ * that experiments are reproducible; std::mt19937 would also work but a
+ * tiny explicit generator makes the contract obvious and keeps workload
+ * initialisation out of <random>'s distribution variance.
+ */
+
+#ifndef RCSIM_SUPPORT_RANDOM_HH
+#define RCSIM_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+
+namespace rcsim
+{
+
+/** xorshift64* generator; deterministic for a given seed. */
+class SplitMix
+{
+  public:
+    explicit SplitMix(std::uint64_t seed) : state_(seed ? seed : 0x9e3779b9)
+    {
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        return static_cast<std::uint32_t>(next() % bound);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    unit()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace rcsim
+
+#endif // RCSIM_SUPPORT_RANDOM_HH

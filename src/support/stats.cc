@@ -1,0 +1,44 @@
+#include "support/stats.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace rcsim
+{
+
+std::string
+StatGroup::format() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters_)
+        os << name << " = " << value << "\n";
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            panic("geomean: non-positive value ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace rcsim

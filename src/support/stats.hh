@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small statistics helpers used by the simulator and the experiment
+ * harness: named scalar counters and geometric means.
+ */
+
+#ifndef RCSIM_SUPPORT_STATS_HH
+#define RCSIM_SUPPORT_STATS_HH
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace rcsim
+{
+
+/** A named bag of scalar counters with formatted dumping. */
+class StatGroup
+{
+  public:
+    /** Add delta to the named counter (creating it at zero). */
+    void
+    add(const std::string &name, Count delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Read a counter; missing counters read as zero. */
+    Count
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    void
+    set(const std::string &name, Count value)
+    {
+        counters_[name] = value;
+    }
+
+    void clear() { counters_.clear(); }
+
+    const std::map<std::string, Count> &all() const { return counters_; }
+
+    /** Render as "name = value" lines. */
+    std::string format() const;
+
+  private:
+    std::map<std::string, Count> counters_;
+};
+
+/**
+ * Geometric mean of a series of positive values.  The paper-style
+ * summary statistic for per-benchmark speedups.
+ *
+ * @return 0.0 for an empty series.
+ */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0.0 for an empty series. */
+double mean(const std::vector<double> &values);
+
+} // namespace rcsim
+
+#endif // RCSIM_SUPPORT_STATS_HH

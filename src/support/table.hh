@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fixed-width text table writer used by the experiment harness to print
+ * paper-style result rows.
+ */
+
+#ifndef RCSIM_SUPPORT_TABLE_HH
+#define RCSIM_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace rcsim
+{
+
+/** Accumulates rows of cells and renders them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render the table with a separator under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rcsim
+
+#endif // RCSIM_SUPPORT_TABLE_HH

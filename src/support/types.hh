@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every rcsim module.
+ */
+
+#ifndef RCSIM_SUPPORT_TYPES_HH
+#define RCSIM_SUPPORT_TYPES_HH
+
+#include <cstdint>
+
+namespace rcsim
+{
+
+/** Simulated cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated byte address. */
+using Addr = std::uint32_t;
+
+/** Integer register / ALU word (the RCM ISA is a 32-bit machine). */
+using Word = std::int32_t;
+using UWord = std::uint32_t;
+
+/** Floating-point register word (double precision pairs, Section 5.2). */
+using FpWord = double;
+
+/** Dynamic execution counts (profile weights, instruction counts). */
+using Count = std::uint64_t;
+
+} // namespace rcsim
+
+#endif // RCSIM_SUPPORT_TYPES_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * "cccp" workload: preprocessor-style token scanning.
+ *
+ * Recreates cccp's character dispatch: each input character is
+ * classified by a branch tree (whitespace / digit / identifier /
+ * punctuation); identifier runs are hashed character by character and
+ * digit runs accumulate values — the heavily branch-dependent profile
+ * of the GNU preprocessor.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+
+ir::Module
+buildCccp()
+{
+    constexpr int N = 12288;
+    constexpr int R = 2;
+
+    ir::Module m;
+    m.name = "cccp";
+
+    SplitMix rng(0xcc);
+    std::vector<Word> input(N);
+    for (int i = 0; i < N; ++i) {
+        std::uint32_t pick = rng.below(100);
+        Word c;
+        if (pick < 18)
+            c = 32; // space
+        else if (pick < 24)
+            c = 10; // newline
+        else if (pick < 42)
+            c = static_cast<Word>('0' + rng.below(10));
+        else if (pick < 88)
+            c = static_cast<Word>('a' + rng.below(26));
+        else
+            c = static_cast<Word>("+-*/(){};,"[rng.below(10)]);
+        input[i] = c;
+    }
+    int gin = makeIntArray(m, "input", input);
+
+    int fi = m.addFunction("main");
+    ir::Function &fn = m.fn(fi);
+    fn.returnsValue = true;
+    fn.retClass = RegClass::Int;
+    m.entryFunction = fi;
+
+    IRBuilder b(m, fi);
+    VReg inbase = b.addrOf(gin);
+    VReg n = b.iconst(N);
+    VReg rbound = b.iconst(R);
+
+    VReg lines = b.temp(RegClass::Int);
+    b.assignI(lines, 0);
+    VReg idents = b.temp(RegClass::Int);
+    b.assignI(idents, 0);
+    VReg hash = b.temp(RegClass::Int);
+    b.assignI(hash, 0);
+    VReg value = b.temp(RegClass::Int);
+    b.assignI(value, 0);
+    VReg puncts = b.temp(RegClass::Int);
+    b.assignI(puncts, 0);
+    VReg in_ident = b.temp(RegClass::Int);
+    b.assignI(in_ident, 0);
+    VReg i = b.temp(RegClass::Int);
+    VReg r = b.temp(RegClass::Int);
+    b.assignI(r, 0);
+
+    int ch_body = b.newBlock();
+    int not_space = b.newBlock();
+    int space_blk = b.newBlock();
+    int newline_blk = b.newBlock();
+    int not_digit = b.newBlock();
+    int digit_blk = b.newBlock();
+    int alpha_blk = b.newBlock();
+    int ident_start = b.newBlock();
+    int ident_cont = b.newBlock();
+    int punct_blk = b.newBlock();
+    int ch_next = b.newBlock();
+    int pass_done = b.newBlock();
+    int done = b.newBlock();
+
+    b.assignI(i, 0);
+    b.jmp(ch_body);
+
+    b.setBlock(ch_body);
+    VReg c = b.loadW(elemAddr(b, inbase, i, 2), 0,
+                     MemRef::global(gin));
+    {
+        VReg sp_lim = b.iconst(33);
+        b.br(Opc::Bge, c, sp_lim, not_space, space_blk);
+    }
+
+    b.setBlock(space_blk);
+    b.assignI(in_ident, 0);
+    {
+        VReg nl = b.iconst(10);
+        b.br(Opc::Beq, c, nl, newline_blk, ch_next);
+    }
+
+    b.setBlock(newline_blk);
+    b.assignRI(Opc::AddI, lines, lines, 1);
+    b.jmp(ch_next);
+
+    b.setBlock(not_digit); // placed before use for readability
+    {
+        VReg alpha_lo = b.iconst('a');
+        int alpha_chk = b.newBlock();
+        b.br(Opc::Bge, c, alpha_lo, alpha_chk, punct_blk);
+        b.setBlock(alpha_chk);
+        VReg alpha_hi = b.iconst('z');
+        b.br(Opc::Bgt, c, alpha_hi, punct_blk, alpha_blk);
+    }
+
+    // not_space: digit?
+    b.setBlock(not_space);
+    {
+        VReg dig_hi = b.iconst('9' + 1);
+        int dig_chk = b.newBlock();
+        b.br(Opc::Bge, c, dig_hi, not_digit, dig_chk);
+        b.setBlock(dig_chk);
+        VReg dig_lo = b.iconst('0');
+        b.br(Opc::Bge, c, dig_lo, digit_blk, punct_blk);
+    }
+
+    b.setBlock(digit_blk);
+    b.assignI(in_ident, 0);
+    {
+        VReg ten = b.iconst(10);
+        VReg scaled = b.mul(value, ten);
+        b.assignRR(Opc::Add, value, scaled, b.addi(c, -'0'));
+        b.assignRI(Opc::AndI, value, value, 0xffffff);
+        b.jmp(ch_next);
+    }
+
+    b.setBlock(alpha_blk);
+    {
+        VReg one = b.iconst(1);
+        b.br(Opc::Beq, in_ident, one, ident_cont, ident_start);
+    }
+
+    b.setBlock(ident_start);
+    b.assignRI(Opc::AddI, idents, idents, 1);
+    b.assignI(in_ident, 1);
+    b.assignI(hash, 0);
+    b.jmp(ident_cont);
+
+    b.setBlock(ident_cont);
+    {
+        VReg h31 = b.iconst(31);
+        VReg scaled = b.mul(hash, h31);
+        b.assignRR(Opc::Add, hash, scaled, c);
+        b.assignRI(Opc::AndI, hash, hash, 0xffff);
+        b.jmp(ch_next);
+    }
+
+    b.setBlock(punct_blk);
+    b.assignI(in_ident, 0);
+    b.assignRI(Opc::AddI, puncts, puncts, 1);
+    b.jmp(ch_next);
+
+    b.setBlock(ch_next);
+    b.assignRI(Opc::AddI, i, i, 1);
+    b.br(Opc::Blt, i, n, ch_body, pass_done);
+
+    b.setBlock(pass_done);
+    b.assignRI(Opc::AddI, r, r, 1);
+    b.assignI(i, 0);
+    b.br(Opc::Blt, r, rbound, ch_body, done);
+
+    b.setBlock(done);
+    VReg sum = b.add(lines, b.slli(idents, 4));
+    sum = b.add(sum, b.slli(puncts, 8));
+    sum = b.add(sum, hash);
+    sum = b.xor_(sum, value);
+    b.ret(sum);
+    return m;
+}
+
+} // namespace rcsim::workloads

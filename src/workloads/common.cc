@@ -1,0 +1,53 @@
+#include "workloads/common.hh"
+
+namespace rcsim::workloads
+{
+
+namespace
+{
+constexpr std::size_t padBytes = 64;
+}
+
+int
+makeIntArray(ir::Module &module, const std::string &name,
+             const std::vector<Word> &data)
+{
+    int g = module.addGlobal(
+        name,
+        static_cast<std::uint32_t>(data.size() * 4 + padBytes));
+    ir::Global &glob = module.globals[g];
+    glob.init.resize(data.size() * 4);
+    std::memcpy(glob.init.data(), data.data(), data.size() * 4);
+    return g;
+}
+
+int
+makeFpArray(ir::Module &module, const std::string &name,
+            const std::vector<double> &data)
+{
+    int g = module.addGlobal(
+        name,
+        static_cast<std::uint32_t>(data.size() * 8 + padBytes));
+    ir::Global &glob = module.globals[g];
+    glob.init.resize(data.size() * 8);
+    std::memcpy(glob.init.data(), data.data(), data.size() * 8);
+    return g;
+}
+
+int
+makeIntZeros(ir::Module &module, const std::string &name,
+             std::size_t count)
+{
+    return module.addGlobal(
+        name, static_cast<std::uint32_t>(count * 4 + padBytes));
+}
+
+int
+makeFpZeros(ir::Module &module, const std::string &name,
+            std::size_t count)
+{
+    return module.addGlobal(
+        name, static_cast<std::uint32_t>(count * 8 + padBytes));
+}
+
+} // namespace rcsim::workloads

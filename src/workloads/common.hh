@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared helpers for the workload kernels: global-array creation with
+ * deterministic pseudo-random contents, address arithmetic and a
+ * bottom-test loop builder that produces the single-block loops the
+ * unroller targets.
+ */
+
+#ifndef RCSIM_WORKLOADS_COMMON_HH
+#define RCSIM_WORKLOADS_COMMON_HH
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ir/builder.hh"
+#include "support/random.hh"
+
+namespace rcsim::workloads
+{
+
+using ir::IRBuilder;
+using ir::MemRef;
+using ir::Opc;
+using ir::RegClass;
+using ir::VReg;
+
+/** Create an integer-word global initialised with the given data.
+ * The region is padded so one iteration of speculative read past the
+ * end stays in bounds. */
+int makeIntArray(ir::Module &module, const std::string &name,
+                 const std::vector<Word> &data);
+
+/** Create a double global initialised with the given data (padded as
+ * above). */
+int makeFpArray(ir::Module &module, const std::string &name,
+                const std::vector<double> &data);
+
+/** Create a zero-filled integer global of @p count words. */
+int makeIntZeros(ir::Module &module, const std::string &name,
+                 std::size_t count);
+
+/** Create a zero-filled double global of @p count elements. */
+int makeFpZeros(ir::Module &module, const std::string &name,
+                std::size_t count);
+
+/** addr = base + (index << shift); tag-free address arithmetic. */
+inline VReg
+elemAddr(IRBuilder &b, VReg base, VReg index, int shift)
+{
+    return b.add(base, b.slli(index, shift));
+}
+
+/**
+ * Bottom-test (do-while) counted loop builder.  The body becomes a
+ * single block with the back edge on its final branch — exactly the
+ * shape the superblock unroller accepts.  The loop runs for
+ * iv = start, start+step, ... while iv < bound; it must execute at
+ * least once.
+ *
+ *   DoLoop loop(b, 0, n);      // iv initialised, body block entered
+ *   ... emit body using loop.iv() ...
+ *   loop.finish();             // iv += step; branch; exit block entered
+ */
+class DoLoop
+{
+  public:
+    DoLoop(IRBuilder &b, Word start, VReg bound, Word step = 1)
+        : b_(b), bound_(bound), step_(step)
+    {
+        iv_ = b.temp(RegClass::Int);
+        b.assignI(iv_, start);
+        body_ = b.newBlock();
+        exit_ = b.newBlock();
+        b.jmp(body_);
+        b.setBlock(body_);
+    }
+
+    VReg iv() const { return iv_; }
+    int bodyBlock() const { return body_; }
+    int exitBlock() const { return exit_; }
+
+    void
+    finish()
+    {
+        b_.assignRI(Opc::AddI, iv_, iv_, step_);
+        b_.br(Opc::Blt, iv_, bound_, body_, exit_);
+        b_.setBlock(exit_);
+    }
+
+  private:
+    IRBuilder &b_;
+    VReg iv_;
+    VReg bound_;
+    Word step_;
+    int body_ = -1;
+    int exit_ = -1;
+};
+
+} // namespace rcsim::workloads
+
+#endif // RCSIM_WORKLOADS_COMMON_HH

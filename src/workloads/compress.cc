@@ -1,0 +1,155 @@
+/**
+ * @file
+ * "compress" workload: LZW-style dictionary compression.
+ *
+ * Recreates compress's hot path: per input symbol, hash the
+ * (prefix, symbol) pair, probe an open-addressed code table, extend
+ * the prefix on a hit or emit the prefix code and insert on a miss.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+
+ir::Module
+buildCompress()
+{
+    constexpr int N = 6144;     // input symbols
+    constexpr int H = 4096;     // hash table size (power of two)
+    constexpr int R = 2;        // passes
+
+    ir::Module m;
+    m.name = "compress";
+
+    SplitMix rng(0xc0de);
+    std::vector<Word> input(N);
+    for (int i = 0; i < N; ++i) {
+        // Skewed symbol distribution so prefixes repeat, as in text.
+        std::uint32_t v = rng.below(256);
+        input[i] = static_cast<Word>(v < 192 ? v % 24 : v % 96);
+    }
+    int gin = makeIntArray(m, "input", input);
+    int gkey = makeIntZeros(m, "htab_key", H);  // 0 = empty
+    int gval = makeIntZeros(m, "htab_val", H);
+
+    int fi = m.addFunction("main");
+    ir::Function &fn = m.fn(fi);
+    fn.returnsValue = true;
+    fn.retClass = RegClass::Int;
+    m.entryFunction = fi;
+
+    IRBuilder b(m, fi);
+    VReg inbase = b.addrOf(gin);
+    VReg keybase = b.addrOf(gkey);
+    VReg valbase = b.addrOf(gval);
+    VReg n = b.iconst(N);
+    VReg rbound = b.iconst(R);
+    VReg hmask = b.iconst(H - 1);
+    VReg hmul = b.iconst(0x9e3b);
+
+    VReg checksum = b.temp(RegClass::Int);
+    b.assignI(checksum, 0);
+    VReg nextcode = b.temp(RegClass::Int);
+    b.assignI(nextcode, 256);
+    VReg prefix = b.temp(RegClass::Int);
+    b.assignI(prefix, 0);
+    VReg i = b.temp(RegClass::Int);
+    VReg r = b.temp(RegClass::Int);
+    b.assignI(r, 0);
+    VReg key = b.temp(RegClass::Int);
+    VReg h = b.temp(RegClass::Int);
+
+    int sym_body = b.newBlock();   // per input symbol
+    int probe = b.newBlock();      // hash probe loop
+    int probe_next = b.newBlock(); // collision: advance
+    int hit = b.newBlock();
+    int miss = b.newBlock();
+    int sym_next = b.newBlock();
+    int pass_done = b.newBlock();
+    int done = b.newBlock();
+
+    b.assignI(i, 0);
+    b.jmp(sym_body);
+
+    b.setBlock(sym_body);
+    {
+        VReg sym = b.loadW(elemAddr(b, inbase, i, 2), 0,
+                           MemRef::global(gin));
+        // key = (prefix << 8) | sym  (+1 so 0 stays "empty")
+        VReg k0 = b.or_(b.slli(prefix, 8), sym);
+        b.assignRI(Opc::AddI, key, k0, 1);
+        // h = (key * hmul) & (H - 1)
+        b.assignRR(Opc::And, h, b.mul(key, hmul), hmask);
+        b.jmp(probe);
+    }
+
+    b.setBlock(probe);
+    VReg slot_key = b.loadW(elemAddr(b, keybase, h, 2), 0,
+                            MemRef::global(gkey));
+    {
+        int check_hit = b.newBlock();
+        b.br(Opc::Beq, slot_key, key, hit, check_hit);
+        b.setBlock(check_hit);
+        VReg zero = b.iconst(0);
+        b.br(Opc::Beq, slot_key, zero, miss, probe_next);
+    }
+
+    b.setBlock(probe_next);
+    b.assignRR(Opc::And, h, b.addi(h, 1), hmask);
+    b.jmp(probe);
+
+    b.setBlock(hit);
+    {
+        VReg code = b.loadW(elemAddr(b, valbase, h, 2), 0,
+                            MemRef::global(gval));
+        b.assign(prefix, code);
+        b.jmp(sym_next);
+    }
+
+    b.setBlock(miss);
+    {
+        // Emit the prefix code; insert (key -> nextcode) while the
+        // table is below half full (compress clears its table when
+        // full; capping inserts keeps probe chains short), then
+        // restart the prefix with the current symbol's code.
+        int do_insert = b.newBlock();
+        int miss_tail = b.newBlock();
+        b.assignRR(Opc::Add, checksum, checksum,
+                   b.xor_(prefix, h));
+        VReg limit = b.iconst(256 + H / 2);
+        b.br(Opc::Blt, nextcode, limit, do_insert, miss_tail);
+
+        b.setBlock(do_insert);
+        b.storeW(key, elemAddr(b, keybase, h, 2), 0,
+                 MemRef::global(gkey));
+        b.storeW(nextcode, elemAddr(b, valbase, h, 2), 0,
+                 MemRef::global(gval));
+        b.assignRI(Opc::AddI, nextcode, nextcode, 1);
+        b.jmp(miss_tail);
+
+        b.setBlock(miss_tail);
+        VReg sym2 = b.loadW(elemAddr(b, inbase, i, 2), 0,
+                            MemRef::global(gin));
+        b.assign(prefix, sym2);
+        b.jmp(sym_next);
+    }
+
+    b.setBlock(sym_next);
+    b.assignRI(Opc::AddI, i, i, 1);
+    b.br(Opc::Blt, i, n, sym_body, pass_done);
+
+    b.setBlock(pass_done);
+    b.assignRR(Opc::Add, checksum, checksum, nextcode);
+    b.assignRI(Opc::AddI, r, r, 1);
+    b.assignI(i, 0);
+    b.assignI(prefix, 0);
+    b.br(Opc::Blt, r, rbound, sym_body, done);
+
+    b.setBlock(done);
+    b.ret(checksum);
+    return m;
+}
+
+} // namespace rcsim::workloads

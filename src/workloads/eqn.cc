@@ -1,0 +1,182 @@
+/**
+ * @file
+ * "eqn" workload: expression evaluation over an explicit stack.
+ *
+ * Recreates eqn's equation processing: a postfix token stream is
+ * evaluated with a value stack and a branch-tree operator dispatch —
+ * the pointer-and-branch intensive profile of the original
+ * typesetter front end.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+
+namespace
+{
+
+constexpr Word tokAdd = 10;
+constexpr Word tokSub = 11;
+constexpr Word tokMul = 12;
+constexpr Word tokMax = 13;
+
+/** Generate a valid postfix stream (stack depth stays in [1, 16]). */
+std::vector<Word>
+makeTokens(int count)
+{
+    SplitMix rng(0xe96e);
+    std::vector<Word> toks;
+    int depth = 0;
+    while (static_cast<int>(toks.size()) < count) {
+        bool operand = depth < 2 ||
+                       (depth < 16 && rng.below(100) < 45);
+        if (operand) {
+            toks.push_back(static_cast<Word>(rng.below(9)));
+            ++depth;
+        } else {
+            toks.push_back(
+                static_cast<Word>(tokAdd + rng.below(4)));
+            --depth;
+        }
+    }
+    while (depth > 1) {
+        toks.push_back(tokAdd);
+        --depth;
+    }
+    return toks;
+}
+
+} // namespace
+
+ir::Module
+buildEqn()
+{
+    constexpr int N = 6144;
+    constexpr int R = 3;
+
+    ir::Module m;
+    m.name = "eqn";
+
+    std::vector<Word> toks = makeTokens(N);
+    const int ntoks = static_cast<int>(toks.size());
+    int gtok = makeIntArray(m, "tokens", toks);
+    int gstk = makeIntZeros(m, "stack", 32);
+
+    int fi = m.addFunction("main");
+    ir::Function &fn = m.fn(fi);
+    fn.returnsValue = true;
+    fn.retClass = RegClass::Int;
+    m.entryFunction = fi;
+
+    IRBuilder b(m, fi);
+    VReg tbase = b.addrOf(gtok);
+    VReg sbase = b.addrOf(gstk);
+    VReg n = b.iconst(ntoks);
+    VReg rbound = b.iconst(R);
+    VReg opbase = b.iconst(tokAdd);
+
+    VReg checksum = b.temp(RegClass::Int);
+    b.assignI(checksum, 0);
+    VReg sp = b.temp(RegClass::Int); // stack depth, in elements
+    VReg i = b.temp(RegClass::Int);
+    VReg r = b.temp(RegClass::Int);
+    b.assignI(r, 0);
+
+    int tok_body = b.newBlock();
+    int push_blk = b.newBlock();
+    int op_blk = b.newBlock();
+    int add_blk = b.newBlock();
+    int not_add = b.newBlock();
+    int sub_blk = b.newBlock();
+    int not_sub = b.newBlock();
+    int mul_blk = b.newBlock();
+    int max_blk = b.newBlock();
+    int max_keep = b.newBlock();
+    int op_done = b.newBlock();
+    int tok_next = b.newBlock();
+    int pass_done = b.newBlock();
+    int done = b.newBlock();
+
+    b.assignI(sp, 0);
+    b.assignI(i, 0);
+    b.jmp(tok_body);
+
+    b.setBlock(tok_body);
+    VReg tok = b.loadW(elemAddr(b, tbase, i, 2), 0,
+                       MemRef::global(gtok));
+    b.br(Opc::Blt, tok, opbase, push_blk, op_blk);
+
+    b.setBlock(push_blk);
+    b.storeW(b.addi(tok, 1), elemAddr(b, sbase, sp, 2), 0,
+             MemRef::global(gstk));
+    b.assignRI(Opc::AddI, sp, sp, 1);
+    b.jmp(tok_next);
+
+    // Pop two operands, dispatch on the operator.
+    b.setBlock(op_blk);
+    b.assignRI(Opc::AddI, sp, sp, -2);
+    VReg lhs = b.loadW(elemAddr(b, sbase, sp, 2), 0,
+                       MemRef::global(gstk));
+    VReg rhs = b.loadW(elemAddr(b, sbase, sp, 2), 4,
+                       MemRef::global(gstk));
+    VReg res = b.temp(RegClass::Int);
+    b.br(Opc::Beq, tok, opbase, add_blk, not_add);
+
+    b.setBlock(add_blk);
+    b.assignRR(Opc::Add, res, lhs, rhs);
+    b.jmp(op_done);
+
+    b.setBlock(not_add);
+    VReg tsub = b.iconst(tokSub);
+    b.br(Opc::Beq, tok, tsub, sub_blk, not_sub);
+
+    b.setBlock(sub_blk);
+    b.assignRR(Opc::Sub, res, lhs, rhs);
+    b.jmp(op_done);
+
+    b.setBlock(not_sub);
+    VReg tmul = b.iconst(tokMul);
+    b.br(Opc::Beq, tok, tmul, mul_blk, max_blk);
+
+    b.setBlock(mul_blk);
+    b.assignRR(Opc::Mul, res, lhs, rhs);
+    b.jmp(op_done);
+
+    b.setBlock(max_blk);
+    b.assign(res, lhs);
+    b.br(Opc::Bge, lhs, rhs, op_done, max_keep);
+
+    b.setBlock(max_keep);
+    b.assign(res, rhs);
+    b.jmp(op_done);
+
+    b.setBlock(op_done);
+    b.storeW(res, elemAddr(b, sbase, sp, 2), 0,
+             MemRef::global(gstk));
+    b.assignRI(Opc::AddI, sp, sp, 1);
+    b.assignRR(Opc::Xor, checksum, checksum, res);
+    b.jmp(tok_next);
+
+    b.setBlock(tok_next);
+    b.assignRI(Opc::AddI, i, i, 1);
+    b.br(Opc::Blt, i, n, tok_body, pass_done);
+
+    b.setBlock(pass_done);
+    // The stream leaves exactly one value on the stack.
+    VReg zero = b.iconst(0);
+    VReg final_val = b.loadW(elemAddr(b, sbase, zero, 2), 0,
+                             MemRef::global(gstk));
+    b.assignRR(Opc::Add, checksum, checksum, final_val);
+    b.assignI(sp, 0);
+    b.assignI(i, 0);
+    b.assignRI(Opc::AddI, r, r, 1);
+    b.br(Opc::Blt, r, rbound, tok_body, done);
+
+    b.setBlock(done);
+    b.ret(checksum);
+    return m;
+}
+
+} // namespace rcsim::workloads

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * "eqntott" workload: truth-table term sorting.
+ *
+ * Recreates eqntott's profile: nearly all time in a bit-vector term
+ * comparison routine (cmppt) invoked from a recursive quicksort over
+ * an index permutation — heavy call traffic plus a hot compare loop.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+
+namespace
+{
+constexpr int M = 256; // terms
+constexpr int W = 8;   // words per term
+}
+
+ir::Module
+buildEqntott()
+{
+    ir::Module m;
+    m.name = "eqntott";
+
+    SplitMix rng(0xe470);
+    std::vector<Word> terms(M * W);
+    for (int t = 0; t < M; ++t)
+        for (int w = 0; w < W; ++w)
+            // Few distinct leading words force deep comparisons.
+            terms[t * W + w] =
+                static_cast<Word>(rng.below(w < 3 ? 3 : 1 << 20));
+    std::vector<Word> index(M);
+    for (int i = 0; i < M; ++i)
+        index[i] = i;
+    int gterms = makeIntArray(m, "terms", terms);
+    int gindex = makeIntArray(m, "index", index);
+
+    // ---- cmppt(ai, bi) -> -1 / 0 / 1 ---------------------------------
+    int cmppt = m.addFunction("cmppt");
+    {
+        ir::Function &fn = m.fn(cmppt);
+        fn.returnsValue = true;
+        fn.retClass = RegClass::Int;
+        VReg ai = fn.newVreg(RegClass::Int);
+        VReg bi = fn.newVreg(RegClass::Int);
+        fn.params = {ai, bi};
+        IRBuilder b(m, cmppt);
+
+        VReg tbase = b.addrOf(gterms);
+        VReg abase = b.add(tbase, b.slli(b.slli(ai, 3), 2));
+        VReg bbase = b.add(tbase, b.slli(b.slli(bi, 3), 2));
+        VReg wbound = b.iconst(W);
+        VReg w = b.temp(RegClass::Int);
+        b.assignI(w, 0);
+
+        int loop = b.newBlock();
+        int differ = b.newBlock();
+        int next = b.newBlock();
+        int equal = b.newBlock();
+        int less = b.newBlock();
+        int greater = b.newBlock();
+        b.jmp(loop);
+
+        b.setBlock(loop);
+        VReg off = b.slli(w, 2);
+        VReg av = b.loadW(b.add(abase, off), 0,
+                          MemRef::global(gterms));
+        VReg bv = b.loadW(b.add(bbase, off), 0,
+                          MemRef::global(gterms));
+        b.br(Opc::Bne, av, bv, differ, next);
+
+        b.setBlock(next);
+        b.assignRI(Opc::AddI, w, w, 1);
+        b.br(Opc::Blt, w, wbound, loop, equal);
+
+        b.setBlock(equal);
+        b.ret(b.iconst(0));
+
+        b.setBlock(differ);
+        b.br(Opc::Blt, av, bv, less, greater);
+
+        b.setBlock(less);
+        b.ret(b.iconst(-1));
+
+        b.setBlock(greater);
+        b.ret(b.iconst(1));
+    }
+
+    // ---- qsort(lo, hi): Hoare partition over the index array ---------
+    int qsort = m.addFunction("qsort_terms");
+    {
+        ir::Function &fn = m.fn(qsort);
+        fn.returnsValue = false;
+        VReg lo = fn.newVreg(RegClass::Int);
+        VReg hi = fn.newVreg(RegClass::Int);
+        fn.params = {lo, hi};
+        IRBuilder b(m, qsort);
+
+        VReg ibase = b.addrOf(gindex);
+        VReg zero = b.iconst(0);
+
+        int body = b.newBlock();
+        int scan_i = b.newBlock();
+        int scan_j = b.newBlock();
+        int check = b.newBlock();
+        int swap = b.newBlock();
+        int recurse = b.newBlock();
+        int out = b.newBlock();
+
+        b.br(Opc::Bge, lo, hi, out, body);
+
+        b.setBlock(body);
+        // pivot term index: I[(lo + hi) / 2]
+        VReg mid = b.srai(b.add(lo, hi), 1);
+        VReg pividx = b.loadW(elemAddr(b, ibase, mid, 2), 0,
+                              MemRef::global(gindex));
+        VReg i = b.temp(RegClass::Int);
+        VReg j = b.temp(RegClass::Int);
+        b.assignRI(Opc::AddI, i, lo, -1);
+        b.assignRI(Opc::AddI, j, hi, 1);
+        b.jmp(scan_i);
+
+        b.setBlock(scan_i);
+        b.assignRI(Opc::AddI, i, i, 1);
+        VReg iv = b.loadW(elemAddr(b, ibase, i, 2), 0,
+                          MemRef::global(gindex));
+        VReg ci = b.call(cmppt, {iv, pividx}, RegClass::Int);
+        b.br(Opc::Blt, ci, zero, scan_i, scan_j);
+
+        b.setBlock(scan_j);
+        b.assignRI(Opc::AddI, j, j, -1);
+        VReg jv = b.loadW(elemAddr(b, ibase, j, 2), 0,
+                          MemRef::global(gindex));
+        VReg cj = b.call(cmppt, {jv, pividx}, RegClass::Int);
+        b.br(Opc::Bgt, cj, zero, scan_j, check);
+
+        b.setBlock(check);
+        b.br(Opc::Bge, i, j, recurse, swap);
+
+        b.setBlock(swap);
+        VReg vi = b.loadW(elemAddr(b, ibase, i, 2), 0,
+                          MemRef::global(gindex));
+        VReg vj = b.loadW(elemAddr(b, ibase, j, 2), 0,
+                          MemRef::global(gindex));
+        b.storeW(vj, elemAddr(b, ibase, i, 2), 0,
+                 MemRef::global(gindex));
+        b.storeW(vi, elemAddr(b, ibase, j, 2), 0,
+                 MemRef::global(gindex));
+        b.jmp(scan_i);
+
+        b.setBlock(recurse);
+        b.callVoid(qsort, {lo, j});
+        b.callVoid(qsort, {b.addi(j, 1), hi});
+        b.jmp(out);
+
+        b.setBlock(out);
+        b.retVoid();
+    }
+
+    // ---- main ----------------------------------------------------------
+    int fi = m.addFunction("main");
+    {
+        ir::Function &fn = m.fn(fi);
+        fn.returnsValue = true;
+        fn.retClass = RegClass::Int;
+        m.entryFunction = fi;
+        IRBuilder b(m, fi);
+
+        b.callVoid(qsort, {b.iconst(0), b.iconst(M - 1)});
+
+        // Checksum: position-weighted sum plus a sortedness check.
+        VReg ibase = b.addrOf(gindex);
+        VReg bound = b.iconst(M);
+        VReg checksum = b.temp(RegClass::Int);
+        b.assignI(checksum, 0);
+        DoLoop loop(b, 0, bound);
+        {
+            VReg v = b.loadW(elemAddr(b, ibase, loop.iv(), 2), 0,
+                             MemRef::global(gindex));
+            b.assignRR(Opc::Add, checksum, checksum,
+                       b.mul(v, loop.iv()));
+        }
+        loop.finish();
+        b.ret(checksum);
+    }
+    return m;
+}
+
+} // namespace rcsim::workloads

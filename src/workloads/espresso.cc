@@ -1,0 +1,118 @@
+/**
+ * @file
+ * "espresso" workload: two-level logic cube operations.
+ *
+ * Recreates espresso's dominant kernels: pairwise cube intersection
+ * (bitwise AND over the cube words with an emptiness test) and
+ * containment checks over a cover, all branch-free in the innermost
+ * word loop.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+
+ir::Module
+buildEspresso()
+{
+    constexpr int C = 88; // cubes in the cover
+    constexpr int W = 8;  // words per cube
+
+    ir::Module m;
+    m.name = "espresso";
+
+    SplitMix rng(0xe59);
+    std::vector<Word> cubes(C * W);
+    for (auto &w : cubes) {
+        // Dense cubes: mostly-ones bit vectors as in espresso's
+        // positional cube notation.
+        w = static_cast<Word>(rng.next() | rng.next());
+    }
+    int gc = makeIntArray(m, "cubes", cubes);
+
+    int fi = m.addFunction("main");
+    ir::Function &fn = m.fn(fi);
+    fn.returnsValue = true;
+    fn.retClass = RegClass::Int;
+    m.entryFunction = fi;
+
+    IRBuilder b(m, fi);
+    VReg cbase = b.addrOf(gc);
+    VReg ibound = b.iconst(C - 1);
+    VReg jbound = b.iconst(C);
+    VReg wbound = b.iconst(W);
+    VReg one = b.iconst(1);
+
+    VReg empties = b.temp(RegClass::Int);
+    b.assignI(empties, 0);
+    VReg contained = b.temp(RegClass::Int);
+    b.assignI(contained, 0);
+    VReg checksum = b.temp(RegClass::Int);
+    b.assignI(checksum, 0);
+    VReg ibase = b.temp(RegClass::Int);
+    VReg jreg = b.temp(RegClass::Int);
+    VReg jbase = b.temp(RegClass::Int);
+
+    DoLoop iloop(b, 0, ibound);
+    {
+        VReg i = iloop.iv();
+        b.assignRR(Opc::Add, ibase,
+                   cbase, b.slli(b.slli(i, 3), 2)); // i*W*4
+        b.assignRI(Opc::AddI, jreg, i, 1);
+        int jbody = b.newBlock();
+        int jexit = b.newBlock();
+        b.jmp(jbody);
+
+        b.setBlock(jbody);
+        b.assignRR(Opc::Add, jbase,
+                   cbase, b.slli(b.slli(jreg, 3), 2));
+        {
+            // Intersection emptiness and containment, fused over the
+            // cube words (branch free).
+            VReg inter = b.temp(RegClass::Int);
+            b.assignI(inter, 0);
+            VReg not_cont = b.temp(RegClass::Int);
+            b.assignI(not_cont, 0);
+            DoLoop wloop(b, 0, wbound);
+            {
+                VReg w = wloop.iv();
+                VReg off = b.slli(w, 2);
+                VReg aw = b.loadW(b.add(ibase, off), 0,
+                                  MemRef::global(gc));
+                VReg bw = b.loadW(b.add(jbase, off), 0,
+                                  MemRef::global(gc));
+                VReg both = b.and_(aw, bw);
+                b.assignRR(Opc::Or, inter, inter, both);
+                // a contained in b <=> a & ~b == 0 everywhere
+                VReg notb = b.rr(Opc::Nor, bw, bw);
+                b.assignRR(Opc::Or, not_cont, not_cont,
+                           b.and_(aw, notb));
+            }
+            wloop.finish();
+            VReg zero = b.iconst(0);
+            VReg is_empty = b.rr(Opc::Sltu, zero, inter);
+            // is_empty currently = (inter != 0); invert.
+            VReg empty = b.xor_(is_empty, one);
+            b.assignRR(Opc::Add, empties, empties, empty);
+            VReg nc = b.rr(Opc::Sltu, zero, not_cont);
+            VReg cont = b.xor_(nc, one);
+            b.assignRR(Opc::Add, contained, contained, cont);
+            b.assignRR(Opc::Xor, checksum, checksum,
+                       b.add(inter, jreg));
+        }
+        b.assignRI(Opc::AddI, jreg, jreg, 1);
+        b.br(Opc::Blt, jreg, jbound, jbody, jexit);
+
+        b.setBlock(jexit);
+    }
+    iloop.finish();
+
+    VReg sum = b.add(checksum, b.slli(empties, 8));
+    sum = b.add(sum, b.slli(contained, 16));
+    b.ret(sum);
+    return m;
+}
+
+} // namespace rcsim::workloads

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * "grep" workload: substring scan.
+ *
+ * Recreates grep's inner matcher: an outer scan over the text with an
+ * inner comparison loop against the pattern that restarts on the
+ * first mismatch.  Small alphabet so partial matches are common.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+
+ir::Module
+buildGrep()
+{
+    constexpr int N = 8192;
+    constexpr int M = 8;
+    constexpr int R = 3;
+
+    ir::Module m;
+    m.name = "grep";
+
+    SplitMix rng(0x97e9);
+    std::vector<Word> text(N), pat(M);
+    for (int i = 0; i < N; ++i)
+        text[i] = static_cast<Word>(rng.below(4));
+    for (int j = 0; j < M; ++j)
+        pat[j] = static_cast<Word>(rng.below(4));
+    // Plant a handful of exact occurrences.
+    for (int k = 0; k < 6; ++k) {
+        int at = static_cast<int>(rng.below(N - M));
+        for (int j = 0; j < M; ++j)
+            text[at + j] = pat[j];
+    }
+    int gt = makeIntArray(m, "text", text);
+    int gp = makeIntArray(m, "pattern", pat);
+
+    int fi = m.addFunction("main");
+    ir::Function &fn = m.fn(fi);
+    fn.returnsValue = true;
+    fn.retClass = RegClass::Int;
+    m.entryFunction = fi;
+
+    IRBuilder b(m, fi);
+    VReg tbase = b.addrOf(gt);
+    VReg pbase = b.addrOf(gp);
+    VReg bound = b.iconst(N - M);
+    VReg mlen = b.iconst(M);
+    VReg rbound = b.iconst(R);
+
+    VReg matches = b.temp(RegClass::Int);
+    b.assignI(matches, 0);
+    VReg checksum = b.temp(RegClass::Int);
+    b.assignI(checksum, 0);
+    VReg i = b.temp(RegClass::Int);
+    VReg j = b.temp(RegClass::Int);
+    VReg r = b.temp(RegClass::Int);
+    b.assignI(r, 0);
+
+    int outer_body = b.newBlock();   // per text position
+    int inner_body = b.newBlock();   // per pattern position
+    int inner_cont = b.newBlock();
+    int match_blk = b.newBlock();
+    int after = b.newBlock();        // advance text position
+    int outer_done = b.newBlock();   // next repetition
+    int done = b.newBlock();
+
+    b.assignI(i, 0);
+    b.jmp(outer_body);
+
+    b.setBlock(outer_body);
+    b.assignI(j, 0);
+    b.jmp(inner_body);
+
+    b.setBlock(inner_body);
+    {
+        VReg idx = b.add(i, j);
+        VReg tv = b.loadW(elemAddr(b, tbase, idx, 2), 0,
+                          MemRef::global(gt));
+        VReg pv = b.loadW(elemAddr(b, pbase, j, 2), 0,
+                          MemRef::global(gp));
+        b.br(Opc::Bne, tv, pv, after, inner_cont);
+    }
+
+    b.setBlock(inner_cont);
+    b.assignRI(Opc::AddI, j, j, 1);
+    b.br(Opc::Blt, j, mlen, inner_body, match_blk);
+
+    b.setBlock(match_blk);
+    b.assignRI(Opc::AddI, matches, matches, 1);
+    b.assignRR(Opc::Add, checksum, checksum, i);
+    b.jmp(after);
+
+    b.setBlock(after);
+    b.assignRI(Opc::AddI, i, i, 1);
+    b.br(Opc::Blt, i, bound, outer_body, outer_done);
+
+    b.setBlock(outer_done);
+    b.assignRI(Opc::AddI, r, r, 1);
+    b.assignI(i, 0);
+    b.br(Opc::Blt, r, rbound, outer_body, done);
+
+    b.setBlock(done);
+    VReg result = b.add(checksum, b.slli(matches, 16));
+    b.ret(result);
+    return m;
+}
+
+} // namespace rcsim::workloads

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * "lex" workload: table-driven DFA scanning.
+ *
+ * Recreates a lex-generated scanner's hot loop: per input character,
+ * a class lookup followed by a state-transition table lookup, with
+ * branch-free accept accounting.  The serial state dependence through
+ * memory is the defining profile of the original.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+
+ir::Module
+buildLex()
+{
+    constexpr int N = 16384;  // input length
+    constexpr int S = 24;     // DFA states
+    constexpr int C = 8;      // character classes
+    constexpr int R = 2;      // passes
+
+    ir::Module m;
+    m.name = "lex";
+
+    SplitMix rng(0x1e4);
+    // Random but fixed transition table and input.
+    std::vector<Word> trans(S * C);
+    for (int s = 0; s < S; ++s)
+        for (int c = 0; c < C; ++c)
+            trans[s * C + c] = static_cast<Word>(rng.below(S));
+    std::vector<Word> classmap(128);
+    for (int i = 0; i < 128; ++i)
+        classmap[i] = static_cast<Word>(rng.below(C));
+    std::vector<Word> input(N);
+    for (int i = 0; i < N; ++i)
+        input[i] = static_cast<Word>(rng.below(128));
+
+    int gtr = makeIntArray(m, "transitions", trans);
+    int gcl = makeIntArray(m, "classmap", classmap);
+    int gin = makeIntArray(m, "input", input);
+
+    int fi = m.addFunction("main");
+    ir::Function &fn = m.fn(fi);
+    fn.returnsValue = true;
+    fn.retClass = RegClass::Int;
+    m.entryFunction = fi;
+
+    IRBuilder b(m, fi);
+    VReg trbase = b.addrOf(gtr);
+    VReg clbase = b.addrOf(gcl);
+    VReg inbase = b.addrOf(gin);
+    VReg n = b.iconst(N);
+    VReg rbound = b.iconst(R);
+    VReg accept = b.iconst(4); // states < 4 accept
+
+    VReg state = b.temp(RegClass::Int);
+    VReg tokens = b.temp(RegClass::Int);
+    b.assignI(tokens, 0);
+    VReg checksum = b.temp(RegClass::Int);
+    b.assignI(checksum, 0);
+
+    DoLoop outer(b, 0, rbound);
+    {
+        b.assignI(state, 0);
+        DoLoop inner(b, 0, n);
+        {
+            VReg i = inner.iv();
+            VReg ch = b.loadW(elemAddr(b, inbase, i, 2), 0,
+                              MemRef::global(gin));
+            VReg cls = b.loadW(elemAddr(b, clbase, ch, 2), 0,
+                               MemRef::global(gcl));
+            // state = trans[state * C + cls]
+            VReg row = b.slli(state, 3); // C == 8
+            VReg idx = b.add(row, cls);
+            VReg next = b.loadW(elemAddr(b, trbase, idx, 2), 0,
+                                MemRef::global(gtr));
+            b.assign(state, next);
+            // Branch-free accept accounting.
+            VReg acc = b.slt(state, accept);
+            b.assignRR(Opc::Add, tokens, tokens, acc);
+            b.assignRR(Opc::Xor, checksum, checksum,
+                       b.add(state, i));
+        }
+        inner.finish();
+        b.assignRR(Opc::Add, checksum, checksum, state);
+    }
+    outer.finish();
+
+    b.ret(b.add(checksum, b.slli(tokens, 12)));
+    return m;
+}
+
+} // namespace rcsim::workloads

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * "matrix300" workload: dense double-precision matrix multiply.
+ *
+ * Recreates matrix300's DGEMM kernel with four jammed result columns
+ * per inner loop (the classic unroll-and-jam structure): each k
+ * iteration feeds four independent multiply-add chains, so unrolling
+ * produces the very high floating-point register pressure the paper
+ * studies.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+
+ir::Module
+buildMatrix300()
+{
+    constexpr int N = 36; // matrix dimension (multiple of 4)
+
+    ir::Module m;
+    m.name = "matrix300";
+
+    SplitMix rng(0x300);
+    std::vector<double> a(N * N), bdat(N * N);
+    for (auto &v : a)
+        v = rng.unit() - 0.5;
+    for (auto &v : bdat)
+        v = rng.unit() - 0.5;
+    int ga = makeFpArray(m, "mat_a", a);
+    int gb = makeFpArray(m, "mat_b", bdat);
+    int gc = makeFpZeros(m, "mat_c", N * N);
+
+    int fi = m.addFunction("main");
+    ir::Function &fn = m.fn(fi);
+    fn.returnsValue = true;
+    fn.retClass = RegClass::Int;
+    m.entryFunction = fi;
+
+    IRBuilder b(m, fi);
+    VReg abase = b.addrOf(ga);
+    VReg bbase = b.addrOf(gb);
+    VReg cbase = b.addrOf(gc);
+    VReg n = b.iconst(N);
+    VReg rowstride = b.iconst(N * 8);
+
+    VReg c0 = b.temp(RegClass::Fp);
+    VReg c1 = b.temp(RegClass::Fp);
+    VReg c2 = b.temp(RegClass::Fp);
+    VReg c3 = b.temp(RegClass::Fp);
+    VReg bptr = b.temp(RegClass::Int);
+    VReg zero_fp = b.fconst(0.0);
+
+    DoLoop iloop(b, 0, n);
+    {
+        VReg i = iloop.iv();
+        VReg arow = b.add(abase, b.mul(i, rowstride));
+        VReg crow = b.add(cbase, b.mul(i, rowstride));
+        DoLoop jloop(b, 0, n, 4);
+        {
+            VReg j = jloop.iv();
+            b.assign(c0, zero_fp);
+            b.assign(c1, zero_fp);
+            b.assign(c2, zero_fp);
+            b.assign(c3, zero_fp);
+            b.assignRR(Opc::Add, bptr, bbase, b.slli(j, 3));
+            DoLoop kloop(b, 0, n);
+            {
+                VReg k = kloop.iv();
+                VReg av = b.loadF(b.add(arow, b.slli(k, 3)), 0,
+                                  MemRef::global(ga));
+                VReg b0 = b.loadF(bptr, 0, MemRef::global(gb));
+                VReg b1 = b.loadF(bptr, 8, MemRef::global(gb));
+                VReg b2 = b.loadF(bptr, 16, MemRef::global(gb));
+                VReg b3 = b.loadF(bptr, 24, MemRef::global(gb));
+                b.assignRR(Opc::FAdd, c0, c0, b.fmul(av, b0));
+                b.assignRR(Opc::FAdd, c1, c1, b.fmul(av, b1));
+                b.assignRR(Opc::FAdd, c2, c2, b.fmul(av, b2));
+                b.assignRR(Opc::FAdd, c3, c3, b.fmul(av, b3));
+                b.assignRR(Opc::Add, bptr, bptr, rowstride);
+            }
+            kloop.finish();
+            VReg cptr = b.add(crow, b.slli(j, 3));
+            b.storeF(c0, cptr, 0, MemRef::global(gc));
+            b.storeF(c1, cptr, 8, MemRef::global(gc));
+            b.storeF(c2, cptr, 16, MemRef::global(gc));
+            b.storeF(c3, cptr, 24, MemRef::global(gc));
+        }
+        jloop.finish();
+    }
+    iloop.finish();
+
+    // Checksum: weighted sum of the result matrix.
+    VReg acc = b.temp(RegClass::Fp);
+    b.assign(acc, zero_fp);
+    VReg total = b.iconst(N * N);
+    VReg wstep = b.fconst(1.0 / 1024.0);
+    VReg weight = b.temp(RegClass::Fp);
+    b.assign(weight, b.fconst(1.0));
+    DoLoop sum(b, 0, total);
+    {
+        VReg v = b.loadF(elemAddr(b, cbase, sum.iv(), 3), 0,
+                         MemRef::global(gc));
+        b.assignRR(Opc::FAdd, acc, acc, b.fmul(v, weight));
+        b.assignRR(Opc::FAdd, weight, weight, wstep);
+    }
+    sum.finish();
+    VReg scaled = b.fmul(acc, b.fconst(4096.0));
+    b.ret(b.un(Opc::CvtFI, scaled));
+    return m;
+}
+
+} // namespace rcsim::workloads

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * "nasa7" workload: composite of NAS kernel styles.
+ *
+ * Recreates three of nasa7's kernels: MXM (jammed matrix multiply),
+ * a banded-solver style backward recurrence (serial dependence, like
+ * VPENTA/BTRIX), and a radix-2 butterfly pass over a complex array
+ * (CFFT2D) — a mix of high-ILP and recurrence-bound floating point.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+
+ir::Module
+buildNasa7()
+{
+    constexpr int MN = 24;    // MXM dimension (multiple of 4)
+    constexpr int PN = 4096;  // recurrence length
+    constexpr int FN = 2048;  // butterfly points (power of two)
+
+    ir::Module m;
+    m.name = "nasa7";
+
+    SplitMix rng(0x9a5a);
+    std::vector<double> a(MN * MN), bdat(MN * MN);
+    for (auto &v : a)
+        v = rng.unit() - 0.5;
+    for (auto &v : bdat)
+        v = rng.unit() - 0.5;
+    std::vector<double> rdat(PN), coefa(PN), coefb(PN);
+    for (int i = 0; i < PN; ++i) {
+        rdat[i] = rng.unit() - 0.5;
+        coefa[i] = 0.25 * rng.unit();
+        coefb[i] = 0.25 * rng.unit();
+    }
+    std::vector<double> re(FN), im(FN), wre(FN / 2), wim(FN / 2);
+    for (int i = 0; i < FN; ++i) {
+        re[i] = rng.unit() - 0.5;
+        im[i] = rng.unit() - 0.5;
+    }
+    for (int i = 0; i < FN / 2; ++i) {
+        wre[i] = rng.unit() - 0.5;
+        wim[i] = rng.unit() - 0.5;
+    }
+
+    int ga = makeFpArray(m, "mxm_a", a);
+    int gb = makeFpArray(m, "mxm_b", bdat);
+    int gc = makeFpZeros(m, "mxm_c", MN * MN);
+    int gr = makeFpArray(m, "penta_r", rdat);
+    int gca = makeFpArray(m, "penta_a", coefa);
+    int gcb = makeFpArray(m, "penta_b", coefb);
+    int gx = makeFpZeros(m, "penta_x", PN);
+    int gre = makeFpArray(m, "fft_re", re);
+    int gim = makeFpArray(m, "fft_im", im);
+    int gwre = makeFpArray(m, "fft_wre", wre);
+    int gwim = makeFpArray(m, "fft_wim", wim);
+
+    int fi = m.addFunction("main");
+    ir::Function &fn = m.fn(fi);
+    fn.returnsValue = true;
+    fn.retClass = RegClass::Int;
+    m.entryFunction = fi;
+
+    IRBuilder b(m, fi);
+    VReg acc = b.temp(RegClass::Fp);
+    b.assign(acc, b.fconst(0.0));
+
+    // ---- Kernel 1: MXM (jammed 4 columns) ----------------------------
+    {
+        VReg abase = b.addrOf(ga);
+        VReg bbase = b.addrOf(gb);
+        VReg cbase = b.addrOf(gc);
+        VReg n = b.iconst(MN);
+        VReg rowstride = b.iconst(MN * 8);
+        VReg c0 = b.temp(RegClass::Fp);
+        VReg c1 = b.temp(RegClass::Fp);
+        VReg c2 = b.temp(RegClass::Fp);
+        VReg c3 = b.temp(RegClass::Fp);
+        VReg bptr = b.temp(RegClass::Int);
+        VReg zero_fp = b.fconst(0.0);
+
+        DoLoop iloop(b, 0, n);
+        {
+            VReg arow = b.add(abase, b.mul(iloop.iv(), rowstride));
+            VReg crow = b.add(cbase, b.mul(iloop.iv(), rowstride));
+            DoLoop jloop(b, 0, n, 4);
+            {
+                VReg j = jloop.iv();
+                b.assign(c0, zero_fp);
+                b.assign(c1, zero_fp);
+                b.assign(c2, zero_fp);
+                b.assign(c3, zero_fp);
+                b.assignRR(Opc::Add, bptr, bbase, b.slli(j, 3));
+                DoLoop kloop(b, 0, n);
+                {
+                    VReg av = b.loadF(
+                        b.add(arow, b.slli(kloop.iv(), 3)), 0,
+                        MemRef::global(ga));
+                    VReg b0 = b.loadF(bptr, 0, MemRef::global(gb));
+                    VReg b1 = b.loadF(bptr, 8, MemRef::global(gb));
+                    VReg b2 = b.loadF(bptr, 16, MemRef::global(gb));
+                    VReg b3 = b.loadF(bptr, 24, MemRef::global(gb));
+                    b.assignRR(Opc::FAdd, c0, c0, b.fmul(av, b0));
+                    b.assignRR(Opc::FAdd, c1, c1, b.fmul(av, b1));
+                    b.assignRR(Opc::FAdd, c2, c2, b.fmul(av, b2));
+                    b.assignRR(Opc::FAdd, c3, c3, b.fmul(av, b3));
+                    b.assignRR(Opc::Add, bptr, bptr, rowstride);
+                }
+                kloop.finish();
+                VReg cptr = b.add(crow, b.slli(j, 3));
+                b.storeF(c0, cptr, 0, MemRef::global(gc));
+                b.storeF(c1, cptr, 8, MemRef::global(gc));
+                b.storeF(c2, cptr, 16, MemRef::global(gc));
+                b.storeF(c3, cptr, 24, MemRef::global(gc));
+                b.assignRR(Opc::FAdd, acc, acc,
+                           b.fadd(b.fadd(c0, c1), b.fadd(c2, c3)));
+            }
+            jloop.finish();
+        }
+        iloop.finish();
+    }
+
+    // ---- Kernel 2: banded-solver recurrence --------------------------
+    // x[i] = r[i] - ca[i]*x[i-1] - cb[i]*x[i-2], twice.
+    {
+        VReg rbase = b.addrOf(gr);
+        VReg cabase = b.addrOf(gca);
+        VReg cbbase = b.addrOf(gcb);
+        VReg xbase = b.addrOf(gx);
+        VReg n = b.iconst(PN);
+        VReg passes = b.iconst(2);
+
+        VReg xm1 = b.temp(RegClass::Fp);
+        VReg xm2 = b.temp(RegClass::Fp);
+
+        DoLoop pass(b, 0, passes);
+        {
+            b.assign(xm1, b.fconst(0.0));
+            b.assign(xm2, b.fconst(0.0));
+            DoLoop iloop(b, 0, n);
+            {
+                VReg i = iloop.iv();
+                VReg off = b.slli(i, 3);
+                VReg rv = b.loadF(b.add(rbase, off), 0,
+                                  MemRef::global(gr));
+                VReg ca = b.loadF(b.add(cabase, off), 0,
+                                  MemRef::global(gca));
+                VReg cb = b.loadF(b.add(cbbase, off), 0,
+                                  MemRef::global(gcb));
+                VReg xv = b.fsub(
+                    b.fsub(rv, b.fmul(ca, xm1)),
+                    b.fmul(cb, xm2));
+                b.storeF(xv, b.add(xbase, off), 0,
+                         MemRef::global(gx));
+                b.assign(xm2, xm1);
+                b.assign(xm1, xv);
+            }
+            iloop.finish();
+            b.assignRR(Opc::FAdd, acc, acc, xm1);
+        }
+        pass.finish();
+    }
+
+    // ---- Kernel 3: radix-2 butterfly passes --------------------------
+    {
+        VReg rebase = b.addrOf(gre);
+        VReg imbase = b.addrOf(gim);
+        VReg wrebase = b.addrOf(gwre);
+        VReg wimbase = b.addrOf(gwim);
+        VReg half = b.iconst(FN / 2);
+
+        DoLoop kloop(b, 0, half);
+        {
+            VReg k = kloop.iv();
+            VReg off = b.slli(k, 3);
+            VReg off2 = b.slli(b.add(k, half), 3);
+            VReg xr = b.loadF(b.add(rebase, off), 0,
+                              MemRef::global(gre));
+            VReg xi = b.loadF(b.add(imbase, off), 0,
+                              MemRef::global(gim));
+            VReg yr = b.loadF(b.add(rebase, off2), 0,
+                              MemRef::global(gre));
+            VReg yi = b.loadF(b.add(imbase, off2), 0,
+                              MemRef::global(gim));
+            VReg wr = b.loadF(b.add(wrebase, off), 0,
+                              MemRef::global(gwre));
+            VReg wi = b.loadF(b.add(wimbase, off), 0,
+                              MemRef::global(gwim));
+            // t = w * y (complex)
+            VReg tr = b.fsub(b.fmul(wr, yr), b.fmul(wi, yi));
+            VReg ti = b.fadd(b.fmul(wr, yi), b.fmul(wi, yr));
+            b.storeF(b.fadd(xr, tr), b.add(rebase, off), 0,
+                     MemRef::global(gre));
+            b.storeF(b.fadd(xi, ti), b.add(imbase, off), 0,
+                     MemRef::global(gim));
+            b.storeF(b.fsub(xr, tr), b.add(rebase, off2), 0,
+                     MemRef::global(gre));
+            b.storeF(b.fsub(xi, ti), b.add(imbase, off2), 0,
+                     MemRef::global(gim));
+            b.assignRR(Opc::FAdd, acc, acc,
+                       b.fadd(b.fabs(tr), b.fabs(ti)));
+        }
+        kloop.finish();
+    }
+
+    b.ret(b.un(Opc::CvtFI, b.fmul(acc, b.fconst(64.0))));
+    return m;
+}
+
+} // namespace rcsim::workloads

@@ -1,0 +1,35 @@
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> table = {
+        {"cccp", false, buildCccp},
+        {"cmp", false, buildCmp},
+        {"compress", false, buildCompress},
+        {"eqn", false, buildEqn},
+        {"eqntott", false, buildEqntott},
+        {"espresso", false, buildEspresso},
+        {"grep", false, buildGrep},
+        {"lex", false, buildLex},
+        {"yacc", false, buildYacc},
+        {"matrix300", true, buildMatrix300},
+        {"nasa7", true, buildNasa7},
+        {"tomcatv", true, buildTomcatv},
+    };
+    return table;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : allWorkloads())
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+} // namespace rcsim::workloads

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * "tomcatv" workload: vectorized mesh generation.
+ *
+ * Recreates tomcatv's sweep: for every interior mesh point, central
+ * differences of the two coordinate grids feed a block of dependent
+ * floating-point arithmetic (metric terms, jacobian, residuals) with
+ * many simultaneously live temporaries, followed by a relaxation
+ * update sweep.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+
+ir::Module
+buildTomcatv()
+{
+    constexpr int N = 48;    // grid dimension
+    constexpr int ITERS = 3; // relaxation iterations
+
+    ir::Module m;
+    m.name = "tomcatv";
+
+    SplitMix rng(0x70c7);
+    std::vector<double> x(N * N), y(N * N);
+    for (int i = 0; i < N; ++i)
+        for (int j = 0; j < N; ++j) {
+            x[i * N + j] = i + 0.3 * (rng.unit() - 0.5);
+            y[i * N + j] = j + 0.3 * (rng.unit() - 0.5);
+        }
+    int gx = makeFpArray(m, "grid_x", x);
+    int gy = makeFpArray(m, "grid_y", y);
+    int grx = makeFpZeros(m, "res_x", N * N);
+    int gry = makeFpZeros(m, "res_y", N * N);
+
+    int fi = m.addFunction("main");
+    ir::Function &fn = m.fn(fi);
+    fn.returnsValue = true;
+    fn.retClass = RegClass::Int;
+    m.entryFunction = fi;
+
+    IRBuilder b(m, fi);
+    VReg xbase = b.addrOf(gx);
+    VReg ybase = b.addrOf(gy);
+    VReg rxbase = b.addrOf(grx);
+    VReg rybase = b.addrOf(gry);
+    VReg interior = b.iconst(N - 1);
+    VReg iters = b.iconst(ITERS);
+    VReg rowbytes = b.iconst(N * 8);
+    VReg half = b.fconst(0.5);
+    VReg quarter = b.fconst(0.25);
+    VReg one = b.fconst(1.0);
+    VReg relax = b.fconst(0.0625);
+
+    VReg acc = b.temp(RegClass::Fp);
+    b.assign(acc, b.fconst(0.0));
+
+    DoLoop it(b, 0, iters);
+    {
+        // ---- residual sweep ------------------------------------------
+        DoLoop iloop(b, 1, interior);
+        {
+            VReg i = iloop.iv();
+            VReg rowoff = b.mul(i, rowbytes);
+            VReg xrow = b.add(xbase, rowoff);
+            VReg yrow = b.add(ybase, rowoff);
+            VReg rxrow = b.add(rxbase, rowoff);
+            VReg ryrow = b.add(rybase, rowoff);
+            DoLoop jloop(b, 1, interior);
+            {
+                VReg j = jloop.iv();
+                VReg off = b.slli(j, 3);
+                VReg xc = b.add(xrow, off);
+                VReg yc = b.add(yrow, off);
+                auto lx = [&](Word d) {
+                    return b.loadF(xc, d, MemRef::global(gx));
+                };
+                auto ly = [&](Word d) {
+                    return b.loadF(yc, d, MemRef::global(gy));
+                };
+                // Central differences in j (+-1 element) and i
+                // (+-one row).
+                VReg xxj = b.fmul(half, b.fsub(lx(8), lx(-8)));
+                VReg yxj = b.fmul(half, b.fsub(ly(8), ly(-8)));
+                VReg xxi = b.fmul(
+                    half, b.fsub(lx(N * 8), lx(-N * 8)));
+                VReg yxi = b.fmul(
+                    half, b.fsub(ly(N * 8), ly(-N * 8)));
+                // Metric terms.
+                VReg a = b.fadd(b.fmul(xxj, xxj),
+                                b.fmul(yxj, yxj));
+                VReg bb = b.fadd(b.fmul(xxi, xxi),
+                                 b.fmul(yxi, yxi));
+                VReg cc = b.fadd(b.fmul(xxj, xxi),
+                                 b.fmul(yxj, yxi));
+                // Second differences.
+                VReg x2j = b.fsub(b.fadd(lx(8), lx(-8)),
+                                  b.fmul(b.fconst(2.0), lx(0)));
+                VReg y2j = b.fsub(b.fadd(ly(8), ly(-8)),
+                                  b.fmul(b.fconst(2.0), ly(0)));
+                VReg x2i = b.fsub(b.fadd(lx(N * 8), lx(-N * 8)),
+                                  b.fmul(b.fconst(2.0), lx(0)));
+                VReg y2i = b.fsub(b.fadd(ly(N * 8), ly(-N * 8)),
+                                  b.fmul(b.fconst(2.0), ly(0)));
+                // Cross terms (corner points).
+                VReg xcr = b.fmul(
+                    quarter,
+                    b.fsub(b.fadd(lx(N * 8 + 8), lx(-N * 8 - 8)),
+                           b.fadd(lx(N * 8 - 8), lx(-N * 8 + 8))));
+                VReg ycr = b.fmul(
+                    quarter,
+                    b.fsub(b.fadd(ly(N * 8 + 8), ly(-N * 8 - 8)),
+                           b.fadd(ly(N * 8 - 8), ly(-N * 8 + 8))));
+                // Residuals: a*d2j - 2c*cross + b*d2i, damped by the
+                // jacobian magnitude.
+                VReg jac = b.fadd(
+                    one, b.fabs(b.fsub(b.fmul(xxj, yxi),
+                                       b.fmul(xxi, yxj))));
+                VReg two_cc = b.fadd(cc, cc);
+                VReg rx = b.fdiv(
+                    b.fadd(b.fsub(b.fmul(a, x2j),
+                                  b.fmul(two_cc, xcr)),
+                           b.fmul(bb, x2i)),
+                    jac);
+                VReg ry = b.fdiv(
+                    b.fadd(b.fsub(b.fmul(a, y2j),
+                                  b.fmul(two_cc, ycr)),
+                           b.fmul(bb, y2i)),
+                    jac);
+                b.storeF(rx, b.add(rxrow, off), 0,
+                         MemRef::global(grx));
+                b.storeF(ry, b.add(ryrow, off), 0,
+                         MemRef::global(gry));
+            }
+            jloop.finish();
+        }
+        iloop.finish();
+
+        // ---- relaxation update sweep ---------------------------------
+        DoLoop i2(b, 1, interior);
+        {
+            VReg i = i2.iv();
+            VReg rowoff = b.mul(i, rowbytes);
+            VReg xrow = b.add(xbase, rowoff);
+            VReg yrow = b.add(ybase, rowoff);
+            VReg rxrow = b.add(rxbase, rowoff);
+            VReg ryrow = b.add(rybase, rowoff);
+            DoLoop j2(b, 1, interior);
+            {
+                VReg off = b.slli(j2.iv(), 3);
+                VReg xv = b.loadF(b.add(xrow, off), 0,
+                                  MemRef::global(gx));
+                VReg yv = b.loadF(b.add(yrow, off), 0,
+                                  MemRef::global(gy));
+                VReg rx = b.loadF(b.add(rxrow, off), 0,
+                                  MemRef::global(grx));
+                VReg ry = b.loadF(b.add(ryrow, off), 0,
+                                  MemRef::global(gry));
+                VReg nx = b.fadd(xv, b.fmul(relax, rx));
+                VReg ny = b.fadd(yv, b.fmul(relax, ry));
+                b.storeF(nx, b.add(xrow, off), 0,
+                         MemRef::global(gx));
+                b.storeF(ny, b.add(yrow, off), 0,
+                         MemRef::global(gy));
+                b.assignRR(Opc::FAdd, acc, acc,
+                           b.fabs(b.fadd(rx, ry)));
+            }
+            j2.finish();
+        }
+        i2.finish();
+    }
+    it.finish();
+
+    b.ret(b.un(Opc::CvtFI, b.fmul(acc, b.fconst(16.0))));
+    return m;
+}
+
+} // namespace rcsim::workloads

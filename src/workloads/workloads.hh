@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The benchmark suite (paper Section 5.3): nine integer programs and
+ * three floating-point programs, rebuilt as IR kernels that recreate
+ * each original's dominant loops, operation mix and register-pressure
+ * class.  Every kernel's entry function returns a checksum verified
+ * against the IR interpreter (DESIGN.md Section 5).
+ */
+
+#ifndef RCSIM_WORKLOADS_WORKLOADS_HH
+#define RCSIM_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace rcsim::workloads
+{
+
+/** One benchmark: its name, class, and module builder. */
+struct Workload
+{
+    std::string name;
+    bool isFp; // floating-point benchmark (RC studied on the fp file)
+    ir::Module (*build)();
+};
+
+/** All twelve benchmarks, integer first (paper order). */
+const std::vector<Workload> &allWorkloads();
+
+/** Find by name; null when unknown. */
+const Workload *findWorkload(const std::string &name);
+
+// Individual builders (exposed for focused tests).
+ir::Module buildCccp();
+ir::Module buildCmp();
+ir::Module buildCompress();
+ir::Module buildEqn();
+ir::Module buildEqntott();
+ir::Module buildEspresso();
+ir::Module buildGrep();
+ir::Module buildLex();
+ir::Module buildYacc();
+ir::Module buildMatrix300();
+ir::Module buildNasa7();
+ir::Module buildTomcatv();
+
+} // namespace rcsim::workloads
+
+#endif // RCSIM_WORKLOADS_WORKLOADS_HH

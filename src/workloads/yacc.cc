@@ -1,0 +1,236 @@
+/**
+ * @file
+ * "yacc" workload: shift-reduce expression parsing.
+ *
+ * Recreates a yacc-generated parser's profile: a shift-reduce loop
+ * over a token stream with explicit value and operator stacks,
+ * precedence-driven reductions, and a semantic-action routine called
+ * on every reduce.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+
+namespace
+{
+
+constexpr Word tNum = 0;  // number token (value in the next slot)
+constexpr Word tAdd = 1;
+constexpr Word tMul = 2;
+constexpr Word tEnd = 3;
+
+/** Token stream: alternating numbers and operators, END-terminated.
+ * Stored as (kind, value) pairs. */
+std::vector<Word>
+makeTokens(int nums)
+{
+    SplitMix rng(0x9acc);
+    std::vector<Word> toks;
+    for (int i = 0; i < nums; ++i) {
+        toks.push_back(tNum);
+        toks.push_back(static_cast<Word>(1 + rng.below(97)));
+        if (i + 1 < nums) {
+            toks.push_back(rng.below(3) == 0 ? tMul : tAdd);
+            toks.push_back(0);
+        }
+    }
+    toks.push_back(tEnd);
+    toks.push_back(0);
+    return toks;
+}
+
+} // namespace
+
+ir::Module
+buildYacc()
+{
+    constexpr int NUMS = 4000;
+    constexpr int R = 2;
+
+    ir::Module m;
+    m.name = "yacc";
+
+    std::vector<Word> toks = makeTokens(NUMS);
+    const int pairs = static_cast<int>(toks.size()) / 2;
+    int gtok = makeIntArray(m, "tokens", toks);
+    int gvstk = makeIntZeros(m, "value_stack", NUMS + 8);
+    int gostk = makeIntZeros(m, "op_stack", NUMS + 8);
+
+    // ---- apply(op, a, b): the semantic action -----------------------
+    int apply = m.addFunction("yy_apply");
+    {
+        ir::Function &fn = m.fn(apply);
+        fn.returnsValue = true;
+        fn.retClass = RegClass::Int;
+        VReg op = fn.newVreg(RegClass::Int);
+        VReg a = fn.newVreg(RegClass::Int);
+        VReg c = fn.newVreg(RegClass::Int);
+        fn.params = {op, a, c};
+        IRBuilder b(m, apply);
+        int add_blk = b.newBlock();
+        int mul_blk = b.newBlock();
+        VReg tadd = b.iconst(tAdd);
+        b.br(Opc::Beq, op, tadd, add_blk, mul_blk);
+        b.setBlock(add_blk);
+        b.ret(b.add(a, c));
+        b.setBlock(mul_blk);
+        // Keep products bounded deterministically.
+        b.ret(b.andi(b.mul(a, c), 0xfffff));
+    }
+
+    // ---- main: the parse loop ----------------------------------------
+    int fi = m.addFunction("main");
+    ir::Function &fn = m.fn(fi);
+    fn.returnsValue = true;
+    fn.retClass = RegClass::Int;
+    m.entryFunction = fi;
+    IRBuilder b(m, fi);
+
+    VReg tbase = b.addrOf(gtok);
+    VReg vbase = b.addrOf(gvstk);
+    VReg obase = b.addrOf(gostk);
+    VReg npairs = b.iconst(pairs);
+    VReg rbound = b.iconst(R);
+    VReg tnum = b.iconst(tNum);
+    VReg tend = b.iconst(tEnd);
+
+    VReg checksum = b.temp(RegClass::Int);
+    b.assignI(checksum, 0);
+    VReg reduces = b.temp(RegClass::Int);
+    b.assignI(reduces, 0);
+    VReg vsp = b.temp(RegClass::Int); // value stack depth
+    VReg osp = b.temp(RegClass::Int); // operator stack depth
+    VReg i = b.temp(RegClass::Int);
+    VReg r = b.temp(RegClass::Int);
+    VReg kind = b.temp(RegClass::Int);
+    b.assignI(r, 0);
+
+    int tok_body = b.newBlock();
+    int shift_num = b.newBlock();
+    int operator_blk = b.newBlock();
+    int reduce_chk = b.newBlock();
+    int reduce_blk = b.newBlock();
+    int push_op = b.newBlock();
+    int end_chk = b.newBlock();
+    int end_reduce = b.newBlock();
+    int tok_next = b.newBlock();
+    int pass_done = b.newBlock();
+    int done = b.newBlock();
+
+    b.assignI(vsp, 0);
+    b.assignI(osp, 0);
+    b.assignI(i, 0);
+    b.jmp(tok_body);
+
+    b.setBlock(tok_body);
+    {
+        VReg pair = b.slli(i, 3); // 2 words per token
+        VReg kaddr = b.add(tbase, pair);
+        b.assignRI(Opc::AddI, kind,
+                   b.loadW(kaddr, 0, MemRef::global(gtok)), 0);
+        b.br(Opc::Beq, kind, tnum, shift_num, operator_blk);
+    }
+
+    b.setBlock(shift_num);
+    {
+        VReg pair = b.slli(i, 3);
+        VReg vaddr = b.add(tbase, pair);
+        VReg val = b.loadW(vaddr, 4, MemRef::global(gtok));
+        b.storeW(val, elemAddr(b, vbase, vsp, 2), 0,
+                 MemRef::global(gvstk));
+        b.assignRI(Opc::AddI, vsp, vsp, 1);
+        b.jmp(tok_next);
+    }
+
+    b.setBlock(operator_blk);
+    b.br(Opc::Beq, kind, tend, end_chk, reduce_chk);
+
+    // While the stacked operator has >= precedence, reduce.
+    // Precedence: tMul (2) > tAdd (1); comparing token codes works.
+    b.setBlock(reduce_chk);
+    {
+        VReg zero = b.iconst(0);
+        int have_op = b.newBlock();
+        b.br(Opc::Beq, osp, zero, push_op, have_op);
+        b.setBlock(have_op);
+        VReg top = b.loadW(elemAddr(b, obase, b.addi(osp, -1), 2),
+                           0, MemRef::global(gostk));
+        b.br(Opc::Bge, top, kind, reduce_blk, push_op);
+    }
+
+    b.setBlock(reduce_blk);
+    {
+        b.assignRI(Opc::AddI, osp, osp, -1);
+        VReg op = b.loadW(elemAddr(b, obase, osp, 2), 0,
+                          MemRef::global(gostk));
+        b.assignRI(Opc::AddI, vsp, vsp, -2);
+        VReg a = b.loadW(elemAddr(b, vbase, vsp, 2), 0,
+                         MemRef::global(gvstk));
+        VReg c = b.loadW(elemAddr(b, vbase, vsp, 2), 4,
+                         MemRef::global(gvstk));
+        VReg res = b.call(apply, {op, a, c}, RegClass::Int);
+        b.storeW(res, elemAddr(b, vbase, vsp, 2), 0,
+                 MemRef::global(gvstk));
+        b.assignRI(Opc::AddI, vsp, vsp, 1);
+        b.assignRI(Opc::AddI, reduces, reduces, 1);
+        b.jmp(reduce_chk);
+    }
+
+    b.setBlock(push_op);
+    b.storeW(kind, elemAddr(b, obase, osp, 2), 0,
+             MemRef::global(gostk));
+    b.assignRI(Opc::AddI, osp, osp, 1);
+    b.jmp(tok_next);
+
+    // END token: drain the operator stack, then finish the pass.
+    b.setBlock(end_chk);
+    {
+        VReg zero = b.iconst(0);
+        b.br(Opc::Beq, osp, zero, pass_done, end_reduce);
+    }
+
+    b.setBlock(end_reduce);
+    {
+        b.assignRI(Opc::AddI, osp, osp, -1);
+        VReg op = b.loadW(elemAddr(b, obase, osp, 2), 0,
+                          MemRef::global(gostk));
+        b.assignRI(Opc::AddI, vsp, vsp, -2);
+        VReg a = b.loadW(elemAddr(b, vbase, vsp, 2), 0,
+                         MemRef::global(gvstk));
+        VReg c = b.loadW(elemAddr(b, vbase, vsp, 2), 4,
+                         MemRef::global(gvstk));
+        VReg res = b.call(apply, {op, a, c}, RegClass::Int);
+        b.storeW(res, elemAddr(b, vbase, vsp, 2), 0,
+                 MemRef::global(gvstk));
+        b.assignRI(Opc::AddI, vsp, vsp, 1);
+        b.assignRI(Opc::AddI, reduces, reduces, 1);
+        b.jmp(end_chk);
+    }
+
+    b.setBlock(tok_next);
+    b.assignRI(Opc::AddI, i, i, 1);
+    b.br(Opc::Blt, i, npairs, tok_body, pass_done);
+
+    b.setBlock(pass_done);
+    {
+        VReg zero = b.iconst(0);
+        VReg result = b.loadW(elemAddr(b, vbase, zero, 2), 0,
+                              MemRef::global(gvstk));
+        b.assignRR(Opc::Xor, checksum, checksum,
+                   b.add(result, reduces));
+        b.assignI(vsp, 0);
+        b.assignI(osp, 0);
+        b.assignI(i, 0);
+        b.assignRI(Opc::AddI, r, r, 1);
+        b.br(Opc::Blt, r, rbound, tok_body, done);
+    }
+
+    b.setBlock(done);
+    b.ret(checksum);
+    return m;
+}
+
+} // namespace rcsim::workloads

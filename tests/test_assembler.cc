@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Assembler tests: syntax coverage, label resolution and errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+namespace rcsim::isa
+{
+namespace
+{
+
+TEST(Assembler, MinimalProgram)
+{
+    auto r = assemble("func main:\n  halt\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_EQ(r.program.code.size(), 1u);
+    EXPECT_EQ(r.program.code[0].op, Opcode::HALT);
+    EXPECT_EQ(r.program.entry, 0);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    auto r = assemble("# a comment\n\nfunc main:\n  halt # trailing\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program.code.size(), 1u);
+}
+
+TEST(Assembler, RegisterClassesChecked)
+{
+    auto r = assemble("func main:\n  fadd f1, f2, f3\n  halt\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program.code[0].dst.cls, RegClass::Fp);
+
+    auto bad = assemble("func main:\n  fadd r1, f2, f3\n  halt\n");
+    EXPECT_FALSE(bad.ok());
+}
+
+TEST(Assembler, ImmediatesSignedAndHex)
+{
+    auto r = assemble(
+        "func main:\n  li r1, -42\n  li r2, 0x10\n  halt\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program.code[0].imm, -42);
+    EXPECT_EQ(r.program.code[1].imm, 16);
+}
+
+TEST(Assembler, BackwardAndForwardLabels)
+{
+    auto r = assemble(R"(
+func main:
+top:
+  beq r1, r2, bottom
+  j top
+bottom:
+  halt
+)");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program.code[0].target, 2);
+    EXPECT_EQ(r.program.code[1].target, 0);
+}
+
+TEST(Assembler, PredictTakenSuffix)
+{
+    auto r = assemble(R"(
+func main:
+loop:
+  bgt+ r1, r0, loop
+  ble  r1, r0, loop
+  halt
+)");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.program.code[0].predictTaken);
+    EXPECT_FALSE(r.program.code[1].predictTaken);
+}
+
+TEST(Assembler, CallByFunctionName)
+{
+    auto r = assemble(R"(
+func helper:
+  rts
+func main:
+  jsr helper
+  halt
+)");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program.entry, 1); // main after helper
+    EXPECT_EQ(r.program.code[1].target, 0);
+    ASSERT_EQ(r.program.functions.size(), 2u);
+    EXPECT_EQ(r.program.functions[0].name, "helper");
+    EXPECT_EQ(r.program.functions[0].end, 1);
+}
+
+TEST(Assembler, SingleConnectSyntax)
+{
+    auto r = assemble(
+        "func main:\n  connect.use fp i3, p120\n  halt\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    const Instruction &c = r.program.code[0];
+    EXPECT_EQ(c.connCls, RegClass::Fp);
+    EXPECT_EQ(c.nconn, 1);
+    EXPECT_EQ(c.conn[0].mapIdx, 3);
+    EXPECT_EQ(c.conn[0].phys, 120);
+    EXPECT_FALSE(c.conn[0].isDef);
+}
+
+TEST(Assembler, DualConnectSyntax)
+{
+    auto r = assemble(
+        "func main:\n  connect.du int i1, p40, i2, p41\n  halt\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    const Instruction &c = r.program.code[0];
+    EXPECT_EQ(c.nconn, 2);
+    EXPECT_TRUE(c.conn[0].isDef);
+    EXPECT_FALSE(c.conn[1].isDef);
+    EXPECT_EQ(c.conn[1].phys, 41);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    auto r = assemble(
+        "func main:\n  lw r1, r2, 8\n  sw r1, r2, -4\n"
+        "  lf f1, r2, 0\n  sf f1, r2, 16\n  halt\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program.code[0].imm, 8);
+    EXPECT_EQ(r.program.code[1].imm, -4);
+    EXPECT_EQ(r.program.code[3].src[0].cls, RegClass::Fp);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    auto r = assemble("func main:\n  bogus r1\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST(Assembler, UndefinedLabelReported)
+{
+    auto r = assemble("func main:\n  j nowhere\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("nowhere"), std::string::npos);
+}
+
+TEST(Assembler, DuplicateLabelRejected)
+{
+    auto r = assemble("func main:\nx:\n  halt\nx:\n  halt\n");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Assembler, TrailingOperandsRejected)
+{
+    auto r = assemble("func main:\n  halt r1\n");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Assembler, EntryDefaultsToMain)
+{
+    auto r = assemble(R"(
+func a:
+  rts
+func main:
+  halt
+func b:
+  rts
+)");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.program.entry, 1);
+}
+
+TEST(Assembler, TrapAndPswOps)
+{
+    auto r = assemble(
+        "func main:\n  trap 3\n  mfpsw r5\n  mtpsw r5\n  rfe\n");
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.program.code[0].op, Opcode::TRAP);
+    EXPECT_EQ(r.program.code[0].imm, 3);
+    EXPECT_EQ(r.program.code[1].op, Opcode::MFPSW);
+    EXPECT_EQ(r.program.code[2].op, Opcode::MTPSW);
+}
+
+} // namespace
+} // namespace rcsim::isa

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Code generation tests: start wrapper, call lowering, constant
+ * pools, frame finalization and program emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.hh"
+#include "regalloc/rewrite.hh"
+#include "ir/builder.hh"
+#include "ir/interp.hh"
+#include "support/logging.hh"
+
+namespace rcsim::codegen
+{
+namespace
+{
+
+using namespace rcsim::ir;
+
+Module
+moduleWithMain()
+{
+    Module m;
+    int fi = m.addFunction("main");
+    m.fn(fi).returnsValue = true;
+    m.fn(fi).retClass = RegClass::Int;
+    m.entryFunction = fi;
+    return m;
+}
+
+TEST(StartWrapper, WrapsEntryAndStoresResult)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    b.ret(b.iconst(42));
+    addStartWrapper(m);
+    m.layout();
+    EXPECT_EQ(m.functions.back().name, "__start");
+    EXPECT_EQ(m.entryFunction, m.functions.back().index);
+
+    Addr result_addr = 0;
+    for (const Global &g : m.globals)
+        if (g.name == "__result")
+            result_addr = g.address;
+    ASSERT_NE(result_addr, 0u);
+
+    Interpreter interp(m);
+    ASSERT_TRUE(interp.run().ok);
+    EXPECT_EQ(interp.loadWord(result_addr), 42);
+}
+
+TEST(StartWrapper, RejectsEntryWithParams)
+{
+    Module m;
+    int fi = m.addFunction("main");
+    Function &fn = m.fn(fi);
+    fn.returnsValue = true;
+    fn.retClass = RegClass::Int;
+    VReg p = fn.newVreg(RegClass::Int);
+    fn.params = {p};
+    m.entryFunction = fi;
+    IRBuilder b(m, fi);
+    b.ret(p);
+    EXPECT_THROW(addStartWrapper(m), FatalError);
+}
+
+TEST(StartWrapper, RejectsVoidEntry)
+{
+    Module m;
+    int fi = m.addFunction("main");
+    m.entryFunction = fi;
+    IRBuilder b(m, fi);
+    b.retVoid();
+    EXPECT_THROW(addStartWrapper(m), FatalError);
+}
+
+TEST(Lowering, CallsBecomeStackProtocol)
+{
+    Module m;
+    int sq = m.addFunction("square");
+    {
+        Function &f = m.fn(sq);
+        VReg p = f.newVreg(RegClass::Int);
+        f.params = {p};
+        f.returnsValue = true;
+        f.retClass = RegClass::Int;
+        IRBuilder fb(m, sq);
+        fb.ret(fb.mul(p, p));
+    }
+    int fi = m.addFunction("main");
+    m.fn(fi).returnsValue = true;
+    m.fn(fi).retClass = RegClass::Int;
+    m.entryFunction = fi;
+    IRBuilder b(m, fi);
+    b.ret(b.call(sq, {b.iconst(9)}, RegClass::Int));
+    addStartWrapper(m);
+    lowerModule(m);
+
+    // No Call/Ret/Ga/FLi pseudos survive; jsr and frame markers do.
+    int jsr_count = 0, prologue_count = 0;
+    for (const Function &fn : m.functions)
+        for (const BasicBlock &bb : fn.blocks) {
+            if (bb.dead)
+                continue;
+            for (const Op &op : bb.ops) {
+                EXPECT_NE(op.opc, Opc::Call);
+                EXPECT_NE(op.opc, Opc::Ret);
+                EXPECT_NE(op.opc, Opc::Ga);
+                EXPECT_NE(op.opc, Opc::FLi);
+                if (op.opc == Opc::Jsr)
+                    ++jsr_count;
+                if (op.opc == Opc::Prologue)
+                    ++prologue_count;
+            }
+        }
+    EXPECT_EQ(jsr_count, 2); // __start -> main -> square
+    EXPECT_EQ(prologue_count,
+              static_cast<int>(m.functions.size()));
+    // Out-arg areas sized.
+    EXPECT_GE(m.fn(fi).maxOutArgs, 1);
+}
+
+TEST(Lowering, FpConstantsPooled)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    VReg x = b.fconst(3.25);
+    VReg y = b.fconst(3.25); // duplicate: same pool slot
+    VReg z = b.fconst(-1.5);
+    b.ret(b.un(Opc::CvtFI, b.fadd(b.fadd(x, y), z)));
+    addStartWrapper(m);
+    lowerModule(m);
+    int pool = -1;
+    for (std::size_t i = 0; i < m.globals.size(); ++i)
+        if (m.globals[i].name == "__fpconst")
+            pool = static_cast<int>(i);
+    ASSERT_GE(pool, 0);
+    EXPECT_EQ(m.globals[pool].init.size(), 16u); // two uniques
+}
+
+TEST(Lowering, GaBecomesAddressLi)
+{
+    Module m = moduleWithMain();
+    int g = m.addGlobal("data", 32);
+    IRBuilder b(m, 0);
+    VReg base = b.addrOf(g, 8);
+    b.ret(base);
+    addStartWrapper(m);
+    lowerModule(m);
+    bool found = false;
+    for (const Op &op : m.fn(0).blocks[0].ops)
+        if (op.opc == Opc::Li &&
+            op.imm == static_cast<Word>(m.globals[g].address) + 8)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Frames, MarkersExpandedAndOffsetsResolved)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    b.ret(b.iconst(5));
+    addStartWrapper(m);
+    lowerModule(m);
+    for (Function &fn : m.functions) {
+        regalloc::FunctionAlloc alloc;
+        // main: give it one local slot to exercise the layout.
+        if (fn.name == "main")
+            alloc.numLocalSlots = 1;
+        finalizeFrames(fn, alloc);
+        for (const BasicBlock &bb : fn.blocks) {
+            if (bb.dead)
+                continue;
+            for (const Op &op : bb.ops) {
+                EXPECT_NE(op.opc, Opc::Prologue);
+                EXPECT_NE(op.opc, Opc::Epilogue);
+            }
+        }
+    }
+}
+
+TEST(Emit, ProgramLinksBranchesAndCalls)
+{
+    Module m;
+    int sq = m.addFunction("square");
+    {
+        Function &f = m.fn(sq);
+        VReg p = f.newVreg(RegClass::Int);
+        f.params = {p};
+        f.returnsValue = true;
+        f.retClass = RegClass::Int;
+        IRBuilder fb(m, sq);
+        fb.ret(fb.mul(p, p));
+    }
+    int fi = m.addFunction("main");
+    m.fn(fi).returnsValue = true;
+    m.fn(fi).retClass = RegClass::Int;
+    m.entryFunction = fi;
+    IRBuilder b(m, fi);
+    b.ret(b.call(sq, {b.iconst(9)}, RegClass::Int));
+    addStartWrapper(m);
+    lowerModule(m);
+    for (Function &fn : m.functions) {
+        // A trivial "allocation": everything fits, no vregs remain
+        // except we must rewrite them.  Use the real allocator.
+        auto alloc = regalloc::allocateFunction(
+            fn, fn.index, ir::Profile::forModule(m),
+            core::RcConfig::unlimited());
+        regalloc::rewriteFunction(fn, alloc,
+                                  core::RcConfig::unlimited());
+        finalizeFrames(fn, alloc);
+    }
+    isa::Program prog = emitProgram(m);
+
+    EXPECT_EQ(prog.functions.size(), m.functions.size());
+    // Every jsr target is some function's entry.
+    for (const isa::Instruction &ins : prog.code) {
+        if (ins.op == isa::Opcode::JSR) {
+            bool matches = false;
+            for (const auto &f : prog.functions)
+                if (f.entry == ins.target)
+                    matches = true;
+            EXPECT_TRUE(matches);
+        }
+        if (ins.info().isBranch || ins.op == isa::Opcode::J) {
+            EXPECT_GE(ins.target, 0);
+            EXPECT_LT(ins.target,
+                      static_cast<std::int32_t>(prog.code.size()));
+        }
+    }
+    // Entry is __start.
+    bool entry_is_start = false;
+    for (const auto &f : prog.functions)
+        if (f.entry == prog.entry && f.name == "__start")
+            entry_is_start = true;
+    EXPECT_TRUE(entry_is_start);
+}
+
+} // namespace
+} // namespace rcsim::codegen

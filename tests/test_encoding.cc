@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Binary encoding tests: the paper's compatibility claim is that the
+ * RC extension fits the fixed 32-bit instruction format.  Round-trips
+ * every encodable shape and checks the field-width failure modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/encoding.hh"
+
+namespace rcsim::isa
+{
+namespace
+{
+
+Instruction
+decodeOk(MachineWord w, std::int32_t pc = 0)
+{
+    auto d = decode(w, pc);
+    EXPECT_TRUE(d.has_value());
+    return *d;
+}
+
+void
+expectRoundTrip(const Instruction &ins, std::int32_t pc = 0)
+{
+    EncodeResult enc = encode(ins, pc);
+    ASSERT_TRUE(enc.ok()) << ins.toString();
+    Instruction back = decodeOk(enc.word, pc);
+    EXPECT_EQ(back.toString(), ins.toString());
+}
+
+TEST(Encoding, RFormatRoundTrip)
+{
+    Instruction ins;
+    ins.op = Opcode::ADD;
+    ins.dst = ireg(3);
+    ins.src[0] = ireg(31);
+    ins.src[1] = ireg(7);
+    expectRoundTrip(ins);
+}
+
+TEST(Encoding, FpRFormatRoundTrip)
+{
+    Instruction ins;
+    ins.op = Opcode::FMUL;
+    ins.dst = freg(30);
+    ins.src[0] = freg(1);
+    ins.src[1] = freg(2);
+    expectRoundTrip(ins);
+}
+
+TEST(Encoding, CrossClassRoundTrip)
+{
+    Instruction ins;
+    ins.op = Opcode::FCMP_LT;
+    ins.dst = ireg(9);
+    ins.src[0] = freg(5);
+    ins.src[1] = freg(6);
+    expectRoundTrip(ins);
+}
+
+TEST(Encoding, IFormatImmediates)
+{
+    Instruction ins;
+    ins.op = Opcode::ADDI;
+    ins.dst = ireg(4);
+    ins.src[0] = ireg(5);
+    for (Word imm : {0, 1, -1, 32767, -32768}) {
+        ins.imm = imm;
+        expectRoundTrip(ins);
+    }
+}
+
+TEST(Encoding, ImmediateTooWideRejected)
+{
+    Instruction ins;
+    ins.op = Opcode::LI;
+    ins.dst = ireg(4);
+    ins.imm = 1 << 20;
+    EXPECT_EQ(encode(ins, 0).error, EncodeError::ImmediateTooWide);
+}
+
+TEST(Encoding, RegisterTooHighRejected)
+{
+    Instruction ins;
+    ins.op = Opcode::ADD;
+    ins.dst = ireg(32); // base format has 5-bit fields
+    ins.src[0] = ireg(0);
+    ins.src[1] = ireg(1);
+    EXPECT_EQ(encode(ins, 0).error, EncodeError::RegisterTooHigh);
+}
+
+TEST(Encoding, LoadStoreRoundTrip)
+{
+    Instruction lw;
+    lw.op = Opcode::LW;
+    lw.dst = ireg(6);
+    lw.src[0] = ireg(2);
+    lw.imm = -124;
+    expectRoundTrip(lw);
+
+    Instruction sf;
+    sf.op = Opcode::SF;
+    sf.src[0] = freg(8);
+    sf.src[1] = ireg(3);
+    sf.imm = 512;
+    expectRoundTrip(sf);
+}
+
+TEST(Encoding, BranchDisplacementRelative)
+{
+    Instruction ins;
+    ins.op = Opcode::BNE;
+    ins.src[0] = ireg(1);
+    ins.src[1] = ireg(2);
+    ins.target = 90;
+    ins.predictTaken = true;
+    expectRoundTrip(ins, 100); // negative displacement
+    ins.target = 200;
+    ins.predictTaken = false;
+    expectRoundTrip(ins, 100);
+}
+
+TEST(Encoding, BranchDisplacementTooWide)
+{
+    Instruction ins;
+    ins.op = Opcode::BEQ;
+    ins.src[0] = ireg(1);
+    ins.src[1] = ireg(2);
+    ins.target = 100000;
+    EXPECT_EQ(encode(ins, 0).error,
+              EncodeError::DisplacementTooWide);
+}
+
+TEST(Encoding, JumpAndCallRoundTrip)
+{
+    Instruction j;
+    j.op = Opcode::J;
+    j.target = 123456;
+    expectRoundTrip(j);
+
+    Instruction jsr;
+    jsr.op = Opcode::JSR;
+    jsr.target = 1;
+    expectRoundTrip(jsr);
+
+    Instruction rts;
+    rts.op = Opcode::RTS;
+    expectRoundTrip(rts);
+}
+
+// The headline claim: single connects carry (5-bit index, 8-bit
+// physical register, class bit); dual connects use all 26 payload
+// bits with the class folded into the opcode.
+struct ConnectCase
+{
+    Opcode op;
+    RegClass cls;
+    int idx0, phys0, idx1, phys1;
+};
+
+class ConnectEncoding : public ::testing::TestWithParam<ConnectCase>
+{
+};
+
+TEST_P(ConnectEncoding, RoundTrips)
+{
+    const ConnectCase &c = GetParam();
+    Instruction ins;
+    ins.op = c.op;
+    ins.connCls = c.cls;
+    bool dual = c.op == Opcode::CONNECT_UU ||
+                c.op == Opcode::CONNECT_DU ||
+                c.op == Opcode::CONNECT_DD;
+    ins.nconn = dual ? 2 : 1;
+    ins.conn[0].mapIdx = c.idx0;
+    ins.conn[0].phys = c.phys0;
+    ins.conn[0].isDef = c.op == Opcode::CONNECT_DEF ||
+                        c.op == Opcode::CONNECT_DU ||
+                        c.op == Opcode::CONNECT_DD;
+    if (dual) {
+        ins.conn[1].mapIdx = c.idx1;
+        ins.conn[1].phys = c.phys1;
+        ins.conn[1].isDef = c.op == Opcode::CONNECT_DD;
+    }
+    expectRoundTrip(ins);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConnectShapes, ConnectEncoding,
+    ::testing::Values(
+        ConnectCase{Opcode::CONNECT_USE, RegClass::Int, 0, 255, 0, 0},
+        ConnectCase{Opcode::CONNECT_USE, RegClass::Fp, 31, 16, 0, 0},
+        ConnectCase{Opcode::CONNECT_DEF, RegClass::Int, 5, 100, 0, 0},
+        ConnectCase{Opcode::CONNECT_DEF, RegClass::Fp, 1, 200, 0, 0},
+        ConnectCase{Opcode::CONNECT_UU, RegClass::Int, 3, 17, 4, 255},
+        ConnectCase{Opcode::CONNECT_UU, RegClass::Fp, 31, 255, 30,
+                    254},
+        ConnectCase{Opcode::CONNECT_DU, RegClass::Int, 7, 64, 9, 65},
+        ConnectCase{Opcode::CONNECT_DU, RegClass::Fp, 0, 0, 1, 1},
+        ConnectCase{Opcode::CONNECT_DD, RegClass::Int, 15, 16, 14,
+                    239},
+        ConnectCase{Opcode::CONNECT_DD, RegClass::Fp, 2, 99, 3, 98}));
+
+TEST(Encoding, ConnectPhysTooHighRejected)
+{
+    Instruction ins;
+    ins.op = Opcode::CONNECT_USE;
+    ins.nconn = 1;
+    ins.conn[0].mapIdx = 0;
+    ins.conn[0].phys = 256;
+    EXPECT_EQ(encode(ins, 0).error, EncodeError::PhysTooHigh);
+}
+
+TEST(Encoding, ConnectIndexTooHighRejected)
+{
+    Instruction ins;
+    ins.op = Opcode::CONNECT_DD;
+    ins.nconn = 2;
+    ins.conn[0].mapIdx = 32;
+    ins.conn[0].phys = 1;
+    ins.conn[0].isDef = true;
+    ins.conn[1].isDef = true;
+    EXPECT_EQ(encode(ins, 0).error, EncodeError::RegisterTooHigh);
+}
+
+TEST(Encoding, GarbageWordRejected)
+{
+    // R-format escape with an out-of-range function code.
+    EXPECT_FALSE(decode(0x000007ff, 0).has_value());
+}
+
+TEST(Encoding, WholeProgramRoundTrip)
+{
+    auto asm_result = assemble(R"(
+func main:
+  li   r1, 100
+  li   r2, 0
+loop:
+  add  r2, r2, r1
+  addi r1, r1, -1
+  bgt+ r1, r0, loop
+  connect.use int i3, p200
+  mov  r4, r3
+  connect.dd int i5, p17, i6, p18
+  halt
+)");
+    ASSERT_TRUE(asm_result.ok()) << asm_result.error;
+    ProgramImage img = encodeProgram(asm_result.program);
+    ASSERT_TRUE(img.ok()) << img.error;
+    ASSERT_EQ(img.words.size(), asm_result.program.code.size());
+    for (std::size_t i = 0; i < img.words.size(); ++i) {
+        auto back = decode(img.words[i],
+                           static_cast<std::int32_t>(i));
+        ASSERT_TRUE(back.has_value()) << "instr " << i;
+        EXPECT_EQ(back->toString(),
+                  asm_result.program.code[i].toString())
+            << "instr " << i;
+    }
+}
+
+TEST(Encoding, ProgramWithWideImmediateReportsError)
+{
+    auto asm_result = assemble("func main:\n  li r1, 1000000\n  halt\n");
+    ASSERT_TRUE(asm_result.ok());
+    ProgramImage img = encodeProgram(asm_result.program);
+    EXPECT_FALSE(img.ok());
+    EXPECT_NE(img.error.find("immediate"), std::string::npos);
+}
+
+} // namespace
+} // namespace rcsim::isa

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Harness tests: per-benchmark-class RC configurations (Section 5.2),
+ * machine defaults, baseline caching and compiled-program metadata.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "support/logging.hh"
+
+namespace rcsim::harness
+{
+namespace
+{
+
+TEST(Configs, IntegerBenchmarkGetsRcOnIntFile)
+{
+    core::RcConfig rc = rcConfigFor(false, 16);
+    EXPECT_TRUE(rc.enabled);
+    EXPECT_EQ(rc.core(isa::RegClass::Int), 16);
+    EXPECT_EQ(rc.total(isa::RegClass::Int), 256);
+    // The fp file is fixed at 64 with no extended section.
+    EXPECT_EQ(rc.core(isa::RegClass::Fp), 64);
+    EXPECT_EQ(rc.extended(isa::RegClass::Fp), 0);
+}
+
+TEST(Configs, FpBenchmarkGetsRcOnFpFile)
+{
+    core::RcConfig rc = rcConfigFor(true, 32);
+    EXPECT_EQ(rc.core(isa::RegClass::Fp), 32);
+    EXPECT_EQ(rc.total(isa::RegClass::Fp), 256);
+    EXPECT_EQ(rc.core(isa::RegClass::Int), 64);
+    EXPECT_EQ(rc.extended(isa::RegClass::Int), 0);
+}
+
+TEST(Configs, BaseConfigMirrorsCoreSizes)
+{
+    core::RcConfig b = baseConfigFor(true, 32);
+    EXPECT_FALSE(b.enabled);
+    EXPECT_EQ(b.core(isa::RegClass::Fp), 32);
+    EXPECT_EQ(b.core(isa::RegClass::Int), 64);
+}
+
+TEST(Configs, MachineDefaultsFollowThePaper)
+{
+    // Two channels up to 4-issue, four channels at 8-issue.
+    EXPECT_EQ(Experiment::machineFor(1).memChannels, 2);
+    EXPECT_EQ(Experiment::machineFor(4).memChannels, 2);
+    EXPECT_EQ(Experiment::machineFor(8).memChannels, 4);
+    EXPECT_EQ(Experiment::machineFor(4, 4).lat.loadLatency, 4);
+}
+
+TEST(Experiment, BaselineIsCachedAndStable)
+{
+    setQuiet(true);
+    Experiment exp;
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ASSERT_NE(w, nullptr);
+    Cycle a = exp.baselineCycles(*w);
+    Cycle b = exp.baselineCycles(*w);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a, 0u);
+}
+
+TEST(Experiment, SpeedupRelativeToScalarSingleIssue)
+{
+    setQuiet(true);
+    Experiment exp;
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    // The baseline configuration itself must measure ~1.0x.
+    CompileOptions opts;
+    opts.level = opt::OptLevel::Scalar;
+    opts.rc = core::RcConfig::unlimited();
+    opts.machine = Experiment::machineFor(1);
+    EXPECT_NEAR(exp.speedup(*w, opts), 1.0, 1e-9);
+}
+
+TEST(Experiment, CompiledMetadataConsistent)
+{
+    setQuiet(true);
+    const workloads::Workload *w =
+        workloads::findWorkload("espresso");
+    CompileOptions opts;
+    opts.level = opt::OptLevel::Ilp;
+    opts.rc = rcConfigFor(false, 8);
+    opts.machine = Experiment::machineFor(4);
+    CompiledProgram cp = compileWorkload(*w, opts);
+
+    // Origin-tagged counts never exceed the static size.
+    EXPECT_LE(cp.connectOps + cp.spillOps + cp.saveRestoreOps,
+              cp.staticSize);
+    EXPECT_EQ(cp.staticSize, cp.program.staticSize());
+    // The __result cell lives inside the data segment.
+    EXPECT_GE(cp.resultAddr, cp.program.dataBase);
+    EXPECT_LT(cp.resultAddr,
+              cp.program.dataBase + cp.program.dataImage.size());
+    // Functions tile the program.
+    std::int32_t covered = 0;
+    for (const auto &f : cp.program.functions) {
+        EXPECT_EQ(f.entry, covered);
+        EXPECT_GE(f.end, f.entry);
+        covered = f.end;
+    }
+    EXPECT_EQ(covered,
+              static_cast<std::int32_t>(cp.program.code.size()));
+}
+
+TEST(Experiment, KeepProgramFlagControlsRetention)
+{
+    setQuiet(true);
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    CompileOptions opts;
+    opts.level = opt::OptLevel::Scalar;
+    opts.rc = core::RcConfig::unlimited();
+    opts.machine = Experiment::machineFor(1);
+    RunOutcome kept = runConfiguration(*w, opts, true);
+    RunOutcome dropped = runConfiguration(*w, opts, false);
+    EXPECT_FALSE(kept.compiled.program.code.empty());
+    EXPECT_TRUE(dropped.compiled.program.code.empty());
+    // Metadata survives either way.
+    EXPECT_EQ(kept.compiled.staticSize, dropped.compiled.staticSize);
+}
+
+TEST(Experiment, IlpOptionsChangeCodeShape)
+{
+    setQuiet(true);
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    CompileOptions small;
+    small.level = opt::OptLevel::Ilp;
+    small.rc = core::RcConfig::unlimited();
+    small.machine = Experiment::machineFor(4);
+    small.ilp.maxUnroll = 2;
+    CompileOptions big = small;
+    big.ilp.maxUnroll = 16;
+    CompiledProgram ps = compileWorkload(*w, small);
+    CompiledProgram pb = compileWorkload(*w, big);
+    EXPECT_GT(pb.staticSize, ps.staticSize);
+}
+
+TEST(Experiment, ScalarLevelSkipsUnrolling)
+{
+    setQuiet(true);
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    CompileOptions scalar;
+    scalar.level = opt::OptLevel::Scalar;
+    scalar.rc = core::RcConfig::unlimited();
+    scalar.machine = Experiment::machineFor(4);
+    CompileOptions ilp = scalar;
+    ilp.level = opt::OptLevel::Ilp;
+    CompiledProgram ps = compileWorkload(*w, scalar);
+    CompiledProgram pi = compileWorkload(*w, ilp);
+    EXPECT_LT(ps.staticSize, pi.staticSize);
+}
+
+} // namespace
+} // namespace rcsim::harness

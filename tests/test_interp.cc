@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Reference interpreter tests: per-opcode semantics (parameterized),
+ * memory, calls, profiling and failure modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include <cstring>
+#include <functional>
+
+#include "ir/interp.hh"
+
+namespace rcsim::ir
+{
+namespace
+{
+
+Module
+moduleWithMain()
+{
+    Module m;
+    int fi = m.addFunction("main");
+    m.fn(fi).returnsValue = true;
+    m.fn(fi).retClass = RegClass::Int;
+    m.entryFunction = fi;
+    return m;
+}
+
+Word
+runExpr(const std::function<VReg(IRBuilder &)> &body)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    b.ret(body(b));
+    m.layout();
+    Interpreter interp(m);
+    ExecResult r = interp.run();
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.retValue;
+}
+
+// --- Integer ALU semantics, parameterized ---------------------------
+
+struct AluCase
+{
+    const char *name;
+    Opc opc;
+    Word a, b, expect;
+};
+
+class IntAlu : public ::testing::TestWithParam<AluCase>
+{
+};
+
+TEST_P(IntAlu, Computes)
+{
+    const AluCase &c = GetParam();
+    Word got = runExpr([&](IRBuilder &b) {
+        return b.rr(c.opc, b.iconst(c.a), b.iconst(c.b));
+    });
+    EXPECT_EQ(got, c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Semantics, IntAlu,
+    ::testing::Values(
+        AluCase{"add", Opc::Add, 3, 4, 7},
+        AluCase{"add_wraps", Opc::Add, 0x7fffffff, 1,
+                static_cast<Word>(0x80000000)},
+        AluCase{"sub", Opc::Sub, 3, 10, -7},
+        AluCase{"and", Opc::And, 0b1100, 0b1010, 0b1000},
+        AluCase{"or", Opc::Or, 0b1100, 0b1010, 0b1110},
+        AluCase{"xor", Opc::Xor, 0b1100, 0b1010, 0b0110},
+        AluCase{"nor", Opc::Nor, 0, 0, -1},
+        AluCase{"sll", Opc::Sll, 1, 4, 16},
+        AluCase{"sll_masked", Opc::Sll, 1, 33, 2},
+        AluCase{"srl_logical", Opc::Srl, -8, 1, 0x7ffffffc},
+        AluCase{"sra_arith", Opc::Sra, -8, 1, -4},
+        AluCase{"slt_true", Opc::Slt, -1, 0, 1},
+        AluCase{"slt_false", Opc::Slt, 0, 0, 0},
+        AluCase{"sltu_negative_is_big", Opc::Sltu, -1, 0, 0},
+        AluCase{"mul", Opc::Mul, -3, 5, -15},
+        AluCase{"div_trunc", Opc::Div, -7, 2, -3},
+        AluCase{"rem_sign", Opc::Rem, -7, 2, -1}),
+    [](const auto &info) { return info.param.name; });
+
+TEST(Interp, Immediates)
+{
+    EXPECT_EQ(runExpr([](IRBuilder &b) {
+                  return b.addi(b.iconst(10), -3);
+              }),
+              7);
+    EXPECT_EQ(runExpr([](IRBuilder &b) {
+                  return b.slli(b.iconst(3), 2);
+              }),
+              12);
+    EXPECT_EQ(runExpr([](IRBuilder &b) {
+                  return b.srai(b.iconst(-16), 2);
+              }),
+              -4);
+}
+
+// --- Floating point ---------------------------------------------------
+
+TEST(Interp, FpArithmeticAndCompare)
+{
+    EXPECT_EQ(runExpr([](IRBuilder &b) {
+                  VReg x = b.fadd(b.fconst(1.5), b.fconst(2.25));
+                  VReg y = b.fmul(x, b.fconst(2.0)); // 7.5
+                  return b.un(Opc::CvtFI, y);
+              }),
+              7);
+    EXPECT_EQ(runExpr([](IRBuilder &b) {
+                  return b.rr(Opc::FCmpLt, b.fconst(1.0),
+                              b.fconst(2.0));
+              }),
+              1);
+    EXPECT_EQ(runExpr([](IRBuilder &b) {
+                  return b.rr(Opc::FCmpEq, b.fconst(1.0),
+                              b.fconst(2.0));
+              }),
+              0);
+}
+
+TEST(Interp, Conversions)
+{
+    EXPECT_EQ(runExpr([](IRBuilder &b) {
+                  VReg f = b.un(Opc::CvtIF, b.iconst(-9));
+                  return b.un(Opc::CvtFI, b.fmul(f, b.fconst(2.0)));
+              }),
+              -18);
+}
+
+TEST(Interp, FpMinMaxAbsNeg)
+{
+    EXPECT_EQ(runExpr([](IRBuilder &b) {
+                  VReg v = b.rr(Opc::FMin, b.fconst(3.0),
+                                b.fconst(-2.0));
+                  VReg w = b.rr(Opc::FMax, v, b.fconst(-5.0));
+                  VReg a = b.fabs(w);                   // 2.0
+                  VReg n = b.un(Opc::FNeg, a);          // -2.0
+                  return b.un(Opc::CvtFI, n);
+              }),
+              -2);
+}
+
+// --- Memory ------------------------------------------------------------
+
+TEST(Interp, LoadStoreWord)
+{
+    Module m = moduleWithMain();
+    int g = m.addGlobal("buf", 64);
+    IRBuilder b(m, 0);
+    VReg base = b.addrOf(g);
+    b.storeW(b.iconst(1234), base, 8, MemRef::global(g));
+    VReg v = b.loadW(base, 8, MemRef::global(g));
+    b.ret(v);
+    m.layout();
+    Interpreter interp(m);
+    ExecResult r = interp.run();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 1234);
+}
+
+TEST(Interp, LoadStoreDoubleAndInitData)
+{
+    Module m = moduleWithMain();
+    int g = m.addGlobal("buf", 64);
+    double init = 2.5;
+    m.globals[g].init.resize(8);
+    std::memcpy(m.globals[g].init.data(), &init, 8);
+    IRBuilder b(m, 0);
+    VReg base = b.addrOf(g);
+    VReg v = b.loadF(base, 0, MemRef::global(g));
+    b.storeF(b.fmul(v, b.fconst(4.0)), base, 8, MemRef::global(g));
+    VReg w = b.loadF(base, 8, MemRef::global(g));
+    b.ret(b.un(Opc::CvtFI, w));
+    m.layout();
+    Interpreter interp(m);
+    ExecResult r = interp.run();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 10);
+}
+
+TEST(Interp, OutOfBoundsLoadFails)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    VReg base = b.iconst(static_cast<Word>(m.memorySize + 100));
+    VReg v = b.loadW(base, 0, MemRef::unknown());
+    b.ret(v);
+    m.layout();
+    Interpreter interp(m);
+    ExecResult r = interp.run();
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, DivisionByZeroFails)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    b.ret(b.div(b.iconst(1), b.iconst(0)));
+    m.layout();
+    Interpreter interp(m);
+    ExecResult r = interp.run();
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Interp, OpLimitEnforced)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    int loop = b.newBlock();
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.jmp(loop); // infinite
+    m.layout();
+    Interpreter interp(m);
+    ExecResult r = interp.run(1000);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("limit"), std::string::npos);
+}
+
+// --- Calls ---------------------------------------------------------------
+
+TEST(Interp, CallPassesArgsAndReturns)
+{
+    Module m;
+    int add3 = m.addFunction("add3");
+    {
+        Function &f = m.fn(add3);
+        VReg a = f.newVreg(RegClass::Int);
+        VReg b2 = f.newVreg(RegClass::Int);
+        VReg c = f.newVreg(RegClass::Fp);
+        f.params = {a, b2, c};
+        f.returnsValue = true;
+        f.retClass = RegClass::Int;
+        IRBuilder fb(m, add3);
+        VReg ci = fb.un(Opc::CvtFI, c);
+        fb.ret(fb.add(fb.add(a, b2), ci));
+    }
+    int fi = m.addFunction("main");
+    m.fn(fi).returnsValue = true;
+    m.fn(fi).retClass = RegClass::Int;
+    m.entryFunction = fi;
+    IRBuilder b(m, fi);
+    VReg r = b.call(add3, {b.iconst(1), b.iconst(2), b.fconst(4.0)},
+                    RegClass::Int);
+    b.ret(r);
+    m.layout();
+    Interpreter interp(m);
+    ExecResult res = interp.run();
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.retValue, 7);
+}
+
+TEST(Interp, RecursionWorks)
+{
+    Module m;
+    int fact = m.addFunction("fact");
+    {
+        Function &f = m.fn(fact);
+        VReg n = f.newVreg(RegClass::Int);
+        f.params = {n};
+        f.returnsValue = true;
+        f.retClass = RegClass::Int;
+        IRBuilder fb(m, fact);
+        int rec = fb.newBlock(), base = fb.newBlock();
+        VReg one = fb.iconst(1);
+        fb.br(Opc::Ble, n, one, base, rec);
+        fb.setBlock(base);
+        fb.ret(fb.iconst(1));
+        fb.setBlock(rec);
+        VReg sub = fb.call(fact, {fb.addi(n, -1)}, RegClass::Int);
+        fb.ret(fb.mul(n, sub));
+    }
+    int fi = m.addFunction("main");
+    m.fn(fi).returnsValue = true;
+    m.fn(fi).retClass = RegClass::Int;
+    m.entryFunction = fi;
+    IRBuilder b(m, fi);
+    b.ret(b.call(fact, {b.iconst(6)}, RegClass::Int));
+    m.layout();
+    Interpreter interp(m);
+    ExecResult r = interp.run();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 720);
+}
+
+TEST(Interp, DepthLimitFails)
+{
+    Module m;
+    int f = m.addFunction("forever");
+    {
+        m.fn(f).returnsValue = true;
+        m.fn(f).retClass = RegClass::Int;
+        IRBuilder fb(m, f);
+        fb.ret(fb.call(f, {}, RegClass::Int));
+    }
+    m.entryFunction = f;
+    m.fn(f).name = "main"; // entry checks not needed here
+    m.layout();
+    Interpreter interp(m);
+    ExecResult r = interp.run();
+    EXPECT_FALSE(r.ok);
+}
+
+// --- Profiles ---------------------------------------------------------
+
+TEST(Interp, ProfileCountsBlocksAndBranches)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    int body = b.newBlock(), exit = b.newBlock();
+    VReg n = b.iconst(10);
+    VReg i = b.temp(RegClass::Int);
+    b.assignI(i, 0);
+    b.jmp(body);
+    b.setBlock(body);
+    b.assignRI(Opc::AddI, i, i, 1);
+    b.br(Opc::Blt, i, n, body, exit);
+    b.setBlock(exit);
+    b.ret(i);
+    m.layout();
+    Profile p = Profile::forModule(m);
+    Interpreter interp(m);
+    ExecResult r = interp.run(1'000'000, &p);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(p.blockWeight(0, body), 10u);
+    EXPECT_EQ(p.funcs[0].takenCount[body], 9u);
+    EXPECT_NEAR(p.takenRatio(0, body), 0.9, 1e-9);
+    EXPECT_EQ(p.blockWeight(0, exit), 1u);
+    EXPECT_EQ(p.funcs[0].calls, 1u);
+}
+
+TEST(Interp, DeterministicAcrossRuns)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    VReg v = b.mul(b.iconst(1234567), b.iconst(891011));
+    b.ret(v);
+    m.layout();
+    Interpreter i1(m), i2(m);
+    EXPECT_EQ(i1.run().retValue, i2.run().retValue);
+}
+
+} // namespace
+} // namespace rcsim::ir

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Cross-cutting invariants:
+ *  - the simulator's final memory image over the global data region
+ *    is byte-identical to the reference interpreter's (a much
+ *    stronger check than the checksum alone),
+ *  - the per-cycle issue histogram exactly accounts for every cycle,
+ *  - decode/encode round-trips hold for arbitrary machine words that
+ *    decode at all.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "ir/interp.hh"
+#include "isa/encoding.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim
+{
+namespace
+{
+
+class MemoryImage : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MemoryImage, SimulatorMatchesInterpreterByteForByte)
+{
+    setQuiet(true);
+    const workloads::Workload *w =
+        workloads::findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+
+    // Reference: interpret the original module and note the extent of
+    // its global data (the compiled image appends a constant pool and
+    // result cell beyond this, which the original cannot cover).
+    ir::Module ref_module = w->build();
+    ref_module.layout();
+    Addr data_end = ir::Module::dataBase;
+    for (const ir::Global &g : ref_module.globals)
+        data_end = std::max(data_end, g.address + g.size);
+    ir::Interpreter interp(ref_module);
+    ASSERT_TRUE(interp.run().ok);
+
+    // Compiled + simulated under an aggressive RC configuration.
+    harness::CompileOptions opts;
+    opts.level = opt::OptLevel::Ilp;
+    opts.rc = harness::rcConfigFor(w->isFp, w->isFp ? 16 : 8);
+    opts.machine = harness::Experiment::machineFor(8);
+    harness::CompiledProgram cp = harness::compileWorkload(*w, opts);
+    sim::SimConfig sc;
+    sc.machine = opts.machine;
+    sc.rc = opts.rc;
+    sim::Simulator sim(cp.program, sc);
+    ASSERT_TRUE(sim.run().ok);
+
+    // Every word of every original global must match.
+    int mismatches = 0;
+    for (Addr a = ir::Module::dataBase; a + 4 <= data_end; a += 4) {
+        if (interp.loadWord(a) != sim.state().loadWord(a) &&
+            ++mismatches <= 5)
+            ADD_FAILURE() << "memory differs at address " << a
+                          << ": interp " << interp.loadWord(a)
+                          << " vs sim " << sim.state().loadWord(a);
+    }
+    EXPECT_EQ(mismatches, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, MemoryImage,
+    ::testing::Values("compress", "espresso", "yacc", "tomcatv",
+                      "nasa7"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(IssueHistogram, AccountsForEveryCycle)
+{
+    setQuiet(true);
+    const workloads::Workload *w =
+        workloads::findWorkload("espresso");
+    harness::CompileOptions opts;
+    opts.level = opt::OptLevel::Ilp;
+    opts.rc = harness::rcConfigFor(false, 8);
+    opts.machine = harness::Experiment::machineFor(4);
+    harness::CompiledProgram cp = harness::compileWorkload(*w, opts);
+    sim::SimConfig sc;
+    sc.machine = opts.machine;
+    sc.rc = opts.rc;
+    sim::Simulator sim(cp.program, sc);
+    sim::SimResult r = sim.run();
+    ASSERT_TRUE(r.ok);
+
+    // cycles = redirect bubbles + one histogram entry per issue cycle.
+    Count histo = 0, weighted = 0;
+    for (int n = 0; n <= opts.machine.issueWidth; ++n) {
+        Count c = r.stats.get("issued_" + std::to_string(n));
+        histo += c;
+        weighted += c * static_cast<Count>(n);
+    }
+    EXPECT_EQ(histo + r.stats.get("cycles_redirect"), r.cycles);
+    EXPECT_EQ(weighted, r.instructions);
+    // Origin-tagged dynamic counts partition the instruction count.
+    Count by_origin = 0;
+    for (const char *name :
+         {"dyn_normal", "dyn_spill_load", "dyn_spill_store",
+          "dyn_connect", "dyn_save_restore", "dyn_glue"})
+        by_origin += r.stats.get(name);
+    EXPECT_EQ(by_origin, r.instructions);
+}
+
+TEST(EncodingFuzz, DecodableWordsRoundTrip)
+{
+    SplitMix rng(0xdec0de);
+    int decodable = 0;
+    for (int i = 0; i < 200000; ++i) {
+        isa::MachineWord w =
+            static_cast<isa::MachineWord>(rng.next());
+        auto ins = isa::decode(w, 1000);
+        if (!ins)
+            continue;
+        ++decodable;
+        isa::EncodeResult enc = isa::encode(*ins, 1000);
+        ASSERT_TRUE(enc.ok()) << ins->toString();
+        auto back = isa::decode(enc.word, 1000);
+        ASSERT_TRUE(back.has_value());
+        // Semantic round trip (don't-care bits may differ).
+        EXPECT_EQ(back->toString(), ins->toString());
+    }
+    // The format is dense enough that plenty of random words decode.
+    EXPECT_GT(decodable, 1000);
+}
+
+} // namespace
+} // namespace rcsim

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * IR structure tests: builder, module/global layout, MemRef alias
+ * queries and the verifier's failure modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/verify.hh"
+#include "support/logging.hh"
+
+namespace rcsim::ir
+{
+namespace
+{
+
+Module
+moduleWithMain()
+{
+    Module m;
+    int fi = m.addFunction("main");
+    m.fn(fi).returnsValue = true;
+    m.fn(fi).retClass = RegClass::Int;
+    m.entryFunction = fi;
+    return m;
+}
+
+TEST(Builder, EmitsIntoCurrentBlock)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    VReg v = b.iconst(5);
+    b.ret(v);
+    EXPECT_EQ(m.fn(0).blocks[0].ops.size(), 2u);
+    EXPECT_TRUE(verifyModule(m).ok());
+}
+
+TEST(Builder, RefusesEmissionAfterTerminator)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    b.ret(b.iconst(1));
+    EXPECT_THROW(b.iconst(2), PanicError);
+}
+
+TEST(Builder, FreshVregsDistinct)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    VReg a = b.temp(RegClass::Int);
+    VReg c = b.temp(RegClass::Int);
+    VReg f = b.temp(RegClass::Fp);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(f.cls, RegClass::Fp);
+    EXPECT_EQ(f.id, 0u); // class counters are independent
+}
+
+TEST(Builder, AssignClassMismatchPanics)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    VReg i = b.temp(RegClass::Int);
+    VReg f = b.temp(RegClass::Fp);
+    EXPECT_THROW(b.assign(i, f), PanicError);
+}
+
+TEST(Builder, BadGlobalPanics)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    EXPECT_THROW(b.addrOf(3), PanicError);
+}
+
+TEST(Module, GlobalLayoutIsAlignedAndDisjoint)
+{
+    Module m;
+    int a = m.addGlobal("a", 12);
+    int b = m.addGlobal("b", 100);
+    m.layout();
+    EXPECT_GE(m.globals[a].address, Module::dataBase);
+    EXPECT_EQ(m.globals[a].address % 8, 0u);
+    EXPECT_GE(m.globals[b].address,
+              m.globals[a].address + m.globals[a].size);
+}
+
+TEST(Module, DataImageContainsInit)
+{
+    Module m;
+    int g = m.addGlobal("g", 8);
+    m.globals[g].init = {1, 2, 3, 4};
+    m.layout();
+    auto image = m.buildDataImage();
+    Addr off = m.globals[g].address - Module::dataBase;
+    EXPECT_EQ(image[off], 1);
+    EXPECT_EQ(image[off + 3], 4);
+    EXPECT_EQ(image[off + 4], 0);
+}
+
+TEST(Module, FindFunction)
+{
+    Module m;
+    m.addFunction("a");
+    m.addFunction("b");
+    EXPECT_EQ(m.findFunction("b"), 1);
+    EXPECT_EQ(m.findFunction("zz"), -1);
+}
+
+TEST(MemRef, DistinctGlobalsNeverAlias)
+{
+    MemRef a = MemRef::global(0);
+    MemRef b = MemRef::global(1);
+    EXPECT_FALSE(a.mayAlias(b));
+}
+
+TEST(MemRef, SameGlobalUnknownOffsetsAlias)
+{
+    MemRef a = MemRef::global(0);
+    MemRef b = MemRef::global(0);
+    EXPECT_TRUE(a.mayAlias(b));
+}
+
+TEST(MemRef, KnownOffsetsDisambiguate)
+{
+    MemRef a = MemRef::global(0, true, 0, 4);
+    MemRef b = MemRef::global(0, true, 4, 4);
+    MemRef c = MemRef::global(0, true, 2, 4);
+    EXPECT_FALSE(a.mayAlias(b));
+    EXPECT_TRUE(a.mayAlias(c));
+}
+
+TEST(MemRef, FrameAreasDisjoint)
+{
+    MemRef arg = MemRef::frame(FrameKind::OutArg, 0);
+    MemRef local = MemRef::frame(FrameKind::Local, 0);
+    MemRef in = MemRef::frame(FrameKind::InArg, 0);
+    EXPECT_FALSE(arg.mayAlias(local));
+    EXPECT_FALSE(local.mayAlias(in));
+    EXPECT_FALSE(arg.mayAlias(in));
+}
+
+TEST(MemRef, FrameSlotsByIndex)
+{
+    MemRef s0 = MemRef::frame(FrameKind::Local, 0);
+    MemRef s1 = MemRef::frame(FrameKind::Local, 1);
+    EXPECT_FALSE(s0.mayAlias(s1));
+    EXPECT_TRUE(s0.mayAlias(MemRef::frame(FrameKind::Local, 0)));
+}
+
+TEST(MemRef, GlobalNeverAliasesFrame)
+{
+    EXPECT_FALSE(MemRef::global(0).mayAlias(
+        MemRef::frame(FrameKind::Local, 0)));
+}
+
+TEST(MemRef, UnknownAliasesEverything)
+{
+    EXPECT_TRUE(MemRef::unknown().mayAlias(MemRef::global(3)));
+    EXPECT_TRUE(MemRef::unknown().mayAlias(
+        MemRef::frame(FrameKind::Local, 2)));
+}
+
+// --- Verifier ----------------------------------------------------------
+
+TEST(Verify, AcceptsWellFormedFunction)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    b.ret(b.iconst(0));
+    EXPECT_TRUE(verifyModule(m).ok());
+}
+
+TEST(Verify, MissingTerminator)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    b.iconst(1);
+    auto r = verifyModule(m);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("terminator"), std::string::npos);
+}
+
+TEST(Verify, BadBranchTarget)
+{
+    Module m = moduleWithMain();
+    Function &fn = m.fn(0);
+    IRBuilder b(m, 0);
+    VReg v = b.iconst(0);
+    fn.blocks[0].ops.push_back(Op::branch(Opc::Beq, v, v, 7, 0));
+    auto r = verifyModule(m);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("target"), std::string::npos);
+}
+
+TEST(Verify, ClassMismatchReported)
+{
+    Module m = moduleWithMain();
+    Function &fn = m.fn(0);
+    IRBuilder b(m, 0);
+    VReg f = b.temp(RegClass::Fp);
+    Op bad = Op::li(VReg(RegClass::Int, 99), 0);
+    bad.dst = f; // fp destination on an integer op
+    fn.blocks[0].ops.push_back(bad);
+    b.ret(b.iconst(0));
+    auto r = verifyModule(m, false);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("class"), std::string::npos);
+}
+
+TEST(Verify, UndefinedUseCaught)
+{
+    Module m = moduleWithMain();
+    Function &fn = m.fn(0);
+    VReg undef = fn.newVreg(RegClass::Int);
+    IRBuilder b(m, 0);
+    b.ret(b.addi(undef, 1));
+    auto r = verifyModule(m, true);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("undefined"), std::string::npos);
+}
+
+TEST(Verify, DefinedOnOnlyOnePathCaught)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    Function &fn = m.fn(0);
+    VReg v = fn.newVreg(RegClass::Int);
+    int then_b = b.newBlock();
+    int join_b = b.newBlock();
+    VReg c = b.iconst(1);
+    b.br(Opc::Beq, c, c, then_b, join_b);
+    b.setBlock(then_b);
+    b.assignI(v, 3);
+    b.jmp(join_b);
+    b.setBlock(join_b);
+    b.ret(v);
+    auto r = verifyModule(m, true);
+    ASSERT_FALSE(r.ok());
+}
+
+TEST(Verify, DefinedOnBothPathsAccepted)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    Function &fn = m.fn(0);
+    VReg v = fn.newVreg(RegClass::Int);
+    int then_b = b.newBlock();
+    int else_b = b.newBlock();
+    int join_b = b.newBlock();
+    VReg c = b.iconst(1);
+    b.br(Opc::Beq, c, c, then_b, else_b);
+    b.setBlock(then_b);
+    b.assignI(v, 3);
+    b.jmp(join_b);
+    b.setBlock(else_b);
+    b.assignI(v, 4);
+    b.jmp(join_b);
+    b.setBlock(join_b);
+    b.ret(v);
+    EXPECT_TRUE(verifyModule(m, true).ok()) << verifyModule(m).summary();
+}
+
+TEST(Verify, CallArgumentMismatch)
+{
+    Module m;
+    int callee = m.addFunction("callee");
+    m.fn(callee).params = {VReg(RegClass::Int, 0)};
+    m.fn(callee).nextVreg[0] = 1;
+    {
+        IRBuilder cb(m, callee);
+        cb.retVoid();
+    }
+    int fi = m.addFunction("main");
+    m.fn(fi).returnsValue = true;
+    m.fn(fi).retClass = RegClass::Int;
+    m.entryFunction = fi;
+    IRBuilder b(m, fi);
+    b.callVoid(callee, {}); // missing argument
+    b.ret(b.iconst(0));
+    auto r = verifyModule(m);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("argument count"), std::string::npos);
+}
+
+TEST(Verify, RetClassMismatch)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    VReg f = b.fconst(1.0);
+    Op bad;
+    bad.opc = Opc::Ret;
+    bad.src[0] = f;
+    m.fn(0).blocks[0].ops.push_back(bad);
+    auto r = verifyModule(m, false);
+    ASSERT_FALSE(r.ok());
+}
+
+TEST(OpToString, ShowsOperandsAndTargets)
+{
+    Op op = Op::branch(Opc::Blt, VReg(RegClass::Int, 1),
+                       VReg(RegClass::Int, 2), 3, 4);
+    std::string s = op.toString();
+    EXPECT_NE(s.find("blt"), std::string::npos);
+    EXPECT_NE(s.find("b3"), std::string::npos);
+    EXPECT_NE(s.find("b4"), std::string::npos);
+}
+
+} // namespace
+} // namespace rcsim::ir

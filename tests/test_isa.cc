@@ -1,0 +1,215 @@
+/**
+ * @file
+ * ISA-level tests: opcode properties, Table 1 latencies and
+ * instruction rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+
+namespace rcsim::isa
+{
+namespace
+{
+
+TEST(Opcode, NamesRoundTrip)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NUM_OPCODES); ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        EXPECT_EQ(opcodeFromName(opcodeName(op)), op)
+            << "opcode " << i;
+    }
+}
+
+TEST(Opcode, UnknownNameRejected)
+{
+    EXPECT_EQ(opcodeFromName("frobnicate"), Opcode::NUM_OPCODES);
+}
+
+TEST(Opcode, BranchesAreControlFlow)
+{
+    EXPECT_TRUE(isControlFlow(Opcode::BEQ));
+    EXPECT_TRUE(isControlFlow(Opcode::J));
+    EXPECT_TRUE(isControlFlow(Opcode::JSR));
+    EXPECT_TRUE(isControlFlow(Opcode::RTS));
+    EXPECT_TRUE(isControlFlow(Opcode::HALT));
+    EXPECT_FALSE(isControlFlow(Opcode::ADD));
+    EXPECT_FALSE(isControlFlow(Opcode::CONNECT_USE));
+}
+
+TEST(Opcode, MemoryClassification)
+{
+    EXPECT_TRUE(opcodeInfo(Opcode::LW).isLoad);
+    EXPECT_TRUE(opcodeInfo(Opcode::LF).isLoad);
+    EXPECT_TRUE(opcodeInfo(Opcode::SW).isStore);
+    EXPECT_TRUE(opcodeInfo(Opcode::SF).isStore);
+    EXPECT_FALSE(opcodeInfo(Opcode::ADD).isMem);
+}
+
+TEST(Opcode, ConnectClassification)
+{
+    for (Opcode op : {Opcode::CONNECT_USE, Opcode::CONNECT_DEF,
+                      Opcode::CONNECT_UU, Opcode::CONNECT_DU,
+                      Opcode::CONNECT_DD})
+        EXPECT_TRUE(opcodeInfo(op).isConnect) << opcodeName(op);
+    EXPECT_FALSE(opcodeInfo(Opcode::MOV).isConnect);
+}
+
+TEST(Opcode, OperandClasses)
+{
+    EXPECT_EQ(opcodeInfo(Opcode::FADD).dstClass, RegClass::Fp);
+    EXPECT_EQ(opcodeInfo(Opcode::FCMP_LT).dstClass, RegClass::Int);
+    EXPECT_EQ(opcodeInfo(Opcode::FCMP_LT).srcClass[0], RegClass::Fp);
+    EXPECT_EQ(opcodeInfo(Opcode::LF).dstClass, RegClass::Fp);
+    EXPECT_EQ(opcodeInfo(Opcode::LF).srcClass[0], RegClass::Int);
+    EXPECT_EQ(opcodeInfo(Opcode::SF).srcClass[0], RegClass::Fp);
+    EXPECT_EQ(opcodeInfo(Opcode::SF).srcClass[1], RegClass::Int);
+}
+
+// Table 1 of the paper, checked opcode by opcode.
+struct LatencyCase
+{
+    Opcode op;
+    int expected2; // with 2-cycle loads
+    int expected4; // with 4-cycle loads
+};
+
+class Table1 : public ::testing::TestWithParam<LatencyCase>
+{
+};
+
+TEST_P(Table1, LatencyMatchesPaper)
+{
+    LatencyConfig lat2;
+    lat2.loadLatency = 2;
+    LatencyConfig lat4;
+    lat4.loadLatency = 4;
+    EXPECT_EQ(lat2.latencyOf(GetParam().op), GetParam().expected2);
+    EXPECT_EQ(lat4.latencyOf(GetParam().op), GetParam().expected4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperLatencies, Table1,
+    ::testing::Values(
+        LatencyCase{Opcode::ADD, 1, 1},
+        LatencyCase{Opcode::SUB, 1, 1},
+        LatencyCase{Opcode::SLT, 1, 1},
+        LatencyCase{Opcode::MUL, 3, 3},
+        LatencyCase{Opcode::DIV, 10, 10},
+        LatencyCase{Opcode::REM, 10, 10},
+        LatencyCase{Opcode::FADD, 3, 3},
+        LatencyCase{Opcode::FSUB, 3, 3},
+        LatencyCase{Opcode::CVT_IF, 3, 3},
+        LatencyCase{Opcode::CVT_FI, 3, 3},
+        LatencyCase{Opcode::FMUL, 3, 3},
+        LatencyCase{Opcode::FDIV, 10, 10},
+        LatencyCase{Opcode::BEQ, 1, 1},
+        LatencyCase{Opcode::LW, 2, 4},
+        LatencyCase{Opcode::LF, 2, 4},
+        LatencyCase{Opcode::SW, 1, 1},
+        LatencyCase{Opcode::SF, 1, 1}),
+    [](const auto &info) {
+        return std::string(opcodeName(info.param.op)) == "cvt.if"
+                   ? std::string("cvt_if")
+               : std::string(opcodeName(info.param.op)) == "cvt.fi"
+                   ? std::string("cvt_fi")
+                   : [](std::string s) {
+                         for (auto &c : s)
+                             if (c == '.')
+                                 c = '_';
+                         return s;
+                     }(opcodeName(info.param.op));
+    });
+
+TEST(Latency, ConnectLatencyConfigurable)
+{
+    LatencyConfig lat;
+    lat.connectLatency = 0;
+    EXPECT_EQ(lat.latencyOf(Opcode::CONNECT_USE), 0);
+    lat.connectLatency = 1;
+    EXPECT_EQ(lat.latencyOf(Opcode::CONNECT_DD), 1);
+}
+
+TEST(RegName, Rendering)
+{
+    EXPECT_EQ(regName(ireg(7)), "r7");
+    EXPECT_EQ(regName(freg(12)), "f12");
+}
+
+TEST(Instruction, ToStringAlu)
+{
+    Instruction ins;
+    ins.op = Opcode::ADD;
+    ins.dst = ireg(3);
+    ins.src[0] = ireg(1);
+    ins.src[1] = ireg(2);
+    EXPECT_EQ(ins.toString(), "add r3, r1, r2");
+}
+
+TEST(Instruction, ToStringBranchShowsPrediction)
+{
+    Instruction ins;
+    ins.op = Opcode::BLT;
+    ins.src[0] = ireg(1);
+    ins.src[1] = ireg(2);
+    ins.target = 42;
+    ins.predictTaken = true;
+    std::string s = ins.toString();
+    EXPECT_NE(s.find("@42"), std::string::npos);
+    EXPECT_NE(s.find("[T]"), std::string::npos);
+}
+
+TEST(Instruction, ToStringConnect)
+{
+    Instruction ins;
+    ins.op = Opcode::CONNECT_DU;
+    ins.connCls = RegClass::Int;
+    ins.nconn = 2;
+    ins.conn[0] = {3, 200, true};
+    ins.conn[1] = {4, 100, false};
+    std::string s = ins.toString();
+    EXPECT_NE(s.find("def i3 -> p200"), std::string::npos);
+    EXPECT_NE(s.find("use i4 -> p100"), std::string::npos);
+}
+
+TEST(Program, StaticSizeIgnoresNops)
+{
+    Program p;
+    Instruction nop;
+    Instruction add;
+    add.op = Opcode::ADD;
+    p.code = {nop, add, add};
+    EXPECT_EQ(p.staticSize(), 2u);
+}
+
+TEST(Program, CountByOrigin)
+{
+    Program p;
+    Instruction spill;
+    spill.op = Opcode::LW;
+    spill.origin = InstrOrigin::SpillLoad;
+    Instruction conn;
+    conn.op = Opcode::CONNECT_USE;
+    conn.origin = InstrOrigin::Connect;
+    p.code = {spill, spill, conn};
+    EXPECT_EQ(p.countByOrigin(InstrOrigin::SpillLoad), 2u);
+    EXPECT_EQ(p.countByOrigin(InstrOrigin::Connect), 1u);
+    EXPECT_EQ(p.countByOrigin(InstrOrigin::SaveRestore), 0u);
+}
+
+TEST(Program, DisassembleShowsFunctionNames)
+{
+    Program p;
+    Instruction halt;
+    halt.op = Opcode::HALT;
+    p.code = {halt};
+    p.functions.push_back({"main", 0, 1});
+    std::string s = p.disassemble();
+    EXPECT_NE(s.find("main:"), std::string::npos);
+    EXPECT_NE(s.find("halt"), std::string::npos);
+}
+
+} // namespace
+} // namespace rcsim::isa

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Register mapping table tests: connect semantics, the four automatic
+ * reset models of Section 2.3, reset behaviour (Section 4.1), context
+ * snapshots (Section 4.2) and the PSW bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mapping_table.hh"
+#include "core/psw.hh"
+#include "core/rc_config.hh"
+#include "support/logging.hh"
+
+namespace rcsim::core
+{
+namespace
+{
+
+TEST(MappingTable, StartsAtHome)
+{
+    RegisterMappingTable t(16, 256);
+    EXPECT_TRUE(t.allHome());
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(t.readMap(i), i);
+        EXPECT_EQ(t.writeMap(i), i);
+        EXPECT_EQ(t.homeLocation(i), i);
+    }
+}
+
+TEST(MappingTable, ConnectUseRedirectsReadsOnly)
+{
+    RegisterMappingTable t(8, 256);
+    t.connectUse(3, 200);
+    EXPECT_EQ(t.readMap(3), 200);
+    EXPECT_EQ(t.writeMap(3), 3);
+    EXPECT_FALSE(t.atHome(3));
+    EXPECT_TRUE(t.atHome(2));
+}
+
+TEST(MappingTable, ConnectDefRedirectsWritesOnly)
+{
+    RegisterMappingTable t(8, 256);
+    t.connectDef(5, 99);
+    EXPECT_EQ(t.writeMap(5), 99);
+    EXPECT_EQ(t.readMap(5), 5);
+}
+
+TEST(MappingTable, SeparateReadWriteMapsIndependent)
+{
+    RegisterMappingTable t(8, 256);
+    t.connectUse(1, 100);
+    t.connectDef(1, 101);
+    EXPECT_EQ(t.readMap(1), 100);
+    EXPECT_EQ(t.writeMap(1), 101);
+}
+
+TEST(MappingTable, ResetRestoresHome)
+{
+    RegisterMappingTable t(8, 256);
+    t.connectUse(1, 100);
+    t.connectDef(2, 101);
+    t.reset();
+    EXPECT_TRUE(t.allHome());
+}
+
+TEST(MappingTable, BadIndexPanics)
+{
+    RegisterMappingTable t(8, 256);
+    EXPECT_THROW(t.readMap(8), PanicError);
+    EXPECT_THROW(t.connectUse(-1, 0), PanicError);
+}
+
+TEST(MappingTable, BadPhysicalRegisterPanics)
+{
+    RegisterMappingTable t(8, 256);
+    EXPECT_THROW(t.connectUse(0, 256), PanicError);
+    EXPECT_THROW(t.connectDef(0, 300), PanicError);
+}
+
+TEST(MappingTable, TableSmallerThanFileRequired)
+{
+    EXPECT_THROW(RegisterMappingTable(32, 16), PanicError);
+    EXPECT_THROW(RegisterMappingTable(0, 16), PanicError);
+}
+
+TEST(MappingTable, SnapshotRoundTrips)
+{
+    RegisterMappingTable t(8, 256);
+    t.connectUse(1, 100);
+    t.connectDef(2, 101);
+    auto snap = t.save();
+    t.reset();
+    EXPECT_TRUE(t.allHome());
+    t.restore(snap);
+    EXPECT_EQ(t.readMap(1), 100);
+    EXPECT_EQ(t.writeMap(2), 101);
+}
+
+TEST(MappingTable, ToStringShowsDisplacedEntries)
+{
+    RegisterMappingTable t(8, 256);
+    EXPECT_NE(t.toString().find("all entries at home"),
+              std::string::npos);
+    t.connectUse(3, 77);
+    EXPECT_NE(t.toString().find("p77"), std::string::npos);
+}
+
+// --- The four automatic reset models (Figure 3) ---------------------
+
+/** Applies connect-def + write side effect and reports the maps. */
+struct ModelOutcome
+{
+    int read;
+    int write;
+};
+
+ModelOutcome
+writeThrough(RcModel model, int idx = 2, int phys = 150)
+{
+    RegisterMappingTable t(8, 256);
+    t.connectDef(idx, phys);
+    // The write itself targets writeMap(idx); afterwards the
+    // automatic connection adjusts the entry.
+    t.applyWriteSideEffect(idx, model);
+    return {t.readMap(idx), t.writeMap(idx)};
+}
+
+TEST(RcModels, Model1NoResetLeavesMapsAlone)
+{
+    ModelOutcome o = writeThrough(RcModel::NoReset);
+    EXPECT_EQ(o.read, 2);    // untouched
+    EXPECT_EQ(o.write, 150); // still pointing at the extended reg
+}
+
+TEST(RcModels, Model2WriteResetReturnsWriteMapHome)
+{
+    ModelOutcome o = writeThrough(RcModel::WriteReset);
+    EXPECT_EQ(o.read, 2);  // read map untouched
+    EXPECT_EQ(o.write, 2); // home
+}
+
+TEST(RcModels, Model3ReadInheritsWrittenLocation)
+{
+    // Section 2.3: read map := previous write map, write map := home.
+    // Subsequent reads see the written value; subsequent writes
+    // cannot clobber the extended register.
+    ModelOutcome o = writeThrough(RcModel::WriteResetReadUpdate);
+    EXPECT_EQ(o.read, 150);
+    EXPECT_EQ(o.write, 2);
+}
+
+TEST(RcModels, Model4ResetsBothMaps)
+{
+    RegisterMappingTable t(8, 256);
+    t.connectUse(2, 140);
+    t.connectDef(2, 150);
+    t.applyWriteSideEffect(2, RcModel::ReadWriteReset);
+    EXPECT_TRUE(t.atHome(2));
+}
+
+TEST(RcModels, PaperExampleSection3)
+{
+    // The code sequence from Section 3: R9 and R10 live in extended
+    // registers; model three makes the connect-use before
+    // instruction 3 unnecessary.
+    RegisterMappingTable t(8, 256);
+    // connect_use Ri6, Rp9 ; 1) Ri2 <- Ri2 + Ri6
+    t.connectUse(6, 9 + 200); // "Rp9" placed at phys 209 here
+    EXPECT_EQ(t.readMap(6), 209);
+    t.applyWriteSideEffect(2, RcModel::WriteResetReadUpdate);
+    // connect_def Ri7, Rp10 ; 2) Ri7 <- Ri3 + 1
+    t.connectDef(7, 210);
+    EXPECT_EQ(t.writeMap(7), 210);
+    t.applyWriteSideEffect(7, RcModel::WriteResetReadUpdate);
+    // 3) Ri4 <- Ri7 + Ri5 — no connect-use needed for Ri7.
+    EXPECT_EQ(t.readMap(7), 210);
+    EXPECT_EQ(t.writeMap(7), 7);
+}
+
+TEST(RcModels, Names)
+{
+    EXPECT_STREQ(rcModelName(RcModel::NoReset), "no-reset");
+    EXPECT_STREQ(rcModelName(RcModel::WriteResetReadUpdate),
+                 "write-reset-read-update");
+}
+
+// --- PSW -------------------------------------------------------------
+
+TEST(Psw, DefaultsMapEnabled)
+{
+    ProcessorStatusWord psw;
+    EXPECT_TRUE(psw.mapEnable());
+    EXPECT_FALSE(psw.extendedFormat());
+}
+
+TEST(Psw, BitsToggleIndependently)
+{
+    ProcessorStatusWord psw;
+    psw.setMapEnable(false);
+    psw.setExtendedFormat(true);
+    EXPECT_FALSE(psw.mapEnable());
+    EXPECT_TRUE(psw.extendedFormat());
+    psw.setMapEnable(true);
+    EXPECT_TRUE(psw.mapEnable());
+    EXPECT_TRUE(psw.extendedFormat());
+}
+
+// --- RcConfig ---------------------------------------------------------
+
+TEST(RcConfig, WithoutRcHasNoExtendedSection)
+{
+    RcConfig c = RcConfig::withoutRc(16, 64);
+    EXPECT_FALSE(c.enabled);
+    EXPECT_EQ(c.extended(isa::RegClass::Int), 0);
+    EXPECT_EQ(c.extended(isa::RegClass::Fp), 0);
+}
+
+TEST(RcConfig, WithRcFillsTo256)
+{
+    RcConfig c = RcConfig::withRc(16, 32);
+    EXPECT_TRUE(c.enabled);
+    EXPECT_EQ(c.total(isa::RegClass::Int), 256);
+    EXPECT_EQ(c.extended(isa::RegClass::Int), 240);
+    EXPECT_EQ(c.extended(isa::RegClass::Fp), 224);
+}
+
+TEST(RcConfig, OversizedCoreRejected)
+{
+    EXPECT_THROW(RcConfig::withRc(300, 32), FatalError);
+}
+
+TEST(RcConfig, ToStringMentionsModel)
+{
+    RcConfig c = RcConfig::withRc(16, 32);
+    EXPECT_NE(c.toString().find("write-reset-read-update"),
+              std::string::npos);
+}
+
+TEST(MappingTable, UnifiedMapsConnectBothDirections)
+{
+    RegisterMappingTable t(8, 256, /*unified=*/true);
+    EXPECT_TRUE(t.unified());
+    t.connectUse(3, 200);
+    EXPECT_EQ(t.readMap(3), 200);
+    EXPECT_EQ(t.writeMap(3), 200);
+    t.connectDef(3, 100);
+    EXPECT_EQ(t.readMap(3), 100);
+    EXPECT_EQ(t.writeMap(3), 100);
+}
+
+TEST(MappingTable, SplitByDefault)
+{
+    RegisterMappingTable t(8, 256);
+    EXPECT_FALSE(t.unified());
+}
+
+TEST(ArchConvention, ReservedRegisters)
+{
+    EXPECT_EQ(ArchConvention::stackPointer, 0);
+    EXPECT_EQ(ArchConvention::firstSpillReg(isa::RegClass::Int), 1);
+    EXPECT_EQ(ArchConvention::firstSpillReg(isa::RegClass::Fp), 0);
+    EXPECT_EQ(ArchConvention::firstAllocatable(isa::RegClass::Int),
+              5);
+    EXPECT_EQ(ArchConvention::firstAllocatable(isa::RegClass::Fp),
+              4);
+}
+
+} // namespace
+} // namespace rcsim::core

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Optimizer tests: dead-code elimination, copy propagation, loop
+ * unrolling (structure and semantic preservation), branch prediction
+ * annotation.  Semantic preservation is checked by interpreting each
+ * workload before and after the full ILP pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/cfg.hh"
+#include "ir/interp.hh"
+#include "ir/verify.hh"
+#include "opt/passes.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::opt
+{
+namespace
+{
+
+using namespace rcsim::ir;
+
+Module
+moduleWithMain()
+{
+    Module m;
+    int fi = m.addFunction("main");
+    m.fn(fi).returnsValue = true;
+    m.fn(fi).retClass = RegClass::Int;
+    m.entryFunction = fi;
+    return m;
+}
+
+TEST(Dce, RemovesUnusedComputation)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    b.mul(b.iconst(3), b.iconst(4)); // dead
+    b.ret(b.iconst(7));
+    Count before = m.fn(0).opCount();
+    int removed = deadCodeElim(m.fn(0));
+    EXPECT_GE(removed, 3);
+    EXPECT_LT(m.fn(0).opCount(), before);
+    EXPECT_TRUE(verifyFunction(m.fn(0)).ok());
+}
+
+TEST(Dce, RemovesTransitivelyDeadChains)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    VReg a = b.iconst(3);
+    VReg c = b.addi(a, 1);
+    b.addi(c, 2); // dead; makes c dead; makes a dead
+    b.ret(b.iconst(0));
+    deadCodeElim(m.fn(0));
+    // Only the li 0 and ret remain.
+    EXPECT_EQ(m.fn(0).opCount(), 2u);
+}
+
+TEST(Dce, KeepsStoresAndCalls)
+{
+    Module m = moduleWithMain();
+    int g = m.addGlobal("g", 16);
+    IRBuilder b(m, 0);
+    VReg base = b.addrOf(g);
+    b.storeW(b.iconst(1), base, 0, MemRef::global(g));
+    b.ret(b.iconst(0));
+    Count before = m.fn(0).opCount();
+    deadCodeElim(m.fn(0));
+    EXPECT_EQ(m.fn(0).opCount(), before);
+}
+
+TEST(Dce, KeepsDeadLoadRemoval)
+{
+    Module m = moduleWithMain();
+    int g = m.addGlobal("g", 16);
+    IRBuilder b(m, 0);
+    VReg base = b.addrOf(g);
+    b.loadW(base, 0, MemRef::global(g)); // dead load: removable
+    b.ret(b.iconst(0));
+    deadCodeElim(m.fn(0));
+    // The load and its address computation disappear.
+    EXPECT_EQ(m.fn(0).opCount(), 2u);
+}
+
+TEST(CopyProp, ForwardsThroughMov)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    VReg a = b.iconst(5);
+    VReg c = b.temp(RegClass::Int);
+    b.assign(c, a);
+    VReg d = b.addi(c, 1);
+    b.ret(d);
+    int rewritten = copyPropagate(m.fn(0));
+    EXPECT_GE(rewritten, 1);
+    // The addi now reads 'a' directly; DCE can kill the mov.
+    deadCodeElim(m.fn(0));
+    EXPECT_EQ(m.fn(0).opCount(), 3u);
+}
+
+TEST(CopyProp, StopsAtRedefinition)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    VReg a = b.temp(RegClass::Int);
+    VReg c = b.temp(RegClass::Int);
+    b.assignI(a, 5);
+    b.assign(c, a);
+    b.assignI(a, 9); // redefines the source
+    VReg d = b.add(c, a);
+    b.ret(d);
+    copyPropagate(m.fn(0));
+    m.layout();
+    Interpreter interp(m);
+    EXPECT_EQ(interp.run().retValue, 14);
+}
+
+// --- Unrolling ---------------------------------------------------------
+
+/** Counted self-loop summing i*i. */
+Module
+sumLoop(int n)
+{
+    Module m = moduleWithMain();
+    IRBuilder b(m, 0);
+    int body = b.newBlock(), exit = b.newBlock();
+    VReg bound = b.iconst(n);
+    VReg acc = b.temp(RegClass::Int);
+    VReg i = b.temp(RegClass::Int);
+    b.assignI(acc, 0);
+    b.assignI(i, 0);
+    b.jmp(body);
+    b.setBlock(body);
+    VReg sq = b.mul(i, i);
+    b.assignRR(Opc::Add, acc, acc, sq);
+    b.assignRI(Opc::AddI, i, i, 1);
+    b.br(Opc::Blt, i, bound, body, exit);
+    b.setBlock(exit);
+    b.ret(acc);
+    return m;
+}
+
+TEST(Unroll, CreatesCopiesAndPreservesResult)
+{
+    Module m = sumLoop(4000);
+    m.layout();
+    Profile p = Profile::forModule(m);
+    Interpreter interp(m);
+    Word golden = interp.run(10'000'000, &p).retValue;
+
+    std::size_t blocks_before = m.fn(0).blocks.size();
+    IlpOptions opts;
+    int unrolled = unrollLoops(m.fn(0), 0, p, opts);
+    EXPECT_EQ(unrolled, 1);
+    EXPECT_GT(m.fn(0).blocks.size(), blocks_before);
+    EXPECT_TRUE(verifyModule(m).ok()) << verifyModule(m).summary();
+
+    Interpreter interp2(m);
+    ExecResult r = interp2.run();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, golden);
+}
+
+TEST(Unroll, RenamesIterationLocalTemporaries)
+{
+    Module m = sumLoop(4000);
+    m.layout();
+    Profile p = Profile::forModule(m);
+    Interpreter interp(m);
+    interp.run(10'000'000, &p);
+    std::uint32_t vregs_before = m.fn(0).nextVreg[0];
+    unrollLoops(m.fn(0), 0, p, IlpOptions{});
+    // The square temporary gets a fresh name per copy.
+    EXPECT_GT(m.fn(0).nextVreg[0], vregs_before);
+}
+
+TEST(Unroll, MidChainExitsPredictedNotTaken)
+{
+    Module m = sumLoop(4000);
+    m.layout();
+    Profile p = Profile::forModule(m);
+    Interpreter interp(m);
+    interp.run(10'000'000, &p);
+    unrollLoops(m.fn(0), 0, p, IlpOptions{});
+    int taken_backedges = 0, not_taken_exits = 0;
+    for (const BasicBlock &bb : m.fn(0).blocks) {
+        if (bb.dead || bb.ops.empty() || !bb.ops.back().isBranch())
+            continue;
+        if (bb.ops.back().predictTaken)
+            ++taken_backedges;
+        else
+            ++not_taken_exits;
+    }
+    EXPECT_EQ(taken_backedges, 1); // only the final copy loops back
+    EXPECT_GE(not_taken_exits, 1); // side exits fall through
+}
+
+TEST(Unroll, ColdLoopsLeftAlone)
+{
+    Module m = sumLoop(10); // below minWeight
+    m.layout();
+    Profile p = Profile::forModule(m);
+    Interpreter interp(m);
+    interp.run(10'000'000, &p);
+    IlpOptions opts;
+    opts.minWeight = 256;
+    EXPECT_EQ(unrollLoops(m.fn(0), 0, p, opts), 0);
+}
+
+TEST(Unroll, RespectsBodySizeCap)
+{
+    Module m = sumLoop(100000);
+    m.layout();
+    Profile p = Profile::forModule(m);
+    Interpreter interp(m);
+    interp.run(10'000'000, &p);
+    IlpOptions opts;
+    opts.maxBodyOps = 5; // body already bigger: no unroll possible
+    EXPECT_EQ(unrollLoops(m.fn(0), 0, p, opts), 0);
+}
+
+TEST(Predictions, FollowProfile)
+{
+    Module m = sumLoop(1000);
+    m.layout();
+    Profile p = Profile::forModule(m);
+    Interpreter interp(m);
+    interp.run(10'000'000, &p);
+    annotatePredictions(m, p);
+    // The loop branch is taken 999/1000 times.
+    bool found = false;
+    for (const BasicBlock &bb : m.fn(0).blocks)
+        if (!bb.ops.empty() && bb.ops.back().isBranch()) {
+            EXPECT_TRUE(bb.ops.back().predictTaken);
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+// --- Full pipeline semantic preservation over all workloads -----------
+
+class OptPreservesSemantics
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(OptPreservesSemantics, IlpPipelineKeepsChecksum)
+{
+    const workloads::Workload *w =
+        workloads::findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    Module m = w->build();
+    m.layout();
+    Profile p = Profile::forModule(m);
+    Interpreter interp(m);
+    ExecResult ref = interp.run(500'000'000, &p);
+    ASSERT_TRUE(ref.ok) << ref.error;
+
+    runOptimizations(m, OptLevel::Ilp, p);
+
+    Interpreter interp2(m);
+    ExecResult opt = interp2.run();
+    ASSERT_TRUE(opt.ok) << opt.error;
+    EXPECT_EQ(opt.retValue, ref.retValue);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, OptPreservesSemantics,
+    ::testing::Values("cccp", "cmp", "compress", "eqn", "eqntott",
+                      "espresso", "grep", "lex", "yacc", "matrix300",
+                      "nasa7", "tomcatv"),
+    [](const auto &info) { return std::string(info.param); });
+
+} // namespace
+} // namespace rcsim::opt

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * End-to-end pipeline tests: every (workload x configuration) pair
+ * must simulate to the interpreter's golden checksum, plus
+ * performance-shape sanity properties from the paper's evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "support/logging.hh"
+
+namespace rcsim::harness
+{
+namespace
+{
+
+struct EndToEndCase
+{
+    const char *workload;
+    int core;     // under-study file core size
+    bool rc;
+    int issue;
+    int loadLat;
+};
+
+class EndToEnd : public ::testing::TestWithParam<EndToEndCase>
+{
+};
+
+TEST_P(EndToEnd, SimulatedResultMatchesInterpreter)
+{
+    const EndToEndCase &c = GetParam();
+    const workloads::Workload *w =
+        workloads::findWorkload(c.workload);
+    ASSERT_NE(w, nullptr);
+    CompileOptions opts;
+    opts.level = opt::OptLevel::Ilp;
+    opts.rc = c.rc ? rcConfigFor(w->isFp, c.core)
+                   : baseConfigFor(w->isFp, c.core);
+    opts.machine = Experiment::machineFor(c.issue, c.loadLat);
+    RunOutcome out = runConfiguration(*w, opts);
+    EXPECT_TRUE(out.verified)
+        << c.workload << ": got " << out.result << " expected "
+        << out.golden;
+    EXPECT_GT(out.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, EndToEnd,
+    ::testing::Values(
+        // Every workload once at the paper's headline config.
+        EndToEndCase{"cccp", 16, true, 4, 2},
+        EndToEndCase{"cmp", 16, true, 4, 2},
+        EndToEndCase{"compress", 16, true, 4, 2},
+        EndToEndCase{"eqn", 16, true, 4, 2},
+        EndToEndCase{"eqntott", 16, true, 4, 2},
+        EndToEndCase{"espresso", 16, true, 4, 2},
+        EndToEndCase{"grep", 16, true, 4, 2},
+        EndToEndCase{"lex", 16, true, 4, 2},
+        EndToEndCase{"yacc", 16, true, 4, 2},
+        EndToEndCase{"matrix300", 32, true, 4, 2},
+        EndToEndCase{"nasa7", 32, true, 4, 2},
+        EndToEndCase{"tomcatv", 32, true, 4, 2},
+        // Without RC at tight cores (spill-heavy paths).
+        EndToEndCase{"compress", 8, false, 4, 2},
+        EndToEndCase{"espresso", 8, false, 4, 2},
+        EndToEndCase{"yacc", 8, false, 4, 2},
+        EndToEndCase{"eqntott", 8, false, 8, 2},
+        EndToEndCase{"matrix300", 16, false, 4, 2},
+        EndToEndCase{"tomcatv", 16, false, 4, 4},
+        // RC at the smallest core, all issue rates, both latencies.
+        EndToEndCase{"espresso", 8, true, 1, 2},
+        EndToEndCase{"espresso", 8, true, 2, 2},
+        EndToEndCase{"espresso", 8, true, 8, 2},
+        EndToEndCase{"compress", 8, true, 4, 4},
+        EndToEndCase{"lex", 8, true, 8, 4},
+        EndToEndCase{"grep", 8, true, 2, 4},
+        EndToEndCase{"nasa7", 16, true, 8, 4},
+        EndToEndCase{"cmp", 8, true, 8, 2},
+        EndToEndCase{"eqn", 8, true, 2, 4},
+        EndToEndCase{"cccp", 8, true, 8, 4}),
+    [](const auto &info) {
+        const EndToEndCase &c = info.param;
+        return std::string(c.workload) + "_c" +
+               std::to_string(c.core) + (c.rc ? "_rc" : "_base") +
+               "_w" + std::to_string(c.issue) + "_l" +
+               std::to_string(c.loadLat);
+    });
+
+TEST(Shapes, BaselineSlowerThanWideMachines)
+{
+    Experiment exp;
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    CompileOptions opts;
+    opts.level = opt::OptLevel::Ilp;
+    opts.rc = core::RcConfig::unlimited();
+    opts.machine = Experiment::machineFor(4);
+    EXPECT_GT(exp.speedup(*w, opts), 1.1);
+}
+
+TEST(Shapes, SpeedupGrowsWithIssueWidth)
+{
+    Experiment exp;
+    const workloads::Workload *w =
+        workloads::findWorkload("espresso");
+    CompileOptions opts;
+    opts.level = opt::OptLevel::Ilp;
+    opts.rc = core::RcConfig::unlimited();
+    double prev = 0.0;
+    for (int width : {1, 2, 4}) {
+        opts.machine = Experiment::machineFor(width);
+        double s = exp.speedup(*w, opts);
+        EXPECT_GE(s, prev * 0.98) << "width " << width;
+        prev = s;
+    }
+}
+
+TEST(Shapes, RcRecoversSpillLossAtSmallCores)
+{
+    // The paper's core claim: with few core registers, the with-RC
+    // model clearly beats the without-RC model.
+    Experiment exp;
+    for (const char *name : {"espresso", "cmp", "compress"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        CompileOptions base;
+        base.level = opt::OptLevel::Ilp;
+        base.rc = baseConfigFor(w->isFp, 8);
+        base.machine = Experiment::machineFor(4);
+        CompileOptions with_rc = base;
+        with_rc.rc = rcConfigFor(w->isFp, 8);
+        double sb = exp.speedup(*w, base);
+        double sr = exp.speedup(*w, with_rc);
+        EXPECT_GT(sr, sb * 1.05) << name;
+    }
+}
+
+TEST(Shapes, RcNearUnlimitedAt16Cores)
+{
+    // "A four-issue processor with 16 core integer registers ... can
+    // achieve 90% of the performance of an equivalent processor with
+    // an unlimited number of core registers."
+    Experiment exp;
+    std::vector<double> ratios;
+    for (const char *name : {"cmp", "compress", "espresso", "lex"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        CompileOptions with_rc;
+        with_rc.level = opt::OptLevel::Ilp;
+        with_rc.rc = rcConfigFor(w->isFp, 16);
+        with_rc.machine = Experiment::machineFor(4);
+        CompileOptions unlimited = with_rc;
+        unlimited.rc = core::RcConfig::unlimited();
+        ratios.push_back(exp.speedup(*w, with_rc) /
+                         exp.speedup(*w, unlimited));
+    }
+    EXPECT_GE(geomean(ratios), 0.9);
+}
+
+TEST(Shapes, LargeCoreMakesRcUnnecessary)
+{
+    Experiment exp;
+    const workloads::Workload *w = workloads::findWorkload("grep");
+    CompileOptions base;
+    base.level = opt::OptLevel::Ilp;
+    base.rc = baseConfigFor(false, 64);
+    base.machine = Experiment::machineFor(4);
+    CompileOptions with_rc = base;
+    with_rc.rc = rcConfigFor(false, 64);
+    RunOutcome rb = exp.measured(*w, base);
+    RunOutcome rr = exp.measured(*w, with_rc);
+    // Same cycles: nothing lands in the extended section.
+    EXPECT_EQ(rb.cycles, rr.cycles);
+    EXPECT_EQ(rr.compiled.connectOps, 0u);
+}
+
+TEST(Shapes, CodeSizeGrowsWhenSpilling)
+{
+    Experiment exp;
+    const workloads::Workload *w =
+        workloads::findWorkload("espresso");
+    CompileOptions big;
+    big.level = opt::OptLevel::Ilp;
+    big.rc = core::RcConfig::unlimited();
+    big.machine = Experiment::machineFor(4);
+    CompileOptions small = big;
+    small.rc = baseConfigFor(false, 8);
+    RunOutcome rbig = exp.measured(*w, big);
+    RunOutcome rsmall = exp.measured(*w, small);
+    EXPECT_GT(rsmall.compiled.staticSize, rbig.compiled.staticSize);
+    EXPECT_GT(rsmall.compiled.spillOps, 0u);
+    EXPECT_EQ(rbig.compiled.spillOps, 0u);
+}
+
+TEST(Shapes, ConnectOverheadCheaperThanSpills)
+{
+    // Figure 9 + 8 in one property: with-RC code is bigger or similar
+    // but faster than without-RC at small cores.
+    Experiment exp;
+    const workloads::Workload *w =
+        workloads::findWorkload("espresso");
+    CompileOptions base;
+    base.level = opt::OptLevel::Ilp;
+    base.rc = baseConfigFor(false, 8);
+    base.machine = Experiment::machineFor(4);
+    CompileOptions with_rc = base;
+    with_rc.rc = rcConfigFor(false, 8);
+    RunOutcome rb = exp.measured(*w, base);
+    RunOutcome rr = exp.measured(*w, with_rc);
+    EXPECT_LT(rr.cycles, rb.cycles);
+    EXPECT_GT(rr.compiled.connectOps, 0u);
+}
+
+TEST(Shapes, ZeroCycleConnectsNotSlowerThanOneCycle)
+{
+    Experiment exp;
+    const workloads::Workload *w =
+        workloads::findWorkload("espresso");
+    CompileOptions zero;
+    zero.level = opt::OptLevel::Ilp;
+    zero.rc = rcConfigFor(false, 8);
+    zero.machine = Experiment::machineFor(4);
+    CompileOptions one = zero;
+    one.rc.connectLatency = 1;
+    one.machine.lat.connectLatency = 1;
+    RunOutcome rz = exp.measured(*w, zero);
+    RunOutcome ro = exp.measured(*w, one);
+    EXPECT_LE(rz.cycles, ro.cycles);
+}
+
+TEST(Shapes, DeterministicCycleCounts)
+{
+    const workloads::Workload *w = workloads::findWorkload("eqn");
+    CompileOptions opts;
+    opts.level = opt::OptLevel::Ilp;
+    opts.rc = rcConfigFor(false, 16);
+    opts.machine = Experiment::machineFor(4);
+    RunOutcome a = runConfiguration(*w, opts);
+    RunOutcome b = runConfiguration(*w, opts);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+} // namespace
+} // namespace rcsim::harness

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Register allocation tests: pools and conventions, colouring
+ * validity (no two simultaneously-live ranges share a register),
+ * reserved registers, extended-register policy and spill behaviour.
+ * The colouring-validity property is swept over all workloads and
+ * several core sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.hh"
+#include "ir/builder.hh"
+#include "ir/cfg.hh"
+#include "ir/interp.hh"
+#include "ir/liveness.hh"
+#include "opt/passes.hh"
+#include "regalloc/allocation.hh"
+#include "regalloc/rewrite.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::regalloc
+{
+namespace
+{
+
+using namespace rcsim::ir;
+
+TEST(Pools, AllocatableExcludesReserved)
+{
+    core::RcConfig rc = core::RcConfig::withoutRc(16, 64);
+    RegPools pools(rc);
+    auto regs = pools.allocatableCore(RegClass::Int);
+    ASSERT_EQ(regs.size(), 11u); // 16 - SP - 4 spill
+    EXPECT_EQ(regs.front(), 5);
+    EXPECT_EQ(regs.back(), 15);
+    auto fp = pools.allocatableCore(RegClass::Fp);
+    EXPECT_EQ(fp.size(), 60u); // 64 - 4 spill
+}
+
+TEST(Pools, ExtendedEmptyWithoutRc)
+{
+    core::RcConfig rc = core::RcConfig::withoutRc(16, 64);
+    RegPools pools(rc);
+    EXPECT_TRUE(pools.extendedRegs(RegClass::Int).empty());
+}
+
+TEST(Pools, ExtendedCoversRestOfFile)
+{
+    core::RcConfig rc = core::RcConfig::withRc(16, 64);
+    RegPools pools(rc);
+    auto ext = pools.extendedRegs(RegClass::Int);
+    ASSERT_EQ(ext.size(), 240u);
+    EXPECT_EQ(ext.front(), 16);
+    EXPECT_EQ(ext.back(), 255);
+}
+
+TEST(Pools, CalleeSaveIsUpperHalf)
+{
+    core::RcConfig rc = core::RcConfig::withoutRc(16, 64);
+    RegPools pools(rc);
+    // Allocatable 5..15; callee-save upper half.
+    EXPECT_FALSE(pools.isCalleeSave(RegClass::Int, 5));
+    EXPECT_TRUE(pools.isCalleeSave(RegClass::Int, 15));
+    // Reserved and extended registers are never callee-save.
+    EXPECT_FALSE(pools.isCalleeSave(RegClass::Int, 0));
+    core::RcConfig rc2 = core::RcConfig::withRc(16, 64);
+    RegPools pools2(rc2);
+    EXPECT_FALSE(pools2.isCalleeSave(RegClass::Int, 200));
+}
+
+namespace
+{
+
+/** Compile a workload up to (and including) allocation+rewrite. */
+struct AllocatedModule
+{
+    Module module;
+    std::vector<FunctionAlloc> allocs;
+};
+
+AllocatedModule
+allocateWorkload(const std::string &name, const core::RcConfig &rc)
+{
+    const workloads::Workload *w = workloads::findWorkload(name);
+    EXPECT_NE(w, nullptr);
+    AllocatedModule out;
+    out.module = w->build();
+    codegen::addStartWrapper(out.module);
+    out.module.layout();
+    Profile p = Profile::forModule(out.module);
+    Interpreter interp(out.module);
+    EXPECT_TRUE(interp.run(500'000'000, &p).ok);
+    opt::runOptimizations(out.module, opt::OptLevel::Ilp, p);
+    codegen::lowerModule(out.module);
+    for (Function &fn : out.module.functions) {
+        FunctionAlloc alloc =
+            allocateFunction(fn, fn.index, p, rc);
+        out.allocs.push_back(alloc);
+    }
+    return out;
+}
+
+} // namespace
+
+struct ValidityCase
+{
+    const char *workload;
+    int core;
+    bool rc;
+};
+
+class ColoringValidity : public ::testing::TestWithParam<ValidityCase>
+{
+};
+
+TEST_P(ColoringValidity, NoInterferingRangesShareARegister)
+{
+    const ValidityCase &c = GetParam();
+    const workloads::Workload *w = workloads::findWorkload(c.workload);
+    ASSERT_NE(w, nullptr);
+    core::RcConfig rc =
+        c.rc ? core::RcConfig::withRc(c.core, c.core)
+             : core::RcConfig::withoutRc(c.core, c.core);
+    AllocatedModule am = allocateWorkload(c.workload, rc);
+
+    for (std::size_t fi = 0; fi < am.module.functions.size(); ++fi) {
+        const Function &fn = am.module.functions[fi];
+        const FunctionAlloc &alloc = am.allocs[fi];
+        Cfg cfg = Cfg::build(fn);
+        Liveness lv = Liveness::compute(fn, cfg);
+
+        // At each program point, the live registers of one class must
+        // have pairwise distinct physical assignments.
+        for (const BasicBlock &bb : fn.blocks) {
+            if (bb.dead)
+                continue;
+            lv.backwardScan(fn, bb.id, [&](int, const RegSet &live) {
+                std::map<std::pair<int, int>, VReg> used;
+                live.forEach([&](int idx) {
+                    const VReg &r = lv.regs.regOf(idx);
+                    if (r.phys)
+                        return;
+                    const Location &loc = alloc.locationOf(r);
+                    if (loc.kind == LocKind::Spill)
+                        return;
+                    auto key = std::make_pair(
+                        static_cast<int>(r.cls), loc.index);
+                    auto [it, fresh] = used.try_emplace(key, r);
+                    EXPECT_TRUE(fresh)
+                        << fn.name << ": " << r.toString()
+                        << " and " << it->second.toString()
+                        << " both in phys " << loc.index;
+                });
+            });
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ColoringValidity,
+    ::testing::Values(ValidityCase{"compress", 8, false},
+                      ValidityCase{"compress", 8, true},
+                      ValidityCase{"espresso", 16, false},
+                      ValidityCase{"espresso", 16, true},
+                      ValidityCase{"eqntott", 16, true},
+                      ValidityCase{"yacc", 8, true},
+                      ValidityCase{"matrix300", 16, true},
+                      ValidityCase{"tomcatv", 24, false},
+                      ValidityCase{"lex", 32, true}),
+    [](const auto &info) {
+        return std::string(info.param.workload) + "_" +
+               std::to_string(info.param.core) +
+               (info.param.rc ? "_rc" : "_base");
+    });
+
+TEST(Allocator, NeverUsesReservedRegisters)
+{
+    core::RcConfig rc = core::RcConfig::withoutRc(8, 16);
+    AllocatedModule am = allocateWorkload("compress", rc);
+    for (std::size_t fi = 0; fi < am.allocs.size(); ++fi) {
+        for (const auto &[vreg, loc] : am.allocs[fi].locations) {
+            if (loc.kind == LocKind::Spill)
+                continue;
+            EXPECT_GE(loc.index, core::ArchConvention::
+                                     firstAllocatable(vreg.cls))
+                << vreg.toString();
+        }
+    }
+}
+
+TEST(Allocator, SpillsWithoutRcUnderPressure)
+{
+    core::RcConfig rc = core::RcConfig::withoutRc(8, 16);
+    AllocatedModule am = allocateWorkload("espresso", rc);
+    int spilled = 0;
+    for (const auto &a : am.allocs)
+        spilled += a.numSpilled;
+    EXPECT_GT(spilled, 0);
+}
+
+TEST(Allocator, ExtendedAbsorbsPressureWithRc)
+{
+    core::RcConfig rc = core::RcConfig::withRc(8, 16);
+    AllocatedModule am = allocateWorkload("espresso", rc);
+    int spilled = 0, extended = 0;
+    for (const auto &a : am.allocs) {
+        spilled += a.numSpilled;
+        extended += a.numExtended;
+    }
+    EXPECT_EQ(spilled, 0); // 248 extended registers soak it all up
+    EXPECT_GT(extended, 0);
+}
+
+TEST(Allocator, UnlimitedConfigNeverSpills)
+{
+    AllocatedModule am =
+        allocateWorkload("tomcatv", core::RcConfig::unlimited());
+    for (const auto &a : am.allocs) {
+        EXPECT_EQ(a.numSpilled, 0);
+        EXPECT_EQ(a.numExtended, 0);
+    }
+}
+
+TEST(Allocator, CalleeSaveRecorded)
+{
+    core::RcConfig rc = core::RcConfig::withoutRc(32, 64);
+    AllocatedModule am = allocateWorkload("eqntott", rc);
+    // Some function should use callee-save registers (values live
+    // across the recursive calls).
+    bool any = false;
+    for (const auto &a : am.allocs)
+        for (int c = 0; c < 2; ++c)
+            if (!a.usedCalleeSave[c].empty())
+                any = true;
+    EXPECT_TRUE(any);
+}
+
+TEST(Rewrite, OperandsAllPhysicalAfterRewrite)
+{
+    core::RcConfig rc = core::RcConfig::withoutRc(8, 16);
+    AllocatedModule am = allocateWorkload("cmp", rc);
+    for (std::size_t fi = 0; fi < am.module.functions.size(); ++fi) {
+        Function &fn = am.module.functions[fi];
+        rewriteFunction(fn, am.allocs[fi], rc);
+        for (const BasicBlock &bb : fn.blocks) {
+            if (bb.dead)
+                continue;
+            for (const Op &op : bb.ops) {
+                for (const VReg &u : op.uses())
+                    EXPECT_TRUE(u.phys) << op.toString();
+                for (const VReg &d : op.defs())
+                    EXPECT_TRUE(d.phys) << op.toString();
+            }
+        }
+    }
+}
+
+TEST(Rewrite, SpillCodeUsesReservedRegisters)
+{
+    core::RcConfig rc = core::RcConfig::withoutRc(8, 16);
+    AllocatedModule am = allocateWorkload("espresso", rc);
+    int spill_ops = 0;
+    for (std::size_t fi = 0; fi < am.module.functions.size(); ++fi) {
+        Function &fn = am.module.functions[fi];
+        RewriteStats st = rewriteFunction(fn, am.allocs[fi], rc);
+        spill_ops += st.spillLoads + st.spillStores;
+        for (const BasicBlock &bb : fn.blocks) {
+            if (bb.dead)
+                continue;
+            for (const Op &op : bb.ops) {
+                if (op.origin == InstrOrigin::SpillLoad) {
+                    int first = core::ArchConvention::firstSpillReg(
+                        op.dst.cls);
+                    EXPECT_GE(static_cast<int>(op.dst.id), first);
+                    EXPECT_LT(static_cast<int>(op.dst.id),
+                              first +
+                                  core::ArchConvention::numSpillRegs);
+                }
+            }
+        }
+    }
+    EXPECT_GT(spill_ops, 0);
+}
+
+TEST(Rewrite, CallerSaveInsertedAroundCalls)
+{
+    // A directed case: many heavily-referenced values live across a
+    // call.  The callee-save pool overflows, and since each value
+    // has far more references than call crossings, the allocator's
+    // cost model keeps them in caller-managed registers — which the
+    // rewriter must then save and restore around the jsr.
+    Module m;
+    int leaf = m.addFunction("leaf");
+    {
+        m.fn(leaf).returnsValue = true;
+        m.fn(leaf).retClass = RegClass::Int;
+        IRBuilder fb(m, leaf);
+        fb.ret(fb.iconst(1));
+    }
+    int fi = m.addFunction("main");
+    m.fn(fi).returnsValue = true;
+    m.fn(fi).retClass = RegClass::Int;
+    m.entryFunction = fi;
+    IRBuilder b(m, fi);
+    // Eight long-lived values, each referenced many times before and
+    // after one call.
+    std::vector<VReg> vals;
+    for (int i = 0; i < 8; ++i) {
+        VReg v = b.temp(RegClass::Int);
+        b.assignI(v, i + 1);
+        for (int k = 0; k < 6; ++k)
+            b.assignRR(ir::Opc::Add, v, v, v);
+        vals.push_back(v);
+    }
+    VReg c = b.call(leaf, {}, RegClass::Int);
+    VReg sum = c;
+    for (const VReg &v : vals)
+        sum = b.add(sum, v);
+    b.ret(sum);
+
+    codegen::addStartWrapper(m);
+    m.layout();
+    ir::Profile prof = ir::Profile::forModule(m);
+    ir::Interpreter interp(m);
+    ASSERT_TRUE(interp.run(1'000'000, &prof).ok);
+    codegen::lowerModule(m);
+
+    core::RcConfig rc = core::RcConfig::withRc(8, 16);
+    int save_restore = 0;
+    for (Function &fn : m.functions) {
+        FunctionAlloc alloc =
+            allocateFunction(fn, fn.index, prof, rc);
+        RewriteStats st = rewriteFunction(fn, alloc, rc);
+        save_restore += st.saveRestores;
+    }
+    EXPECT_GT(save_restore, 0);
+}
+
+} // namespace
+} // namespace rcsim::regalloc

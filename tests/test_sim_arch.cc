@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Architectural behaviour tests for the RC extension (paper Section
+ * 4): upward compatibility of base-architecture binaries, jsr/rts map
+ * reset, trap/interrupt map bypass via the PSW, and the two
+ * context-switch formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+
+namespace rcsim::sim
+{
+namespace
+{
+
+isa::Program
+prog(const std::string &src)
+{
+    isa::AsmResult r = isa::assemble(src);
+    EXPECT_TRUE(r.ok()) << r.error;
+    isa::Program p = r.program;
+    p.memorySize = 1 << 16;
+    return p;
+}
+
+SimConfig
+rcCfg(int width = 4)
+{
+    SimConfig cfg;
+    cfg.machine.issueWidth = width;
+    cfg.machine.memChannels = 2;
+    cfg.rc = core::RcConfig::withRc(16, 16);
+    return cfg;
+}
+
+SimConfig
+baseCfg(int width = 4)
+{
+    SimConfig cfg;
+    cfg.machine.issueWidth = width;
+    cfg.machine.memChannels = 2;
+    cfg.rc = core::RcConfig::withoutRc(16, 16);
+    return cfg;
+}
+
+// A base-architecture program (no connects) with a call.
+const char *legacySrc = R"(
+func helper:
+  slli r6, r5, 1
+  rts
+func main:
+  li   r5, 21
+  jsr  helper
+  add  r7, r6, r5
+  sw   r7, r0, 0
+  halt
+)";
+
+TEST(Arch, LegacyBinaryIdenticalOnRcHardware)
+{
+    isa::Program p = prog(legacySrc);
+    Simulator base(p, baseCfg());
+    Simulator rc(p, rcCfg());
+    SimResult rb = base.run();
+    SimResult rr = rc.run();
+    ASSERT_TRUE(rb.ok) << rb.error;
+    ASSERT_TRUE(rr.ok) << rr.error;
+    EXPECT_EQ(base.state().readInt(7), 63);
+    EXPECT_EQ(rc.state().readInt(7), 63);
+    // Upward compatibility extends to timing: no connects, no map
+    // perturbation, same cycle count.
+    EXPECT_EQ(rb.cycles, rr.cycles);
+    // All map entries remain at their home locations throughout.
+    EXPECT_TRUE(rc.state().map(isa::RegClass::Int).allHome());
+}
+
+TEST(Arch, JsrResetsTheMap)
+{
+    // Section 4.1: the caller connects r5's read map to an extended
+    // register; the callee must still see the core register.
+    isa::Program p = prog(R"(
+func callee:
+  mov r6, r5
+  rts
+func main:
+  li r5, 7
+  connect.def int i4, p100
+  li r4, 42
+  connect.use int i5, p100
+  jsr callee
+  halt
+)");
+    Simulator sim(p, rcCfg());
+    SimResult r = sim.run();
+    ASSERT_TRUE(r.ok) << r.error;
+    // Had the map survived the jsr, r6 would read p100 (42).
+    EXPECT_EQ(sim.state().readInt(6), 7);
+}
+
+TEST(Arch, RtsResetsTheMap)
+{
+    // The callee leaves a connection live at return; the caller's
+    // subsequent read of r5 must reach the core register.
+    isa::Program p = prog(R"(
+func callee:
+  connect.use int i5, p100
+  rts
+func main:
+  connect.def int i4, p100
+  li r4, 42
+  li r5, 7
+  jsr callee
+  mov r6, r5
+  halt
+)");
+    Simulator sim(p, rcCfg());
+    SimResult r = sim.run();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(sim.state().readInt(6), 7);
+}
+
+TEST(Arch, TrapBypassesTheMapAndRfeRestores)
+{
+    // Section 4.3: the handler writes r5 with the map disabled, so
+    // the extended register connected to index 5 is untouched; after
+    // rfe the program's connection state is live again.
+    isa::Program p = prog(R"(
+func handler:
+  li r5, 7
+  rfe
+func main:
+  connect.def int i5, p100
+  li r5, 99
+  trap 0
+  mov r6, r5
+  sw r6, r0, 0
+  halt
+)");
+    SimConfig cfg = rcCfg();
+    cfg.trapVector = 0; // handler entry index
+    Simulator sim(p, cfg);
+    SimResult r = sim.run();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.stats.get("traps"), 1u);
+    // The handler wrote core register 5 directly.
+    EXPECT_EQ(sim.state().readInt(5), 7);
+    // The program's extended register survived the handler.
+    EXPECT_EQ(sim.state().readInt(100), 99);
+    // After rfe the map is live again: model 3 left read[5] -> p100,
+    // so the mov read 99, not 7.
+    EXPECT_EQ(sim.state().readInt(6), 99);
+}
+
+TEST(Arch, TrapWithoutVectorFails)
+{
+    isa::Program p = prog("func main:\n  trap 0\n  halt\n");
+    Simulator sim(p, rcCfg());
+    SimResult r = sim.run();
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Arch, HandlerCanReenableTheMap)
+{
+    // Section 4.3: a handler needing more than the core registers
+    // re-enables the map through the PSW.
+    isa::Program p = prog(R"(
+func handler:
+  mfpsw r5
+  ori  r6, r5, 1
+  mtpsw r6
+  mov r7, r4
+  rfe
+func main:
+  connect.def int i4, p100
+  li r4, 55
+  connect.use int i4, p100
+  trap 0
+  halt
+)");
+    SimConfig cfg = rcCfg();
+    cfg.trapVector = 0;
+    Simulator sim(p, cfg);
+    SimResult r = sim.run();
+    ASSERT_TRUE(r.ok) << r.error;
+    // With the map re-enabled, reading index 4 reaches p100.
+    EXPECT_EQ(sim.state().readInt(7), 55);
+}
+
+TEST(Arch, InterruptInjectionPreservesResults)
+{
+    isa::Program p = prog(R"(
+func handler:
+  addi r9, r9, 1
+  rfe
+func main:
+  li r1, 2000
+  li r2, 0
+  li r8, 0
+loop:
+  addi r2, r2, 3
+  addi r1, r1, -1
+  bgt+ r1, r8, loop
+  halt
+)");
+    SimConfig cfg = rcCfg(1);
+    cfg.trapVector = 0;
+    cfg.interruptCycles = {100, 500, 1500};
+    Simulator sim(p, cfg);
+    SimResult r = sim.run();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.stats.get("traps"), 3u);
+    EXPECT_EQ(sim.state().readInt(2), 6000); // computation intact
+    EXPECT_EQ(sim.state().readInt(9), 3);    // handler ran each time
+}
+
+// --- Context switching (Section 4.2) ---------------------------------
+
+const char *loopSrc = R"(
+func main:
+  li r1, 500
+  li r2, 0
+  li r8, 0
+  connect.def int i5, p200
+  li r5, 0
+loop:
+  addi r2, r2, 7
+  connect.use int i6, p200
+  addi r6, r6, 1
+  connect.def int i6, p200
+  mov r6, r6
+  addi r1, r1, -1
+  bgt+ r1, r8, loop
+  sw r2, r0, 0
+  halt
+)";
+
+TEST(Arch, ExtendedContextRoundTripsMidRun)
+{
+    isa::Program p = prog(loopSrc);
+    SimConfig cfg = rcCfg(1);
+
+    Simulator uninterrupted(p, cfg);
+    SimResult ru = uninterrupted.run();
+    ASSERT_TRUE(ru.ok) << ru.error;
+    Word golden = uninterrupted.state().readInt(2);
+    Word golden_ext = uninterrupted.state().readInt(200);
+
+    Simulator sim(p, cfg);
+    sim.step(300); // somewhere mid-loop
+    ASSERT_FALSE(sim.halted());
+    ProcessContext ctx = sim.state().saveContext();
+    EXPECT_TRUE(ctx.extended);
+
+    // Another "process" trashes everything a context switch must
+    // cover: core registers, extended registers, the mapping table.
+    for (int i = 0; i < 256; ++i)
+        sim.state().writeInt(i, -1);
+    sim.state().map(isa::RegClass::Int).connectUse(5, 33);
+    sim.state().map(isa::RegClass::Int).connectDef(6, 44);
+
+    sim.state().restoreContext(ctx);
+    sim.step(1'000'000);
+    ASSERT_TRUE(sim.halted());
+    EXPECT_EQ(sim.state().readInt(2), golden);
+    EXPECT_EQ(sim.state().readInt(200), golden_ext);
+}
+
+TEST(Arch, OriginalFormatContextSufficesForLegacyCode)
+{
+    isa::Program p = prog(legacySrc);
+    SimConfig cfg = rcCfg();
+
+    Simulator sim(p, cfg);
+    // Mark the process as a base-architecture one.
+    sim.state().psw().setExtendedFormat(false);
+    sim.step(1);
+    ProcessContext ctx = sim.state().saveContext();
+    EXPECT_FALSE(ctx.extended);
+    // The small format only carries the core registers.
+    EXPECT_EQ(ctx.iregs.size(), 16u);
+
+    // The other process may freely clobber extended registers and
+    // connections; the original-format restore must still be enough.
+    for (int i = 16; i < 256; ++i)
+        sim.state().writeInt(i, -7);
+    sim.state().map(isa::RegClass::Int).connectUse(5, 100);
+    sim.state().restoreContext(ctx);
+    sim.step(1'000'000);
+    ASSERT_TRUE(sim.halted());
+    EXPECT_EQ(sim.state().readInt(7), 63);
+}
+
+TEST(Arch, ContextCarriesPswAndPc)
+{
+    isa::Program p = prog(legacySrc);
+    Simulator sim(p, rcCfg());
+    sim.step(1);
+    ProcessContext ctx = sim.state().saveContext();
+    sim.state().pc = 0;
+    sim.state().psw().setMapEnable(false);
+    sim.state().restoreContext(ctx);
+    EXPECT_EQ(sim.state().pc, ctx.pc);
+    EXPECT_TRUE(sim.state().psw().mapEnable());
+}
+
+} // namespace
+} // namespace rcsim::sim

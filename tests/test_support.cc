@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the support library: logging, statistics, tables and
+ * the deterministic random generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace rcsim
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error ", "x"), FatalError);
+}
+
+TEST(Logging, PanicMessageContainsArguments)
+{
+    try {
+        panic("value=", 17, " name=", "abc");
+        FAIL() << "did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=17"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("name=abc"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    bool before = isQuiet();
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+    setQuiet(before);
+}
+
+TEST(Stats, CountersStartAtZero)
+{
+    StatGroup g;
+    EXPECT_EQ(g.get("missing"), 0u);
+}
+
+TEST(Stats, AddAccumulates)
+{
+    StatGroup g;
+    g.add("x");
+    g.add("x", 4);
+    EXPECT_EQ(g.get("x"), 5u);
+}
+
+TEST(Stats, SetOverwrites)
+{
+    StatGroup g;
+    g.add("x", 10);
+    g.set("x", 3);
+    EXPECT_EQ(g.get("x"), 3u);
+}
+
+TEST(Stats, ClearRemovesEverything)
+{
+    StatGroup g;
+    g.add("a");
+    g.clear();
+    EXPECT_EQ(g.get("a"), 0u);
+    EXPECT_TRUE(g.all().empty());
+}
+
+TEST(Stats, FormatListsCounters)
+{
+    StatGroup g;
+    g.add("alpha", 2);
+    std::string s = g.format();
+    EXPECT_NE(s.find("alpha = 2"), std::string::npos);
+}
+
+TEST(Stats, GeomeanOfEqualValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Stats, GeomeanOfMixedValues)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanEmptyIsZero)
+{
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), PanicError);
+}
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Random, Deterministic)
+{
+    SplitMix a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    SplitMix a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    SplitMix rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(10), 10u);
+}
+
+TEST(Random, UnitInHalfOpenInterval)
+{
+    SplitMix rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.unit();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t;
+    t.header({"a", "bench"});
+    t.row({"1", "x"});
+    t.row({"22", "yy"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("bench"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace rcsim

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Structural transformation tests: block renumbering failure modes,
+ * layout invariants over every workload, and simulator stepping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/cfg.hh"
+#include "ir/interp.hh"
+#include "ir/transform.hh"
+#include "isa/assembler.hh"
+#include "opt/passes.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::ir
+{
+namespace
+{
+
+Module
+twoBlockModule()
+{
+    Module m;
+    int fi = m.addFunction("main");
+    m.fn(fi).returnsValue = true;
+    m.fn(fi).retClass = RegClass::Int;
+    m.entryFunction = fi;
+    IRBuilder b(m, fi);
+    int second = b.newBlock();
+    b.jmp(second);
+    b.setBlock(second);
+    b.ret(b.iconst(3));
+    return m;
+}
+
+TEST(Renumber, RejectsDuplicateBlocks)
+{
+    Module m = twoBlockModule();
+    EXPECT_THROW(renumberBlocks(m.fn(0), {0, 0}), PanicError);
+}
+
+TEST(Renumber, RejectsDroppingTargetedBlock)
+{
+    Module m = twoBlockModule();
+    // Dropping the jump target must fail loudly.
+    EXPECT_THROW(renumberBlocks(m.fn(0), {0}), PanicError);
+}
+
+TEST(Renumber, RejectsDroppingEntry)
+{
+    Module m = twoBlockModule();
+    EXPECT_THROW(renumberBlocks(m.fn(0), {1}), PanicError);
+}
+
+TEST(Renumber, RejectsBadBlockIds)
+{
+    Module m = twoBlockModule();
+    EXPECT_THROW(renumberBlocks(m.fn(0), {0, 7}), PanicError);
+}
+
+class LayoutEveryWorkload
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(LayoutEveryWorkload, InvariantsHoldAfterOptimization)
+{
+    const workloads::Workload *w =
+        workloads::findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    Module m = w->build();
+    m.layout();
+    Profile p = Profile::forModule(m);
+    Interpreter interp(m);
+    ASSERT_TRUE(interp.run(500'000'000, &p).ok);
+    opt::runOptimizations(m, opt::OptLevel::Ilp, p);
+
+    for (const Function &fn : m.functions) {
+        // Entry first, ids dense, no dead blocks, every conditional
+        // branch either falls through to the next block or (rarely)
+        // needs an explicit jump the emitter can add.
+        EXPECT_EQ(fn.entryBlock, 0) << fn.name;
+        int fallthrough_ok = 0, fallthrough_other = 0;
+        for (std::size_t i = 0; i < fn.blocks.size(); ++i) {
+            EXPECT_FALSE(fn.blocks[i].dead);
+            EXPECT_EQ(fn.blocks[i].id, static_cast<int>(i));
+            ASSERT_TRUE(fn.blocks[i].hasTerminator()) << fn.name;
+            const Op &t = fn.blocks[i].ops.back();
+            if (t.isBranch()) {
+                if (t.fallBlock == static_cast<int>(i) + 1)
+                    ++fallthrough_ok;
+                else
+                    ++fallthrough_other;
+            }
+        }
+        // Layout should make fall-through overwhelmingly common.
+        if (fallthrough_ok + fallthrough_other > 3)
+            EXPECT_GT(fallthrough_ok, fallthrough_other) << fn.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, LayoutEveryWorkload,
+    ::testing::Values("cmp", "compress", "espresso", "yacc",
+                      "matrix300", "tomcatv"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(Stepping, BudgetedExecutionAccumulates)
+{
+    isa::AsmResult ar = isa::assemble(R"(
+func main:
+  li r1, 1000
+  li r8, 0
+loop:
+  addi r1, r1, -1
+  bgt+ r1, r8, loop
+  halt
+)");
+    ASSERT_TRUE(ar.ok());
+    isa::Program p = ar.program;
+    p.memorySize = 1 << 16;
+    sim::SimConfig cfg;
+    cfg.machine.issueWidth = 1;
+    cfg.rc = core::RcConfig::withoutRc(16, 16);
+    sim::Simulator sim(p, cfg);
+    EXPECT_FALSE(sim.step(10));
+    Cycle after_ten = sim.currentCycle();
+    EXPECT_EQ(after_ten, 10u);
+    EXPECT_FALSE(sim.halted());
+    EXPECT_TRUE(sim.step(1'000'000));
+    EXPECT_TRUE(sim.halted());
+    // Result matches a straight run.
+    sim::Simulator fresh(p, cfg);
+    sim::SimResult r = fresh.run();
+    EXPECT_EQ(r.cycles, sim.result().cycles);
+}
+
+TEST(Stepping, ResetRestartsCleanly)
+{
+    isa::AsmResult ar = isa::assemble(R"(
+func main:
+  li r5, 42
+  halt
+)");
+    ASSERT_TRUE(ar.ok());
+    isa::Program p = ar.program;
+    p.memorySize = 1 << 16;
+    sim::SimConfig cfg;
+    cfg.rc = core::RcConfig::withoutRc(16, 16);
+    sim::Simulator sim(p, cfg);
+    sim.run();
+    EXPECT_EQ(sim.state().readInt(5), 42);
+    sim.reset();
+    EXPECT_FALSE(sim.halted());
+    EXPECT_EQ(sim.state().readInt(5), 0);
+    EXPECT_EQ(sim.currentCycle(), 0u);
+    sim.step(100);
+    EXPECT_EQ(sim.state().readInt(5), 42);
+}
+
+TEST(Stepping, DynamicOriginCountsExposed)
+{
+    // Origin-tagged dynamic counters default to dyn_normal for
+    // hand-written assembly.
+    isa::AsmResult ar = isa::assemble(R"(
+func main:
+  li r5, 1
+  li r6, 2
+  halt
+)");
+    ASSERT_TRUE(ar.ok());
+    isa::Program p = ar.program;
+    p.memorySize = 1 << 16;
+    sim::SimConfig cfg;
+    cfg.rc = core::RcConfig::withoutRc(16, 16);
+    sim::Simulator sim(p, cfg);
+    sim::SimResult r = sim.run();
+    EXPECT_EQ(r.stats.get("dyn_normal"), 3u);
+    EXPECT_EQ(r.stats.get("dyn_connect"), 0u);
+}
+
+} // namespace
+} // namespace rcsim::ir

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Workload tests: every benchmark builds valid IR, interprets to a
+ * stable nonzero checksum, is deterministic, and has the intended
+ * register-pressure character after ILP optimization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/cfg.hh"
+#include "ir/interp.hh"
+#include "ir/liveness.hh"
+#include "ir/verify.hh"
+#include "opt/passes.hh"
+#include "sched/scheduler.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::workloads
+{
+namespace
+{
+
+using namespace rcsim::ir;
+
+class EveryWorkload : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    const Workload &
+    workload() const
+    {
+        const Workload *w = findWorkload(GetParam());
+        EXPECT_NE(w, nullptr);
+        return *w;
+    }
+};
+
+TEST_P(EveryWorkload, BuildsValidIr)
+{
+    Module m = workload().build();
+    auto r = verifyModule(m);
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_FALSE(m.functions.empty());
+    EXPECT_EQ(m.fn(m.entryFunction).name, "main");
+}
+
+TEST_P(EveryWorkload, InterpretsToNonZeroChecksum)
+{
+    Module m = workload().build();
+    m.layout();
+    Interpreter interp(m);
+    ExecResult r = interp.run();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_NE(r.retValue, 0);
+    // Reasonable dynamic size: big enough to measure, small enough
+    // to sweep (see DESIGN.md).
+    EXPECT_GT(r.dynamicOps, 40'000u) << "workload too small";
+    EXPECT_LT(r.dynamicOps, 5'000'000u) << "workload too large";
+}
+
+TEST_P(EveryWorkload, DeterministicAcrossBuilds)
+{
+    Module m1 = workload().build();
+    Module m2 = workload().build();
+    m1.layout();
+    m2.layout();
+    Interpreter i1(m1), i2(m2);
+    ExecResult r1 = i1.run(), r2 = i2.run();
+    ASSERT_TRUE(r1.ok && r2.ok);
+    EXPECT_EQ(r1.retValue, r2.retValue);
+    EXPECT_EQ(r1.dynamicOps, r2.dynamicOps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, EveryWorkload,
+    ::testing::Values("cccp", "cmp", "compress", "eqn", "eqntott",
+                      "espresso", "grep", "lex", "yacc", "matrix300",
+                      "nasa7", "tomcatv"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(Workloads, RegistryComplete)
+{
+    EXPECT_EQ(allWorkloads().size(), 12u);
+    int fp = 0;
+    for (const Workload &w : allWorkloads())
+        if (w.isFp)
+            ++fp;
+    EXPECT_EQ(fp, 3); // matrix300, nasa7, tomcatv
+    EXPECT_EQ(findWorkload("nonesuch"), nullptr);
+}
+
+TEST(Workloads, FpBenchmarksRaiseFpPressure)
+{
+    // After ILP optimization the fp kernels must carry substantial
+    // floating-point pressure — the premise of the paper's fp
+    // experiments.
+    for (const char *name : {"matrix300", "tomcatv"}) {
+        const Workload *w = findWorkload(name);
+        Module m = w->build();
+        m.layout();
+        Profile p = Profile::forModule(m);
+        Interpreter interp(m);
+        ASSERT_TRUE(interp.run(500'000'000, &p).ok);
+        opt::runOptimizations(m, opt::OptLevel::Ilp, p);
+        // Pressure materialises once prepass scheduling overlaps the
+        // renamed copies (the paper's Section 1 observation).
+        sched::MachineModel mm;
+        mm.issueWidth = 8;
+        mm.memChannels = 4;
+        int peak = 0;
+        for (Function &fn : m.functions) {
+            sched::scheduleFunction(fn, mm);
+            Cfg cfg = Cfg::build(fn);
+            Liveness lv = Liveness::compute(fn, cfg);
+            peak = std::max(peak,
+                            lv.maxPressure(fn, RegClass::Fp));
+        }
+        EXPECT_GE(peak, 16) << name;
+    }
+}
+
+TEST(Workloads, IntBenchmarksRaiseIntPressure)
+{
+    for (const char *name : {"espresso", "cmp"}) {
+        const Workload *w = findWorkload(name);
+        Module m = w->build();
+        m.layout();
+        Profile p = Profile::forModule(m);
+        Interpreter interp(m);
+        ASSERT_TRUE(interp.run(500'000'000, &p).ok);
+        opt::runOptimizations(m, opt::OptLevel::Ilp, p);
+        sched::MachineModel mm;
+        mm.issueWidth = 8;
+        mm.memChannels = 4;
+        int peak = 0;
+        for (Function &fn : m.functions) {
+            sched::scheduleFunction(fn, mm);
+            Cfg cfg = Cfg::build(fn);
+            Liveness lv = Liveness::compute(fn, cfg);
+            peak = std::max(peak,
+                            lv.maxPressure(fn, RegClass::Int));
+        }
+        EXPECT_GE(peak, 12) << name;
+    }
+}
+
+TEST(Workloads, ScalarOptimizationKeepsChecksum)
+{
+    for (const Workload &w : allWorkloads()) {
+        Module m = w.build();
+        m.layout();
+        Profile p = Profile::forModule(m);
+        Interpreter i1(m);
+        ExecResult ref = i1.run(500'000'000, &p);
+        ASSERT_TRUE(ref.ok) << w.name;
+        opt::runOptimizations(m, opt::OptLevel::Scalar, p);
+        Interpreter i2(m);
+        ExecResult r = i2.run();
+        ASSERT_TRUE(r.ok) << w.name << ": " << r.error;
+        EXPECT_EQ(r.retValue, ref.retValue) << w.name;
+    }
+}
+
+} // namespace
+} // namespace rcsim::workloads

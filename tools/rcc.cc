@@ -1,0 +1,302 @@
+/**
+ * @file
+ * rcc — the rcsim command-line driver.
+ *
+ * Compile, disassemble, simulate and compare any built-in workload
+ * (or a .s assembly file) under an arbitrary machine / RC
+ * configuration.
+ *
+ *   rcc list
+ *   rcc run <workload|file.s> [options]
+ *   rcc disasm <workload> [options]
+ *   rcc compare <workload> [options]       # with-RC vs without vs unl
+ *
+ * Options:
+ *   --rc | --no-rc        enable/disable the RC extension (default on)
+ *   --core N              core registers of the studied file (16/32)
+ *   --model N             automatic reset model 1-4 (default 3)
+ *   --issue N             issue width 1/2/4/8 (default 4)
+ *   --channels N          memory channels (default per issue width)
+ *   --load-latency N      2 or 4 (default 2)
+ *   --connect-latency N   0 or 1 (default 0)
+ *   --extra-stage         add the RC decode stage (Figure 12)
+ *   --scalar              scalar optimization only
+ *   --stats               dump simulator statistics
+ *   --trace N             print the first N issued instructions
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+
+namespace
+{
+
+using namespace rcsim;
+
+struct Args
+{
+    std::string command;
+    std::string target;
+    bool rc = true;
+    int core = -1; // default chosen by benchmark class
+    int model = 3;
+    int issue = 4;
+    int channels = -1;
+    int loadLatency = 2;
+    int connectLatency = 0;
+    bool extraStage = false;
+    bool scalar = false;
+    bool stats = false;
+    long trace = 0;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: rcc <list|run|disasm|compare> [target] [options]\n"
+        "see the header of tools/rcc.cc for the option list\n");
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, Args &args)
+{
+    if (argc < 2)
+        return false;
+    args.command = argv[1];
+    int i = 2;
+    if (args.command != "list") {
+        if (argc < 3)
+            return false;
+        args.target = argv[2];
+        i = 3;
+    }
+    for (; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (a == "--rc")
+            args.rc = true;
+        else if (a == "--no-rc")
+            args.rc = false;
+        else if (a == "--core" && next())
+            args.core = std::atoi(argv[i]);
+        else if (a == "--model" && next())
+            args.model = std::atoi(argv[i]);
+        else if (a == "--issue" && next())
+            args.issue = std::atoi(argv[i]);
+        else if (a == "--channels" && next())
+            args.channels = std::atoi(argv[i]);
+        else if (a == "--load-latency" && next())
+            args.loadLatency = std::atoi(argv[i]);
+        else if (a == "--connect-latency" && next())
+            args.connectLatency = std::atoi(argv[i]);
+        else if (a == "--extra-stage")
+            args.extraStage = true;
+        else if (a == "--scalar")
+            args.scalar = true;
+        else if (a == "--stats")
+            args.stats = true;
+        else if (a == "--trace" && next())
+            args.trace = std::atol(argv[i]);
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+harness::CompileOptions
+optionsFor(const Args &args, bool is_fp)
+{
+    harness::CompileOptions o;
+    o.level = args.scalar ? opt::OptLevel::Scalar
+                          : opt::OptLevel::Ilp;
+    int core = args.core > 0 ? args.core : (is_fp ? 32 : 16);
+    if (args.rc)
+        o.rc = harness::rcConfigFor(
+            is_fp, core, static_cast<core::RcModel>(args.model));
+    else
+        o.rc = harness::baseConfigFor(is_fp, core);
+    o.rc.connectLatency = args.connectLatency;
+    o.rc.extraPipeStage = args.extraStage;
+    o.machine =
+        harness::Experiment::machineFor(args.issue,
+                                        args.loadLatency);
+    o.machine.lat.connectLatency = args.connectLatency;
+    if (args.channels > 0)
+        o.machine.memChannels = args.channels;
+    return o;
+}
+
+int
+runAssemblyFile(const Args &args)
+{
+    std::ifstream in(args.target);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n",
+                     args.target.c_str());
+        return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    isa::AsmResult ar = isa::assemble(ss.str());
+    if (!ar.ok()) {
+        std::fprintf(stderr, "assembly error: %s\n",
+                     ar.error.c_str());
+        return 1;
+    }
+    isa::Program prog = ar.program;
+    prog.memorySize = 1 << 20;
+
+    sim::SimConfig cfg;
+    cfg.machine =
+        harness::Experiment::machineFor(args.issue,
+                                        args.loadLatency);
+    cfg.machine.lat.connectLatency = args.connectLatency;
+    if (args.channels > 0)
+        cfg.machine.memChannels = args.channels;
+    int core = args.core > 0 ? args.core : 32;
+    cfg.rc = args.rc
+                 ? core::RcConfig::withRc(
+                       core, core,
+                       static_cast<core::RcModel>(args.model))
+                 : core::RcConfig::withoutRc(core, core);
+    cfg.rc.extraPipeStage = args.extraStage;
+
+    sim::Simulator sim(prog, cfg);
+    sim::SimResult res = sim.run();
+    if (!res.ok) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     res.error.c_str());
+        return 1;
+    }
+    std::printf("%llu cycles, %llu instructions (IPC %.2f)\n",
+                (unsigned long long)res.cycles,
+                (unsigned long long)res.instructions,
+                static_cast<double>(res.instructions) /
+                    static_cast<double>(res.cycles));
+    if (args.stats)
+        std::fputs(res.stats.format().c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, args))
+        return usage();
+    setQuiet(!args.stats);
+
+    if (args.command == "list") {
+        for (const auto &w : workloads::allWorkloads())
+            std::printf("%-10s (%s)\n", w.name.c_str(),
+                        w.isFp ? "floating point" : "integer");
+        return 0;
+    }
+
+    if (args.target.size() > 2 &&
+        args.target.substr(args.target.size() - 2) == ".s") {
+        if (args.command != "run") {
+            std::fprintf(stderr,
+                         "assembly files support 'run' only\n");
+            return 2;
+        }
+        return runAssemblyFile(args);
+    }
+
+    const workloads::Workload *w =
+        workloads::findWorkload(args.target);
+    if (!w) {
+        std::fprintf(stderr,
+                     "unknown workload '%s' (try 'rcc list')\n",
+                     args.target.c_str());
+        return 1;
+    }
+
+    try {
+        if (args.command == "disasm") {
+            harness::CompiledProgram cp =
+                harness::compileWorkload(*w, optionsFor(args,
+                                                        w->isFp));
+            std::fputs(cp.program.disassemble().c_str(), stdout);
+            std::fprintf(stderr,
+                         "# %llu instructions, %llu connects, "
+                         "%llu spill ops\n",
+                         (unsigned long long)cp.staticSize,
+                         (unsigned long long)cp.connectOps,
+                         (unsigned long long)cp.spillOps);
+            return 0;
+        }
+
+        if (args.command == "run") {
+            harness::CompileOptions o = optionsFor(args, w->isFp);
+            harness::CompiledProgram cp =
+                harness::compileWorkload(*w, o);
+            sim::SimConfig sc;
+            sc.machine = o.machine;
+            sc.rc = o.rc;
+            sc.traceLimit = static_cast<Count>(args.trace);
+            sim::Simulator sim(cp.program, sc);
+            sim::SimResult res = sim.run();
+            if (!res.ok) {
+                std::fprintf(stderr, "simulation failed: %s\n",
+                             res.error.c_str());
+                return 1;
+            }
+            if (args.trace > 0)
+                std::fputs(sim.trace().c_str(), stdout);
+            bool verified =
+                sim.state().loadWord(cp.resultAddr) == cp.golden;
+            std::printf("%s: %llu cycles, %llu instructions "
+                        "(IPC %.2f), checksum %d [%s]\n",
+                        w->name.c_str(),
+                        (unsigned long long)res.cycles,
+                        (unsigned long long)res.instructions,
+                        static_cast<double>(res.instructions) /
+                            static_cast<double>(res.cycles),
+                        sim.state().loadWord(cp.resultAddr),
+                        verified ? "verified" : "MISMATCH");
+            if (args.stats)
+                std::fputs(res.stats.format().c_str(), stdout);
+            return verified ? 0 : 1;
+        }
+
+        if (args.command == "compare") {
+            harness::Experiment exp;
+            Args base_args = args;
+            base_args.rc = false;
+            Args rc_args = args;
+            rc_args.rc = true;
+            double sb =
+                exp.speedup(*w, optionsFor(base_args, w->isFp));
+            double sr = exp.speedup(*w, optionsFor(rc_args, w->isFp));
+            harness::CompileOptions unl = optionsFor(args, w->isFp);
+            unl.rc = core::RcConfig::unlimited();
+            double su = exp.speedup(*w, unl);
+            std::printf("%s @ %d-issue: without RC %.2fx, with RC "
+                        "%.2fx, unlimited %.2fx\n",
+                        w->name.c_str(), args.issue, sb, sr, su);
+            return 0;
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
