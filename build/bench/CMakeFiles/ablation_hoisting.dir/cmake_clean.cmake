@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hoisting.dir/ablation_hoisting.cc.o"
+  "CMakeFiles/ablation_hoisting.dir/ablation_hoisting.cc.o.d"
+  "ablation_hoisting"
+  "ablation_hoisting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hoisting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

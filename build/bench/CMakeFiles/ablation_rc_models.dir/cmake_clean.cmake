@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rc_models.dir/ablation_rc_models.cc.o"
+  "CMakeFiles/ablation_rc_models.dir/ablation_rc_models.cc.o.d"
+  "ablation_rc_models"
+  "ablation_rc_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rc_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

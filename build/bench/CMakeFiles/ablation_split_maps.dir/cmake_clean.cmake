@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_maps.dir/ablation_split_maps.cc.o"
+  "CMakeFiles/ablation_split_maps.dir/ablation_split_maps.cc.o.d"
+  "ablation_split_maps"
+  "ablation_split_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_dynamic_overhead.dir/extension_dynamic_overhead.cc.o"
+  "CMakeFiles/extension_dynamic_overhead.dir/extension_dynamic_overhead.cc.o.d"
+  "extension_dynamic_overhead"
+  "extension_dynamic_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_dynamic_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_future_ilp.dir/extension_future_ilp.cc.o"
+  "CMakeFiles/extension_future_ilp.dir/extension_future_ilp.cc.o.d"
+  "extension_future_ilp"
+  "extension_future_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_future_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_issue_2cyc.dir/fig10_issue_2cyc.cc.o"
+  "CMakeFiles/fig10_issue_2cyc.dir/fig10_issue_2cyc.cc.o.d"
+  "fig10_issue_2cyc"
+  "fig10_issue_2cyc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_issue_2cyc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_issue_4cyc.dir/fig11_issue_4cyc.cc.o"
+  "CMakeFiles/fig11_issue_4cyc.dir/fig11_issue_4cyc.cc.o.d"
+  "fig11_issue_4cyc"
+  "fig11_issue_4cyc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_issue_4cyc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_impl.dir/fig12_impl.cc.o"
+  "CMakeFiles/fig12_impl.dir/fig12_impl.cc.o.d"
+  "fig12_impl"
+  "fig12_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mem_channels.dir/fig13_mem_channels.cc.o"
+  "CMakeFiles/fig13_mem_channels.dir/fig13_mem_channels.cc.o.d"
+  "fig13_mem_channels"
+  "fig13_mem_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mem_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

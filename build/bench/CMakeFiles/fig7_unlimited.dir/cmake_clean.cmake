@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_unlimited.dir/fig7_unlimited.cc.o"
+  "CMakeFiles/fig7_unlimited.dir/fig7_unlimited.cc.o.d"
+  "fig7_unlimited"
+  "fig7_unlimited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_unlimited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_core_regs.dir/fig8_core_regs.cc.o"
+  "CMakeFiles/fig8_core_regs.dir/fig8_core_regs.cc.o.d"
+  "fig8_core_regs"
+  "fig8_core_regs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_core_regs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_code_size.dir/fig9_code_size.cc.o"
+  "CMakeFiles/fig9_code_size.dir/fig9_code_size.cc.o.d"
+  "fig9_code_size"
+  "fig9_code_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_code_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/rcsim_bench_common.dir/bench_common.cc.o.d"
+  "librcsim_bench_common.a"
+  "librcsim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

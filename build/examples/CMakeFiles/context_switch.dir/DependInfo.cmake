@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/context_switch.cpp" "examples/CMakeFiles/context_switch.dir/context_switch.cpp.o" "gcc" "examples/CMakeFiles/context_switch.dir/context_switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rcsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rcsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/rcsim_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/rcsim_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/rcsim_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rcsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rcsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rcsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rcsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rcsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

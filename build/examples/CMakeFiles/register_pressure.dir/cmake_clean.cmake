@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_pressure.dir/register_pressure.cpp.o"
+  "CMakeFiles/register_pressure.dir/register_pressure.cpp.o.d"
+  "register_pressure"
+  "register_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

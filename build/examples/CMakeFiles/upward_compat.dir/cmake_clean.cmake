@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upward_compat.dir/upward_compat.cpp.o"
+  "CMakeFiles/upward_compat.dir/upward_compat.cpp.o.d"
+  "upward_compat"
+  "upward_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upward_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  FAIL_REGULAR_EXPRESSION "MISMATCH|FAILED" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart_compress "/root/repo/build/examples/quickstart" "compress")
+set_tests_properties(example_quickstart_compress PROPERTIES  FAIL_REGULAR_EXPRESSION "MISMATCH|FAILED" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_register_pressure "/root/repo/build/examples/register_pressure")
+set_tests_properties(example_register_pressure PROPERTIES  FAIL_REGULAR_EXPRESSION "MISMATCH|FAILED" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_context_switch "/root/repo/build/examples/context_switch")
+set_tests_properties(example_context_switch PROPERTIES  FAIL_REGULAR_EXPRESSION "MISMATCH|FAILED" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_upward_compat "/root/repo/build/examples/upward_compat")
+set_tests_properties(example_upward_compat PROPERTIES  FAIL_REGULAR_EXPRESSION "MISMATCH|FAILED" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")

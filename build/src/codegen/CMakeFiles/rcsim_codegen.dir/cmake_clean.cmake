@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_codegen.dir/emit.cc.o"
+  "CMakeFiles/rcsim_codegen.dir/emit.cc.o.d"
+  "CMakeFiles/rcsim_codegen.dir/frames.cc.o"
+  "CMakeFiles/rcsim_codegen.dir/frames.cc.o.d"
+  "CMakeFiles/rcsim_codegen.dir/lower.cc.o"
+  "CMakeFiles/rcsim_codegen.dir/lower.cc.o.d"
+  "librcsim_codegen.a"
+  "librcsim_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mapping_table.cc" "src/core/CMakeFiles/rcsim_core.dir/mapping_table.cc.o" "gcc" "src/core/CMakeFiles/rcsim_core.dir/mapping_table.cc.o.d"
+  "/root/repo/src/core/rc_config.cc" "src/core/CMakeFiles/rcsim_core.dir/rc_config.cc.o" "gcc" "src/core/CMakeFiles/rcsim_core.dir/rc_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rcsim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rcsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_core.dir/mapping_table.cc.o"
+  "CMakeFiles/rcsim_core.dir/mapping_table.cc.o.d"
+  "CMakeFiles/rcsim_core.dir/rc_config.cc.o"
+  "CMakeFiles/rcsim_core.dir/rc_config.cc.o.d"
+  "librcsim_core.a"
+  "librcsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_harness.dir/experiment.cc.o"
+  "CMakeFiles/rcsim_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/rcsim_harness.dir/pipeline.cc.o"
+  "CMakeFiles/rcsim_harness.dir/pipeline.cc.o.d"
+  "librcsim_harness.a"
+  "librcsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/rcsim_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/rcsim_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/cfg.cc" "src/ir/CMakeFiles/rcsim_ir.dir/cfg.cc.o" "gcc" "src/ir/CMakeFiles/rcsim_ir.dir/cfg.cc.o.d"
+  "/root/repo/src/ir/function.cc" "src/ir/CMakeFiles/rcsim_ir.dir/function.cc.o" "gcc" "src/ir/CMakeFiles/rcsim_ir.dir/function.cc.o.d"
+  "/root/repo/src/ir/interp.cc" "src/ir/CMakeFiles/rcsim_ir.dir/interp.cc.o" "gcc" "src/ir/CMakeFiles/rcsim_ir.dir/interp.cc.o.d"
+  "/root/repo/src/ir/liveness.cc" "src/ir/CMakeFiles/rcsim_ir.dir/liveness.cc.o" "gcc" "src/ir/CMakeFiles/rcsim_ir.dir/liveness.cc.o.d"
+  "/root/repo/src/ir/opc.cc" "src/ir/CMakeFiles/rcsim_ir.dir/opc.cc.o" "gcc" "src/ir/CMakeFiles/rcsim_ir.dir/opc.cc.o.d"
+  "/root/repo/src/ir/transform.cc" "src/ir/CMakeFiles/rcsim_ir.dir/transform.cc.o" "gcc" "src/ir/CMakeFiles/rcsim_ir.dir/transform.cc.o.d"
+  "/root/repo/src/ir/verify.cc" "src/ir/CMakeFiles/rcsim_ir.dir/verify.cc.o" "gcc" "src/ir/CMakeFiles/rcsim_ir.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rcsim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rcsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

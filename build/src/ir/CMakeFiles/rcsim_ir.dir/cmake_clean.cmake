@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_ir.dir/builder.cc.o"
+  "CMakeFiles/rcsim_ir.dir/builder.cc.o.d"
+  "CMakeFiles/rcsim_ir.dir/cfg.cc.o"
+  "CMakeFiles/rcsim_ir.dir/cfg.cc.o.d"
+  "CMakeFiles/rcsim_ir.dir/function.cc.o"
+  "CMakeFiles/rcsim_ir.dir/function.cc.o.d"
+  "CMakeFiles/rcsim_ir.dir/interp.cc.o"
+  "CMakeFiles/rcsim_ir.dir/interp.cc.o.d"
+  "CMakeFiles/rcsim_ir.dir/liveness.cc.o"
+  "CMakeFiles/rcsim_ir.dir/liveness.cc.o.d"
+  "CMakeFiles/rcsim_ir.dir/opc.cc.o"
+  "CMakeFiles/rcsim_ir.dir/opc.cc.o.d"
+  "CMakeFiles/rcsim_ir.dir/transform.cc.o"
+  "CMakeFiles/rcsim_ir.dir/transform.cc.o.d"
+  "CMakeFiles/rcsim_ir.dir/verify.cc.o"
+  "CMakeFiles/rcsim_ir.dir/verify.cc.o.d"
+  "librcsim_ir.a"
+  "librcsim_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_isa.dir/assembler.cc.o"
+  "CMakeFiles/rcsim_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/rcsim_isa.dir/encoding.cc.o"
+  "CMakeFiles/rcsim_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/rcsim_isa.dir/instruction.cc.o"
+  "CMakeFiles/rcsim_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/rcsim_isa.dir/opcode.cc.o"
+  "CMakeFiles/rcsim_isa.dir/opcode.cc.o.d"
+  "librcsim_isa.a"
+  "librcsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_opt.dir/copyprop.cc.o"
+  "CMakeFiles/rcsim_opt.dir/copyprop.cc.o.d"
+  "CMakeFiles/rcsim_opt.dir/dce.cc.o"
+  "CMakeFiles/rcsim_opt.dir/dce.cc.o.d"
+  "CMakeFiles/rcsim_opt.dir/passes.cc.o"
+  "CMakeFiles/rcsim_opt.dir/passes.cc.o.d"
+  "CMakeFiles/rcsim_opt.dir/unroll.cc.o"
+  "CMakeFiles/rcsim_opt.dir/unroll.cc.o.d"
+  "librcsim_opt.a"
+  "librcsim_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

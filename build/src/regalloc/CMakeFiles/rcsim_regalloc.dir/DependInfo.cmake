@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regalloc/allocator.cc" "src/regalloc/CMakeFiles/rcsim_regalloc.dir/allocator.cc.o" "gcc" "src/regalloc/CMakeFiles/rcsim_regalloc.dir/allocator.cc.o.d"
+  "/root/repo/src/regalloc/connect.cc" "src/regalloc/CMakeFiles/rcsim_regalloc.dir/connect.cc.o" "gcc" "src/regalloc/CMakeFiles/rcsim_regalloc.dir/connect.cc.o.d"
+  "/root/repo/src/regalloc/rewrite.cc" "src/regalloc/CMakeFiles/rcsim_regalloc.dir/rewrite.cc.o" "gcc" "src/regalloc/CMakeFiles/rcsim_regalloc.dir/rewrite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/rcsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rcsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rcsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rcsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_regalloc.dir/allocator.cc.o"
+  "CMakeFiles/rcsim_regalloc.dir/allocator.cc.o.d"
+  "CMakeFiles/rcsim_regalloc.dir/connect.cc.o"
+  "CMakeFiles/rcsim_regalloc.dir/connect.cc.o.d"
+  "CMakeFiles/rcsim_regalloc.dir/rewrite.cc.o"
+  "CMakeFiles/rcsim_regalloc.dir/rewrite.cc.o.d"
+  "librcsim_regalloc.a"
+  "librcsim_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_sched.dir/scheduler.cc.o"
+  "CMakeFiles/rcsim_sched.dir/scheduler.cc.o.d"
+  "librcsim_sched.a"
+  "librcsim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/machine_state.cc" "src/sim/CMakeFiles/rcsim_sim.dir/machine_state.cc.o" "gcc" "src/sim/CMakeFiles/rcsim_sim.dir/machine_state.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/rcsim_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/rcsim_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rcsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rcsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rcsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rcsim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rcsim_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_sim.dir/machine_state.cc.o"
+  "CMakeFiles/rcsim_sim.dir/machine_state.cc.o.d"
+  "CMakeFiles/rcsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/rcsim_sim.dir/simulator.cc.o.d"
+  "librcsim_sim.a"
+  "librcsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_support.dir/logging.cc.o"
+  "CMakeFiles/rcsim_support.dir/logging.cc.o.d"
+  "CMakeFiles/rcsim_support.dir/stats.cc.o"
+  "CMakeFiles/rcsim_support.dir/stats.cc.o.d"
+  "CMakeFiles/rcsim_support.dir/table.cc.o"
+  "CMakeFiles/rcsim_support.dir/table.cc.o.d"
+  "librcsim_support.a"
+  "librcsim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

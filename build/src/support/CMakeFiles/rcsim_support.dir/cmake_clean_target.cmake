@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librcsim_support.a"
+)

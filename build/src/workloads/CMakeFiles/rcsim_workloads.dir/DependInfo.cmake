@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cccp.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/cccp.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/cccp.cc.o.d"
+  "/root/repo/src/workloads/cmp.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/cmp.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/cmp.cc.o.d"
+  "/root/repo/src/workloads/common.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/common.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/common.cc.o.d"
+  "/root/repo/src/workloads/compress.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/compress.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/compress.cc.o.d"
+  "/root/repo/src/workloads/eqn.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/eqn.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/eqn.cc.o.d"
+  "/root/repo/src/workloads/eqntott.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/eqntott.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/eqntott.cc.o.d"
+  "/root/repo/src/workloads/espresso.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/espresso.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/espresso.cc.o.d"
+  "/root/repo/src/workloads/grep.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/grep.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/grep.cc.o.d"
+  "/root/repo/src/workloads/lex.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/lex.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/lex.cc.o.d"
+  "/root/repo/src/workloads/matrix300.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/matrix300.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/matrix300.cc.o.d"
+  "/root/repo/src/workloads/nasa7.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/nasa7.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/nasa7.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/tomcatv.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/tomcatv.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/tomcatv.cc.o.d"
+  "/root/repo/src/workloads/yacc.cc" "src/workloads/CMakeFiles/rcsim_workloads.dir/yacc.cc.o" "gcc" "src/workloads/CMakeFiles/rcsim_workloads.dir/yacc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/rcsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rcsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rcsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcsim_workloads.dir/cccp.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/cccp.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/cmp.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/cmp.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/common.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/common.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/compress.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/compress.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/eqn.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/eqn.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/eqntott.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/eqntott.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/espresso.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/espresso.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/grep.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/grep.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/lex.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/lex.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/matrix300.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/matrix300.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/nasa7.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/nasa7.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/registry.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/tomcatv.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/tomcatv.cc.o.d"
+  "CMakeFiles/rcsim_workloads.dir/yacc.cc.o"
+  "CMakeFiles/rcsim_workloads.dir/yacc.cc.o.d"
+  "librcsim_workloads.a"
+  "librcsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/rcsim_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_cfg.cc" "tests/CMakeFiles/rcsim_tests.dir/test_cfg.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_cfg.cc.o.d"
+  "/root/repo/tests/test_codegen.cc" "tests/CMakeFiles/rcsim_tests.dir/test_codegen.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_codegen.cc.o.d"
+  "/root/repo/tests/test_connect.cc" "tests/CMakeFiles/rcsim_tests.dir/test_connect.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_connect.cc.o.d"
+  "/root/repo/tests/test_encoding.cc" "tests/CMakeFiles/rcsim_tests.dir/test_encoding.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_encoding.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/rcsim_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/rcsim_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_interp.cc" "tests/CMakeFiles/rcsim_tests.dir/test_interp.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_interp.cc.o.d"
+  "/root/repo/tests/test_invariants.cc" "tests/CMakeFiles/rcsim_tests.dir/test_invariants.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_invariants.cc.o.d"
+  "/root/repo/tests/test_ir.cc" "tests/CMakeFiles/rcsim_tests.dir/test_ir.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_ir.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/rcsim_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_liveness.cc" "tests/CMakeFiles/rcsim_tests.dir/test_liveness.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_liveness.cc.o.d"
+  "/root/repo/tests/test_mapping_table.cc" "tests/CMakeFiles/rcsim_tests.dir/test_mapping_table.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_mapping_table.cc.o.d"
+  "/root/repo/tests/test_opt.cc" "tests/CMakeFiles/rcsim_tests.dir/test_opt.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_opt.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/rcsim_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_regalloc.cc" "tests/CMakeFiles/rcsim_tests.dir/test_regalloc.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_regalloc.cc.o.d"
+  "/root/repo/tests/test_sched.cc" "tests/CMakeFiles/rcsim_tests.dir/test_sched.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_sched.cc.o.d"
+  "/root/repo/tests/test_sim_arch.cc" "tests/CMakeFiles/rcsim_tests.dir/test_sim_arch.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_sim_arch.cc.o.d"
+  "/root/repo/tests/test_sim_timing.cc" "tests/CMakeFiles/rcsim_tests.dir/test_sim_timing.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_sim_timing.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/rcsim_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_transform.cc" "tests/CMakeFiles/rcsim_tests.dir/test_transform.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_transform.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/rcsim_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/rcsim_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rcsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rcsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/rcsim_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/rcsim_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/rcsim_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rcsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rcsim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rcsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rcsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rcsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

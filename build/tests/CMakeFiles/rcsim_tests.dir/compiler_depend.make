@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rcsim_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc.dir/rcc.cc.o"
+  "CMakeFiles/rcc.dir/rcc.cc.o.d"
+  "rcc"
+  "rcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
