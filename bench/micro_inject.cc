@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the fault-injection
+ * subsystem: the cost of the probe hooks on the simulator hot path.
+ *
+ * The design goal is that a disabled probe (the default null pointer)
+ * leaves the hot path untouched, and that recording or checking the
+ * commit stream costs little enough to run 50-seed campaigns
+ * interactively.  BM_Simulator{NoProbe,Recorder,Checker} measure the
+ * same tight loop under the three probe regimes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "inject/oracle.hh"
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+
+namespace
+{
+
+using namespace rcsim;
+
+isa::Program
+loopProgram()
+{
+    isa::AsmResult r = isa::assemble(R"(
+func main:
+  li r1, 100000
+  li r2, 0
+  li r3, 0
+  li r8, 0
+loop:
+  addi r2, r2, 3
+  xor  r3, r3, r2
+  addi r1, r1, -1
+  bgt+ r1, r8, loop
+  sw   r3, r0, 0
+  halt
+)");
+    if (!r.ok())
+        fatal("bench program failed to assemble: ", r.error);
+    isa::Program p = r.program;
+    p.memorySize = 1 << 16;
+    return p;
+}
+
+sim::SimConfig
+cfg()
+{
+    sim::SimConfig c;
+    c.machine.issueWidth = 4;
+    c.machine.memChannels = 2;
+    c.rc = core::RcConfig::withRc(16, 16);
+    return c;
+}
+
+void
+runWith(benchmark::State &state, sim::SimProbe *probe)
+{
+    isa::Program p = loopProgram();
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        sim::Simulator sim(p, cfg());
+        if (probe)
+            sim.attachProbe(probe);
+        sim::SimResult r = sim.run();
+        if (!r.ok)
+            fatal("bench run failed: ", r.error);
+        cycles += r.cycles;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+/** Baseline: no probe attached — the hot path's null-check only. */
+void
+BM_SimulatorNoProbe(benchmark::State &state)
+{
+    runWith(state, nullptr);
+}
+BENCHMARK(BM_SimulatorNoProbe)->Unit(benchmark::kMillisecond);
+
+/** Golden-run regime: every committed effect is appended to a log. */
+void
+BM_SimulatorRecorder(benchmark::State &state)
+{
+    inject::CommitRecorder rec;
+    runWith(state, &rec);
+}
+BENCHMARK(BM_SimulatorRecorder)->Unit(benchmark::kMillisecond);
+
+/** Checked-run regime: every effect compared against a golden log. */
+void
+BM_SimulatorChecker(benchmark::State &state)
+{
+    isa::Program p = loopProgram();
+    sim::Simulator golden(p, cfg());
+    inject::CommitRecorder rec;
+    golden.attachProbe(&rec);
+    if (!golden.run().ok)
+        fatal("bench golden run failed");
+
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        sim::Simulator sim(p, cfg());
+        inject::DivergenceChecker chk(rec.log(), p);
+        sim.attachProbe(&chk);
+        sim::SimResult r = sim.run();
+        if (!r.ok || chk.finish().diverged)
+            fatal("bench checked run diverged");
+        cycles += r.cycles;
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorChecker)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

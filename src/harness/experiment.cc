@@ -5,33 +5,90 @@
 namespace rcsim::harness
 {
 
+const char *
+toString(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok:
+        return "ok";
+      case RunStatus::WrongResult:
+        return "wrong-result";
+      case RunStatus::CycleLimit:
+        return "cycle-limit";
+      case RunStatus::PanicFailure:
+        return "panic";
+      case RunStatus::FatalFailure:
+        return "fatal";
+    }
+    return "unknown";
+}
+
 RunOutcome
 runConfiguration(const workloads::Workload &workload,
-                 const CompileOptions &opts, bool keep_program)
+                 const CompileOptions &opts, bool keep_program,
+                 Cycle max_cycles)
 {
     CompiledProgram compiled = compileWorkload(workload, opts);
 
     sim::SimConfig sc;
     sc.machine = opts.machine;
     sc.rc = opts.rc;
+    if (max_cycles > 0)
+        sc.maxCycles = max_cycles;
     sim::Simulator simulator(compiled.program, sc);
     sim::SimResult res = simulator.run();
-    if (!res.ok)
-        panic("simulation of '", workload.name, "' (",
-              opts.rc.toString(), ", ", opts.machine.issueWidth,
-              "-issue) failed: ", res.error);
 
     RunOutcome out;
     out.cycles = res.cycles;
     out.instructions = res.instructions;
+    if (!res.ok) {
+        if (res.reason != sim::StopReason::CycleLimit)
+            panic("simulation of '", workload.name, "' (",
+                  opts.rc.toString(), ", ", opts.machine.issueWidth,
+                  "-issue) failed: ", res.error);
+        out.status = RunStatus::CycleLimit;
+        out.error = res.error;
+        if (!keep_program)
+            compiled.program = isa::Program{};
+        out.compiled = std::move(compiled);
+        return out;
+    }
+
     out.result =
         simulator.state().loadWord(compiled.resultAddr);
     out.golden = compiled.golden;
     out.verified = out.result == out.golden;
+    out.status =
+        out.verified ? RunStatus::Ok : RunStatus::WrongResult;
+    if (!out.verified)
+        out.error = "checksum mismatch: got " +
+                    std::to_string(out.result) + ", expected " +
+                    std::to_string(out.golden);
     if (!keep_program)
         compiled.program = isa::Program{};
     out.compiled = std::move(compiled);
     return out;
+}
+
+RunOutcome
+runConfigurationGuarded(const workloads::Workload &workload,
+                        const CompileOptions &opts,
+                        bool keep_program, Cycle max_cycles)
+{
+    try {
+        return runConfiguration(workload, opts, keep_program,
+                                max_cycles);
+    } catch (const PanicError &e) {
+        RunOutcome out;
+        out.status = RunStatus::PanicFailure;
+        out.error = e.what();
+        return out;
+    } catch (const FatalError &e) {
+        RunOutcome out;
+        out.status = RunStatus::FatalFailure;
+        out.error = e.what();
+        return out;
+    }
 }
 
 sched::MachineModel

@@ -10,6 +10,7 @@
 #ifndef RCSIM_HARNESS_EXPERIMENT_HH
 #define RCSIM_HARNESS_EXPERIMENT_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -19,9 +20,23 @@
 namespace rcsim::harness
 {
 
+/** Machine-readable status of one configuration run. */
+enum class RunStatus : std::uint8_t
+{
+    Ok,          // simulated to completion, result verified
+    WrongResult, // completed but result != interpreter golden
+    CycleLimit,  // SimConfig::maxCycles exhausted (possible hang)
+    PanicFailure, // a PanicError escaped compile or simulation
+    FatalFailure, // a FatalError escaped compile or simulation
+};
+
+const char *toString(RunStatus status);
+
 /** One configuration's measured outcome. */
 struct RunOutcome
 {
+    RunStatus status = RunStatus::PanicFailure;
+    std::string error;     // failure detail (empty when Ok)
     Cycle cycles = 0;
     Count instructions = 0;
     bool verified = false; // simulated result == interpreter golden
@@ -29,12 +44,32 @@ struct RunOutcome
     Word golden = 0;
     CompiledProgram compiled; // sizes etc. (program cleared to save
                               // memory when keep_program is false)
+
+    bool failed() const { return status != RunStatus::Ok; }
 };
 
-/** Compile and simulate one configuration. */
+/**
+ * Compile and simulate one configuration.
+ *
+ * A cycle-limit exhaustion (@p max_cycles, 0 = simulator default) is
+ * returned as RunStatus::CycleLimit; any other simulation error still
+ * panics (it indicates an rcsim bug, not a property of the
+ * configuration).
+ */
 RunOutcome runConfiguration(const workloads::Workload &workload,
                             const CompileOptions &opts,
-                            bool keep_program = false);
+                            bool keep_program = false,
+                            Cycle max_cycles = 0);
+
+/**
+ * runConfiguration() with graceful degradation: PanicError and
+ * FatalError escaping the compile + simulate path are converted into
+ * a failed RunOutcome instead of aborting the caller's sweep.
+ */
+RunOutcome runConfigurationGuarded(const workloads::Workload &workload,
+                                   const CompileOptions &opts,
+                                   bool keep_program = false,
+                                   Cycle max_cycles = 0);
 
 /**
  * Caches baseline cycle counts and runs experiment sweeps.  Any

@@ -1,0 +1,354 @@
+#include "inject/campaign.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#include "inject/injector.hh"
+#include "support/logging.hh"
+
+namespace rcsim::inject
+{
+
+const char *
+toString(FaultOutcome outcome)
+{
+    switch (outcome) {
+      case FaultOutcome::Masked:
+        return "masked";
+      case FaultOutcome::Detected:
+        return "detected";
+      case FaultOutcome::Sdc:
+        return "sdc";
+      case FaultOutcome::Hang:
+        return "hang";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Escape a string for a JSON literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonStr(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+/** One faulted replay of an already-compiled program. */
+FaultRunRecord
+runOneFault(const harness::CompiledProgram &compiled,
+            const sim::SimConfig &base_cfg,
+            const std::vector<sim::CommitEffect> &golden_log,
+            Cycle hang_limit, double wall_clock_secs,
+            std::uint64_t seed, const Fault &fault)
+{
+    FaultRunRecord rec;
+    rec.seed = seed;
+    rec.fault = fault;
+
+    // Instruction faults mutate the code, so every run gets its own
+    // copy of the program.
+    isa::Program program = compiled.program;
+
+    sim::SimConfig cfg = base_cfg;
+    cfg.maxCycles = hang_limit;
+
+    sim::Simulator simulator(program, cfg);
+    FaultInjector injector(program, fault);
+    DivergenceChecker checker(golden_log, program);
+    sim::ProbeChain chain;
+    chain.add(&injector);
+    chain.add(&checker);
+    simulator.attachProbe(&chain);
+
+    auto start = std::chrono::steady_clock::now();
+    bool wall_hang = false;
+    bool errored = false;
+    std::string error;
+    ScopedQuietErrors hush; // detections are expected, not noise
+    try {
+        // Step in slices so the wall-clock watchdog can fire even
+        // when the cycle budget is generous.
+        const Cycle slice = 1'000'000;
+        while (!simulator.step(slice)) {
+            if (simulator.currentCycle() >= hang_limit)
+                break;
+            if (wall_clock_secs > 0) {
+                std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - start;
+                if (elapsed.count() > wall_clock_secs) {
+                    wall_hang = true;
+                    break;
+                }
+            }
+        }
+    } catch (const std::exception &e) {
+        // A model assertion tripping over injected corruption is a
+        // detection, the same class as an illegal-instruction fault.
+        errored = true;
+        error = e.what();
+    }
+
+    rec.cycles = simulator.currentCycle();
+    rec.divergence = checker.finish();
+    rec.diverged = rec.divergence.diverged;
+
+    if (errored) {
+        rec.outcome = FaultOutcome::Detected;
+        rec.detail = error;
+        return rec;
+    }
+    if (wall_hang) {
+        rec.outcome = FaultOutcome::Hang;
+        rec.detail = "wall-clock watchdog";
+        return rec;
+    }
+    if (!simulator.halted()) {
+        rec.outcome = FaultOutcome::Hang;
+        rec.detail = "cycle limit (" + std::to_string(hang_limit) +
+                     ") exceeded";
+        return rec;
+    }
+
+    sim::SimResult res = simulator.result();
+    if (!res.ok) {
+        rec.outcome = FaultOutcome::Detected;
+        rec.detail = res.error;
+        return rec;
+    }
+
+    Word result = simulator.state().loadWord(compiled.resultAddr);
+    if (result == compiled.golden) {
+        rec.outcome = FaultOutcome::Masked;
+        rec.detail = injector.applied() ? injector.note()
+                                        : "fault never triggered";
+    } else {
+        rec.outcome = FaultOutcome::Sdc;
+        rec.detail = "checksum " + std::to_string(result) +
+                     ", expected " + std::to_string(compiled.golden);
+    }
+    return rec;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignConfig &cfg)
+{
+    CampaignResult result;
+    result.workload = cfg.workload;
+    result.label = cfg.label;
+    result.seedBase = cfg.seedBase;
+
+    const workloads::Workload *w =
+        workloads::findWorkload(cfg.workload);
+    if (!w)
+        fatal("unknown workload '", cfg.workload, "'");
+    if (cfg.targets.empty())
+        fatal("campaign has no fault targets");
+
+    result.rcDesc = cfg.opts.rc.toString();
+
+    // Compile once; keep the program for the faulted replays.
+    harness::CompiledProgram compiled =
+        harness::compileWorkload(*w, cfg.opts);
+
+    // Golden run: record the commit stream and verify the final
+    // checksum against the reference interpreter's golden value.
+    sim::SimConfig sc;
+    sc.machine = cfg.opts.machine;
+    sc.rc = cfg.opts.rc;
+    sim::Simulator golden_sim(compiled.program, sc);
+    CommitRecorder recorder;
+    golden_sim.attachProbe(&recorder);
+    sim::SimResult golden_res = golden_sim.run();
+    if (!golden_res.ok)
+        panic("golden run of '", cfg.workload,
+              "' failed: ", golden_res.error);
+    if (golden_sim.state().loadWord(compiled.resultAddr) !=
+        compiled.golden)
+        panic("golden run of '", cfg.workload,
+              "' does not match the interpreter checksum");
+    if (recorder.truncated())
+        warn("golden commit log of '", cfg.workload,
+             "' truncated; divergence localization is partial");
+
+    result.goldenCycles = golden_res.cycles;
+    result.goldenCommits = recorder.log().size();
+
+    Cycle hang_limit =
+        static_cast<Cycle>(static_cast<double>(golden_res.cycles) *
+                           cfg.hangCycleFactor) +
+        10'000;
+
+    FaultSpace space;
+    space.rc = cfg.opts.rc;
+    space.cls = w->isFp ? isa::RegClass::Fp : isa::RegClass::Int;
+    space.codeSize = static_cast<int>(compiled.program.code.size());
+    space.maxCycle = golden_res.cycles;
+
+    result.runs.reserve(cfg.seeds);
+    for (int i = 0; i < cfg.seeds; ++i) {
+        std::uint64_t seed = cfg.seedBase + static_cast<std::uint64_t>(i);
+        SplitMix rng(seed);
+        Fault fault = planFault(rng, cfg.targets, space);
+        FaultRunRecord rec =
+            runOneFault(compiled, sc, recorder.log(), hang_limit,
+                        cfg.wallClockSecs, seed, fault);
+        switch (rec.outcome) {
+          case FaultOutcome::Masked:
+            ++result.masked;
+            break;
+          case FaultOutcome::Detected:
+            ++result.detected;
+            break;
+          case FaultOutcome::Sdc:
+            ++result.sdc;
+            break;
+          case FaultOutcome::Hang:
+            ++result.hang;
+            break;
+        }
+        result.runs.push_back(std::move(rec));
+    }
+    return result;
+}
+
+std::vector<CampaignResult>
+runCampaignSweep(const std::vector<CampaignConfig> &cfgs)
+{
+    std::vector<CampaignResult> out;
+    out.reserve(cfgs.size());
+    for (const CampaignConfig &cfg : cfgs) {
+        try {
+            // A bad configuration is reported in the sweep result;
+            // don't let its panic/fatal print mid-sweep.
+            ScopedQuietErrors hush;
+            out.push_back(runCampaign(cfg));
+        } catch (const PanicError &e) {
+            CampaignResult failed;
+            failed.workload = cfg.workload;
+            failed.label = cfg.label;
+            failed.seedBase = cfg.seedBase;
+            failed.failed = true;
+            failed.error = std::string("panic: ") + e.what();
+            out.push_back(std::move(failed));
+        } catch (const FatalError &e) {
+            CampaignResult failed;
+            failed.workload = cfg.workload;
+            failed.label = cfg.label;
+            failed.seedBase = cfg.seedBase;
+            failed.failed = true;
+            failed.error = std::string("fatal: ") + e.what();
+            out.push_back(std::move(failed));
+        }
+    }
+    return out;
+}
+
+std::string
+CampaignResult::toJson(bool include_runs) const
+{
+    std::string j = "{";
+    j += "\"workload\": " + jsonStr(workload);
+    j += ", \"label\": " + jsonStr(label);
+    j += ", \"rc\": " + jsonStr(rcDesc);
+    j += ", \"failed\": " + std::string(failed ? "true" : "false");
+    if (failed) {
+        j += ", \"error\": " + jsonStr(error);
+        j += "}";
+        return j;
+    }
+    j += ", \"seed_base\": " + std::to_string(seedBase);
+    j += ", \"seeds\": " + std::to_string(runs.size());
+    j += ", \"golden_cycles\": " + std::to_string(goldenCycles);
+    j += ", \"golden_commits\": " + std::to_string(goldenCommits);
+    j += ", \"outcomes\": {\"masked\": " + std::to_string(masked) +
+         ", \"detected\": " + std::to_string(detected) +
+         ", \"sdc\": " + std::to_string(sdc) +
+         ", \"hang\": " + std::to_string(hang) + "}";
+    if (include_runs) {
+        j += ", \"runs\": [";
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const FaultRunRecord &r = runs[i];
+            if (i)
+                j += ", ";
+            j += "{\"seed\": " + std::to_string(r.seed);
+            j += ", \"fault\": " + jsonStr(r.fault.toString());
+            j += ", \"target\": " +
+                 jsonStr(inject::toString(r.fault.target));
+            j += ", \"kind\": " +
+                 jsonStr(inject::toString(r.fault.kind));
+            j += ", \"cycle\": " + std::to_string(r.fault.cycle);
+            j += ", \"outcome\": " +
+                 jsonStr(inject::toString(r.outcome));
+            j += ", \"cycles\": " + std::to_string(r.cycles);
+            j += ", \"detail\": " + jsonStr(r.detail);
+            j += ", \"diverged\": " +
+                 std::string(r.diverged ? "true" : "false");
+            if (r.diverged) {
+                const Divergence &d = r.divergence;
+                j += ", \"divergence\": {\"index\": " +
+                     std::to_string(d.index) +
+                     ", \"cycle\": " + std::to_string(d.cycle) +
+                     ", \"pc\": " + std::to_string(d.pc) +
+                     ", \"disasm\": " + jsonStr(d.disasm) +
+                     ", \"expected\": " + jsonStr(d.expected) +
+                     ", \"actual\": " + jsonStr(d.actual) + "}";
+            }
+            j += "}";
+        }
+        j += "]";
+    }
+    j += "}";
+    return j;
+}
+
+std::string
+sweepToJson(const std::vector<CampaignResult> &results,
+            bool include_runs)
+{
+    std::string j = "{\"campaigns\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i)
+            j += ", ";
+        j += results[i].toJson(include_runs);
+    }
+    j += "]}";
+    return j;
+}
+
+} // namespace rcsim::inject

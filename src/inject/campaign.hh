@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Seeded fault-injection campaigns with outcome classification.
+ *
+ * A campaign compiles one workload under one configuration, records
+ * a golden commit stream (verified against the reference
+ * interpreter), then replays the workload N times, each run with one
+ * seeded fault injected, and classifies every run:
+ *
+ *  - masked    the run completed with the correct checksum
+ *  - detected  an architectural check fired (illegal instruction,
+ *              out-of-range operand, trap without a vector, or any
+ *              other simulation error / model assertion)
+ *  - sdc       silent data corruption: the run completed "cleanly"
+ *              but produced the wrong checksum; the divergence
+ *              oracle localizes the first wrong commit
+ *  - hang      the run exceeded the cycle budget (a multiple of the
+ *              golden cycle count) or the wall-clock watchdog
+ *
+ * Campaign sweeps degrade gracefully: a configuration whose compile
+ * or golden run panics is reported as a failed CampaignResult while
+ * the remaining configurations still run.
+ */
+
+#ifndef RCSIM_INJECT_CAMPAIGN_HH
+#define RCSIM_INJECT_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "inject/fault.hh"
+#include "inject/oracle.hh"
+
+namespace rcsim::inject
+{
+
+/** Parameters of one campaign (one workload, one configuration). */
+struct CampaignConfig
+{
+    /** Workload name in the registry. */
+    std::string workload = "compress";
+
+    /** Compile + machine configuration under test. */
+    harness::CompileOptions opts;
+
+    /** Short tag for reports, e.g. "model3". */
+    std::string label;
+
+    /** Seeds seedBase .. seedBase + seeds - 1, one fault each. */
+    std::uint64_t seedBase = 1;
+    int seeds = 50;
+
+    /** Fault targets drawn from (see parseTargets()). */
+    std::vector<FaultTarget> targets = {FaultTarget::ReadMap,
+                                        FaultTarget::WriteMap};
+
+    /** Hang threshold: goldenCycles * factor + 10000. */
+    double hangCycleFactor = 4.0;
+
+    /** Per-run wall-clock watchdog in seconds; 0 disables. */
+    double wallClockSecs = 10.0;
+};
+
+/** Classification of one faulted run. */
+enum class FaultOutcome : std::uint8_t
+{
+    Masked,
+    Detected,
+    Sdc,
+    Hang,
+};
+
+const char *toString(FaultOutcome outcome);
+
+/** One faulted run's record. */
+struct FaultRunRecord
+{
+    std::uint64_t seed = 0;
+    Fault fault;
+    FaultOutcome outcome = FaultOutcome::Masked;
+    std::string detail; // error text / injector note
+    Cycle cycles = 0;   // cycles simulated before stopping
+    bool diverged = false;
+    Divergence divergence;
+};
+
+/** Aggregated campaign outcome. */
+struct CampaignResult
+{
+    std::string workload;
+    std::string label;
+    std::string rcDesc; // RcConfig::toString()
+
+    /** Config-level failure (compile / golden run); runs are empty. */
+    bool failed = false;
+    std::string error;
+
+    Cycle goldenCycles = 0;
+    Count goldenCommits = 0;
+    std::uint64_t seedBase = 0;
+
+    int masked = 0;
+    int detected = 0;
+    int sdc = 0;
+    int hang = 0;
+
+    std::vector<FaultRunRecord> runs;
+
+    /**
+     * Deterministic JSON rendering: the same campaign configuration
+     * and seed produce byte-identical output.
+     *
+     * @param include_runs include the per-run array, not only the
+     *                     aggregate counters
+     */
+    std::string toJson(bool include_runs = true) const;
+};
+
+/** Run one campaign.  Throws on configuration-level failures. */
+CampaignResult runCampaign(const CampaignConfig &cfg);
+
+/**
+ * Run several campaigns, converting PanicError / FatalError escaping
+ * any single configuration into a failed CampaignResult so the rest
+ * of the sweep still runs.
+ */
+std::vector<CampaignResult>
+runCampaignSweep(const std::vector<CampaignConfig> &cfgs);
+
+/** Render a sweep as one JSON document. */
+std::string sweepToJson(const std::vector<CampaignResult> &results,
+                        bool include_runs = true);
+
+} // namespace rcsim::inject
+
+#endif // RCSIM_INJECT_CAMPAIGN_HH

@@ -1,0 +1,168 @@
+#include "inject/fault.hh"
+
+namespace rcsim::inject
+{
+
+const char *
+toString(FaultTarget target)
+{
+    switch (target) {
+      case FaultTarget::ReadMap:
+        return "read-map";
+      case FaultTarget::WriteMap:
+        return "write-map";
+      case FaultTarget::IntReg:
+        return "int-reg";
+      case FaultTarget::FpReg:
+        return "fp-reg";
+      case FaultTarget::Psw:
+        return "psw";
+      case FaultTarget::Instruction:
+        return "instruction";
+    }
+    return "unknown";
+}
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::BitFlip:
+        return "bit-flip";
+      case FaultKind::StuckAt0:
+        return "stuck-at-0";
+      case FaultKind::StuckAt1:
+        return "stuck-at-1";
+    }
+    return "unknown";
+}
+
+std::string
+Fault::toString() const
+{
+    std::string s = inject::toString(kind);
+    s += " ";
+    s += inject::toString(target);
+    if (target != FaultTarget::Psw) {
+        if (target == FaultTarget::ReadMap ||
+            target == FaultTarget::WriteMap ||
+            target == FaultTarget::IntReg ||
+            target == FaultTarget::FpReg) {
+            s += cls == isa::RegClass::Int ? " int" : " fp";
+        }
+        s += "[" + std::to_string(index) + "]";
+    }
+    s += " bit " + std::to_string(bit) + " @ cycle " +
+         std::to_string(cycle);
+    return s;
+}
+
+int
+mapEntryBits(int phys_regs)
+{
+    int bits = 1;
+    while ((1 << bits) < phys_regs)
+        ++bits;
+    return bits;
+}
+
+std::vector<FaultTarget>
+parseTargets(const std::string &spec)
+{
+    std::vector<FaultTarget> out;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        std::string tok = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (tok == "map") {
+            out.push_back(FaultTarget::ReadMap);
+            out.push_back(FaultTarget::WriteMap);
+        } else if (tok == "read-map") {
+            out.push_back(FaultTarget::ReadMap);
+        } else if (tok == "write-map") {
+            out.push_back(FaultTarget::WriteMap);
+        } else if (tok == "regfile") {
+            out.push_back(FaultTarget::IntReg);
+            out.push_back(FaultTarget::FpReg);
+        } else if (tok == "psw") {
+            out.push_back(FaultTarget::Psw);
+        } else if (tok == "instr") {
+            out.push_back(FaultTarget::Instruction);
+        } else if (tok == "all") {
+            out.push_back(FaultTarget::ReadMap);
+            out.push_back(FaultTarget::WriteMap);
+            out.push_back(FaultTarget::IntReg);
+            out.push_back(FaultTarget::FpReg);
+            out.push_back(FaultTarget::Psw);
+            out.push_back(FaultTarget::Instruction);
+        } else {
+            return {};
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+Fault
+planFault(SplitMix &rng, const std::vector<FaultTarget> &targets,
+          const FaultSpace &space)
+{
+    Fault f;
+    f.target = targets[rng.below(
+        static_cast<std::uint32_t>(targets.size()))];
+    switch (rng.below(3)) {
+      case 0:
+        f.kind = FaultKind::BitFlip;
+        break;
+      case 1:
+        f.kind = FaultKind::StuckAt0;
+        break;
+      default:
+        f.kind = FaultKind::StuckAt1;
+        break;
+    }
+    f.cycle = rng.next() %
+              (space.maxCycle > 0 ? space.maxCycle : 1);
+    f.cls = space.cls;
+
+    switch (f.target) {
+      case FaultTarget::ReadMap:
+      case FaultTarget::WriteMap:
+        f.index = static_cast<int>(rng.below(
+            static_cast<std::uint32_t>(space.rc.core(space.cls))));
+        f.bit = static_cast<int>(rng.below(static_cast<std::uint32_t>(
+            mapEntryBits(space.rc.total(space.cls)))));
+        break;
+      case FaultTarget::IntReg:
+        f.cls = isa::RegClass::Int;
+        f.index = static_cast<int>(rng.below(static_cast<std::uint32_t>(
+            space.rc.total(isa::RegClass::Int))));
+        f.bit = static_cast<int>(rng.below(32));
+        break;
+      case FaultTarget::FpReg:
+        f.cls = isa::RegClass::Fp;
+        f.index = static_cast<int>(rng.below(static_cast<std::uint32_t>(
+            space.rc.total(isa::RegClass::Fp))));
+        f.bit = static_cast<int>(rng.below(64));
+        break;
+      case FaultTarget::Psw:
+        f.index = 0;
+        // Bits 0-1 are architected (map enable, context format);
+        // bits 2-3 are spare, so some PSW faults are trivially
+        // masked, as on real hardware.
+        f.bit = static_cast<int>(rng.below(4));
+        break;
+      case FaultTarget::Instruction:
+        f.index = static_cast<int>(rng.below(static_cast<std::uint32_t>(
+            space.codeSize > 0 ? space.codeSize : 1)));
+        f.bit = static_cast<int>(rng.below(32));
+        break;
+    }
+    return f;
+}
+
+} // namespace rcsim::inject

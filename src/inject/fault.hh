@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The fault model for robustness campaigns.
+ *
+ * A Fault describes one seeded hardware fault: a transient bit flip
+ * or a persistent stuck-at, aimed at the architectural structures the
+ * RC extension adds or touches — the register mapping tables (read
+ * and write maps), the enlarged physical register files, the PSW
+ * control bits, and fetched instruction words.  Faults are planned
+ * deterministically from a seed so campaigns are reproducible
+ * bit-for-bit.
+ */
+
+#ifndef RCSIM_INJECT_FAULT_HH
+#define RCSIM_INJECT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rc_config.hh"
+#include "isa/reg.hh"
+#include "support/random.hh"
+#include "support/types.hh"
+
+namespace rcsim::inject
+{
+
+/** Which architectural structure the fault hits. */
+enum class FaultTarget : std::uint8_t
+{
+    ReadMap,     // read map entry of the mapping table
+    WriteMap,    // write map entry of the mapping table
+    IntReg,      // integer physical register file
+    FpReg,       // floating-point physical register file
+    Psw,         // processor status word control bits
+    Instruction, // fetched instruction word (encoded 32-bit form)
+};
+
+/** How the targeted bit is corrupted. */
+enum class FaultKind : std::uint8_t
+{
+    BitFlip, // transient: the bit is inverted once
+    StuckAt0, // persistent: the bit reads 0 from the fault cycle on
+    StuckAt1, // persistent: the bit reads 1 from the fault cycle on
+};
+
+const char *toString(FaultTarget target);
+const char *toString(FaultKind kind);
+
+/** One planned fault. */
+struct Fault
+{
+    FaultTarget target = FaultTarget::ReadMap;
+    FaultKind kind = FaultKind::BitFlip;
+
+    /** First cycle at which the fault is active. */
+    Cycle cycle = 0;
+
+    /** Register class of the targeted map / register file. */
+    isa::RegClass cls = isa::RegClass::Int;
+
+    /** Map entry, physical register, or instruction index. */
+    int index = 0;
+
+    /** Bit position within the targeted storage element. */
+    int bit = 0;
+
+    /** e.g. "bit-flip read-map int[5] bit 3 @ cycle 120". */
+    std::string toString() const;
+};
+
+/** Bounds the fault planner draws from. */
+struct FaultSpace
+{
+    core::RcConfig rc;
+
+    /** Register class under study (int file for int workloads). */
+    isa::RegClass cls = isa::RegClass::Int;
+
+    /** Static code size (Instruction faults). */
+    int codeSize = 0;
+
+    /** Fault cycles are drawn from [0, maxCycle). */
+    Cycle maxCycle = 1;
+};
+
+/**
+ * Parse a target-set specification: a comma-separated list of
+ * "map" (read + write maps), "read-map", "write-map", "regfile",
+ * "psw", "instr" and "all".  Returns an empty vector on a bad token.
+ */
+std::vector<FaultTarget> parseTargets(const std::string &spec);
+
+/**
+ * Draw one fault uniformly from @p targets and the bounds of
+ * @p space, consuming entropy from @p rng.  Deterministic: the same
+ * generator state and space produce the same fault.
+ */
+Fault planFault(SplitMix &rng, const std::vector<FaultTarget> &targets,
+                const FaultSpace &space);
+
+/** Number of bits in a mapping-table entry: ceil(log2(phys_regs)). */
+int mapEntryBits(int phys_regs);
+
+} // namespace rcsim::inject
+
+#endif // RCSIM_INJECT_FAULT_HH

@@ -1,0 +1,149 @@
+#include "inject/injector.hh"
+
+#include <bit>
+
+#include "isa/encoding.hh"
+
+namespace rcsim::inject
+{
+
+using core::PhysIndex;
+
+FaultInjector::FaultInjector(isa::Program &prog, const Fault &fault)
+    : prog_(prog), fault_(fault)
+{
+}
+
+std::uint64_t
+FaultInjector::mutate(std::uint64_t value) const
+{
+    std::uint64_t mask = 1ull << fault_.bit;
+    switch (fault_.kind) {
+      case FaultKind::BitFlip:
+        return value ^ mask;
+      case FaultKind::StuckAt0:
+        return value & ~mask;
+      case FaultKind::StuckAt1:
+        return value | mask;
+    }
+    return value;
+}
+
+void
+FaultInjector::onCycle(sim::Simulator &sim, Cycle cycle)
+{
+    if (cycle < fault_.cycle)
+        return;
+    // Transient flips and instruction-word corruption fire once;
+    // stuck-at faults on state re-force the bit every cycle.
+    if (applied_ && (fault_.kind == FaultKind::BitFlip ||
+                     fault_.target == FaultTarget::Instruction))
+        return;
+    apply(sim);
+}
+
+void
+FaultInjector::apply(sim::Simulator &sim)
+{
+    bool first = !applied_;
+    applied_ = true;
+    sim::MachineState &state = sim.state();
+
+    switch (fault_.target) {
+      case FaultTarget::ReadMap:
+      case FaultTarget::WriteMap: {
+        core::RegisterMappingTable &map = state.map(fault_.cls);
+        bool is_read = fault_.target == FaultTarget::ReadMap;
+        PhysIndex old = is_read ? map.readMap(fault_.index)
+                                : map.writeMap(fault_.index);
+        // A map entry is ceil(log2 n) bits wide; when n is not a
+        // power of two the corrupted value wraps (the decoder's
+        // high-order don't-cares).
+        std::uint64_t width_mask =
+            (1ull << mapEntryBits(map.physRegs())) - 1;
+        auto neu = static_cast<PhysIndex>(
+            (mutate(old) & width_mask) %
+            static_cast<std::uint64_t>(map.physRegs()));
+        if (neu != old) {
+            if (is_read)
+                map.connectUse(fault_.index, neu);
+            else
+                map.connectDef(fault_.index, neu);
+        }
+        if (first)
+            note_ = std::string(is_read ? "read" : "write") +
+                    " map[" + std::to_string(fault_.index) +
+                    "]: p" + std::to_string(old) + " -> p" +
+                    std::to_string(neu);
+        break;
+      }
+
+      case FaultTarget::IntReg: {
+        Word old = state.readInt(fault_.index);
+        auto neu = static_cast<Word>(static_cast<UWord>(
+            mutate(static_cast<UWord>(old))));
+        state.writeInt(fault_.index, neu);
+        if (first)
+            note_ = "ireg[" + std::to_string(fault_.index) + "]: " +
+                    std::to_string(old) + " -> " +
+                    std::to_string(neu);
+        break;
+      }
+
+      case FaultTarget::FpReg: {
+        double old = state.readFp(fault_.index);
+        double neu = std::bit_cast<double>(
+            mutate(std::bit_cast<std::uint64_t>(old)));
+        state.writeFp(fault_.index, neu);
+        if (first)
+            note_ = "freg[" + std::to_string(fault_.index) +
+                    "] bit " + std::to_string(fault_.bit) +
+                    " corrupted";
+        break;
+      }
+
+      case FaultTarget::Psw: {
+        UWord old = state.psw().bits;
+        state.psw().bits = static_cast<UWord>(mutate(old));
+        if (first)
+            note_ = "psw: " + std::to_string(old) + " -> " +
+                    std::to_string(state.psw().bits);
+        break;
+      }
+
+      case FaultTarget::Instruction: {
+        isa::Instruction &ins = prog_.code[fault_.index];
+        isa::EncodeResult er = isa::encode(
+            ins, static_cast<std::int32_t>(fault_.index));
+        if (!er.ok()) {
+            note_ = "instruction not encodable; fault has no effect";
+            break;
+        }
+        isa::MachineWord word = static_cast<isa::MachineWord>(
+            mutate(er.word));
+        if (word == er.word) {
+            note_ = "stuck-at matched the stored bit; no change";
+            break;
+        }
+        std::string before = ins.toString();
+        auto decoded = isa::decode(
+            word, static_cast<std::int32_t>(fault_.index));
+        if (decoded) {
+            ins = *decoded;
+            note_ = "instr[" + std::to_string(fault_.index) +
+                    "]: '" + before + "' -> '" + ins.toString() +
+                    "'";
+        } else {
+            // The corrupted word no longer decodes: executing it
+            // raises an illegal-instruction fault.
+            ins = isa::Instruction{};
+            ins.op = isa::Opcode::NUM_OPCODES;
+            note_ = "instr[" + std::to_string(fault_.index) +
+                    "]: '" + before + "' -> illegal encoding";
+        }
+        break;
+      }
+    }
+}
+
+} // namespace rcsim::inject

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The fault-injection engine: a SimProbe that applies one planned
+ * Fault to a running simulation.
+ *
+ * Bit flips are transient (applied once, at the first cycle boundary
+ * at or after the fault cycle); stuck-at faults are persistent (the
+ * targeted bit is re-forced every cycle from the fault cycle on).
+ * Instruction faults corrupt the *encoded* 32-bit instruction word:
+ * the word is encoded, the bit corrupted, and the result decoded
+ * back — a word that no longer decodes becomes an illegal
+ * instruction that the simulator detects when (and only when) it is
+ * fetched, exactly like hardware would.
+ */
+
+#ifndef RCSIM_INJECT_INJECTOR_HH
+#define RCSIM_INJECT_INJECTOR_HH
+
+#include <string>
+
+#include "inject/fault.hh"
+#include "isa/instruction.hh"
+#include "sim/simulator.hh"
+
+namespace rcsim::inject
+{
+
+/** Applies one Fault to a simulation via the probe hooks. */
+class FaultInjector : public sim::SimProbe
+{
+  public:
+    /**
+     * @param prog  the program the simulator executes; mutated in
+     *              place by Instruction faults, so it must be the
+     *              caller's own copy and must outlive the injector
+     * @param fault the planned fault
+     */
+    FaultInjector(isa::Program &prog, const Fault &fault);
+
+    void onCycle(sim::Simulator &sim, Cycle cycle) override;
+
+    /** Whether the fault has been applied at least once. */
+    bool applied() const { return applied_; }
+
+    /** Human-readable description of the first application. */
+    const std::string &note() const { return note_; }
+
+    const Fault &fault() const { return fault_; }
+
+  private:
+    void apply(sim::Simulator &sim);
+
+    /** Corrupt @p value according to the fault kind and bit. */
+    std::uint64_t mutate(std::uint64_t value) const;
+
+    isa::Program &prog_;
+    Fault fault_;
+    bool applied_ = false;
+    std::string note_;
+};
+
+} // namespace rcsim::inject
+
+#endif // RCSIM_INJECT_INJECTOR_HH

@@ -1,0 +1,98 @@
+#include "inject/oracle.hh"
+
+namespace rcsim::inject
+{
+
+bool
+effectsEqual(const sim::CommitEffect &a, const sim::CommitEffect &b)
+{
+    return a.kind == b.kind && a.pc == b.pc && a.loc == b.loc &&
+           a.addr == b.addr && a.bits == b.bits;
+}
+
+std::string
+Divergence::toString() const
+{
+    if (!diverged)
+        return "no divergence";
+    return "first divergence at commit #" + std::to_string(index) +
+           ", cycle " + std::to_string(cycle) + ", pc " +
+           std::to_string(pc) + " (" + disasm + "): expected " +
+           expected + ", got " + actual;
+}
+
+namespace
+{
+
+std::string
+disasmAt(const isa::Program &prog, std::int32_t pc)
+{
+    if (pc < 0 || pc >= static_cast<std::int32_t>(prog.code.size()))
+        return "<pc out of range>";
+    const isa::Instruction &ins = prog.code[pc];
+    if (static_cast<std::size_t>(ins.op) >=
+        static_cast<std::size_t>(isa::Opcode::NUM_OPCODES))
+        return "<illegal encoding>";
+    return ins.toString();
+}
+
+} // namespace
+
+void
+DivergenceChecker::onCommit(const sim::CommitEffect &effect)
+{
+    std::size_t i = seen_++;
+    if (div_.diverged)
+        return;
+    if (i >= golden_.size()) {
+        div_.diverged = true;
+        div_.index = i;
+        div_.cycle = effect.cycle;
+        div_.pc = effect.pc;
+        div_.disasm = disasmAt(prog_, effect.pc);
+        div_.expected = "<end of stream>";
+        div_.actual = effect.toString();
+        return;
+    }
+    if (!effectsEqual(golden_[i], effect)) {
+        div_.diverged = true;
+        div_.index = i;
+        div_.cycle = effect.cycle;
+        div_.pc = effect.pc;
+        div_.disasm = disasmAt(prog_, effect.pc);
+        div_.expected = golden_[i].toString();
+        div_.actual = effect.toString();
+    }
+}
+
+const Divergence &
+DivergenceChecker::finish()
+{
+    if (!finished_) {
+        finished_ = true;
+        if (!div_.diverged && seen_ < golden_.size()) {
+            const sim::CommitEffect &miss = golden_[seen_];
+            div_.diverged = true;
+            div_.index = seen_;
+            div_.cycle = miss.cycle;
+            div_.pc = miss.pc;
+            div_.disasm = disasmAt(prog_, miss.pc);
+            div_.expected = miss.toString();
+            div_.actual = "<missing>";
+        }
+    }
+    return div_;
+}
+
+Divergence
+firstDivergence(const std::vector<sim::CommitEffect> &golden,
+                const std::vector<sim::CommitEffect> &checked,
+                const isa::Program &prog)
+{
+    DivergenceChecker checker(golden, prog);
+    for (const sim::CommitEffect &e : checked)
+        checker.onCommit(e);
+    return checker.finish();
+}
+
+} // namespace rcsim::inject

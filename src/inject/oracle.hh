@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The instruction-level divergence oracle.
+ *
+ * Verification used to compare only the final checksum, so any
+ * mid-run corruption surfaced as an opaque "checksum mismatch".  The
+ * oracle upgrades this: a golden run (a clean simulation whose final
+ * result is itself verified against the reference interpreter)
+ * records the stream of committed architectural effects — register
+ * writebacks and stores — and a checked run is compared against that
+ * stream effect by effect.  The first mismatch is reported with its
+ * cycle, pc and disassembly, localizing a fault or model bug to the
+ * exact instruction where architectural state first went wrong.
+ *
+ * Comparison ignores the cycle field: timing legitimately shifts
+ * (e.g. a corrupted map changes interlock patterns) while the
+ * architectural effect sequence must not.
+ */
+
+#ifndef RCSIM_INJECT_ORACLE_HH
+#define RCSIM_INJECT_ORACLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/probe.hh"
+
+namespace rcsim::inject
+{
+
+/** Where two commit streams first differ. */
+struct Divergence
+{
+    bool diverged = false;
+    std::size_t index = 0; // position in the commit stream
+    Cycle cycle = 0;       // checked run's cycle at divergence
+    std::int32_t pc = 0;   // checked run's pc at divergence
+    std::string disasm;    // disassembly of the divergent instruction
+    std::string expected;  // golden effect ("<end of stream>" if none)
+    std::string actual;    // checked effect ("<missing>" if short)
+
+    /** One-line report for logs and JSON. */
+    std::string toString() const;
+};
+
+/** Records the committed-effects stream of a (golden) run. */
+class CommitRecorder : public sim::SimProbe
+{
+  public:
+    /** @param cap stop recording past this many effects (safety). */
+    explicit CommitRecorder(std::size_t cap = std::size_t(1) << 26)
+        : cap_(cap)
+    {
+    }
+
+    void
+    onCommit(const sim::CommitEffect &effect) override
+    {
+        if (log_.size() < cap_)
+            log_.push_back(effect);
+        else
+            truncated_ = true;
+    }
+
+    const std::vector<sim::CommitEffect> &log() const { return log_; }
+    bool truncated() const { return truncated_; }
+
+  private:
+    std::vector<sim::CommitEffect> log_;
+    std::size_t cap_;
+    bool truncated_ = false;
+};
+
+/**
+ * Compares a run's commit stream against a golden log online and
+ * captures the first divergence.
+ */
+class DivergenceChecker : public sim::SimProbe
+{
+  public:
+    /**
+     * @param golden the golden run's commit log (must outlive this)
+     * @param prog   the checked run's program, for disassembly
+     */
+    DivergenceChecker(const std::vector<sim::CommitEffect> &golden,
+                      const isa::Program &prog)
+        : golden_(golden), prog_(prog)
+    {
+    }
+
+    void onCommit(const sim::CommitEffect &effect) override;
+
+    /**
+     * Finish the comparison: a checked run that stopped short of the
+     * golden stream also diverges (at the first missing effect).
+     * Call after the checked run completed.
+     */
+    const Divergence &finish();
+
+    /** Effects seen so far. */
+    std::size_t seen() const { return seen_; }
+
+    const Divergence &divergence() const { return div_; }
+
+  private:
+    const std::vector<sim::CommitEffect> &golden_;
+    const isa::Program &prog_;
+    Divergence div_;
+    std::size_t seen_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * True when two effects are architecturally equal (same kind,
+ * location and value; timing excluded).
+ */
+bool effectsEqual(const sim::CommitEffect &a,
+                  const sim::CommitEffect &b);
+
+/** Offline variant: first divergence between two recorded logs. */
+Divergence firstDivergence(
+    const std::vector<sim::CommitEffect> &golden,
+    const std::vector<sim::CommitEffect> &checked,
+    const isa::Program &prog);
+
+} // namespace rcsim::inject
+
+#endif // RCSIM_INJECT_ORACLE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Observation and intervention hooks for the pipeline simulator.
+ *
+ * A SimProbe attached to a Simulator sees every cycle boundary and
+ * every committed architectural effect (register writeback or memory
+ * store).  Probes are the attachment point for the fault-injection
+ * engine and the divergence oracle in src/inject: injection mutates
+ * state from onCycle(), the oracle records or checks the commit
+ * stream from onCommit().  With no probe attached the simulator pays
+ * only a null-pointer test per event, so the hot path is effectively
+ * untouched.
+ */
+
+#ifndef RCSIM_SIM_PROBE_HH
+#define RCSIM_SIM_PROBE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace rcsim::sim
+{
+
+class Simulator;
+
+/** One committed architectural effect of an issued instruction. */
+struct CommitEffect
+{
+    enum class Kind : std::uint8_t
+    {
+        IntWrite,    // integer register writeback
+        FpWrite,     // floating-point register writeback
+        StoreWord,   // 4-byte store
+        StoreDouble, // 8-byte store
+    };
+
+    Kind kind = Kind::IntWrite;
+    Cycle cycle = 0;
+    std::int32_t pc = 0; // instruction index that committed
+    std::int32_t loc = 0;     // physical register (writes)
+    Addr addr = 0;            // memory address (stores)
+    std::uint64_t bits = 0;   // value, as raw bits for doubles
+
+    bool operator==(const CommitEffect &) const = default;
+
+    /** "c123 pc45: ireg[7] <- 0x2a" (for divergence reports). */
+    std::string toString() const;
+};
+
+/** Hook interface; attach with Simulator::attachProbe(). */
+class SimProbe
+{
+  public:
+    virtual ~SimProbe() = default;
+
+    /**
+     * Called at the start of every simulated cycle, before fetch and
+     * interrupt acceptance.  The probe may mutate machine state
+     * through @p sim (fault injection).
+     */
+    virtual void onCycle(Simulator &sim, Cycle cycle)
+    {
+        (void)sim;
+        (void)cycle;
+    }
+
+    /** Called for every committed register write and store. */
+    virtual void onCommit(const CommitEffect &effect) { (void)effect; }
+};
+
+/** Fans simulator events out to several probes, in order. */
+class ProbeChain : public SimProbe
+{
+  public:
+    void add(SimProbe *probe) { probes_.push_back(probe); }
+
+    void
+    onCycle(Simulator &sim, Cycle cycle) override
+    {
+        for (SimProbe *p : probes_)
+            p->onCycle(sim, cycle);
+    }
+
+    void
+    onCommit(const CommitEffect &effect) override
+    {
+        for (SimProbe *p : probes_)
+            p->onCommit(effect);
+    }
+
+  private:
+    std::vector<SimProbe *> probes_;
+};
+
+} // namespace rcsim::sim
+
+#endif // RCSIM_SIM_PROBE_HH

@@ -1,6 +1,8 @@
 #include "sim/simulator.hh"
 
+#include <bit>
 #include <cmath>
+#include <cstdio>
 
 #include "support/logging.hh"
 
@@ -11,6 +13,48 @@ using isa::Instruction;
 using isa::Opcode;
 using isa::OpcodeInfo;
 using isa::RegClass;
+
+const char *
+toString(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Halted:
+        return "halted";
+      case StopReason::Error:
+        return "error";
+      case StopReason::CycleLimit:
+        return "cycle-limit";
+    }
+    return "unknown";
+}
+
+std::string
+CommitEffect::toString() const
+{
+    std::string where;
+    switch (kind) {
+      case Kind::IntWrite:
+        where = "ireg[" + std::to_string(loc) + "]";
+        break;
+      case Kind::FpWrite:
+        where = "freg[" + std::to_string(loc) + "]";
+        break;
+      case Kind::StoreWord:
+        where = "mem4[" + std::to_string(addr) + "]";
+        break;
+      case Kind::StoreDouble:
+        where = "mem8[" + std::to_string(addr) + "]";
+        break;
+    }
+    return "c" + std::to_string(cycle) + " pc" + std::to_string(pc) +
+           ": " + where + " <- 0x" +
+           [](std::uint64_t v) {
+               char buf[17];
+               std::snprintf(buf, sizeof buf, "%llx",
+                             static_cast<unsigned long long>(v));
+               return std::string(buf);
+           }(bits);
+}
 
 Simulator::Simulator(const isa::Program &prog, const SimConfig &cfg)
     : prog_(prog), cfg_(cfg), state_(prog, cfg_)
@@ -31,6 +75,7 @@ Simulator::reset()
     nextFetchCycle_ = 0;
     instructions_ = 0;
     halted_ = false;
+    cycleLimitHit_ = false;
     error_.clear();
     stats_.clear();
     nextInterrupt_ = 0;
@@ -70,8 +115,10 @@ Simulator::run()
 {
     reset();
     step(cfg_.maxCycles);
-    if (!halted_ && error_.empty())
+    if (!halted_ && error_.empty()) {
+        cycleLimitHit_ = true;
         fail("cycle limit exceeded");
+    }
     return result();
 }
 
@@ -89,6 +136,9 @@ Simulator::result() const
 {
     SimResult r;
     r.ok = halted_ && error_.empty();
+    r.reason = r.ok ? StopReason::Halted
+                    : (cycleLimitHit_ ? StopReason::CycleLimit
+                                      : StopReason::Error);
     r.error = error_;
     r.cycles = cycle_;
     r.instructions = instructions_;
@@ -104,6 +154,9 @@ Simulator::result() const
 void
 Simulator::issueCycle()
 {
+    if (probe_)
+        probe_->onCycle(*this, cycle_);
+
     // External interrupts are accepted at cycle boundaries.
     if (nextInterrupt_ < cfg_.interruptCycles.size() &&
         cfg_.interruptCycles[nextInterrupt_] <= cycle_) {
@@ -276,10 +329,19 @@ Simulator::execute(const Instruction &ins, int)
     auto write_int = [&](Word v) {
         state_.writeInt(dphys, v);
         readyOf(RegClass::Int, dphys) = cycle_ + latency;
+        if (probe_)
+            probe_->onCommit({CommitEffect::Kind::IntWrite, cycle_,
+                              state_.pc, dphys, 0,
+                              static_cast<std::uint64_t>(
+                                  static_cast<UWord>(v))});
     };
     auto write_fp = [&](double v) {
         state_.writeFp(dphys, v);
         readyOf(RegClass::Fp, dphys) = cycle_ + latency;
+        if (probe_)
+            probe_->onCommit({CommitEffect::Kind::FpWrite, cycle_,
+                              state_.pc, dphys, 0,
+                              std::bit_cast<std::uint64_t>(v)});
     };
     auto finish_write = [&]() {
         if (rc_on)
@@ -471,7 +533,13 @@ Simulator::execute(const Instruction &ins, int)
             return false;
         }
         stats_.add("stores");
-        state_.storeWord(a, sval(0));
+        Word v = sval(0);
+        state_.storeWord(a, v);
+        if (probe_)
+            probe_->onCommit({CommitEffect::Kind::StoreWord, cycle_,
+                              state_.pc, 0, a,
+                              static_cast<std::uint64_t>(
+                                  static_cast<UWord>(v))});
         ++state_.pc;
         return true;
       }
@@ -482,8 +550,12 @@ Simulator::execute(const Instruction &ins, int)
             return false;
         }
         stats_.add("stores");
-        state_.storeDouble(
-            a, state_.readFp(state_.resolveRead(ins.src[0])));
+        double v = state_.readFp(state_.resolveRead(ins.src[0]));
+        state_.storeDouble(a, v);
+        if (probe_)
+            probe_->onCommit({CommitEffect::Kind::StoreDouble, cycle_,
+                              state_.pc, 0, a,
+                              std::bit_cast<std::uint64_t>(v)});
         ++state_.pc;
         return true;
       }

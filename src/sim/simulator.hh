@@ -24,15 +24,27 @@
 #include <string>
 
 #include "sim/machine_state.hh"
+#include "sim/probe.hh"
 #include "support/stats.hh"
 
 namespace rcsim::sim
 {
 
+/** Why a simulation stopped (machine-readable outcome). */
+enum class StopReason : std::uint8_t
+{
+    Halted,     // program executed halt
+    Error,      // architectural / model error (see SimResult::error)
+    CycleLimit, // SimConfig::maxCycles exhausted (possible hang)
+};
+
+const char *toString(StopReason reason);
+
 /** Outcome of a simulation. */
 struct SimResult
 {
     bool ok = false;
+    StopReason reason = StopReason::Error;
     std::string error;
     Cycle cycles = 0;
     Count instructions = 0; // instructions issued (connects included)
@@ -72,6 +84,13 @@ class Simulator
     /** Issue trace collected when SimConfig::traceLimit > 0. */
     const std::string &trace() const { return trace_; }
 
+    /**
+     * Attach an observation/intervention probe (nullptr detaches).
+     * The probe must outlive the simulator or be detached first; it
+     * survives reset().
+     */
+    void attachProbe(SimProbe *probe) { probe_ = probe; }
+
   private:
     /** Issue one cycle's group; updates pc/cycle bookkeeping. */
     void issueCycle();
@@ -103,7 +122,9 @@ class Simulator
     Cycle nextFetchCycle_ = 0;
     Count instructions_ = 0;
     bool halted_ = false;
+    bool cycleLimitHit_ = false;
     std::string error_;
+    SimProbe *probe_ = nullptr;
     StatGroup stats_;
     std::size_t nextInterrupt_ = 0;
 

@@ -8,6 +8,17 @@ namespace rcsim
 namespace
 {
 bool quietFlag = false;
+int quietErrorDepth = 0;
+}
+
+ScopedQuietErrors::ScopedQuietErrors()
+{
+    ++quietErrorDepth;
+}
+
+ScopedQuietErrors::~ScopedQuietErrors()
+{
+    --quietErrorDepth;
 }
 
 void
@@ -30,7 +41,7 @@ emit(const char *level, const std::string &msg)
 {
     bool is_error =
         std::string(level) == "panic" || std::string(level) == "fatal";
-    if (quietFlag && !is_error)
+    if (is_error ? quietErrorDepth > 0 : quietFlag)
         return;
     std::fprintf(stderr, "rcsim: %s: %s\n", level, msg.c_str());
 }

@@ -110,6 +110,22 @@ inform(const Args &...args)
 void setQuiet(bool quiet);
 bool isQuiet();
 
+/**
+ * RAII: additionally silence the panic()/fatal() message emission
+ * while in scope.  The exceptions still propagate — this only stops
+ * the stderr print.  Used by fault-injection campaigns, where model
+ * assertions tripping over injected corruption are the expected
+ * "detected" outcome, not noise-worthy failures.  Nestable.
+ */
+class ScopedQuietErrors
+{
+  public:
+    ScopedQuietErrors();
+    ~ScopedQuietErrors();
+    ScopedQuietErrors(const ScopedQuietErrors &) = delete;
+    ScopedQuietErrors &operator=(const ScopedQuietErrors &) = delete;
+};
+
 } // namespace rcsim
 
 #endif // RCSIM_SUPPORT_LOGGING_HH

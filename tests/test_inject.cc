@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: the fault planner, the
+ * injection probes, the instruction-level divergence oracle, outcome
+ * classification, campaign reproducibility, graceful sweep
+ * degradation, and the distinct cycle-limit outcome.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "inject/campaign.hh"
+#include "inject/injector.hh"
+#include "inject/oracle.hh"
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+
+namespace rcsim::inject
+{
+namespace
+{
+
+isa::Program
+prog(const std::string &src)
+{
+    isa::AsmResult r = isa::assemble(src);
+    EXPECT_TRUE(r.ok()) << r.error;
+    isa::Program p = r.program;
+    p.memorySize = 1 << 16;
+    return p;
+}
+
+sim::SimConfig
+rcCfg(int width = 1)
+{
+    sim::SimConfig cfg;
+    cfg.machine.issueWidth = width;
+    cfg.machine.memChannels = 2;
+    cfg.rc = core::RcConfig::withRc(16, 16);
+    return cfg;
+}
+
+// A connect-heavy program: r5 is connected to extended register
+// p100, a delay loop gives a wide window for mid-run faults, then
+// the connected value feeds the final store.
+//
+//   0: connect.def int i5, p100
+//   1: li   r5, 11        (lands in p100)
+//   2: connect.use int i5, p100
+//   3: li   r1, 200
+//   4: li   r8, 0
+//   5: addi r1, r1, -1    (loop)
+//   6: bgt+ r1, r8, loop
+//   7: add  r6, r5, r5    (reads p100 -> 22)
+//   8: sw   r6, r0, 0
+//   9: halt
+const char *connectedSrc = R"(
+func main:
+  connect.def int i5, p100
+  li r5, 11
+  connect.use int i5, p100
+  li r1, 200
+  li r8, 0
+loop:
+  addi r1, r1, -1
+  bgt+ r1, r8, loop
+  add r6, r5, r5
+  sw r6, r0, 0
+  halt
+)";
+
+// --- Fault planning --------------------------------------------------
+
+TEST(Inject, PlannedFaultsAreDeterministicAndInBounds)
+{
+    FaultSpace space;
+    space.rc = core::RcConfig::withRc(16, 16);
+    space.cls = isa::RegClass::Int;
+    space.codeSize = 100;
+    space.maxCycle = 5000;
+    std::vector<FaultTarget> targets = parseTargets("all");
+    ASSERT_EQ(targets.size(), 6u);
+
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        SplitMix a(seed), b(seed);
+        Fault fa = planFault(a, targets, space);
+        Fault fb = planFault(b, targets, space);
+        EXPECT_EQ(fa.toString(), fb.toString());
+        EXPECT_LT(fa.cycle, space.maxCycle);
+        switch (fa.target) {
+          case FaultTarget::ReadMap:
+          case FaultTarget::WriteMap:
+            EXPECT_LT(fa.index, space.rc.core(fa.cls));
+            EXPECT_LT(fa.bit, mapEntryBits(space.rc.total(fa.cls)));
+            break;
+          case FaultTarget::IntReg:
+            EXPECT_LT(fa.index,
+                      space.rc.total(isa::RegClass::Int));
+            EXPECT_LT(fa.bit, 32);
+            break;
+          case FaultTarget::FpReg:
+            EXPECT_LT(fa.index, space.rc.total(isa::RegClass::Fp));
+            EXPECT_LT(fa.bit, 64);
+            break;
+          case FaultTarget::Psw:
+            EXPECT_LT(fa.bit, 4);
+            break;
+          case FaultTarget::Instruction:
+            EXPECT_LT(fa.index, space.codeSize);
+            EXPECT_LT(fa.bit, 32);
+            break;
+        }
+    }
+}
+
+TEST(Inject, ParseTargetsRejectsBadSpecs)
+{
+    EXPECT_TRUE(parseTargets("bogus").empty());
+    EXPECT_TRUE(parseTargets("map,bogus").empty());
+    std::vector<FaultTarget> m = parseTargets("map");
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_EQ(m[0], FaultTarget::ReadMap);
+    EXPECT_EQ(m[1], FaultTarget::WriteMap);
+}
+
+// --- Divergence oracle ----------------------------------------------
+
+TEST(Oracle, IdenticalRunsDoNotDiverge)
+{
+    isa::Program p = prog(connectedSrc);
+    sim::SimConfig cfg = rcCfg();
+
+    sim::Simulator golden(p, cfg);
+    CommitRecorder rec;
+    golden.attachProbe(&rec);
+    ASSERT_TRUE(golden.run().ok);
+    EXPECT_GT(rec.log().size(), 100u); // the loop commits plenty
+    EXPECT_FALSE(rec.truncated());
+
+    sim::Simulator again(p, cfg);
+    DivergenceChecker chk(rec.log(), p);
+    again.attachProbe(&chk);
+    ASSERT_TRUE(again.run().ok);
+    EXPECT_FALSE(chk.finish().diverged);
+    EXPECT_EQ(chk.seen(), rec.log().size());
+}
+
+TEST(Oracle, MapFaultIsLocalizedToFirstDivergentInstruction)
+{
+    isa::Program p = prog(connectedSrc);
+    sim::SimConfig cfg = rcCfg();
+
+    sim::Simulator golden_sim(p, cfg);
+    CommitRecorder rec;
+    golden_sim.attachProbe(&rec);
+    ASSERT_TRUE(golden_sim.run().ok);
+    Word golden_r6 = golden_sim.state().readInt(6);
+    EXPECT_EQ(golden_r6, 22);
+
+    // Flip bit 5 of read-map entry 5 (p100 -> p68) mid-loop: the
+    // final add then reads a cold register instead of p100.
+    Fault fault;
+    fault.target = FaultTarget::ReadMap;
+    fault.kind = FaultKind::BitFlip;
+    fault.cycle = 100;
+    fault.cls = isa::RegClass::Int;
+    fault.index = 5;
+    fault.bit = 5;
+
+    isa::Program faulted = p; // injector owns a mutable copy
+    sim::Simulator sim(faulted, cfg);
+    FaultInjector injector(faulted, fault);
+    DivergenceChecker checker(rec.log(), faulted);
+    sim::ProbeChain chain;
+    chain.add(&injector);
+    chain.add(&checker);
+    sim.attachProbe(&chain);
+
+    sim::SimResult res = sim.run();
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(injector.applied());
+    EXPECT_EQ(injector.note(), "read map[5]: p100 -> p68");
+
+    // Silent corruption: the run "succeeded" with the wrong value...
+    EXPECT_NE(sim.state().readInt(6), golden_r6);
+
+    // ...and the oracle pinpoints the first divergent instruction:
+    // the add at pc 7, not the final checksum.
+    const Divergence &div = checker.finish();
+    ASSERT_TRUE(div.diverged);
+    EXPECT_EQ(div.pc, 7);
+    EXPECT_NE(div.disasm.find("add"), std::string::npos);
+    EXPECT_GE(div.cycle, fault.cycle);
+    EXPECT_NE(div.expected, div.actual);
+    EXPECT_NE(div.toString().find("pc 7"), std::string::npos);
+}
+
+TEST(Oracle, ShortRunDivergesAtFirstMissingCommit)
+{
+    isa::Program p = prog(connectedSrc);
+    sim::SimConfig cfg = rcCfg();
+
+    sim::Simulator golden_sim(p, cfg);
+    CommitRecorder rec;
+    golden_sim.attachProbe(&rec);
+    ASSERT_TRUE(golden_sim.run().ok);
+
+    // A checked "run" that stops half way diverges at the first
+    // commit it never produced.
+    std::vector<sim::CommitEffect> half(
+        rec.log().begin(),
+        rec.log().begin() + rec.log().size() / 2);
+    Divergence div = firstDivergence(rec.log(), half, p);
+    ASSERT_TRUE(div.diverged);
+    EXPECT_EQ(div.index, half.size());
+    EXPECT_EQ(div.actual, "<missing>");
+}
+
+// --- Distinct cycle-limit outcome (hang classification) -------------
+
+TEST(Inject, CycleLimitIsADistinctStopReason)
+{
+    sim::SimConfig cfg = rcCfg();
+    cfg.maxCycles = 1000;
+    isa::Program p = prog(R"(
+func main:
+loop:
+  j loop
+)");
+    sim::Simulator sim(p, cfg);
+    sim::SimResult r = sim.run();
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.reason, sim::StopReason::CycleLimit);
+    // The legacy error string survives for humans.
+    EXPECT_NE(r.error.find("cycle limit"), std::string::npos);
+
+    // A genuine model error is NOT classified as a cycle limit.
+    isa::Program bad = prog("func main:\n  trap 0\n  halt\n");
+    sim::Simulator sim2(bad, rcCfg());
+    sim::SimResult r2 = sim2.run();
+    EXPECT_FALSE(r2.ok);
+    EXPECT_EQ(r2.reason, sim::StopReason::Error);
+}
+
+TEST(Inject, RunOutcomeSurfacesCycleLimit)
+{
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ASSERT_NE(w, nullptr);
+    harness::CompileOptions opts;
+    opts.rc = harness::rcConfigFor(false, 16);
+    opts.machine = harness::Experiment::machineFor(4);
+
+    harness::RunOutcome out =
+        harness::runConfiguration(*w, opts, false, 50);
+    EXPECT_EQ(out.status, harness::RunStatus::CycleLimit);
+    EXPECT_TRUE(out.failed());
+    EXPECT_FALSE(out.verified);
+    EXPECT_EQ(out.cycles, 50u);
+}
+
+// --- Trap/interrupt plumbing under interrupt injection (S4.3) -------
+
+TEST(Inject, InterruptsPreserveConnectHeavyChecksums)
+{
+    // A connect-heavy loop: every iteration rewires entry 6 and
+    // accumulates through the extended register p200.  The handler
+    // runs with the map disabled (PSW bypass), so the interrupt
+    // storm must not perturb the connection state or the result.
+    isa::Program p = prog(R"(
+func handler:
+  addi r9, r9, 1
+  rfe
+func main:
+  li r1, 400
+  li r2, 0
+  li r8, 0
+  connect.def int i6, p200
+  li r6, 0
+loop:
+  addi r2, r2, 7
+  connect.use int i6, p200
+  addi r6, r6, 1
+  connect.def int i6, p200
+  mov r6, r6
+  addi r1, r1, -1
+  bgt+ r1, r8, loop
+  sw r2, r0, 0
+  halt
+)");
+    sim::SimConfig cfg = rcCfg(1);
+    cfg.trapVector = 0;
+
+    sim::Simulator clean(p, cfg);
+    ASSERT_TRUE(clean.run().ok);
+    Word golden_sum = clean.state().readInt(2);
+    Word golden_ext = clean.state().readInt(200);
+    EXPECT_EQ(golden_sum, 2800);
+    EXPECT_EQ(golden_ext, 400);
+
+    sim::SimConfig stormy = cfg;
+    // A dense interrupt schedule across the whole run.
+    for (Cycle c = 50; c < 3000; c += 75)
+        stormy.interruptCycles.push_back(c);
+    sim::Simulator sim(p, stormy);
+    sim::SimResult r = sim.run();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.stats.get("traps"), 10u);
+    // Identical architectural results, interrupted or not.
+    EXPECT_EQ(sim.state().readInt(2), golden_sum);
+    EXPECT_EQ(sim.state().readInt(200), golden_ext);
+    // The handler really ran with the map bypassed: its counter
+    // lives in core r9, untouched by the program's connections.
+    EXPECT_EQ(sim.state().readInt(9),
+              static_cast<Word>(r.stats.get("traps")));
+}
+
+// --- Campaigns -------------------------------------------------------
+
+CampaignConfig
+smallCampaign(const std::string &workload, const char *targets,
+              int seeds)
+{
+    const workloads::Workload *w = workloads::findWorkload(workload);
+    EXPECT_NE(w, nullptr);
+    CampaignConfig cc;
+    cc.workload = workload;
+    cc.label = "test";
+    cc.seeds = seeds;
+    cc.targets = parseTargets(targets);
+    cc.opts.rc = harness::rcConfigFor(w->isFp, 16);
+    cc.opts.machine = harness::Experiment::machineFor(4);
+    return cc;
+}
+
+TEST(Campaign, ClassifiesEveryRun)
+{
+    CampaignConfig cc = smallCampaign("cmp", "all", 24);
+    CampaignResult res = runCampaign(cc);
+    ASSERT_FALSE(res.failed) << res.error;
+    EXPECT_EQ(res.runs.size(), 24u);
+    EXPECT_EQ(res.masked + res.detected + res.sdc + res.hang, 24);
+    EXPECT_GT(res.goldenCycles, 0u);
+    EXPECT_GT(res.goldenCommits, 0u);
+    // Every SDC run must carry a localized first divergence.
+    for (const FaultRunRecord &r : res.runs)
+        if (r.outcome == FaultOutcome::Sdc) {
+            EXPECT_TRUE(r.diverged);
+            EXPECT_FALSE(r.divergence.disasm.empty());
+        }
+}
+
+TEST(Campaign, SameSeedGivesByteIdenticalJson)
+{
+    CampaignConfig cc = smallCampaign("cmp", "map,psw", 16);
+    std::string a = runCampaign(cc).toJson(true);
+    std::string b = runCampaign(cc).toJson(true);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"outcomes\""), std::string::npos);
+
+    // A different seed base explores different faults.
+    cc.seedBase = 12345;
+    std::string c = runCampaign(cc).toJson(true);
+    EXPECT_NE(a, c);
+}
+
+TEST(Campaign, SweepSurvivesAFatalConfiguration)
+{
+    CampaignConfig good = smallCampaign("cmp", "map", 4);
+    CampaignConfig bad = good;
+    // Unified maps with a reset model: the simulator's constructor
+    // raises FatalError during the golden run.
+    bad.label = "bad";
+    bad.opts.rc.splitMaps = false;
+
+    std::vector<CampaignResult> results =
+        runCampaignSweep({bad, good});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].failed);
+    EXPECT_NE(results[0].error.find("unified maps"),
+              std::string::npos);
+    EXPECT_FALSE(results[1].failed);
+    EXPECT_EQ(results[1].runs.size(), 4u);
+
+    std::string json = sweepToJson(results, false);
+    EXPECT_NE(json.find("\"failed\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"failed\": false"), std::string::npos);
+}
+
+TEST(Campaign, GuardedRunConvertsFatalIntoFailedOutcome)
+{
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ASSERT_NE(w, nullptr);
+    harness::CompileOptions opts;
+    opts.rc = harness::rcConfigFor(false, 16);
+    opts.rc.splitMaps = false; // model 3 + unified: fatal
+    opts.machine = harness::Experiment::machineFor(4);
+
+    ScopedQuietErrors hush;
+    harness::RunOutcome out =
+        harness::runConfigurationGuarded(*w, opts);
+    EXPECT_EQ(out.status, harness::RunStatus::FatalFailure);
+    EXPECT_TRUE(out.failed());
+    EXPECT_NE(out.error.find("unified maps"), std::string::npos);
+
+    // The same API succeeds for a sane configuration.
+    opts.rc.splitMaps = true;
+    harness::RunOutcome ok =
+        harness::runConfigurationGuarded(*w, opts);
+    EXPECT_EQ(ok.status, harness::RunStatus::Ok);
+    EXPECT_TRUE(ok.verified);
+}
+
+TEST(Campaign, StuckAtInstructionFaultIsDetectedOrClassified)
+{
+    // Directed check of the detected path: corrupt the halt into an
+    // illegal encoding and the run must not be classified masked.
+    isa::Program p = prog(connectedSrc);
+    sim::SimConfig cfg = rcCfg();
+
+    Fault fault;
+    fault.target = FaultTarget::Instruction;
+    fault.kind = FaultKind::BitFlip;
+    fault.cycle = 0;
+    fault.index = 9; // the halt
+    fault.bit = 28;  // high opcode bit: very likely undecodable
+
+    isa::Program faulted = p;
+    sim::Simulator sim(faulted, cfg);
+    FaultInjector injector(faulted, fault);
+    sim.attachProbe(&injector);
+
+    ScopedQuietErrors hush;
+    bool detected = false;
+    try {
+        sim::SimResult res = sim.run();
+        detected = !res.ok ||
+                   res.reason != sim::StopReason::Halted;
+    } catch (const std::exception &) {
+        detected = true; // illegal-instruction panic
+    }
+    EXPECT_TRUE(injector.applied());
+    EXPECT_NE(injector.note().find("instr[9]"), std::string::npos);
+    EXPECT_TRUE(detected);
+}
+
+} // namespace
+} // namespace rcsim::inject

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * rcinject — seeded fault-injection campaigns for the RC simulator.
+ *
+ * Runs N-seed fault campaigns against a workload under one or more
+ * RC configurations, classifies every faulted run as masked /
+ * detected / sdc (silent data corruption) / hang, and emits a
+ * deterministic JSON report.  A configuration that fails to compile
+ * or simulate is reported as a failed campaign entry; the rest of
+ * the sweep still runs.
+ *
+ *   rcinject --workload compress --seeds 50 --target map
+ *   rcinject --workload tomcatv --models 1,2,3,4 --target map --no-runs
+ *
+ * Options:
+ *   --workload NAME   workload under test (default compress)
+ *   --seeds N         faulted runs per configuration (default 50)
+ *   --seed-base N     first seed (default 1)
+ *   --target SPEC     comma list of map, read-map, write-map,
+ *                     regfile, psw, instr, all (default map)
+ *   --model N         RC automatic-reset model 1-4 (default 3)
+ *   --models A,B,..   sweep several reset models
+ *   --core N          core registers (default 16 int / 32 fp)
+ *   --issue N         issue width (default 4)
+ *   --scalar          scalar optimization only
+ *   --hang-factor X   hang threshold, multiple of golden cycles
+ *                     (default 4)
+ *   --wall-clock S    per-run wall-clock watchdog seconds,
+ *                     0 disables (default 10)
+ *   --json FILE       write the JSON report to FILE (default stdout)
+ *   --no-runs         omit the per-run array from the JSON
+ *   --summary         also print a human-readable summary to stderr
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "inject/campaign.hh"
+#include "support/logging.hh"
+
+namespace
+{
+
+using namespace rcsim;
+
+struct Args
+{
+    std::string workload = "compress";
+    int seeds = 50;
+    std::uint64_t seedBase = 1;
+    std::string target = "map";
+    std::vector<int> models = {3};
+    int core = -1;
+    int issue = 4;
+    bool scalar = false;
+    double hangFactor = 4.0;
+    double wallClock = 10.0;
+    std::string jsonFile;
+    bool includeRuns = true;
+    bool summary = false;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: rcinject --workload NAME [options]\n"
+                 "see the header of tools/rcinject.cc for the "
+                 "option list\n");
+    return 2;
+}
+
+bool
+parseModels(const std::string &spec, std::vector<int> &models)
+{
+    models.clear();
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        std::string tok = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        int m = std::atoi(tok.c_str());
+        if (m < 1 || m > 4)
+            return false;
+        models.push_back(m);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return !models.empty();
+}
+
+bool
+parseArgs(int argc, char **argv, Args &args)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (a == "--workload" && next())
+            args.workload = argv[i];
+        else if (a == "--seeds" && next())
+            args.seeds = std::atoi(argv[i]);
+        else if (a == "--seed-base" && next())
+            args.seedBase =
+                static_cast<std::uint64_t>(std::atoll(argv[i]));
+        else if (a == "--target" && next())
+            args.target = argv[i];
+        else if (a == "--model" && next())
+            args.models = {std::atoi(argv[i])};
+        else if (a == "--models" && next()) {
+            if (!parseModels(argv[i], args.models))
+                return false;
+        } else if (a == "--core" && next())
+            args.core = std::atoi(argv[i]);
+        else if (a == "--issue" && next())
+            args.issue = std::atoi(argv[i]);
+        else if (a == "--scalar")
+            args.scalar = true;
+        else if (a == "--hang-factor" && next())
+            args.hangFactor = std::atof(argv[i]);
+        else if (a == "--wall-clock" && next())
+            args.wallClock = std::atof(argv[i]);
+        else if (a == "--json" && next())
+            args.jsonFile = argv[i];
+        else if (a == "--no-runs")
+            args.includeRuns = false;
+        else if (a == "--summary")
+            args.summary = true;
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return false;
+        }
+    }
+    return args.seeds > 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, args))
+        return usage();
+    setQuiet(true);
+
+    const workloads::Workload *w =
+        workloads::findWorkload(args.workload);
+    if (!w) {
+        std::fprintf(stderr,
+                     "unknown workload '%s' (try 'rcc list')\n",
+                     args.workload.c_str());
+        return 1;
+    }
+
+    std::vector<inject::FaultTarget> targets =
+        inject::parseTargets(args.target);
+    if (targets.empty()) {
+        std::fprintf(stderr, "bad --target spec '%s'\n",
+                     args.target.c_str());
+        return 2;
+    }
+
+    int core = args.core > 0 ? args.core : (w->isFp ? 32 : 16);
+    std::vector<inject::CampaignConfig> cfgs;
+    for (int model : args.models) {
+        inject::CampaignConfig cc;
+        cc.workload = args.workload;
+        cc.label = "model" + std::to_string(model);
+        cc.seedBase = args.seedBase;
+        cc.seeds = args.seeds;
+        cc.targets = targets;
+        cc.hangCycleFactor = args.hangFactor;
+        cc.wallClockSecs = args.wallClock;
+        cc.opts.level = args.scalar ? opt::OptLevel::Scalar
+                                    : opt::OptLevel::Ilp;
+        cc.opts.rc = harness::rcConfigFor(
+            w->isFp, core, static_cast<core::RcModel>(model));
+        cc.opts.machine =
+            harness::Experiment::machineFor(args.issue);
+        cfgs.push_back(std::move(cc));
+    }
+
+    std::vector<inject::CampaignResult> results =
+        inject::runCampaignSweep(cfgs);
+
+    std::string json =
+        inject::sweepToJson(results, args.includeRuns);
+    if (args.jsonFile.empty()) {
+        std::fputs(json.c_str(), stdout);
+        std::fputc('\n', stdout);
+    } else {
+        std::ofstream out(args.jsonFile);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         args.jsonFile.c_str());
+            return 1;
+        }
+        out << json << "\n";
+    }
+
+    for (const inject::CampaignResult &r : results) {
+        if (r.failed) {
+            std::fprintf(stderr, "%s %s: FAILED: %s\n",
+                         r.workload.c_str(), r.label.c_str(),
+                         r.error.c_str());
+        } else if (args.summary) {
+            std::fprintf(stderr,
+                         "%s %s: %d masked, %d detected, %d sdc, "
+                         "%d hang (of %zu; golden %llu cycles)\n",
+                         r.workload.c_str(), r.label.c_str(),
+                         r.masked, r.detected, r.sdc, r.hang,
+                         r.runs.size(),
+                         (unsigned long long)r.goldenCycles);
+        }
+    }
+    // A failed configuration is reported in-band; the sweep itself
+    // only fails when every configuration failed.
+    bool all_failed = !results.empty();
+    for (const inject::CampaignResult &r : results)
+        all_failed = all_failed && r.failed;
+    return all_failed ? 1 : 0;
+}
