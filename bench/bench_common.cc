@@ -15,4 +15,29 @@ geomeanRow(TextTable &table, const std::string &label,
     table.row(std::move(cells));
 }
 
+std::vector<double>
+parallelSpeedups(harness::Experiment &exp,
+                 const std::vector<SpeedupCell> &cells, int jobs)
+{
+    // Warm the baseline cache first: one run per distinct workload,
+    // themselves in parallel, so the grid workers below always hit.
+    std::vector<const workloads::Workload *> unique;
+    for (const SpeedupCell &c : cells) {
+        bool seen = false;
+        for (const workloads::Workload *w : unique)
+            seen = seen || w == c.workload;
+        if (!seen)
+            unique.push_back(c.workload);
+    }
+    harness::parallelFor(unique.size(), jobs, [&](std::size_t i) {
+        exp.baselineCycles(*unique[i]);
+    });
+
+    std::vector<double> speedups(cells.size());
+    harness::parallelFor(cells.size(), jobs, [&](std::size_t i) {
+        speedups[i] = exp.speedup(*cells[i].workload, cells[i].opts);
+    });
+    return speedups;
+}
+
 } // namespace rcsim::bench

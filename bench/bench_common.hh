@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
@@ -79,6 +80,23 @@ banner(const std::string &title, const std::string &subtitle)
 /** Append a geometric-mean row to a per-benchmark table. */
 void geomeanRow(TextTable &table, const std::string &label,
                 const std::vector<std::vector<double>> &columns);
+
+/** One (workload, options) cell of a figure's speedup grid. */
+struct SpeedupCell
+{
+    const workloads::Workload *workload = nullptr;
+    harness::CompileOptions opts;
+};
+
+/**
+ * exp.speedup() for every cell, computed on the sweep worker pool
+ * (jobs = 0 → RCSIM_JOBS env / hardware concurrency).  Baselines are
+ * warmed first so grid workers never duplicate a baseline run.
+ * Results come back in cell order, identical to a serial loop.
+ */
+std::vector<double> parallelSpeedups(harness::Experiment &exp,
+                                     const std::vector<SpeedupCell> &cells,
+                                     int jobs = 0);
 
 } // namespace rcsim::bench
 

@@ -39,23 +39,27 @@ runFigure(int load_lat, const char *title)
         t.header(std::move(hdr));
     }
 
-    std::vector<std::vector<double>> cols(widths.size() * 3);
+    std::vector<SpeedupCell> cells;
     for (const auto &w : workloads::allWorkloads()) {
         int core = paperCore(w);
+        for (int width : widths) {
+            cells.push_back({&w, withoutRc(w, core, width, load_lat)});
+            cells.push_back({&w, withRc(w, core, width, load_lat)});
+            cells.push_back({&w, unlimited(width, load_lat)});
+        }
+    }
+    std::vector<double> s = parallelSpeedups(exp, cells);
+
+    std::vector<std::vector<double>> cols(widths.size() * 3);
+    std::size_t cell = 0;
+    for (const auto &w : workloads::allWorkloads()) {
         std::vector<std::string> row{w.name};
         for (std::size_t i = 0; i < widths.size(); ++i) {
-            double sb =
-                exp.speedup(w, withoutRc(w, core, widths[i],
-                                         load_lat));
-            double sr =
-                exp.speedup(w, withRc(w, core, widths[i], load_lat));
-            double su = exp.speedup(w, unlimited(widths[i], load_lat));
-            cols[3 * i].push_back(sb);
-            cols[3 * i + 1].push_back(sr);
-            cols[3 * i + 2].push_back(su);
-            row.push_back(TextTable::num(sb));
-            row.push_back(TextTable::num(sr));
-            row.push_back(TextTable::num(su));
+            for (std::size_t k = 0; k < 3; ++k) {
+                cols[3 * i + k].push_back(s[cell]);
+                row.push_back(TextTable::num(s[cell]));
+                ++cell;
+            }
         }
         t.row(std::move(row));
     }

@@ -26,9 +26,7 @@ main()
 
     for (int load_lat : {2, 4}) {
         std::printf("-- %d-cycle load latency --\n", load_lat);
-        TextTable t;
-        t.header({"benchmark", "base2", "base4", "rc2", "unl2"});
-        std::vector<std::vector<double>> cols(4);
+        std::vector<SpeedupCell> cells;
         for (const auto &w : workloads::allWorkloads()) {
             int core = paperCore(w);
             harness::CompileOptions b2 =
@@ -40,17 +38,25 @@ main()
             r2.machine.memChannels = 2;
             harness::CompileOptions u2 = unlimited(4, load_lat);
             u2.machine.memChannels = 2;
+            cells.push_back({&w, b2});
+            cells.push_back({&w, b4});
+            cells.push_back({&w, r2});
+            cells.push_back({&w, u2});
+        }
+        std::vector<double> s = parallelSpeedups(exp, cells);
 
-            double sb2 = exp.speedup(w, b2);
-            double sb4 = exp.speedup(w, b4);
-            double sr2 = exp.speedup(w, r2);
-            double su2 = exp.speedup(w, u2);
-            cols[0].push_back(sb2);
-            cols[1].push_back(sb4);
-            cols[2].push_back(sr2);
-            cols[3].push_back(su2);
-            t.row({w.name, TextTable::num(sb2), TextTable::num(sb4),
-                   TextTable::num(sr2), TextTable::num(su2)});
+        TextTable t;
+        t.header({"benchmark", "base2", "base4", "rc2", "unl2"});
+        std::vector<std::vector<double>> cols(4);
+        std::size_t cell = 0;
+        for (const auto &w : workloads::allWorkloads()) {
+            std::vector<std::string> row{w.name};
+            for (std::size_t k = 0; k < 4; ++k) {
+                cols[k].push_back(s[cell]);
+                row.push_back(TextTable::num(s[cell]));
+                ++cell;
+            }
+            t.row(std::move(row));
         }
         geomeanRow(t, "geomean", cols);
         std::fputs(t.render().c_str(), stdout);

@@ -24,16 +24,23 @@ main()
     harness::Experiment exp;
     const std::vector<int> widths{1, 2, 4, 8};
 
+    std::vector<SpeedupCell> cells;
+    for (const auto &w : workloads::allWorkloads())
+        for (int width : widths)
+            cells.push_back({&w, unlimited(width)});
+    std::vector<double> s = parallelSpeedups(exp, cells);
+
     TextTable t;
     t.header({"benchmark", "1-issue", "2-issue", "4-issue",
               "8-issue"});
     std::vector<std::vector<double>> cols(widths.size());
+    std::size_t cell = 0;
     for (const auto &w : workloads::allWorkloads()) {
         std::vector<std::string> row{w.name};
         for (std::size_t i = 0; i < widths.size(); ++i) {
-            double s = exp.speedup(w, unlimited(widths[i]));
-            cols[i].push_back(s);
-            row.push_back(TextTable::num(s));
+            cols[i].push_back(s[cell]);
+            row.push_back(TextTable::num(s[cell]));
+            ++cell;
         }
         t.row(std::move(row));
     }

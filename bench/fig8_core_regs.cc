@@ -40,21 +40,32 @@ main()
         t.header(std::move(hdr));
     }
 
+    std::vector<SpeedupCell> cells;
+    for (const auto &w : workloads::allWorkloads()) {
+        for (std::size_t i = 0; i < int_cores.size(); ++i) {
+            int core = w.isFp ? fp_cores[i] : int_cores[i];
+            cells.push_back({&w, withoutRc(w, core, 4)});
+            cells.push_back({&w, withRc(w, core, 4)});
+        }
+        cells.push_back({&w, unlimited(4)});
+    }
+    std::vector<double> s = parallelSpeedups(exp, cells);
+
     std::vector<std::vector<double>> cols(int_cores.size() * 2 + 1);
+    std::size_t cell = 0;
     for (const auto &w : workloads::allWorkloads()) {
         std::vector<std::string> row{w.name};
         for (std::size_t i = 0; i < int_cores.size(); ++i) {
-            int core = w.isFp ? fp_cores[i] : int_cores[i];
-            double sb = exp.speedup(w, withoutRc(w, core, 4));
-            double sr = exp.speedup(w, withRc(w, core, 4));
-            cols[2 * i].push_back(sb);
-            cols[2 * i + 1].push_back(sr);
-            row.push_back(TextTable::num(sb));
-            row.push_back(TextTable::num(sr));
+            cols[2 * i].push_back(s[cell]);
+            row.push_back(TextTable::num(s[cell]));
+            ++cell;
+            cols[2 * i + 1].push_back(s[cell]);
+            row.push_back(TextTable::num(s[cell]));
+            ++cell;
         }
-        double su = exp.speedup(w, unlimited(4));
-        cols.back().push_back(su);
-        row.push_back(TextTable::num(su));
+        cols.back().push_back(s[cell]);
+        row.push_back(TextTable::num(s[cell]));
+        ++cell;
         t.row(std::move(row));
     }
     geomeanRow(t, "geomean", cols);

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * micro_sim_throughput — the tracked simulator-performance benchmark.
+ *
+ * Measures two things and emits both into a machine-readable JSON
+ * file (BENCH_sim_throughput.json) so the perf trajectory can be
+ * compared across PRs:
+ *
+ *  1. Simulated MIPS: every workload is compiled once at the
+ *     fig12-style configuration (4-issue, 2-cycle loads, 16/32 core
+ *     registers, with RC, ILP optimization) and re-simulated until a
+ *     minimum wall-clock budget is spent; simulated instructions per
+ *     wall-clock second is the headline number.  Each run's checksum
+ *     is verified against the interpreter golden value and the cycle
+ *     count is recorded, so a perf regression hunt can also see any
+ *     timing-model drift.
+ *
+ *  2. Sweep wall-clock: the (workload × {base, rc, unlimited})
+ *     4-issue grid is run through harness::runSweep() serially and
+ *     with the worker pool, timing both and asserting the outcomes
+ *     are identical.
+ *
+ * Options:
+ *   --json FILE       output file (default BENCH_sim_throughput.json,
+ *                     "-" = stdout only)
+ *   --min-time S      per-workload measurement budget (default 0.5)
+ *   --workloads A,B   subset of workloads (default: all twelve)
+ *   --jobs N          sweep worker threads (0 = auto, default 0)
+ *   --smoke           tiny smoke run (cmp only, 0.02 s budget) used
+ *                     by the ctest target to keep this binary from
+ *                     silently rotting
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+
+namespace
+{
+
+using namespace rcsim;
+using Clock = std::chrono::steady_clock;
+
+double
+secsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+struct WorkloadMeasurement
+{
+    std::string name;
+    Cycle cycles = 0;         // per-run cycle count (deterministic)
+    Count instructions = 0;   // per-run instruction count
+    int runs = 0;
+    double secs = 0.0;
+    double mips = 0.0;
+};
+
+std::vector<std::string>
+splitList(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(spec.substr(pos));
+            break;
+        }
+        out.push_back(spec.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rcsim::bench;
+    setQuiet(true);
+
+    std::string json_file = "BENCH_sim_throughput.json";
+    double min_time = 0.5;
+    std::vector<std::string> names;
+    int jobs = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (a == "--json" && next())
+            json_file = argv[i];
+        else if (a == "--min-time" && next())
+            min_time = std::atof(argv[i]);
+        else if (a == "--workloads" && next())
+            names = splitList(argv[i]);
+        else if (a == "--jobs" && next())
+            jobs = std::atoi(argv[i]);
+        else if (a == "--smoke") {
+            names = {"cmp"};
+            min_time = 0.02;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<const workloads::Workload *> suite;
+    if (names.empty()) {
+        for (const auto &w : workloads::allWorkloads())
+            suite.push_back(&w);
+    } else {
+        for (const std::string &n : names) {
+            const workloads::Workload *w = workloads::findWorkload(n);
+            if (!w) {
+                std::fprintf(stderr, "unknown workload '%s'\n",
+                             n.c_str());
+                return 2;
+            }
+            suite.push_back(w);
+        }
+    }
+
+    // ---- 1. Simulated MIPS at the fig12-style configuration. ----
+    std::vector<WorkloadMeasurement> measurements;
+    Count total_instrs = 0;
+    double total_secs = 0.0;
+    for (const workloads::Workload *w : suite) {
+        harness::CompileOptions o = withRc(*w, paperCore(*w), 4, 2);
+        harness::CompiledProgram cp =
+            harness::compileWorkload(*w, o);
+        sim::SimConfig sc;
+        sc.machine = o.machine;
+        sc.rc = o.rc;
+        sim::Simulator sim(cp.program, sc);
+
+        WorkloadMeasurement m;
+        m.name = w->name;
+        sim::SimResult warm = sim.run(); // warm caches, verify once
+        if (!warm.ok ||
+            sim.state().loadWord(cp.resultAddr) != cp.golden) {
+            std::fprintf(stderr,
+                         "%s: simulation failed or checksum "
+                         "mismatch\n",
+                         w->name.c_str());
+            return 1;
+        }
+        m.cycles = warm.cycles;
+        m.instructions = warm.instructions;
+
+        Clock::time_point start = Clock::now();
+        Count instrs = 0;
+        do {
+            sim::SimResult r = sim.run();
+            if (!r.ok || r.cycles != m.cycles) {
+                std::fprintf(stderr,
+                             "%s: non-deterministic re-run\n",
+                             w->name.c_str());
+                return 1;
+            }
+            instrs += r.instructions;
+            ++m.runs;
+            m.secs = secsSince(start);
+        } while (m.secs < min_time);
+        m.mips = static_cast<double>(instrs) / m.secs / 1e6;
+        total_instrs += instrs;
+        total_secs += m.secs;
+
+        std::printf("%-12s %8.2f MIPS  (%llu cycles, %llu instrs, "
+                    "%d runs)\n",
+                    m.name.c_str(), m.mips,
+                    static_cast<unsigned long long>(m.cycles),
+                    static_cast<unsigned long long>(m.instructions),
+                    m.runs);
+        measurements.push_back(std::move(m));
+    }
+    double aggregate_mips =
+        total_secs > 0
+            ? static_cast<double>(total_instrs) / total_secs / 1e6
+            : 0.0;
+    std::printf("%-12s %8.2f MIPS\n", "aggregate", aggregate_mips);
+
+    // ---- 2. Sweep wall-clock: serial vs worker pool. ----
+    std::vector<harness::SweepPoint> points;
+    for (const workloads::Workload *w : suite) {
+        int core = paperCore(*w);
+        points.push_back({w, withoutRc(*w, core, 4), 0, false});
+        points.push_back({w, withRc(*w, core, 4), 0, false});
+        points.push_back({w, unlimited(4), 0, false});
+    }
+
+    Clock::time_point t0 = Clock::now();
+    std::vector<harness::RunOutcome> serial =
+        harness::runSweep(points, 1);
+    double serial_secs = secsSince(t0);
+
+    int pool_jobs = harness::resolveJobs(jobs);
+    t0 = Clock::now();
+    std::vector<harness::RunOutcome> parallel =
+        harness::runSweep(points, pool_jobs);
+    double parallel_secs = secsSince(t0);
+
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i)
+        identical = serial[i].status == parallel[i].status &&
+                    serial[i].cycles == parallel[i].cycles &&
+                    serial[i].instructions ==
+                        parallel[i].instructions &&
+                    serial[i].result == parallel[i].result;
+    std::printf("sweep: %zu points, serial %.2fs, %d-job %.2fs "
+                "(%.2fx), outcomes %s\n",
+                points.size(), serial_secs, pool_jobs, parallel_secs,
+                parallel_secs > 0 ? serial_secs / parallel_secs : 0.0,
+                identical ? "identical" : "DIVERGED");
+    if (!identical)
+        return 1;
+
+    // ---- JSON report. ----
+    std::string j = "{\n  \"bench\": \"sim_throughput\",\n";
+    j += "  \"config\": {\"issue\": 4, \"load_latency\": 2, "
+         "\"core_int\": 16, \"core_fp\": 32, \"rc\": true, "
+         "\"opt\": \"ilp\"},\n";
+    j += "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+        const WorkloadMeasurement &m = measurements[i];
+        char buf[256];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"name\": \"%s\", \"cycles\": %llu, "
+            "\"instructions\": %llu, \"runs\": %d, "
+            "\"secs\": %.4f, \"mips\": %.2f}%s\n",
+            m.name.c_str(),
+            static_cast<unsigned long long>(m.cycles),
+            static_cast<unsigned long long>(m.instructions), m.runs,
+            m.secs, m.mips,
+            i + 1 < measurements.size() ? "," : "");
+        j += buf;
+    }
+    j += "  ],\n";
+    {
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "  \"aggregate\": {\"mips\": %.2f},\n",
+                      aggregate_mips);
+        j += buf;
+        std::snprintf(
+            buf, sizeof buf,
+            "  \"sweep\": {\"points\": %zu, \"jobs\": %d, "
+            "\"serial_secs\": %.3f, \"parallel_secs\": %.3f, "
+            "\"identical\": %s}\n",
+            points.size(), pool_jobs, serial_secs, parallel_secs,
+            identical ? "true" : "false");
+        j += buf;
+    }
+    j += "}\n";
+
+    if (json_file == "-") {
+        std::fputs(j.c_str(), stdout);
+    } else {
+        std::ofstream out(json_file);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         json_file.c_str());
+            return 1;
+        }
+        out << j;
+        std::printf("wrote %s\n", json_file.c_str());
+    }
+    return 0;
+}

@@ -39,18 +39,16 @@ RegisterMappingTable::RegisterMappingTable(int entries, int phys_regs,
 }
 
 void
-RegisterMappingTable::checkIndex(int idx) const
+RegisterMappingTable::badIndex(int idx) const
 {
-    if (idx < 0 || idx >= size())
-        panic("map index ", idx, " out of range [0, ", size(), ")");
+    panic("map index ", idx, " out of range [0, ", size(), ")");
 }
 
 void
-RegisterMappingTable::checkPhys(PhysIndex phys) const
+RegisterMappingTable::badPhys(PhysIndex phys) const
 {
-    if (phys >= physRegs_)
-        panic("physical register ", phys, " out of range [0, ",
-              physRegs_, ")");
+    panic("physical register ", phys, " out of range [0, ",
+          physRegs_, ")");
 }
 
 void

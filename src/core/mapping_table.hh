@@ -116,8 +116,23 @@ class RegisterMappingTable
     bool unified() const { return unified_; }
 
   private:
-    void checkIndex(int idx) const;
-    void checkPhys(PhysIndex phys) const;
+    // The checks sit on the simulator's per-operand hot path: keep
+    // the compare inline and push the panic into cold out-of-line
+    // helpers.
+    void
+    checkIndex(int idx) const
+    {
+        if (idx < 0 || idx >= size())
+            badIndex(idx);
+    }
+    void
+    checkPhys(PhysIndex phys) const
+    {
+        if (phys >= physRegs_)
+            badPhys(phys);
+    }
+    [[noreturn]] void badIndex(int idx) const;
+    [[noreturn]] void badPhys(PhysIndex phys) const;
 
     std::vector<PhysIndex> read_;
     std::vector<PhysIndex> write_;

@@ -104,10 +104,16 @@ Experiment::machineFor(int issue_width, int load_latency)
 Cycle
 Experiment::baselineCycles(const workloads::Workload &workload)
 {
-    auto it = baselines_.find(workload.name);
-    if (it != baselines_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(baselinesMutex_);
+        auto it = baselines_.find(workload.name);
+        if (it != baselines_.end())
+            return it->second;
+    }
 
+    // Compute outside the lock so other workloads' baselines (and
+    // sweep points) keep making progress; a concurrent miss on the
+    // same workload just recomputes the identical value.
     CompileOptions opts;
     opts.level = opt::OptLevel::Scalar;
     opts.rc = core::RcConfig::unlimited();
@@ -117,7 +123,8 @@ Experiment::baselineCycles(const workloads::Workload &workload)
     if (!out.verified)
         panic("baseline run of '", workload.name,
               "' produced a wrong result");
-    baselines_[workload.name] = out.cycles;
+    std::lock_guard<std::mutex> lock(baselinesMutex_);
+    baselines_.emplace(workload.name, out.cycles);
     return out.cycles;
 }
 

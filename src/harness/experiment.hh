@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "harness/pipeline.hh"
@@ -75,6 +76,15 @@ RunOutcome runConfigurationGuarded(const workloads::Workload &workload,
  * Caches baseline cycle counts and runs experiment sweeps.  Any
  * verification failure panics: a run that produces the wrong answer
  * must never contribute a data point.
+ *
+ * Thread-safety contract: baselineCycles(), speedup() and measured()
+ * may be called concurrently from the worker threads of a parallel
+ * sweep (harness/sweep.hh).  The baseline cache is guarded by a
+ * mutex; the baseline simulation itself runs outside the lock, so
+ * two threads racing on the same un-cached workload may both compute
+ * it (the runs are deterministic, so both arrive at the same value —
+ * duplicated work, never a wrong answer).  measured() touches no
+ * shared state beyond that cache.
  */
 class Experiment
 {
@@ -95,7 +105,8 @@ class Experiment
                                           int load_latency = 2);
 
   private:
-    std::map<std::string, Cycle> baselines_;
+    std::mutex baselinesMutex_;
+    std::map<std::string, Cycle, std::less<>> baselines_;
 };
 
 } // namespace rcsim::harness

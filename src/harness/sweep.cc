@@ -1,0 +1,80 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace rcsim::harness
+{
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs >= 1)
+        return jobs;
+    if (const char *env = std::getenv("RCSIM_JOBS")) {
+        int v = std::atoi(env);
+        if (v >= 1)
+            return v;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+void
+parallelFor(std::size_t n, int jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    int workers = resolveJobs(jobs);
+    if (workers <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    if (static_cast<std::size_t>(workers) > n)
+        workers = static_cast<int>(n);
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+std::vector<RunOutcome>
+runSweep(const std::vector<SweepPoint> &points, int jobs)
+{
+    std::vector<RunOutcome> results(points.size());
+    parallelFor(points.size(), jobs, [&](std::size_t i) {
+        const SweepPoint &p = points[i];
+        results[i] = runConfigurationGuarded(
+            *p.workload, p.opts, p.keepProgram, p.maxCycles);
+    });
+    return results;
+}
+
+} // namespace rcsim::harness

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Parallel experiment sweeps: a thread-pool runner for (workload ×
+ * configuration × seed) grids.
+ *
+ * The paper's evaluation is an embarrassingly parallel grid — 12
+ * benchmarks × issue widths × register configurations — that the
+ * figure benches, Experiment and the fault-injection campaigns used
+ * to walk serially.  runSweep() and parallelFor() execute such grids
+ * on a pool of worker threads while keeping the results
+ * deterministic: every grid point writes only its own slot, indexed
+ * by grid position, so the output is identical to the serial path
+ * regardless of the number of jobs or the scheduling order (the
+ * parity is enforced by tests/test_perf_parity.cc).
+ *
+ * Thread-safety contract for work run under parallelFor(): the
+ * compile + simulate pipeline holds no mutable global state (the
+ * logging quiet flags are atomic), so independent grid points may run
+ * concurrently as long as each writes only its own result slot.
+ */
+
+#ifndef RCSIM_HARNESS_SWEEP_HH
+#define RCSIM_HARNESS_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace rcsim::harness
+{
+
+/**
+ * Resolve a job-count request: values >= 1 are returned unchanged;
+ * 0 (or negative) means "auto" — the RCSIM_JOBS environment variable
+ * when set, otherwise std::thread::hardware_concurrency().
+ */
+int resolveJobs(int jobs);
+
+/**
+ * Run fn(0) .. fn(n - 1) on up to @p jobs worker threads (see
+ * resolveJobs()).  With jobs <= 1 the calls happen inline, in order,
+ * on the calling thread — the serial reference path.  The first
+ * exception thrown by any call is rethrown on the calling thread
+ * after all workers have joined.
+ */
+void parallelFor(std::size_t n, int jobs,
+                 const std::function<void(std::size_t)> &fn);
+
+/** One grid point of a sweep. */
+struct SweepPoint
+{
+    const workloads::Workload *workload = nullptr;
+    CompileOptions opts;
+    Cycle maxCycles = 0;      // 0 = simulator default
+    bool keepProgram = false; // keep the compiled program around
+};
+
+/**
+ * Run every grid point through runConfigurationGuarded() on up to
+ * @p jobs threads.  Results are returned in grid order; the vector
+ * is identical to what a serial loop over the points would produce.
+ */
+std::vector<RunOutcome> runSweep(const std::vector<SweepPoint> &points,
+                                 int jobs = 0);
+
+} // namespace rcsim::harness
+
+#endif // RCSIM_HARNESS_SWEEP_HH

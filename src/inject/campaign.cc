@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "harness/sweep.hh"
 #include "inject/injector.hh"
 #include "support/logging.hh"
 
@@ -220,14 +221,22 @@ runCampaign(const CampaignConfig &cfg)
     space.codeSize = static_cast<int>(compiled.program.code.size());
     space.maxCycle = golden_res.cycles;
 
-    result.runs.reserve(cfg.seeds);
-    for (int i = 0; i < cfg.seeds; ++i) {
-        std::uint64_t seed = cfg.seedBase + static_cast<std::uint64_t>(i);
-        SplitMix rng(seed);
-        Fault fault = planFault(rng, cfg.targets, space);
-        FaultRunRecord rec =
-            runOneFault(compiled, sc, recorder.log(), hang_limit,
-                        cfg.wallClockSecs, seed, fault);
+    // Faulted replays are independent: fan them out over the job
+    // pool, each seed writing only its own record slot so the result
+    // (and its JSON) is byte-identical to the serial path.
+    result.runs.resize(static_cast<std::size_t>(cfg.seeds));
+    harness::parallelFor(
+        static_cast<std::size_t>(cfg.seeds), cfg.jobs,
+        [&](std::size_t i) {
+            std::uint64_t seed =
+                cfg.seedBase + static_cast<std::uint64_t>(i);
+            SplitMix rng(seed);
+            Fault fault = planFault(rng, cfg.targets, space);
+            result.runs[i] =
+                runOneFault(compiled, sc, recorder.log(), hang_limit,
+                            cfg.wallClockSecs, seed, fault);
+        });
+    for (const FaultRunRecord &rec : result.runs) {
         switch (rec.outcome) {
           case FaultOutcome::Masked:
             ++result.masked;
@@ -242,7 +251,6 @@ runCampaign(const CampaignConfig &cfg)
             ++result.hang;
             break;
         }
-        result.runs.push_back(std::move(rec));
     }
     return result;
 }

@@ -60,6 +60,14 @@ struct CampaignConfig
 
     /** Per-run wall-clock watchdog in seconds; 0 disables. */
     double wallClockSecs = 10.0;
+
+    /**
+     * Worker threads for the faulted replays: 1 = serial, 0 = auto
+     * (harness::resolveJobs).  Every seed writes its own record slot,
+     * so the result — including the JSON rendering — is byte-
+     * identical to the serial path at any job count.
+     */
+    int jobs = 1;
 };
 
 /** Classification of one faulted run. */

@@ -1,6 +1,5 @@
 #include "isa/opcode.hh"
 
-#include <array>
 #include <unordered_map>
 
 #include "support/logging.hh"
@@ -14,11 +13,16 @@ namespace
 constexpr RegClass I = RegClass::Int;
 constexpr RegClass F = RegClass::Fp;
 
+} // namespace
+
+namespace detail
+{
+
 // One row per Opcode, in declaration order.
 // {name, class, hasDst, numSrcs, hasImm, isBranch, isJump,
 //  isMem, isLoad, isStore, isConnect, dstClass, {srcClass[2]}}
-const std::array<OpcodeInfo,
-                 static_cast<std::size_t>(Opcode::NUM_OPCODES)> table = {{
+const OpcodeInfo
+    opcodeTable[static_cast<std::size_t>(Opcode::NUM_OPCODES)] = {
     {"nop", LatencyClass::None, false, 0, false, false, false, false,
      false, false, false, I, {I, I}},
     {"halt", LatencyClass::None, false, 0, false, false, false, false,
@@ -158,18 +162,21 @@ const std::array<OpcodeInfo,
      false, false, false, true, I, {I, I}},
     {"connect.dd", LatencyClass::Connect, false, 0, false, false, false,
      false, false, false, true, I, {I, I}},
-}};
+};
 
-} // namespace
-
-const OpcodeInfo &
-opcodeInfo(Opcode op)
+void
+badOpcode(std::size_t idx)
 {
-    auto i = static_cast<std::size_t>(op);
-    if (i >= table.size())
-        panic("opcodeInfo: bad opcode ", i);
-    return table[i];
+    panic("opcodeInfo: bad opcode ", idx);
 }
+
+int
+unknownLatencyClass()
+{
+    panic("latencyOf: unreachable");
+}
+
+} // namespace detail
 
 const char *
 opcodeName(Opcode op)
@@ -184,7 +191,8 @@ opcodeFromName(const std::string &name)
         std::unordered_map<std::string, Opcode> m;
         for (std::size_t i = 0;
              i < static_cast<std::size_t>(Opcode::NUM_OPCODES); ++i)
-            m.emplace(table[i].name, static_cast<Opcode>(i));
+            m.emplace(detail::opcodeTable[i].name,
+                      static_cast<Opcode>(i));
         return m;
     }();
     auto it = index.find(name);
@@ -201,31 +209,7 @@ isControlFlow(Opcode op)
 int
 LatencyConfig::latencyOf(Opcode op) const
 {
-    switch (opcodeInfo(op).latClass) {
-      case LatencyClass::IntAlu:
-        return 1;
-      case LatencyClass::IntMul:
-        return 3;
-      case LatencyClass::IntDiv:
-        return 10;
-      case LatencyClass::FpAlu:
-        return 3;
-      case LatencyClass::FpMul:
-        return 3;
-      case LatencyClass::FpDiv:
-        return 10;
-      case LatencyClass::Load:
-        return loadLatency;
-      case LatencyClass::Store:
-        return 1;
-      case LatencyClass::Branch:
-        return 1;
-      case LatencyClass::Connect:
-        return connectLatency;
-      case LatencyClass::None:
-        return 1;
-    }
-    panic("latencyOf: unreachable");
+    return latencyOf(opcodeInfo(op).latClass);
 }
 
 } // namespace rcsim::isa

@@ -8,6 +8,7 @@
 #ifndef RCSIM_ISA_OPCODE_HH
 #define RCSIM_ISA_OPCODE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -135,6 +136,12 @@ enum class LatencyClass : std::uint8_t
     None,     // NOP / HALT
 };
 
+namespace detail
+{
+/** Cold path of the latency lookup: an unmapped class panics. */
+[[noreturn]] int unknownLatencyClass();
+} // namespace detail
+
 /** Instruction latencies from Table 1 of the paper. */
 struct LatencyConfig
 {
@@ -142,6 +149,40 @@ struct LatencyConfig
     int loadLatency = 2;
     /** Connect latency: 0 (forwarded) or 1 (Figure 12 scenarios). */
     int connectLatency = 0;
+
+    /**
+     * Execution latency in cycles for a latency class.  Inline: the
+     * simulator asks once per issued instruction.
+     */
+    int
+    latencyOf(LatencyClass c) const
+    {
+        switch (c) {
+          case LatencyClass::IntAlu:
+            return 1;
+          case LatencyClass::IntMul:
+            return 3;
+          case LatencyClass::IntDiv:
+            return 10;
+          case LatencyClass::FpAlu:
+            return 3;
+          case LatencyClass::FpMul:
+            return 3;
+          case LatencyClass::FpDiv:
+            return 10;
+          case LatencyClass::Load:
+            return loadLatency;
+          case LatencyClass::Store:
+            return 1;
+          case LatencyClass::Branch:
+            return 1;
+          case LatencyClass::Connect:
+            return connectLatency;
+          case LatencyClass::None:
+            return 1;
+        }
+        return detail::unknownLatencyClass();
+    }
 
     /** Execution latency in cycles for an opcode. */
     int latencyOf(Opcode op) const;
@@ -165,8 +206,27 @@ struct OpcodeInfo
     RegClass srcClass[2];
 };
 
-/** Look up the static properties of an opcode. */
-const OpcodeInfo &opcodeInfo(Opcode op);
+namespace detail
+{
+/** Static property table, one row per Opcode (defined in opcode.cc). */
+extern const OpcodeInfo
+    opcodeTable[static_cast<std::size_t>(Opcode::NUM_OPCODES)];
+[[noreturn]] void badOpcode(std::size_t idx);
+} // namespace detail
+
+/**
+ * Look up the static properties of an opcode.  Inline with a cold
+ * failure helper: the simulator performs this lookup for every
+ * simulated instruction.
+ */
+inline const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    auto i = static_cast<std::size_t>(op);
+    if (i >= static_cast<std::size_t>(Opcode::NUM_OPCODES))
+        detail::badOpcode(i);
+    return detail::opcodeTable[i];
+}
 
 /** Opcode mnemonic. */
 const char *opcodeName(Opcode op);

@@ -41,34 +41,6 @@ MachineState::reset()
     setSp(static_cast<Word>(memory_.size() - 16));
 }
 
-core::RegisterMappingTable &
-MachineState::map(isa::RegClass cls)
-{
-    return cls == isa::RegClass::Int ? imap_ : fmap_;
-}
-
-const core::RegisterMappingTable &
-MachineState::map(isa::RegClass cls) const
-{
-    return cls == isa::RegClass::Int ? imap_ : fmap_;
-}
-
-int
-MachineState::resolveRead(const isa::Reg &r) const
-{
-    if (!cfg_.rc.enabled || !psw_.mapEnable())
-        return r.idx;
-    return map(r.cls).readMap(r.idx);
-}
-
-int
-MachineState::resolveWrite(const isa::Reg &r) const
-{
-    if (!cfg_.rc.enabled || !psw_.mapEnable())
-        return r.idx;
-    return map(r.cls).writeMap(r.idx);
-}
-
 void
 MachineState::resetMaps()
 {

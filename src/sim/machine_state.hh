@@ -52,19 +52,42 @@ class MachineState
 
     // -- Register access through the mapping table ---------------------
 
+    // Resolution runs once per operand per simulated instruction, so
+    // the table walk stays inline (see src/sim/simulator.cc).
+
     /** Physical register a source operand resolves to. */
-    int resolveRead(const isa::Reg &r) const;
+    int
+    resolveRead(const isa::Reg &r) const
+    {
+        if (!cfg_.rc.enabled || !psw_.mapEnable())
+            return r.idx;
+        return map(r.cls).readMap(r.idx);
+    }
 
     /** Physical register a destination operand resolves to. */
-    int resolveWrite(const isa::Reg &r) const;
+    int
+    resolveWrite(const isa::Reg &r) const
+    {
+        if (!cfg_.rc.enabled || !psw_.mapEnable())
+            return r.idx;
+        return map(r.cls).writeMap(r.idx);
+    }
 
     Word readInt(int phys) const { return iregs_[phys]; }
     double readFp(int phys) const { return fregs_[phys]; }
     void writeInt(int phys, Word v) { iregs_[phys] = v; }
     void writeFp(int phys, double v) { fregs_[phys] = v; }
 
-    core::RegisterMappingTable &map(isa::RegClass cls);
-    const core::RegisterMappingTable &map(isa::RegClass cls) const;
+    core::RegisterMappingTable &
+    map(isa::RegClass cls)
+    {
+        return cls == isa::RegClass::Int ? imap_ : fmap_;
+    }
+    const core::RegisterMappingTable &
+    map(isa::RegClass cls) const
+    {
+        return cls == isa::RegClass::Int ? imap_ : fmap_;
+    }
 
     /** jsr / rts / power-up: reset both mapping tables. */
     void resetMaps();

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
@@ -77,21 +78,20 @@ Simulator::reset()
     halted_ = false;
     cycleLimitHit_ = false;
     error_.clear();
-    stats_.clear();
+    counters_.clear();
     nextInterrupt_ = 0;
     trace_.clear();
     traceLeft_ = cfg_.traceLimit;
+    if (traceLeft_ > 0)
+        trace_.reserve(
+            static_cast<std::size_t>(std::min<Count>(traceLeft_,
+                                                     65536)) *
+            48);
     for (Count &c : originDyn_)
         c = 0;
     for (int c = 0; c < isa::numRegClasses; ++c)
         dirtyMap_[c].assign(
             cfg_.rc.core(static_cast<RegClass>(c)), 0);
-}
-
-Cycle &
-Simulator::readyOf(RegClass cls, int phys)
-{
-    return cls == RegClass::Int ? readyInt_[phys] : readyFp_[phys];
 }
 
 void
@@ -107,7 +107,7 @@ Simulator::enterTrap(std::int32_t return_pc)
     // registers directly (Section 4.3).
     state_.psw().setMapEnable(false);
     state_.pc = cfg_.trapVector;
-    stats_.add("traps");
+    counters_.add(SimCounter::Traps);
 }
 
 SimResult
@@ -142,7 +142,7 @@ Simulator::result() const
     r.error = error_;
     r.cycles = cycle_;
     r.instructions = instructions_;
-    r.stats = stats_;
+    counters_.exportTo(r.stats);
     static const char *origin_names[6] = {
         "dyn_normal", "dyn_spill_load", "dyn_spill_store",
         "dyn_connect", "dyn_save_restore", "dyn_glue"};
@@ -168,7 +168,7 @@ Simulator::issueCycle()
     }
 
     if (cycle_ < nextFetchCycle_) {
-        stats_.add("cycles_redirect");
+        counters_.add(SimCounter::CyclesRedirect);
         ++cycle_;
         return;
     }
@@ -176,6 +176,7 @@ Simulator::issueCycle()
     int slots = cfg_.machine.issueWidth;
     int mem = cfg_.machine.memChannels;
     bool any_dirty = false;
+    const Cycle dirty_stamp = cycle_ + 1;
 
     int issued = 0;
     while (slots > 0 && !halted_) {
@@ -194,13 +195,14 @@ Simulator::issueCycle()
             bool dirty = false;
             for (int k = 0; k < info.numSrcs && !dirty; ++k)
                 if (dirtyMap_[static_cast<int>(ins.src[k].cls)]
-                             [ins.src[k].idx])
+                             [ins.src[k].idx] == dirty_stamp)
                     dirty = true;
             if (!dirty && info.hasDst &&
-                dirtyMap_[static_cast<int>(ins.dst.cls)][ins.dst.idx])
+                dirtyMap_[static_cast<int>(ins.dst.cls)]
+                         [ins.dst.idx] == dirty_stamp)
                 dirty = true;
             if (dirty) {
-                stats_.add("stall_map_update");
+                counters_.add(SimCounter::StallMapUpdate);
                 break;
             }
         }
@@ -237,13 +239,13 @@ Simulator::issueCycle()
         bool stalled = false;
         for (int k = 0; k < info.numSrcs; ++k)
             if (readyOf(ins.src[k].cls, sphys[k]) > cycle_) {
-                stats_.add("stall_src");
+                counters_.add(SimCounter::StallSrc);
                 stalled = true;
                 break;
             }
         if (!stalled && info.hasDst &&
             readyOf(ins.dst.cls, dphys) > cycle_) {
-            stats_.add("stall_dest_busy");
+            counters_.add(SimCounter::StallDestBusy);
             stalled = true;
         }
         if (!stalled && info.isConnect &&
@@ -257,7 +259,7 @@ Simulator::issueCycle()
             for (int k = 0; k < ins.nconn; ++k)
                 if (!ins.conn[k].isDef &&
                     readyOf(ins.connCls, ins.conn[k].phys) > cycle_) {
-                    stats_.add("stall_src");
+                    counters_.add(SimCounter::StallSrc);
                     stalled = true;
                     break;
                 }
@@ -269,16 +271,20 @@ Simulator::issueCycle()
         bool uses_mem = info.isMem || ins.op == Opcode::JSR ||
                         ins.op == Opcode::RTS;
         if (uses_mem && mem == 0) {
-            stats_.add("stall_mem_channel");
+            counters_.add(SimCounter::StallMemChannel);
             break;
         }
 
         // ---- Issue. ----
         if (traceLeft_ > 0) {
             --traceLeft_;
-            trace_ += std::to_string(cycle_) + "  " +
-                      std::to_string(state_.pc) + ": " +
-                      ins.toString() + "\n";
+            char head[32];
+            int n = std::snprintf(
+                head, sizeof head, "%llu  %d: ",
+                static_cast<unsigned long long>(cycle_), state_.pc);
+            trace_.append(head, static_cast<std::size_t>(n));
+            trace_ += ins.toString();
+            trace_ += '\n';
         }
         ++instructions_;
         originDyn_[static_cast<int>(ins.origin)] += 1;
@@ -290,41 +296,35 @@ Simulator::issueCycle()
             cfg_.machine.lat.connectLatency >= 1) {
             for (int k = 0; k < ins.nconn; ++k) {
                 dirtyMap_[static_cast<int>(ins.connCls)]
-                         [ins.conn[k].mapIdx] = 1;
+                         [ins.conn[k].mapIdx] = dirty_stamp;
                 any_dirty = true;
             }
         }
 
-        bool continue_group = execute(ins, issued);
+        bool continue_group = execute(ins, info, sphys, dphys);
         if (!continue_group)
             break;
     }
 
     if (issued == 0)
-        stats_.add("cycles_stalled");
-    stats_.add("issued_" + std::to_string(issued));
-    if (any_dirty)
-        for (int c = 0; c < isa::numRegClasses; ++c)
-            std::fill(dirtyMap_[c].begin(), dirtyMap_[c].end(), 0);
+        counters_.add(SimCounter::CyclesStalled);
+    counters_.addIssued(issued);
     ++cycle_;
 }
 
 bool
-Simulator::execute(const Instruction &ins, int)
+Simulator::execute(const Instruction &ins, const OpcodeInfo &info,
+                   const int sphys[2], int dphys)
 {
-    const OpcodeInfo &info = ins.info();
     bool rc_on = cfg_.rc.enabled && state_.psw().mapEnable();
 
-    auto sval = [&](int k) {
-        return state_.readInt(state_.resolveRead(ins.src[k]));
-    };
-    auto fval = [&](int k) {
-        return state_.readFp(state_.resolveRead(ins.src[k]));
-    };
+    // Operands were resolved once in issueCycle(); read the physical
+    // registers directly instead of walking the map again.
+    auto sval = [&](int k) { return state_.readInt(sphys[k]); };
+    auto fval = [&](int k) { return state_.readFp(sphys[k]); };
     auto uw = [](Word w) { return static_cast<UWord>(w); };
 
-    int dphys = info.hasDst ? state_.resolveWrite(ins.dst) : -1;
-    int latency = cfg_.machine.lat.latencyOf(ins.op);
+    int latency = cfg_.machine.lat.latencyOf(info.latClass);
 
     auto write_int = [&](Word v) {
         state_.writeInt(dphys, v);
@@ -356,12 +356,12 @@ Simulator::execute(const Instruction &ins, int)
     auto branch = [&](bool taken) {
         if (taken) {
             state_.pc = ins.target;
-            stats_.add("taken_branches");
+            counters_.add(SimCounter::TakenBranches);
         } else {
             ++state_.pc;
         }
         if (taken != ins.predictTaken) {
-            stats_.add("mispredicts");
+            counters_.add(SimCounter::Mispredicts);
             nextFetchCycle_ = cycle_ + 1 + cfg_.redirectPenalty();
             return false;
         }
@@ -512,7 +512,7 @@ Simulator::execute(const Instruction &ins, int)
             fail("load out of bounds");
             return false;
         }
-        stats_.add("loads");
+        counters_.add(SimCounter::Loads);
         write_int(state_.loadWord(a));
         break;
       }
@@ -522,7 +522,7 @@ Simulator::execute(const Instruction &ins, int)
             fail("load out of bounds");
             return false;
         }
-        stats_.add("loads");
+        counters_.add(SimCounter::Loads);
         write_fp(state_.loadDouble(a));
         break;
       }
@@ -532,7 +532,7 @@ Simulator::execute(const Instruction &ins, int)
             fail("store out of bounds");
             return false;
         }
-        stats_.add("stores");
+        counters_.add(SimCounter::Stores);
         Word v = sval(0);
         state_.storeWord(a, v);
         if (probe_)
@@ -549,8 +549,8 @@ Simulator::execute(const Instruction &ins, int)
             fail("store out of bounds");
             return false;
         }
-        stats_.add("stores");
-        double v = state_.readFp(state_.resolveRead(ins.src[0]));
+        counters_.add(SimCounter::Stores);
+        double v = state_.readFp(sphys[0]);
         state_.storeDouble(a, v);
         if (probe_)
             probe_->onCommit({CommitEffect::Kind::StoreDouble, cycle_,
@@ -590,7 +590,7 @@ Simulator::execute(const Instruction &ins, int)
         state_.pc = ins.target;
         if (cfg_.rc.enabled)
             state_.resetMaps(); // Section 4.1
-        stats_.add("calls");
+        counters_.add(SimCounter::Calls);
         return false;
       }
       case Opcode::RTS: {
@@ -633,7 +633,7 @@ Simulator::execute(const Instruction &ins, int)
             fail("connect instruction without RC support");
             return false;
         }
-        stats_.add("connects");
+        counters_.add(SimCounter::Connects);
         core::RegisterMappingTable &map = state_.map(ins.connCls);
         for (int k = 0; k < ins.nconn; ++k) {
             if (ins.conn[k].phys >= map.physRegs()) {

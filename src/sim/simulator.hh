@@ -25,6 +25,7 @@
 
 #include "sim/machine_state.hh"
 #include "sim/probe.hh"
+#include "support/sim_counters.hh"
 #include "support/stats.hh"
 
 namespace rcsim::sim
@@ -95,9 +96,18 @@ class Simulator
     /** Issue one cycle's group; updates pc/cycle bookkeeping. */
     void issueCycle();
 
-    /** Functional execution of one instruction; returns false when
-     * the group must end after it (control flow, psw write). */
-    bool execute(const isa::Instruction &ins, int slot_in_group);
+    /**
+     * Functional execution of one instruction; returns false when
+     * the group must end after it (control flow, psw write).
+     *
+     * @p sphys / @p dphys are the physical registers the operands
+     * already resolved to in issueCycle() — execution must not
+     * resolve again (a connect executing earlier in the same group
+     * may have changed the map since this instruction was decoded).
+     */
+    bool execute(const isa::Instruction &ins,
+                 const isa::OpcodeInfo &info, const int sphys[2],
+                 int dphys);
 
     void enterTrap(std::int32_t return_pc);
 
@@ -109,7 +119,13 @@ class Simulator
         halted_ = true;
     }
 
-    Cycle &readyOf(isa::RegClass cls, int phys);
+    /** Interlock scoreboard entry; inline, hit per operand. */
+    Cycle &
+    readyOf(isa::RegClass cls, int phys)
+    {
+        return cls == isa::RegClass::Int ? readyInt_[phys]
+                                         : readyFp_[phys];
+    }
 
     const isa::Program &prog_;
     SimConfig cfg_;
@@ -125,11 +141,14 @@ class Simulator
     bool cycleLimitHit_ = false;
     std::string error_;
     SimProbe *probe_ = nullptr;
-    StatGroup stats_;
+    SimCounterArray counters_;
     std::size_t nextInterrupt_ = 0;
 
     // Map entries updated this cycle (one-cycle connect model).
-    std::vector<char> dirtyMap_[isa::numRegClasses];
+    // Generation-stamped: entry == cycle_ + 1 means "dirty this
+    // cycle"; stale stamps from earlier cycles never match, so no
+    // per-cycle clearing is needed.
+    std::vector<Cycle> dirtyMap_[isa::numRegClasses];
 
     // Dynamic instruction counts by provenance (Figure 9's static
     // accounting, measured dynamically).

@@ -1,5 +1,6 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace rcsim
@@ -7,8 +8,10 @@ namespace rcsim
 
 namespace
 {
-bool quietFlag = false;
-int quietErrorDepth = 0;
+// Atomic so ScopedQuietErrors can be used from worker threads of a
+// parallel sweep (harness/sweep.hh) without a data race.
+std::atomic<bool> quietFlag{false};
+std::atomic<int> quietErrorDepth{0};
 }
 
 ScopedQuietErrors::ScopedQuietErrors()
@@ -41,7 +44,7 @@ emit(const char *level, const std::string &msg)
 {
     bool is_error =
         std::string(level) == "panic" || std::string(level) == "fatal";
-    if (is_error ? quietErrorDepth > 0 : quietFlag)
+    if (is_error ? quietErrorDepth > 0 : quietFlag.load())
         return;
     std::fprintf(stderr, "rcsim: %s: %s\n", level, msg.c_str());
 }

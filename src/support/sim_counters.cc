@@ -1,0 +1,60 @@
+#include "support/sim_counters.hh"
+
+#include <cstdio>
+
+namespace rcsim
+{
+
+const char *
+toString(SimCounter c)
+{
+    switch (c) {
+      case SimCounter::Traps:
+        return "traps";
+      case SimCounter::CyclesRedirect:
+        return "cycles_redirect";
+      case SimCounter::CyclesStalled:
+        return "cycles_stalled";
+      case SimCounter::StallMapUpdate:
+        return "stall_map_update";
+      case SimCounter::StallSrc:
+        return "stall_src";
+      case SimCounter::StallDestBusy:
+        return "stall_dest_busy";
+      case SimCounter::StallMemChannel:
+        return "stall_mem_channel";
+      case SimCounter::TakenBranches:
+        return "taken_branches";
+      case SimCounter::Mispredicts:
+        return "mispredicts";
+      case SimCounter::Loads:
+        return "loads";
+      case SimCounter::Stores:
+        return "stores";
+      case SimCounter::Calls:
+        return "calls";
+      case SimCounter::Connects:
+        return "connects";
+      case SimCounter::NumCounters:
+        break;
+    }
+    return "unknown";
+}
+
+void
+SimCounterArray::exportTo(StatGroup &group) const
+{
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(SimCounter::NumCounters); ++i)
+        if (counts_[i])
+            group.set(toString(static_cast<SimCounter>(i)),
+                      counts_[i]);
+    char name[sizeof "issued_" + 8];
+    for (int n = 0; n <= maxIssueWidth; ++n)
+        if (issued_[n]) {
+            std::snprintf(name, sizeof name, "issued_%d", n);
+            group.set(name, issued_[n]);
+        }
+}
+
+} // namespace rcsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Dense, enum-indexed event counters for the simulator's hot loop.
+ *
+ * The simulator used to account every event through a string-keyed
+ * StatGroup (a `std::map<std::string, Count>` lookup — and for the
+ * per-cycle issue histogram a freshly allocated key — on every
+ * simulated cycle).  SimCounterArray replaces that with a plain array
+ * indexed by the SimCounter enum plus a fixed-size issued-width
+ * histogram, so counting an event is one add into a cache-resident
+ * slot.  The string-keyed view every consumer expects is materialized
+ * exactly once, in Simulator::result(), via exportTo(): counter names
+ * and values are identical to the historical StatGroup contents (a
+ * name appears iff its count is non-zero, matching the old
+ * touch-on-add behaviour).
+ */
+
+#ifndef RCSIM_SUPPORT_SIM_COUNTERS_HH
+#define RCSIM_SUPPORT_SIM_COUNTERS_HH
+
+#include <cstring>
+
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace rcsim
+{
+
+/** Every named event the simulator counts on its hot path. */
+enum class SimCounter : unsigned
+{
+    Traps,
+    CyclesRedirect,
+    CyclesStalled,
+    StallMapUpdate,
+    StallSrc,
+    StallDestBusy,
+    StallMemChannel,
+    TakenBranches,
+    Mispredicts,
+    Loads,
+    Stores,
+    Calls,
+    Connects,
+    NumCounters, // sentinel
+};
+
+/** The stat name a counter exports as (identical to the old keys). */
+const char *toString(SimCounter c);
+
+/** Fixed-size counter array plus the issued-width histogram. */
+class SimCounterArray
+{
+  public:
+    /** Largest modelled issue width (MachineModel: 1-8). */
+    static constexpr int maxIssueWidth = 8;
+
+    void
+    clear()
+    {
+        std::memset(counts_, 0, sizeof counts_);
+        std::memset(issued_, 0, sizeof issued_);
+    }
+
+    void
+    add(SimCounter c, Count delta = 1)
+    {
+        counts_[static_cast<unsigned>(c)] += delta;
+    }
+
+    Count
+    get(SimCounter c) const
+    {
+        return counts_[static_cast<unsigned>(c)];
+    }
+
+    /** Count one issue cycle that issued @p n instructions. */
+    void
+    addIssued(int n)
+    {
+        ++issued_[n];
+    }
+
+    Count
+    issued(int n) const
+    {
+        return issued_[n];
+    }
+
+    /**
+     * Materialize into the string-keyed StatGroup: every non-zero
+     * counter under its toString() name, every non-zero histogram
+     * bucket as "issued_<n>".
+     */
+    void exportTo(StatGroup &group) const;
+
+  private:
+    Count counts_[static_cast<unsigned>(SimCounter::NumCounters)] = {};
+    Count issued_[maxIssueWidth + 1] = {};
+};
+
+} // namespace rcsim
+
+#endif // RCSIM_SUPPORT_SIM_COUNTERS_HH

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "support/types.hh"
@@ -17,40 +18,56 @@
 namespace rcsim
 {
 
-/** A named bag of scalar counters with formatted dumping. */
+/**
+ * A named bag of scalar counters with formatted dumping.
+ *
+ * Lookups are heterogeneous (std::less<> + std::string_view), so
+ * get("literal") and add(sv) never construct a temporary std::string;
+ * an allocation happens only when a new counter is first created.
+ */
 class StatGroup
 {
   public:
+    using Map = std::map<std::string, Count, std::less<>>;
+
     /** Add delta to the named counter (creating it at zero). */
     void
-    add(const std::string &name, Count delta = 1)
+    add(std::string_view name, Count delta = 1)
     {
-        counters_[name] += delta;
+        auto it = counters_.find(name);
+        if (it == counters_.end())
+            counters_.emplace(name, delta);
+        else
+            it->second += delta;
     }
 
     /** Read a counter; missing counters read as zero. */
     Count
-    get(const std::string &name) const
+    get(std::string_view name) const
     {
         auto it = counters_.find(name);
         return it == counters_.end() ? 0 : it->second;
     }
 
     void
-    set(const std::string &name, Count value)
+    set(std::string_view name, Count value)
     {
-        counters_[name] = value;
+        auto it = counters_.find(name);
+        if (it == counters_.end())
+            counters_.emplace(name, value);
+        else
+            it->second = value;
     }
 
     void clear() { counters_.clear(); }
 
-    const std::map<std::string, Count> &all() const { return counters_; }
+    const Map &all() const { return counters_; }
 
     /** Render as "name = value" lines. */
     std::string format() const;
 
   private:
-    std::map<std::string, Count> counters_;
+    Map counters_;
 };
 
 /**

@@ -364,6 +364,18 @@ TEST(Campaign, SameSeedGivesByteIdenticalJson)
     EXPECT_NE(a, c);
 }
 
+TEST(Campaign, ParallelReplaysGiveByteIdenticalJson)
+{
+    // The rcinject --jobs path: a campaign fanned out over worker
+    // threads must render byte-identically to the serial one.
+    CampaignConfig cc = smallCampaign("cmp", "all", 24);
+    cc.jobs = 1;
+    std::string serial = runCampaign(cc).toJson(true);
+    cc.jobs = 4;
+    std::string parallel = runCampaign(cc).toJson(true);
+    EXPECT_EQ(serial, parallel);
+}
+
 TEST(Campaign, SweepSurvivesAFatalConfiguration)
 {
     CampaignConfig good = smallCampaign("cmp", "map", 4);

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Performance-refactor parity: the dense-counter simulator and the
+ * parallel sweep runner must be observably identical to the seed
+ * implementation.
+ *
+ *  - Stat parity: one integer and one floating-point workload run at
+ *    the fig12-style configuration must produce exactly the stat
+ *    names and values the seed's string-keyed implementation
+ *    produced (golden lists checked in below, captured from the
+ *    pre-refactor simulator).
+ *  - Sweep parity: runSweep() with a worker pool must return
+ *    outcomes identical to the serial path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "support/logging.hh"
+
+namespace rcsim
+{
+namespace
+{
+
+using GoldenStats = std::map<std::string, Count>;
+
+/** fig12-style configuration: 4-issue, 2-cycle loads, RC on. */
+harness::CompileOptions
+paperOptions(const workloads::Workload &w)
+{
+    harness::CompileOptions o;
+    o.level = opt::OptLevel::Ilp;
+    o.rc = harness::rcConfigFor(w.isFp, w.isFp ? 32 : 16);
+    o.machine = harness::Experiment::machineFor(4, 2);
+    return o;
+}
+
+void
+expectStatsMatchGolden(const char *name, Cycle golden_cycles,
+                       Count golden_instructions,
+                       const GoldenStats &golden)
+{
+    setQuiet(true);
+    const workloads::Workload *w = workloads::findWorkload(name);
+    ASSERT_NE(w, nullptr);
+
+    harness::CompileOptions opts = paperOptions(*w);
+    harness::CompiledProgram cp = harness::compileWorkload(*w, opts);
+    sim::SimConfig sc;
+    sc.machine = opts.machine;
+    sc.rc = opts.rc;
+    sim::Simulator sim(cp.program, sc);
+    sim::SimResult r = sim.run();
+    ASSERT_TRUE(r.ok) << r.error;
+
+    EXPECT_EQ(r.cycles, golden_cycles);
+    EXPECT_EQ(r.instructions, golden_instructions);
+
+    // Exactly the golden names, each with the golden value — a
+    // missing, extra or renamed counter is a parity break.
+    GoldenStats produced(r.stats.all().begin(), r.stats.all().end());
+    for (const auto &[key, value] : golden) {
+        auto it = produced.find(key);
+        if (it == produced.end())
+            ADD_FAILURE() << "missing stat '" << key << "'";
+        else
+            EXPECT_EQ(it->second, value) << "stat '" << key << "'";
+    }
+    for (const auto &[key, value] : produced)
+        if (!golden.count(key))
+            ADD_FAILURE()
+                << "unexpected stat '" << key << "' = " << value;
+}
+
+// Golden lists captured from the seed (string-keyed StatGroup)
+// implementation at commit e1e8907, fig12-style configuration.
+TEST(StatParity, IntWorkloadMatchesSeedImplementation)
+{
+    expectStatsMatchGolden("cmp", 225347, 617081,
+                           {
+                               {"calls", 1u},
+                               {"connects", 2597u},
+                               {"cycles_redirect", 11u},
+                               {"cycles_stalled", 5120u},
+                               {"dyn_connect", 2597u},
+                               {"dyn_glue", 17u},
+                               {"dyn_normal", 614455u},
+                               {"dyn_save_restore", 12u},
+                               {"dyn_spill_load", 0u},
+                               {"dyn_spill_store", 0u},
+                               {"issued_0", 5120u},
+                               {"issued_1", 10263u},
+                               {"issued_2", 58897u},
+                               {"issued_3", 115200u},
+                               {"issued_4", 35856u},
+                               {"loads", 81927u},
+                               {"mispredicts", 11u},
+                               {"stall_mem_channel", 3u},
+                               {"stall_src", 184334u},
+                               {"stores", 8u},
+                               {"taken_branches", 5119u},
+                           });
+}
+
+TEST(StatParity, FpWorkloadMatchesSeedImplementation)
+{
+    expectStatsMatchGolden("tomcatv", 288339, 898759,
+                           {
+                               {"calls", 1u},
+                               {"connects", 86123u},
+                               {"cycles_redirect", 283u},
+                               {"cycles_stalled", 36437u},
+                               {"dyn_connect", 86123u},
+                               {"dyn_glue", 12u},
+                               {"dyn_normal", 812596u},
+                               {"dyn_save_restore", 28u},
+                               {"dyn_spill_load", 0u},
+                               {"dyn_spill_store", 0u},
+                               {"issued_0", 36437u},
+                               {"issued_1", 15330u},
+                               {"issued_2", 14784u},
+                               {"issued_3", 32159u},
+                               {"issued_4", 189346u},
+                               {"loads", 232689u},
+                               {"mispredicts", 283u},
+                               {"stall_mem_channel", 9669u},
+                               {"stall_src", 85027u},
+                               {"stores", 25408u},
+                               {"taken_branches", 4412u},
+                           });
+}
+
+TEST(SweepParity, ParallelRunSweepMatchesSerial)
+{
+    setQuiet(true);
+    std::vector<harness::SweepPoint> points;
+    for (const char *name : {"cmp", "grep", "eqn"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        ASSERT_NE(w, nullptr);
+        harness::CompileOptions rc = paperOptions(*w);
+        harness::CompileOptions base = rc;
+        base.rc = harness::baseConfigFor(w->isFp, w->isFp ? 32 : 16);
+        points.push_back({w, rc, 0, false});
+        points.push_back({w, base, 0, false});
+    }
+
+    std::vector<harness::RunOutcome> serial =
+        harness::runSweep(points, 1);
+    std::vector<harness::RunOutcome> parallel =
+        harness::runSweep(points, 4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        EXPECT_EQ(serial[i].status, parallel[i].status);
+        EXPECT_EQ(serial[i].error, parallel[i].error);
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles);
+        EXPECT_EQ(serial[i].instructions, parallel[i].instructions);
+        EXPECT_EQ(serial[i].verified, parallel[i].verified);
+        EXPECT_EQ(serial[i].result, parallel[i].result);
+        EXPECT_EQ(serial[i].golden, parallel[i].golden);
+        EXPECT_TRUE(serial[i].verified);
+    }
+}
+
+TEST(SweepParity, ParallelForCoversEveryIndexOnce)
+{
+    std::vector<int> hits(257, 0);
+    harness::parallelFor(hits.size(), 8,
+                         [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(SweepParity, ParallelForPropagatesTheFirstException)
+{
+    EXPECT_THROW(
+        harness::parallelFor(64, 4,
+                             [](std::size_t i) {
+                                 if (i == 13)
+                                     throw std::runtime_error("boom");
+                             }),
+        std::runtime_error);
+}
+
+TEST(SweepParity, ResolveJobsHonorsExplicitRequest)
+{
+    EXPECT_EQ(harness::resolveJobs(3), 3);
+    EXPECT_GE(harness::resolveJobs(0), 1);
+}
+
+} // namespace
+} // namespace rcsim

@@ -8,6 +8,7 @@
 
 #include "support/logging.hh"
 #include "support/random.hh"
+#include "support/sim_counters.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 
@@ -78,6 +79,45 @@ TEST(Stats, ClearRemovesEverything)
     g.clear();
     EXPECT_EQ(g.get("a"), 0u);
     EXPECT_TRUE(g.all().empty());
+}
+
+TEST(Stats, HeterogeneousLookupNeedsNoTemporaryString)
+{
+    StatGroup g;
+    g.add(std::string_view("sv"), 2);
+    g.add("literal");
+    std::string owned = "owned";
+    g.set(owned, 7);
+    EXPECT_EQ(g.get(std::string_view("sv")), 2u);
+    EXPECT_EQ(g.get("literal"), 1u);
+    EXPECT_EQ(g.get(owned), 7u);
+    // The map itself uses a transparent comparator, so find() with a
+    // string_view compiles and hits without constructing a key.
+    EXPECT_NE(g.all().find(std::string_view("owned")), g.all().end());
+}
+
+TEST(SimCounters, ExportMatchesStatGroupNaming)
+{
+    SimCounterArray c;
+    c.add(SimCounter::Loads, 3);
+    c.add(SimCounter::StallSrc);
+    c.addIssued(0);
+    c.addIssued(4);
+    c.addIssued(4);
+    StatGroup g;
+    c.exportTo(g);
+    EXPECT_EQ(g.get("loads"), 3u);
+    EXPECT_EQ(g.get("stall_src"), 1u);
+    EXPECT_EQ(g.get("issued_0"), 1u);
+    EXPECT_EQ(g.get("issued_4"), 2u);
+    // Untouched counters are not materialized (seed behaviour:
+    // a name appeared only once its counter was first bumped).
+    EXPECT_TRUE(g.all().find("stores") == g.all().end());
+    EXPECT_TRUE(g.all().find("issued_1") == g.all().end());
+    c.clear();
+    StatGroup empty;
+    c.exportTo(empty);
+    EXPECT_TRUE(empty.all().empty());
 }
 
 TEST(Stats, FormatListsCounters)

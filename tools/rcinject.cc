@@ -27,6 +27,10 @@
  *                     (default 4)
  *   --wall-clock S    per-run wall-clock watchdog seconds,
  *                     0 disables (default 10)
+ *   --jobs N          worker threads for the faulted replays;
+ *                     1 = serial, 0 = auto (RCSIM_JOBS env or
+ *                     hardware concurrency; default 1).  The JSON
+ *                     report is byte-identical at any job count.
  *   --json FILE       write the JSON report to FILE (default stdout)
  *   --no-runs         omit the per-run array from the JSON
  *   --summary         also print a human-readable summary to stderr
@@ -59,6 +63,7 @@ struct Args
     bool scalar = false;
     double hangFactor = 4.0;
     double wallClock = 10.0;
+    int jobs = 1;
     std::string jsonFile;
     bool includeRuns = true;
     bool summary = false;
@@ -127,6 +132,8 @@ parseArgs(int argc, char **argv, Args &args)
             args.hangFactor = std::atof(argv[i]);
         else if (a == "--wall-clock" && next())
             args.wallClock = std::atof(argv[i]);
+        else if (a == "--jobs" && next())
+            args.jobs = std::atoi(argv[i]);
         else if (a == "--json" && next())
             args.jsonFile = argv[i];
         else if (a == "--no-runs")
@@ -179,6 +186,7 @@ main(int argc, char **argv)
         cc.targets = targets;
         cc.hangCycleFactor = args.hangFactor;
         cc.wallClockSecs = args.wallClock;
+        cc.jobs = args.jobs;
         cc.opts.level = args.scalar ? opt::OptLevel::Scalar
                                     : opt::OptLevel::Ilp;
         cc.opts.rc = harness::rcConfigFor(
