@@ -1,0 +1,262 @@
+/**
+ * @file
+ * micro_compile_throughput — the tracked compile-performance
+ * benchmark for the staged pipeline.
+ *
+ * Measures three things and emits them into a machine-readable JSON
+ * file (BENCH_compile_throughput.json) so the compile-cost
+ * trajectory can be compared across PRs:
+ *
+ *  1. Cold compile: one full staged compile (frontend + backend)
+ *     with per-phase wall-clock split.
+ *
+ *  2. Warm-cache compile: the same configuration recompiled against
+ *     the memoized frontend; only the backend runs.  The program is
+ *     checked bit-identical to the cold one.
+ *
+ *  3. Fig8-style sweep: one workload across >= 6 core-size points
+ *     (RC enabled, 4-issue), compiled through the staged pipeline
+ *     (frontend runs exactly once — asserted via the cache stats)
+ *     and through the frozen seed monolith
+ *     (pipeline::compileReference, frontend per point).  Every
+ *     staged program must be bit-identical to its reference
+ *     counterpart; the wall-clock ratio is the headline speedup.
+ *
+ * Options:
+ *   --json FILE       output file (default
+ *                     BENCH_compile_throughput.json, "-" = stdout)
+ *   --workload NAME   sweep workload (default espresso)
+ *   --cores A,B,..    core-size points (default 8,12,16,24,32,48,64)
+ *   --repeat N        timing repetitions, best-of (default 3)
+ *   --smoke           tiny smoke run (cmp, cores 8,16,24, 1 rep)
+ *                     used by the ctest target
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "pipeline/compile.hh"
+#include "pipeline/reference.hh"
+
+namespace
+{
+
+using namespace rcsim;
+using Clock = std::chrono::steady_clock;
+
+double
+secsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+std::vector<int>
+splitInts(const std::string &spec)
+{
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        std::string tok = comma == std::string::npos
+                              ? spec.substr(pos)
+                              : spec.substr(pos, comma - pos);
+        if (!tok.empty())
+            out.push_back(std::atoi(tok.c_str()));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rcsim::bench;
+    setQuiet(true);
+
+    std::string json_file = "BENCH_compile_throughput.json";
+    std::string workload_name = "espresso";
+    std::vector<int> cores = {8, 12, 16, 24, 32, 48, 64};
+    int repeat = 3;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (a == "--json" && next())
+            json_file = argv[i];
+        else if (a == "--workload" && next())
+            workload_name = argv[i];
+        else if (a == "--cores" && next())
+            cores = splitInts(argv[i]);
+        else if (a == "--repeat" && next())
+            repeat = std::max(1, std::atoi(argv[i]));
+        else if (a == "--smoke") {
+            workload_name = "cmp";
+            cores = {8, 16, 24};
+            repeat = 1;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return 2;
+        }
+    }
+
+    const workloads::Workload *w =
+        workloads::findWorkload(workload_name);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload '%s'\n",
+                     workload_name.c_str());
+        return 2;
+    }
+
+    // ---- 1 + 2. Cold vs warm-cache single compile. ----
+    harness::CompileOptions opts = withRc(*w, cores[0], 4);
+
+    double cold_secs = 1e9, frontend_secs = 0, backend_secs = 0;
+    double warm_secs = 1e9;
+    pipeline::CompiledProgram cold_cp, warm_cp;
+    for (int r = 0; r < repeat; ++r) {
+        pipeline::frontendCache().clear();
+        pipeline::PassReport cold_report;
+        Clock::time_point t0 = Clock::now();
+        cold_cp = pipeline::compile(*w, opts, &cold_report);
+        double s = secsSince(t0);
+        if (s < cold_secs) {
+            cold_secs = s;
+            frontend_secs = cold_report.frontendSeconds();
+            backend_secs = cold_report.backendSeconds();
+        }
+
+        pipeline::PassReport warm_report;
+        t0 = Clock::now();
+        warm_cp = pipeline::compile(*w, opts, &warm_report);
+        s = secsSince(t0);
+        warm_secs = std::min(warm_secs, s);
+        if (!warm_report.frontendCached) {
+            std::fprintf(stderr,
+                         "warm compile missed the frontend cache\n");
+            return 1;
+        }
+    }
+    bool warm_identical =
+        pipeline::compiledIdentical(cold_cp, warm_cp);
+    std::printf("%-10s cold %8.3f ms (frontend %.3f, backend %.3f), "
+                "warm %8.3f ms (%.2fx), programs %s\n",
+                w->name.c_str(), cold_secs * 1e3,
+                frontend_secs * 1e3, backend_secs * 1e3,
+                warm_secs * 1e3, cold_secs / warm_secs,
+                warm_identical ? "identical" : "DIVERGED");
+    if (!warm_identical)
+        return 1;
+
+    // ---- 3. Fig8-style sweep: staged vs seed monolith. ----
+    std::vector<harness::CompileOptions> points;
+    for (int core : cores)
+        points.push_back(withRc(*w, core, 4));
+
+    double staged_secs = 1e9, reference_secs = 1e9;
+    std::uint64_t frontend_runs = 0;
+    bool sweep_identical = true;
+    for (int r = 0; r < repeat; ++r) {
+        pipeline::frontendCache().clear();
+        auto stats0 = pipeline::frontendCache().stats();
+        std::vector<pipeline::CompiledProgram> staged;
+        Clock::time_point t0 = Clock::now();
+        for (const harness::CompileOptions &o : points)
+            staged.push_back(pipeline::compile(*w, o));
+        double s = secsSince(t0);
+        auto stats1 = pipeline::frontendCache().stats();
+        if (s < staged_secs) {
+            staged_secs = s;
+            frontend_runs = stats1.misses - stats0.misses;
+        }
+
+        std::vector<pipeline::CompiledProgram> reference;
+        t0 = Clock::now();
+        for (const harness::CompileOptions &o : points)
+            reference.push_back(pipeline::compileReference(*w, o));
+        reference_secs = std::min(reference_secs, secsSince(t0));
+
+        for (std::size_t i = 0; i < points.size(); ++i)
+            sweep_identical =
+                sweep_identical &&
+                pipeline::compiledIdentical(staged[i],
+                                            reference[i]);
+    }
+    double sweep_speedup = staged_secs > 0
+                               ? reference_secs / staged_secs
+                               : 0.0;
+    std::printf("sweep: %zu core points, staged %.3f ms "
+                "(%llu frontend run%s), seed-monolith %.3f ms, "
+                "speedup %.2fx, programs %s\n",
+                points.size(), staged_secs * 1e3,
+                static_cast<unsigned long long>(frontend_runs),
+                frontend_runs == 1 ? "" : "s", reference_secs * 1e3,
+                sweep_speedup,
+                sweep_identical ? "identical" : "DIVERGED");
+    if (!sweep_identical || frontend_runs != 1)
+        return 1;
+
+    // ---- JSON report. ----
+    char buf[512];
+    std::string j = "{\n  \"bench\": \"compile_throughput\",\n";
+    std::snprintf(buf, sizeof buf,
+                  "  \"config\": {\"workload\": \"%s\", \"issue\": 4,"
+                  " \"opt\": \"ilp\", \"rc_model\": 3, \"cores\": [",
+                  w->name.c_str());
+    j += buf;
+    for (std::size_t i = 0; i < cores.size(); ++i)
+        j += (i ? "," : "") + std::to_string(cores[i]);
+    std::snprintf(buf, sizeof buf, "], \"repeat\": %d},\n", repeat);
+    j += buf;
+    std::snprintf(
+        buf, sizeof buf,
+        "  \"cold_compile\": {\"secs\": %.6f, \"frontend_secs\": "
+        "%.6f, \"backend_secs\": %.6f},\n",
+        cold_secs, frontend_secs, backend_secs);
+    j += buf;
+    std::snprintf(
+        buf, sizeof buf,
+        "  \"warm_compile\": {\"secs\": %.6f, \"speedup_vs_cold\": "
+        "%.2f, \"identical\": %s},\n",
+        warm_secs, warm_secs > 0 ? cold_secs / warm_secs : 0.0,
+        warm_identical ? "true" : "false");
+    j += buf;
+    std::snprintf(
+        buf, sizeof buf,
+        "  \"sweep\": {\"points\": %zu, \"frontend_runs\": %llu, "
+        "\"staged_secs\": %.6f, \"reference_secs\": %.6f, "
+        "\"speedup\": %.2f, \"identical\": %s}\n",
+        points.size(),
+        static_cast<unsigned long long>(frontend_runs), staged_secs,
+        reference_secs, sweep_speedup,
+        sweep_identical ? "true" : "false");
+    j += buf;
+    j += "}\n";
+
+    if (json_file == "-") {
+        std::fputs(j.c_str(), stdout);
+    } else {
+        std::ofstream out(json_file);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         json_file.c_str());
+            return 1;
+        }
+        out << j;
+        std::printf("wrote %s\n", json_file.c_str());
+    }
+    return 0;
+}

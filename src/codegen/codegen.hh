@@ -3,7 +3,9 @@
  * Code generation: call lowering, frame finalization and emission of
  * the final flat machine program.
  *
- * Pipeline position (orchestrated by harness::CompilationPipeline):
+ * Pipeline position (orchestrated by the pipeline:: pass manager —
+ * lowerModule ends the memoized frontend, the rest is per-config
+ * backend):
  *
  *   build IR -> optimize -> [addStartWrapper earlier] -> lowerModule
  *   -> allocate + rewrite (regalloc) -> finalizeFrames -> schedule

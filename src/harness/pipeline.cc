@@ -1,12 +1,5 @@
 #include "harness/pipeline.hh"
 
-#include "ir/transform.hh"
-#include "ir/verify.hh"
-#include "regalloc/connect.hh"
-#include "regalloc/rewrite.hh"
-#include "sched/scheduler.hh"
-#include "support/logging.hh"
-
 namespace rcsim::harness
 {
 
@@ -40,82 +33,10 @@ baseConfigFor(bool is_fp_benchmark, int core_size)
 
 CompiledProgram
 compileWorkload(const workloads::Workload &workload,
-                const CompileOptions &opts)
+                const CompileOptions &opts,
+                pipeline::PassReport *report)
 {
-    // 1. Build and wrap.
-    ir::Module module = workload.build();
-    codegen::addStartWrapper(module);
-    module.layout();
-    ir::verifyOrDie(module, "after workload construction");
-
-    // 2. Profile the original program and record the golden result.
-    Addr result_addr = 0;
-    for (const ir::Global &g : module.globals)
-        if (g.name == "__result")
-            result_addr = g.address;
-    if (result_addr == 0)
-        panic("missing __result global");
-
-    ir::Profile profile1 = ir::Profile::forModule(module);
-    ir::Interpreter interp1(module);
-    ir::ExecResult ref = interp1.run(500'000'000, &profile1);
-    if (!ref.ok)
-        panic("reference interpretation of '", workload.name,
-              "' failed: ", ref.error);
-    Word golden = interp1.loadWord(result_addr);
-
-    // 3. Optimize, then re-profile the transformed program so
-    // allocation priorities and branch predictions match it.
-    opt::runOptimizations(module, opts.level, profile1, opts.ilp);
-    ir::Profile profile2 = ir::Profile::forModule(module);
-    ir::Interpreter interp2(module);
-    ir::ExecResult ref2 = interp2.run(500'000'000, &profile2);
-    if (!ref2.ok)
-        panic("optimized interpretation of '", workload.name,
-              "' failed: ", ref2.error);
-    if (interp2.loadWord(result_addr) != golden)
-        panic("optimization changed the result of '", workload.name,
-              "'");
-    opt::annotatePredictions(module, profile2);
-
-    // 4. Lower calls and constants to machine form.
-    codegen::lowerModule(module);
-    for (const ir::Global &g : module.globals)
-        if (g.name == "__result")
-            result_addr = g.address;
-
-    // 5. Back end, per function.
-    CompiledProgram out;
-    for (ir::Function &fn : module.functions) {
-        // Prepass scheduling on virtual registers: overlapping the
-        // live ranges of independent (renamed) operations is what
-        // raises the simultaneous register pressure the paper
-        // studies; the allocator then sees the interleaved ranges.
-        sched::scheduleFunction(fn, opts.machine);
-        regalloc::FunctionAlloc alloc = regalloc::allocateFunction(
-            fn, fn.index, profile2, opts.rc);
-        regalloc::rewriteFunction(fn, alloc, opts.rc);
-        codegen::finalizeFrames(fn, alloc);
-        sched::scheduleFunction(fn, opts.machine);
-        if (opts.rc.enabled)
-            regalloc::insertConnects(fn, fn.index, opts.rc,
-                                     &profile2);
-        out.spilledRanges += alloc.numSpilled;
-        out.extendedRanges += alloc.numExtended;
-    }
-
-    out.program = codegen::emitProgram(module);
-    out.golden = golden;
-    out.resultAddr = result_addr;
-    out.staticSize = out.program.staticSize();
-    out.spillOps =
-        out.program.countByOrigin(isa::InstrOrigin::SpillLoad) +
-        out.program.countByOrigin(isa::InstrOrigin::SpillStore);
-    out.connectOps =
-        out.program.countByOrigin(isa::InstrOrigin::Connect);
-    out.saveRestoreOps =
-        out.program.countByOrigin(isa::InstrOrigin::SaveRestore);
-    return out;
+    return pipeline::compile(workload, opts, report);
 }
 
 } // namespace rcsim::harness

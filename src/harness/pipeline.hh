@@ -1,67 +1,44 @@
 /**
  * @file
- * The compilation pipeline: workload IR -> optimized, allocated,
- * scheduled, connect-inserted machine program, with the golden
- * checksum from the reference interpreter attached.
+ * Harness facade over the staged compilation pipeline
+ * (src/pipeline/): workload IR -> optimized, allocated, scheduled,
+ * connect-inserted machine program, with the golden checksum from
+ * the reference interpreter attached.
+ *
+ * compileWorkload() forwards to pipeline::compile(), so every caller
+ * shares the process-wide frontend memo cache: a configuration sweep
+ * runs the configuration-independent frontend (build, wrap, two
+ * profiling runs, optimize, lower) once per (workload, level, ilp)
+ * and only the RC/machine-dependent backend per sweep point.
  */
 
 #ifndef RCSIM_HARNESS_PIPELINE_HH
 #define RCSIM_HARNESS_PIPELINE_HH
 
-#include <string>
-
-#include "codegen/codegen.hh"
-#include "core/rc_config.hh"
-#include "ir/interp.hh"
-#include "opt/passes.hh"
-#include "sched/machine_model.hh"
+#include "pipeline/compile.hh"
 #include "workloads/workloads.hh"
 
 namespace rcsim::harness
 {
 
-/** Everything that defines one compiled configuration. */
-struct CompileOptions
-{
-    opt::OptLevel level = opt::OptLevel::Ilp;
-    core::RcConfig rc = core::RcConfig::unlimited();
-    sched::MachineModel machine;
-
-    /** ILP transformation knobs (unroll factors etc.). */
-    opt::IlpOptions ilp;
-};
-
-/** A compiled program plus verification and size metadata. */
-struct CompiledProgram
-{
-    isa::Program program;
-
-    /** Golden checksum from the IR interpreter. */
-    Word golden = 0;
-
-    /** Address of the __result word in simulated memory. */
-    Addr resultAddr = 0;
-
-    /** Static code size (non-nop instructions). */
-    Count staticSize = 0;
-    Count spillOps = 0;       // SpillLoad + SpillStore
-    Count connectOps = 0;     // Connect
-    Count saveRestoreOps = 0; // SaveRestore
-
-    /** Allocation summary across functions. */
-    int spilledRanges = 0;
-    int extendedRanges = 0;
-};
+using pipeline::CompiledProgram;
+using pipeline::CompileOptions;
 
 /**
- * Run the full pipeline on one workload.
+ * Run the full pipeline on one workload (memoized frontend +
+ * per-configuration backend).
  *
  * Stages: build -> wrap entry -> profile -> optimize -> re-profile ->
- * lower calls -> allocate -> rewrite -> finalize frames -> schedule
- * -> insert connects (RC) -> emit.
+ * lower calls -> prepass-schedule -> allocate -> rewrite -> finalize
+ * frames -> schedule -> insert connects (RC) -> emit.
+ *
+ * @p report, when non-null, receives per-stage wall-clock timings
+ * and op deltas (pipeline::PassReport); frontend rows are flagged
+ * when they were replayed from the cache.
  */
 CompiledProgram compileWorkload(const workloads::Workload &workload,
-                                const CompileOptions &opts);
+                                const CompileOptions &opts,
+                                pipeline::PassReport *report = nullptr);
 
 /**
  * The paper's RC configuration for a benchmark: RC is applied to the

@@ -183,7 +183,9 @@ runCampaign(const CampaignConfig &cfg)
 
     result.rcDesc = cfg.opts.rc.toString();
 
-    // Compile once; keep the program for the faulted replays.
+    // Compile once (the config-independent frontend is additionally
+    // memoized across campaigns on the same workload); keep the
+    // program for the faulted replays.
     harness::CompiledProgram compiled =
         harness::compileWorkload(*w, cfg.opts);
 

@@ -113,6 +113,21 @@ Function::opCount() const
     return n;
 }
 
+Function
+Function::clone() const
+{
+    // Every member is a value type (vectors of value-type ops), so
+    // copy construction already is the deep copy; the named method
+    // exists to make cloning an explicit act at call sites.
+    return *this;
+}
+
+Module
+Module::clone() const
+{
+    return *this;
+}
+
 std::string
 Function::toString() const
 {

@@ -86,6 +86,14 @@ struct Function
     /** Total (live) op count. */
     Count opCount() const;
 
+    /**
+     * Deep copy: blocks, ops (including call-argument vectors) and
+     * counters.  Functions are pure value types — no op references
+     * another function's storage — so the clone shares nothing with
+     * the original and either side may be mutated freely.
+     */
+    Function clone() const;
+
     /** Readable multi-line dump. */
     std::string toString() const;
 };
@@ -141,6 +149,16 @@ struct Module
 
     /** Total (live) op count across functions. */
     Count opCount() const;
+
+    /**
+     * Deep copy of the whole program: every function (see
+     * Function::clone()), every global with its initial data, the
+     * layout and entry point.  The backend of the staged pipeline
+     * clones the cached frontend snapshot through this before
+     * mutating, so one immutable frontend can feed any number of
+     * concurrent per-configuration backends.
+     */
+    Module clone() const;
 
     std::string toString() const;
 };

@@ -64,6 +64,16 @@ Program::countByOrigin(InstrOrigin origin) const
     return n;
 }
 
+std::array<Count, numInstrOrigins>
+Program::countAllOrigins() const
+{
+    std::array<Count, numInstrOrigins> counts{};
+    for (const Instruction &ins : code)
+        if (ins.op != Opcode::NOP)
+            ++counts[static_cast<std::size_t>(ins.origin)];
+    return counts;
+}
+
 Count
 Program::staticSize() const
 {

@@ -12,6 +12,7 @@
 #ifndef RCSIM_ISA_INSTRUCTION_HH
 #define RCSIM_ISA_INSTRUCTION_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -37,6 +38,9 @@ enum class InstrOrigin : std::uint8_t
     SaveRestore, // caller/callee save-restore around calls
     Glue,        // calling convention / prologue / epilogue
 };
+
+/** Number of InstrOrigin values (countAllOrigins() array size). */
+constexpr int numInstrOrigins = 6;
 
 /** One (map index -> physical register) pair of a connect. */
 struct ConnectPair
@@ -116,6 +120,12 @@ struct Program
 
     /** Static instruction counts by origin (Figure 9 accounting). */
     Count countByOrigin(InstrOrigin origin) const;
+
+    /**
+     * All origin counts (NOPs excluded) in a single scan, indexed by
+     * InstrOrigin; their sum is staticSize().
+     */
+    std::array<Count, numInstrOrigins> countAllOrigins() const;
 
     /** Static size excluding NOPs. */
     Count staticSize() const;

@@ -1,0 +1,117 @@
+#include "pipeline/backend.hh"
+
+#include "codegen/codegen.hh"
+#include "regalloc/connect.hh"
+#include "regalloc/rewrite.hh"
+#include "sched/scheduler.hh"
+
+namespace rcsim::pipeline
+{
+
+namespace
+{
+
+PassManager
+buildBackendPasses()
+{
+    PassManager pm("backend", /*frontend=*/false);
+
+    // Prepass scheduling on virtual registers: overlapping the live
+    // ranges of independent (renamed) operations is what raises the
+    // simultaneous register pressure the paper studies; the
+    // allocator then sees the interleaved ranges.
+    pm.add("prepass-schedule", VerifyMode::NoUndef,
+           [](PassContext &ctx) {
+               for (ir::Function &fn : ctx.module.functions)
+                   sched::scheduleFunction(fn, ctx.machine);
+           });
+
+    pm.add("allocate", VerifyMode::Off, [](PassContext &ctx) {
+        ctx.allocs.clear();
+        ctx.allocs.reserve(ctx.module.functions.size());
+        for (ir::Function &fn : ctx.module.functions) {
+            ctx.allocs.push_back(regalloc::allocateFunction(
+                fn, fn.index, ctx.profile2, ctx.rc));
+            ctx.out.spilledRanges += ctx.allocs.back().numSpilled;
+            ctx.out.extendedRanges += ctx.allocs.back().numExtended;
+        }
+    });
+
+    pm.add("rewrite", VerifyMode::NoUndef, [](PassContext &ctx) {
+        for (ir::Function &fn : ctx.module.functions)
+            regalloc::rewriteFunction(
+                fn, ctx.allocs[static_cast<std::size_t>(fn.index)],
+                ctx.rc);
+    });
+
+    pm.add("frames", VerifyMode::NoUndef, [](PassContext &ctx) {
+        for (ir::Function &fn : ctx.module.functions)
+            codegen::finalizeFrames(
+                fn, ctx.allocs[static_cast<std::size_t>(fn.index)]);
+    });
+
+    pm.add("schedule", VerifyMode::NoUndef, [](PassContext &ctx) {
+        for (ir::Function &fn : ctx.module.functions)
+            sched::scheduleFunction(fn, ctx.machine);
+    });
+
+    pm.add("connect", VerifyMode::NoUndef, [](PassContext &ctx) {
+        if (!ctx.rc.enabled)
+            return;
+        for (ir::Function &fn : ctx.module.functions)
+            regalloc::insertConnects(fn, fn.index, ctx.rc,
+                                     &ctx.profile2);
+    });
+
+    pm.add("emit", VerifyMode::Off, [](PassContext &ctx) {
+        ctx.out.program = codegen::emitProgram(ctx.module);
+        ctx.out.golden = ctx.golden;
+        ctx.out.resultAddr = ctx.resultAddr;
+        // One scan tallies every InstrOrigin (and the static size,
+        // which is their sum).
+        auto counts = ctx.out.program.countAllOrigins();
+        ctx.out.staticSize = 0;
+        for (Count c : counts)
+            ctx.out.staticSize += c;
+        auto of = [&](isa::InstrOrigin o) {
+            return counts[static_cast<std::size_t>(o)];
+        };
+        ctx.out.spillOps = of(isa::InstrOrigin::SpillLoad) +
+                           of(isa::InstrOrigin::SpillStore);
+        ctx.out.connectOps = of(isa::InstrOrigin::Connect);
+        ctx.out.saveRestoreOps =
+            of(isa::InstrOrigin::SaveRestore);
+    });
+
+    return pm;
+}
+
+} // namespace
+
+const PassManager &
+backendPasses()
+{
+    static const PassManager pm = buildBackendPasses();
+    return pm;
+}
+
+CompiledProgram
+runBackend(const FrontendResult &frontend,
+           const CompileOptions &opts, PassReport *report,
+           const PassHooks *hooks)
+{
+    PassContext ctx;
+    ctx.level = opts.level;
+    ctx.ilp = opts.ilp;
+    ctx.rc = opts.rc;
+    ctx.machine = opts.machine;
+    ctx.module = frontend.module.clone();
+    ctx.profile2 = frontend.profile;
+    ctx.golden = frontend.golden;
+    ctx.resultAddr = frontend.resultAddr;
+
+    backendPasses().run(ctx, report, hooks);
+    return std::move(ctx.out);
+}
+
+} // namespace rcsim::pipeline

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The configuration-dependent compilation backend.
+ *
+ * Deep-clones the frontend's module snapshot and runs the
+ * RC/machine-dependent stages (prepass-schedule, allocate, rewrite,
+ * frames, schedule, connect, emit).  Stage order is stage-major
+ * (every function through one stage before the next stage starts);
+ * each stage is per-function independent, so the emitted program is
+ * bit-identical to the seed pipeline's function-major loop — the
+ * golden-equivalence tests pin this.
+ */
+
+#ifndef RCSIM_PIPELINE_BACKEND_HH
+#define RCSIM_PIPELINE_BACKEND_HH
+
+#include "pipeline/frontend.hh"
+
+namespace rcsim::pipeline
+{
+
+/** The backend pass sequence (prepass-schedule .. emit). */
+const PassManager &backendPasses();
+
+/**
+ * Compile one configuration from a (possibly shared) frontend
+ * result.  Only `rc`, `machine` (and transitively nothing else) of
+ * @p opts are consumed here; `level` / `ilp` already shaped
+ * @p frontend.
+ */
+CompiledProgram runBackend(const FrontendResult &frontend,
+                           const CompileOptions &opts,
+                           PassReport *report = nullptr,
+                           const PassHooks *hooks = nullptr);
+
+} // namespace rcsim::pipeline
+
+#endif // RCSIM_PIPELINE_BACKEND_HH

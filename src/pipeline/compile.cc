@@ -1,0 +1,30 @@
+#include "pipeline/compile.hh"
+
+namespace rcsim::pipeline
+{
+
+CompiledProgram
+compile(const workloads::Workload &workload,
+        const CompileOptions &opts, PassReport *report,
+        const PassHooks *hooks, bool use_cache)
+{
+    std::shared_ptr<const FrontendResult> frontend;
+    bool computed = true;
+    if (use_cache && !hooks)
+        frontend = frontendCache().get(workload, opts.level,
+                                       opts.ilp, &computed);
+    else
+        frontend =
+            runFrontend(workload, opts.level, opts.ilp, hooks);
+
+    if (report) {
+        report->frontendCached = !computed;
+        for (StageStats st : frontend->report.stages) {
+            st.cached = !computed;
+            report->stages.push_back(std::move(st));
+        }
+    }
+    return runBackend(*frontend, opts, report, hooks);
+}
+
+} // namespace rcsim::pipeline

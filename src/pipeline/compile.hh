@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The staged compile entry point: memoized frontend + per-config
+ * backend.  harness::compileWorkload forwards here, so every caller
+ * in the tree (Experiment, runSweep workers, fault campaigns, the
+ * figure benches, tools/rcc) shares the frontend cache.
+ */
+
+#ifndef RCSIM_PIPELINE_COMPILE_HH
+#define RCSIM_PIPELINE_COMPILE_HH
+
+#include "pipeline/backend.hh"
+
+namespace rcsim::pipeline
+{
+
+/**
+ * Compile one workload configuration through the staged pipeline.
+ *
+ * The frontend comes from the process-wide FrontendCache when
+ * @p use_cache is true (hooks force a cold, uncached frontend so
+ * test mutations never poison shared state).  @p report, when
+ * non-null, receives one row per stage — frontend rows are flagged
+ * `cached` on a cache hit, with the cold run's timings replayed.
+ */
+CompiledProgram compile(const workloads::Workload &workload,
+                        const CompileOptions &opts,
+                        PassReport *report = nullptr,
+                        const PassHooks *hooks = nullptr,
+                        bool use_cache = true);
+
+} // namespace rcsim::pipeline
+
+#endif // RCSIM_PIPELINE_COMPILE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The compilation pipeline's input and output value types.
+ *
+ * CompileOptions splits naturally along the frontend / backend seam:
+ * `level` and `ilp` select the configuration-independent frontend
+ * (what the FrontendCache keys on), while `rc` and `machine` only
+ * affect the per-configuration backend.
+ */
+
+#ifndef RCSIM_PIPELINE_COMPILED_HH
+#define RCSIM_PIPELINE_COMPILED_HH
+
+#include "core/rc_config.hh"
+#include "isa/instruction.hh"
+#include "opt/passes.hh"
+#include "sched/machine_model.hh"
+
+namespace rcsim::pipeline
+{
+
+/** Everything that defines one compiled configuration. */
+struct CompileOptions
+{
+    opt::OptLevel level = opt::OptLevel::Ilp;
+    core::RcConfig rc = core::RcConfig::unlimited();
+    sched::MachineModel machine;
+
+    /** ILP transformation knobs (unroll factors etc.). */
+    opt::IlpOptions ilp;
+};
+
+/** A compiled program plus verification and size metadata. */
+struct CompiledProgram
+{
+    isa::Program program;
+
+    /** Golden checksum from the IR interpreter. */
+    Word golden = 0;
+
+    /** Address of the __result word in simulated memory. */
+    Addr resultAddr = 0;
+
+    /** Static code size (non-nop instructions). */
+    Count staticSize = 0;
+    Count spillOps = 0;       // SpillLoad + SpillStore
+    Count connectOps = 0;     // Connect
+    Count saveRestoreOps = 0; // SaveRestore
+
+    /** Allocation summary across functions. */
+    int spilledRanges = 0;
+    int extendedRanges = 0;
+};
+
+} // namespace rcsim::pipeline
+
+#endif // RCSIM_PIPELINE_COMPILED_HH

@@ -1,0 +1,208 @@
+#include "pipeline/frontend.hh"
+
+#include <tuple>
+#include <utility>
+
+#include "codegen/codegen.hh"
+#include "ir/verify.hh"
+#include "support/logging.hh"
+
+namespace rcsim::pipeline
+{
+
+namespace
+{
+
+/** Interpreter step budget for the profiling runs (seed value). */
+constexpr Count profileMaxOps = 500'000'000;
+
+Addr
+findResultAddr(const ir::Module &module)
+{
+    for (const ir::Global &g : module.globals)
+        if (g.name == "__result")
+            return g.address;
+    return 0;
+}
+
+PassManager
+buildFrontendPasses()
+{
+    PassManager pm("frontend", /*frontend=*/true);
+
+    pm.add("build", VerifyMode::Full, [](PassContext &ctx) {
+        ctx.module = ctx.workload->build();
+    });
+
+    pm.add("wrap", VerifyMode::Full, [](PassContext &ctx) {
+        codegen::addStartWrapper(ctx.module);
+        ctx.module.layout();
+        // The seed pipeline's one unconditional check; kept
+        // regardless of RCSIM_VERIFY_IR.
+        ir::verifyOrDie(ctx.module, "after workload construction");
+    });
+
+    pm.add("profile", VerifyMode::Off, [](PassContext &ctx) {
+        ctx.resultAddr = findResultAddr(ctx.module);
+        if (ctx.resultAddr == 0)
+            panic("missing __result global");
+        ctx.profile1 = ir::Profile::forModule(ctx.module);
+        ir::Interpreter interp(ctx.module);
+        ir::ExecResult ref =
+            interp.run(profileMaxOps, &ctx.profile1);
+        if (!ref.ok)
+            panic("reference interpretation of '",
+                  ctx.workload->name, "' failed: ", ref.error);
+        ctx.golden = interp.loadWord(ctx.resultAddr);
+    });
+
+    pm.add("optimize", VerifyMode::Full, [](PassContext &ctx) {
+        opt::runOptimizations(ctx.module, ctx.level, ctx.profile1,
+                              ctx.ilp);
+    });
+
+    // Re-profile the transformed program so allocation priorities
+    // and branch predictions match it.
+    pm.add("re-profile", VerifyMode::Off, [](PassContext &ctx) {
+        ctx.profile2 = ir::Profile::forModule(ctx.module);
+        ir::Interpreter interp(ctx.module);
+        ir::ExecResult ref =
+            interp.run(profileMaxOps, &ctx.profile2);
+        if (!ref.ok)
+            panic("optimized interpretation of '",
+                  ctx.workload->name, "' failed: ", ref.error);
+        if (interp.loadWord(ctx.resultAddr) != ctx.golden)
+            panic("optimization changed the result of '",
+                  ctx.workload->name, "'");
+        opt::annotatePredictions(ctx.module, ctx.profile2);
+    });
+
+    pm.add("lower", VerifyMode::NoUndef, [](PassContext &ctx) {
+        codegen::lowerModule(ctx.module);
+        // Lowering lays out new globals (constant pool); re-find
+        // the __result address.
+        ctx.resultAddr = findResultAddr(ctx.module);
+    });
+
+    return pm;
+}
+
+} // namespace
+
+const PassManager &
+frontendPasses()
+{
+    static const PassManager pm = buildFrontendPasses();
+    return pm;
+}
+
+std::shared_ptr<const FrontendResult>
+runFrontend(const workloads::Workload &workload, opt::OptLevel level,
+            const opt::IlpOptions &ilp, const PassHooks *hooks)
+{
+    PassContext ctx;
+    ctx.workload = &workload;
+    ctx.level = level;
+    ctx.ilp = ilp;
+
+    auto result = std::make_shared<FrontendResult>();
+    frontendPasses().run(ctx, &result->report, hooks);
+
+    result->module = std::move(ctx.module);
+    result->profile = std::move(ctx.profile2);
+    result->golden = ctx.golden;
+    result->resultAddr = ctx.resultAddr;
+    return result;
+}
+
+bool
+FrontendKey::operator<(const FrontendKey &o) const
+{
+    return std::tie(workload, level, maxUnroll, maxBodyOps,
+                    minWeight) <
+           std::tie(o.workload, o.level, o.maxUnroll, o.maxBodyOps,
+                    o.minWeight);
+}
+
+FrontendKey
+FrontendKey::make(const workloads::Workload &workload,
+                  opt::OptLevel level, const opt::IlpOptions &ilp)
+{
+    FrontendKey key;
+    key.workload = workload.name;
+    key.level = static_cast<int>(level);
+    key.maxUnroll = ilp.maxUnroll;
+    key.maxBodyOps = ilp.maxBodyOps;
+    key.minWeight = ilp.minWeight;
+    return key;
+}
+
+std::shared_ptr<const FrontendResult>
+FrontendCache::get(const workloads::Workload &workload,
+                   opt::OptLevel level, const opt::IlpOptions &ilp,
+                   bool *computed)
+{
+    FrontendKey key = FrontendKey::make(workload, level, ilp);
+
+    Future future;
+    std::promise<std::shared_ptr<const FrontendResult>> promise;
+    bool creator = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            future = it->second;
+        } else {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+            creator = true;
+        }
+    }
+    if (computed)
+        *computed = creator;
+
+    if (creator) {
+        try {
+            promise.set_value(runFrontend(workload, level, ilp));
+        } catch (...) {
+            // Don't cache failures: erase so a later call retries;
+            // current waiters still observe the exception through
+            // their copy of the future.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                entries_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+void
+FrontendCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+FrontendCache::Stats
+FrontendCache::stats() const
+{
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.entries = entries_.size();
+    return s;
+}
+
+FrontendCache &
+frontendCache()
+{
+    static FrontendCache cache;
+    return cache;
+}
+
+} // namespace rcsim::pipeline

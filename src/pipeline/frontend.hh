@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The configuration-independent compilation frontend and its memo
+ * cache.
+ *
+ * Everything up to and including call lowering depends only on the
+ * workload and the optimization knobs — not on the RC configuration
+ * or the machine model a sweep varies.  runFrontend() packages that
+ * prefix into an immutable FrontendResult; FrontendCache memoizes it
+ * per (workload, level, ilp) so a configuration sweep pays the
+ * frontend (two reference-interpreter profiling runs plus the
+ * optimizer) exactly once, turning the dominant compile cost from
+ * O(configs x frontend) into O(frontend + configs x backend).
+ */
+
+#ifndef RCSIM_PIPELINE_FRONTEND_HH
+#define RCSIM_PIPELINE_FRONTEND_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "pipeline/pass.hh"
+
+namespace rcsim::pipeline
+{
+
+/**
+ * The frontend's output: an optimized, call-lowered module snapshot
+ * plus the data the backend needs.  Treated as immutable once built —
+ * the backend deep-clones `module` before mutating, and reads
+ * `profile` only through const references — so one instance may be
+ * shared by any number of concurrent backend runs.
+ */
+struct FrontendResult
+{
+    ir::Module module;  // optimized + lowered, layout done
+    ir::Profile profile; // of the optimized program (profile2)
+    Word golden = 0;     // reference-interpreter checksum
+    Addr resultAddr = 0; // __result address after lowering
+
+    /** Stage timings of the (cold) computation that produced this. */
+    PassReport report;
+};
+
+/** The frontend pass sequence (build .. lower). */
+const PassManager &frontendPasses();
+
+/**
+ * Run the frontend cold.  @p hooks is for tests (stage mutation /
+ * verification override); cached compiles never see hooks.
+ */
+std::shared_ptr<const FrontendResult>
+runFrontend(const workloads::Workload &workload, opt::OptLevel level,
+            const opt::IlpOptions &ilp,
+            const PassHooks *hooks = nullptr);
+
+/** Identity of one memoized frontend computation. */
+struct FrontendKey
+{
+    std::string workload;
+    int level = 0;
+    int maxUnroll = 0;
+    int maxBodyOps = 0;
+    Count minWeight = 0;
+
+    bool operator<(const FrontendKey &o) const;
+
+    static FrontendKey make(const workloads::Workload &workload,
+                            opt::OptLevel level,
+                            const opt::IlpOptions &ilp);
+};
+
+/**
+ * Thread-safe frontend memo cache.
+ *
+ * Concurrency contract: the first thread to miss on a key computes
+ * the frontend outside the lock; every concurrent requester of the
+ * same key blocks on the shared future instead of duplicating the
+ * two 500M-step profiling runs.  A computation that throws is erased
+ * so a later call retries.  Frontends are deterministic, so a cached
+ * result is bit-identical to what a cold run would produce.
+ */
+class FrontendCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;   // served from the cache
+        std::uint64_t misses = 0; // frontend computations started
+        std::size_t entries = 0;
+    };
+
+    /**
+     * Fetch or compute the frontend for a configuration.
+     * @p computed, when non-null, reports whether this call ran the
+     * computation (false = cache hit or waited on another thread's).
+     */
+    std::shared_ptr<const FrontendResult>
+    get(const workloads::Workload &workload, opt::OptLevel level,
+        const opt::IlpOptions &ilp, bool *computed = nullptr);
+
+    /** Drop every entry (tests / benchmarks). */
+    void clear();
+
+    Stats stats() const;
+
+  private:
+    using Future =
+        std::shared_future<std::shared_ptr<const FrontendResult>>;
+
+    mutable std::mutex mutex_;
+    std::map<FrontendKey, Future> entries_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+/**
+ * The process-wide cache shared by harness::Experiment, runSweep
+ * workers, the fault-campaign runner, the figure benches and
+ * tools/rcc (everything that compiles through
+ * harness::compileWorkload / pipeline::compile).
+ */
+FrontendCache &frontendCache();
+
+} // namespace rcsim::pipeline
+
+#endif // RCSIM_PIPELINE_FRONTEND_HH

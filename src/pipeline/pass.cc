@@ -1,0 +1,130 @@
+#include "pipeline/pass.hh"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "ir/verify.hh"
+#include "support/table.hh"
+
+namespace rcsim::pipeline
+{
+
+double
+PassReport::totalSeconds() const
+{
+    double s = 0.0;
+    for (const StageStats &st : stages)
+        if (!st.cached)
+            s += st.seconds;
+    return s;
+}
+
+double
+PassReport::frontendSeconds() const
+{
+    double s = 0.0;
+    for (const StageStats &st : stages)
+        if (st.frontend && !st.cached)
+            s += st.seconds;
+    return s;
+}
+
+double
+PassReport::backendSeconds() const
+{
+    double s = 0.0;
+    for (const StageStats &st : stages)
+        if (!st.frontend)
+            s += st.seconds;
+    return s;
+}
+
+std::string
+PassReport::formatTable() const
+{
+    TextTable t;
+    t.header({"stage", "ms", "ops-in", "ops-out", "delta", "note"});
+    for (const StageStats &st : stages) {
+        std::string note;
+        if (st.cached)
+            note = "cached";
+        else if (st.frontend)
+            note = "frontend";
+        else
+            note = "backend";
+        t.row({st.name, TextTable::num(st.seconds * 1e3, 3),
+               std::to_string(st.opsBefore),
+               std::to_string(st.opsAfter),
+               std::to_string(st.opDelta()), note});
+    }
+    char total[96];
+    std::snprintf(total, sizeof total,
+                  "total %.3f ms (frontend %.3f ms%s, backend "
+                  "%.3f ms)\n",
+                  totalSeconds() * 1e3, frontendSeconds() * 1e3,
+                  frontendCached ? " cached" : "",
+                  backendSeconds() * 1e3);
+    return t.render() + total;
+}
+
+bool
+verifyIrEnabled()
+{
+    if (const char *env = std::getenv("RCSIM_VERIFY_IR")) {
+        if (env[0] != '\0')
+            return env[0] != '0';
+    }
+#if defined(RCSIM_VERIFY_IR_DEFAULT)
+    return true;
+#elif !defined(NDEBUG)
+    return true;
+#else
+    return false;
+#endif
+}
+
+void
+PassManager::run(PassContext &ctx, PassReport *report,
+                 const PassHooks *hooks) const
+{
+    using Clock = std::chrono::steady_clock;
+
+    bool verify = verifyIrEnabled();
+    if (hooks && hooks->verifyOverride >= 0)
+        verify = hooks->verifyOverride != 0;
+
+    for (const Pass &pass : passes_) {
+        StageStats st;
+        st.name = pass.name();
+        st.frontend = frontend_;
+        st.opsBefore = ctx.module.opCount();
+
+        Clock::time_point start = Clock::now();
+        pass.run(ctx);
+        if (hooks && hooks->afterStage)
+            hooks->afterStage(pass.name(), ctx);
+        if (verify && pass.verifyMode() != VerifyMode::Off)
+            ir::verifyOrDie(ctx.module,
+                            "after pass '" + pass.name() + "'",
+                            pass.verifyMode() == VerifyMode::Full);
+        st.seconds =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+
+        st.opsAfter = ctx.module.opCount();
+        if (report)
+            report->stages.push_back(std::move(st));
+    }
+}
+
+std::vector<std::string>
+PassManager::passNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(passes_.size());
+    for (const Pass &pass : passes_)
+        names.push_back(pass.name());
+    return names;
+}
+
+} // namespace rcsim::pipeline

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The pass manager: named compilation stages with a uniform
+ * interface, per-stage wall-clock timing and op-delta counters, and
+ * optional inter-stage IR verification.
+ *
+ * The compile path is two PassManager sequences over one PassContext:
+ *
+ *   frontend (config-independent): build -> wrap -> profile ->
+ *       optimize -> re-profile -> lower
+ *   backend (per RC/machine configuration): prepass-schedule ->
+ *       allocate -> rewrite -> frames -> schedule -> connect -> emit
+ *
+ * Inter-stage verification runs ir::verifyOrDie after every pass that
+ * declares a verifiable output; it is controlled by the
+ * RCSIM_VERIFY_IR environment variable ("1"/"0"), defaults on in
+ * debug builds (or with -DRCSIM_VERIFY_IR=ON), and can be forced per
+ * run through PassHooks::verifyOverride.
+ */
+
+#ifndef RCSIM_PIPELINE_PASS_HH
+#define RCSIM_PIPELINE_PASS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+#include "ir/interp.hh"
+#include "pipeline/compiled.hh"
+#include "regalloc/allocation.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::pipeline
+{
+
+/** What ir::verifyOrDie can check after a pass. */
+enum class VerifyMode : std::uint8_t
+{
+    Off,     // output is not verifiable IR (or the module unchanged)
+    NoUndef, // structure + classes only (lowered / physical form)
+    Full,    // including the definite-assignment analysis
+};
+
+/** Timing and size instrumentation for one executed stage. */
+struct StageStats
+{
+    std::string name;
+    double seconds = 0.0;
+    Count opsBefore = 0;
+    Count opsAfter = 0;
+    bool frontend = false; // stage belongs to the frontend sequence
+    bool cached = false;   // replayed from the frontend memo cache
+
+    long long
+    opDelta() const
+    {
+        return static_cast<long long>(opsAfter) -
+               static_cast<long long>(opsBefore);
+    }
+};
+
+/** Per-compile report: one row per executed (or replayed) stage. */
+struct PassReport
+{
+    std::vector<StageStats> stages;
+
+    /** The frontend came from the memo cache (stages replayed). */
+    bool frontendCached = false;
+
+    double totalSeconds() const;
+    double frontendSeconds() const;
+    double backendSeconds() const;
+
+    /** Aligned per-stage table (rcc --timings). */
+    std::string formatTable() const;
+};
+
+/**
+ * Shared state threaded through the passes.  The frontend fills the
+ * module / profiles / golden fields; the backend consumes them
+ * (module deep-cloned from the cached FrontendResult) and fills
+ * `out`.
+ */
+struct PassContext
+{
+    const workloads::Workload *workload = nullptr;
+
+    // Frontend inputs (cache key).
+    opt::OptLevel level = opt::OptLevel::Ilp;
+    opt::IlpOptions ilp;
+
+    // Backend inputs.
+    core::RcConfig rc;
+    sched::MachineModel machine;
+
+    // Evolving state.
+    ir::Module module;
+    ir::Profile profile1; // of the unoptimized program
+    ir::Profile profile2; // of the optimized program
+    Word golden = 0;
+    Addr resultAddr = 0;
+
+    /** Per-function allocations (allocate -> rewrite -> frames). */
+    std::vector<regalloc::FunctionAlloc> allocs;
+
+    CompiledProgram out;
+};
+
+/**
+ * Test / instrumentation hooks for one PassManager::run.
+ */
+struct PassHooks
+{
+    /**
+     * Called after each pass body, before that stage's verification
+     * — a mutation here is attributed to the stage it follows, which
+     * is what the corrupted-module tests rely on.
+     */
+    std::function<void(const std::string &stage, PassContext &ctx)>
+        afterStage;
+
+    /** -1 = use RCSIM_VERIFY_IR / build default, 0 = off, 1 = on. */
+    int verifyOverride = -1;
+};
+
+/** One named stage of the compilation pipeline. */
+class Pass
+{
+  public:
+    using Body = std::function<void(PassContext &)>;
+
+    Pass(std::string name, VerifyMode verify, Body body)
+        : name_(std::move(name)), verify_(verify),
+          body_(std::move(body))
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    VerifyMode verifyMode() const { return verify_; }
+    void run(PassContext &ctx) const { body_(ctx); }
+
+  private:
+    std::string name_;
+    VerifyMode verify_;
+    Body body_;
+};
+
+/**
+ * An ordered, named pass sequence.  run() executes every pass in
+ * order, timing each, recording module op counts before and after,
+ * and verifying the IR at stage boundaries when enabled.
+ */
+class PassManager
+{
+  public:
+    explicit PassManager(std::string label, bool frontend)
+        : label_(std::move(label)), frontend_(frontend)
+    {
+    }
+
+    void
+    add(std::string name, VerifyMode verify, Pass::Body body)
+    {
+        passes_.emplace_back(std::move(name), verify,
+                             std::move(body));
+    }
+
+    /**
+     * Run all passes over @p ctx.  Stage rows are appended to
+     * @p report when non-null; @p hooks may be null.
+     */
+    void run(PassContext &ctx, PassReport *report,
+             const PassHooks *hooks) const;
+
+    std::vector<std::string> passNames() const;
+    const std::string &label() const { return label_; }
+
+  private:
+    std::string label_;
+    bool frontend_;
+    std::vector<Pass> passes_;
+};
+
+/**
+ * Whether inter-stage IR verification is on: the RCSIM_VERIFY_IR
+ * environment variable when set ("1"/"0"), otherwise the build
+ * default (on for debug / -DRCSIM_VERIFY_IR=ON builds).  Read on
+ * every query so tests can flip the environment.
+ */
+bool verifyIrEnabled();
+
+} // namespace rcsim::pipeline
+
+#endif // RCSIM_PIPELINE_PASS_HH

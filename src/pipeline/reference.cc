@@ -1,0 +1,151 @@
+#include "pipeline/reference.hh"
+
+#include "codegen/codegen.hh"
+#include "ir/interp.hh"
+#include "ir/transform.hh"
+#include "ir/verify.hh"
+#include "opt/passes.hh"
+#include "regalloc/connect.hh"
+#include "regalloc/rewrite.hh"
+#include "sched/scheduler.hh"
+#include "support/logging.hh"
+
+namespace rcsim::pipeline
+{
+
+CompiledProgram
+compileReference(const workloads::Workload &workload,
+                 const CompileOptions &opts)
+{
+    // 1. Build and wrap.
+    ir::Module module = workload.build();
+    codegen::addStartWrapper(module);
+    module.layout();
+    ir::verifyOrDie(module, "after workload construction");
+
+    // 2. Profile the original program and record the golden result.
+    Addr result_addr = 0;
+    for (const ir::Global &g : module.globals)
+        if (g.name == "__result")
+            result_addr = g.address;
+    if (result_addr == 0)
+        panic("missing __result global");
+
+    ir::Profile profile1 = ir::Profile::forModule(module);
+    ir::Interpreter interp1(module);
+    ir::ExecResult ref = interp1.run(500'000'000, &profile1);
+    if (!ref.ok)
+        panic("reference interpretation of '", workload.name,
+              "' failed: ", ref.error);
+    Word golden = interp1.loadWord(result_addr);
+
+    // 3. Optimize, then re-profile the transformed program so
+    // allocation priorities and branch predictions match it.
+    opt::runOptimizations(module, opts.level, profile1, opts.ilp);
+    ir::Profile profile2 = ir::Profile::forModule(module);
+    ir::Interpreter interp2(module);
+    ir::ExecResult ref2 = interp2.run(500'000'000, &profile2);
+    if (!ref2.ok)
+        panic("optimized interpretation of '", workload.name,
+              "' failed: ", ref2.error);
+    if (interp2.loadWord(result_addr) != golden)
+        panic("optimization changed the result of '", workload.name,
+              "'");
+    opt::annotatePredictions(module, profile2);
+
+    // 4. Lower calls and constants to machine form.
+    codegen::lowerModule(module);
+    for (const ir::Global &g : module.globals)
+        if (g.name == "__result")
+            result_addr = g.address;
+
+    // 5. Back end, per function.
+    CompiledProgram out;
+    for (ir::Function &fn : module.functions) {
+        sched::scheduleFunction(fn, opts.machine);
+        regalloc::FunctionAlloc alloc = regalloc::allocateFunction(
+            fn, fn.index, profile2, opts.rc);
+        regalloc::rewriteFunction(fn, alloc, opts.rc);
+        codegen::finalizeFrames(fn, alloc);
+        sched::scheduleFunction(fn, opts.machine);
+        if (opts.rc.enabled)
+            regalloc::insertConnects(fn, fn.index, opts.rc,
+                                     &profile2);
+        out.spilledRanges += alloc.numSpilled;
+        out.extendedRanges += alloc.numExtended;
+    }
+
+    out.program = codegen::emitProgram(module);
+    out.golden = golden;
+    out.resultAddr = result_addr;
+    out.staticSize = out.program.staticSize();
+    out.spillOps =
+        out.program.countByOrigin(isa::InstrOrigin::SpillLoad) +
+        out.program.countByOrigin(isa::InstrOrigin::SpillStore);
+    out.connectOps =
+        out.program.countByOrigin(isa::InstrOrigin::Connect);
+    out.saveRestoreOps =
+        out.program.countByOrigin(isa::InstrOrigin::SaveRestore);
+    return out;
+}
+
+namespace
+{
+
+bool
+pairsIdentical(const isa::ConnectPair &a, const isa::ConnectPair &b)
+{
+    return a.mapIdx == b.mapIdx && a.phys == b.phys &&
+           a.isDef == b.isDef;
+}
+
+bool
+instructionsIdentical(const isa::Instruction &a,
+                      const isa::Instruction &b)
+{
+    return a.op == b.op && a.dst == b.dst && a.src[0] == b.src[0] &&
+           a.src[1] == b.src[1] && a.imm == b.imm &&
+           a.target == b.target &&
+           pairsIdentical(a.conn[0], b.conn[0]) &&
+           pairsIdentical(a.conn[1], b.conn[1]) &&
+           a.nconn == b.nconn && a.connCls == b.connCls &&
+           a.predictTaken == b.predictTaken && a.origin == b.origin;
+}
+
+} // namespace
+
+bool
+programsIdentical(const isa::Program &a, const isa::Program &b)
+{
+    if (a.entry != b.entry || a.dataBase != b.dataBase ||
+        a.memorySize != b.memorySize || a.dataImage != b.dataImage)
+        return false;
+    if (a.functions.size() != b.functions.size())
+        return false;
+    for (std::size_t i = 0; i < a.functions.size(); ++i)
+        if (a.functions[i].name != b.functions[i].name ||
+            a.functions[i].entry != b.functions[i].entry ||
+            a.functions[i].end != b.functions[i].end)
+            return false;
+    if (a.code.size() != b.code.size())
+        return false;
+    for (std::size_t i = 0; i < a.code.size(); ++i)
+        if (!instructionsIdentical(a.code[i], b.code[i]))
+            return false;
+    return true;
+}
+
+bool
+compiledIdentical(const CompiledProgram &a, const CompiledProgram &b)
+{
+    return a.golden == b.golden && a.resultAddr == b.resultAddr &&
+           a.staticSize == b.staticSize &&
+           a.spillOps == b.spillOps &&
+           a.connectOps == b.connectOps &&
+           a.saveRestoreOps == b.saveRestoreOps &&
+           a.spilledRanges == b.spilledRanges &&
+           a.extendedRanges == b.extendedRanges &&
+           programsIdentical(a.program, b.program);
+}
+
+} // namespace rcsim::pipeline

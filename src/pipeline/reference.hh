@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The seed monolithic pipeline, frozen as an equivalence oracle.
+ *
+ * compileReference() is a verbatim preservation of the pre-staging
+ * harness::compileWorkload: one straight-line function, no caching,
+ * no instrumentation, function-major backend order.  The
+ * golden-equivalence tests (tests/test_pipeline.cc) and the compile
+ * throughput bench compare the staged pipeline against it
+ * instruction-by-instruction; any divergence is a bug in the staged
+ * path.  Do not "improve" this file — its value is that it does not
+ * change.
+ */
+
+#ifndef RCSIM_PIPELINE_REFERENCE_HH
+#define RCSIM_PIPELINE_REFERENCE_HH
+
+#include "pipeline/compiled.hh"
+#include "workloads/workloads.hh"
+
+namespace rcsim::pipeline
+{
+
+/** Run the frozen seed pipeline on one workload. */
+CompiledProgram
+compileReference(const workloads::Workload &workload,
+                 const CompileOptions &opts);
+
+/** Field-by-field machine-program equality (every instruction). */
+bool programsIdentical(const isa::Program &a, const isa::Program &b);
+
+/** programsIdentical() plus all CompiledProgram metadata. */
+bool compiledIdentical(const CompiledProgram &a,
+                       const CompiledProgram &b);
+
+} // namespace rcsim::pipeline
+
+#endif // RCSIM_PIPELINE_REFERENCE_HH

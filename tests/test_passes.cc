@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Pass-manager and frontend-cache unit tests: stage naming and
+ * instrumentation, inter-stage IR verification (a corrupted module
+ * is caught at the offending stage boundary), RCSIM_VERIFY_IR
+ * control, cache keying / hit accounting, and module deep-clone
+ * independence.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "pipeline/compile.hh"
+#include "support/logging.hh"
+
+namespace rcsim::pipeline
+{
+namespace
+{
+
+const workloads::Workload &
+cmpWorkload()
+{
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    EXPECT_NE(w, nullptr);
+    return *w;
+}
+
+CompileOptions
+smallOptions()
+{
+    CompileOptions opts;
+    opts.level = opt::OptLevel::Ilp;
+    opts.rc = harness::rcConfigFor(false, 16);
+    opts.machine = harness::Experiment::machineFor(4);
+    return opts;
+}
+
+TEST(PassManager, StageNamesMatchThePaperPipeline)
+{
+    EXPECT_EQ(frontendPasses().passNames(),
+              (std::vector<std::string>{"build", "wrap", "profile",
+                                        "optimize", "re-profile",
+                                        "lower"}));
+    EXPECT_EQ(backendPasses().passNames(),
+              (std::vector<std::string>{
+                  "prepass-schedule", "allocate", "rewrite",
+                  "frames", "schedule", "connect", "emit"}));
+}
+
+TEST(PassManager, ReportHasOneRowPerStageWithOpDeltas)
+{
+    PassReport report;
+    CompiledProgram cp = compile(cmpWorkload(), smallOptions(),
+                                 &report, nullptr,
+                                 /*use_cache=*/false);
+    EXPECT_GT(cp.program.code.size(), 0u);
+
+    ASSERT_EQ(report.stages.size(), 6u + 7u);
+    EXPECT_FALSE(report.frontendCached);
+    for (const StageStats &st : report.stages) {
+        EXPECT_GE(st.seconds, 0.0) << st.name;
+        EXPECT_FALSE(st.cached) << st.name;
+    }
+    // build starts from an empty module; optimize (ILP unrolling)
+    // grows it; the stage split marks frontend vs backend rows.
+    EXPECT_EQ(report.stages[0].name, "build");
+    EXPECT_EQ(report.stages[0].opsBefore, 0u);
+    EXPECT_GT(report.stages[0].opsAfter, 0u);
+    EXPECT_TRUE(report.stages[0].frontend);
+    EXPECT_FALSE(report.stages.back().frontend);
+    EXPECT_EQ(report.stages.back().name, "emit");
+    EXPECT_GT(report.frontendSeconds(), 0.0);
+    EXPECT_GT(report.backendSeconds(), 0.0);
+
+    // The rendered table names every stage.
+    std::string table = report.formatTable();
+    for (const StageStats &st : report.stages)
+        EXPECT_NE(table.find(st.name), std::string::npos);
+}
+
+TEST(VerifyIr, CorruptionCaughtAtTheOffendingStageBoundary)
+{
+    PassHooks hooks;
+    hooks.verifyOverride = 1;
+    hooks.afterStage = [](const std::string &stage,
+                          PassContext &ctx) {
+        if (stage == "optimize") {
+            // Deliberately corrupt the module: a stray terminator
+            // with an out-of-range target in the middle of the
+            // entry block.
+            ir::BasicBlock &bb =
+                ctx.module.fn(ctx.module.entryFunction).blocks[0];
+            bb.ops.insert(bb.ops.begin(), ir::Op::jmp(999999));
+        }
+    };
+
+    try {
+        runFrontend(cmpWorkload(), opt::OptLevel::Ilp,
+                    opt::IlpOptions{}, &hooks);
+        FAIL() << "corrupted module was not caught";
+    } catch (const PanicError &e) {
+        // Caught by the verifier right at the optimize boundary —
+        // not later, not at construction.
+        EXPECT_NE(std::string(e.what()).find(
+                      "after pass 'optimize'"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(VerifyIr, CleanModulesPassEveryStageBoundary)
+{
+    PassHooks hooks;
+    hooks.verifyOverride = 1;
+    PassReport report;
+    std::shared_ptr<const FrontendResult> fe = runFrontend(
+        cmpWorkload(), opt::OptLevel::Ilp, opt::IlpOptions{},
+        &hooks);
+    CompiledProgram cp =
+        runBackend(*fe, smallOptions(), &report, &hooks);
+    EXPECT_GT(cp.program.code.size(), 0u);
+    EXPECT_EQ(report.stages.size(), 7u);
+}
+
+TEST(VerifyIr, EnvironmentVariableControls)
+{
+    const char *saved = std::getenv("RCSIM_VERIFY_IR");
+    std::string saved_value = saved ? saved : "";
+
+    setenv("RCSIM_VERIFY_IR", "1", 1);
+    EXPECT_TRUE(verifyIrEnabled());
+    setenv("RCSIM_VERIFY_IR", "0", 1);
+    EXPECT_FALSE(verifyIrEnabled());
+
+    if (saved)
+        setenv("RCSIM_VERIFY_IR", saved_value.c_str(), 1);
+    else
+        unsetenv("RCSIM_VERIFY_IR");
+}
+
+TEST(FrontendCacheTest, KeysOnWorkloadLevelAndIlpKnobs)
+{
+    FrontendCache cache;
+    const workloads::Workload &w = cmpWorkload();
+    opt::IlpOptions ilp;
+
+    bool computed = false;
+    auto a = cache.get(w, opt::OptLevel::Ilp, ilp, &computed);
+    EXPECT_TRUE(computed);
+    auto b = cache.get(w, opt::OptLevel::Ilp, ilp, &computed);
+    EXPECT_FALSE(computed);
+    EXPECT_EQ(a.get(), b.get()) << "hit must share the instance";
+
+    // A different optimization level is a different frontend.
+    cache.get(w, opt::OptLevel::Scalar, ilp, &computed);
+    EXPECT_TRUE(computed);
+
+    // So are different ILP knobs.
+    opt::IlpOptions ilp2 = ilp;
+    ilp2.maxUnroll = 2;
+    cache.get(w, opt::OptLevel::Ilp, ilp2, &computed);
+    EXPECT_TRUE(computed);
+
+    FrontendCache::Stats s = cache.stats();
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.entries, 3u);
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    cache.get(w, opt::OptLevel::Ilp, ilp, &computed);
+    EXPECT_TRUE(computed) << "clear() must force a recompute";
+}
+
+TEST(ModuleClone, BackendMutationsNeverReachTheSharedFrontend)
+{
+    std::shared_ptr<const FrontendResult> fe = runFrontend(
+        cmpWorkload(), opt::OptLevel::Ilp, opt::IlpOptions{});
+    Count ops_before = fe->module.opCount();
+    std::string dump_before = fe->module.toString();
+
+    ir::Module clone = fe->module.clone();
+    clone.fn(0).blocks[0].ops.clear();
+    EXPECT_EQ(fe->module.opCount(), ops_before);
+
+    // A full backend run (rewrites every function in place) on top
+    // of the snapshot must leave it untouched too.
+    CompiledProgram cp = runBackend(*fe, smallOptions());
+    EXPECT_GT(cp.program.code.size(), 0u);
+    EXPECT_EQ(fe->module.toString(), dump_before);
+}
+
+} // namespace
+} // namespace rcsim::pipeline

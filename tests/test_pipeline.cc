@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "pipeline/reference.hh"
 #include "support/logging.hh"
 
 namespace rcsim::harness
@@ -225,6 +227,116 @@ TEST(Shapes, ZeroCycleConnectsNotSlowerThanOneCycle)
     RunOutcome rz = exp.measured(*w, zero);
     RunOutcome ro = exp.measured(*w, one);
     EXPECT_LE(rz.cycles, ro.cycles);
+}
+
+// ---- Golden equivalence: staged pipeline vs the frozen seed path.
+
+/**
+ * The staged pipeline (memoized frontend + cloned-module backend)
+ * must emit byte-identical programs and identical metadata to the
+ * seed monolith for every workload across the {Scalar, Ilp} x
+ * {base, RC model 3} grid.
+ */
+class GoldenEquivalence
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : workloads::allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+TEST_P(GoldenEquivalence, StagedMatchesSeedPipeline)
+{
+    const workloads::Workload *w =
+        workloads::findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    int core = w->isFp ? 32 : 16;
+
+    for (opt::OptLevel level :
+         {opt::OptLevel::Scalar, opt::OptLevel::Ilp}) {
+        for (bool rc : {false, true}) {
+            CompileOptions opts;
+            opts.level = level;
+            opts.rc = rc ? rcConfigFor(w->isFp, core,
+                                       core::RcModel::
+                                           WriteResetReadUpdate)
+                         : baseConfigFor(w->isFp, core);
+            opts.machine = Experiment::machineFor(4);
+
+            CompiledProgram staged = compileWorkload(*w, opts);
+            CompiledProgram seed =
+                pipeline::compileReference(*w, opts);
+
+            EXPECT_TRUE(pipeline::compiledIdentical(staged, seed))
+                << w->name << " level=" << static_cast<int>(level)
+                << " rc=" << rc;
+            // A few spot checks so a mismatch names the field.
+            EXPECT_EQ(staged.golden, seed.golden);
+            EXPECT_EQ(staged.staticSize, seed.staticSize);
+            EXPECT_EQ(staged.spillOps, seed.spillOps);
+            EXPECT_EQ(staged.connectOps, seed.connectOps);
+            EXPECT_EQ(staged.program.code.size(),
+                      seed.program.code.size());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, GoldenEquivalence,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const auto &info) { return info.param; });
+
+TEST(FrontendCache, CachedRecompileBitIdenticalUnderConcurrentSweep)
+{
+    const workloads::Workload *w =
+        workloads::findWorkload("espresso");
+    ASSERT_NE(w, nullptr);
+
+    std::vector<int> cores = {8, 12, 16, 24, 32, 48};
+    std::vector<SweepPoint> points;
+    for (int core : cores) {
+        SweepPoint p;
+        p.workload = w;
+        p.opts.level = opt::OptLevel::Ilp;
+        p.opts.rc = rcConfigFor(false, core);
+        p.opts.machine = Experiment::machineFor(4);
+        p.keepProgram = true;
+        points.push_back(p);
+    }
+
+    // Cold compiles, no cache involved at all.
+    std::vector<CompiledProgram> cold;
+    for (const SweepPoint &p : points)
+        cold.push_back(pipeline::compile(*w, p.opts, nullptr,
+                                         nullptr,
+                                         /*use_cache=*/false));
+
+    // Concurrent sweep over the same grid: all six points share one
+    // memoized frontend computed by whichever worker gets there
+    // first.
+    pipeline::frontendCache().clear();
+    auto before = pipeline::frontendCache().stats();
+    std::vector<RunOutcome> warm = runSweep(points, 4);
+    auto after = pipeline::frontendCache().stats();
+
+    EXPECT_EQ(after.misses - before.misses, 1u)
+        << "frontend must run exactly once for the whole sweep";
+    EXPECT_EQ(after.hits - before.hits,
+              static_cast<std::uint64_t>(points.size() - 1));
+
+    ASSERT_EQ(warm.size(), cold.size());
+    for (std::size_t i = 0; i < warm.size(); ++i) {
+        EXPECT_EQ(warm[i].status, RunStatus::Ok) << i;
+        EXPECT_TRUE(pipeline::compiledIdentical(warm[i].compiled,
+                                                cold[i]))
+            << "core " << cores[i];
+    }
 }
 
 TEST(Shapes, DeterministicCycleCounts)

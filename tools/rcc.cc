@@ -23,6 +23,8 @@
  *   --scalar              scalar optimization only
  *   --stats               dump simulator statistics
  *   --trace N             print the first N issued instructions
+ *   --timings             print the per-stage compile report
+ *   --print-passes        list the pipeline passes and exit
  */
 
 #include <cstdio>
@@ -33,6 +35,7 @@
 
 #include "harness/experiment.hh"
 #include "isa/assembler.hh"
+#include "pipeline/compile.hh"
 #include "sim/simulator.hh"
 #include "support/logging.hh"
 
@@ -56,6 +59,7 @@ struct Args
     bool scalar = false;
     bool stats = false;
     long trace = 0;
+    bool timings = false;
 };
 
 int
@@ -110,6 +114,8 @@ parseArgs(int argc, char **argv, Args &args)
             args.stats = true;
         else if (a == "--trace" && next())
             args.trace = std::atol(argv[i]);
+        else if (a == "--timings")
+            args.timings = true;
         else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             return false;
@@ -139,6 +145,38 @@ optionsFor(const Args &args, bool is_fp)
     if (args.channels > 0)
         o.machine.memChannels = args.channels;
     return o;
+}
+
+/**
+ * The one compile entry point for every workload command: staged
+ * pipeline (memoized frontend), optionally dumping the per-stage
+ * timing/delta report.
+ */
+harness::CompiledProgram
+compileTarget(const workloads::Workload &w, const Args &args,
+              const harness::CompileOptions &opts)
+{
+    pipeline::PassReport report;
+    harness::CompiledProgram cp = harness::compileWorkload(
+        w, opts, args.timings ? &report : nullptr);
+    if (args.timings)
+        std::fputs(report.formatTable().c_str(), stdout);
+    return cp;
+}
+
+int
+printPasses()
+{
+    std::printf("frontend (config-independent, memoized per "
+                "(workload, opt level, ilp knobs)):\n");
+    for (const std::string &name :
+         pipeline::frontendPasses().passNames())
+        std::printf("  %s\n", name.c_str());
+    std::printf("backend (per RC / machine configuration):\n");
+    for (const std::string &name :
+         pipeline::backendPasses().passNames())
+        std::printf("  %s\n", name.c_str());
+    return 0;
 }
 
 int
@@ -198,6 +236,10 @@ runAssemblyFile(const Args &args)
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--print-passes") == 0)
+            return printPasses();
+
     Args args;
     if (!parseArgs(argc, argv, args))
         return usage();
@@ -232,8 +274,7 @@ main(int argc, char **argv)
     try {
         if (args.command == "disasm") {
             harness::CompiledProgram cp =
-                harness::compileWorkload(*w, optionsFor(args,
-                                                        w->isFp));
+                compileTarget(*w, args, optionsFor(args, w->isFp));
             std::fputs(cp.program.disassemble().c_str(), stdout);
             std::fprintf(stderr,
                          "# %llu instructions, %llu connects, "
@@ -246,8 +287,7 @@ main(int argc, char **argv)
 
         if (args.command == "run") {
             harness::CompileOptions o = optionsFor(args, w->isFp);
-            harness::CompiledProgram cp =
-                harness::compileWorkload(*w, o);
+            harness::CompiledProgram cp = compileTarget(*w, args, o);
             sim::SimConfig sc;
             sc.machine = o.machine;
             sc.rc = o.rc;
