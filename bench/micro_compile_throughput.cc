@@ -30,6 +30,8 @@
  *   --repeat N        timing repetitions, best-of (default 3)
  *   --smoke           tiny smoke run (cmp, cores 8,16,24, 1 rep)
  *                     used by the ctest target
+ *   --trace FILE      write a Chrome trace_event JSON trace of the
+ *                     bench (RCSIM_TRACE env equivalent)
  */
 
 #include <algorithm>
@@ -44,6 +46,7 @@
 #include "bench/bench_common.hh"
 #include "pipeline/compile.hh"
 #include "pipeline/reference.hh"
+#include "trace/trace.hh"
 
 namespace
 {
@@ -89,6 +92,7 @@ main(int argc, char **argv)
     std::string workload_name = "espresso";
     std::vector<int> cores = {8, 12, 16, 24, 32, 48, 64};
     int repeat = 3;
+    std::string trace_file;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -103,6 +107,8 @@ main(int argc, char **argv)
             cores = splitInts(argv[i]);
         else if (a == "--repeat" && next())
             repeat = std::max(1, std::atoi(argv[i]));
+        else if (a == "--trace" && next())
+            trace_file = argv[i];
         else if (a == "--smoke") {
             workload_name = "cmp";
             cores = {8, 16, 24};
@@ -120,6 +126,11 @@ main(int argc, char **argv)
                      workload_name.c_str());
         return 2;
     }
+
+    trace::ScopedDump tracer(
+        trace::resolveTracePath(trace_file,
+                                "bench_compile_trace.json"),
+        std::string());
 
     // ---- 1 + 2. Cold vs warm-cache single compile. ----
     harness::CompileOptions opts = withRc(*w, cores[0], 4);

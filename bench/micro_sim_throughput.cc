@@ -29,6 +29,10 @@
  *   --smoke           tiny smoke run (cmp only, 0.02 s budget) used
  *                     by the ctest target to keep this binary from
  *                     silently rotting
+ *   --trace FILE      write a Chrome trace_event JSON trace of the
+ *                     bench (RCSIM_TRACE env equivalent); tracing
+ *                     perturbs the numbers — don't mix with a
+ *                     tracked BENCH json update
  */
 
 #include <chrono>
@@ -40,6 +44,7 @@
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "trace/trace.hh"
 
 namespace
 {
@@ -93,6 +98,7 @@ main(int argc, char **argv)
     double min_time = 0.5;
     std::vector<std::string> names;
     int jobs = 0;
+    std::string trace_file;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -107,6 +113,8 @@ main(int argc, char **argv)
             names = splitList(argv[i]);
         else if (a == "--jobs" && next())
             jobs = std::atoi(argv[i]);
+        else if (a == "--trace" && next())
+            trace_file = argv[i];
         else if (a == "--smoke") {
             names = {"cmp"};
             min_time = 0.02;
@@ -115,6 +123,11 @@ main(int argc, char **argv)
             return 2;
         }
     }
+
+    trace::ScopedDump tracer(
+        trace::resolveTracePath(trace_file,
+                                "bench_sim_trace.json"),
+        std::string());
 
     std::vector<const workloads::Workload *> suite;
     if (names.empty()) {

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "trace/trace.hh"
+
 namespace rcsim::harness
 {
 
@@ -70,6 +72,7 @@ runSweep(const std::vector<SweepPoint> &points, int jobs)
 {
     std::vector<RunOutcome> results(points.size());
     parallelFor(points.size(), jobs, [&](std::size_t i) {
+        trace::Span span("sweep.point", "sweep", "index", i);
         const SweepPoint &p = points[i];
         results[i] = runConfigurationGuarded(
             *p.workload, p.opts, p.keepProgram, p.maxCycles);

@@ -6,6 +6,7 @@
 #include "harness/sweep.hh"
 #include "inject/injector.hh"
 #include "support/logging.hh"
+#include "trace/trace.hh"
 
 namespace rcsim::inject
 {
@@ -76,6 +77,8 @@ runOneFault(const harness::CompiledProgram &compiled,
             Cycle hang_limit, double wall_clock_secs,
             std::uint64_t seed, const Fault &fault)
 {
+    trace::Span span("fault.run", "inject", "seed", seed);
+
     FaultRunRecord rec;
     rec.seed = seed;
     rec.fault = fault;
@@ -127,28 +130,41 @@ runOneFault(const harness::CompiledProgram &compiled,
     rec.divergence = checker.finish();
     rec.diverged = rec.divergence.diverged;
 
+    if (trace::on() && injector.applied())
+        trace::instant("inject.applied", "inject", "cycle",
+                       static_cast<std::uint64_t>(fault.cycle));
+    // One instant per replay, named for the classified outcome
+    // (inject.masked / inject.detected / inject.sdc / inject.hang).
+    auto finish = [&]() {
+        if (trace::on())
+            trace::instant(std::string("inject.") +
+                               toString(rec.outcome),
+                           "inject", "seed", seed);
+        return rec;
+    };
+
     if (errored) {
         rec.outcome = FaultOutcome::Detected;
         rec.detail = error;
-        return rec;
+        return finish();
     }
     if (wall_hang) {
         rec.outcome = FaultOutcome::Hang;
         rec.detail = "wall-clock watchdog";
-        return rec;
+        return finish();
     }
     if (!simulator.halted()) {
         rec.outcome = FaultOutcome::Hang;
         rec.detail = "cycle limit (" + std::to_string(hang_limit) +
                      ") exceeded";
-        return rec;
+        return finish();
     }
 
     sim::SimResult res = simulator.result();
     if (!res.ok) {
         rec.outcome = FaultOutcome::Detected;
         rec.detail = res.error;
-        return rec;
+        return finish();
     }
 
     Word result = simulator.state().loadWord(compiled.resultAddr);
@@ -161,7 +177,7 @@ runOneFault(const harness::CompiledProgram &compiled,
         rec.detail = "checksum " + std::to_string(result) +
                      ", expected " + std::to_string(compiled.golden);
     }
-    return rec;
+    return finish();
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 #include "codegen/codegen.hh"
 #include "ir/verify.hh"
 #include "support/logging.hh"
+#include "trace/trace.hh"
 
 namespace rcsim::pipeline
 {
@@ -162,6 +163,9 @@ FrontendCache::get(const workloads::Workload &workload,
     }
     if (computed)
         *computed = creator;
+    if (trace::on())
+        trace::instant(creator ? "frontend.miss" : "frontend.hit",
+                       "compile");
 
     if (creator) {
         try {

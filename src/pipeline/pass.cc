@@ -5,6 +5,7 @@
 
 #include "ir/verify.hh"
 #include "support/table.hh"
+#include "trace/trace.hh"
 
 namespace rcsim::pipeline
 {
@@ -99,6 +100,8 @@ PassManager::run(PassContext &ctx, PassReport *report,
         st.frontend = frontend_;
         st.opsBefore = ctx.module.opCount();
 
+        trace::Span span("pass:" + pass.name(),
+                         frontend_ ? "frontend" : "backend");
         Clock::time_point start = Clock::now();
         pass.run(ctx);
         if (hooks && hooks->afterStage)

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "support/logging.hh"
+#include "trace/trace.hh"
 
 namespace rcsim::sim
 {
@@ -79,6 +80,7 @@ Simulator::reset()
     cycleLimitHit_ = false;
     error_.clear();
     counters_.clear();
+    traceOn_ = trace::on();
     nextInterrupt_ = 0;
     trace_.clear();
     traceLeft_ = cfg_.traceLimit;
@@ -108,12 +110,16 @@ Simulator::enterTrap(std::int32_t return_pc)
     state_.psw().setMapEnable(false);
     state_.pc = cfg_.trapVector;
     counters_.add(SimCounter::Traps);
+    if (traceOn_)
+        trace::instant("trap", "sim", "return_pc",
+                       static_cast<std::uint64_t>(return_pc));
 }
 
 SimResult
 Simulator::run()
 {
     reset();
+    trace::Span span("sim.run", "sim");
     step(cfg_.maxCycles);
     if (!halted_ && error_.empty()) {
         cycleLimitHit_ = true;
@@ -152,8 +158,25 @@ Simulator::result() const
 }
 
 void
+Simulator::traceWindow()
+{
+    trace::counter("sim.progress", "instructions", instructions_,
+                   "connects", counters_.get(SimCounter::Connects));
+    trace::counter("sim.stalls", "src",
+                   counters_.get(SimCounter::StallSrc), "dest_busy",
+                   counters_.get(SimCounter::StallDestBusy),
+                   "map_update",
+                   counters_.get(SimCounter::StallMapUpdate),
+                   "mem_channel",
+                   counters_.get(SimCounter::StallMemChannel));
+}
+
+void
 Simulator::issueCycle()
 {
+    if (traceOn_ && (cycle_ & (traceWindowCycles - 1)) == 0)
+        traceWindow();
+
     if (probe_)
         probe_->onCycle(*this, cycle_);
 
@@ -588,8 +611,12 @@ Simulator::execute(const Instruction &ins, const OpcodeInfo &info,
         readyOf(RegClass::Int,
                 core::ArchConvention::stackPointer) = cycle_ + 1;
         state_.pc = ins.target;
-        if (cfg_.rc.enabled)
+        if (cfg_.rc.enabled) {
             state_.resetMaps(); // Section 4.1
+            if (traceOn_)
+                trace::instant("map_reset", "sim", "pc",
+                               static_cast<std::uint64_t>(state_.pc));
+        }
         counters_.add(SimCounter::Calls);
         return false;
       }
@@ -603,8 +630,12 @@ Simulator::execute(const Instruction &ins, const OpcodeInfo &info,
         state_.setSp(sp + 4);
         readyOf(RegClass::Int,
                 core::ArchConvention::stackPointer) = cycle_ + 1;
-        if (cfg_.rc.enabled)
+        if (cfg_.rc.enabled) {
             state_.resetMaps(); // Section 4.1
+            if (traceOn_)
+                trace::instant("map_reset", "sim", "pc",
+                               static_cast<std::uint64_t>(state_.pc));
+        }
         return false;
       }
 
@@ -634,6 +665,11 @@ Simulator::execute(const Instruction &ins, const OpcodeInfo &info,
             return false;
         }
         counters_.add(SimCounter::Connects);
+        // Adjacent to the counter add so the fuzz cross-check can
+        // assert instants == stats even on later error paths.
+        if (traceOn_)
+            trace::instant("connect", "sim", "pc",
+                           static_cast<std::uint64_t>(state_.pc));
         core::RegisterMappingTable &map = state_.map(ins.connCls);
         for (int k = 0; k < ins.nconn; ++k) {
             if (ins.conn[k].phys >= map.physRegs()) {

@@ -111,6 +111,14 @@ class Simulator
 
     void enterTrap(std::int32_t return_pc);
 
+    /**
+     * Cold path: emit the per-window trace counters (progress and
+     * stall-cause series).  Called every traceWindowCycles cycles
+     * while tracing is enabled; pure observation — reads counters,
+     * mutates nothing.
+     */
+    void traceWindow();
+
     void
     fail(const std::string &msg)
     {
@@ -142,6 +150,12 @@ class Simulator
     std::string error_;
     SimProbe *probe_ = nullptr;
     SimCounterArray counters_;
+
+    // trace::on() cached at reset() so every per-event check in the
+    // hot loop is a member-bool test.  A power of two: the window
+    // emission check is one mask per cycle.
+    static constexpr Cycle traceWindowCycles = 8192;
+    bool traceOn_ = false;
     std::size_t nextInterrupt_ = 0;
 
     // Map entries updated this cycle (one-cycle connect model).

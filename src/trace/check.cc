@@ -1,0 +1,490 @@
+#include "trace/check.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace rcsim::trace
+{
+
+namespace
+{
+
+/** A parsed JSON value; object members keep document order. */
+struct JsonValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    member(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+/** Recursive-descent JSON parser over one in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(JsonValue &out, std::string &error)
+    {
+        pos_ = 0;
+        if (!value(out, error))
+            return false;
+        skipWs();
+        if (pos_ != text_.size()) {
+            error = fail("trailing data after the JSON value");
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    std::string
+    fail(const std::string &what) const
+    {
+        return what + " at offset " + std::to_string(pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, std::string &error)
+    {
+        for (const char *p = word; *p; ++p, ++pos_) {
+            if (pos_ >= text_.size() || text_[pos_] != *p) {
+                error = fail(std::string("bad literal, expected '") +
+                             word + "'");
+                return false;
+            }
+        }
+        return true;
+    }
+
+    bool
+    stringValue(std::string &out, std::string &error)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+            error = fail("expected '\"'");
+            return false;
+        }
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size()) {
+                    error = fail("unterminated escape");
+                    return false;
+                }
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    out += e;
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        error = fail("short \\u escape");
+                        return false;
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |=
+                                static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |=
+                                static_cast<unsigned>(h - 'A' + 10);
+                        else {
+                            error = fail("bad \\u escape digit");
+                            return false;
+                        }
+                    }
+                    // Traces only escape control characters; a
+                    // non-ASCII code point is kept approximately.
+                    out += code < 0x80 ? static_cast<char>(code)
+                                       : '?';
+                    break;
+                  }
+                  default:
+                    error = fail("unknown escape");
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                error = fail("raw control character in string");
+                return false;
+            } else {
+                out += c;
+            }
+        }
+        error = fail("unterminated string");
+        return false;
+    }
+
+    bool
+    numberValue(double &out, std::string &error)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ == start) {
+            error = fail("expected a number");
+            return false;
+        }
+        try {
+            out = std::stod(text_.substr(start, pos_ - start));
+        } catch (...) {
+            error = fail("unparseable number");
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    value(JsonValue &out, std::string &error)
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            error = fail("unexpected end of input");
+            return false;
+        }
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!stringValue(key, error))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':') {
+                    error = fail("expected ':'");
+                    return false;
+                }
+                ++pos_;
+                JsonValue member;
+                if (!value(member, error))
+                    return false;
+                out.object.emplace_back(std::move(key),
+                                        std::move(member));
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < text_.size() && text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                error = fail("expected ',' or '}'");
+                return false;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                JsonValue elem;
+                if (!value(elem, error))
+                    return false;
+                out.array.push_back(std::move(elem));
+                skipWs();
+                if (pos_ < text_.size() && text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (pos_ < text_.size() && text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                error = fail("expected ',' or ']'");
+                return false;
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return stringValue(out.str, error);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", error);
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", error);
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", error);
+        }
+        out.kind = JsonValue::Kind::Number;
+        return numberValue(out.number, error);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Per-tid validation state. */
+struct ThreadState
+{
+    std::vector<std::string> stack; // open span names
+    double lastTs = 0.0;
+    bool any = false;
+};
+
+} // namespace
+
+std::size_t
+TraceCheck::spanThreads(const std::string &name) const
+{
+    auto it = spanTids.find(name);
+    return it == spanTids.end() ? 0 : it->second.size();
+}
+
+TraceCheck
+checkChromeTrace(const std::string &json)
+{
+    TraceCheck result;
+
+    JsonValue doc;
+    std::string error;
+    if (!JsonParser(json).parse(doc, error)) {
+        result.error = "invalid JSON: " + error;
+        return result;
+    }
+
+    const JsonValue *events = nullptr;
+    if (doc.kind == JsonValue::Kind::Object) {
+        events = doc.member("traceEvents");
+        if (!events) {
+            result.error = "missing \"traceEvents\" member";
+            return result;
+        }
+    } else if (doc.kind == JsonValue::Kind::Array) {
+        events = &doc;
+    } else {
+        result.error = "top level is neither object nor array";
+        return result;
+    }
+    if (events->kind != JsonValue::Kind::Array) {
+        result.error = "\"traceEvents\" is not an array";
+        return result;
+    }
+
+    std::map<std::uint32_t, ThreadState> threads;
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const JsonValue &ev = events->array[i];
+        std::string at = "event " + std::to_string(i);
+        if (ev.kind != JsonValue::Kind::Object) {
+            result.error = at + ": not an object";
+            return result;
+        }
+        const JsonValue *name = ev.member("name");
+        const JsonValue *ph = ev.member("ph");
+        const JsonValue *ts = ev.member("ts");
+        const JsonValue *pid = ev.member("pid");
+        const JsonValue *tid = ev.member("tid");
+        if (!name || name->kind != JsonValue::Kind::String) {
+            result.error = at + ": missing string \"name\"";
+            return result;
+        }
+        if (!ph || ph->kind != JsonValue::Kind::String ||
+            ph->str.size() != 1) {
+            result.error = at + ": missing one-character \"ph\"";
+            return result;
+        }
+        if (!ts || ts->kind != JsonValue::Kind::Number) {
+            result.error = at + ": missing numeric \"ts\"";
+            return result;
+        }
+        if (!pid || pid->kind != JsonValue::Kind::Number) {
+            result.error = at + ": missing numeric \"pid\"";
+            return result;
+        }
+        if (!tid || tid->kind != JsonValue::Kind::Number) {
+            result.error = at + ": missing numeric \"tid\"";
+            return result;
+        }
+
+        char phase = ph->str[0];
+        if (phase != 'B' && phase != 'E' && phase != 'i' &&
+            phase != 'C' && phase != 'X' && phase != 'M') {
+            result.error =
+                at + ": unknown phase '" + ph->str + "'";
+            return result;
+        }
+
+        auto id = static_cast<std::uint32_t>(tid->number);
+        ThreadState &st = threads[id];
+        if (st.any && ts->number < st.lastTs) {
+            result.error =
+                at + ": timestamp went backwards on tid " +
+                std::to_string(id);
+            return result;
+        }
+        st.lastTs = ts->number;
+        st.any = true;
+
+        switch (phase) {
+          case 'B':
+            st.stack.push_back(name->str);
+            break;
+          case 'E':
+            if (st.stack.empty()) {
+                result.error = at + ": end without begin on tid " +
+                               std::to_string(id);
+                return result;
+            }
+            if (!name->str.empty() &&
+                name->str != st.stack.back()) {
+                result.error = at + ": end name '" + name->str +
+                               "' does not match open span '" +
+                               st.stack.back() + "'";
+                return result;
+            }
+            ++result.spans[st.stack.back()];
+            ++result.spanTids[st.stack.back()][id];
+            st.stack.pop_back();
+            break;
+          case 'i':
+            ++result.instants[name->str];
+            break;
+          case 'C':
+            ++result.counters[name->str];
+            break;
+          default:
+            break;
+        }
+        ++result.events;
+    }
+
+    for (const auto &[id, st] : threads) {
+        if (!st.stack.empty()) {
+            result.error = "tid " + std::to_string(id) + ": " +
+                           std::to_string(st.stack.size()) +
+                           " span(s) never ended (first open: '" +
+                           st.stack.front() + "')";
+            return result;
+        }
+    }
+
+    result.threads = threads.size();
+    result.ok = true;
+    return result;
+}
+
+TraceCheck
+checkChromeTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        TraceCheck result;
+        result.error = "cannot open '" + path + "'";
+        return result;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return checkChromeTrace(ss.str());
+}
+
+bool
+jsonParses(const std::string &text, std::string *error)
+{
+    JsonValue doc;
+    std::string err;
+    if (JsonParser(text).parse(doc, err))
+        return true;
+    if (error)
+        *error = err;
+    return false;
+}
+
+} // namespace rcsim::trace

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Well-formedness validation for Chrome trace_event JSON documents.
+ *
+ * The checker is the contract the trace sink is tested against (and
+ * what tools/tracecheck exposes on the command line): the document
+ * must be valid JSON, every event must carry the required fields,
+ * and per thread the begin/end spans must balance with properly
+ * nested names and non-decreasing timestamps.  It deliberately
+ * re-parses the emitted text — rather than inspecting the in-memory
+ * event buffers — so a sink bug that produces unloadable JSON cannot
+ * pass.
+ *
+ * The embedded JSON parser is a dependency-free recursive-descent
+ * implementation sized for trace documents; jsonParses() exposes it
+ * for validating other JSON artifacts (the flat metrics sink, bench
+ * reports).
+ */
+
+#ifndef RCSIM_TRACE_CHECK_HH
+#define RCSIM_TRACE_CHECK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rcsim::trace
+{
+
+/** Outcome of validating one trace document. */
+struct TraceCheck
+{
+    bool ok = false;
+    std::string error; // first problem found (empty when ok)
+
+    std::size_t events = 0;  // total events in the document
+    std::size_t threads = 0; // distinct tids seen
+
+    /** Per-name event tallies (for cross-checks against sim stats). */
+    std::map<std::string, std::uint64_t> instants;
+    std::map<std::string, std::uint64_t> spans; // completed B/E pairs
+    std::map<std::string, std::uint64_t> counters;
+
+    /** Distinct tids that opened at least one "sweep"-category span. */
+    std::size_t spanThreads(const std::string &name) const;
+
+    /** Tids recorded per span name (filled during validation). */
+    std::map<std::string, std::map<std::uint32_t, std::uint64_t>>
+        spanTids;
+};
+
+/**
+ * Validate a Chrome trace_event document: valid JSON, a
+ * {"traceEvents": [...]} object (a bare event array is also
+ * accepted), required fields on every event, balanced and correctly
+ * nested begin/end per tid, non-decreasing timestamps per tid.
+ */
+TraceCheck checkChromeTrace(const std::string &json);
+
+/** checkChromeTrace() over a file's contents. */
+TraceCheck checkChromeTraceFile(const std::string &path);
+
+/**
+ * True when @p text is one complete, valid JSON value.  On failure
+ * @p error (when non-null) receives a description with the offset.
+ */
+bool jsonParses(const std::string &text, std::string *error = nullptr);
+
+} // namespace rcsim::trace
+
+#endif // RCSIM_TRACE_CHECK_HH

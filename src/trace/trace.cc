@@ -1,0 +1,493 @@
+#include "trace/trace.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rcsim::trace
+{
+
+namespace detail
+{
+
+std::atomic<bool> g_on{false};
+
+namespace
+{
+
+/** One thread's private event log. */
+struct Buffer
+{
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+};
+
+/**
+ * Registry of every thread's buffer.  The mutex guards registration
+ * and whole-trace operations (clear/export) only; recording itself
+ * touches nothing but the calling thread's own buffer.  Buffers are
+ * shared_ptrs so a buffer outlives its thread (the registry keeps
+ * the events for export) and outlives clear() on the registry side
+ * (the thread_local keeps recording valid).
+ */
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<Buffer>> buffers;
+    std::uint32_t nextTid = 1;
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry; // immortal: threads may record
+    return *r;                         // during static destruction
+}
+
+Buffer &
+threadBuffer()
+{
+    thread_local std::shared_ptr<Buffer> tl = [] {
+        auto buf = std::make_shared<Buffer>();
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        buf->tid = r.nextTid++;
+        r.buffers.push_back(buf);
+        return buf;
+    }();
+    return *tl;
+}
+
+std::chrono::steady_clock::time_point
+epoch()
+{
+    static const std::chrono::steady_clock::time_point e =
+        std::chrono::steady_clock::now();
+    return e;
+}
+
+} // namespace
+
+std::uint64_t
+now()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch())
+            .count());
+}
+
+void
+record(TraceEvent &&ev)
+{
+    if (!g_on.load(std::memory_order_relaxed))
+        return;
+    threadBuffer().events.push_back(std::move(ev));
+}
+
+} // namespace detail
+
+void
+setEnabled(bool enabled)
+{
+#if RCSIM_TRACE_COMPILED
+    if (enabled)
+        (void)detail::now(); // pin the epoch before the first event
+    detail::g_on.store(enabled, std::memory_order_relaxed);
+#else
+    (void)enabled;
+#endif
+}
+
+void
+clear()
+{
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto &buf : r.buffers)
+        buf->events.clear();
+}
+
+std::size_t
+eventCount()
+{
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::size_t n = 0;
+    for (const auto &buf : r.buffers)
+        n += buf->events.size();
+    return n;
+}
+
+namespace
+{
+
+TraceEvent
+make(std::string name, const char *cat, char phase)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = cat;
+    ev.phase = phase;
+    ev.ts = detail::now();
+    return ev;
+}
+
+} // namespace
+
+void
+begin(std::string name, const char *cat)
+{
+    if (!on())
+        return;
+    detail::record(make(std::move(name), cat, 'B'));
+}
+
+void
+end(std::string name)
+{
+    if (!on())
+        return;
+    detail::record(make(std::move(name), "", 'E'));
+}
+
+void
+instant(std::string name, const char *cat)
+{
+    if (!on())
+        return;
+    detail::record(make(std::move(name), cat, 'i'));
+}
+
+void
+instant(std::string name, const char *cat, const char *k0,
+        std::uint64_t v0)
+{
+    if (!on())
+        return;
+    TraceEvent ev = make(std::move(name), cat, 'i');
+    ev.nargs = 1;
+    ev.args[0] = {k0, v0};
+    detail::record(std::move(ev));
+}
+
+void
+counter(std::string name, const char *k0, std::uint64_t v0)
+{
+    if (!on())
+        return;
+    TraceEvent ev = make(std::move(name), "counter", 'C');
+    ev.nargs = 1;
+    ev.args[0] = {k0, v0};
+    detail::record(std::move(ev));
+}
+
+void
+counter(std::string name, const char *k0, std::uint64_t v0,
+        const char *k1, std::uint64_t v1)
+{
+    if (!on())
+        return;
+    TraceEvent ev = make(std::move(name), "counter", 'C');
+    ev.nargs = 2;
+    ev.args[0] = {k0, v0};
+    ev.args[1] = {k1, v1};
+    detail::record(std::move(ev));
+}
+
+void
+counter(std::string name, const char *k0, std::uint64_t v0,
+        const char *k1, std::uint64_t v1, const char *k2,
+        std::uint64_t v2, const char *k3, std::uint64_t v3)
+{
+    if (!on())
+        return;
+    TraceEvent ev = make(std::move(name), "counter", 'C');
+    ev.nargs = 4;
+    ev.args[0] = {k0, v0};
+    ev.args[1] = {k1, v1};
+    ev.args[2] = {k2, v2};
+    ev.args[3] = {k3, v3};
+    detail::record(std::move(ev));
+}
+
+void
+Span::beginWithArg(const std::string &name, const char *cat,
+                   const char *k0, std::uint64_t v0)
+{
+    TraceEvent ev = make(name, cat, 'B');
+    ev.nargs = 1;
+    ev.args[0] = {k0, v0};
+    detail::record(std::move(ev));
+}
+
+namespace
+{
+
+void
+jsonEscapeInto(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+/**
+ * Snapshot every buffer's events under the registry lock, in tid
+ * order (recording order within a thread is preserved).
+ */
+std::vector<std::pair<std::uint32_t, std::vector<TraceEvent>>>
+snapshot()
+{
+    detail::Registry &r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::pair<std::uint32_t, std::vector<TraceEvent>>> out;
+    out.reserve(r.buffers.size());
+    for (const auto &buf : r.buffers)
+        if (!buf->events.empty())
+            out.emplace_back(buf->tid, buf->events);
+    return out;
+}
+
+} // namespace
+
+std::string
+chromeJson()
+{
+    auto threads = snapshot();
+
+    std::string j = "{\"traceEvents\": [";
+    bool first = true;
+    char buf[96];
+    for (const auto &[tid, events] : threads) {
+        for (const TraceEvent &ev : events) {
+            if (!first)
+                j += ",";
+            first = false;
+            j += "\n{\"name\": \"";
+            jsonEscapeInto(j, ev.name);
+            j += "\", \"cat\": \"";
+            jsonEscapeInto(j, ev.cat);
+            j += "\", \"ph\": \"";
+            j += ev.phase;
+            // ts is microseconds in the Chrome format; keep the
+            // nanosecond resolution in the fraction.
+            std::snprintf(buf, sizeof buf,
+                          "\", \"ts\": %llu.%03u, \"pid\": 1, "
+                          "\"tid\": %u",
+                          static_cast<unsigned long long>(ev.ts /
+                                                          1000),
+                          static_cast<unsigned>(ev.ts % 1000), tid);
+            j += buf;
+            if (ev.nargs > 0) {
+                j += ", \"args\": {";
+                for (int i = 0; i < ev.nargs; ++i) {
+                    std::snprintf(
+                        buf, sizeof buf, "%s\"%s\": %llu",
+                        i ? ", " : "", ev.args[i].key,
+                        static_cast<unsigned long long>(
+                            ev.args[i].value));
+                    j += buf;
+                }
+                j += "}";
+            }
+            j += "}";
+        }
+    }
+    j += "\n]}\n";
+    return j;
+}
+
+std::string
+metricsJson()
+{
+    auto threads = snapshot();
+
+    struct SpanAgg
+    {
+        std::uint64_t count = 0;
+        std::uint64_t totalNs = 0;
+    };
+    std::map<std::string, SpanAgg> spans;
+    std::map<std::string, std::uint64_t> instants;
+    std::map<std::string, std::uint64_t> counters;
+    std::size_t events = 0;
+
+    for (const auto &[tid, evs] : threads) {
+        (void)tid;
+        std::vector<const TraceEvent *> stack;
+        for (const TraceEvent &ev : evs) {
+            ++events;
+            switch (ev.phase) {
+              case 'B':
+                stack.push_back(&ev);
+                break;
+              case 'E':
+                if (!stack.empty()) {
+                    const TraceEvent *b = stack.back();
+                    stack.pop_back();
+                    SpanAgg &agg = spans[b->name];
+                    ++agg.count;
+                    if (ev.ts >= b->ts)
+                        agg.totalNs += ev.ts - b->ts;
+                }
+                break;
+              case 'i':
+                ++instants[ev.name];
+                break;
+              case 'C':
+                for (int i = 0; i < ev.nargs; ++i)
+                    counters[ev.name + "/" + ev.args[i].key] =
+                        ev.args[i].value;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    std::string j = "{\n  \"spans\": {";
+    bool first = true;
+    char buf[96];
+    for (const auto &[name, agg] : spans) {
+        j += first ? "\n" : ",\n";
+        first = false;
+        j += "    \"";
+        jsonEscapeInto(j, name);
+        std::snprintf(buf, sizeof buf,
+                      "\": {\"count\": %llu, \"total_ms\": %.6f}",
+                      static_cast<unsigned long long>(agg.count),
+                      static_cast<double>(agg.totalNs) / 1e6);
+        j += buf;
+    }
+    j += "\n  },\n  \"instants\": {";
+    first = true;
+    for (const auto &[name, count] : instants) {
+        j += first ? "\n" : ",\n";
+        first = false;
+        j += "    \"";
+        jsonEscapeInto(j, name);
+        std::snprintf(buf, sizeof buf, "\": %llu",
+                      static_cast<unsigned long long>(count));
+        j += buf;
+    }
+    j += "\n  },\n  \"counters\": {";
+    first = true;
+    for (const auto &[name, value] : counters) {
+        j += first ? "\n" : ",\n";
+        first = false;
+        j += "    \"";
+        jsonEscapeInto(j, name);
+        std::snprintf(buf, sizeof buf, "\": %llu",
+                      static_cast<unsigned long long>(value));
+        j += buf;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "\n  },\n  \"threads\": %zu,\n  \"events\": %zu\n}\n",
+                  threads.size(), events);
+    j += buf;
+    return j;
+}
+
+namespace
+{
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << content;
+    return static_cast<bool>(out);
+}
+
+} // namespace
+
+bool
+writeChromeFile(const std::string &path)
+{
+    return writeFile(path, chromeJson());
+}
+
+bool
+writeMetricsFile(const std::string &path)
+{
+    return writeFile(path, metricsJson());
+}
+
+std::string
+resolveTracePath(const std::string &cli_value,
+                 const char *fallback_name)
+{
+    if (!cli_value.empty())
+        return cli_value;
+    if (const char *env = std::getenv("RCSIM_TRACE")) {
+        if (env[0] == '\0' || std::string(env) == "0")
+            return std::string();
+        if (std::string(env) == "1")
+            return fallback_name;
+        return env;
+    }
+    return std::string();
+}
+
+ScopedDump::ScopedDump(std::string chrome_path,
+                       std::string metrics_path)
+    : chrome_(std::move(chrome_path)),
+      metrics_(std::move(metrics_path))
+{
+    if (!chrome_.empty() || !metrics_.empty())
+        setEnabled(true);
+}
+
+ScopedDump::~ScopedDump()
+{
+    if (chrome_.empty() && metrics_.empty())
+        return;
+    setEnabled(false);
+    if (!chrome_.empty()) {
+        if (writeChromeFile(chrome_))
+            std::fprintf(stderr, "trace written to %s\n",
+                         chrome_.c_str());
+        else
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         chrome_.c_str());
+    }
+    if (!metrics_.empty()) {
+        if (writeMetricsFile(metrics_))
+            std::fprintf(stderr, "trace metrics written to %s\n",
+                         metrics_.c_str());
+        else
+            std::fprintf(stderr, "cannot write metrics to %s\n",
+                         metrics_.c_str());
+    }
+}
+
+} // namespace rcsim::trace

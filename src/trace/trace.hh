@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Structured tracing + metrics: a process-wide, thread-aware event
+ * recorder with Chrome trace_event and flat-metrics JSON sinks.
+ *
+ * Design goals, in order:
+ *
+ *  1. Zero observable overhead when disabled.  Every recording entry
+ *     point starts with a branch on one cached atomic flag (relaxed
+ *     load, compiles to a plain byte test); hot call sites in the
+ *     simulator additionally cache the flag in a member at reset().
+ *     Building with -DRCSIM_TRACE=OFF compiles the recording paths
+ *     out entirely (on() becomes a constant false).
+ *
+ *  2. Observation only.  Recording never touches simulator or
+ *     compiler state, so cycle counts, statistics and emitted
+ *     programs are bit-identical with tracing on, off, or compiled
+ *     out (pinned by tests/test_perf_parity.cc and tests/
+ *     test_trace.cc).
+ *
+ *  3. Lock-cheap and thread-aware.  Each thread records into its own
+ *     buffer (registered once under a mutex, then written without
+ *     any locking), so parallel sweep workers and campaign replays
+ *     trace concurrently without contention; every buffer carries a
+ *     distinct tid in the exported trace.
+ *
+ * Event model (a subset of the Chrome trace_event format):
+ *   - begin/end spans ("B"/"E"), properly nested per thread
+ *   - instant events ("i"), e.g. one per executed connect
+ *   - counter events ("C") with up to four named series
+ *
+ * Timestamps are steady_clock nanoseconds from a process-wide epoch,
+ * so they are monotonic within a thread.  chromeJson() renders the
+ * {"traceEvents": [...]} document chrome://tracing and Perfetto
+ * load; metricsJson() renders a flat aggregate (span totals, instant
+ * counts, final counter values) for machine consumption in benches.
+ *
+ * Concurrency contract: record from any number of threads at once;
+ * enable/disable/clear/export only while no thread is recording
+ * (e.g. before and after a sweep, never during).
+ */
+
+#ifndef RCSIM_TRACE_TRACE_HH
+#define RCSIM_TRACE_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#ifndef RCSIM_TRACE_COMPILED
+#define RCSIM_TRACE_COMPILED 1
+#endif
+
+namespace rcsim::trace
+{
+
+/** One recorded event.  `name` is SSO-friendly for hot sites. */
+struct TraceEvent
+{
+    /** One named numeric argument ("args" in the Chrome format). */
+    struct Arg
+    {
+        const char *key = nullptr; // static string
+        std::uint64_t value = 0;
+    };
+
+    static constexpr int maxArgs = 4;
+
+    std::string name;
+    const char *cat = "";
+    char phase = 'i';      // 'B', 'E', 'i', 'C'
+    std::uint64_t ts = 0;  // ns since the trace epoch
+    int nargs = 0;
+    Arg args[maxArgs];
+};
+
+namespace detail
+{
+
+extern std::atomic<bool> g_on;
+
+/** Append to the calling thread's buffer (registers it on first use). */
+void record(TraceEvent &&ev);
+
+/** Nanoseconds since the process trace epoch (steady, monotonic). */
+std::uint64_t now();
+
+} // namespace detail
+
+/** The cached runtime flag; the entire cost of disabled tracing. */
+inline bool
+on()
+{
+#if RCSIM_TRACE_COMPILED
+    return detail::g_on.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+}
+
+/** Flip the runtime flag (no-op when compiled out). */
+void setEnabled(bool enabled);
+
+/** Drop every buffered event on every registered thread. */
+void clear();
+
+/** Total events currently buffered across all threads. */
+std::size_t eventCount();
+
+// ---- Recording (all no-ops while on() is false) ---------------------
+
+void begin(std::string name, const char *cat);
+void end(std::string name = std::string());
+
+void instant(std::string name, const char *cat);
+void instant(std::string name, const char *cat, const char *k0,
+             std::uint64_t v0);
+
+void counter(std::string name, const char *k0, std::uint64_t v0);
+void counter(std::string name, const char *k0, std::uint64_t v0,
+             const char *k1, std::uint64_t v1);
+void counter(std::string name, const char *k0, std::uint64_t v0,
+             const char *k1, std::uint64_t v1, const char *k2,
+             std::uint64_t v2, const char *k3, std::uint64_t v3);
+
+/** RAII begin/end span; records only when tracing was on at entry. */
+class Span
+{
+  public:
+    Span(std::string name, const char *cat)
+    {
+        if (on()) {
+            name_ = std::move(name);
+            begin(name_, cat);
+        }
+    }
+
+    Span(std::string name, const char *cat, const char *k0,
+         std::uint64_t v0)
+    {
+        if (on()) {
+            name_ = std::move(name);
+            beginWithArg(name_, cat, k0, v0);
+        }
+    }
+
+    ~Span()
+    {
+        if (!name_.empty())
+            end(std::move(name_));
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    static void beginWithArg(const std::string &name, const char *cat,
+                             const char *k0, std::uint64_t v0);
+
+    std::string name_; // non-empty iff a begin was recorded
+};
+
+// ---- Sinks ----------------------------------------------------------
+
+/** The Chrome trace_event document: {"traceEvents": [...]}. */
+std::string chromeJson();
+
+/**
+ * Flat aggregated metrics: per-span count + total nanoseconds,
+ * per-instant count, final counter values, thread/event totals.
+ * Deterministically ordered (sorted by name).
+ */
+std::string metricsJson();
+
+/** Write chromeJson() to @p path; false (with errno intact) on I/O error. */
+bool writeChromeFile(const std::string &path);
+
+/** Write metricsJson() to @p path. */
+bool writeMetricsFile(const std::string &path);
+
+// ---- Environment wiring ---------------------------------------------
+
+/**
+ * Resolve the trace output path for a CLI tool: an explicit
+ * command-line value wins; otherwise the RCSIM_TRACE environment
+ * variable ("1" means "use @p fallback_name"); empty when neither is
+ * set (tracing stays off).
+ */
+std::string resolveTracePath(const std::string &cli_value,
+                             const char *fallback_name);
+
+/**
+ * RAII used by the CLI tools and benches: enables tracing when
+ * either path is non-empty, writes the requested files on scope
+ * exit (any return path), and reports them on stderr.
+ */
+class ScopedDump
+{
+  public:
+    ScopedDump(std::string chrome_path, std::string metrics_path);
+    ~ScopedDump();
+
+    ScopedDump(const ScopedDump &) = delete;
+    ScopedDump &operator=(const ScopedDump &) = delete;
+
+  private:
+    std::string chrome_;
+    std::string metrics_;
+};
+
+} // namespace rcsim::trace
+
+#endif // RCSIM_TRACE_TRACE_HH

@@ -1,286 +1,43 @@
 /**
  * @file
- * Differential fuzzing: deterministic pseudo-random IR programs are
- * pushed through the entire pipeline (optimize, schedule, allocate,
- * insert connects, emit, simulate) under a configuration derived from
- * the same seed, and the simulated result must equal the reference
- * interpreter's.  Every seed exercises loops, branches, calls, int
- * and fp arithmetic, and memory traffic.
+ * Differential fuzzing: deterministic pseudo-random IR programs
+ * (tests/fuzz_common.hh) are pushed through the entire pipeline
+ * (optimize, schedule, allocate, insert connects, emit, simulate)
+ * under a configuration derived from the same seed, and the simulated
+ * result must equal the reference interpreter's.  Every seed
+ * exercises loops, branches, calls, int and fp arithmetic, and memory
+ * traffic.
+ *
+ * Reproducing a failure: every failure message carries the seed;
+ * RCSIM_FUZZ_SEED=<seed> in the environment re-runs that exact seed
+ * (program and configuration) for every test instance, so
+ *   RCSIM_FUZZ_SEED=12345 ./rcsim_tests \
+ *       --gtest_filter=Seeds/Fuzz.PipelineMatchesInterpreterUnderRandomConfig/0
+ * is a one-seed repro regardless of which parameter index originally
+ * failed.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "fuzz_common.hh"
 #include "harness/experiment.hh"
-#include "ir/builder.hh"
 #include "support/logging.hh"
-#include "support/random.hh"
-#include "workloads/common.hh"
 
 namespace rcsim
 {
 namespace
 {
 
-using ir::IRBuilder;
-using ir::MemRef;
-using ir::Opc;
-using ir::RegClass;
-using ir::VReg;
-
-/** Builds a random but well-formed module from a seed. */
-class RandomProgram
+/** RCSIM_FUZZ_SEED override; 0 / unset / unparsable means "none". */
+std::uint64_t
+seedOverride()
 {
-  public:
-    explicit RandomProgram(std::uint64_t seed) : rng_(seed) {}
-
-    ir::Module
-    build()
-    {
-        ir::Module m;
-        m.name = "fuzz";
-        gInt_ = workloads::makeIntZeros(m, "ibuf", 64);
-        {
-            SplitMix data(rng_.next());
-            ir::Global &g = m.globals[gInt_];
-            g.init.resize(64 * 4);
-            for (std::size_t i = 0; i < g.init.size(); ++i)
-                g.init[i] = static_cast<std::uint8_t>(data.next());
-        }
-        gFp_ = workloads::makeFpZeros(m, "fbuf", 32);
-        {
-            SplitMix data(rng_.next());
-            ir::Global &g = m.globals[gFp_];
-            g.init.resize(32 * 8);
-            for (int i = 0; i < 32; ++i) {
-                double v = (data.next() % 2048) / 512.0 - 2.0;
-                std::memcpy(g.init.data() + i * 8, &v, 8);
-            }
-        }
-
-        // Optional helper with an integer parameter.
-        helper_ = m.addFunction("helper");
-        {
-            ir::Function &f = m.fn(helper_);
-            VReg p = f.newVreg(RegClass::Int);
-            f.params = {p};
-            f.returnsValue = true;
-            f.retClass = RegClass::Int;
-            IRBuilder hb(m, helper_);
-            VReg v = hb.xor_(p, hb.iconst(0x5a5a));
-            VReg w = hb.mul(v, hb.iconst(17));
-            hb.ret(hb.andi(w, 0xffff));
-        }
-
-        int fi = m.addFunction("main");
-        m.fn(fi).returnsValue = true;
-        m.fn(fi).retClass = RegClass::Int;
-        m.entryFunction = fi;
-        IRBuilder b(m, fi);
-
-        ibase_ = b.addrOf(gInt_);
-        fbase_ = b.addrOf(gFp_);
-        iacc_ = b.temp(RegClass::Int);
-        b.assignI(iacc_, 1);
-        facc_ = b.temp(RegClass::Fp);
-        b.assign(facc_, b.fconst(1.0));
-        for (int i = 0; i < 4; ++i) {
-            VReg v = b.temp(RegClass::Int);
-            b.assignI(v, static_cast<Word>(rng_.below(1000)));
-            ints_.push_back(v);
-        }
-        for (int i = 0; i < 3; ++i) {
-            VReg v = b.temp(RegClass::Fp);
-            b.assign(v,
-                     b.fconst(0.25 + 0.125 * rng_.below(16)));
-            fps_.push_back(v);
-        }
-
-        int stmts = 4 + static_cast<int>(rng_.below(6));
-        for (int i = 0; i < stmts; ++i)
-            statement(b, 2);
-
-        VReg fp_bits = b.un(
-            Opc::CvtFI, b.fmul(clampFp(b, facc_), b.fconst(64.0)));
-        b.ret(b.xor_(iacc_, fp_bits));
-        return m;
-    }
-
-  private:
-    VReg
-    randInt(IRBuilder &b)
-    {
-        if (rng_.below(5) == 0)
-            return b.iconst(static_cast<Word>(rng_.below(512)));
-        return ints_[rng_.below(static_cast<std::uint32_t>(
-            ints_.size()))];
-    }
-
-    VReg
-    randFp()
-    {
-        return fps_[rng_.below(static_cast<std::uint32_t>(
-            fps_.size()))];
-    }
-
-    /** Keep fp magnitudes bounded so CvtFI stays in range. */
-    VReg
-    clampFp(IRBuilder &b, VReg v)
-    {
-        VReg lo = b.fconst(-4096.0);
-        VReg hi = b.fconst(4096.0);
-        return b.rr(Opc::FMin, b.rr(Opc::FMax, v, lo), hi);
-    }
-
-    void
-    intExpr(IRBuilder &b)
-    {
-        VReg x = randInt(b), y = randInt(b);
-        VReg r;
-        switch (rng_.below(8)) {
-          case 0:
-            r = b.add(x, y);
-            break;
-          case 1:
-            r = b.sub(x, y);
-            break;
-          case 2:
-            r = b.mul(x, y);
-            break;
-          case 3:
-            // Guarded division: denominator in [1, 8].
-            r = b.div(x, b.addi(b.andi(y, 7), 1));
-            break;
-          case 4:
-            r = b.xor_(x, y);
-            break;
-          case 5:
-            r = b.slli(x, static_cast<Word>(rng_.below(5)));
-            break;
-          case 6: {
-            VReg idx = b.andi(x, 63);
-            r = b.loadW(workloads::elemAddr(b, ibase_, idx, 2), 0,
-                        MemRef::global(gInt_));
-            break;
-          }
-          default: {
-            VReg idx = b.andi(y, 63);
-            b.storeW(x, workloads::elemAddr(b, ibase_, idx, 2), 0,
-                     MemRef::global(gInt_));
-            r = x;
-            break;
-          }
-        }
-        // Assign into a stable pool temporary (initialised at entry)
-        // so conditionally-executed statements cannot create
-        // possibly-undefined uses at join points.
-        b.assign(ints_[rng_.below(static_cast<std::uint32_t>(
-                     ints_.size()))],
-                 r);
-        b.assignRR(Opc::Xor, iacc_, iacc_, r);
-    }
-
-    void
-    fpExpr(IRBuilder &b)
-    {
-        VReg x = randFp(), y = randFp();
-        VReg r;
-        switch (rng_.below(5)) {
-          case 0:
-            r = b.fadd(x, y);
-            break;
-          case 1:
-            r = b.fsub(x, y);
-            break;
-          case 2:
-            r = b.fmul(x, y);
-            break;
-          case 3: {
-            VReg idx = b.andi(randInt(b), 31);
-            r = b.loadF(workloads::elemAddr(b, fbase_, idx, 3), 0,
-                        MemRef::global(gFp_));
-            break;
-          }
-          default:
-            // Division with a denominator bounded away from zero.
-            r = b.fdiv(x, b.fadd(b.fabs(y), b.fconst(1.0)));
-            break;
-        }
-        r = clampFp(b, r);
-        b.assign(fps_[rng_.below(static_cast<std::uint32_t>(
-                     fps_.size()))],
-                 r);
-        b.assignRR(Opc::FAdd, facc_, facc_, r);
-        b.assign(facc_, clampFp(b, facc_));
-    }
-
-    void
-    statement(IRBuilder &b, int depth)
-    {
-        switch (rng_.below(depth > 0 ? 6u : 3u)) {
-          case 0:
-          case 1:
-            intExpr(b);
-            break;
-          case 2:
-            fpExpr(b);
-            break;
-          case 3: { // call
-            VReg r = b.call(helper_, {randInt(b)}, RegClass::Int);
-            b.assignRR(Opc::Add, iacc_, iacc_, r);
-            break;
-          }
-          case 4: { // counted loop
-            int trip = 2 + static_cast<int>(rng_.below(24));
-            VReg bound = b.iconst(trip);
-            workloads::DoLoop loop(b, 0, bound);
-            int body = 1 + static_cast<int>(rng_.below(3));
-            for (int i = 0; i < body; ++i)
-                statement(b, depth - 1);
-            b.assignRR(Opc::Add, iacc_, iacc_, loop.iv());
-            loop.finish();
-            break;
-          }
-          default: { // if / else diamond
-            int then_b = b.newBlock();
-            int else_b = b.newBlock();
-            int join_b = b.newBlock();
-            VReg x = randInt(b), y = randInt(b);
-            Opc cmp = static_cast<Opc>(
-                static_cast<int>(Opc::Beq) + rng_.below(6));
-            b.br(cmp, x, y, then_b, else_b);
-            b.setBlock(then_b);
-            statement(b, depth - 1);
-            b.jmp(join_b);
-            b.setBlock(else_b);
-            statement(b, depth - 1);
-            b.jmp(join_b);
-            b.setBlock(join_b);
-            break;
-          }
-        }
-    }
-
-    SplitMix rng_;
-    int gInt_ = -1, gFp_ = -1, helper_ = -1;
-    VReg ibase_, fbase_, iacc_, facc_;
-    std::vector<VReg> ints_, fps_;
-};
-
-ir::Module
-buildFromSeed(std::uint64_t seed)
-{
-    RandomProgram rp(seed);
-    return rp.build();
-}
-
-// The Workload build callback has no capture, so stage the seed in a
-// thread-local.
-thread_local std::uint64_t currentSeed = 0;
-
-ir::Module
-buildCurrent()
-{
-    return buildFromSeed(currentSeed);
+    const char *env = std::getenv("RCSIM_FUZZ_SEED");
+    if (!env || env[0] == '\0')
+        return 0;
+    return std::strtoull(env, nullptr, 0);
 }
 
 class Fuzz : public ::testing::TestWithParam<int>
@@ -291,8 +48,9 @@ TEST_P(Fuzz, PipelineMatchesInterpreterUnderRandomConfig)
 {
     setQuiet(true);
     std::uint64_t seed = 0xf00d + 977 * GetParam();
-    currentSeed = seed;
-    workloads::Workload w{"fuzz", false, buildCurrent};
+    if (std::uint64_t forced = seedOverride())
+        seed = forced;
+    workloads::Workload w = fuzzer::seedWorkload(seed);
 
     // Configuration also derived from the seed.
     SplitMix cfg_rng(seed ^ 0xc0ffee);
@@ -322,7 +80,8 @@ TEST_P(Fuzz, PipelineMatchesInterpreterUnderRandomConfig)
     EXPECT_TRUE(out.verified)
         << "seed " << seed << " (" << opts.rc.toString() << ", "
         << opts.machine.issueWidth << "-issue): simulated "
-        << out.result << ", interpreter " << out.golden;
+        << out.result << ", interpreter " << out.golden
+        << "; rerun with RCSIM_FUZZ_SEED=" << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range(0, 96));

@@ -11,6 +11,9 @@
  *    pre-refactor simulator).
  *  - Sweep parity: runSweep() with a worker pool must return
  *    outcomes identical to the serial path.
+ *  - Trace parity: the same golden runs with tracing enabled must
+ *    produce the identical stats — instrumentation observes, never
+ *    perturbs.
  */
 
 #include <gtest/gtest.h>
@@ -21,6 +24,7 @@
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
 #include "support/logging.hh"
+#include "trace/trace.hh"
 
 namespace rcsim
 {
@@ -79,7 +83,9 @@ expectStatsMatchGolden(const char *name, Cycle golden_cycles,
 
 // Golden lists captured from the seed (string-keyed StatGroup)
 // implementation at commit e1e8907, fig12-style configuration.
-TEST(StatParity, IntWorkloadMatchesSeedImplementation)
+// Shared by the plain and the tracing-enabled parity tests.
+void
+expectCmpMatchesGolden()
 {
     expectStatsMatchGolden("cmp", 225347, 617081,
                            {
@@ -107,7 +113,8 @@ TEST(StatParity, IntWorkloadMatchesSeedImplementation)
                            });
 }
 
-TEST(StatParity, FpWorkloadMatchesSeedImplementation)
+void
+expectTomcatvMatchesGolden()
 {
     expectStatsMatchGolden("tomcatv", 288339, 898759,
                            {
@@ -133,6 +140,32 @@ TEST(StatParity, FpWorkloadMatchesSeedImplementation)
                                {"stores", 25408u},
                                {"taken_branches", 4412u},
                            });
+}
+
+TEST(StatParity, IntWorkloadMatchesSeedImplementation)
+{
+    expectCmpMatchesGolden();
+}
+
+TEST(StatParity, FpWorkloadMatchesSeedImplementation)
+{
+    expectTomcatvMatchesGolden();
+}
+
+// The tracing instrumentation must be purely observational: with the
+// recorder enabled the very same golden cycle counts, instruction
+// counts and stat values must come out, while events are recorded.
+TEST(StatParity, TracingEnabledLeavesGoldensUnchanged)
+{
+    trace::setEnabled(true);
+    trace::clear();
+    expectCmpMatchesGolden();
+    expectTomcatvMatchesGolden();
+#if RCSIM_TRACE_COMPILED
+    EXPECT_GT(trace::eventCount(), 0u);
+#endif
+    trace::setEnabled(false);
+    trace::clear();
 }
 
 TEST(SweepParity, ParallelRunSweepMatchesSerial)

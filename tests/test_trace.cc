@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Tests for the structured tracing + metrics layer (src/trace).
+ *
+ * Suites:
+ *  - TraceEvents:      recorder unit tests (disabled = no events,
+ *                      spans nest, sinks emit valid JSON, env/CLI
+ *                      path resolution)
+ *  - TraceCheck:       the validator rejects malformed documents
+ *  - TraceFuzz:        random programs (tests/fuzz_common.hh) produce
+ *                      well-formed traces whose event counts match
+ *                      the simulator's own counters
+ *  - TraceParity:      tracing on vs off changes neither the stats,
+ *                      cycles, commit streams, nor the compiled bytes
+ *  - TraceConcurrency: parallel sweep workers record one coherent
+ *                      trace with distinct tids
+ *
+ * Every test runs in its own process under ctest, but each still
+ * restores the disabled state so the binary is also clean when run
+ * manually with a wide filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "fuzz_common.hh"
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "inject/oracle.hh"
+#include "support/logging.hh"
+#include "trace/check.hh"
+#include "trace/trace.hh"
+
+namespace rcsim
+{
+namespace
+{
+
+/** Enable + clear on entry, disable on exit. */
+class ScopedTracing
+{
+  public:
+    ScopedTracing()
+    {
+        trace::setEnabled(true);
+        trace::clear();
+    }
+    ~ScopedTracing() { trace::setEnabled(false); }
+};
+
+trace::TraceCheck
+checkCurrent()
+{
+    return trace::checkChromeTrace(trace::chromeJson());
+}
+
+// ---- TraceEvents ----------------------------------------------------
+
+TEST(TraceEvents, DisabledRecordsNothing)
+{
+    trace::setEnabled(false);
+    trace::clear();
+
+    trace::begin("span", "test");
+    trace::instant("hit", "test");
+    trace::counter("ctr", "v", 1);
+    trace::end("span");
+    {
+        trace::Span s("raii", "test");
+    }
+    EXPECT_EQ(trace::eventCount(), 0u);
+}
+
+// Everything below this point records events, so it is compiled only
+// when the instrumentation is (default; -DRCSIM_TRACE=OFF opts out).
+#if RCSIM_TRACE_COMPILED
+
+TEST(TraceEvents, SpansNestAndExportValidChromeJson)
+{
+    ScopedTracing tracing;
+
+    {
+        trace::Span outer("outer", "test");
+        trace::instant("tick", "test", "n", 1);
+        {
+            trace::Span inner("inner", "test", "k", 42);
+            trace::counter("load", "value", 7);
+        }
+        trace::instant("tick", "test", "n", 2);
+    }
+
+    trace::TraceCheck check = checkCurrent();
+    EXPECT_TRUE(check.ok) << check.error;
+    EXPECT_EQ(check.events, 7u); // 2 spans (B+E), 2 instants, 1 C
+    EXPECT_EQ(check.threads, 1u);
+    EXPECT_EQ(check.spans["outer"], 1u);
+    EXPECT_EQ(check.spans["inner"], 1u);
+    EXPECT_EQ(check.instants["tick"], 2u);
+    EXPECT_EQ(check.counters["load"], 1u);
+}
+
+TEST(TraceEvents, ThreadsGetDistinctTids)
+{
+    ScopedTracing tracing;
+
+    trace::instant("main", "test");
+    std::thread a([] {
+        trace::Span s("worker", "test");
+        trace::instant("work", "test");
+    });
+    a.join();
+    std::thread b([] {
+        trace::Span s("worker", "test");
+        trace::instant("work", "test");
+    });
+    b.join();
+
+    trace::TraceCheck check = checkCurrent();
+    EXPECT_TRUE(check.ok) << check.error;
+    EXPECT_EQ(check.threads, 3u);
+    EXPECT_EQ(check.spans["worker"], 2u);
+    EXPECT_EQ(check.spanThreads("worker"), 2u);
+}
+
+TEST(TraceEvents, MetricsJsonParsesAndAggregates)
+{
+    ScopedTracing tracing;
+
+    {
+        trace::Span s("phase", "test");
+        trace::instant("evt", "test");
+        trace::instant("evt", "test");
+        trace::counter("ctr", "width", 4);
+    }
+
+    std::string metrics = trace::metricsJson();
+    std::string error;
+    EXPECT_TRUE(trace::jsonParses(metrics, &error)) << error;
+    EXPECT_NE(metrics.find("\"phase\": {\"count\": 1"),
+              std::string::npos)
+        << metrics;
+    EXPECT_NE(metrics.find("\"evt\": 2"), std::string::npos);
+    EXPECT_NE(metrics.find("\"ctr/width\": 4"), std::string::npos);
+    EXPECT_NE(metrics.find("\"threads\": 1"), std::string::npos);
+}
+
+TEST(TraceEvents, ClearDropsBufferedEvents)
+{
+    ScopedTracing tracing;
+    trace::instant("evt", "test");
+    EXPECT_GT(trace::eventCount(), 0u);
+    trace::clear();
+    EXPECT_EQ(trace::eventCount(), 0u);
+}
+
+#endif // RCSIM_TRACE_COMPILED
+
+TEST(TraceEvents, ResolveTracePathPrecedence)
+{
+    unsetenv("RCSIM_TRACE");
+    EXPECT_EQ(trace::resolveTracePath("", "fb.json"), "");
+    EXPECT_EQ(trace::resolveTracePath("cli.json", "fb.json"),
+              "cli.json");
+
+    setenv("RCSIM_TRACE", "1", 1);
+    EXPECT_EQ(trace::resolveTracePath("", "fb.json"), "fb.json");
+    EXPECT_EQ(trace::resolveTracePath("cli.json", "fb.json"),
+              "cli.json"); // CLI beats the environment
+
+    setenv("RCSIM_TRACE", "0", 1);
+    EXPECT_EQ(trace::resolveTracePath("", "fb.json"), "");
+    setenv("RCSIM_TRACE", "", 1);
+    EXPECT_EQ(trace::resolveTracePath("", "fb.json"), "");
+    setenv("RCSIM_TRACE", "custom.json", 1);
+    EXPECT_EQ(trace::resolveTracePath("", "fb.json"), "custom.json");
+    unsetenv("RCSIM_TRACE");
+}
+
+// ---- TraceCheck -----------------------------------------------------
+
+TEST(TraceCheck, AcceptsMinimalDocument)
+{
+    const char *doc =
+        "{\"traceEvents\": ["
+        "{\"name\": \"a\", \"ph\": \"B\", \"ts\": 1, \"pid\": 1, "
+        "\"tid\": 1},"
+        "{\"name\": \"i\", \"ph\": \"i\", \"ts\": 2, \"pid\": 1, "
+        "\"tid\": 1},"
+        "{\"name\": \"a\", \"ph\": \"E\", \"ts\": 3, \"pid\": 1, "
+        "\"tid\": 1}"
+        "]}";
+    trace::TraceCheck check = trace::checkChromeTrace(doc);
+    EXPECT_TRUE(check.ok) << check.error;
+    EXPECT_EQ(check.events, 3u);
+    EXPECT_EQ(check.spans["a"], 1u);
+}
+
+TEST(TraceCheck, RejectsUnbalancedBegin)
+{
+    const char *doc =
+        "{\"traceEvents\": ["
+        "{\"name\": \"a\", \"ph\": \"B\", \"ts\": 1, \"pid\": 1, "
+        "\"tid\": 1}"
+        "]}";
+    EXPECT_FALSE(trace::checkChromeTrace(doc).ok);
+}
+
+TEST(TraceCheck, RejectsEndWithoutBegin)
+{
+    const char *doc =
+        "{\"traceEvents\": ["
+        "{\"name\": \"a\", \"ph\": \"E\", \"ts\": 1, \"pid\": 1, "
+        "\"tid\": 1}"
+        "]}";
+    EXPECT_FALSE(trace::checkChromeTrace(doc).ok);
+}
+
+TEST(TraceCheck, RejectsMismatchedEndName)
+{
+    const char *doc =
+        "{\"traceEvents\": ["
+        "{\"name\": \"a\", \"ph\": \"B\", \"ts\": 1, \"pid\": 1, "
+        "\"tid\": 1},"
+        "{\"name\": \"b\", \"ph\": \"E\", \"ts\": 2, \"pid\": 1, "
+        "\"tid\": 1}"
+        "]}";
+    EXPECT_FALSE(trace::checkChromeTrace(doc).ok);
+}
+
+TEST(TraceCheck, RejectsNonMonotonicTimestamps)
+{
+    const char *doc =
+        "{\"traceEvents\": ["
+        "{\"name\": \"x\", \"ph\": \"i\", \"ts\": 5, \"pid\": 1, "
+        "\"tid\": 1},"
+        "{\"name\": \"y\", \"ph\": \"i\", \"ts\": 4, \"pid\": 1, "
+        "\"tid\": 1}"
+        "]}";
+    EXPECT_FALSE(trace::checkChromeTrace(doc).ok);
+}
+
+TEST(TraceCheck, RejectsTruncatedJson)
+{
+    const char *doc = "{\"traceEvents\": [{\"name\": \"a\"";
+    std::string error;
+    EXPECT_FALSE(trace::jsonParses(doc, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(trace::checkChromeTrace(doc).ok);
+}
+
+TEST(TraceCheck, RejectsEventMissingRequiredFields)
+{
+    const char *doc =
+        "{\"traceEvents\": ["
+        "{\"name\": \"a\", \"ph\": \"i\", \"pid\": 1, \"tid\": 1}"
+        "]}";
+    EXPECT_FALSE(trace::checkChromeTrace(doc).ok); // no ts
+}
+
+// ---- TraceFuzz ------------------------------------------------------
+
+#if RCSIM_TRACE_COMPILED
+
+TEST(TraceFuzz, RandomProgramsProduceWellFormedTraces)
+{
+    setQuiet(true);
+    ScopedTracing tracing;
+
+    Count connects = 0;
+    for (int i = 0; i < 6; ++i) {
+        std::uint64_t seed = 0xace + 1013 * i;
+        workloads::Workload w = fuzzer::seedWorkload(seed);
+
+        harness::CompileOptions opts;
+        opts.level = opt::OptLevel::Ilp;
+        opts.machine = harness::Experiment::machineFor(4, 2);
+        opts.rc = core::RcConfig::withRc(
+            8, 8, core::RcModel::WriteResetReadUpdate);
+        opts.machine.lat.connectLatency = opts.rc.connectLatency;
+
+        harness::CompiledProgram cp =
+            harness::compileWorkload(w, opts);
+        sim::SimConfig sc;
+        sc.machine = opts.machine;
+        sc.rc = opts.rc;
+        sim::Simulator sim(cp.program, sc);
+        sim::SimResult res = sim.run();
+        ASSERT_TRUE(res.ok) << "seed " << seed << ": " << res.error;
+        connects += res.stats.get("connects");
+    }
+
+    trace::TraceCheck check = checkCurrent();
+    ASSERT_TRUE(check.ok) << check.error;
+
+    // Every executed connect recorded exactly one instant.
+    EXPECT_EQ(check.instants["connect"], connects);
+    EXPECT_EQ(check.spans["sim.run"], 6u);
+
+    // The compile path recorded per-pass spans: six uncached
+    // frontends plus six backends.
+    bool pass_spans = false;
+    for (const auto &[name, count] : check.spans)
+        if (name.rfind("pass:", 0) == 0 && count >= 6)
+            pass_spans = true;
+    EXPECT_TRUE(pass_spans);
+    EXPECT_EQ(check.instants["frontend.miss"], 6u);
+}
+
+#endif // RCSIM_TRACE_COMPILED
+
+// ---- TraceParity ----------------------------------------------------
+
+/**
+ * The zero-overhead correctness contract: the same configuration run
+ * with tracing off and with tracing on must produce bit-identical
+ * statistics, cycle counts, commit streams and compiled programs.
+ */
+TEST(TraceParity, TracingDoesNotPerturbSimulationOrCompile)
+{
+    setQuiet(true);
+    trace::setEnabled(false);
+    trace::clear();
+
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ASSERT_NE(w, nullptr);
+
+    harness::CompileOptions opts;
+    opts.level = opt::OptLevel::Ilp;
+    opts.machine = harness::Experiment::machineFor(4, 2);
+    opts.rc = harness::rcConfigFor(w->isFp, 16);
+
+    auto compile_and_run =
+        [&](std::string *stats, Cycle *cycles, std::string *disasm,
+            std::vector<sim::CommitEffect> *log) {
+            // use_cache=false: force a full recompile under the
+            // current tracing state so compiled bytes are compared
+            // meaningfully.
+            pipeline::CompiledProgram cp = pipeline::compile(
+                *w, opts, nullptr, nullptr, /*use_cache=*/false);
+            *disasm = cp.program.disassemble();
+            sim::SimConfig sc;
+            sc.machine = opts.machine;
+            sc.rc = opts.rc;
+            sim::Simulator sim(cp.program, sc);
+            inject::CommitRecorder recorder;
+            sim.attachProbe(&recorder);
+            sim::SimResult res = sim.run();
+            ASSERT_TRUE(res.ok) << res.error;
+            ASSERT_EQ(sim.state().loadWord(cp.resultAddr),
+                      cp.golden);
+            ASSERT_FALSE(recorder.truncated());
+            *stats = res.stats.format();
+            *cycles = res.cycles;
+            *log = recorder.log();
+        };
+
+    std::string stats_off, disasm_off;
+    Cycle cycles_off = 0;
+    std::vector<sim::CommitEffect> log_off;
+    compile_and_run(&stats_off, &cycles_off, &disasm_off, &log_off);
+    ASSERT_FALSE(stats_off.empty());
+
+    std::string stats_on, disasm_on;
+    Cycle cycles_on = 0;
+    std::vector<sim::CommitEffect> log_on;
+    {
+        ScopedTracing tracing;
+        compile_and_run(&stats_on, &cycles_on, &disasm_on, &log_on);
+#if RCSIM_TRACE_COMPILED
+        EXPECT_GT(trace::eventCount(), 0u);
+#endif
+    }
+
+    EXPECT_EQ(cycles_on, cycles_off);
+    EXPECT_EQ(stats_on, stats_off);
+    EXPECT_EQ(disasm_on, disasm_off);
+
+    // The divergence oracle agrees: the commit streams are identical.
+    ASSERT_EQ(log_on.size(), log_off.size());
+    pipeline::CompiledProgram cp = pipeline::compile(*w, opts);
+    inject::Divergence div =
+        inject::firstDivergence(log_off, log_on, cp.program);
+    EXPECT_FALSE(div.diverged) << div.toString();
+}
+
+// ---- TraceConcurrency -----------------------------------------------
+
+#if RCSIM_TRACE_COMPILED
+
+/**
+ * Parallel sweep workers all record into the same trace: the export
+ * is one coherent document (balanced spans, monotonic per-thread
+ * timestamps) with one sweep.point span per grid point, spread over
+ * more than one tid.  Run under -DRCSIM_SANITIZE=thread this is also
+ * the data-race check for the recorder registry.
+ */
+TEST(TraceConcurrency, ParallelSweepProducesOneCoherentTrace)
+{
+    setQuiet(true);
+    ScopedTracing tracing;
+
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ASSERT_NE(w, nullptr);
+
+    std::vector<harness::SweepPoint> points;
+    for (int issue : {1, 2, 4}) {
+        for (bool rc : {false, true}) {
+            harness::CompileOptions o;
+            o.level = opt::OptLevel::Ilp;
+            o.machine = harness::Experiment::machineFor(issue, 2);
+            o.rc = rc ? harness::rcConfigFor(w->isFp, 16)
+                      : harness::baseConfigFor(w->isFp, 16);
+            points.push_back({w, o, 0, false});
+        }
+    }
+
+    std::vector<harness::RunOutcome> outcomes =
+        harness::runSweep(points, 4);
+    ASSERT_EQ(outcomes.size(), points.size());
+    for (const harness::RunOutcome &out : outcomes)
+        EXPECT_TRUE(out.verified) << out.error;
+
+    trace::TraceCheck check = checkCurrent();
+    ASSERT_TRUE(check.ok) << check.error;
+    EXPECT_EQ(check.spans["sweep.point"], points.size());
+    // 4 workers over 6 multi-millisecond points: more than one tid
+    // must have recorded (each worker thread registers its own).
+    EXPECT_GE(check.spanThreads("sweep.point"), 2u);
+    EXPECT_EQ(check.spans["sim.run"], points.size());
+}
+
+#endif // RCSIM_TRACE_COMPILED
+
+} // namespace
+} // namespace rcsim

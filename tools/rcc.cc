@@ -23,8 +23,13 @@
  *   --scalar              scalar optimization only
  *   --stats               dump simulator statistics
  *   --trace N             print the first N issued instructions
+ *   --trace=FILE          write a Chrome trace_event JSON trace
+ *   --trace-metrics=FILE  write the aggregated metrics JSON
  *   --timings             print the per-stage compile report
  *   --print-passes        list the pipeline passes and exit
+ *
+ * RCSIM_TRACE=1 in the environment is equivalent to
+ * --trace=rcc_trace.json; RCSIM_TRACE=FILE names the output.
  */
 
 #include <cstdio>
@@ -38,6 +43,7 @@
 #include "pipeline/compile.hh"
 #include "sim/simulator.hh"
 #include "support/logging.hh"
+#include "trace/trace.hh"
 
 namespace
 {
@@ -59,6 +65,8 @@ struct Args
     bool scalar = false;
     bool stats = false;
     long trace = 0;
+    std::string traceFile;   // --trace=FILE (structured trace)
+    std::string metricsFile; // --trace-metrics=FILE
     bool timings = false;
 };
 
@@ -112,6 +120,10 @@ parseArgs(int argc, char **argv, Args &args)
             args.scalar = true;
         else if (a == "--stats")
             args.stats = true;
+        else if (a.rfind("--trace=", 0) == 0)
+            args.traceFile = a.substr(8);
+        else if (a.rfind("--trace-metrics=", 0) == 0)
+            args.metricsFile = a.substr(16);
         else if (a == "--trace" && next())
             args.trace = std::atol(argv[i]);
         else if (a == "--timings")
@@ -244,6 +256,11 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, args))
         return usage();
     setQuiet(!args.stats);
+
+    // Structured tracing: files are written on every exit path.
+    trace::ScopedDump tracer(
+        trace::resolveTracePath(args.traceFile, "rcc_trace.json"),
+        args.metricsFile);
 
     if (args.command == "list") {
         for (const auto &w : workloads::allWorkloads())

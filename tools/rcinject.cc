@@ -34,6 +34,11 @@
  *   --json FILE       write the JSON report to FILE (default stdout)
  *   --no-runs         omit the per-run array from the JSON
  *   --summary         also print a human-readable summary to stderr
+ *   --trace [FILE]    write a Chrome trace_event JSON trace of the
+ *                     campaign (default rcinject_trace.json);
+ *                     RCSIM_TRACE=1 or =FILE in the environment is
+ *                     equivalent
+ *   --trace-metrics FILE  write the aggregated metrics JSON
  */
 
 #include <cstdio>
@@ -45,6 +50,7 @@
 
 #include "inject/campaign.hh"
 #include "support/logging.hh"
+#include "trace/trace.hh"
 
 namespace
 {
@@ -67,6 +73,8 @@ struct Args
     std::string jsonFile;
     bool includeRuns = true;
     bool summary = false;
+    std::string traceFile;
+    std::string metricsFile;
 };
 
 int
@@ -140,7 +148,19 @@ parseArgs(int argc, char **argv, Args &args)
             args.includeRuns = false;
         else if (a == "--summary")
             args.summary = true;
-        else {
+        else if (a.rfind("--trace=", 0) == 0)
+            args.traceFile = a.substr(8);
+        else if (a.rfind("--trace-metrics=", 0) == 0)
+            args.metricsFile = a.substr(16);
+        else if (a == "--trace-metrics" && next())
+            args.metricsFile = argv[i];
+        else if (a == "--trace") {
+            // Optional FILE operand; bare --trace uses the default.
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                args.traceFile = argv[++i];
+            else
+                args.traceFile = "rcinject_trace.json";
+        } else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             return false;
         }
@@ -157,6 +177,11 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, args))
         return usage();
     setQuiet(true);
+
+    trace::ScopedDump tracer(
+        trace::resolveTracePath(args.traceFile,
+                                "rcinject_trace.json"),
+        args.metricsFile);
 
     const workloads::Workload *w =
         workloads::findWorkload(args.workload);

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * tracecheck — validate Chrome trace_event JSON files.
+ *
+ * Parses each argument as JSON and checks the trace invariants the
+ * recorder guarantees (see src/trace/check.hh): well-formed events,
+ * per-thread non-decreasing timestamps, balanced and properly nested
+ * begin/end pairs.
+ *
+ *   tracecheck out.json [more.json ...]
+ *
+ * Prints one line per file; exits 1 if any file is invalid.
+ */
+
+#include <cstdio>
+
+#include "trace/check.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: tracecheck FILE [FILE ...]\n");
+        return 2;
+    }
+
+    int bad = 0;
+    for (int i = 1; i < argc; ++i) {
+        rcsim::trace::TraceCheck check =
+            rcsim::trace::checkChromeTraceFile(argv[i]);
+        if (check.ok) {
+            std::printf("%s: OK (%zu events, %zu threads)\n",
+                        argv[i], check.events, check.threads);
+        } else {
+            std::printf("%s: INVALID: %s\n", argv[i],
+                        check.error.c_str());
+            ++bad;
+        }
+    }
+    return bad ? 1 : 0;
+}
