@@ -1,5 +1,9 @@
 #include "bench/bench_common.hh"
 
+#include <cstdlib>
+
+#include "harness/sweep.hh"
+#include "support/logging.hh"
 #include "support/stats.hh"
 
 namespace rcsim::bench
@@ -33,10 +37,44 @@ parallelSpeedups(harness::Experiment &exp,
         exp.baselineCycles(*unique[i]);
     });
 
+    // The grid itself runs through the crash-resilient runner so a
+    // long figure sweep can be journaled / resumed / deadlined from
+    // the environment (see bench_common.hh).  With no knobs set this
+    // is exactly the plain parallel sweep.
+    harness::SweepOptions opts;
+    opts.jobs = jobs;
+    if (const char *env = std::getenv("RCSIM_BENCH_JOURNAL"))
+        opts.journal = env;
+    if (const char *env = std::getenv("RCSIM_BENCH_RESUME"))
+        opts.resume = std::atoi(env) != 0;
+    if (const char *env = std::getenv("RCSIM_BENCH_DEADLINE_MS"))
+        opts.deadlineMs = std::atoi(env);
+    if (const char *env = std::getenv("RCSIM_BENCH_RETRIES"))
+        opts.retries = std::atoi(env);
+
+    std::vector<harness::SweepPoint> points(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        points[i].workload = cells[i].workload;
+        points[i].opts = cells[i].opts;
+    }
+    harness::SweepReport report =
+        harness::runSweepResilient(points, opts);
+
     std::vector<double> speedups(cells.size());
-    harness::parallelFor(cells.size(), jobs, [&](std::size_t i) {
-        speedups[i] = exp.speedup(*cells[i].workload, cells[i].opts);
-    });
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const harness::RunOutcome &o = report.outcomes[i];
+        // Same contract as exp.speedup(): a failed or unverified
+        // measurement must never land in a figure.
+        if (o.failed() || o.cycles == 0)
+            panic("bench cell ", i, " ('",
+                  cells[i].workload->name,
+                  "') failed: ", harness::toString(o.status), ": ",
+                  o.error);
+        speedups[i] =
+            static_cast<double>(
+                exp.baselineCycles(*cells[i].workload)) /
+            static_cast<double>(o.cycles);
+    }
     return speedups;
 }
 

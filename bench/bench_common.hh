@@ -93,6 +93,16 @@ struct SpeedupCell
  * (jobs = 0 → RCSIM_JOBS env / hardware concurrency).  Baselines are
  * warmed first so grid workers never duplicate a baseline run.
  * Results come back in cell order, identical to a serial loop.
+ *
+ * The grid runs through the crash-resilient sweep runner (DESIGN.md
+ * §11); the resilience knobs come from the environment so every
+ * figure bench inherits them without new flags:
+ *   RCSIM_BENCH_JOURNAL=FILE   journal completed cells to FILE
+ *   RCSIM_BENCH_RESUME=1       restore completed cells from it
+ *   RCSIM_BENCH_DEADLINE_MS=N  per-cell wall-clock deadline
+ *   RCSIM_BENCH_RETRIES=N      retries for Transient failures
+ * A cell that still fails panics, exactly as exp.speedup() did: a
+ * figure must never be built from a failed measurement.
  */
 std::vector<double> parallelSpeedups(harness::Experiment &exp,
                                      const std::vector<SpeedupCell> &cells,

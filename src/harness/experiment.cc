@@ -15,6 +15,10 @@ toString(RunStatus status)
         return "wrong-result";
       case RunStatus::CycleLimit:
         return "cycle-limit";
+      case RunStatus::Deadline:
+        return "deadline";
+      case RunStatus::TransientFailure:
+        return "transient";
       case RunStatus::PanicFailure:
         return "panic";
       case RunStatus::FatalFailure:
@@ -23,10 +27,46 @@ toString(RunStatus status)
     return "unknown";
 }
 
+bool
+runStatusFromString(const std::string &s, RunStatus &out)
+{
+    static constexpr RunStatus all[] = {
+        RunStatus::Ok,          RunStatus::WrongResult,
+        RunStatus::CycleLimit,  RunStatus::Deadline,
+        RunStatus::TransientFailure, RunStatus::PanicFailure,
+        RunStatus::FatalFailure,
+    };
+    for (RunStatus st : all)
+        if (s == toString(st)) {
+            out = st;
+            return true;
+        }
+    return false;
+}
+
+ErrorCategory
+classify(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::CycleLimit:
+      case RunStatus::Deadline:
+        return ErrorCategory::Hang;
+      case RunStatus::TransientFailure:
+        return ErrorCategory::Transient;
+      case RunStatus::FatalFailure:
+        return ErrorCategory::Resource;
+      case RunStatus::Ok: // defensive: callers check failed() first
+      case RunStatus::WrongResult:
+      case RunStatus::PanicFailure:
+        return ErrorCategory::Corrupt;
+    }
+    return ErrorCategory::Corrupt;
+}
+
 RunOutcome
 runConfiguration(const workloads::Workload &workload,
                  const CompileOptions &opts, bool keep_program,
-                 Cycle max_cycles)
+                 Cycle max_cycles, const std::atomic<bool> *cancel)
 {
     CompiledProgram compiled = compileWorkload(workload, opts);
 
@@ -35,6 +75,7 @@ runConfiguration(const workloads::Workload &workload,
     sc.rc = opts.rc;
     if (max_cycles > 0)
         sc.maxCycles = max_cycles;
+    sc.cancel = cancel;
     sim::Simulator simulator(compiled.program, sc);
     sim::SimResult res = simulator.run();
 
@@ -42,11 +83,14 @@ runConfiguration(const workloads::Workload &workload,
     out.cycles = res.cycles;
     out.instructions = res.instructions;
     if (!res.ok) {
-        if (res.reason != sim::StopReason::CycleLimit)
+        if (res.reason != sim::StopReason::CycleLimit &&
+            res.reason != sim::StopReason::Deadline)
             panic("simulation of '", workload.name, "' (",
                   opts.rc.toString(), ", ", opts.machine.issueWidth,
                   "-issue) failed: ", res.error);
-        out.status = RunStatus::CycleLimit;
+        out.status = res.reason == sim::StopReason::Deadline
+                         ? RunStatus::Deadline
+                         : RunStatus::CycleLimit;
         out.error = res.error;
         if (!keep_program)
             compiled.program = isa::Program{};
@@ -73,21 +117,42 @@ runConfiguration(const workloads::Workload &workload,
 RunOutcome
 runConfigurationGuarded(const workloads::Workload &workload,
                         const CompileOptions &opts,
-                        bool keep_program, Cycle max_cycles)
+                        bool keep_program, Cycle max_cycles,
+                        const std::atomic<bool> *cancel)
 {
+    // The harness boundary: every exception is folded into a failed
+    // RunOutcome through the taxonomy so worker threads never die.
+    auto failed = [](RunStatus status, std::string error) {
+        RunOutcome out;
+        out.status = status;
+        out.error = std::move(error);
+        return out;
+    };
     try {
         return runConfiguration(workload, opts, keep_program,
-                                max_cycles);
+                                max_cycles, cancel);
+    } catch (const RcError &e) {
+        switch (e.category()) {
+          case ErrorCategory::Transient:
+            return failed(RunStatus::TransientFailure, e.describe());
+          case ErrorCategory::Hang:
+            return failed(RunStatus::CycleLimit, e.describe());
+          case ErrorCategory::Resource:
+            return failed(RunStatus::FatalFailure, e.describe());
+          case ErrorCategory::Corrupt:
+            return failed(RunStatus::PanicFailure, e.describe());
+        }
+        return failed(RunStatus::PanicFailure, e.describe());
     } catch (const PanicError &e) {
-        RunOutcome out;
-        out.status = RunStatus::PanicFailure;
-        out.error = e.what();
-        return out;
+        return failed(RunStatus::PanicFailure, e.what());
     } catch (const FatalError &e) {
-        RunOutcome out;
-        out.status = RunStatus::FatalFailure;
-        out.error = e.what();
-        return out;
+        return failed(RunStatus::FatalFailure, e.what());
+    } catch (const std::bad_alloc &) {
+        return failed(RunStatus::FatalFailure, "out of memory");
+    } catch (const std::exception &e) {
+        return failed(RunStatus::PanicFailure,
+                      std::string("unclassified exception: ") +
+                          e.what());
     }
 }
 

@@ -10,6 +10,7 @@
 #ifndef RCSIM_HARNESS_EXPERIMENT_HH
 #define RCSIM_HARNESS_EXPERIMENT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -17,6 +18,7 @@
 
 #include "harness/pipeline.hh"
 #include "sim/simulator.hh"
+#include "support/error.hh"
 
 namespace rcsim::harness
 {
@@ -27,11 +29,26 @@ enum class RunStatus : std::uint8_t
     Ok,          // simulated to completion, result verified
     WrongResult, // completed but result != interpreter golden
     CycleLimit,  // SimConfig::maxCycles exhausted (possible hang)
+    Deadline,    // wall-clock watchdog cancelled the run
+    TransientFailure, // an RcError{Transient} escaped (retryable)
     PanicFailure, // a PanicError escaped compile or simulation
     FatalFailure, // a FatalError escaped compile or simulation
 };
 
 const char *toString(RunStatus status);
+
+/** Inverse of toString(); false when @p s names no status. */
+bool runStatusFromString(const std::string &s, RunStatus &out);
+
+/**
+ * Fold a run status into the error taxonomy (support/error.hh):
+ * CycleLimit and Deadline are Hang (deterministic — never retried),
+ * WrongResult and PanicFailure are Corrupt, FatalFailure is
+ * Resource, TransientFailure is Transient (the only retryable
+ * category).  Ok maps to no failure; callers must check failed()
+ * first (Ok returns Corrupt defensively).
+ */
+ErrorCategory classify(RunStatus status);
 
 /** One configuration's measured outcome. */
 struct RunOutcome
@@ -43,34 +60,45 @@ struct RunOutcome
     bool verified = false; // simulated result == interpreter golden
     Word result = 0;
     Word golden = 0;
+    int attempts = 1;      // attempts consumed (retries add more)
     CompiledProgram compiled; // sizes etc. (program cleared to save
                               // memory when keep_program is false)
 
     bool failed() const { return status != RunStatus::Ok; }
+
+    /** Taxonomy category of the failure (failed() must hold). */
+    ErrorCategory category() const { return classify(status); }
 };
 
 /**
  * Compile and simulate one configuration.
  *
  * A cycle-limit exhaustion (@p max_cycles, 0 = simulator default) is
- * returned as RunStatus::CycleLimit; any other simulation error still
- * panics (it indicates an rcsim bug, not a property of the
- * configuration).
+ * returned as RunStatus::CycleLimit and a watchdog cancellation
+ * (@p cancel, see SimConfig::cancel) as RunStatus::Deadline; any
+ * other simulation error still panics (it indicates an rcsim bug,
+ * not a property of the configuration).
  */
 RunOutcome runConfiguration(const workloads::Workload &workload,
                             const CompileOptions &opts,
                             bool keep_program = false,
-                            Cycle max_cycles = 0);
+                            Cycle max_cycles = 0,
+                            const std::atomic<bool> *cancel = nullptr);
 
 /**
- * runConfiguration() with graceful degradation: PanicError and
- * FatalError escaping the compile + simulate path are converted into
- * a failed RunOutcome instead of aborting the caller's sweep.
+ * runConfiguration() with graceful degradation: *no* exception
+ * escapes.  Every failure crossing this boundary is folded into a
+ * failed RunOutcome via the error taxonomy — RcError by its own
+ * category, PanicError as Corrupt, FatalError / std::bad_alloc as
+ * Resource, and any unrecognized exception as Corrupt — so sweep
+ * worker threads never die on an uncaught exception.
  */
 RunOutcome runConfigurationGuarded(const workloads::Workload &workload,
                                    const CompileOptions &opts,
                                    bool keep_program = false,
-                                   Cycle max_cycles = 0);
+                                   Cycle max_cycles = 0,
+                                   const std::atomic<bool> *cancel =
+                                       nullptr);
 
 /**
  * Caches baseline cycle counts and runs experiment sweeps.  Any

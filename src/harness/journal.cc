@@ -1,0 +1,290 @@
+#include "harness/journal.hh"
+
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hh"
+#include "support/json.hh"
+#include "trace/trace.hh"
+
+namespace rcsim::harness
+{
+
+namespace
+{
+
+/** The field markers the line-oriented reader keys on. */
+constexpr const char *kHeaderPrefix = "{\"v\": 1, \"kind\": \"header\", \"sweep\": \"";
+constexpr const char *kPointPrefix = "{\"v\": 1, \"kind\": \"point\", \"index\": ";
+constexpr const char *kCrcMarker = ", \"crc\": \"";
+
+std::string
+crcHex(std::uint32_t crc)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08x", crc);
+    return buf;
+}
+
+/** Append the CRC-of-prefix suffix that closes every journal line. */
+std::string
+sealLine(std::string line)
+{
+    std::uint32_t crc = crc32(line);
+    line += kCrcMarker;
+    line += crcHex(crc);
+    line += "\"}";
+    return line;
+}
+
+/**
+ * Split one line into (prefix, crc) and verify; false for torn or
+ * corrupted lines.
+ */
+bool
+checkLine(const std::string &line, std::string &prefix)
+{
+    std::size_t pos = line.rfind(kCrcMarker);
+    if (pos == std::string::npos)
+        return false;
+    prefix = line.substr(0, pos);
+    std::string rest = line.substr(pos + std::strlen(kCrcMarker));
+    if (rest.size() != 10 || rest.substr(8) != "\"}")
+        return false;
+    return crcHex(crc32(prefix)) == rest.substr(0, 8);
+}
+
+/** Extract the escaped-string field between @p marker and @p stop. */
+bool
+field(const std::string &s, const char *marker, const char *stop,
+      std::string &out, std::size_t from = 0)
+{
+    std::size_t b = s.find(marker, from);
+    if (b == std::string::npos)
+        return false;
+    b += std::strlen(marker);
+    std::size_t e = s.find(stop, b);
+    if (e == std::string::npos)
+        return false;
+    out = json::unescape(s.substr(b, e - b));
+    return true;
+}
+
+bool
+numberAfter(const std::string &s, const char *marker,
+            std::uint64_t &out, std::size_t from = 0)
+{
+    std::size_t b = s.find(marker, from);
+    if (b == std::string::npos)
+        return false;
+    b += std::strlen(marker);
+    std::size_t e = b;
+    while (e < s.size() && s[e] >= '0' && s[e] <= '9')
+        ++e;
+    if (e == b)
+        return false;
+    out = std::strtoull(s.substr(b, e - b).c_str(), nullptr, 10);
+    return true;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::string &data)
+{
+    // IEEE reflected CRC-32, table built on first use.
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = 0xffffffffu;
+    for (unsigned char byte : data)
+        crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+std::string
+renderJournalLine(const JournalRecord &rec)
+{
+    std::string line = kPointPrefix;
+    line += std::to_string(rec.index);
+    line += ", \"key\": " + json::str(rec.key);
+    line += ", \"status\": " + json::str(rec.status);
+    line += ", \"attempts\": " + std::to_string(rec.attempts);
+    line += ", \"meta\": " + json::str(rec.meta);
+    line += ", \"payload\": ";
+    line += rec.payload.empty() ? "{}" : rec.payload;
+    return sealLine(std::move(line));
+}
+
+void
+Journal::open(const std::string &path, const std::string &sweep_key,
+              std::uint64_t grid_size)
+{
+    close();
+    file_ = std::fopen(path.c_str(), "ab");
+    if (!file_)
+        throw RcError(ErrorCategory::Resource,
+                      "cannot open journal '" + path +
+                          "': " + std::strerror(errno))
+            .addContext("opening run journal");
+    path_ = path;
+    long at = std::ftell(file_);
+    if (at == 0) {
+        std::string header = "{\"v\": 1, \"kind\": \"header\", \"sweep\": ";
+        header += json::str(sweep_key);
+        header += ", \"points\": " + std::to_string(grid_size);
+        header = sealLine(std::move(header));
+        header += '\n';
+        if (std::fwrite(header.data(), 1, header.size(), file_) !=
+                header.size() ||
+            std::fflush(file_) != 0) {
+            std::fclose(file_);
+            file_ = nullptr;
+            throw RcError(ErrorCategory::Resource,
+                          "cannot write journal header to '" + path +
+                              "'")
+                .addContext("opening run journal");
+        }
+        ::fsync(fileno(file_));
+    }
+}
+
+void
+Journal::append(const JournalRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        throw RcError(ErrorCategory::Resource,
+                      "append to a closed journal");
+    std::string line = renderJournalLine(rec);
+    line += '\n';
+    if (std::fwrite(line.data(), 1, line.size(), file_) !=
+            line.size() ||
+        std::fflush(file_) != 0)
+        throw RcError(ErrorCategory::Resource,
+                      "cannot append to journal '" + path_ +
+                          "': " + std::strerror(errno))
+            .addContext("journaling point " +
+                        std::to_string(rec.index));
+    ::fsync(fileno(file_));
+    trace::instant("journal.append", "harness", "index", rec.index);
+}
+
+void
+Journal::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_) {
+        std::fflush(file_);
+        ::fsync(fileno(file_));
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+JournalScan
+scanJournal(const std::string &path)
+{
+    JournalScan scan;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        scan.error = "no journal at '" + path + "'";
+        return scan;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    bool ended_with_newline = text.empty() || text.back() == '\n';
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            lines.push_back(text.substr(pos));
+            break;
+        }
+        lines.push_back(text.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    if (lines.empty()) {
+        scan.error = "journal '" + path + "' is empty";
+        return scan;
+    }
+
+    // Header line: identity of the sweep this journal belongs to.
+    std::string prefix;
+    if (!checkLine(lines[0], prefix) ||
+        prefix.rfind(kHeaderPrefix,  0) != 0 ||
+        !field(prefix, "\"sweep\": \"", "\", \"points\": ",
+               scan.sweepKey) ||
+        !numberAfter(prefix, "\"points\": ", scan.gridSize)) {
+        scan.error = "journal '" + path + "' has a bad header";
+        return scan;
+    }
+    scan.ok = true;
+
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        bool last = i + 1 == lines.size();
+        bool torn_candidate = last && !ended_with_newline;
+        if (line.empty())
+            continue;
+        JournalRecord rec;
+        bool good = checkLine(line, prefix) &&
+                    prefix.rfind(kPointPrefix, 0) == 0 &&
+                    numberAfter(prefix, "\"index\": ", rec.index) &&
+                    field(prefix, "\"key\": \"", "\", \"status\": ",
+                          rec.key) &&
+                    field(prefix, "\"status\": \"",
+                          "\", \"attempts\": ", rec.status);
+        if (good) {
+            std::uint64_t attempts = 1;
+            numberAfter(prefix, "\"attempts\": ", attempts);
+            rec.attempts = static_cast<int>(attempts);
+            field(prefix, "\"meta\": \"", "\", \"payload\": ",
+                  rec.meta);
+            std::size_t pb = prefix.find("\"payload\": ");
+            good = pb != std::string::npos;
+            if (good)
+                rec.payload = prefix.substr(pb + 11);
+        }
+        if (!good) {
+            // A torn final line is the expected signature of a
+            // crash mid-append; anything else is quarantined.
+            if (torn_candidate)
+                scan.truncatedTail = true;
+            else
+                ++scan.quarantined;
+            continue;
+        }
+        // Later records win: an earlier torn write may have been
+        // rerun and re-journaled on a previous resume.
+        bool replaced = false;
+        for (JournalRecord &existing : scan.records)
+            if (existing.index == rec.index) {
+                existing = rec;
+                replaced = true;
+                break;
+            }
+        if (!replaced)
+            scan.records.push_back(std::move(rec));
+    }
+    return scan;
+}
+
+} // namespace rcsim::harness

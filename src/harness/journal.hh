@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Durable append-only run journal for crash-resilient sweeps.
+ *
+ * A journal is a JSONL file: one header line naming the sweep (an
+ * identity key plus the grid size) followed by one line per
+ * *completed* grid point.  Every line carries a CRC32 of its own
+ * prefix, so the reader can tell a record that was written whole
+ * from one a dying process tore in half.  Records are flushed and
+ * fsync()ed as they are appended: once append() returns, the point
+ * survives worker death and machine restarts.
+ *
+ * The payload of each record is the point's fully rendered JSON
+ * object, exactly as the final sweep document splices it.  Resuming
+ * therefore never re-renders restored points — it copies their bytes
+ * — which is what makes an interrupted-and-resumed sweep's final
+ * JSON byte-identical to an uninterrupted run's (pinned by the
+ * kill-and-resume ctest driver).
+ *
+ * Validation contract (scanJournal):
+ *  - missing file            -> ok=false (a resume falls back to a
+ *                               fresh run)
+ *  - header mismatch         -> caller must refuse to resume: the
+ *                               journal belongs to a different sweep
+ *  - torn final line         -> tolerated; the point reruns
+ *  - bad checksum mid-file   -> the record is quarantined (counted,
+ *                               dropped) and the point reruns
+ *  - duplicate index         -> the later record wins (a rerun after
+ *                               an earlier torn write)
+ */
+
+#ifndef RCSIM_HARNESS_JOURNAL_HH
+#define RCSIM_HARNESS_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rcsim::harness
+{
+
+/** One journaled grid point. */
+struct JournalRecord
+{
+    std::uint64_t index = 0; // grid position
+    std::string key;         // point identity (sweepPointKey)
+    std::string status;      // final RunStatus / campaign status
+    int attempts = 1;        // attempts consumed (retries + 1)
+    std::string meta;        // small k=v side data (exit-code counts)
+    std::string payload;     // rendered JSON object for the point
+};
+
+/** CRC32 (IEEE, reflected) of a byte string. */
+std::uint32_t crc32(const std::string &data);
+
+/** Serialize one record to its journal line (without newline). */
+std::string renderJournalLine(const JournalRecord &rec);
+
+/** Append-only journal writer; append() is thread-safe. */
+class Journal
+{
+  public:
+    Journal() = default;
+    ~Journal() { close(); }
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Open @p path for appending.  When the file is new or empty a
+     * header line naming (@p sweep_key, @p grid_size) is written
+     * first.  Throws RcError{Resource} when the file cannot be
+     * opened or the header cannot be written.
+     */
+    void open(const std::string &path, const std::string &sweep_key,
+              std::uint64_t grid_size);
+
+    bool isOpen() const { return file_ != nullptr; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Durably append one record: write + flush + fsync before
+     * returning.  Emits a "journal.append" trace instant.  Throws
+     * RcError{Resource} on I/O failure.
+     */
+    void append(const JournalRecord &rec);
+
+    void close();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    std::mutex mutex_;
+};
+
+/** Result of validating + loading a journal. */
+struct JournalScan
+{
+    bool ok = false;    // file existed and the header was valid
+    std::string error;  // why ok is false
+    std::string sweepKey;
+    std::uint64_t gridSize = 0;
+    std::vector<JournalRecord> records; // valid records, file order,
+                                        // duplicates resolved
+    std::size_t quarantined = 0; // bad-checksum / unparsable lines
+                                 // dropped mid-file
+    bool truncatedTail = false;  // torn final line (tolerated)
+};
+
+/** Validate and load @p path (see the contract above). */
+JournalScan scanJournal(const std::string &path);
+
+} // namespace rcsim::harness
+
+#endif // RCSIM_HARNESS_JOURNAL_HH

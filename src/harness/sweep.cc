@@ -1,11 +1,20 @@
 #include "harness/sweep.hh"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
+#include "harness/journal.hh"
+#include "harness/watchdog.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
 #include "trace/trace.hh"
 
 namespace rcsim::harness
@@ -78,6 +87,379 @@ runSweep(const std::vector<SweepPoint> &points, int jobs)
             *p.workload, p.opts, p.keepProgram, p.maxCycles);
     });
     return results;
+}
+
+// ---- Crash-resilient sweeps ----------------------------------------
+
+std::optional<HarnessFault>
+parseHarnessFault()
+{
+    const char *env = std::getenv("RCSIM_HARNESS_FAULT");
+    if (!env || !*env)
+        return std::nullopt;
+    std::string spec = env;
+    std::size_t c1 = spec.find(':');
+    if (c1 == std::string::npos) {
+        warn("ignoring malformed RCSIM_HARNESS_FAULT '", spec, "'");
+        return std::nullopt;
+    }
+    HarnessFault f;
+    f.index = std::strtoull(spec.substr(0, c1).c_str(), nullptr, 10);
+    std::size_t c2 = spec.find(':', c1 + 1);
+    std::string mode = spec.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos
+                                        : c2 - c1 - 1);
+    if (mode == "crash")
+        f.mode = HarnessFault::Mode::Crash;
+    else if (mode == "throw")
+        f.mode = HarnessFault::Mode::Throw;
+    else if (mode == "stall")
+        f.mode = HarnessFault::Mode::Stall;
+    else {
+        warn("ignoring malformed RCSIM_HARNESS_FAULT '", spec, "'");
+        return std::nullopt;
+    }
+    if (c2 != std::string::npos)
+        f.count = std::atoi(spec.substr(c2 + 1).c_str());
+    if (f.count < 1)
+        f.count = 1;
+    return f;
+}
+
+void
+harnessCrashNow()
+{
+    std::_Exit(86);
+}
+
+namespace
+{
+
+const char *levelName(opt::OptLevel level)
+{
+    return level == opt::OptLevel::Scalar ? "scalar" : "ilp";
+}
+
+/** Render one point's final JSON object (spliced into toJson()). */
+std::string
+pointToJson(std::uint64_t index, const SweepPoint &p,
+            const RunOutcome &o)
+{
+    std::string j = "{\"index\": " + std::to_string(index);
+    j += ", \"workload\": " + json::str(p.workload->name);
+    j += ", \"rc\": " + json::str(p.opts.rc.toString());
+    j += ", \"issue\": " +
+         std::to_string(p.opts.machine.issueWidth);
+    j += ", \"level\": " +
+         json::str(levelName(p.opts.level));
+    j += ", \"status\": " + json::str(toString(o.status));
+    j += ", \"attempts\": " + std::to_string(o.attempts);
+    j += ", \"cycles\": " + std::to_string(o.cycles);
+    j += ", \"instructions\": " + std::to_string(o.instructions);
+    j += ", \"verified\": ";
+    j += o.verified ? "true" : "false";
+    if (o.failed()) {
+        j += ", \"category\": " +
+             json::str(toString(classify(o.status)));
+        j += ", \"error\": " + json::str(o.error);
+    }
+    j += "}";
+    return j;
+}
+
+/**
+ * Pull an unsigned field back out of a journaled point payload
+ * (pointToJson() above renders them with this exact spelling), so
+ * restored outcomes keep their measurements — the figure benches
+ * compute speedups from restored cycles.
+ */
+bool
+payloadNumber(const std::string &payload, const std::string &field,
+              std::uint64_t &out)
+{
+    std::string marker = "\"" + field + "\": ";
+    std::size_t pos = payload.find(marker);
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtoull(payload.c_str() + pos + marker.size(),
+                        nullptr, 10);
+    return true;
+}
+
+} // namespace
+
+std::string
+sweepPointKey(const SweepPoint &p)
+{
+    std::string key = p.workload->name;
+    key += "|";
+    key += levelName(p.opts.level);
+    key += "|" + p.opts.rc.toString();
+    key += "|" + std::to_string(p.opts.machine.issueWidth) + "w";
+    key += std::to_string(p.opts.machine.memChannels) + "c";
+    key += std::to_string(p.opts.machine.lat.loadLatency) + "l";
+    key += std::to_string(p.opts.machine.lat.connectLatency) + "x";
+    key += "|u" + std::to_string(p.opts.ilp.maxUnroll);
+    key += "|max" + std::to_string(p.maxCycles);
+    return key;
+}
+
+std::string
+sweepKey(const std::vector<SweepPoint> &points)
+{
+    std::string all;
+    for (const SweepPoint &p : points) {
+        all += sweepPointKey(p);
+        all += '\n';
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "n=%zu;crc=%08x", points.size(),
+                  crc32(all));
+    return buf;
+}
+
+int
+backoffDelayMs(std::uint64_t index, int attempt, int base_ms,
+               int max_ms)
+{
+    if (base_ms < 1)
+        base_ms = 1;
+    if (max_ms < base_ms)
+        max_ms = base_ms;
+    // Exponential step, capped before the shift can overflow.
+    std::uint64_t step = static_cast<std::uint64_t>(base_ms);
+    for (int i = 0; i < attempt && step < static_cast<std::uint64_t>(max_ms); ++i)
+        step *= 2;
+    if (step > static_cast<std::uint64_t>(max_ms))
+        step = static_cast<std::uint64_t>(max_ms);
+    // Deterministic jitter in the upper half of the step: the
+    // schedule decorrelates across points yet reproduces exactly.
+    SplitMix rng(index * 0x9e3779b97f4a7c15ull +
+                 static_cast<std::uint64_t>(attempt) + 1);
+    std::uint64_t half = step / 2;
+    std::uint64_t delay = step - half + rng.next() % (half + 1);
+    if (delay > static_cast<std::uint64_t>(max_ms))
+        delay = static_cast<std::uint64_t>(max_ms);
+    return static_cast<int>(delay);
+}
+
+std::string
+SweepReport::toJson() const
+{
+    std::string j = "{\"points\": [";
+    for (std::size_t i = 0; i < pointJson.size(); ++i) {
+        if (i)
+            j += ", ";
+        j += pointJson[i];
+    }
+    j += "], \"quarantine\": [";
+    for (std::size_t i = 0; i < quarantine.size(); ++i) {
+        if (i)
+            j += ", ";
+        j += "{\"index\": " + std::to_string(quarantine[i].index);
+        j += ", \"status\": " + json::str(quarantine[i].status);
+        j += ", \"category\": " + json::str(quarantine[i].category);
+        j += "}";
+    }
+    j += "]}";
+    return j;
+}
+
+SweepReport
+runSweepResilient(const std::vector<SweepPoint> &points,
+                  const SweepOptions &opts)
+{
+    const std::size_t n = points.size();
+    SweepReport report;
+    report.outcomes.resize(n);
+    report.pointJson.resize(n);
+
+    const std::string grid_key = sweepKey(points);
+    std::vector<char> restored(n, 0);
+
+    // ---- Resume: validate the journal, restore completed points. --
+    if (opts.resume && !opts.journal.empty()) {
+        JournalScan scan = scanJournal(opts.journal);
+        if (scan.ok) {
+            if (scan.sweepKey != grid_key)
+                throw RcError(ErrorCategory::Resource,
+                              "journal '" + opts.journal +
+                                  "' belongs to a different sweep (" +
+                                  scan.sweepKey + " != " + grid_key +
+                                  ")")
+                    .addContext("resuming sweep");
+            report.journalQuarantined = scan.quarantined;
+            report.journalTruncated = scan.truncatedTail;
+            for (const JournalRecord &rec : scan.records) {
+                RunStatus status;
+                if (rec.index >= n ||
+                    rec.key != sweepPointKey(points[rec.index]) ||
+                    !runStatusFromString(rec.status, status) ||
+                    rec.payload.empty()) {
+                    // A record the grid does not recognize: drop it
+                    // and re-run the point.
+                    ++report.journalQuarantined;
+                    continue;
+                }
+                RunOutcome out;
+                out.status = status;
+                out.attempts = rec.attempts;
+                std::uint64_t v = 0;
+                if (payloadNumber(rec.payload, "cycles", v))
+                    out.cycles = v;
+                if (payloadNumber(rec.payload, "instructions", v))
+                    out.instructions = v;
+                out.verified = status == RunStatus::Ok;
+                report.outcomes[rec.index] = std::move(out);
+                report.pointJson[rec.index] = rec.payload;
+                restored[rec.index] = 1;
+            }
+        }
+        // A missing/empty journal is not an error: first run.
+    }
+    for (char r : restored)
+        report.restored += r != 0;
+
+    // ---- Journal writer (truncates unless resuming). ---------------
+    Journal journal;
+    if (!opts.journal.empty()) {
+        if (!opts.resume)
+            std::remove(opts.journal.c_str());
+        journal.open(opts.journal, grid_key,
+                     static_cast<std::uint64_t>(n));
+    }
+    std::atomic<bool> journal_broken{false};
+
+    // ---- Watchdog (one monitor for the whole sweep). ---------------
+    std::optional<Watchdog> watchdog;
+    if (opts.deadlineMs > 0)
+        watchdog.emplace();
+
+    std::optional<HarnessFault> fault = parseHarnessFault();
+    std::atomic<std::size_t> retry_count{0};
+
+    parallelFor(n, opts.jobs, [&](std::size_t i) {
+        if (restored[i])
+            return;
+        trace::Span span("sweep.point", "sweep", "index", i);
+        const SweepPoint &p = points[i];
+
+        RunOutcome out;
+        int attempt = 0;
+        for (;;) {
+            Watchdog::Lease lease;
+            if (watchdog)
+                lease = watchdog->arm(
+                    std::chrono::milliseconds(opts.deadlineMs));
+            bool fault_here =
+                fault && fault->index == i && attempt < fault->count;
+            try {
+                if (fault_here &&
+                    fault->mode == HarnessFault::Mode::Crash)
+                    harnessCrashNow();
+                if (fault_here &&
+                    fault->mode == HarnessFault::Mode::Throw)
+                    throw RcError(ErrorCategory::Transient,
+                                  "injected harness fault (throw)")
+                        .addContext("running sweep point " +
+                                    std::to_string(i));
+                if (fault_here &&
+                    fault->mode == HarnessFault::Mode::Stall) {
+                    // Park until the watchdog cancels us (capped so
+                    // a stall without a deadline cannot wedge CI).
+                    auto give_up =
+                        std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+                    while (!lease.fired() &&
+                           std::chrono::steady_clock::now() <
+                               give_up)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(10));
+                    out = RunOutcome{};
+                    out.status = RunStatus::Deadline;
+                    out.error = "stalled worker cancelled by "
+                                "wall-clock watchdog";
+                } else {
+                    out = runConfigurationGuarded(
+                        *p.workload, p.opts, p.keepProgram,
+                        p.maxCycles, lease.flag());
+                }
+            } catch (const std::exception &e) {
+                // The harness boundary: fold anything that still
+                // escaped (e.g. the throw probe) into the taxonomy.
+                out = RunOutcome{};
+                switch (classifyException(e)) {
+                  case ErrorCategory::Transient:
+                    out.status = RunStatus::TransientFailure;
+                    break;
+                  case ErrorCategory::Hang:
+                    out.status = RunStatus::CycleLimit;
+                    break;
+                  case ErrorCategory::Resource:
+                    out.status = RunStatus::FatalFailure;
+                    break;
+                  case ErrorCategory::Corrupt:
+                    out.status = RunStatus::PanicFailure;
+                    break;
+                }
+                if (auto *rc = dynamic_cast<const RcError *>(&e))
+                    out.error = rc->describe();
+                else
+                    out.error = e.what();
+            }
+            out.attempts = attempt + 1;
+            if (!out.failed() || !isRetryable(classify(out.status)) ||
+                attempt >= opts.retries)
+                break;
+            int delay = backoffDelayMs(i, attempt,
+                                       opts.backoffBaseMs,
+                                       opts.backoffMaxMs);
+            trace::instant("retry.scheduled", "harness", "index", i);
+            retry_count.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+            ++attempt;
+        }
+
+        report.outcomes[i] = std::move(out);
+        report.pointJson[i] =
+            pointToJson(i, p, report.outcomes[i]);
+
+        if (journal.isOpen() && !journal_broken.load()) {
+            JournalRecord rec;
+            rec.index = i;
+            rec.key = sweepPointKey(p);
+            rec.status = toString(report.outcomes[i].status);
+            rec.attempts = report.outcomes[i].attempts;
+            rec.payload = report.pointJson[i];
+            try {
+                journal.append(rec);
+            } catch (const RcError &e) {
+                // A broken journal must not kill the sweep itself;
+                // the run completes, it just loses resumability.
+                journal_broken.store(true);
+                warn("run journal disabled: ", e.describe());
+            }
+        }
+    });
+
+    report.retries = retry_count.load();
+    for (std::size_t i = 0; i < n; ++i) {
+        const RunOutcome &o = report.outcomes[i];
+        if (o.failed())
+            report.quarantine.push_back(
+                {static_cast<std::uint64_t>(i),
+                 toString(o.status),
+                 toString(classify(o.status))});
+    }
+    return report;
+}
+
+SweepReport
+resumeSweep(const std::vector<SweepPoint> &points, SweepOptions opts)
+{
+    opts.resume = true;
+    return runSweepResilient(points, opts);
 }
 
 } // namespace rcsim::harness

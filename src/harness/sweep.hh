@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "harness/experiment.hh"
@@ -64,6 +65,120 @@ struct SweepPoint
  */
 std::vector<RunOutcome> runSweep(const std::vector<SweepPoint> &points,
                                  int jobs = 0);
+
+// ---- Crash-resilient sweeps ----------------------------------------
+//
+// runSweepResilient() adds four defenses around the plain runner:
+//
+//  journal   every completed point is durably appended to a JSONL
+//            run journal (harness/journal.hh) the moment it
+//            finishes, so a crashed or killed sweep loses at most
+//            the points that were in flight;
+//  resume    a restarted sweep validates the journal and skips the
+//            recorded points, splicing their journaled JSON bytes
+//            into the final document — the resumed report is
+//            byte-identical to an uninterrupted run;
+//  watchdog  a per-point wall-clock deadline cancels runaway
+//            simulations cooperatively (RunStatus::Deadline);
+//  retry     Transient failures are retried with bounded exponential
+//            backoff and deterministic per-(point, attempt) jitter;
+//            Hang (CycleLimit / Deadline), Corrupt and Resource
+//            failures are never retried.  Points that exhaust the
+//            attempt cap land in the quarantine report.
+//
+// RCSIM_HARNESS_FAULT=<point>:<mode>[:<count>] (mode = crash, throw
+// or stall) injects harness-level faults into the sweep worker for
+// the kill-and-resume tests: crash calls _Exit(86) before the point
+// runs, throw raises an RcError{Transient} on the point's first
+// <count> attempts, stall parks the worker until the watchdog fires.
+
+/** Knobs for a resilient sweep. */
+struct SweepOptions
+{
+    int jobs = 0;            // as runSweep()
+    std::string journal;     // journal path; empty = no journal
+    bool resume = false;     // restore completed points from journal
+    int deadlineMs = 0;      // per-point wall-clock deadline; 0 = off
+    int retries = 0;         // extra attempts for Transient failures
+    int backoffBaseMs = 100; // first retry delay
+    int backoffMaxMs = 2000; // backoff growth cap
+};
+
+/** One quarantined (finally-failed) point in the report. */
+struct QuarantineEntry
+{
+    std::uint64_t index = 0;
+    std::string status;   // toString(RunStatus)
+    std::string category; // toString(ErrorCategory)
+};
+
+/** Outcome of a resilient sweep. */
+struct SweepReport
+{
+    std::vector<RunOutcome> outcomes;    // grid order; restored
+                                         // entries carry status +
+                                         // attempts only
+    std::vector<std::string> pointJson;  // rendered per-point JSON
+    std::vector<QuarantineEntry> quarantine; // failed points, grid
+                                             // order
+    std::size_t restored = 0;       // points skipped via the journal
+    std::size_t retries = 0;        // retry attempts performed
+    std::size_t journalQuarantined = 0; // corrupt journal records
+    bool journalTruncated = false;  // journal had a torn tail
+
+    /**
+     * {"points": [...], "quarantine": [...]} — deterministic, and
+     * byte-identical between an uninterrupted run and any
+     * crash/resume sequence of the same grid.
+     */
+    std::string toJson() const;
+};
+
+/**
+ * Parsed RCSIM_HARNESS_FAULT=<point>:<mode>[:<count>] probe, shared
+ * by the sweep and campaign runners (the kill-and-resume tests).
+ */
+struct HarnessFault
+{
+    enum class Mode
+    {
+        Crash, // _Exit(86) before the point runs
+        Throw, // RcError{Transient} on the first <count> attempts
+        Stall, // park the worker until the watchdog fires
+    };
+    std::uint64_t index = 0;
+    Mode mode = Mode::Throw;
+    int count = 1;
+};
+
+/** Read + parse the env var; nullopt when unset or malformed. */
+std::optional<HarnessFault> parseHarnessFault();
+
+/** The crash probe: exits the process with the sentinel code 86. */
+[[noreturn]] void harnessCrashNow();
+
+/** Identity key of one grid point (journal validation). */
+std::string sweepPointKey(const SweepPoint &p);
+
+/** Identity key of the whole grid (journal header). */
+std::string sweepKey(const std::vector<SweepPoint> &points);
+
+/**
+ * Retry delay in ms for @p attempt (0-based) of point @p index:
+ * exponential in the attempt with a deterministic per-(index,
+ * attempt) jitter in the upper half of the step, clamped to
+ * [base, max].  Pure — the schedule is reproducible.
+ */
+int backoffDelayMs(std::uint64_t index, int attempt, int base_ms,
+                   int max_ms);
+
+/** Run a sweep with journaling / resume / watchdog / retries. */
+SweepReport runSweepResilient(const std::vector<SweepPoint> &points,
+                              const SweepOptions &opts);
+
+/** runSweepResilient() with opts.resume forced on. */
+SweepReport resumeSweep(const std::vector<SweepPoint> &points,
+                        SweepOptions opts);
 
 } // namespace rcsim::harness
 

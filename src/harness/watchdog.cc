@@ -1,0 +1,103 @@
+#include "harness/watchdog.hh"
+
+#include <algorithm>
+
+#include "trace/trace.hh"
+
+namespace rcsim::harness
+{
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+Watchdog::Lease
+Watchdog::arm(std::chrono::milliseconds deadline)
+{
+    Lease lease;
+    lease.owner_ = this;
+    lease.flag_ = std::make_shared<std::atomic<bool>>(false);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        lease.id_ = nextId_++;
+        entries_.push_back(
+            {std::chrono::steady_clock::now() + deadline,
+             lease.flag_, lease.id_});
+        if (!thread_.joinable())
+            thread_ = std::thread([this] { monitor(); });
+    }
+    cv_.notify_all();
+    return lease;
+}
+
+void
+Watchdog::remove(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.erase(
+        std::remove_if(entries_.begin(), entries_.end(),
+                       [&](const Entry &e) { return e.id == id; }),
+        entries_.end());
+}
+
+void
+Watchdog::Lease::disarm()
+{
+    if (owner_) {
+        owner_->remove(id_);
+        owner_ = nullptr;
+    }
+}
+
+void
+Watchdog::monitor()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+        if (entries_.empty()) {
+            cv_.wait(lock, [this] {
+                return stop_ || !entries_.empty();
+            });
+            continue;
+        }
+        auto earliest = std::min_element(
+            entries_.begin(), entries_.end(),
+            [](const Entry &a, const Entry &b) {
+                return a.deadline < b.deadline;
+            });
+        auto when = earliest->deadline;
+        if (cv_.wait_until(lock, when, [this, when] {
+                if (stop_)
+                    return true;
+                // Wake early when a sooner deadline was armed.
+                for (const Entry &e : entries_)
+                    if (e.deadline < when)
+                        return true;
+                return false;
+            }))
+            continue;
+        // Deadline passed: fire every expired entry.
+        auto now = std::chrono::steady_clock::now();
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (it->deadline <= now) {
+                it->flag->store(true, std::memory_order_relaxed);
+                fired_.fetch_add(1, std::memory_order_relaxed);
+                if (trace::on())
+                    trace::instant("watchdog.fired", "harness", "id",
+                                   it->id);
+                it = entries_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+} // namespace rcsim::harness

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Wall-clock watchdog for sweep grid points.
+ *
+ * One monitor thread per Watchdog instance tracks the deadlines of
+ * every armed Lease and sets the lease's cancellation flag when its
+ * deadline passes.  Cancellation is cooperative: the simulator polls
+ * the flag (SimConfig::cancel) on the existing 8192-cycle
+ * counter-window boundary — the same window the trace counters use —
+ * so a run with no deadline armed executes the identical instruction
+ * stream and the goldens stay bit-identical (the polling contract is
+ * pinned by the resilience parity tests).
+ *
+ * The Watchdog is owned by the sweep runner for the duration of one
+ * sweep; its destructor stops and joins the monitor thread, so there
+ * is no detached thread racing process teardown (TSan-clean under
+ * the sanitize preset).
+ */
+
+#ifndef RCSIM_HARNESS_WATCHDOG_HH
+#define RCSIM_HARNESS_WATCHDOG_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rcsim::harness
+{
+
+/** Deadline monitor; arm() hands out cancellation leases. */
+class Watchdog
+{
+  public:
+    Watchdog() = default;
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * RAII deadline: armed on construction (via Watchdog::arm),
+     * disarmed on destruction.  flag() is the cooperative
+     * cancellation flag to hand to SimConfig::cancel; fired() says
+     * whether the deadline passed before disarm.  A
+     * default-constructed Lease is inert (flag() == nullptr).
+     */
+    class Lease
+    {
+      public:
+        Lease() = default;
+        ~Lease() { disarm(); }
+
+        Lease(Lease &&other) noexcept { *this = std::move(other); }
+        Lease &
+        operator=(Lease &&other) noexcept
+        {
+            if (this != &other) {
+                disarm();
+                owner_ = other.owner_;
+                id_ = other.id_;
+                flag_ = std::move(other.flag_);
+                other.owner_ = nullptr;
+                other.flag_.reset();
+            }
+            return *this;
+        }
+
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+
+        const std::atomic<bool> *
+        flag() const
+        {
+            return flag_ ? flag_.get() : nullptr;
+        }
+
+        bool
+        fired() const
+        {
+            return flag_ &&
+                   flag_->load(std::memory_order_relaxed);
+        }
+
+        /** Drop the deadline early (idempotent). */
+        void disarm();
+
+      private:
+        friend class Watchdog;
+        Watchdog *owner_ = nullptr;
+        std::uint64_t id_ = 0;
+        std::shared_ptr<std::atomic<bool>> flag_;
+    };
+
+    /**
+     * Arm a deadline @p deadline from now.  The monitor thread is
+     * started lazily on the first arm.
+     */
+    Lease arm(std::chrono::milliseconds deadline);
+
+    /** Deadlines that have fired over this Watchdog's lifetime. */
+    std::uint64_t firedCount() const
+    {
+        return fired_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Entry
+    {
+        std::chrono::steady_clock::time_point deadline;
+        std::shared_ptr<std::atomic<bool>> flag;
+        std::uint64_t id;
+    };
+
+    void monitor();
+    void remove(std::uint64_t id);
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Entry> entries_;
+    std::thread thread_;
+    bool stop_ = false;
+    std::uint64_t nextId_ = 1;
+    std::atomic<std::uint64_t> fired_{0};
+};
+
+} // namespace rcsim::harness
+
+#endif // RCSIM_HARNESS_WATCHDOG_HH

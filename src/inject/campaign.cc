@@ -2,9 +2,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
+#include <thread>
 
+#include "harness/journal.hh"
 #include "harness/sweep.hh"
+#include "harness/watchdog.hh"
 #include "inject/injector.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "trace/trace.hh"
 
@@ -29,45 +34,6 @@ toString(FaultOutcome outcome)
 
 namespace
 {
-
-/** Escape a string for a JSON literal. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-std::string
-jsonStr(const std::string &s)
-{
-    return "\"" + jsonEscape(s) + "\"";
-}
 
 /** One faulted replay of an already-compiled program. */
 FaultRunRecord
@@ -161,6 +127,14 @@ runOneFault(const harness::CompiledProgram &compiled,
     }
 
     sim::SimResult res = simulator.result();
+    if (res.reason == sim::StopReason::Deadline) {
+        // The cooperative watchdog cancelled the replay: the fault
+        // made the run overrun its wall-clock budget — a hang, not a
+        // detection, even though fail() recorded an error.
+        rec.outcome = FaultOutcome::Hang;
+        rec.detail = "wall-clock watchdog (deadline)";
+        return finish();
+    }
     if (!res.ok) {
         rec.outcome = FaultOutcome::Detected;
         rec.detail = res.error;
@@ -210,10 +184,17 @@ runCampaign(const CampaignConfig &cfg)
     sim::SimConfig sc;
     sc.machine = cfg.opts.machine;
     sc.rc = cfg.opts.rc;
+    sc.cancel = cfg.cancel;
     sim::Simulator golden_sim(compiled.program, sc);
     CommitRecorder recorder;
     golden_sim.attachProbe(&recorder);
     sim::SimResult golden_res = golden_sim.run();
+    if (golden_res.reason == sim::StopReason::Deadline)
+        throw RcError(ErrorCategory::Hang,
+                      "wall-clock deadline exceeded during the "
+                      "golden run")
+            .addContext("campaign '" + cfg.workload + "' (" +
+                        result.rcDesc + ")");
     if (!golden_res.ok)
         panic("golden run of '", cfg.workload,
               "' failed: ", golden_res.error);
@@ -284,6 +265,14 @@ runCampaignSweep(const std::vector<CampaignConfig> &cfgs)
             // don't let its panic/fatal print mid-sweep.
             ScopedQuietErrors hush;
             out.push_back(runCampaign(cfg));
+        } catch (const RcError &e) {
+            CampaignResult failed;
+            failed.workload = cfg.workload;
+            failed.label = cfg.label;
+            failed.seedBase = cfg.seedBase;
+            failed.failed = true;
+            failed.error = e.describe();
+            out.push_back(std::move(failed));
         } catch (const PanicError &e) {
             CampaignResult failed;
             failed.workload = cfg.workload;
@@ -309,12 +298,12 @@ std::string
 CampaignResult::toJson(bool include_runs) const
 {
     std::string j = "{";
-    j += "\"workload\": " + jsonStr(workload);
-    j += ", \"label\": " + jsonStr(label);
-    j += ", \"rc\": " + jsonStr(rcDesc);
+    j += "\"workload\": " + json::str(workload);
+    j += ", \"label\": " + json::str(label);
+    j += ", \"rc\": " + json::str(rcDesc);
     j += ", \"failed\": " + std::string(failed ? "true" : "false");
     if (failed) {
-        j += ", \"error\": " + jsonStr(error);
+        j += ", \"error\": " + json::str(error);
         j += "}";
         return j;
     }
@@ -333,16 +322,16 @@ CampaignResult::toJson(bool include_runs) const
             if (i)
                 j += ", ";
             j += "{\"seed\": " + std::to_string(r.seed);
-            j += ", \"fault\": " + jsonStr(r.fault.toString());
+            j += ", \"fault\": " + json::str(r.fault.toString());
             j += ", \"target\": " +
-                 jsonStr(inject::toString(r.fault.target));
+                 json::str(inject::toString(r.fault.target));
             j += ", \"kind\": " +
-                 jsonStr(inject::toString(r.fault.kind));
+                 json::str(inject::toString(r.fault.kind));
             j += ", \"cycle\": " + std::to_string(r.fault.cycle);
             j += ", \"outcome\": " +
-                 jsonStr(inject::toString(r.outcome));
+                 json::str(inject::toString(r.outcome));
             j += ", \"cycles\": " + std::to_string(r.cycles);
-            j += ", \"detail\": " + jsonStr(r.detail);
+            j += ", \"detail\": " + json::str(r.detail);
             j += ", \"diverged\": " +
                  std::string(r.diverged ? "true" : "false");
             if (r.diverged) {
@@ -351,9 +340,9 @@ CampaignResult::toJson(bool include_runs) const
                      std::to_string(d.index) +
                      ", \"cycle\": " + std::to_string(d.cycle) +
                      ", \"pc\": " + std::to_string(d.pc) +
-                     ", \"disasm\": " + jsonStr(d.disasm) +
-                     ", \"expected\": " + jsonStr(d.expected) +
-                     ", \"actual\": " + jsonStr(d.actual) + "}";
+                     ", \"disasm\": " + json::str(d.disasm) +
+                     ", \"expected\": " + json::str(d.expected) +
+                     ", \"actual\": " + json::str(d.actual) + "}";
             }
             j += "}";
         }
@@ -375,6 +364,333 @@ sweepToJson(const std::vector<CampaignResult> &results,
     }
     j += "]}";
     return j;
+}
+
+// ---- Crash-resilient campaign sweeps -------------------------------
+
+namespace
+{
+
+const char *
+levelName(opt::OptLevel level)
+{
+    return level == opt::OptLevel::Scalar ? "scalar" : "ilp";
+}
+
+/** Render a double for an identity key (locale-independent). */
+std::string
+keyDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
+
+/** A config-level failure record (compile / golden run / probe). */
+CampaignResult
+failedCampaign(const CampaignConfig &cfg, std::string error)
+{
+    CampaignResult failed;
+    failed.workload = cfg.workload;
+    failed.label = cfg.label;
+    failed.seedBase = cfg.seedBase;
+    failed.failed = true;
+    failed.error = std::move(error);
+    return failed;
+}
+
+/** Journal status of a campaign: "ok" or the failure's category. */
+bool
+campaignStatusValid(const std::string &s)
+{
+    return s == "ok" || s == toString(ErrorCategory::Transient) ||
+           s == toString(ErrorCategory::Hang) ||
+           s == toString(ErrorCategory::Corrupt) ||
+           s == toString(ErrorCategory::Resource);
+}
+
+/** Journal meta carrying the exit-code aggregates. */
+std::string
+campaignMeta(const CampaignResult &res)
+{
+    if (res.failed)
+        return "failed=1";
+    return "failed=0;sdc=" + std::to_string(res.sdc) +
+           ";hang=" + std::to_string(res.hang);
+}
+
+/** Inverse of campaignMeta(); false when @p meta is unparsable. */
+bool
+parseCampaignMeta(const std::string &meta, bool &failed, int &sdc,
+                  int &hang)
+{
+    int f = 0;
+    int s = 0;
+    int h = 0;
+    int got = std::sscanf(meta.c_str(), "failed=%d;sdc=%d;hang=%d",
+                          &f, &s, &h);
+    if (got >= 1 && f == 1) {
+        failed = true;
+        sdc = 0;
+        hang = 0;
+        return true;
+    }
+    if (got == 3 && f == 0) {
+        failed = false;
+        sdc = s;
+        hang = h;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+campaignKey(const CampaignConfig &cfg, bool include_runs)
+{
+    std::string key = cfg.workload;
+    key += "|" + cfg.label;
+    key += "|" + cfg.opts.rc.toString();
+    key += "|" + std::to_string(cfg.opts.machine.issueWidth) + "w";
+    key += std::to_string(cfg.opts.machine.memChannels) + "c";
+    key += std::to_string(cfg.opts.machine.lat.loadLatency) + "l";
+    key += std::to_string(cfg.opts.machine.lat.connectLatency) + "x";
+    key += "|";
+    key += levelName(cfg.opts.level);
+    key += "|u" + std::to_string(cfg.opts.ilp.maxUnroll);
+    key += "|s" + std::to_string(cfg.seedBase) + "+" +
+           std::to_string(cfg.seeds);
+    key += "|t";
+    for (std::size_t i = 0; i < cfg.targets.size(); ++i) {
+        if (i)
+            key += "+";
+        key += toString(cfg.targets[i]);
+    }
+    key += "|h" + keyDouble(cfg.hangCycleFactor);
+    key += "|w" + keyDouble(cfg.wallClockSecs);
+    key += include_runs ? "|runs1" : "|runs0";
+    return key;
+}
+
+std::string
+campaignSweepKey(const std::vector<CampaignConfig> &cfgs,
+                 bool include_runs)
+{
+    std::string all;
+    for (const CampaignConfig &cfg : cfgs) {
+        all += campaignKey(cfg, include_runs);
+        all += '\n';
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "campaigns n=%zu;crc=%08x",
+                  cfgs.size(), harness::crc32(all));
+    return buf;
+}
+
+std::string
+CampaignSweepReport::toJson() const
+{
+    std::string j = "{\"campaigns\": [";
+    for (std::size_t i = 0; i < campaignJson.size(); ++i) {
+        if (i)
+            j += ", ";
+        j += campaignJson[i];
+    }
+    j += "]}";
+    return j;
+}
+
+CampaignSweepReport
+runCampaignSweepResilient(const std::vector<CampaignConfig> &cfgs,
+                          const CampaignSweepOptions &opts)
+{
+    const std::size_t n = cfgs.size();
+    CampaignSweepReport report;
+    report.results.resize(n);
+    report.campaignJson.resize(n);
+    report.restoredFlags.assign(n, false);
+
+    const std::string grid_key =
+        campaignSweepKey(cfgs, opts.includeRuns);
+
+    // ---- Resume: validate the journal, restore completed ones. -----
+    if (opts.resume && !opts.journal.empty()) {
+        harness::JournalScan scan =
+            harness::scanJournal(opts.journal);
+        if (scan.ok) {
+            if (scan.sweepKey != grid_key)
+                throw RcError(ErrorCategory::Resource,
+                              "journal '" + opts.journal +
+                                  "' belongs to a different campaign "
+                                  "sweep (" +
+                                  scan.sweepKey + " != " + grid_key +
+                                  ")")
+                    .addContext("resuming campaign sweep");
+            report.journalQuarantined = scan.quarantined;
+            report.journalTruncated = scan.truncatedTail;
+            for (const harness::JournalRecord &rec : scan.records) {
+                bool failed = false;
+                int sdc = 0;
+                int hang = 0;
+                if (rec.index >= n ||
+                    rec.key != campaignKey(cfgs[rec.index],
+                                           opts.includeRuns) ||
+                    !campaignStatusValid(rec.status) ||
+                    rec.payload.empty() ||
+                    !parseCampaignMeta(rec.meta, failed, sdc,
+                                       hang)) {
+                    ++report.journalQuarantined;
+                    continue;
+                }
+                CampaignResult res;
+                res.workload = cfgs[rec.index].workload;
+                res.label = cfgs[rec.index].label;
+                res.seedBase = cfgs[rec.index].seedBase;
+                res.failed = failed;
+                res.sdc = sdc;
+                res.hang = hang;
+                report.results[rec.index] = std::move(res);
+                report.campaignJson[rec.index] = rec.payload;
+                report.restoredFlags[rec.index] = true;
+            }
+        }
+        // A missing/empty journal is not an error: first run.
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        report.restored += report.restoredFlags[i] ? 1 : 0;
+
+    // ---- Journal writer (truncates unless resuming). ---------------
+    harness::Journal journal;
+    if (!opts.journal.empty()) {
+        if (!opts.resume)
+            std::remove(opts.journal.c_str());
+        journal.open(opts.journal, grid_key,
+                     static_cast<std::uint64_t>(n));
+    }
+    bool journal_broken = false;
+
+    // ---- Watchdog (one monitor for the whole sweep). ---------------
+    std::optional<harness::Watchdog> watchdog;
+    if (opts.deadlineMs > 0)
+        watchdog.emplace();
+
+    std::optional<harness::HarnessFault> fault =
+        harness::parseHarnessFault();
+
+    // Campaigns run serially here: each one already fans its faulted
+    // replays out over CampaignConfig::jobs.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (report.restoredFlags[i])
+            continue;
+        trace::Span span("campaign.point", "inject", "index", i);
+        const CampaignConfig &cfg = cfgs[i];
+
+        CampaignResult res;
+        ErrorCategory category = ErrorCategory::Corrupt;
+        int attempt = 0;
+        for (;;) {
+            harness::Watchdog::Lease lease;
+            if (watchdog)
+                lease = watchdog->arm(
+                    std::chrono::milliseconds(opts.deadlineMs));
+            bool fault_here = fault && fault->index == i &&
+                              attempt < fault->count;
+            try {
+                if (fault_here &&
+                    fault->mode ==
+                        harness::HarnessFault::Mode::Crash)
+                    harness::harnessCrashNow();
+                if (fault_here &&
+                    fault->mode ==
+                        harness::HarnessFault::Mode::Throw)
+                    throw RcError(ErrorCategory::Transient,
+                                  "injected harness fault (throw)")
+                        .addContext("running campaign " +
+                                    std::to_string(i));
+                if (fault_here &&
+                    fault->mode ==
+                        harness::HarnessFault::Mode::Stall) {
+                    // Park until the watchdog cancels us (capped so
+                    // a stall without a deadline cannot wedge CI).
+                    auto give_up =
+                        std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+                    while (!lease.fired() &&
+                           std::chrono::steady_clock::now() <
+                               give_up)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(10));
+                    res = failedCampaign(
+                        cfg, "stalled worker cancelled by "
+                             "wall-clock watchdog");
+                    category = ErrorCategory::Hang;
+                } else {
+                    ScopedQuietErrors hush;
+                    CampaignConfig run_cfg = cfg;
+                    run_cfg.cancel = lease.flag();
+                    res = runCampaign(run_cfg);
+                }
+            } catch (const std::exception &e) {
+                category = classifyException(e);
+                if (auto *rc = dynamic_cast<const RcError *>(&e))
+                    res = failedCampaign(cfg, rc->describe());
+                else
+                    res = failedCampaign(cfg, e.what());
+            }
+            if (!res.failed || !isRetryable(category) ||
+                attempt >= opts.retries)
+                break;
+            int delay = harness::backoffDelayMs(
+                static_cast<std::uint64_t>(i), attempt,
+                opts.backoffBaseMs, opts.backoffMaxMs);
+            trace::instant("retry.scheduled", "inject", "index", i);
+            ++report.retries;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+            ++attempt;
+        }
+
+        report.results[i] = std::move(res);
+        report.campaignJson[i] =
+            report.results[i].toJson(opts.includeRuns);
+
+        if (journal.isOpen() && !journal_broken) {
+            harness::JournalRecord rec;
+            rec.index = i;
+            rec.key = campaignKey(cfg, opts.includeRuns);
+            rec.status = report.results[i].failed
+                             ? toString(category)
+                             : "ok";
+            rec.attempts = attempt + 1;
+            rec.meta = campaignMeta(report.results[i]);
+            rec.payload = report.campaignJson[i];
+            try {
+                journal.append(rec);
+            } catch (const RcError &e) {
+                // A broken journal must not kill the sweep itself;
+                // the run completes, it just loses resumability.
+                journal_broken = true;
+                warn("run journal disabled: ", e.describe());
+            }
+        }
+    }
+
+    for (const CampaignResult &res : report.results) {
+        if (res.failed)
+            ++report.failedConfigs;
+        report.sdc += res.sdc;
+        report.hang += res.hang;
+    }
+    return report;
+}
+
+CampaignSweepReport
+resumeCampaign(const std::vector<CampaignConfig> &cfgs,
+               CampaignSweepOptions opts)
+{
+    opts.resume = true;
+    return runCampaignSweepResilient(cfgs, opts);
 }
 
 } // namespace rcsim::inject

@@ -25,6 +25,8 @@
 #ifndef RCSIM_INJECT_CAMPAIGN_HH
 #define RCSIM_INJECT_CAMPAIGN_HH
 
+#include <atomic>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -68,6 +70,15 @@ struct CampaignConfig
      * identical to the serial path at any job count.
      */
     int jobs = 1;
+
+    /**
+     * Cooperative wall-clock cancellation flag (see SimConfig::cancel),
+     * polled by the golden run and every faulted replay.  A golden run
+     * cancelled this way throws RcError{Hang}; a cancelled replay is
+     * classified FaultOutcome::Hang.  Not part of the campaign's
+     * identity key — it is an operational knob, not a parameter.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** Classification of one faulted run. */
@@ -129,9 +140,9 @@ struct CampaignResult
 CampaignResult runCampaign(const CampaignConfig &cfg);
 
 /**
- * Run several campaigns, converting PanicError / FatalError escaping
- * any single configuration into a failed CampaignResult so the rest
- * of the sweep still runs.
+ * Run several campaigns, converting RcError / PanicError / FatalError
+ * escaping any single configuration into a failed CampaignResult so
+ * the rest of the sweep still runs.
  */
 std::vector<CampaignResult>
 runCampaignSweep(const std::vector<CampaignConfig> &cfgs);
@@ -139,6 +150,74 @@ runCampaignSweep(const std::vector<CampaignConfig> &cfgs);
 /** Render a sweep as one JSON document. */
 std::string sweepToJson(const std::vector<CampaignResult> &results,
                         bool include_runs = true);
+
+// ---- Crash-resilient campaign sweeps -------------------------------
+//
+// The resilient runner wraps runCampaign() in the same four defenses
+// as harness::runSweepResilient(): a durable JSONL journal, resume
+// with byte-identical final JSON, a per-campaign wall-clock watchdog
+// (cooperative, via CampaignConfig::cancel), and retry-with-backoff
+// for Transient failures only.  Each campaign configuration is one
+// journal point; the per-seed replays inside a campaign already
+// parallelize via CampaignConfig::jobs.
+
+/** Knobs for a resilient campaign sweep. */
+struct CampaignSweepOptions
+{
+    std::string journal;     // journal path; empty = no journal
+    bool resume = false;     // restore completed campaigns
+    int deadlineMs = 0;      // per-campaign deadline; 0 = off
+    int retries = 0;         // extra attempts, Transient only
+    int backoffBaseMs = 100; // first retry delay
+    int backoffMaxMs = 2000; // backoff growth cap
+    bool includeRuns = true; // render per-run arrays in the JSON
+};
+
+/** Outcome of a resilient campaign sweep. */
+struct CampaignSweepReport
+{
+    /**
+     * Grid order.  Restored entries carry only the identity fields
+     * plus the failed flag and sdc/hang counters recovered from the
+     * journal meta — enough for the exit-code contract; their full
+     * JSON lives in campaignJson.
+     */
+    std::vector<CampaignResult> results;
+    std::vector<std::string> campaignJson; // rendered per-campaign
+    std::vector<bool> restoredFlags;       // grid order
+
+    std::size_t restored = 0; // campaigns skipped via the journal
+    std::size_t retries = 0;  // retry attempts performed
+    std::size_t journalQuarantined = 0; // corrupt journal records
+    bool journalTruncated = false;      // journal had a torn tail
+
+    int failedConfigs = 0; // configs that never produced a result
+    int sdc = 0;           // total silent corruptions, all configs
+    int hang = 0;          // total hangs, all configs
+
+    /**
+     * Byte-identical to sweepToJson(runCampaignSweep(cfgs),
+     * include_runs) for the same grid — uninterrupted or resumed.
+     */
+    std::string toJson() const;
+};
+
+/** Identity key of one campaign configuration (journal validation). */
+std::string campaignKey(const CampaignConfig &cfg, bool include_runs);
+
+/** Identity key of the whole sweep (journal header). */
+std::string campaignSweepKey(const std::vector<CampaignConfig> &cfgs,
+                             bool include_runs);
+
+/** Run a campaign sweep with journaling / resume / watchdog / retry. */
+CampaignSweepReport
+runCampaignSweepResilient(const std::vector<CampaignConfig> &cfgs,
+                          const CampaignSweepOptions &opts);
+
+/** runCampaignSweepResilient() with opts.resume forced on. */
+CampaignSweepReport
+resumeCampaign(const std::vector<CampaignConfig> &cfgs,
+               CampaignSweepOptions opts);
 
 } // namespace rcsim::inject
 

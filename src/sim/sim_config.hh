@@ -7,6 +7,7 @@
 #ifndef RCSIM_SIM_SIM_CONFIG_HH
 #define RCSIM_SIM_SIM_CONFIG_HH
 
+#include <atomic>
 #include <vector>
 
 #include "core/rc_config.hh"
@@ -26,6 +27,15 @@ struct SimConfig
 
     /** Give up after this many cycles (runaway guard). */
     Cycle maxCycles = 2'000'000'000ull;
+
+    /**
+     * Cooperative cancellation flag (wall-clock watchdog,
+     * harness/watchdog.hh); nullptr disables.  Polled on the
+     * 8192-cycle counter-window boundary only, so arming it changes
+     * neither the instruction stream nor any statistic — a cancelled
+     * run stops with StopReason::Deadline at the next window edge.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 
     /**
      * Pipeline variant of Figures 5 and 6: when register fetch

@@ -26,6 +26,8 @@ toString(StopReason reason)
         return "error";
       case StopReason::CycleLimit:
         return "cycle-limit";
+      case StopReason::Deadline:
+        return "deadline";
     }
     return "unknown";
 }
@@ -78,9 +80,11 @@ Simulator::reset()
     instructions_ = 0;
     halted_ = false;
     cycleLimitHit_ = false;
+    deadlineHit_ = false;
     error_.clear();
     counters_.clear();
     traceOn_ = trace::on();
+    pollCancel_ = cfg_.cancel != nullptr;
     nextInterrupt_ = 0;
     trace_.clear();
     traceLeft_ = cfg_.traceLimit;
@@ -142,9 +146,10 @@ Simulator::result() const
 {
     SimResult r;
     r.ok = halted_ && error_.empty();
-    r.reason = r.ok ? StopReason::Halted
-                    : (cycleLimitHit_ ? StopReason::CycleLimit
-                                      : StopReason::Error);
+    r.reason = r.ok          ? StopReason::Halted
+               : deadlineHit_ ? StopReason::Deadline
+               : cycleLimitHit_ ? StopReason::CycleLimit
+                                : StopReason::Error;
     r.error = error_;
     r.cycles = cycle_;
     r.instructions = instructions_;
@@ -174,8 +179,17 @@ Simulator::traceWindow()
 void
 Simulator::issueCycle()
 {
-    if (traceOn_ && (cycle_ & (traceWindowCycles - 1)) == 0)
-        traceWindow();
+    if ((traceOn_ | pollCancel_) &&
+        (cycle_ & (traceWindowCycles - 1)) == 0) {
+        if (traceOn_)
+            traceWindow();
+        if (pollCancel_ &&
+            cfg_.cancel->load(std::memory_order_relaxed)) {
+            deadlineHit_ = true;
+            fail("wall-clock deadline exceeded");
+            return;
+        }
+    }
 
     if (probe_)
         probe_->onCycle(*this, cycle_);

@@ -37,6 +37,7 @@ enum class StopReason : std::uint8_t
     Halted,     // program executed halt
     Error,      // architectural / model error (see SimResult::error)
     CycleLimit, // SimConfig::maxCycles exhausted (possible hang)
+    Deadline,   // SimConfig::cancel fired (wall-clock watchdog)
 };
 
 const char *toString(StopReason reason);
@@ -147,15 +148,19 @@ class Simulator
     Count instructions_ = 0;
     bool halted_ = false;
     bool cycleLimitHit_ = false;
+    bool deadlineHit_ = false;
     std::string error_;
     SimProbe *probe_ = nullptr;
     SimCounterArray counters_;
 
     // trace::on() cached at reset() so every per-event check in the
     // hot loop is a member-bool test.  A power of two: the window
-    // emission check is one mask per cycle.
+    // emission check is one mask per cycle.  The watchdog cancel
+    // flag (when armed) is polled on the same window boundary, so a
+    // run without a deadline pays the identical single dead branch.
     static constexpr Cycle traceWindowCycles = 8192;
     bool traceOn_ = false;
+    bool pollCancel_ = false;
     std::size_t nextInterrupt_ = 0;
 
     // Map entries updated this cycle (one-cycle connect model).

@@ -1,0 +1,59 @@
+#include "support/error.hh"
+
+#include <new>
+
+#include "support/logging.hh"
+
+namespace rcsim
+{
+
+const char *
+toString(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::Transient:
+        return "transient";
+      case ErrorCategory::Hang:
+        return "hang";
+      case ErrorCategory::Corrupt:
+        return "corrupt";
+      case ErrorCategory::Resource:
+        return "resource";
+    }
+    return "unknown";
+}
+
+std::string
+RcError::describe() const
+{
+    std::string out = toString(category_);
+    out += ": ";
+    out += what();
+    if (!context_.empty()) {
+        out += " (";
+        for (std::size_t i = 0; i < context_.size(); ++i) {
+            if (i)
+                out += "; ";
+            out += "while ";
+            out += context_[i];
+        }
+        out += ")";
+    }
+    return out;
+}
+
+ErrorCategory
+classifyException(const std::exception &e)
+{
+    if (auto *rc = dynamic_cast<const RcError *>(&e))
+        return rc->category();
+    if (dynamic_cast<const PanicError *>(&e))
+        return ErrorCategory::Corrupt;
+    if (dynamic_cast<const FatalError *>(&e))
+        return ErrorCategory::Resource;
+    if (dynamic_cast<const std::bad_alloc *>(&e))
+        return ErrorCategory::Resource;
+    return ErrorCategory::Corrupt;
+}
+
+} // namespace rcsim

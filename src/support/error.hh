@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Structured error taxonomy for the run harness.
+ *
+ * Long sweeps and fault campaigns must never die on an uncaught
+ * exception: every failure crossing the harness boundary is folded
+ * into one of four categories that drive the retry / quarantine
+ * policy (harness/sweep.hh):
+ *
+ *  - Transient  environmental and injected hiccups (I/O, the
+ *               RCSIM_HARNESS_FAULT throw probe).  The only category
+ *               the sweep runner retries, with bounded exponential
+ *               backoff.
+ *  - Hang       the run exceeded a cycle budget or wall-clock
+ *               deadline.  Never retried: the runs are deterministic,
+ *               so a hang reproduces.
+ *  - Corrupt    wrong answers and broken invariants (checksum
+ *               mismatch, PanicError, bad journal records).  Never
+ *               retried; quarantined for investigation.
+ *  - Resource   the environment refused the work (bad configuration,
+ *               out of memory, unwritable journal).  Never retried.
+ *
+ * RcError carries its category plus a context chain ("while ...")
+ * that call sites push as the error propagates outward, so a
+ * quarantine report names the full path to the failure.
+ */
+
+#ifndef RCSIM_SUPPORT_ERROR_HH
+#define RCSIM_SUPPORT_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rcsim
+{
+
+/** The four failure categories of the harness taxonomy. */
+enum class ErrorCategory : std::uint8_t
+{
+    Transient, // retryable environmental hiccup
+    Hang,      // cycle budget / wall-clock deadline exceeded
+    Corrupt,   // wrong answer or broken invariant
+    Resource,  // environment refused the work (config, memory, I/O)
+};
+
+const char *toString(ErrorCategory category);
+
+/** Only Transient failures are ever retried. */
+inline bool
+isRetryable(ErrorCategory category)
+{
+    return category == ErrorCategory::Transient;
+}
+
+/** A categorized harness error with a context chain. */
+class RcError : public std::runtime_error
+{
+  public:
+    RcError(ErrorCategory category, const std::string &msg)
+        : std::runtime_error(msg), category_(category)
+    {
+    }
+
+    ErrorCategory category() const { return category_; }
+
+    /** Push one "while ..." frame; returns *this for chaining. */
+    RcError &
+    addContext(std::string frame)
+    {
+        context_.push_back(std::move(frame));
+        return *this;
+    }
+
+    const std::vector<std::string> &context() const { return context_; }
+
+    /**
+     * "category: message (while inner; while outer)" — the full
+     * chain, innermost frame first.
+     */
+    std::string describe() const;
+
+  private:
+    ErrorCategory category_;
+    std::vector<std::string> context_;
+};
+
+/**
+ * Fold an arbitrary exception into the taxonomy: RcError keeps its
+ * own category; PanicError (broken rcsim invariant) is Corrupt;
+ * FatalError (configuration refused) and std::bad_alloc are
+ * Resource; anything else is Corrupt — an exception type the harness
+ * does not know about means an invariant it did not model.
+ */
+ErrorCategory classifyException(const std::exception &e);
+
+} // namespace rcsim
+
+#endif // RCSIM_SUPPORT_ERROR_HH

@@ -1,0 +1,80 @@
+#include "support/json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rcsim::json
+{
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+str(const std::string &s)
+{
+    return "\"" + escape(s) + "\"";
+}
+
+std::string
+unescape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 >= s.size()) {
+            out += s[i];
+            continue;
+        }
+        char c = s[++i];
+        switch (c) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u':
+            if (i + 4 < s.size()) {
+                out += static_cast<char>(
+                    std::strtol(s.substr(i + 1, 4).c_str(), nullptr,
+                                16));
+                i += 4;
+            }
+            break;
+          default:
+            out += c; // covers \" and \\ (and passes others through)
+        }
+    }
+    return out;
+}
+
+} // namespace rcsim::json

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Tiny JSON emission helpers shared by every deterministic report
+ * writer (campaign JSON, sweep JSON, the run journal).  Emission
+ * only — rcsim renders JSON by concatenation so identical inputs
+ * produce byte-identical documents; parsing stays with the
+ * special-purpose readers (tools/tracecheck, harness/journal).
+ */
+
+#ifndef RCSIM_SUPPORT_JSON_HH
+#define RCSIM_SUPPORT_JSON_HH
+
+#include <string>
+
+namespace rcsim::json
+{
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string escape(const std::string &s);
+
+/** Quote + escape: the rendered JSON string literal. */
+std::string str(const std::string &s);
+
+/** Inverse of escape() for the journal reader; best-effort. */
+std::string unescape(const std::string &s);
+
+} // namespace rcsim::json
+
+#endif // RCSIM_SUPPORT_JSON_HH

@@ -1,0 +1,32 @@
+# Unknown-flag rejection driver, run as a ctest script:
+#
+#   cmake -DTOOL=<path> "-DARGS=a;b;c" -P cli_reject_test.cmake
+#
+# Pins the CLI contract for rcc and rcinject: an unrecognized option
+# must produce a usage message and exit code 2 — never run with the
+# flag silently ignored.
+
+if(NOT TOOL)
+    message(FATAL_ERROR "usage: cmake -DTOOL=... [-DARGS=...] "
+                        "-P cli_reject_test.cmake")
+endif()
+
+execute_process(
+    COMMAND "${TOOL}" ${ARGS} --definitely-not-a-flag
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "${TOOL}: expected usage exit code 2 for an "
+                        "unknown option, got ${rc}")
+endif()
+if(NOT err MATCHES "unknown option")
+    message(FATAL_ERROR "${TOOL}: stderr does not name the unknown "
+                        "option:\n${err}")
+endif()
+if(NOT err MATCHES "usage:")
+    message(FATAL_ERROR "${TOOL}: stderr does not print usage:\n${err}")
+endif()
+
+message(STATUS "${TOOL}: unknown option rejected with usage + exit 2")

@@ -1,0 +1,78 @@
+# Kill-and-resume driver for the crash-resilient campaign sweep
+# (DESIGN.md §11), run as a ctest script:
+#
+#   cmake -DRCINJECT=<path> -DWORKDIR=<dir> -P kill_resume_test.cmake
+#
+# 1. an uninterrupted reference sweep produces ref.json;
+# 2. the same sweep with RCSIM_HARNESS_FAULT=1:crash journals its
+#    first campaign and then dies with the crash sentinel (86) before
+#    the second one runs;
+# 3. --resume restores campaign 0 from the journal, runs only
+#    campaign 1, and must produce byte-identical JSON and the same
+#    exit code as the reference run.
+
+if(NOT RCINJECT OR NOT WORKDIR)
+    message(FATAL_ERROR "usage: cmake -DRCINJECT=... -DWORKDIR=... "
+                        "-P kill_resume_test.cmake")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+foreach(stale ref.json crash.json resumed.json run.jsonl)
+    file(REMOVE "${WORKDIR}/${stale}")
+endforeach()
+
+set(sweep_args
+    --workload cmp --seeds 4 --seed-base 7 --models 1,3
+    --target map --no-runs)
+
+# ---- 1. Uninterrupted reference -------------------------------------
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env --unset=RCSIM_HARNESS_FAULT
+            "${RCINJECT}" ${sweep_args} --json "${WORKDIR}/ref.json"
+    RESULT_VARIABLE ref_rc)
+if(ref_rc GREATER 1 AND ref_rc LESS 3)
+    message(FATAL_ERROR "reference run exited ${ref_rc} (usage error)")
+endif()
+
+# ---- 2. Crash mid-sweep ---------------------------------------------
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env RCSIM_HARNESS_FAULT=1:crash
+            "${RCINJECT}" ${sweep_args}
+            --journal "${WORKDIR}/run.jsonl"
+            --json "${WORKDIR}/crash.json"
+    RESULT_VARIABLE crash_rc)
+if(NOT crash_rc EQUAL 86)
+    message(FATAL_ERROR "crash probe: expected the sentinel exit "
+                        "code 86, got ${crash_rc}")
+endif()
+if(EXISTS "${WORKDIR}/crash.json")
+    message(FATAL_ERROR "the crashed run must not have written its "
+                        "final JSON")
+endif()
+if(NOT EXISTS "${WORKDIR}/run.jsonl")
+    message(FATAL_ERROR "the crashed run left no journal behind")
+endif()
+
+# ---- 3. Resume ------------------------------------------------------
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env --unset=RCSIM_HARNESS_FAULT
+            "${RCINJECT}" ${sweep_args}
+            --journal "${WORKDIR}/run.jsonl" --resume
+            --json "${WORKDIR}/resumed.json"
+    RESULT_VARIABLE resume_rc)
+if(NOT resume_rc EQUAL ref_rc)
+    message(FATAL_ERROR "resumed run exited ${resume_rc}, the "
+                        "uninterrupted reference exited ${ref_rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORKDIR}/ref.json" "${WORKDIR}/resumed.json"
+    RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR "resumed JSON differs from the "
+                        "uninterrupted reference (byte-identity "
+                        "contract violated)")
+endif()
+
+message(STATUS "kill-and-resume: byte-identical JSON, exit ${ref_rc}")

@@ -1,0 +1,734 @@
+/**
+ * @file
+ * Tests for the crash-resilience layer: the error taxonomy and its
+ * retry policy, the durable run journal (round trip, torn tails,
+ * mid-file corruption, foreign headers, duplicate records), the
+ * wall-clock watchdog and its zero-overhead polling contract, the
+ * deterministic retry backoff schedule, and resume byte-identity for
+ * both experiment sweeps and fault-injection campaigns.
+ *
+ * This file is compiled with -Werror=switch (see tests/CMakeLists.txt),
+ * so the switch statements in the Exhaustive* tests fail the BUILD —
+ * not just the run — when someone adds an enumerator to RunStatus,
+ * StopReason, FaultOutcome or ErrorCategory without teaching the
+ * journal / report renderers about it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/journal.hh"
+#include "harness/sweep.hh"
+#include "harness/watchdog.hh"
+#include "inject/campaign.hh"
+#include "sim/simulator.hh"
+#include "support/error.hh"
+#include "support/logging.hh"
+
+namespace rcsim
+{
+namespace
+{
+
+using harness::Journal;
+using harness::JournalRecord;
+using harness::JournalScan;
+using harness::RunOutcome;
+using harness::RunStatus;
+using harness::SweepOptions;
+using harness::SweepPoint;
+using harness::SweepReport;
+using harness::Watchdog;
+
+// ---- Enum exhaustiveness (satellite: compile-time contract) --------
+
+// Each helper switches WITHOUT a default case.  Under -Werror=switch
+// a new unhandled enumerator is a build failure; the runtime checks
+// below additionally pin that no toString() falls back to "unknown".
+
+const char *
+describeRunStatus(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Ok:
+      case RunStatus::WrongResult:
+      case RunStatus::CycleLimit:
+      case RunStatus::Deadline:
+      case RunStatus::TransientFailure:
+      case RunStatus::PanicFailure:
+      case RunStatus::FatalFailure:
+        return toString(s);
+    }
+    return nullptr; // unreachable when the switch is exhaustive
+}
+
+const char *
+describeStopReason(sim::StopReason r)
+{
+    switch (r) {
+      case sim::StopReason::Halted:
+      case sim::StopReason::Error:
+      case sim::StopReason::CycleLimit:
+      case sim::StopReason::Deadline:
+        return sim::toString(r);
+    }
+    return nullptr;
+}
+
+const char *
+describeFaultOutcome(inject::FaultOutcome o)
+{
+    switch (o) {
+      case inject::FaultOutcome::Masked:
+      case inject::FaultOutcome::Detected:
+      case inject::FaultOutcome::Sdc:
+      case inject::FaultOutcome::Hang:
+        return inject::toString(o);
+    }
+    return nullptr;
+}
+
+const char *
+describeErrorCategory(ErrorCategory c)
+{
+    switch (c) {
+      case ErrorCategory::Transient:
+      case ErrorCategory::Hang:
+      case ErrorCategory::Corrupt:
+      case ErrorCategory::Resource:
+        return toString(c);
+    }
+    return nullptr;
+}
+
+TEST(ResilienceEnums, ExhaustiveToStringNeverSaysUnknown)
+{
+    for (RunStatus s :
+         {RunStatus::Ok, RunStatus::WrongResult, RunStatus::CycleLimit,
+          RunStatus::Deadline, RunStatus::TransientFailure,
+          RunStatus::PanicFailure, RunStatus::FatalFailure}) {
+        const char *name = describeRunStatus(s);
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "unknown");
+        // And every status round-trips through the journal parser.
+        RunStatus back;
+        ASSERT_TRUE(harness::runStatusFromString(name, back));
+        EXPECT_EQ(back, s);
+    }
+    for (sim::StopReason r :
+         {sim::StopReason::Halted, sim::StopReason::Error,
+          sim::StopReason::CycleLimit, sim::StopReason::Deadline}) {
+        const char *name = describeStopReason(r);
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "unknown");
+    }
+    for (inject::FaultOutcome o :
+         {inject::FaultOutcome::Masked, inject::FaultOutcome::Detected,
+          inject::FaultOutcome::Sdc, inject::FaultOutcome::Hang}) {
+        const char *name = describeFaultOutcome(o);
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "unknown");
+    }
+    for (ErrorCategory c :
+         {ErrorCategory::Transient, ErrorCategory::Hang,
+          ErrorCategory::Corrupt, ErrorCategory::Resource}) {
+        const char *name = describeErrorCategory(c);
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "unknown");
+    }
+    RunStatus sink;
+    EXPECT_FALSE(harness::runStatusFromString("nonsense", sink));
+}
+
+// ---- Taxonomy + retry policy ---------------------------------------
+
+TEST(ResilienceTaxonomy, OnlyTransientIsRetryable)
+{
+    EXPECT_TRUE(isRetryable(ErrorCategory::Transient));
+    EXPECT_FALSE(isRetryable(ErrorCategory::Hang));
+    EXPECT_FALSE(isRetryable(ErrorCategory::Corrupt));
+    EXPECT_FALSE(isRetryable(ErrorCategory::Resource));
+}
+
+TEST(ResilienceTaxonomy, RunStatusFoldsIntoCategories)
+{
+    EXPECT_EQ(harness::classify(RunStatus::CycleLimit),
+              ErrorCategory::Hang);
+    EXPECT_EQ(harness::classify(RunStatus::Deadline),
+              ErrorCategory::Hang);
+    EXPECT_EQ(harness::classify(RunStatus::TransientFailure),
+              ErrorCategory::Transient);
+    EXPECT_EQ(harness::classify(RunStatus::FatalFailure),
+              ErrorCategory::Resource);
+    EXPECT_EQ(harness::classify(RunStatus::WrongResult),
+              ErrorCategory::Corrupt);
+    EXPECT_EQ(harness::classify(RunStatus::PanicFailure),
+              ErrorCategory::Corrupt);
+}
+
+TEST(ResilienceTaxonomy, ClassifyExceptionMapsKnownTypes)
+{
+    EXPECT_EQ(classifyException(
+                  RcError(ErrorCategory::Transient, "flaky")),
+              ErrorCategory::Transient);
+    EXPECT_EQ(classifyException(RcError(ErrorCategory::Hang, "h")),
+              ErrorCategory::Hang);
+    EXPECT_EQ(classifyException(PanicError("invariant")),
+              ErrorCategory::Corrupt);
+    EXPECT_EQ(classifyException(FatalError("bad config")),
+              ErrorCategory::Resource);
+    EXPECT_EQ(classifyException(std::bad_alloc()),
+              ErrorCategory::Resource);
+    EXPECT_EQ(classifyException(std::runtime_error("???")),
+              ErrorCategory::Corrupt);
+}
+
+TEST(ResilienceTaxonomy, DescribeCarriesContextChain)
+{
+    RcError e(ErrorCategory::Resource, "disk full");
+    e.addContext("appending journal record 7")
+        .addContext("running sweep");
+    std::string d = e.describe();
+    EXPECT_NE(d.find("resource"), std::string::npos);
+    EXPECT_NE(d.find("disk full"), std::string::npos);
+    // Innermost frame first.
+    EXPECT_LT(d.find("appending journal record 7"),
+              d.find("running sweep"));
+}
+
+// ---- Journal -------------------------------------------------------
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "rcsim_" + name;
+}
+
+JournalRecord
+record(std::uint64_t index, const std::string &key,
+       const std::string &status, const std::string &payload,
+       const std::string &meta = "")
+{
+    JournalRecord rec;
+    rec.index = index;
+    rec.key = key;
+    rec.status = status;
+    rec.attempts = 1;
+    rec.meta = meta;
+    rec.payload = payload;
+    return rec;
+}
+
+TEST(ResilienceJournal, RoundTripPreservesRecordsAndPayloadBytes)
+{
+    std::string path = tempPath("journal_roundtrip.jsonl");
+    std::remove(path.c_str());
+    {
+        Journal j;
+        j.open(path, "sweep-A", 3);
+        j.append(record(0, "k|0", "ok", "{\"cycles\": 10}"));
+        j.append(record(1, "k|\"quoted\"\n", "cycle-limit",
+                        "{\"cycles\": 99}", "failed=0;sdc=1;hang=2"));
+        j.append(record(2, "k|2", "ok", "{\"nested\": {\"a\": [1]}}"));
+    }
+    JournalScan scan = harness::scanJournal(path);
+    ASSERT_TRUE(scan.ok) << scan.error;
+    EXPECT_EQ(scan.sweepKey, "sweep-A");
+    EXPECT_EQ(scan.gridSize, 3u);
+    EXPECT_EQ(scan.quarantined, 0u);
+    EXPECT_FALSE(scan.truncatedTail);
+    ASSERT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.records[1].index, 1u);
+    EXPECT_EQ(scan.records[1].key, "k|\"quoted\"\n");
+    EXPECT_EQ(scan.records[1].status, "cycle-limit");
+    EXPECT_EQ(scan.records[1].meta, "failed=0;sdc=1;hang=2");
+    // Payload bytes survive exactly: resume splices them verbatim.
+    EXPECT_EQ(scan.records[1].payload, "{\"cycles\": 99}");
+    EXPECT_EQ(scan.records[2].payload, "{\"nested\": {\"a\": [1]}}");
+    std::remove(path.c_str());
+}
+
+TEST(ResilienceJournal, MissingFileIsNotAnError)
+{
+    JournalScan scan =
+        harness::scanJournal(tempPath("journal_never_written.jsonl"));
+    EXPECT_FALSE(scan.ok);
+    EXPECT_TRUE(scan.records.empty());
+}
+
+TEST(ResilienceJournal, TornFinalLineIsTolerated)
+{
+    std::string path = tempPath("journal_torn.jsonl");
+    std::remove(path.c_str());
+    {
+        Journal j;
+        j.open(path, "sweep-B", 2);
+        j.append(record(0, "k0", "ok", "{}"));
+    }
+    {
+        // A crash mid-append: the final line has no newline and no
+        // valid checksum.
+        std::ofstream out(path, std::ios::app | std::ios::binary);
+        out << "{\"v\": 1, \"kind\": \"point\", \"index\": 1, \"ke";
+    }
+    JournalScan scan = harness::scanJournal(path);
+    ASSERT_TRUE(scan.ok) << scan.error;
+    EXPECT_TRUE(scan.truncatedTail);
+    EXPECT_EQ(scan.quarantined, 0u);
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].index, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ResilienceJournal, CorruptMidFileRecordIsQuarantined)
+{
+    std::string path = tempPath("journal_corrupt.jsonl");
+    std::remove(path.c_str());
+    {
+        Journal j;
+        j.open(path, "sweep-C", 2);
+        j.append(record(0, "k0", "ok", "{\"cycles\": 1}"));
+        j.append(record(1, "k1", "ok", "{\"cycles\": 2}"));
+    }
+    // Flip one payload byte of the FIRST record: its CRC no longer
+    // matches, but the line is still well-formed and newline-ended.
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        text = ss.str();
+    }
+    std::size_t pos = text.find("\"cycles\": 1");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + 10] = '7';
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << text;
+    }
+    JournalScan scan = harness::scanJournal(path);
+    ASSERT_TRUE(scan.ok) << scan.error;
+    EXPECT_EQ(scan.quarantined, 1u);
+    EXPECT_FALSE(scan.truncatedTail);
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].index, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ResilienceJournal, DuplicateIndexLaterRecordWins)
+{
+    std::string path = tempPath("journal_dup.jsonl");
+    std::remove(path.c_str());
+    {
+        Journal j;
+        j.open(path, "sweep-D", 1);
+        j.append(record(0, "k0", "transient", "{\"attempt\": 1}"));
+        j.append(record(0, "k0", "ok", "{\"attempt\": 2}"));
+    }
+    JournalScan scan = harness::scanJournal(path);
+    ASSERT_TRUE(scan.ok) << scan.error;
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].status, "ok");
+    EXPECT_EQ(scan.records[0].payload, "{\"attempt\": 2}");
+    std::remove(path.c_str());
+}
+
+TEST(ResilienceJournal, ResumingAForeignJournalIsRefused)
+{
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ASSERT_NE(w, nullptr);
+    std::string path = tempPath("journal_foreign.jsonl");
+    std::remove(path.c_str());
+    {
+        Journal j;
+        j.open(path, "some-other-sweep", 1);
+        j.append(record(0, "k0", "ok", "{}"));
+    }
+    SweepPoint p;
+    p.workload = w;
+    p.opts.rc = harness::rcConfigFor(false, 16);
+    p.opts.machine = harness::Experiment::machineFor(4);
+
+    SweepOptions opts;
+    opts.journal = path;
+    opts.jobs = 1;
+    EXPECT_THROW(
+        {
+            try {
+                harness::resumeSweep({p}, opts);
+            } catch (const RcError &e) {
+                EXPECT_EQ(e.category(), ErrorCategory::Resource);
+                throw;
+            }
+        },
+        RcError);
+    std::remove(path.c_str());
+}
+
+// ---- Backoff -------------------------------------------------------
+
+TEST(ResilienceBackoff, DeterministicBoundedAndGrowing)
+{
+    // Reproducible: the same (point, attempt) gives the same delay.
+    for (int attempt = 0; attempt < 6; ++attempt)
+        EXPECT_EQ(harness::backoffDelayMs(3, attempt, 100, 2000),
+                  harness::backoffDelayMs(3, attempt, 100, 2000));
+    // Bounded by [1, max], with the exponential step dominating.
+    for (std::uint64_t index = 0; index < 8; ++index)
+        for (int attempt = 0; attempt < 10; ++attempt) {
+            int d = harness::backoffDelayMs(index, attempt, 100, 2000);
+            EXPECT_GE(d, 1);
+            EXPECT_LE(d, 2000);
+        }
+    // Early attempts stay near the base; late attempts reach the cap.
+    EXPECT_LE(harness::backoffDelayMs(1, 0, 100, 2000), 100);
+    EXPECT_GT(harness::backoffDelayMs(1, 8, 100, 2000), 1000);
+    // Different points decorrelate (jitter), same bounds.
+    bool any_differs = false;
+    for (std::uint64_t index = 0; index < 8 && !any_differs; ++index)
+        any_differs = harness::backoffDelayMs(index, 2, 100, 2000) !=
+                      harness::backoffDelayMs(index + 1, 2, 100, 2000);
+    EXPECT_TRUE(any_differs);
+}
+
+// ---- Watchdog ------------------------------------------------------
+
+TEST(ResilienceWatchdog, LeaseFiresAfterDeadline)
+{
+    Watchdog wd;
+    Watchdog::Lease lease = wd.arm(std::chrono::milliseconds(20));
+    ASSERT_NE(lease.flag(), nullptr);
+    EXPECT_FALSE(lease.fired());
+    auto give_up = std::chrono::steady_clock::now() +
+                   std::chrono::seconds(10);
+    while (!lease.fired() &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(lease.fired());
+    EXPECT_EQ(wd.firedCount(), 1u);
+}
+
+TEST(ResilienceWatchdog, DisarmedLeaseNeverFires)
+{
+    Watchdog wd;
+    {
+        Watchdog::Lease lease =
+            wd.arm(std::chrono::hours(1)); // far future
+        EXPECT_FALSE(lease.fired());
+    } // disarmed here
+    Watchdog::Lease second = wd.arm(std::chrono::milliseconds(10));
+    auto give_up = std::chrono::steady_clock::now() +
+                   std::chrono::seconds(10);
+    while (!second.fired() &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(second.fired());
+    // Only the second lease fired; the disarmed one did not.
+    EXPECT_EQ(wd.firedCount(), 1u);
+}
+
+TEST(ResilienceWatchdog, ArmedButUnfiredRunIsBitIdentical)
+{
+    // The polling contract: a run with a cancel flag that never
+    // fires must execute the identical instruction stream — same
+    // cycles, same instructions, same checksum — as one with no
+    // flag at all.
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ASSERT_NE(w, nullptr);
+    harness::CompileOptions opts;
+    opts.rc = harness::rcConfigFor(false, 16);
+    opts.machine = harness::Experiment::machineFor(4);
+
+    RunOutcome plain = harness::runConfiguration(*w, opts);
+    std::atomic<bool> never{false};
+    RunOutcome watched =
+        harness::runConfiguration(*w, opts, false, 0, &never);
+    EXPECT_EQ(plain.status, RunStatus::Ok);
+    EXPECT_EQ(watched.status, RunStatus::Ok);
+    EXPECT_EQ(plain.cycles, watched.cycles);
+    EXPECT_EQ(plain.instructions, watched.instructions);
+    EXPECT_EQ(plain.result, watched.result);
+}
+
+TEST(ResilienceWatchdog, FiredFlagStopsTheRunAsDeadline)
+{
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ASSERT_NE(w, nullptr);
+    harness::CompileOptions opts;
+    opts.rc = harness::rcConfigFor(false, 16);
+    opts.machine = harness::Experiment::machineFor(4);
+
+    // A pre-fired flag cancels on the first poll window.
+    std::atomic<bool> fired{true};
+    RunOutcome out =
+        harness::runConfiguration(*w, opts, false, 0, &fired);
+    EXPECT_EQ(out.status, RunStatus::Deadline);
+    EXPECT_TRUE(out.failed());
+    EXPECT_EQ(out.category(), ErrorCategory::Hang);
+}
+
+// ---- Resilient sweeps ----------------------------------------------
+
+std::vector<SweepPoint>
+cmpGrid(const workloads::Workload *w)
+{
+    std::vector<SweepPoint> points;
+    for (int issue : {1, 2, 4}) {
+        SweepPoint p;
+        p.workload = w;
+        p.opts.rc = harness::rcConfigFor(false, 16);
+        p.opts.machine = harness::Experiment::machineFor(issue);
+        points.push_back(p);
+    }
+    return points;
+}
+
+TEST(ResilienceSweep, HangIsNeverRetriedAndTheRestCompletes)
+{
+    // Satellite: a point driven into CycleLimit is classified Hang,
+    // consumes exactly one attempt despite a generous retry budget,
+    // and the remaining points still complete and reach the journal.
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ASSERT_NE(w, nullptr);
+    std::vector<SweepPoint> points = cmpGrid(w);
+    points[1].maxCycles = 50; // guaranteed cycle-limit hang
+
+    std::string path = tempPath("sweep_hang.jsonl");
+    std::remove(path.c_str());
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.journal = path;
+    opts.retries = 5;
+    opts.backoffBaseMs = 1;
+    opts.backoffMaxMs = 2;
+
+    SweepReport report = harness::runSweepResilient(points, opts);
+    EXPECT_EQ(report.retries, 0u); // hangs are deterministic
+    EXPECT_EQ(report.outcomes[1].status, RunStatus::CycleLimit);
+    EXPECT_EQ(report.outcomes[1].attempts, 1);
+    EXPECT_EQ(report.outcomes[0].status, RunStatus::Ok);
+    EXPECT_EQ(report.outcomes[2].status, RunStatus::Ok);
+    ASSERT_EQ(report.quarantine.size(), 1u);
+    EXPECT_EQ(report.quarantine[0].index, 1u);
+    EXPECT_EQ(report.quarantine[0].category, "hang");
+
+    // All three points landed in the journal, the hang included.
+    JournalScan scan = harness::scanJournal(path);
+    ASSERT_TRUE(scan.ok) << scan.error;
+    EXPECT_EQ(scan.records.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(ResilienceSweep, TransientRetriedToCapThenQuarantined)
+{
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ASSERT_NE(w, nullptr);
+    std::vector<SweepPoint> points = cmpGrid(w);
+
+    // The throw probe fails point 1 on its first 99 attempts: with
+    // only 2 retries the point must exhaust its budget.
+    ASSERT_EQ(setenv("RCSIM_HARNESS_FAULT", "1:throw:99", 1), 0);
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.retries = 2;
+    opts.backoffBaseMs = 1;
+    opts.backoffMaxMs = 2;
+    SweepReport report = harness::runSweepResilient(points, opts);
+    EXPECT_EQ(report.outcomes[1].status,
+              RunStatus::TransientFailure);
+    EXPECT_EQ(report.outcomes[1].attempts, 3); // 1 + 2 retries
+    EXPECT_EQ(report.retries, 2u);
+    ASSERT_EQ(report.quarantine.size(), 1u);
+    EXPECT_EQ(report.quarantine[0].category, "transient");
+    EXPECT_EQ(report.outcomes[0].status, RunStatus::Ok);
+    EXPECT_EQ(report.outcomes[2].status, RunStatus::Ok);
+
+    // A fault that clears within the budget recovers: 2 injected
+    // failures, 3 retries allowed -> Ok on the third attempt.
+    ASSERT_EQ(setenv("RCSIM_HARNESS_FAULT", "1:throw:2", 1), 0);
+    opts.retries = 3;
+    SweepReport recovered = harness::runSweepResilient(points, opts);
+    EXPECT_EQ(recovered.outcomes[1].status, RunStatus::Ok);
+    EXPECT_EQ(recovered.outcomes[1].attempts, 3);
+    EXPECT_TRUE(recovered.quarantine.empty());
+    ASSERT_EQ(unsetenv("RCSIM_HARNESS_FAULT"), 0);
+}
+
+TEST(ResilienceSweep, ResilientDefaultsMatchThePlainRunner)
+{
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ASSERT_NE(w, nullptr);
+    std::vector<SweepPoint> points = cmpGrid(w);
+    std::vector<RunOutcome> plain = harness::runSweep(points, 1);
+    SweepOptions opts;
+    opts.jobs = 1;
+    SweepReport report = harness::runSweepResilient(points, opts);
+    ASSERT_EQ(report.outcomes.size(), plain.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(report.outcomes[i].status, plain[i].status);
+        EXPECT_EQ(report.outcomes[i].cycles, plain[i].cycles);
+        EXPECT_EQ(report.outcomes[i].instructions,
+                  plain[i].instructions);
+    }
+}
+
+TEST(ResilienceSweep, ResumeProducesByteIdenticalJson)
+{
+    const workloads::Workload *w = workloads::findWorkload("cmp");
+    ASSERT_NE(w, nullptr);
+    std::vector<SweepPoint> points = cmpGrid(w);
+
+    // Reference: one uninterrupted run.
+    std::string ref_path = tempPath("sweep_ref.jsonl");
+    std::remove(ref_path.c_str());
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.journal = ref_path;
+    std::string reference =
+        harness::runSweepResilient(points, opts).toJson();
+
+    // Simulate a crash after two completed points: truncate the
+    // journal to its header plus two records.
+    std::string cut_path = tempPath("sweep_cut.jsonl");
+    std::remove(cut_path.c_str());
+    {
+        std::ifstream in(ref_path, std::ios::binary);
+        std::ofstream out(cut_path, std::ios::binary);
+        std::string line;
+        for (int kept = 0;
+             kept < 3 && std::getline(in, line); ++kept)
+            out << line << "\n";
+    }
+    SweepOptions resume_opts;
+    resume_opts.jobs = 1;
+    resume_opts.journal = cut_path;
+    SweepReport resumed =
+        harness::resumeSweep(points, resume_opts);
+    EXPECT_EQ(resumed.restored, 2u);
+    EXPECT_EQ(resumed.toJson(), reference);
+
+    // The rerun point was re-journaled: a second resume restores all
+    // three and still renders the same bytes.
+    SweepReport again = harness::resumeSweep(points, resume_opts);
+    EXPECT_EQ(again.restored, 3u);
+    EXPECT_EQ(again.toJson(), reference);
+
+    std::remove(ref_path.c_str());
+    std::remove(cut_path.c_str());
+}
+
+// ---- Resilient campaign sweeps -------------------------------------
+
+std::vector<inject::CampaignConfig>
+smallCampaignGrid()
+{
+    std::vector<inject::CampaignConfig> cfgs;
+    for (int model : {1, 3}) {
+        inject::CampaignConfig cc;
+        cc.workload = "cmp";
+        cc.label = "model" + std::to_string(model);
+        cc.seeds = 6;
+        cc.targets = inject::parseTargets("map");
+        cc.opts.rc = harness::rcConfigFor(
+            false, 16, static_cast<core::RcModel>(model));
+        cc.opts.machine = harness::Experiment::machineFor(4);
+        cfgs.push_back(std::move(cc));
+    }
+    return cfgs;
+}
+
+TEST(ResilienceCampaign, ResumeProducesByteIdenticalJson)
+{
+    std::vector<inject::CampaignConfig> cfgs = smallCampaignGrid();
+
+    std::string ref_path = tempPath("campaign_ref.jsonl");
+    std::remove(ref_path.c_str());
+    inject::CampaignSweepOptions opts;
+    opts.journal = ref_path;
+    inject::CampaignSweepReport ref =
+        inject::runCampaignSweepResilient(cfgs, opts);
+    std::string reference = ref.toJson();
+    // Matches the plain sweep's rendering exactly.
+    EXPECT_EQ(reference,
+              inject::sweepToJson(inject::runCampaignSweep(cfgs),
+                                  true));
+
+    // Crash after the first campaign: keep header + one record.
+    std::string cut_path = tempPath("campaign_cut.jsonl");
+    std::remove(cut_path.c_str());
+    {
+        std::ifstream in(ref_path, std::ios::binary);
+        std::ofstream out(cut_path, std::ios::binary);
+        std::string line;
+        for (int kept = 0;
+             kept < 2 && std::getline(in, line); ++kept)
+            out << line << "\n";
+    }
+    inject::CampaignSweepOptions resume_opts;
+    resume_opts.journal = cut_path;
+    inject::CampaignSweepReport resumed =
+        inject::resumeCampaign(cfgs, resume_opts);
+    EXPECT_EQ(resumed.restored, 1u);
+    EXPECT_EQ(resumed.toJson(), reference);
+    // The exit-code aggregates survive the restore (from the journal
+    // meta, not a re-run).
+    EXPECT_EQ(resumed.failedConfigs, ref.failedConfigs);
+    EXPECT_EQ(resumed.sdc, ref.sdc);
+    EXPECT_EQ(resumed.hang, ref.hang);
+
+    std::remove(ref_path.c_str());
+    std::remove(cut_path.c_str());
+}
+
+TEST(ResilienceCampaign, TransientRetriedHangConfigNever)
+{
+    std::vector<inject::CampaignConfig> cfgs = smallCampaignGrid();
+
+    // Transient probe on campaign 0: clears after one failure.
+    ASSERT_EQ(setenv("RCSIM_HARNESS_FAULT", "0:throw:1", 1), 0);
+    inject::CampaignSweepOptions opts;
+    opts.retries = 2;
+    opts.backoffBaseMs = 1;
+    opts.backoffMaxMs = 2;
+    inject::CampaignSweepReport report =
+        inject::runCampaignSweepResilient(cfgs, opts);
+    EXPECT_EQ(report.retries, 1u);
+    EXPECT_FALSE(report.results[0].failed);
+    EXPECT_FALSE(report.results[1].failed);
+    EXPECT_EQ(report.failedConfigs, 0);
+    ASSERT_EQ(unsetenv("RCSIM_HARNESS_FAULT"), 0);
+
+    // A config that wedges until the watchdog fires is a Hang:
+    // reported failed, never retried despite the retry budget.  The
+    // stall probe parks the (single) campaign until its deadline
+    // lease fires, so the test is deterministic — and a one-config
+    // grid keeps the tight deadline away from honest campaigns.
+    std::vector<inject::CampaignConfig> solo = {cfgs[0]};
+    ASSERT_EQ(setenv("RCSIM_HARNESS_FAULT", "0:stall", 1), 0);
+    inject::CampaignSweepOptions tight;
+    tight.deadlineMs = 50;
+    tight.retries = 5;
+    tight.backoffBaseMs = 1;
+    tight.backoffMaxMs = 2;
+    inject::CampaignSweepReport hung =
+        inject::runCampaignSweepResilient(solo, tight);
+    ASSERT_EQ(unsetenv("RCSIM_HARNESS_FAULT"), 0);
+    EXPECT_EQ(hung.retries, 0u);
+    EXPECT_EQ(hung.failedConfigs, 1);
+    EXPECT_TRUE(hung.results[0].failed);
+    EXPECT_NE(hung.results[0].error.find("watchdog"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace rcsim

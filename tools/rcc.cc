@@ -10,6 +10,7 @@
  *   rcc run <workload|file.s> [options]
  *   rcc disasm <workload> [options]
  *   rcc compare <workload> [options]       # with-RC vs without vs unl
+ *   rcc sweep <workload> [options]         # resilient 9-point grid
  *
  * Options:
  *   --rc | --no-rc        enable/disable the RC extension (default on)
@@ -28,6 +29,18 @@
  *   --timings             print the per-stage compile report
  *   --print-passes        list the pipeline passes and exit
  *
+ * sweep runs the workload over issue widths {1, 2, 4} x register
+ * configurations {base, rc, unlimited} through the crash-resilient
+ * sweep runner (DESIGN.md §11) and emits its JSON report:
+ *   --json FILE           write the sweep report to FILE (stdout
+ *                         otherwise)
+ *   --journal FILE        durably journal completed points to FILE
+ *   --resume              restore completed points from --journal;
+ *                         the report is byte-identical to an
+ *                         uninterrupted run
+ *   --deadline-ms N       per-point wall-clock deadline; 0 = off
+ *   --retries N           extra attempts for Transient failures
+ *
  * RCSIM_TRACE=1 in the environment is equivalent to
  * --trace=rcc_trace.json; RCSIM_TRACE=FILE names the output.
  */
@@ -39,6 +52,7 @@
 #include <string>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "isa/assembler.hh"
 #include "pipeline/compile.hh"
 #include "sim/simulator.hh"
@@ -68,6 +82,11 @@ struct Args
     std::string traceFile;   // --trace=FILE (structured trace)
     std::string metricsFile; // --trace-metrics=FILE
     bool timings = false;
+    std::string jsonFile;    // sweep: --json FILE
+    std::string journal;     // sweep: --journal FILE
+    bool resume = false;     // sweep: --resume
+    int deadlineMs = 0;      // sweep: --deadline-ms N
+    int retries = 0;         // sweep: --retries N
 };
 
 int
@@ -75,7 +94,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: rcc <list|run|disasm|compare> [target] [options]\n"
+        "usage: rcc <list|run|disasm|compare|sweep> [target] "
+        "[options]\n"
         "see the header of tools/rcc.cc for the option list\n");
     return 2;
 }
@@ -128,10 +148,24 @@ parseArgs(int argc, char **argv, Args &args)
             args.trace = std::atol(argv[i]);
         else if (a == "--timings")
             args.timings = true;
+        else if (a == "--json" && next())
+            args.jsonFile = argv[i];
+        else if (a == "--journal" && next())
+            args.journal = argv[i];
+        else if (a == "--resume")
+            args.resume = true;
+        else if (a == "--deadline-ms" && next())
+            args.deadlineMs = std::atoi(argv[i]);
+        else if (a == "--retries" && next())
+            args.retries = std::atoi(argv[i]);
         else {
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             return false;
         }
+    }
+    if (args.resume && args.journal.empty()) {
+        std::fprintf(stderr, "--resume requires --journal FILE\n");
+        return false;
     }
     return true;
 }
@@ -189,6 +223,70 @@ printPasses()
          pipeline::backendPasses().passNames())
         std::printf("  %s\n", name.c_str());
     return 0;
+}
+
+/**
+ * rcc sweep: the workload over issue {1, 2, 4} x {base, rc,
+ * unlimited}, run through the crash-resilient sweep runner.
+ */
+int
+runSweepCommand(const workloads::Workload &w, const Args &args)
+{
+    std::vector<harness::SweepPoint> points;
+    int core = args.core > 0 ? args.core : (w.isFp ? 32 : 16);
+    for (int issue : {1, 2, 4}) {
+        for (int variant = 0; variant < 3; ++variant) {
+            harness::SweepPoint p;
+            p.workload = &w;
+            p.opts.level = args.scalar ? opt::OptLevel::Scalar
+                                       : opt::OptLevel::Ilp;
+            if (variant == 0)
+                p.opts.rc = harness::baseConfigFor(w.isFp, core);
+            else if (variant == 1)
+                p.opts.rc = harness::rcConfigFor(
+                    w.isFp, core,
+                    static_cast<core::RcModel>(args.model));
+            else
+                p.opts.rc = core::RcConfig::unlimited();
+            p.opts.machine = harness::Experiment::machineFor(
+                issue, args.loadLatency);
+            points.push_back(std::move(p));
+        }
+    }
+
+    harness::SweepOptions opts;
+    opts.journal = args.journal;
+    opts.resume = args.resume;
+    opts.deadlineMs = args.deadlineMs;
+    opts.retries = args.retries;
+
+    harness::SweepReport report;
+    try {
+        report = harness::runSweepResilient(points, opts);
+    } catch (const RcError &e) {
+        // e.g. resuming against a journal from a different sweep.
+        std::fprintf(stderr, "error: %s\n", e.describe().c_str());
+        return 1;
+    }
+
+    std::string json = report.toJson();
+    if (args.jsonFile.empty()) {
+        std::fputs(json.c_str(), stdout);
+        std::fputc('\n', stdout);
+    } else {
+        std::ofstream out(args.jsonFile);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         args.jsonFile.c_str());
+            return 1;
+        }
+        out << json << "\n";
+    }
+    for (const harness::QuarantineEntry &q : report.quarantine)
+        std::fprintf(stderr, "point %llu quarantined: %s (%s)\n",
+                     (unsigned long long)q.index, q.status.c_str(),
+                     q.category.c_str());
+    return report.quarantine.empty() ? 0 : 1;
 }
 
 int
@@ -289,6 +387,9 @@ main(int argc, char **argv)
     }
 
     try {
+        if (args.command == "sweep")
+            return runSweepCommand(*w, args);
+
         if (args.command == "disasm") {
             harness::CompiledProgram cp =
                 compileTarget(*w, args, optionsFor(args, w->isFp));

@@ -39,6 +39,31 @@
  *                     RCSIM_TRACE=1 or =FILE in the environment is
  *                     equivalent
  *   --trace-metrics FILE  write the aggregated metrics JSON
+ *
+ * Resilience (see src/harness/journal.hh and DESIGN.md §11):
+ *   --journal FILE    durably journal every completed campaign to
+ *                     FILE (JSONL, one fsync()ed record per config)
+ *   --resume          restore completed campaigns from --journal
+ *                     instead of re-running them; the final JSON is
+ *                     byte-identical to an uninterrupted run
+ *   --deadline-ms N   per-campaign wall-clock deadline (cooperative
+ *                     cancellation); 0 disables (default)
+ *   --retries N       extra attempts for Transient harness failures
+ *                     (never for hangs / deadlines / divergence);
+ *                     0 disables (default)
+ *
+ * Exit-code contract (pinned by tests/test_resilience.cc):
+ *   0  every campaign completed and classified no run as SDC or hang
+ *   1  operational error (unknown workload, unwritable output,
+ *      resuming against a journal from a different sweep)
+ *   2  usage error (unknown option, bad spec)
+ *   3  at least one run was silent data corruption (SDC)
+ *   4  at least one run hung, and none was SDC
+ *   5  harness failure: a configuration produced no result at all
+ *      (compile/golden-run failure, retries exhausted)
+ * Precedence when several apply: 5 over 3 over 4 — a sweep that
+ * could not measure a configuration is worse than one that measured
+ * bad outcomes, and SDC outranks hang.
  */
 
 #include <cstdio>
@@ -75,6 +100,10 @@ struct Args
     bool summary = false;
     std::string traceFile;
     std::string metricsFile;
+    std::string journal;
+    bool resume = false;
+    int deadlineMs = 0;
+    int retries = 0;
 };
 
 int
@@ -148,6 +177,14 @@ parseArgs(int argc, char **argv, Args &args)
             args.includeRuns = false;
         else if (a == "--summary")
             args.summary = true;
+        else if (a == "--journal" && next())
+            args.journal = argv[i];
+        else if (a == "--resume")
+            args.resume = true;
+        else if (a == "--deadline-ms" && next())
+            args.deadlineMs = std::atoi(argv[i]);
+        else if (a == "--retries" && next())
+            args.retries = std::atoi(argv[i]);
         else if (a.rfind("--trace=", 0) == 0)
             args.traceFile = a.substr(8);
         else if (a.rfind("--trace-metrics=", 0) == 0)
@@ -164,6 +201,10 @@ parseArgs(int argc, char **argv, Args &args)
             std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
             return false;
         }
+    }
+    if (args.resume && args.journal.empty()) {
+        std::fprintf(stderr, "--resume requires --journal FILE\n");
+        return false;
     }
     return args.seeds > 0;
 }
@@ -221,11 +262,23 @@ main(int argc, char **argv)
         cfgs.push_back(std::move(cc));
     }
 
-    std::vector<inject::CampaignResult> results =
-        inject::runCampaignSweep(cfgs);
+    inject::CampaignSweepOptions sweep_opts;
+    sweep_opts.journal = args.journal;
+    sweep_opts.resume = args.resume;
+    sweep_opts.deadlineMs = args.deadlineMs;
+    sweep_opts.retries = args.retries;
+    sweep_opts.includeRuns = args.includeRuns;
 
-    std::string json =
-        inject::sweepToJson(results, args.includeRuns);
+    inject::CampaignSweepReport report;
+    try {
+        report = inject::runCampaignSweepResilient(cfgs, sweep_opts);
+    } catch (const RcError &e) {
+        // e.g. resuming against a journal from a different sweep.
+        std::fprintf(stderr, "error: %s\n", e.describe().c_str());
+        return 1;
+    }
+
+    std::string json = report.toJson();
     if (args.jsonFile.empty()) {
         std::fputs(json.c_str(), stdout);
         std::fputc('\n', stdout);
@@ -239,11 +292,18 @@ main(int argc, char **argv)
         out << json << "\n";
     }
 
-    for (const inject::CampaignResult &r : results) {
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const inject::CampaignResult &r = report.results[i];
         if (r.failed) {
             std::fprintf(stderr, "%s %s: FAILED: %s\n",
                          r.workload.c_str(), r.label.c_str(),
                          r.error.c_str());
+        } else if (args.summary && report.restoredFlags[i]) {
+            std::fprintf(stderr,
+                         "%s %s: restored from journal "
+                         "(%d sdc, %d hang)\n",
+                         r.workload.c_str(), r.label.c_str(), r.sdc,
+                         r.hang);
         } else if (args.summary) {
             std::fprintf(stderr,
                          "%s %s: %d masked, %d detected, %d sdc, "
@@ -254,10 +314,14 @@ main(int argc, char **argv)
                          (unsigned long long)r.goldenCycles);
         }
     }
-    // A failed configuration is reported in-band; the sweep itself
-    // only fails when every configuration failed.
-    bool all_failed = !results.empty();
-    for (const inject::CampaignResult &r : results)
-        all_failed = all_failed && r.failed;
-    return all_failed ? 1 : 0;
+
+    // The exit-code contract (see the file header): harness failure
+    // outranks SDC outranks hang outranks clean.
+    if (report.failedConfigs > 0)
+        return 5;
+    if (report.sdc > 0)
+        return 3;
+    if (report.hang > 0)
+        return 4;
+    return 0;
 }
