@@ -41,6 +41,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hh"
@@ -270,9 +271,13 @@ main(int argc, char **argv)
         std::snprintf(
             buf, sizeof buf,
             "  \"sweep\": {\"points\": %zu, \"jobs\": %d, "
+            "\"hardware_concurrency\": %u, "
             "\"serial_secs\": %.3f, \"parallel_secs\": %.3f, "
-            "\"identical\": %s}\n",
-            points.size(), pool_jobs, serial_secs, parallel_secs,
+            "\"speedup\": %.2f, \"identical\": %s}\n",
+            points.size(), pool_jobs,
+            std::thread::hardware_concurrency(), serial_secs,
+            parallel_secs,
+            parallel_secs > 0 ? serial_secs / parallel_secs : 0.0,
             identical ? "true" : "false");
         j += buf;
     }

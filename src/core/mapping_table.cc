@@ -1,5 +1,6 @@
 #include "core/mapping_table.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -72,31 +73,6 @@ RegisterMappingTable::connectDef(int idx, PhysIndex phys)
 }
 
 void
-RegisterMappingTable::applyWriteSideEffect(int idx, RcModel model)
-{
-    checkIndex(idx);
-    switch (model) {
-      case RcModel::NoReset:
-        break;
-      case RcModel::WriteReset:
-        write_[idx] = homeLocation(idx);
-        break;
-      case RcModel::WriteResetReadUpdate:
-        // Section 2.3, model three: the read map inherits the location
-        // just written so subsequent reads see the new value, and the
-        // write map returns home so subsequent writes cannot clobber
-        // the extended register.
-        read_[idx] = write_[idx];
-        write_[idx] = homeLocation(idx);
-        break;
-      case RcModel::ReadWriteReset:
-        read_[idx] = homeLocation(idx);
-        write_[idx] = homeLocation(idx);
-        break;
-    }
-}
-
-void
 RegisterMappingTable::reset()
 {
     for (int i = 0; i < size(); ++i) {
@@ -134,8 +110,10 @@ RegisterMappingTable::restore(const Snapshot &snap)
     if (snap.read.size() != read_.size() ||
         snap.write.size() != write_.size())
         panic("mapping snapshot size mismatch");
-    read_ = snap.read;
-    write_ = snap.write;
+    // Element-wise on purpose: readMapData()/writeMapData() promise
+    // pointer stability across restores.
+    std::copy(snap.read.begin(), snap.read.end(), read_.begin());
+    std::copy(snap.write.begin(), snap.write.end(), write_.begin());
 }
 
 std::string

@@ -81,6 +81,25 @@ class RegisterMappingTable
         return write_[idx];
     }
 
+    /**
+     * Unchecked map reads for callers that have proven idx in range
+     * already (the predecoded issue loops, sim/predecode.hh — every
+     * operand is validated against size() once per program, not once
+     * per issue).
+     */
+    PhysIndex readMapRaw(int idx) const { return read_[idx]; }
+    PhysIndex writeMapRaw(int idx) const { return write_[idx]; }
+
+    /**
+     * Raw map storage, for the specialized issue loops to hoist out
+     * of their inner loop.  The pointers stay valid for the table's
+     * lifetime: the entry count is fixed at construction, and every
+     * mutation (connects, reset(), restore()) writes elements in
+     * place.
+     */
+    const PhysIndex *readMapData() const { return read_.data(); }
+    const PhysIndex *writeMapData() const { return write_.data(); }
+
     /** connect-use: redirect subsequent reads of idx to phys. */
     void connectUse(int idx, PhysIndex phys);
 
@@ -89,9 +108,34 @@ class RegisterMappingTable
 
     /**
      * Apply the automatic connection side effect after a write through
-     * entry idx has executed (Section 2.3, Figure 3).
+     * entry idx has executed (Section 2.3, Figure 3).  Inline: this
+     * runs once per register-writing instruction whenever the map is
+     * live.
      */
-    void applyWriteSideEffect(int idx, RcModel model);
+    void
+    applyWriteSideEffect(int idx, RcModel model)
+    {
+        checkIndex(idx);
+        switch (model) {
+          case RcModel::NoReset:
+            break;
+          case RcModel::WriteReset:
+            write_[idx] = static_cast<PhysIndex>(idx);
+            break;
+          case RcModel::WriteResetReadUpdate:
+            // Section 2.3, model three: the read map inherits the
+            // location just written so subsequent reads see the new
+            // value, and the write map returns home so subsequent
+            // writes cannot clobber the extended register.
+            read_[idx] = write_[idx];
+            write_[idx] = static_cast<PhysIndex>(idx);
+            break;
+          case RcModel::ReadWriteReset:
+            read_[idx] = static_cast<PhysIndex>(idx);
+            write_[idx] = static_cast<PhysIndex>(idx);
+            break;
+        }
+    }
 
     /**
      * Reset every entry to its home location.  Performed by hardware

@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include "harness/predecode_cache.hh"
 #include "support/logging.hh"
 
 namespace rcsim::harness
@@ -76,7 +77,12 @@ runConfiguration(const workloads::Workload &workload,
     if (max_cycles > 0)
         sc.maxCycles = max_cycles;
     sc.cancel = cancel;
-    sim::Simulator simulator(compiled.program, sc);
+    // Sweep grids revisit the same compiled program at many points
+    // (and the frontend memoizes compilation), so the predecoded
+    // side-table is shared through the process-global cache instead
+    // of rebuilt per point.
+    sim::Simulator simulator(compiled.program, sc,
+                             cachedPredecode(compiled.program, sc));
     sim::SimResult res = simulator.run();
 
     RunOutcome out;

@@ -1,0 +1,150 @@
+#include "harness/predecode_cache.hh"
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace rcsim::harness
+{
+
+namespace
+{
+
+/**
+ * Two independent FNV-1a streams over the same byte feed.  One 64-bit
+ * hash keying a cache that silently substitutes one immutable table
+ * for another is not collision-proof enough; two with different
+ * offset bases (the second additionally post-mixed per step) give an
+ * effectively 128-bit key for the handful of distinct programs a
+ * process ever sees.
+ */
+struct DualFnv
+{
+    std::uint64_t a = 14695981039346656037ull;
+    std::uint64_t b = 0x9e3779b97f4a7c15ull;
+
+    void
+    byte(std::uint8_t v)
+    {
+        constexpr std::uint64_t prime = 1099511628211ull;
+        a = (a ^ v) * prime;
+        b = (b ^ v) * prime;
+        b ^= b >> 29;
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void i32(std::int32_t v) { u64(static_cast<std::uint32_t>(v)); }
+};
+
+struct Key
+{
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    bool operator==(const Key &) const = default;
+};
+
+struct KeyHash
+{
+    std::size_t
+    operator()(const Key &k) const
+    {
+        return static_cast<std::size_t>(k.a ^ (k.b << 1));
+    }
+};
+
+/**
+ * Hash exactly the inputs Predecoded::build() consumes: the semantic
+ * instruction fields and the config parameters that shape the table
+ * (latency model and RC register-file geometry).  Fields build()
+ * never reads (data image, function table, issue width, trap vector,
+ * ...) are deliberately left out so configs differing only in them
+ * share a table.
+ */
+Key
+keyOf(const isa::Program &prog, const sim::SimConfig &cfg)
+{
+    DualFnv h;
+    h.u64(prog.code.size());
+    for (const isa::Instruction &ins : prog.code) {
+        h.byte(static_cast<std::uint8_t>(ins.op));
+        h.byte(static_cast<std::uint8_t>(ins.origin));
+        h.byte(ins.predictTaken);
+        h.byte(static_cast<std::uint8_t>(ins.dst.cls));
+        h.u64(static_cast<std::uint16_t>(ins.dst.idx));
+        for (const isa::Reg &r : ins.src) {
+            h.byte(static_cast<std::uint8_t>(r.cls));
+            h.u64(static_cast<std::uint16_t>(r.idx));
+        }
+        h.i32(ins.imm);
+        h.i32(ins.target);
+        h.byte(ins.nconn);
+        h.byte(static_cast<std::uint8_t>(ins.connCls));
+        for (const isa::ConnectPair &c : ins.conn) {
+            h.u64(c.mapIdx);
+            h.u64(c.phys);
+            h.byte(c.isDef);
+        }
+    }
+    h.i32(cfg.machine.lat.loadLatency);
+    h.i32(cfg.machine.lat.connectLatency);
+    h.byte(cfg.rc.enabled);
+    for (int c = 0; c < isa::numRegClasses; ++c) {
+        h.i32(cfg.rc.coreSize[c]);
+        h.i32(cfg.rc.totalSize[c]);
+    }
+    return Key{h.a, h.b};
+}
+
+std::mutex cacheMutex;
+std::unordered_map<Key, std::shared_ptr<const sim::Predecoded>,
+                   KeyHash> &
+cache()
+{
+    static auto *c = new std::unordered_map<
+        Key, std::shared_ptr<const sim::Predecoded>, KeyHash>();
+    return *c;
+}
+
+} // namespace
+
+std::shared_ptr<const sim::Predecoded>
+cachedPredecode(const isa::Program &prog, const sim::SimConfig &cfg)
+{
+    Key key = keyOf(prog, cfg);
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = cache().find(key);
+        if (it != cache().end())
+            return it->second;
+    }
+    // Build outside the lock: tables for different programs should
+    // not serialize behind each other.  A concurrent miss on the same
+    // key builds an identical table and first-insert wins.
+    auto built = std::make_shared<const sim::Predecoded>(
+        sim::Predecoded::build(prog, cfg));
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    auto [it, inserted] = cache().emplace(key, std::move(built));
+    return it->second;
+}
+
+std::size_t
+predecodeCacheSize()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return cache().size();
+}
+
+void
+clearPredecodeCache()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    cache().clear();
+}
+
+} // namespace rcsim::harness

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Process-global cache of predecoded instruction tables.
+ *
+ * A sweep revisits the same compiled program under many simulator
+ * configurations (base vs RC vs unlimited, issue widths, repeat
+ * runs), and the frontend memoization means those points really do
+ * share bit-identical programs.  The Predecoded side-table
+ * (sim/predecode.hh) is immutable once built, so it can be shared
+ * across every sweep point — and every worker thread — whose
+ * (program, relevant-config) pair matches.
+ *
+ * The key is a content hash, not an address: programs are routinely
+ * copied between harness layers, and hashing the semantic instruction
+ * fields plus the config inputs the table actually consumes (latency
+ * parameters and RC register-file geometry) makes equal inputs hit
+ * regardless of identity.  Collisions are made negligible by keying
+ * on two independent 64-bit FNV-1a streams.
+ */
+
+#ifndef RCSIM_HARNESS_PREDECODE_CACHE_HH
+#define RCSIM_HARNESS_PREDECODE_CACHE_HH
+
+#include <cstddef>
+#include <memory>
+
+#include "isa/instruction.hh"
+#include "sim/predecode.hh"
+#include "sim/sim_config.hh"
+
+namespace rcsim::harness
+{
+
+/**
+ * Return the predecoded table for @p prog under @p cfg, building it
+ * on first use.  Thread-safe; the returned table may be shared with
+ * concurrent simulations.  Tables that failed static validation are
+ * cached too (the simulator then falls back to its generic loop),
+ * so a rejected program is not re-validated per sweep point.
+ */
+std::shared_ptr<const sim::Predecoded>
+cachedPredecode(const isa::Program &prog, const sim::SimConfig &cfg);
+
+/** Number of distinct tables currently cached (for tests/stats). */
+std::size_t predecodeCacheSize();
+
+/** Drop every cached table (test isolation). */
+void clearPredecodeCache();
+
+} // namespace rcsim::harness
+
+#endif // RCSIM_HARNESS_PREDECODE_CACHE_HH

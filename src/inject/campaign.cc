@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "harness/journal.hh"
+#include "harness/predecode_cache.hh"
 #include "harness/sweep.hh"
 #include "harness/watchdog.hh"
 #include "inject/injector.hh"
@@ -56,7 +57,11 @@ runOneFault(const harness::CompiledProgram &compiled,
     sim::SimConfig cfg = base_cfg;
     cfg.maxCycles = hang_limit;
 
-    sim::Simulator simulator(program, cfg);
+    // Every fault run starts from the pristine program, so they all
+    // share one cached predecode; the injector's code mutation calls
+    // invalidatePredecode() and only that run rebuilds.
+    sim::Simulator simulator(program, cfg,
+                             harness::cachedPredecode(program, cfg));
     FaultInjector injector(program, fault);
     DivergenceChecker checker(golden_log, program);
     sim::ProbeChain chain;

@@ -141,6 +141,9 @@ FaultInjector::apply(sim::Simulator &sim)
             note_ = "instr[" + std::to_string(fault_.index) +
                     "]: '" + before + "' -> illegal encoding";
         }
+        // The program text changed under the simulator: drop its
+        // predecoded view (probe contract, sim/simulator.hh).
+        sim.invalidatePredecode();
         break;
       }
     }

@@ -228,6 +228,19 @@ opcodeInfo(Opcode op)
     return detail::opcodeTable[i];
 }
 
+/**
+ * True when an opcode occupies a memory channel at issue: loads and
+ * stores, plus jsr/rts for their stack traffic.  Shared by the
+ * simulator's structural-hazard check and the predecode step so the
+ * two can never disagree.
+ */
+inline bool
+usesMemoryChannel(Opcode op)
+{
+    return opcodeInfo(op).isMem || op == Opcode::JSR ||
+           op == Opcode::RTS;
+}
+
 /** Opcode mnemonic. */
 const char *opcodeName(Opcode op);
 

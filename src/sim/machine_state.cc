@@ -48,41 +48,6 @@ MachineState::resetMaps()
     fmap_.reset();
 }
 
-bool
-MachineState::validAddr(Addr addr, int width) const
-{
-    return addr + static_cast<Addr>(width) <= memory_.size() &&
-           addr + static_cast<Addr>(width) >= addr;
-}
-
-Word
-MachineState::loadWord(Addr addr) const
-{
-    Word v;
-    std::memcpy(&v, memory_.data() + addr, 4);
-    return v;
-}
-
-void
-MachineState::storeWord(Addr addr, Word v)
-{
-    std::memcpy(memory_.data() + addr, &v, 4);
-}
-
-double
-MachineState::loadDouble(Addr addr) const
-{
-    double v;
-    std::memcpy(&v, memory_.data() + addr, 8);
-    return v;
-}
-
-void
-MachineState::storeDouble(Addr addr, double v)
-{
-    std::memcpy(memory_.data() + addr, &v, 8);
-}
-
 ProcessContext
 MachineState::saveContext() const
 {

@@ -9,6 +9,7 @@
 #define RCSIM_SIM_MACHINE_STATE_HH
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "core/mapping_table.hh"
@@ -97,11 +98,39 @@ class MachineState
 
     // -- Memory ----------------------------------------------------------
 
-    bool validAddr(Addr addr, int width) const;
-    Word loadWord(Addr addr) const;
-    void storeWord(Addr addr, Word v);
-    double loadDouble(Addr addr) const;
-    void storeDouble(Addr addr, double v);
+    // Inline: the simulator touches memory once per load/store and
+    // once per jsr/rts, all on the issue hot path.
+
+    bool
+    validAddr(Addr addr, int width) const
+    {
+        return addr + static_cast<Addr>(width) <= memory_.size() &&
+               addr + static_cast<Addr>(width) >= addr;
+    }
+    Word
+    loadWord(Addr addr) const
+    {
+        Word v;
+        std::memcpy(&v, memory_.data() + addr, 4);
+        return v;
+    }
+    void
+    storeWord(Addr addr, Word v)
+    {
+        std::memcpy(memory_.data() + addr, &v, 4);
+    }
+    double
+    loadDouble(Addr addr) const
+    {
+        double v;
+        std::memcpy(&v, memory_.data() + addr, 8);
+        return v;
+    }
+    void
+    storeDouble(Addr addr, double v)
+    {
+        std::memcpy(memory_.data() + addr, &v, 8);
+    }
 
     Addr memorySize() const
     {

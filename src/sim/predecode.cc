@@ -1,0 +1,121 @@
+#include "sim/predecode.hh"
+
+#include "isa/opcode.hh"
+
+namespace rcsim::sim
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::OpcodeInfo;
+using isa::RegClass;
+
+namespace
+{
+
+std::string
+rejectAt(std::int32_t index, const char *why)
+{
+    return "instruction " + std::to_string(index) + ": " + why;
+}
+
+} // namespace
+
+Predecoded
+Predecoded::build(const isa::Program &prog, const SimConfig &cfg)
+{
+    Predecoded pd;
+    pd.code.reserve(prog.code.size());
+
+    auto fail = [&](std::int32_t index, const char *why) {
+        pd.reject = rejectAt(index, why);
+        pd.valid = false;
+        return pd;
+    };
+
+    // The strictest operand limit over every reachable map-enable
+    // state (see the class comment in predecode.hh).
+    int reg_limit[isa::numRegClasses];
+    for (int c = 0; c < isa::numRegClasses; ++c) {
+        auto cls = static_cast<RegClass>(c);
+        reg_limit[c] = cfg.rc.enabled ? cfg.rc.core(cls)
+                                      : cfg.rc.total(cls);
+    }
+
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        const Instruction &ins = prog.code[i];
+        auto index = static_cast<std::int32_t>(i);
+        auto opv = static_cast<std::size_t>(ins.op);
+        if (opv >= static_cast<std::size_t>(Opcode::NUM_OPCODES))
+            return fail(index, "opcode out of range");
+        const OpcodeInfo &info = isa::opcodeInfo(ins.op);
+
+        for (int k = 0; k < info.numSrcs; ++k)
+            if (ins.src[k].idx >=
+                reg_limit[static_cast<int>(ins.src[k].cls)])
+                return fail(index, "source register out of range");
+        if (info.hasDst &&
+            ins.dst.idx >= reg_limit[static_cast<int>(ins.dst.cls)])
+            return fail(index, "destination register out of range");
+
+        if (info.isConnect) {
+            if (!cfg.rc.enabled)
+                return fail(index, "connect without RC support");
+            if (ins.nconn > 2)
+                return fail(index, "connect pair count out of range");
+            for (int k = 0; k < ins.nconn; ++k) {
+                if (ins.conn[k].mapIdx >= cfg.rc.core(ins.connCls))
+                    return fail(index, "connect map index out of "
+                                       "range");
+                if (ins.conn[k].phys >= cfg.rc.total(ins.connCls))
+                    return fail(index, "connect physical register "
+                                       "out of range");
+            }
+        }
+
+        int latency = cfg.machine.lat.latencyOf(info.latClass);
+        if (latency < 0 || latency > 255)
+            return fail(index, "latency not representable");
+
+        PdIns p;
+        p.op = static_cast<std::uint8_t>(ins.op);
+        p.latency = static_cast<std::uint8_t>(latency);
+        p.origin = static_cast<std::uint8_t>(ins.origin);
+        if (info.hasDst)
+            p.flags |= PdIns::HasDst;
+        if (isa::usesMemoryChannel(ins.op))
+            p.flags |= PdIns::UsesMem;
+        if (info.isConnect) {
+            p.flags |= PdIns::IsConnect;
+            if (cfg.machine.lat.connectLatency >= 1)
+                p.flags |= PdIns::MarkDirty;
+        }
+        if (ins.predictTaken)
+            p.flags |= PdIns::PredictTaken;
+
+        p.meta = static_cast<std::uint8_t>(
+            (info.numSrcs & 3) |
+            (static_cast<int>(ins.src[0].cls) << 2) |
+            (static_cast<int>(ins.src[1].cls) << 3) |
+            (static_cast<int>(ins.dst.cls) << 4) |
+            (static_cast<int>(ins.connCls) << 5) |
+            ((ins.nconn & 3) << 6));
+        for (int k = 0; k < 2; ++k) {
+            p.src[k] = ins.src[k].idx;
+            p.connMap[k] = ins.conn[k].mapIdx;
+            p.connPhys[k] = ins.conn[k].phys;
+            if (ins.conn[k].isDef)
+                p.connDef |= static_cast<std::uint8_t>(1u << k);
+        }
+        p.dst = ins.dst.idx;
+        p.imm = ins.imm;
+        p.target = ins.target;
+
+        pd.code.push_back(p);
+    }
+
+    pd.valid = true;
+    return pd;
+}
+
+} // namespace rcsim::sim

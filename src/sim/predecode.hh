@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Predecoded instruction side-table for the pipeline simulator.
+ *
+ * Everything the issue loop needs per instruction that is invariant
+ * for a given (Program, SimConfig) pair is flattened once, up front:
+ * the OpcodeInfo bits, the execution latency already resolved through
+ * LatencyConfig::latencyOf, the memory-channel use (loads/stores plus
+ * the stack traffic of jsr/rts), the provenance index and the operand
+ * fields.  Static validation runs over the whole program at build
+ * time — opcode range, register-operand bounds against the mapping
+ * table, connect pair bounds — so the specialized issue loops
+ * (simulator_fast.cc) carry no per-issue limit checks at all.  A
+ * program that fails any static check simply yields valid == false
+ * and the simulator falls back to the fully checked generic loop.
+ */
+
+#ifndef RCSIM_SIM_PREDECODE_HH
+#define RCSIM_SIM_PREDECODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/sim_config.hh"
+
+namespace rcsim::sim
+{
+
+/**
+ * One predecoded instruction: a 28-byte flat record read with a
+ * single cache line touch per issue.  Register fields hold the same
+ * map indices / physical numbers as the Instruction they were built
+ * from; the build step has already proven them in range for every
+ * reachable map-enable state, so the issue loop indexes directly.
+ */
+struct PdIns
+{
+    // -- flag bits ------------------------------------------------------
+    static constexpr std::uint8_t HasDst = 1u << 0;
+    static constexpr std::uint8_t UsesMem = 1u << 1; // incl. jsr/rts
+    static constexpr std::uint8_t IsConnect = 1u << 2;
+    // isConnect && connectLatency >= 1: the issue loop must stamp the
+    // touched map entries dirty (one-cycle connect model).
+    static constexpr std::uint8_t MarkDirty = 1u << 3;
+    static constexpr std::uint8_t PredictTaken = 1u << 4;
+
+    std::uint8_t op = 0;      // isa::Opcode
+    std::uint8_t flags = 0;   // flag bits above
+    std::uint8_t latency = 0; // latencyOf(latClass), pre-resolved
+    std::uint8_t origin = 0;  // isa::InstrOrigin
+
+    // Operand metadata: bits 0-1 numSrcs, bit 2 src0 class, bit 3
+    // src1 class, bit 4 dst class, bit 5 connect class (0 = Int,
+    // 1 = Fp), bits 6-7 connect pair count.
+    std::uint8_t meta = 0;
+    std::uint8_t connDef = 0; // bit k: conn[k] is a def pair
+
+    std::uint16_t src[2] = {0, 0};
+    std::uint16_t dst = 0;
+
+    Word imm = 0;
+    std::int32_t target = -1;
+
+    std::uint16_t connMap[2] = {0, 0};
+    std::uint16_t connPhys[2] = {0, 0};
+
+    int numSrcs() const { return meta & 3; }
+    int srcClsIdx(int k) const { return (meta >> (2 + k)) & 1; }
+    int dstClsIdx() const { return (meta >> 4) & 1; }
+    int connClsIdx() const { return (meta >> 5) & 1; }
+    int nconn() const { return meta >> 6; }
+    bool connIsDef(int k) const { return (connDef >> k) & 1; }
+
+    isa::RegClass
+    srcCls(int k) const
+    {
+        return static_cast<isa::RegClass>(srcClsIdx(k));
+    }
+    isa::RegClass
+    dstCls() const
+    {
+        return static_cast<isa::RegClass>(dstClsIdx());
+    }
+    isa::RegClass
+    connCls() const
+    {
+        return static_cast<isa::RegClass>(connClsIdx());
+    }
+};
+
+static_assert(sizeof(PdIns) == 28, "keep the record one line-touch");
+
+/**
+ * The predecoded program.  Built once per (Program, SimConfig) pair;
+ * immutable afterwards, so sweep points sharing a program share one
+ * table (harness/predecode_cache.hh).
+ */
+struct Predecoded
+{
+    std::vector<PdIns> code;
+    bool valid = false; // static validation passed
+    std::string reject; // first validation failure, for diagnostics
+
+    /**
+     * Flatten + statically validate @p prog under @p cfg.  The only
+     * config fields consulted are the ones that change the table:
+     * the latency parameters (load / connect latency) and the RC
+     * register-file geometry (enabled, core and total sizes).
+     *
+     * Validation is conservative: with RC enabled, every register
+     * operand must be a legal *map index* (idx < core size), which is
+     * the strictest limit over both map-enable states.  A program
+     * that addresses extended registers directly while the map is
+     * disabled (idx in [core, total), legal at runtime inside a trap
+     * handler) is rejected here and runs on the generic loop instead.
+     */
+    static Predecoded build(const isa::Program &prog,
+                            const SimConfig &cfg);
+};
+
+} // namespace rcsim::sim
+
+#endif // RCSIM_SIM_PREDECODE_HH

@@ -59,7 +59,12 @@ class SimProbe
     /**
      * Called at the start of every simulated cycle, before fetch and
      * interrupt acceptance.  The probe may mutate machine state
-     * through @p sim (fault injection).
+     * through @p sim (fault injection).  A probe that rewrites the
+     * *program text* (isa::Program::code) must also call
+     * sim.invalidatePredecode() afterwards so the specialized issue
+     * loops drop their predecoded copy of the old instruction; plain
+     * state mutation (registers, maps, PSW, memory) needs no such
+     * call — the loop variant is re-selected after every onCycle().
      */
     virtual void onCycle(Simulator &sim, Cycle cycle)
     {

@@ -64,6 +64,17 @@ struct SimConfig
     Count traceLimit = 0;
 
     /**
+     * Run the fully checked generic issue loop instead of the
+     * predecoded specialized loops (sim/predecode.hh).  The generic
+     * loop is the reference implementation the fast paths are
+     * differentially tested against; the RCSIM_GENERIC_SIM
+     * environment variable forces the same thing process-wide.
+     * Results are bit-identical either way — this only trades speed
+     * for simplicity.
+     */
+    bool forceGeneric = false;
+
+    /**
      * Branch redirect penalty on a misprediction: one front-end
      * bubble, plus one more when the RC mapping-table access needs an
      * extra decode stage (Section 2.4 / Figure 12).

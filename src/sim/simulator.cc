@@ -4,7 +4,9 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
+#include "sim/predecode.hh"
 #include "support/logging.hh"
 #include "trace/trace.hh"
 
@@ -60,13 +62,57 @@ CommitEffect::toString() const
            }(bits);
 }
 
+namespace
+{
+
+/** RCSIM_GENERIC_SIM: unset, empty or "0" means off. */
+bool
+genericSimRequested()
+{
+    const char *e = std::getenv("RCSIM_GENERIC_SIM");
+    return e != nullptr && *e != '\0' &&
+           !(e[0] == '0' && e[1] == '\0');
+}
+
+} // namespace
+
 Simulator::Simulator(const isa::Program &prog, const SimConfig &cfg)
-    : prog_(prog), cfg_(cfg), state_(prog, cfg_)
+    : Simulator(prog, cfg, nullptr)
+{
+}
+
+Simulator::Simulator(const isa::Program &prog, const SimConfig &cfg,
+                     std::shared_ptr<const Predecoded> predecoded)
+    : prog_(prog), cfg_(cfg), state_(prog, cfg_),
+      pd_(std::move(predecoded))
 {
     if (cfg_.rc.enabled && !cfg_.rc.splitMaps &&
         cfg_.rc.model != core::RcModel::NoReset)
         fatal("unified maps require the no-reset model");
+    rcEnabled_ = cfg_.rc.enabled;
+    useGeneric_ = cfg_.forceGeneric || genericSimRequested();
+    if (!useGeneric_) {
+        if (!pd_)
+            pd_ = std::make_shared<const Predecoded>(
+                Predecoded::build(prog_, cfg_));
+        if (!pd_->valid)
+            useGeneric_ = true; // checked-path fallback
+    }
     reset();
+}
+
+void
+Simulator::invalidatePredecode()
+{
+    if (useGeneric_)
+        return; // the generic loop reads prog_ directly
+    Predecoded fresh = Predecoded::build(prog_, cfg_);
+    if (!fresh.valid) {
+        useGeneric_ = true;
+        pd_.reset();
+        return;
+    }
+    pd_ = std::make_shared<const Predecoded>(std::move(fresh));
 }
 
 void
@@ -136,8 +182,12 @@ bool
 Simulator::step(Cycle budget)
 {
     Cycle end = cycle_ + budget;
-    while (!halted_ && cycle_ < end)
-        issueCycle();
+    while (!halted_ && cycle_ < end) {
+        if (useGeneric_)
+            issueCycle();
+        else
+            stepFast(end);
+    }
     return halted_;
 }
 
@@ -176,8 +226,8 @@ Simulator::traceWindow()
                    counters_.get(SimCounter::StallMemChannel));
 }
 
-void
-Simulator::issueCycle()
+bool
+Simulator::cycleWindow()
 {
     if ((traceOn_ | pollCancel_) &&
         (cycle_ & (traceWindowCycles - 1)) == 0) {
@@ -187,13 +237,27 @@ Simulator::issueCycle()
             cfg_.cancel->load(std::memory_order_relaxed)) {
             deadlineHit_ = true;
             fail("wall-clock deadline exceeded");
-            return;
+            return false;
         }
     }
+    return true;
+}
+
+void
+Simulator::issueCycle()
+{
+    if (!cycleWindow())
+        return;
 
     if (probe_)
         probe_->onCycle(*this, cycle_);
 
+    issueCycleTail();
+}
+
+void
+Simulator::issueCycleTail()
+{
     // External interrupts are accepted at cycle boundaries.
     if (nextInterrupt_ < cfg_.interruptCycles.size() &&
         cfg_.interruptCycles[nextInterrupt_] <= cycle_) {
@@ -338,7 +402,7 @@ Simulator::issueCycle()
             }
         }
 
-        bool continue_group = execute(ins, info, sphys, dphys);
+        bool continue_group = execute(ins, info, sphys, dphys, rc_on);
         if (!continue_group)
             break;
     }
@@ -351,10 +415,8 @@ Simulator::issueCycle()
 
 bool
 Simulator::execute(const Instruction &ins, const OpcodeInfo &info,
-                   const int sphys[2], int dphys)
+                   const int sphys[2], int dphys, bool rc_on)
 {
-    bool rc_on = cfg_.rc.enabled && state_.psw().mapEnable();
-
     // Operands were resolved once in issueCycle(); read the physical
     // registers directly instead of walking the map again.
     auto sval = [&](int k) { return state_.readInt(sphys[k]); };

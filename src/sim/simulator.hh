@@ -21,6 +21,7 @@
 #ifndef RCSIM_SIM_SIMULATOR_HH
 #define RCSIM_SIM_SIMULATOR_HH
 
+#include <memory>
 #include <string>
 
 #include "sim/machine_state.hh"
@@ -30,6 +31,10 @@
 
 namespace rcsim::sim
 {
+
+struct PdIns;
+struct Predecoded;
+struct FastCtx;
 
 /** Why a simulation stopped (machine-readable outcome). */
 enum class StopReason : std::uint8_t
@@ -58,6 +63,16 @@ class Simulator
 {
   public:
     Simulator(const isa::Program &prog, const SimConfig &cfg);
+
+    /**
+     * Construct with an already-built predecoded table (see
+     * harness/predecode_cache.hh).  @p predecoded must have been
+     * built from exactly this (program, config) pair — the cache
+     * guarantees it by hashing the table's inputs; nullptr behaves
+     * like the two-argument constructor.
+     */
+    Simulator(const isa::Program &prog, const SimConfig &cfg,
+              std::shared_ptr<const Predecoded> predecoded);
 
     /** Reset and run until halt (or error / cycle limit). */
     SimResult run();
@@ -93,9 +108,80 @@ class Simulator
      */
     void attachProbe(SimProbe *probe) { probe_ = probe; }
 
+    /**
+     * Rebuild the predecoded side-table from the (possibly mutated)
+     * program.  A probe that rewrites Program::code — the
+     * fault-injection engine does — must call this from onCycle()
+     * right after the mutation, or the specialized loops keep
+     * executing the stale predecode.  Falls back to the generic loop
+     * permanently when the mutated program no longer validates.
+     */
+    void invalidatePredecode();
+
+    /**
+     * True when this simulator runs the fully checked reference loop
+     * (SimConfig::forceGeneric, RCSIM_GENERIC_SIM=1, or a program
+     * that failed static predecode validation).
+     */
+    bool usingGenericLoop() const { return useGeneric_; }
+
   private:
     /** Issue one cycle's group; updates pc/cycle bookkeeping. */
     void issueCycle();
+
+    /**
+     * Per-cycle window bookkeeping shared by every loop variant:
+     * trace-counter emission and the watchdog cancel poll on the
+     * traceWindowCycles boundary.  Returns false when the deadline
+     * fired (the run is over).
+     */
+    bool cycleWindow();
+
+    /** The generic issue loop body after cycleWindow() + probe. */
+    void issueCycleTail();
+
+    // -- Specialized loops (simulator_fast.cc) -------------------------
+    //
+    // The hot configurations run template variants of the issue loop
+    // compiled per <rcOn, hasProbe, traceOn> so feature conditionals
+    // vanish from the per-instruction path.  stepFast() selects the
+    // variant at group boundaries and re-selects whenever an executed
+    // MTPSW / TRAP / RFE (or a probe) may have changed the flags.
+
+    /** Fast-path driver: dispatches specialized loops until @p end. */
+    void stepFast(Cycle end);
+
+    /** One probed cycle: re-select the variant after the hook ran. */
+    void dispatchProbedCycle();
+
+    /**
+     * Multi-cycle specialized loop; returns when the mode flags no
+     * longer match the template arguments (re-dispatch), the budget
+     * is exhausted, or the run ended.
+     */
+    template <bool RcOn, bool Trace> void runLoopT(Cycle end);
+
+    /**
+     * Hoist everything loop-invariant (predecode base, raw map /
+     * scoreboard / dirty-stamp storage, machine widths, the next
+     * interrupt cycle) into @p ctx; built once per dispatch.
+     */
+    void initFastCtx(FastCtx &ctx);
+
+    /** Specialized mirror of issueCycleTail(). */
+    template <bool RcOn, bool Probe, bool Trace>
+    void issueCycleTailT(FastCtx &ctx);
+
+    /** Specialized mirror of execute(). */
+    template <bool RcOn, bool Probe, bool Trace>
+    bool executeT(const PdIns &pd, const int sphys[2], int dphys,
+                  const FastCtx &ctx);
+
+    bool
+    rcOnNow() const
+    {
+        return rcEnabled_ && state_.psw().mapEnable();
+    }
 
     /**
      * Functional execution of one instruction; returns false when
@@ -105,10 +191,13 @@ class Simulator
      * already resolved to in issueCycle() — execution must not
      * resolve again (a connect executing earlier in the same group
      * may have changed the map since this instruction was decoded).
+     * @p rc_on is the map-enable state the group issued under,
+     * likewise threaded through instead of recomputed (it cannot
+     * change inside a group: every PSW writer ends its group).
      */
     bool execute(const isa::Instruction &ins,
                  const isa::OpcodeInfo &info, const int sphys[2],
-                 int dphys);
+                 int dphys, bool rc_on);
 
     void enterTrap(std::int32_t return_pc);
 
@@ -139,6 +228,14 @@ class Simulator
     const isa::Program &prog_;
     SimConfig cfg_;
     MachineState state_;
+
+    // Predecoded side-table (predecode.hh); shared with the harness
+    // cache so sweep points over one program build it once.  When
+    // useGeneric_ is set (forced via config/env, or static validation
+    // failed) the table is unused and the reference loop runs.
+    std::shared_ptr<const Predecoded> pd_;
+    bool useGeneric_ = false;
+    bool rcEnabled_ = false; // cfg_.rc.enabled, cached for rcOnNow()
 
     std::vector<Cycle> readyInt_;
     std::vector<Cycle> readyFp_;

@@ -1,0 +1,700 @@
+/**
+ * @file
+ * The specialized issue loops.
+ *
+ * issueCycleTailT / executeT are line-for-line mirrors of the generic
+ * issueCycleTail / execute in simulator.cc, reading the predecoded
+ * side-table (predecode.hh) instead of the Instruction + OpcodeInfo
+ * pair and compiled per <rcOn, hasProbe, traceOn>:
+ *
+ *   rcOn    map-enable resolution is unconditional (raw map indexing,
+ *           no bounds checks — statically validated) or elided
+ *           entirely, and the one-cycle-connect dirty tracking only
+ *           exists in the rcOn variant (its stalls are gated on rcOn,
+ *           which cannot change inside a cycle);
+ *   hasProbe  commit-effect construction compiles out when no probe
+ *           is attached;
+ *   traceOn  the issue-trace buffer and trace instants compile out
+ *           when tracing is off and the trace budget is empty.
+ *
+ * On top of the per-instruction specialization, everything that is
+ * loop-invariant per dispatch lives in a FastCtx of plain locals —
+ * predecode base, raw scoreboard / dirty / map storage, machine
+ * widths, the next interrupt cycle — because the simulated memory is
+ * a byte array and every store through it legally aliases the
+ * simulator's own members, so the compiler cannot hoist those loads
+ * itself.
+ *
+ * stepFast() picks the variant at group boundaries and re-selects
+ * whenever the flags may have changed: MTPSW / TRAP / RFE end their
+ * issue group (execute returns false), interrupts are accepted at
+ * cycle boundaries, and a probe may mutate anything — so with a probe
+ * attached the loop runs one cycle per dispatch, selecting the
+ * variant *after* the onCycle() hook.  Any divergence between these
+ * loops and the generic reference is a bug; tests/test_predecode.cc
+ * fuzzes the two against each other down to the commit streams.
+ */
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "sim/predecode.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+
+namespace rcsim::sim
+{
+
+using isa::Opcode;
+using isa::RegClass;
+
+/** Loop-invariant state of one specialized dispatch (see above). */
+struct FastCtx
+{
+    const PdIns *code = nullptr;
+    std::int32_t codeSize = 0;
+    int issueWidth = 0;
+    int memChannels = 0;
+
+    // Interlock scoreboards, dirty stamps and raw map storage by
+    // register class; all pointer-stable for the run (fixed sizes,
+    // in-place mutation only).
+    Cycle *ready[isa::numRegClasses] = {};
+    Cycle *dirty[isa::numRegClasses] = {};
+    const core::PhysIndex *rmap[isa::numRegClasses] = {};
+    const core::PhysIndex *wmap[isa::numRegClasses] = {};
+
+    // Cycle of the next pending external interrupt; "never" when the
+    // schedule is exhausted.  Maintained by the interrupt acceptance
+    // path so the per-cycle check is one compare.
+    static constexpr Cycle noInterrupt =
+        std::numeric_limits<Cycle>::max();
+    Cycle nextIrqAt = noInterrupt;
+};
+
+void
+Simulator::initFastCtx(FastCtx &ctx)
+{
+    ctx.code = pd_->code.data();
+    ctx.codeSize = static_cast<std::int32_t>(pd_->code.size());
+    ctx.issueWidth = cfg_.machine.issueWidth;
+    ctx.memChannels = cfg_.machine.memChannels;
+    ctx.ready[0] = readyInt_.data();
+    ctx.ready[1] = readyFp_.data();
+    for (int c = 0; c < isa::numRegClasses; ++c) {
+        auto cls = static_cast<RegClass>(c);
+        ctx.dirty[c] = dirtyMap_[c].data();
+        ctx.rmap[c] = state_.map(cls).readMapData();
+        ctx.wmap[c] = state_.map(cls).writeMapData();
+    }
+    ctx.nextIrqAt = nextInterrupt_ < cfg_.interruptCycles.size()
+                        ? cfg_.interruptCycles[nextInterrupt_]
+                        : FastCtx::noInterrupt;
+}
+
+void
+Simulator::stepFast(Cycle end)
+{
+    while (!halted_ && cycle_ < end && !useGeneric_) {
+        if (probe_ != nullptr) {
+            if (!cycleWindow())
+                return;
+            probe_->onCycle(*this, cycle_);
+            if (useGeneric_) {
+                // The probe invalidated the predecode and the mutated
+                // program no longer validates: finish this cycle on
+                // the reference loop; step() keeps using it.
+                issueCycleTail();
+                continue;
+            }
+            dispatchProbedCycle();
+        } else if (rcOnNow()) {
+            if (traceOn_ || traceLeft_ > 0)
+                runLoopT<true, true>(end);
+            else
+                runLoopT<true, false>(end);
+        } else {
+            if (traceOn_ || traceLeft_ > 0)
+                runLoopT<false, true>(end);
+            else
+                runLoopT<false, false>(end);
+        }
+    }
+}
+
+void
+Simulator::dispatchProbedCycle()
+{
+    // The probe may have mutated anything, including the program (and
+    // with it pd_): rebuild the hoisted context every cycle.
+    FastCtx ctx;
+    initFastCtx(ctx);
+    const bool rc = rcOnNow();
+    const bool tr = traceOn_ || traceLeft_ > 0;
+    if (rc)
+        tr ? issueCycleTailT<true, true, true>(ctx)
+           : issueCycleTailT<true, true, false>(ctx);
+    else
+        tr ? issueCycleTailT<false, true, true>(ctx)
+           : issueCycleTailT<false, true, false>(ctx);
+}
+
+template <bool RcOn, bool Trace>
+void
+Simulator::runLoopT(Cycle end)
+{
+    FastCtx ctx;
+    initFastCtx(ctx);
+    const bool tr_on = traceOn_;
+    const bool poll = pollCancel_;
+    while (!halted_ && cycle_ < end) {
+        if (rcOnNow() != RcOn)
+            return; // re-select at the group boundary
+        if constexpr (Trace) {
+            if (!traceOn_ && traceLeft_ == 0)
+                return; // trace budget drained: drop to the lean loop
+        }
+        if ((tr_on | poll) &&
+            (cycle_ & (traceWindowCycles - 1)) == 0) {
+            if (tr_on)
+                traceWindow();
+            if (poll &&
+                cfg_.cancel->load(std::memory_order_relaxed)) {
+                deadlineHit_ = true;
+                fail("wall-clock deadline exceeded");
+                return;
+            }
+        }
+        issueCycleTailT<RcOn, false, Trace>(ctx);
+    }
+}
+
+template <bool RcOn, bool Probe, bool Trace>
+void
+Simulator::issueCycleTailT(FastCtx &ctx)
+{
+    // External interrupts are accepted at cycle boundaries.
+    if (cycle_ >= ctx.nextIrqAt) {
+        ++nextInterrupt_;
+        ctx.nextIrqAt = nextInterrupt_ < cfg_.interruptCycles.size()
+                            ? cfg_.interruptCycles[nextInterrupt_]
+                            : FastCtx::noInterrupt;
+        enterTrap(state_.pc);
+        nextFetchCycle_ = cycle_ + 1 + cfg_.redirectPenalty();
+        ++cycle_;
+        return;
+    }
+
+    if (cycle_ < nextFetchCycle_) {
+        counters_.add(SimCounter::CyclesRedirect);
+        ++cycle_;
+        return;
+    }
+
+    int slots = ctx.issueWidth;
+    int mem = ctx.memChannels;
+    bool any_dirty = false;
+    const Cycle cycle = cycle_;
+    const Cycle dirty_stamp = cycle + 1;
+    std::int32_t pc = state_.pc;
+
+    int issued = 0;
+    while (slots > 0 && !halted_) {
+        if (static_cast<std::uint32_t>(pc) >=
+            static_cast<std::uint32_t>(ctx.codeSize)) {
+            state_.pc = pc;
+            fail("program counter out of range");
+            break;
+        }
+        const PdIns &pd = ctx.code[pc];
+        const int nsrcs = pd.numSrcs();
+
+        // ---- One-cycle connects: stall consumers of map entries
+        // updated earlier this same cycle (Section 2.4).  The stall
+        // and the stamps are both gated on rcOn, which cannot change
+        // inside a cycle, so the whole mechanism compiles out of the
+        // map-off variant. ----
+        if constexpr (RcOn) {
+            if (any_dirty && !(pd.flags & PdIns::IsConnect)) {
+                bool dirty = false;
+                for (int k = 0; k < nsrcs && !dirty; ++k)
+                    if (ctx.dirty[pd.srcClsIdx(k)][pd.src[k]] ==
+                        dirty_stamp)
+                        dirty = true;
+                if (!dirty && (pd.flags & PdIns::HasDst) &&
+                    ctx.dirty[pd.dstClsIdx()][pd.dst] == dirty_stamp)
+                    dirty = true;
+                if (dirty) {
+                    counters_.add(SimCounter::StallMapUpdate);
+                    break;
+                }
+            }
+        }
+
+        // ---- Operand resolution: bounds were proven at predecode
+        // time, so this is a raw map read (or the identity). ----
+        int sphys[2] = {0, 0};
+        int dphys = -1;
+        if constexpr (RcOn) {
+            for (int k = 0; k < nsrcs; ++k)
+                sphys[k] = ctx.rmap[pd.srcClsIdx(k)][pd.src[k]];
+            if (pd.flags & PdIns::HasDst)
+                dphys = ctx.wmap[pd.dstClsIdx()][pd.dst];
+        } else {
+            sphys[0] = pd.src[0];
+            sphys[1] = pd.src[1];
+            if (pd.flags & PdIns::HasDst)
+                dphys = pd.dst;
+        }
+
+        // ---- Register interlocks (CRAY-1 style). ----
+        bool stalled = false;
+        for (int k = 0; k < nsrcs; ++k)
+            if (ctx.ready[pd.srcClsIdx(k)][sphys[k]] > cycle) {
+                counters_.add(SimCounter::StallSrc);
+                stalled = true;
+                break;
+            }
+        if (!stalled && (pd.flags & PdIns::HasDst) &&
+            ctx.ready[pd.dstClsIdx()][dphys] > cycle) {
+            counters_.add(SimCounter::StallDestBusy);
+            stalled = true;
+        }
+        if (!stalled && (pd.flags & PdIns::IsConnect) &&
+            !cfg_.fetchAfterDispatch) {
+            // Register fetch before dispatch (Figure 6): connect-use
+            // forwards the register *value*, so the source register
+            // must be ready (see the generic loop).
+            const int nc = pd.nconn();
+            for (int k = 0; k < nc; ++k)
+                if (!pd.connIsDef(k) &&
+                    ctx.ready[pd.connClsIdx()][pd.connPhys[k]] >
+                        cycle) {
+                    counters_.add(SimCounter::StallSrc);
+                    stalled = true;
+                    break;
+                }
+        }
+        if (stalled)
+            break;
+
+        // ---- Structural hazard: memory channels. ----
+        const bool uses_mem = (pd.flags & PdIns::UsesMem) != 0;
+        if (uses_mem && mem == 0) {
+            counters_.add(SimCounter::StallMemChannel);
+            break;
+        }
+
+        // ---- Issue. ----
+        if constexpr (Trace) {
+            if (traceLeft_ > 0) {
+                --traceLeft_;
+                char head[32];
+                int n = std::snprintf(
+                    head, sizeof head, "%llu  %d: ",
+                    static_cast<unsigned long long>(cycle), pc);
+                trace_.append(head, static_cast<std::size_t>(n));
+                trace_ += prog_.code[pc].toString();
+                trace_ += '\n';
+            }
+        }
+        ++instructions_;
+        originDyn_[pd.origin] += 1;
+        ++issued;
+        --slots;
+        if (uses_mem)
+            --mem;
+        if constexpr (RcOn) {
+            if (pd.flags & PdIns::MarkDirty) {
+                const int nc = pd.nconn();
+                for (int k = 0; k < nc; ++k) {
+                    ctx.dirty[pd.connClsIdx()][pd.connMap[k]] =
+                        dirty_stamp;
+                    any_dirty = true;
+                }
+            }
+        }
+
+        state_.pc = pc;
+        if (!executeT<RcOn, Probe, Trace>(pd, sphys, dphys, ctx))
+            break;
+        pc = state_.pc;
+    }
+
+    if (issued == 0)
+        counters_.add(SimCounter::CyclesStalled);
+    counters_.addIssued(issued);
+    cycle_ = cycle + 1;
+}
+
+template <bool RcOn, bool Probe, bool Trace>
+bool
+Simulator::executeT(const PdIns &pd, const int sphys[2], int dphys,
+                    const FastCtx &ctx)
+{
+    auto sval = [&](int k) { return state_.readInt(sphys[k]); };
+    auto fval = [&](int k) { return state_.readFp(sphys[k]); };
+    auto uw = [](Word w) { return static_cast<UWord>(w); };
+
+    const int latency = pd.latency;
+    constexpr int intCls = static_cast<int>(RegClass::Int);
+    constexpr int fpCls = static_cast<int>(RegClass::Fp);
+
+    auto write_int = [&](Word v) {
+        state_.writeInt(dphys, v);
+        ctx.ready[intCls][dphys] = cycle_ + latency;
+        if constexpr (Probe) {
+            if (probe_)
+                probe_->onCommit({CommitEffect::Kind::IntWrite,
+                                  cycle_, state_.pc, dphys, 0,
+                                  static_cast<std::uint64_t>(
+                                      static_cast<UWord>(v))});
+        }
+    };
+    auto write_fp = [&](double v) {
+        state_.writeFp(dphys, v);
+        ctx.ready[fpCls][dphys] = cycle_ + latency;
+        if constexpr (Probe) {
+            if (probe_)
+                probe_->onCommit({CommitEffect::Kind::FpWrite, cycle_,
+                                  state_.pc, dphys, 0,
+                                  std::bit_cast<std::uint64_t>(v)});
+        }
+    };
+    auto finish_write = [&]() {
+        if constexpr (RcOn)
+            state_.map(pd.dstCls())
+                .applyWriteSideEffect(pd.dst, cfg_.rc.model);
+    };
+
+    auto mem_addr = [&](int base_src) {
+        return static_cast<Addr>(uw(sval(base_src)) + uw(pd.imm));
+    };
+
+    auto branch = [&](bool taken) {
+        if (taken) {
+            state_.pc = pd.target;
+            counters_.add(SimCounter::TakenBranches);
+        } else {
+            ++state_.pc;
+        }
+        if (taken != ((pd.flags & PdIns::PredictTaken) != 0)) {
+            counters_.add(SimCounter::Mispredicts);
+            nextFetchCycle_ = cycle_ + 1 + cfg_.redirectPenalty();
+            return false;
+        }
+        return !taken; // correctly-predicted taken still ends fetch
+    };
+
+    switch (static_cast<Opcode>(pd.op)) {
+      case Opcode::NOP:
+        ++state_.pc;
+        return true;
+      case Opcode::HALT:
+        halted_ = true;
+        return false;
+
+      case Opcode::ADD:
+        write_int(static_cast<Word>(uw(sval(0)) + uw(sval(1))));
+        break;
+      case Opcode::SUB:
+        write_int(static_cast<Word>(uw(sval(0)) - uw(sval(1))));
+        break;
+      case Opcode::AND:
+        write_int(sval(0) & sval(1));
+        break;
+      case Opcode::OR:
+        write_int(sval(0) | sval(1));
+        break;
+      case Opcode::XOR:
+        write_int(sval(0) ^ sval(1));
+        break;
+      case Opcode::NOR:
+        write_int(~(sval(0) | sval(1)));
+        break;
+      case Opcode::SLL:
+        write_int(static_cast<Word>(uw(sval(0)) << (sval(1) & 31)));
+        break;
+      case Opcode::SRL:
+        write_int(static_cast<Word>(uw(sval(0)) >> (sval(1) & 31)));
+        break;
+      case Opcode::SRA:
+        write_int(sval(0) >> (sval(1) & 31));
+        break;
+      case Opcode::SLT:
+        write_int(sval(0) < sval(1));
+        break;
+      case Opcode::SLTU:
+        write_int(uw(sval(0)) < uw(sval(1)));
+        break;
+
+      case Opcode::ADDI:
+        write_int(static_cast<Word>(uw(sval(0)) + uw(pd.imm)));
+        break;
+      case Opcode::ANDI:
+        write_int(sval(0) & pd.imm);
+        break;
+      case Opcode::ORI:
+        write_int(sval(0) | pd.imm);
+        break;
+      case Opcode::XORI:
+        write_int(sval(0) ^ pd.imm);
+        break;
+      case Opcode::SLLI:
+        write_int(static_cast<Word>(uw(sval(0)) << (pd.imm & 31)));
+        break;
+      case Opcode::SRLI:
+        write_int(static_cast<Word>(uw(sval(0)) >> (pd.imm & 31)));
+        break;
+      case Opcode::SRAI:
+        write_int(sval(0) >> (pd.imm & 31));
+        break;
+      case Opcode::SLTI:
+        write_int(sval(0) < pd.imm);
+        break;
+      case Opcode::LI:
+        write_int(pd.imm);
+        break;
+      case Opcode::LUI:
+        write_int(static_cast<Word>(uw(pd.imm) << 16));
+        break;
+      case Opcode::MOV:
+        write_int(sval(0));
+        break;
+
+      case Opcode::MUL:
+        write_int(static_cast<Word>(uw(sval(0)) * uw(sval(1))));
+        break;
+      case Opcode::DIV:
+        if (sval(1) == 0) {
+            fail("integer division by zero");
+            return false;
+        }
+        write_int(sval(0) / sval(1));
+        break;
+      case Opcode::REM:
+        if (sval(1) == 0) {
+            fail("integer remainder by zero");
+            return false;
+        }
+        write_int(sval(0) % sval(1));
+        break;
+
+      case Opcode::FADD:
+        write_fp(fval(0) + fval(1));
+        break;
+      case Opcode::FSUB:
+        write_fp(fval(0) - fval(1));
+        break;
+      case Opcode::FNEG:
+        write_fp(-fval(0));
+        break;
+      case Opcode::FABS:
+        write_fp(std::fabs(fval(0)));
+        break;
+      case Opcode::FMOV:
+        write_fp(fval(0));
+        break;
+      case Opcode::FMIN:
+        write_fp(std::fmin(fval(0), fval(1)));
+        break;
+      case Opcode::FMAX:
+        write_fp(std::fmax(fval(0), fval(1)));
+        break;
+      case Opcode::FCMP_LT:
+        write_int(fval(0) < fval(1));
+        break;
+      case Opcode::FCMP_LE:
+        write_int(fval(0) <= fval(1));
+        break;
+      case Opcode::FCMP_EQ:
+        write_int(fval(0) == fval(1));
+        break;
+      case Opcode::CVT_IF:
+        write_fp(static_cast<double>(sval(0)));
+        break;
+      case Opcode::CVT_FI:
+        write_int(static_cast<Word>(
+            static_cast<std::int64_t>(fval(0))));
+        break;
+      case Opcode::FMUL:
+        write_fp(fval(0) * fval(1));
+        break;
+      case Opcode::FDIV:
+        write_fp(fval(0) / fval(1));
+        break;
+
+      case Opcode::LW: {
+        Addr a = mem_addr(0);
+        if (!state_.validAddr(a, 4)) {
+            fail("load out of bounds");
+            return false;
+        }
+        counters_.add(SimCounter::Loads);
+        write_int(state_.loadWord(a));
+        break;
+      }
+      case Opcode::LF: {
+        Addr a = mem_addr(0);
+        if (!state_.validAddr(a, 8)) {
+            fail("load out of bounds");
+            return false;
+        }
+        counters_.add(SimCounter::Loads);
+        write_fp(state_.loadDouble(a));
+        break;
+      }
+      case Opcode::SW: {
+        Addr a = mem_addr(1);
+        if (!state_.validAddr(a, 4)) {
+            fail("store out of bounds");
+            return false;
+        }
+        counters_.add(SimCounter::Stores);
+        Word v = sval(0);
+        state_.storeWord(a, v);
+        if constexpr (Probe) {
+            if (probe_)
+                probe_->onCommit({CommitEffect::Kind::StoreWord,
+                                  cycle_, state_.pc, 0, a,
+                                  static_cast<std::uint64_t>(
+                                      static_cast<UWord>(v))});
+        }
+        ++state_.pc;
+        return true;
+      }
+      case Opcode::SF: {
+        Addr a = mem_addr(1);
+        if (!state_.validAddr(a, 8)) {
+            fail("store out of bounds");
+            return false;
+        }
+        counters_.add(SimCounter::Stores);
+        double v = state_.readFp(sphys[0]);
+        state_.storeDouble(a, v);
+        if constexpr (Probe) {
+            if (probe_)
+                probe_->onCommit({CommitEffect::Kind::StoreDouble,
+                                  cycle_, state_.pc, 0, a,
+                                  std::bit_cast<std::uint64_t>(v)});
+        }
+        ++state_.pc;
+        return true;
+      }
+
+      case Opcode::BEQ:
+        return branch(sval(0) == sval(1));
+      case Opcode::BNE:
+        return branch(sval(0) != sval(1));
+      case Opcode::BLT:
+        return branch(sval(0) < sval(1));
+      case Opcode::BGE:
+        return branch(sval(0) >= sval(1));
+      case Opcode::BLE:
+        return branch(sval(0) <= sval(1));
+      case Opcode::BGT:
+        return branch(sval(0) > sval(1));
+
+      case Opcode::J:
+        state_.pc = pd.target;
+        return false;
+
+      case Opcode::JSR: {
+        Word sp = state_.sp() - 4;
+        if (!state_.validAddr(static_cast<Addr>(sp), 4)) {
+            fail("stack overflow on jsr");
+            return false;
+        }
+        state_.storeWord(static_cast<Addr>(sp), state_.pc + 1);
+        state_.setSp(sp);
+        ctx.ready[intCls][core::ArchConvention::stackPointer] =
+            cycle_ + 1;
+        state_.pc = pd.target;
+        if (rcEnabled_) {
+            state_.resetMaps(); // Section 4.1
+            if constexpr (Trace) {
+                if (traceOn_)
+                    trace::instant(
+                        "map_reset", "sim", "pc",
+                        static_cast<std::uint64_t>(state_.pc));
+            }
+        }
+        counters_.add(SimCounter::Calls);
+        return false;
+      }
+      case Opcode::RTS: {
+        Word sp = state_.sp();
+        if (!state_.validAddr(static_cast<Addr>(sp), 4)) {
+            fail("stack underflow on rts");
+            return false;
+        }
+        state_.pc = state_.loadWord(static_cast<Addr>(sp));
+        state_.setSp(sp + 4);
+        ctx.ready[intCls][core::ArchConvention::stackPointer] =
+            cycle_ + 1;
+        if (rcEnabled_) {
+            state_.resetMaps(); // Section 4.1
+            if constexpr (Trace) {
+                if (traceOn_)
+                    trace::instant(
+                        "map_reset", "sim", "pc",
+                        static_cast<std::uint64_t>(state_.pc));
+            }
+        }
+        return false;
+      }
+
+      case Opcode::TRAP:
+        enterTrap(state_.pc + 1);
+        nextFetchCycle_ = cycle_ + 1 + cfg_.redirectPenalty();
+        return false;
+      case Opcode::RFE:
+        state_.psw().bits = state_.epsw;
+        state_.pc = state_.epc;
+        return false;
+      case Opcode::MFPSW:
+        write_int(static_cast<Word>(state_.psw().bits));
+        break;
+      case Opcode::MTPSW:
+        state_.psw().bits = static_cast<UWord>(sval(0));
+        ++state_.pc;
+        return false; // mapping semantics may have changed
+
+      case Opcode::CONNECT_USE:
+      case Opcode::CONNECT_DEF:
+      case Opcode::CONNECT_UU:
+      case Opcode::CONNECT_DU:
+      case Opcode::CONNECT_DD: {
+        // RC support and pair bounds were statically validated.
+        counters_.add(SimCounter::Connects);
+        if constexpr (Trace) {
+            if (traceOn_)
+                trace::instant("connect", "sim", "pc",
+                               static_cast<std::uint64_t>(state_.pc));
+        }
+        core::RegisterMappingTable &map = state_.map(pd.connCls());
+        const int nc = pd.nconn();
+        for (int k = 0; k < nc; ++k) {
+            if (pd.connIsDef(k))
+                map.connectDef(pd.connMap[k], pd.connPhys[k]);
+            else
+                map.connectUse(pd.connMap[k], pd.connPhys[k]);
+        }
+        ++state_.pc;
+        return true;
+      }
+
+      default:
+        fail("unimplemented opcode");
+        return false;
+    }
+
+    // Common epilogue for register-writing straight-line ops.
+    finish_write();
+    ++state_.pc;
+    return true;
+}
+
+} // namespace rcsim::sim

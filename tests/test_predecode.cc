@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Differential verification of the predecoded fast path.
+ *
+ * The specialized issue loops (sim/simulator_fast.cc) promise
+ * bit-identical observable behaviour to the generic reference loop:
+ * cycles, instruction counts, every stat, the architectural result
+ * and the committed-effects stream, under every mode the simulator
+ * supports — RC on/off, probes, traps, interrupts, MTPSW map
+ * toggling, trace collection and the static-validation fallback.
+ *
+ * Three layers pin that promise:
+ *  - Seeds/PredecodeFuzz.* runs random whole-pipeline programs
+ *    (tests/fuzz_common.hh) through both loops, with and without a
+ *    commit-recording probe, and requires identical outcomes down to
+ *    each CommitEffect (cycle included).
+ *  - PredecodeDiff.* are directed programs for the transitions the
+ *    fuzzer reaches only by luck: TRAP/RFE, handler MTPSW re-enable,
+ *    external interrupts, connect-heavy loops, and programs that must
+ *    fall back to the generic loop.
+ *  - StatParity.PredecodeLeavesWorkloadGoldensUnchanged sweeps all
+ *    twelve paper workloads x {Scalar, Ilp} x {base, RC} and requires
+ *    the generic and fast loops to agree stat for stat.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz_common.hh"
+#include "harness/experiment.hh"
+#include "inject/oracle.hh"
+#include "isa/assembler.hh"
+#include "sim/predecode.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+
+namespace rcsim
+{
+namespace
+{
+
+using GoldenStats = std::map<std::string, Count>;
+
+/** Everything one run exposes; the diff asserts all of it equal. */
+struct Observed
+{
+    sim::SimResult res;
+    GoldenStats stats;
+    std::vector<sim::CommitEffect> commits;
+    bool usedGeneric = false;
+};
+
+Observed
+observe(const isa::Program &p, sim::SimConfig cfg, bool with_probe)
+{
+    sim::Simulator sim(p, cfg);
+    inject::CommitRecorder recorder;
+    if (with_probe)
+        sim.attachProbe(&recorder);
+    Observed o;
+    o.res = sim.run();
+    o.stats = GoldenStats(o.res.stats.all().begin(),
+                          o.res.stats.all().end());
+    o.commits = recorder.log();
+    o.usedGeneric = sim.usingGenericLoop();
+    return o;
+}
+
+void
+expectSame(const Observed &generic, const Observed &fast,
+           const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(generic.res.ok, fast.res.ok);
+    EXPECT_EQ(generic.res.reason, fast.res.reason);
+    EXPECT_EQ(generic.res.error, fast.res.error);
+    EXPECT_EQ(generic.res.cycles, fast.res.cycles);
+    EXPECT_EQ(generic.res.instructions, fast.res.instructions);
+    EXPECT_EQ(generic.stats, fast.stats);
+    ASSERT_EQ(generic.commits.size(), fast.commits.size());
+    for (std::size_t i = 0; i < generic.commits.size(); ++i)
+        if (!(generic.commits[i] == fast.commits[i])) {
+            ADD_FAILURE() << "commit " << i << ": expected "
+                          << generic.commits[i].toString() << ", got "
+                          << fast.commits[i].toString();
+            break;
+        }
+}
+
+/**
+ * Run @p p under @p cfg on the generic reference and the fast path,
+ * probed and unprobed, and require the four runs observably equal
+ * (the unprobed runs cannot record commits; everything else must
+ * match the probed ones exactly — probes observe, never perturb).
+ */
+void
+diffAllModes(const isa::Program &p, sim::SimConfig cfg,
+             bool expect_fast = true)
+{
+    sim::SimConfig generic_cfg = cfg;
+    generic_cfg.forceGeneric = true;
+
+    Observed gen = observe(p, generic_cfg, true);
+    Observed fast = observe(p, cfg, true);
+    EXPECT_TRUE(gen.usedGeneric);
+    if (expect_fast)
+        EXPECT_FALSE(fast.usedGeneric);
+    expectSame(gen, fast, "probed");
+
+    Observed gen_np = observe(p, generic_cfg, false);
+    Observed fast_np = observe(p, cfg, false);
+    gen_np.commits = gen.commits; // unprobed runs record nothing
+    fast_np.commits = fast.commits;
+    expectSame(gen, gen_np, "generic unprobed");
+    expectSame(gen, fast_np, "fast unprobed");
+}
+
+isa::Program
+prog(const std::string &src)
+{
+    isa::AsmResult r = isa::assemble(src);
+    EXPECT_TRUE(r.ok()) << r.error;
+    isa::Program p = r.program;
+    p.memorySize = 1 << 16;
+    return p;
+}
+
+sim::SimConfig
+rcCfg(int width = 4)
+{
+    sim::SimConfig cfg;
+    cfg.machine.issueWidth = width;
+    cfg.machine.memChannels = 2;
+    cfg.rc = core::RcConfig::withRc(16, 16);
+    return cfg;
+}
+
+// ---- Random whole-pipeline programs --------------------------------
+
+class PredecodeFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PredecodeFuzz, FastLoopMatchesGenericReference)
+{
+    setQuiet(true);
+    std::uint64_t seed = 0xbeef + 1301 * GetParam();
+    workloads::Workload w = fuzzer::seedWorkload(seed);
+
+    // Configuration derived from the seed, same distribution as the
+    // interpreter fuzz (test_fuzz.cc) so the two suites stress the
+    // same space from different angles.
+    SplitMix cfg_rng(seed ^ 0xfeed);
+    const int cores[] = {8, 12, 16, 24, 64};
+    int core = cores[cfg_rng.below(5)];
+    bool rc = cfg_rng.below(3) != 0;
+    const int widths[] = {1, 2, 4, 8};
+
+    harness::CompileOptions opts;
+    opts.level = cfg_rng.below(4) == 0 ? opt::OptLevel::Scalar
+                                       : opt::OptLevel::Ilp;
+    opts.machine = harness::Experiment::machineFor(
+        widths[cfg_rng.below(4)], cfg_rng.below(2) ? 2 : 4);
+    if (rc) {
+        opts.rc = core::RcConfig::withRc(
+            core, core,
+            static_cast<core::RcModel>(1 + cfg_rng.below(4)));
+        opts.rc.connectLatency = static_cast<int>(cfg_rng.below(2));
+        opts.machine.lat.connectLatency = opts.rc.connectLatency;
+        opts.rc.extraPipeStage = cfg_rng.below(2) != 0;
+    } else {
+        opts.rc = core::RcConfig::withoutRc(core, core);
+    }
+
+    harness::CompiledProgram cp = harness::compileWorkload(w, opts);
+    sim::SimConfig cfg;
+    cfg.machine = opts.machine;
+    cfg.rc = opts.rc;
+    diffAllModes(cp.program, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredecodeFuzz,
+                         ::testing::Range(0, 24));
+
+// ---- Directed mode-transition programs -----------------------------
+
+TEST(PredecodeDiff, TrapRfeAndExtendedRegisterSurvival)
+{
+    setQuiet(true);
+    isa::Program p = prog(R"(
+func handler:
+  li r5, 7
+  rfe
+func main:
+  connect.def int i5, p100
+  li r5, 99
+  trap 0
+  mov r6, r5
+  sw r6, r0, 0
+  halt
+)");
+    sim::SimConfig cfg = rcCfg();
+    cfg.trapVector = 0;
+    diffAllModes(p, cfg);
+}
+
+TEST(PredecodeDiff, HandlerTogglesTheMapThroughMtpsw)
+{
+    setQuiet(true);
+    isa::Program p = prog(R"(
+func handler:
+  mfpsw r5
+  ori  r6, r5, 1
+  mtpsw r6
+  mov r7, r4
+  rfe
+func main:
+  connect.def int i4, p100
+  li r4, 55
+  connect.use int i4, p100
+  trap 0
+  halt
+)");
+    sim::SimConfig cfg = rcCfg();
+    cfg.trapVector = 0;
+    diffAllModes(p, cfg);
+}
+
+TEST(PredecodeDiff, InterruptChaosAcrossAWorkingLoop)
+{
+    setQuiet(true);
+    isa::Program p = prog(R"(
+func handler:
+  addi r9, r9, 1
+  rfe
+func main:
+  li r1, 2000
+  li r2, 0
+  li r8, 0
+loop:
+  addi r2, r2, 3
+  connect.def int i7, p200
+  addi r7, r2, 1
+  addi r1, r1, -1
+  bgt+ r1, r8, loop
+  halt
+)");
+    for (int width : {1, 4}) {
+        SCOPED_TRACE(width);
+        sim::SimConfig cfg = rcCfg(width);
+        cfg.trapVector = 0;
+        cfg.interruptCycles = {3, 100, 500, 1500};
+        diffAllModes(p, cfg);
+
+        // Back-to-back interrupts livelock this (non-reentrant)
+        // handler: the second one fires inside it and clobbers epc,
+        // so rfe loops forever.  Both loops must agree even on that
+        // pathological run — same cycle-limit outcome, same counts.
+        cfg.interruptCycles = {100, 101};
+        cfg.maxCycles = 50000;
+        diffAllModes(p, cfg);
+    }
+}
+
+TEST(PredecodeDiff, OneCycleConnectStallsMatch)
+{
+    setQuiet(true);
+    isa::Program p = prog(R"(
+func main:
+  li r1, 300
+  li r8, 0
+  li r2, 0
+loop:
+  connect.def int i6, p120
+  addi r6, r2, 5
+  connect.use int i5, p120
+  addi r2, r5, 1
+  addi r1, r1, -1
+  bgt+ r1, r8, loop
+  halt
+)");
+    sim::SimConfig cfg = rcCfg();
+    cfg.machine.lat.connectLatency = 1;
+    cfg.rc.connectLatency = 1;
+    diffAllModes(p, cfg);
+}
+
+TEST(PredecodeDiff, TraceCollectionIsIdenticalOnBothLoops)
+{
+    setQuiet(true);
+    isa::Program p = prog(R"(
+func main:
+  li r1, 50
+  li r8, 0
+loop:
+  addi r2, r2, 3
+  addi r1, r1, -1
+  bgt+ r1, r8, loop
+  halt
+)");
+    sim::SimConfig cfg = rcCfg();
+    cfg.traceLimit = 64;
+
+    sim::Simulator fast(p, cfg);
+    sim::SimConfig generic_cfg = cfg;
+    generic_cfg.forceGeneric = true;
+    sim::Simulator generic(p, generic_cfg);
+    sim::SimResult rf = fast.run();
+    sim::SimResult rg = generic.run();
+    ASSERT_TRUE(rf.ok) << rf.error;
+    ASSERT_TRUE(rg.ok) << rg.error;
+    EXPECT_EQ(rf.cycles, rg.cycles);
+    EXPECT_FALSE(fast.trace().empty());
+    EXPECT_EQ(fast.trace(), generic.trace());
+}
+
+TEST(PredecodeDiff, OutOfRangeOperandFallsBackToGenericLoop)
+{
+    setQuiet(true);
+    // r20 is a legal direct reference only while the map is off; the
+    // conservative static validation rejects it (idx >= core) and the
+    // simulator must run the checked loop instead — and still succeed.
+    isa::Program p = prog(R"(
+func handler:
+  li r20, 3
+  rfe
+func main:
+  trap 0
+  halt
+)");
+    sim::SimConfig cfg = rcCfg(); // int core 16, physical file 256
+    cfg.trapVector = 0;
+
+    sim::Predecoded pd = sim::Predecoded::build(p, cfg);
+    EXPECT_FALSE(pd.valid);
+    EXPECT_NE(pd.reject.find("register out of range"),
+              std::string::npos)
+        << pd.reject;
+
+    diffAllModes(p, cfg, /*expect_fast=*/false);
+}
+
+TEST(PredecodeDiff, RuntimeFailuresMatchTheReferenceLoop)
+{
+    setQuiet(true);
+    // Division by zero must stop both loops at the same cycle with
+    // the same error text.
+    isa::Program p = prog(R"(
+func main:
+  li r1, 9
+  li r2, 0
+  div r3, r1, r2
+  halt
+)");
+    diffAllModes(p, rcCfg());
+}
+
+TEST(PredecodeDiff, GenericSimEnvForcesTheReferenceLoop)
+{
+    setQuiet(true);
+    isa::Program p = prog("func main:\n  halt\n");
+    ::setenv("RCSIM_GENERIC_SIM", "1", 1);
+    sim::Simulator forced(p, rcCfg());
+    EXPECT_TRUE(forced.usingGenericLoop());
+    ::setenv("RCSIM_GENERIC_SIM", "0", 1);
+    sim::Simulator off(p, rcCfg());
+    EXPECT_FALSE(off.usingGenericLoop());
+    ::unsetenv("RCSIM_GENERIC_SIM");
+    sim::Simulator fast(p, rcCfg());
+    EXPECT_FALSE(fast.usingGenericLoop());
+}
+
+// ---- Whole-suite golden parity -------------------------------------
+
+TEST(StatParity, PredecodeLeavesWorkloadGoldensUnchanged)
+{
+    setQuiet(true);
+    for (const workloads::Workload &w : workloads::allWorkloads()) {
+        for (opt::OptLevel level :
+             {opt::OptLevel::Scalar, opt::OptLevel::Ilp}) {
+            for (bool rc : {false, true}) {
+                SCOPED_TRACE(w.name + (rc ? "/rc" : "/base") +
+                             (level == opt::OptLevel::Ilp
+                                  ? "/ilp"
+                                  : "/scalar"));
+                int core = w.isFp ? 32 : 16;
+                harness::CompileOptions opts;
+                opts.level = level;
+                opts.rc = rc ? harness::rcConfigFor(w.isFp, core)
+                             : harness::baseConfigFor(w.isFp, core);
+                opts.machine =
+                    harness::Experiment::machineFor(4, 2);
+                harness::CompiledProgram cp =
+                    harness::compileWorkload(w, opts);
+
+                sim::SimConfig cfg;
+                cfg.machine = opts.machine;
+                cfg.rc = opts.rc;
+                Observed fast = observe(cp.program, cfg, false);
+                sim::SimConfig generic_cfg = cfg;
+                generic_cfg.forceGeneric = true;
+                Observed gen =
+                    observe(cp.program, generic_cfg, false);
+                EXPECT_FALSE(fast.usedGeneric);
+                expectSame(gen, fast, "golden");
+                ASSERT_TRUE(fast.res.ok) << fast.res.error;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace rcsim

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * benchdiff — compare a fresh BENCH_*.json against the committed
+ * baseline and fail on a throughput regression.
+ *
+ *   benchdiff BASELINE FRESH [--min-ratio R]
+ *
+ * Checks, in order:
+ *  - every baseline workload is present in the fresh report and its
+ *    cycle count is unchanged (cycle counts are deterministic; drift
+ *    means the timing model changed, which a perf PR must not do —
+ *    an intentional model change updates the baseline instead);
+ *  - fresh aggregate MIPS >= R * baseline aggregate MIPS (default
+ *    R = 0.85, leaving headroom for machine noise).
+ *
+ * Exit codes: 0 pass, 1 regression / drift, 2 usage or parse error.
+ * Wired into ctest under the `bench` label (tools/CMakeLists.txt)
+ * against a short fresh run, so a simulator change that tanks
+ * throughput or shifts a cycle count fails the suite, not just the
+ * next manual bench session.
+ *
+ * The JSON support library (support/json.hh) is emission-only, so
+ * this carries its own minimal extraction: just enough to pull
+ * numbers and strings out of the flat reports the bench binaries
+ * write.  Not a general parser; unknown structure fails safe with
+ * exit 2.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+struct BenchEntry
+{
+    std::string name;
+    unsigned long long cycles = 0;
+    double mips = 0.0;
+};
+
+struct Report
+{
+    std::vector<BenchEntry> benchmarks;
+    double aggregateMips = -1.0;
+};
+
+[[noreturn]] void
+parseFail(const std::string &file, const std::string &why)
+{
+    std::fprintf(stderr, "benchdiff: %s: %s\n", file.c_str(),
+                 why.c_str());
+    std::exit(2);
+}
+
+/** Value (as raw text) of `"key": <scalar>` at/after @p from. */
+bool
+scalarAfter(const std::string &s, const std::string &key,
+            std::size_t from, std::string &out,
+            std::size_t *value_pos = nullptr)
+{
+    std::string needle = "\"" + key + "\"";
+    std::size_t k = s.find(needle, from);
+    if (k == std::string::npos)
+        return false;
+    std::size_t colon = s.find(':', k + needle.size());
+    if (colon == std::string::npos)
+        return false;
+    std::size_t v = colon + 1;
+    while (v < s.size() && std::isspace(static_cast<unsigned char>(s[v])))
+        ++v;
+    if (v >= s.size())
+        return false;
+    std::size_t e = v;
+    if (s[e] == '"') { // string value
+        e = s.find('"', v + 1);
+        if (e == std::string::npos)
+            return false;
+        out = s.substr(v + 1, e - v - 1);
+    } else { // number / bool
+        while (e < s.size() && s[e] != ',' && s[e] != '}' &&
+               s[e] != ']' && s[e] != '\n')
+            ++e;
+        out = s.substr(v, e - v);
+    }
+    if (value_pos)
+        *value_pos = v;
+    return true;
+}
+
+Report
+load(const std::string &file)
+{
+    std::ifstream in(file);
+    if (!in)
+        parseFail(file, "cannot open");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string s = buf.str();
+
+    Report r;
+    std::size_t agg = s.find("\"aggregate\"");
+    if (agg == std::string::npos)
+        parseFail(file, "no \"aggregate\" section");
+    std::string v;
+    if (!scalarAfter(s, "mips", agg, v))
+        parseFail(file, "no aggregate mips value");
+    r.aggregateMips = std::atof(v.c_str());
+
+    std::size_t arr = s.find("\"benchmarks\"");
+    if (arr == std::string::npos)
+        parseFail(file, "no \"benchmarks\" array");
+    std::size_t end = s.find(']', arr);
+    if (end == std::string::npos)
+        parseFail(file, "unterminated benchmarks array");
+    std::size_t pos = arr;
+    for (;;) {
+        BenchEntry e;
+        std::size_t name_pos = 0;
+        if (!scalarAfter(s, "name", pos, e.name, &name_pos) ||
+            name_pos >= end)
+            break;
+        if (!scalarAfter(s, "cycles", name_pos, v))
+            parseFail(file, e.name + ": no cycles value");
+        e.cycles = std::strtoull(v.c_str(), nullptr, 10);
+        if (!scalarAfter(s, "mips", name_pos, v))
+            parseFail(file, e.name + ": no mips value");
+        e.mips = std::atof(v.c_str());
+        pos = name_pos;
+        r.benchmarks.push_back(std::move(e));
+    }
+    if (r.benchmarks.empty())
+        parseFail(file, "empty benchmarks array");
+    return r;
+}
+
+const BenchEntry *
+find(const Report &r, const std::string &name)
+{
+    for (const BenchEntry &e : r.benchmarks)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_file, fresh_file;
+    double min_ratio = 0.85;
+
+    std::vector<std::string> pos;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--min-ratio" && i + 1 < argc)
+            min_ratio = std::atof(argv[++i]);
+        else if (a.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            std::fprintf(
+                stderr,
+                "usage: benchdiff BASELINE FRESH [--min-ratio R]\n");
+            return 2;
+        } else
+            pos.push_back(a);
+    }
+    if (pos.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: benchdiff BASELINE FRESH "
+                     "[--min-ratio R]\n");
+        return 2;
+    }
+    baseline_file = pos[0];
+    fresh_file = pos[1];
+
+    Report base = load(baseline_file);
+    Report fresh = load(fresh_file);
+
+    bool failed = false;
+    std::printf("%-12s %10s %10s %7s  %s\n", "workload", "base",
+                "fresh", "ratio", "cycles");
+    for (const BenchEntry &b : base.benchmarks) {
+        const BenchEntry *f = find(fresh, b.name);
+        if (!f) {
+            std::printf("%-12s %10.2f %10s %7s  MISSING\n",
+                        b.name.c_str(), b.mips, "-", "-");
+            failed = true;
+            continue;
+        }
+        bool cycles_ok = f->cycles == b.cycles;
+        std::printf("%-12s %10.2f %10.2f %6.2fx  %s\n",
+                    b.name.c_str(), b.mips, f->mips,
+                    b.mips > 0 ? f->mips / b.mips : 0.0,
+                    cycles_ok ? "ok" : "DRIFT");
+        if (!cycles_ok) {
+            std::fprintf(stderr,
+                         "benchdiff: %s: cycle count drifted "
+                         "(%llu -> %llu)\n",
+                         b.name.c_str(), b.cycles, f->cycles);
+            failed = true;
+        }
+    }
+
+    double ratio = base.aggregateMips > 0
+                       ? fresh.aggregateMips / base.aggregateMips
+                       : 0.0;
+    std::printf("%-12s %10.2f %10.2f %6.2fx  (min %.2fx)\n",
+                "aggregate", base.aggregateMips, fresh.aggregateMips,
+                ratio, min_ratio);
+    if (ratio < min_ratio) {
+        std::fprintf(stderr,
+                     "benchdiff: aggregate MIPS regressed: "
+                     "%.2f -> %.2f (%.2fx < %.2fx)\n",
+                     base.aggregateMips, fresh.aggregateMips, ratio,
+                     min_ratio);
+        failed = true;
+    }
+
+    if (failed)
+        return 1;
+    std::printf("benchdiff: OK\n");
+    return 0;
+}
