@@ -240,6 +240,36 @@ main(int argc, char **argv)
     if (!identical)
         return 1;
 
+    // ---- 3. Grid churn: the constant-cost regime. ----
+    //
+    // The full sweep above is simulation-dominated, so per-point
+    // constant costs (backend compile, simulator construction or
+    // arena rebind) disappear into the noise.  This section
+    // replicates the grid with a tiny cycle cap: simulated work
+    // shrinks toward zero and the constant costs ARE the number.
+    // This is the regime the executor's per-worker arenas optimize —
+    // compare with RCSIM_ARENA=0 to see the construction cost come
+    // back.
+    std::vector<harness::SweepPoint> churn;
+    for (int rep = 0; rep < 8; ++rep)
+        for (harness::SweepPoint p : points) {
+            p.maxCycles = 2000; // most points hit the cap: fine,
+                                // we time overhead, not outcomes
+            churn.push_back(p);
+        }
+    t0 = Clock::now();
+    std::vector<harness::RunOutcome> churned =
+        harness::runSweep(churn, 1);
+    double churn_secs = secsSince(t0);
+    std::printf("churn: %zu capped points, serial %.2fs "
+                "(%.2f ms/point)\n",
+                churn.size(), churn_secs,
+                churn.empty()
+                    ? 0.0
+                    : churn_secs * 1e3 /
+                          static_cast<double>(churn.size()));
+    (void)churned;
+
     // ---- JSON report. ----
     std::string j = "{\n  \"bench\": \"sim_throughput\",\n";
     j += "  \"config\": {\"issue\": 4, \"load_latency\": 2, "
@@ -273,12 +303,21 @@ main(int argc, char **argv)
             "  \"sweep\": {\"points\": %zu, \"jobs\": %d, "
             "\"hardware_concurrency\": %u, "
             "\"serial_secs\": %.3f, \"parallel_secs\": %.3f, "
-            "\"speedup\": %.2f, \"identical\": %s}\n",
+            "\"speedup\": %.2f, \"identical\": %s},\n",
             points.size(), pool_jobs,
             std::thread::hardware_concurrency(), serial_secs,
             parallel_secs,
             parallel_secs > 0 ? serial_secs / parallel_secs : 0.0,
             identical ? "true" : "false");
+        j += buf;
+        std::snprintf(
+            buf, sizeof buf,
+            "  \"churn\": {\"points\": %zu, \"serial_secs\": %.3f, "
+            "\"ms_per_point\": %.3f}\n",
+            churn.size(), churn_secs,
+            churn.empty() ? 0.0
+                          : churn_secs * 1e3 /
+                                static_cast<double>(churn.size()));
         j += buf;
     }
     j += "}\n";

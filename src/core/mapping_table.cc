@@ -26,7 +26,13 @@ rcModelName(RcModel model)
 
 RegisterMappingTable::RegisterMappingTable(int entries, int phys_regs,
                                            bool unified)
-    : physRegs_(phys_regs), unified_(unified)
+{
+    reconfigure(entries, phys_regs, unified);
+}
+
+void
+RegisterMappingTable::reconfigure(int entries, int phys_regs,
+                                  bool unified)
 {
     if (entries <= 0)
         panic("mapping table needs a positive entry count, got ",
@@ -34,6 +40,8 @@ RegisterMappingTable::RegisterMappingTable(int entries, int phys_regs,
     if (phys_regs < entries)
         panic("physical file (", phys_regs,
               ") smaller than the map (", entries, ")");
+    physRegs_ = phys_regs;
+    unified_ = unified;
     read_.resize(entries);
     write_.resize(entries);
     reset();

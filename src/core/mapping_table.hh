@@ -92,13 +92,24 @@ class RegisterMappingTable
 
     /**
      * Raw map storage, for the specialized issue loops to hoist out
-     * of their inner loop.  The pointers stay valid for the table's
-     * lifetime: the entry count is fixed at construction, and every
-     * mutation (connects, reset(), restore()) writes elements in
-     * place.
+     * of their inner loop.  The pointers stay valid until the next
+     * reconfigure(): the entry count is otherwise fixed, and every
+     * other mutation (connects, reset(), restore()) writes elements
+     * in place.  The specialized loops re-hoist per dispatch, after
+     * any reconfigure can have happened.
      */
     const PhysIndex *readMapData() const { return read_.data(); }
     const PhysIndex *writeMapData() const { return write_.data(); }
+
+    /**
+     * Re-shape the table in place for a new configuration — the
+     * simulator-arena rebind path (sim/sim_arena.hh).  Equivalent to
+     * constructing RegisterMappingTable(entries, phys_regs, unified)
+     * but reuses the entry storage; ends reset() (all entries home).
+     * Invalidates readMapData()/writeMapData() pointers when the
+     * entry count changes.
+     */
+    void reconfigure(int entries, int phys_regs, bool unified);
 
     /** connect-use: redirect subsequent reads of idx to phys. */
     void connectUse(int idx, PhysIndex phys);
@@ -180,7 +191,7 @@ class RegisterMappingTable
 
     std::vector<PhysIndex> read_;
     std::vector<PhysIndex> write_;
-    int physRegs_;
+    int physRegs_ = 0;
     bool unified_ = false;
 };
 

@@ -1,0 +1,385 @@
+#include "harness/executor.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "harness/watchdog.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "trace/trace.hh"
+
+namespace rcsim::harness
+{
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs >= 1)
+        return jobs;
+    if (const char *env = std::getenv("RCSIM_JOBS")) {
+        int v = std::atoi(env);
+        if (v >= 1)
+            return v;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+void
+scheduleGrid(std::size_t n, int jobs,
+             const std::function<std::uint64_t(std::size_t)> &shardOf,
+             bool stealing,
+             const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    int workers = resolveJobs(jobs);
+    if (workers <= 1 || n <= 1) {
+        // Serial reference path — same exception contract as the
+        // pool below: every call still runs, and the error of the
+        // lowest grid index (here simply the first) is rethrown at
+        // the end.
+        std::exception_ptr first;
+        for (std::size_t i = 0; i < n; ++i)
+            try {
+                fn(i, 0);
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        if (first)
+            std::rethrow_exception(first);
+        return;
+    }
+    if (static_cast<std::size_t>(workers) > n)
+        workers = static_cast<int>(n);
+    const std::size_t nw = static_cast<std::size_t>(workers);
+
+    // Deterministic shard -> worker assignment: shards are numbered
+    // in first-appearance order and dealt round-robin, so the deques
+    // depend only on the grid, never on thread timing.
+    std::vector<std::deque<std::size_t>> queues(nw);
+    {
+        std::unordered_map<std::uint64_t, std::size_t> owner;
+        std::size_t next_worker = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t shard = shardOf ? shardOf(i) : i;
+            auto [it, inserted] = owner.try_emplace(shard, next_worker);
+            if (inserted)
+                next_worker = (next_worker + 1) % nw;
+            queues[it->second].push_back(i);
+        }
+    }
+
+    std::mutex queues_mutex;
+    // Exception of the lowest grid index wins, no matter which worker
+    // hit it first — deterministic propagation (every task still
+    // runs; the rethrow happens after the join).
+    std::exception_ptr first_error;
+    std::size_t first_error_index = n;
+    std::mutex error_mutex;
+
+    auto worker = [&](std::size_t w) {
+        for (;;) {
+            std::size_t i = 0;
+            bool have = false;
+            {
+                std::lock_guard<std::mutex> lock(queues_mutex);
+                if (!queues[w].empty()) {
+                    // Own shard work, in grid order: the warm path.
+                    i = queues[w].front();
+                    queues[w].pop_front();
+                    have = true;
+                } else if (stealing) {
+                    // Steal from the back of the longest queue: the
+                    // victim keeps its warm front, the thief takes
+                    // the work furthest from it.
+                    std::size_t victim = nw;
+                    std::size_t depth = 0;
+                    for (std::size_t o = 0; o < nw; ++o)
+                        if (queues[o].size() > depth) {
+                            victim = o;
+                            depth = queues[o].size();
+                        }
+                    if (victim != nw) {
+                        i = queues[victim].back();
+                        queues[victim].pop_back();
+                        have = true;
+                    }
+                }
+            }
+            if (!have)
+                return;
+            try {
+                fn(i, w);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error || i < first_error_index) {
+                    first_error = std::current_exception();
+                    first_error_index = i;
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(nw);
+    for (std::size_t w = 0; w < nw; ++w)
+        pool.emplace_back(worker, w);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+void
+parallelFor(std::size_t n, int jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    scheduleGrid(n, jobs, nullptr, true,
+                 [&](std::size_t i, std::size_t) { fn(i); });
+}
+
+// ---- Harness fault probes ------------------------------------------
+
+std::optional<HarnessFault>
+parseHarnessFault()
+{
+    const char *env = std::getenv("RCSIM_HARNESS_FAULT");
+    if (!env || !*env)
+        return std::nullopt;
+    std::string spec = env;
+    std::size_t c1 = spec.find(':');
+    if (c1 == std::string::npos) {
+        warn("ignoring malformed RCSIM_HARNESS_FAULT '", spec, "'");
+        return std::nullopt;
+    }
+    HarnessFault f;
+    f.index = std::strtoull(spec.substr(0, c1).c_str(), nullptr, 10);
+    std::size_t c2 = spec.find(':', c1 + 1);
+    std::string mode = spec.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos
+                                        : c2 - c1 - 1);
+    if (mode == "crash")
+        f.mode = HarnessFault::Mode::Crash;
+    else if (mode == "throw")
+        f.mode = HarnessFault::Mode::Throw;
+    else if (mode == "stall")
+        f.mode = HarnessFault::Mode::Stall;
+    else {
+        warn("ignoring malformed RCSIM_HARNESS_FAULT '", spec, "'");
+        return std::nullopt;
+    }
+    if (c2 != std::string::npos)
+        f.count = std::atoi(spec.substr(c2 + 1).c_str());
+    if (f.count < 1)
+        f.count = 1;
+    return f;
+}
+
+void
+harnessCrashNow()
+{
+    std::_Exit(86);
+}
+
+int
+backoffDelayMs(std::uint64_t index, int attempt, int base_ms,
+               int max_ms)
+{
+    if (base_ms < 1)
+        base_ms = 1;
+    if (max_ms < base_ms)
+        max_ms = base_ms;
+    // Exponential step, capped before the shift can overflow.
+    std::uint64_t step = static_cast<std::uint64_t>(base_ms);
+    for (int i = 0; i < attempt && step < static_cast<std::uint64_t>(max_ms); ++i)
+        step *= 2;
+    if (step > static_cast<std::uint64_t>(max_ms))
+        step = static_cast<std::uint64_t>(max_ms);
+    // Deterministic jitter in the upper half of the step: the
+    // schedule decorrelates across points yet reproduces exactly.
+    SplitMix rng(index * 0x9e3779b97f4a7c15ull +
+                 static_cast<std::uint64_t>(attempt) + 1);
+    std::uint64_t half = step / 2;
+    std::uint64_t delay = step - half + rng.next() % (half + 1);
+    if (delay > static_cast<std::uint64_t>(max_ms))
+        delay = static_cast<std::uint64_t>(max_ms);
+    return static_cast<int>(delay);
+}
+
+// ---- The resilient task loop ---------------------------------------
+
+ExecutorReport
+runTasks(const TaskGrid &grid, const ExecutorOptions &opts)
+{
+    const std::size_t n = grid.size;
+    ExecutorReport report;
+    report.results.resize(n);
+    report.attempts.assign(n, 0);
+    report.restoredFlags.assign(n, 0);
+
+    // ---- Resume: validate the journal, restore completed tasks. ---
+    if (opts.resume && !opts.journal.empty()) {
+        JournalScan scan = scanJournal(opts.journal);
+        if (scan.ok) {
+            if (scan.sweepKey != grid.key)
+                throw RcError(ErrorCategory::Resource,
+                              "journal '" + opts.journal +
+                                  "' belongs to a different " +
+                                  grid.kind + " (" + scan.sweepKey +
+                                  " != " + grid.key + ")")
+                    .addContext(std::string("resuming ") + grid.kind);
+            report.journalQuarantined = scan.quarantined;
+            report.journalTruncated = scan.truncatedTail;
+            for (const JournalRecord &rec : scan.records) {
+                TaskResult tr;
+                if (rec.index >= n ||
+                    rec.key != grid.keyOf(rec.index) ||
+                    rec.payload.empty() || !grid.restore ||
+                    !grid.restore(rec, tr)) {
+                    // A record the grid does not recognize: drop it
+                    // and re-run the task.
+                    ++report.journalQuarantined;
+                    continue;
+                }
+                tr.status = rec.status;
+                tr.meta = rec.meta;
+                tr.payload = rec.payload;
+                report.results[rec.index] = std::move(tr);
+                report.attempts[rec.index] = rec.attempts;
+                report.restoredFlags[rec.index] = 1;
+            }
+        }
+        // A missing/empty journal is not an error: first run.
+    }
+    for (char r : report.restoredFlags)
+        report.restored += r != 0;
+
+    // ---- Journal writer (truncates unless resuming). ---------------
+    Journal journal;
+    if (!opts.journal.empty()) {
+        if (!opts.resume)
+            std::remove(opts.journal.c_str());
+        journal.open(opts.journal, grid.key,
+                     static_cast<std::uint64_t>(n));
+    }
+    std::atomic<bool> journal_broken{false};
+
+    // ---- Watchdog (one monitor for the whole grid). ----------------
+    std::optional<Watchdog> watchdog;
+    if (opts.deadlineMs > 0)
+        watchdog.emplace();
+
+    std::optional<HarnessFault> fault = parseHarnessFault();
+    std::atomic<std::size_t> retry_count{0};
+
+    scheduleGrid(n, opts.jobs, grid.shardOf, opts.stealing,
+                 [&](std::size_t i, std::size_t w) {
+        if (report.restoredFlags[i])
+            return;
+        trace::Span span(grid.spanName, grid.spanCat, "index", i);
+
+        TaskResult res;
+        TaskCtx ctx;
+        ctx.worker = w;
+        int attempt = 0;
+        for (;;) {
+            Watchdog::Lease lease;
+            if (watchdog)
+                lease = watchdog->arm(
+                    std::chrono::milliseconds(opts.deadlineMs));
+            ctx.cancel = lease.flag();
+            ctx.attempt = attempt;
+            bool fault_here =
+                fault && fault->index == i && attempt < fault->count;
+            try {
+                if (fault_here &&
+                    fault->mode == HarnessFault::Mode::Crash)
+                    harnessCrashNow();
+                if (fault_here &&
+                    fault->mode == HarnessFault::Mode::Throw)
+                    throw RcError(ErrorCategory::Transient,
+                                  "injected harness fault (throw)")
+                        .addContext(grid.faultContext +
+                                    std::to_string(i));
+                if (fault_here &&
+                    fault->mode == HarnessFault::Mode::Stall) {
+                    // Park until the watchdog cancels us (capped so
+                    // a stall without a deadline cannot wedge CI).
+                    auto give_up =
+                        std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+                    while (!lease.fired() &&
+                           std::chrono::steady_clock::now() <
+                               give_up)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(10));
+                    if (grid.stall) {
+                        res = grid.stall(i, ctx);
+                    } else {
+                        RcError hang(ErrorCategory::Hang,
+                                     "stalled worker cancelled by "
+                                     "wall-clock watchdog");
+                        res = grid.fold(i, hang, ctx);
+                    }
+                } else {
+                    res = grid.run(i, ctx);
+                }
+            } catch (const std::exception &e) {
+                // The harness boundary: anything that still escaped
+                // (e.g. the throw probe) is folded by the adapter
+                // into its taxonomy rendering.
+                res = grid.fold(i, e, ctx);
+            }
+            if (!res.failed || !isRetryable(res.category) ||
+                attempt >= opts.retries)
+                break;
+            int delay = backoffDelayMs(i, attempt,
+                                       opts.backoffBaseMs,
+                                       opts.backoffMaxMs);
+            trace::instant("retry.scheduled", grid.retryCat,
+                           "index", i);
+            retry_count.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+            ++attempt;
+        }
+
+        report.results[i] = std::move(res);
+        report.attempts[i] = attempt + 1;
+
+        if (journal.isOpen() && !journal_broken.load()) {
+            JournalRecord rec;
+            rec.index = i;
+            rec.key = grid.keyOf(i);
+            rec.status = report.results[i].status;
+            rec.attempts = attempt + 1;
+            rec.meta = report.results[i].meta;
+            rec.payload = report.results[i].payload;
+            try {
+                journal.append(rec);
+            } catch (const RcError &e) {
+                // A broken journal must not kill the run itself; it
+                // completes, it just loses resumability.
+                journal_broken.store(true);
+                warn("run journal disabled: ", e.describe());
+            }
+        }
+    });
+
+    report.retries = retry_count.load();
+    for (std::size_t i = 0; i < n; ++i) {
+        const TaskResult &r = report.results[i];
+        if (r.failed)
+            report.quarantine.push_back(
+                {static_cast<std::uint64_t>(i), r.status,
+                 toString(r.category)});
+    }
+    return report;
+}
+
+} // namespace rcsim::harness

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The payload-generic task executor behind every grid walk.
+ *
+ * The paper's whole evaluation is grids — (workload × configuration)
+ * sweeps, fault-injection campaign lists, figure-bench speedup cells
+ * — and before this layer existed each runner carried its own copy of
+ * the machinery: a thread pool, the durable run journal with
+ * resume-splicing, wall-clock watchdog leases, Transient-only retry
+ * with deterministic backoff, and quarantine of finally-failed
+ * points.  runTasks() owns all of that exactly once; the sweep
+ * (harness/sweep.cc), campaign (inject/campaign.cc) and bench
+ * (bench/bench_common.cc) runners are thin adapters that describe
+ * their grid as a TaskGrid and render their own payloads.
+ *
+ * Two performance layers sit underneath:
+ *
+ *  affinity   grid points are deterministically grouped into shards
+ *             (TaskGrid::shardOf — typically by (workload, compile
+ *             options)) and each shard is assigned to one worker's
+ *             deque, so the process-wide frontend / predecode caches
+ *             are hit by workers whose caches are warm and per-worker
+ *             simulator arenas (sim::SimArena) rebind instead of
+ *             reallocating.  Workers drain their own deque in grid
+ *             order and steal across shard boundaries only when idle
+ *             (ExecutorOptions::stealing), so affinity is a fast path,
+ *             never a load-balance hazard.
+ *
+ *  arenas     every task attempt receives its worker's stable slot
+ *             (TaskCtx::worker), which adapters use to index
+ *             per-worker reusable state (simulator arenas) without
+ *             any locking.
+ *
+ * Determinism contract: every task writes only its own result slot,
+ * indexed by grid position, so the report — including its rendered
+ * JSON — is byte-identical to the serial path at any job count, with
+ * or without stealing, and across any crash/resume sequence (pinned
+ * by tests/test_executor.cc).
+ */
+
+#ifndef RCSIM_HARNESS_EXECUTOR_HH
+#define RCSIM_HARNESS_EXECUTOR_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/journal.hh"
+#include "support/error.hh"
+
+namespace rcsim::harness
+{
+
+/**
+ * Resolve a job-count request: values >= 1 are returned unchanged;
+ * 0 (or negative) means "auto" — the RCSIM_JOBS environment variable
+ * when set, otherwise std::thread::hardware_concurrency().
+ */
+int resolveJobs(int jobs);
+
+/**
+ * Run fn(0) .. fn(n - 1) on up to @p jobs worker threads (see
+ * resolveJobs()).  With jobs <= 1 the calls happen inline, in order,
+ * on the calling thread — the serial reference path.  When calls
+ * throw, every remaining call still runs and the exception of the
+ * *lowest grid index* is rethrown on the calling thread after all
+ * workers have joined — deterministic regardless of which worker
+ * lost the race (pinned by tests/test_executor.cc).
+ */
+void parallelFor(std::size_t n, int jobs,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * The scheduling primitive under parallelFor() and runTasks(): run
+ * fn(index, worker) for every grid index on up to @p jobs workers.
+ *
+ * Affinity: indices sharing a shardOf() value land on the same
+ * worker's deque (shards are assigned round-robin in first-appearance
+ * order — deterministic), and each worker drains its deque in grid
+ * order.  An idle worker steals from the back of the longest other
+ * deque when @p stealing is set; otherwise it simply finishes (strict
+ * affinity).  @p shardOf may be null: every index is its own shard
+ * (plain round-robin striping).
+ *
+ * @p worker is a stable slot in [0, workers) for indexing per-worker
+ * state; the serial path always passes 0.  Exceptions propagate as in
+ * parallelFor(): lowest grid index wins, after all work finished.
+ */
+void scheduleGrid(std::size_t n, int jobs,
+                  const std::function<std::uint64_t(std::size_t)> &shardOf,
+                  bool stealing,
+                  const std::function<void(std::size_t, std::size_t)> &fn);
+
+/** Per-attempt context handed to TaskGrid::run. */
+struct TaskCtx
+{
+    const std::atomic<bool> *cancel = nullptr; // watchdog lease flag
+    int attempt = 0;        // 0-based attempt number
+    std::size_t worker = 0; // stable worker slot (arena index)
+};
+
+/**
+ * One task attempt's rendered outcome.  The executor never inspects
+ * the payload — it journals, splices and reports it verbatim; only
+ * the failed/category pair feeds the retry and quarantine policy.
+ */
+struct TaskResult
+{
+    std::string status;  // journal status token ("ok", "cycle-limit", ...)
+    std::string meta;    // journal meta (small k=v aggregates)
+    std::string payload; // rendered JSON object for the point
+    bool failed = false;
+    ErrorCategory category = ErrorCategory::Corrupt; // when failed
+};
+
+/** One quarantined (finally-failed) task in a report. */
+struct QuarantineEntry
+{
+    std::uint64_t index = 0;
+    std::string status;   // TaskResult::status
+    std::string category; // toString(TaskResult::category)
+};
+
+/**
+ * A grid of tasks described by callbacks.  run() and fold() may be
+ * called concurrently for different indices; both must confine their
+ * side effects to slot i of caller-owned vectors (the same contract
+ * parallelFor() always had).
+ */
+struct TaskGrid
+{
+    std::string key;      // identity of the whole grid (journal header)
+    std::size_t size = 0; // number of tasks
+
+    /** What a diagnostic calls this grid ("sweep", "campaign sweep"). */
+    std::string kind = "sweep";
+
+    /** Identity key of task @p i (journal record validation). */
+    std::function<std::string(std::size_t)> keyOf;
+
+    /**
+     * Affinity shard of task @p i; tasks sharing a shard run on the
+     * same worker (cache warmth).  Null = every index its own shard.
+     */
+    std::function<std::uint64_t(std::size_t)> shardOf;
+
+    /**
+     * Run one attempt of task @p i and render its result.  Must not
+     * throw for *measured* failures (render them as failed results);
+     * anything that does escape is folded via fold().
+     */
+    std::function<TaskResult(std::size_t, const TaskCtx &)> run;
+
+    /**
+     * Fold an exception that escaped run() — or that the executor
+     * itself raised (the RCSIM_HARNESS_FAULT throw/stall probes) —
+     * into a rendered result.  Must not throw.
+     */
+    std::function<TaskResult(std::size_t, const std::exception &,
+                             const TaskCtx &)> fold;
+
+    /**
+     * Accept a journaled record during resume: validate the
+     * caller-level status, rehydrate any caller-side state for index
+     * rec.index, and fill @p out's failed/category pair (status,
+     * meta, payload and attempts are restored by the executor
+     * itself).  Return false to quarantine the record and re-run the
+     * point.  Null = resume restores nothing (every point re-runs).
+     */
+    std::function<bool(const JournalRecord &, TaskResult &)> restore;
+
+    /**
+     * Render the outcome of a stalled task — the executor parked the
+     * worker until the watchdog lease fired (the RCSIM_HARNESS_FAULT
+     * stall probe) and the adapter renders its never-retried Hang
+     * result.  Required whenever the grid can see the stall probe.
+     */
+    std::function<TaskResult(std::size_t, const TaskCtx &)> stall;
+
+    /** Trace span name/category for each task ("sweep.point", ...). */
+    const char *spanName = "executor.task";
+    const char *spanCat = "executor";
+    /** Trace category of the "retry.scheduled" instant. */
+    const char *retryCat = "harness";
+    /** Context frame prefix of the injected throw probe's RcError. */
+    std::string faultContext = "running grid point ";
+};
+
+/** Knobs for one executor run. */
+struct ExecutorOptions
+{
+    int jobs = 0;            // as resolveJobs()
+    std::string journal;     // journal path; empty = no journal
+    bool resume = false;     // restore completed tasks from journal
+    int deadlineMs = 0;      // per-attempt wall-clock deadline; 0 = off
+    int retries = 0;         // extra attempts for Transient failures
+    int backoffBaseMs = 100; // first retry delay
+    int backoffMaxMs = 2000; // backoff growth cap
+    bool stealing = true;    // cross-shard work stealing
+};
+
+/** Outcome of an executor run; everything is in grid order. */
+struct ExecutorReport
+{
+    std::vector<TaskResult> results;
+    std::vector<int> attempts;        // attempts consumed per task
+    std::vector<char> restoredFlags;  // 1 = spliced from the journal
+    std::vector<QuarantineEntry> quarantine; // failed tasks
+
+    std::size_t restored = 0; // tasks skipped via the journal
+    std::size_t retries = 0;  // retry attempts performed
+    std::size_t journalQuarantined = 0; // corrupt journal records
+    bool journalTruncated = false;      // journal had a torn tail
+};
+
+/**
+ * Run a task grid with journaling / resume / watchdog / retry /
+ * quarantine (see the file header).  Throws RcError{Resource} when
+ * asked to resume against a journal whose header names a different
+ * grid; everything else is folded into per-task results.
+ */
+ExecutorReport runTasks(const TaskGrid &grid,
+                        const ExecutorOptions &opts);
+
+// ---- Harness fault probes (kill-and-resume tests) ------------------
+
+/**
+ * Parsed RCSIM_HARNESS_FAULT=<point>:<mode>[:<count>] probe: the
+ * executor injects the fault into the matching grid index (crash =
+ * _Exit(86) before the attempt, throw = RcError{Transient} on the
+ * first <count> attempts, stall = park the worker until the watchdog
+ * lease fires, then fold RcError{Hang}).
+ */
+struct HarnessFault
+{
+    enum class Mode
+    {
+        Crash,
+        Throw,
+        Stall,
+    };
+    std::uint64_t index = 0;
+    Mode mode = Mode::Throw;
+    int count = 1;
+};
+
+/** Read + parse the env var; nullopt when unset or malformed. */
+std::optional<HarnessFault> parseHarnessFault();
+
+/** The crash probe: exits the process with the sentinel code 86. */
+[[noreturn]] void harnessCrashNow();
+
+/**
+ * Retry delay in ms for @p attempt (0-based) of point @p index:
+ * exponential in the attempt with a deterministic per-(index,
+ * attempt) jitter in the upper half of the step, clamped to
+ * [base, max].  Pure — the schedule is reproducible.
+ */
+int backoffDelayMs(std::uint64_t index, int attempt, int base_ms,
+                   int max_ms);
+
+} // namespace rcsim::harness
+
+#endif // RCSIM_HARNESS_EXECUTOR_HH

@@ -1,5 +1,7 @@
 #include "harness/experiment.hh"
 
+#include <optional>
+
 #include "harness/predecode_cache.hh"
 #include "support/logging.hh"
 
@@ -67,7 +69,8 @@ classify(RunStatus status)
 RunOutcome
 runConfiguration(const workloads::Workload &workload,
                  const CompileOptions &opts, bool keep_program,
-                 Cycle max_cycles, const std::atomic<bool> *cancel)
+                 Cycle max_cycles, const std::atomic<bool> *cancel,
+                 sim::SimArena *arena)
 {
     CompiledProgram compiled = compileWorkload(workload, opts);
 
@@ -80,9 +83,17 @@ runConfiguration(const workloads::Workload &workload,
     // Sweep grids revisit the same compiled program at many points
     // (and the frontend memoizes compilation), so the predecoded
     // side-table is shared through the process-global cache instead
-    // of rebuilt per point.
-    sim::Simulator simulator(compiled.program, sc,
-                             cachedPredecode(compiled.program, sc));
+    // of rebuilt per point — and, under the executor, the simulator
+    // itself comes from the worker's arena instead of being
+    // reconstructed (buffer reuse; results bit-identical).
+    std::optional<sim::Simulator> local;
+    if (!arena)
+        local.emplace(compiled.program, sc,
+                      cachedPredecode(compiled.program, sc));
+    sim::Simulator &simulator =
+        arena ? arena->acquire(compiled.program, sc,
+                               cachedPredecode(compiled.program, sc))
+              : *local;
     sim::SimResult res = simulator.run();
 
     RunOutcome out;
@@ -124,7 +135,8 @@ RunOutcome
 runConfigurationGuarded(const workloads::Workload &workload,
                         const CompileOptions &opts,
                         bool keep_program, Cycle max_cycles,
-                        const std::atomic<bool> *cancel)
+                        const std::atomic<bool> *cancel,
+                        sim::SimArena *arena)
 {
     // The harness boundary: every exception is folded into a failed
     // RunOutcome through the taxonomy so worker threads never die.
@@ -136,7 +148,7 @@ runConfigurationGuarded(const workloads::Workload &workload,
     };
     try {
         return runConfiguration(workload, opts, keep_program,
-                                max_cycles, cancel);
+                                max_cycles, cancel, arena);
     } catch (const RcError &e) {
         switch (e.category()) {
           case ErrorCategory::Transient:

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "harness/pipeline.hh"
+#include "sim/sim_arena.hh"
 #include "sim/simulator.hh"
 #include "support/error.hh"
 
@@ -78,12 +79,19 @@ struct RunOutcome
  * (@p cancel, see SimConfig::cancel) as RunStatus::Deadline; any
  * other simulation error still panics (it indicates an rcsim bug,
  * not a property of the configuration).
+ *
+ * @p arena, when given, supplies the simulator via
+ * sim::SimArena::acquire() — reusing the caller's pooled instance
+ * instead of constructing one (bit-identical results; see
+ * sim/sim_arena.hh).  The sweep executor passes each worker its own
+ * arena; serial callers may simply omit it.
  */
 RunOutcome runConfiguration(const workloads::Workload &workload,
                             const CompileOptions &opts,
                             bool keep_program = false,
                             Cycle max_cycles = 0,
-                            const std::atomic<bool> *cancel = nullptr);
+                            const std::atomic<bool> *cancel = nullptr,
+                            sim::SimArena *arena = nullptr);
 
 /**
  * runConfiguration() with graceful degradation: *no* exception
@@ -98,7 +106,8 @@ RunOutcome runConfigurationGuarded(const workloads::Workload &workload,
                                    bool keep_program = false,
                                    Cycle max_cycles = 0,
                                    const std::atomic<bool> *cancel =
-                                       nullptr);
+                                       nullptr,
+                                   sim::SimArena *arena = nullptr);
 
 /**
  * Caches baseline cycle counts and runs experiment sweeps.  Any

@@ -1,136 +1,14 @@
 #include "harness/sweep.hh"
 
-#include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <exception>
-#include <mutex>
-#include <optional>
-#include <thread>
+#include <utility>
 
-#include "harness/journal.hh"
-#include "harness/watchdog.hh"
+#include "sim/sim_arena.hh"
 #include "support/json.hh"
-#include "support/logging.hh"
-#include "support/random.hh"
-#include "trace/trace.hh"
 
 namespace rcsim::harness
 {
-
-int
-resolveJobs(int jobs)
-{
-    if (jobs >= 1)
-        return jobs;
-    if (const char *env = std::getenv("RCSIM_JOBS")) {
-        int v = std::atoi(env);
-        if (v >= 1)
-            return v;
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw ? static_cast<int>(hw) : 1;
-}
-
-void
-parallelFor(std::size_t n, int jobs,
-            const std::function<void(std::size_t)> &fn)
-{
-    int workers = resolveJobs(jobs);
-    if (workers <= 1 || n <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
-    if (static_cast<std::size_t>(workers) > n)
-        workers = static_cast<int>(n);
-
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-
-    auto worker = [&]() {
-        for (;;) {
-            std::size_t i = next.fetch_add(1);
-            if (i >= n)
-                return;
-            try {
-                fn(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int t = 0; t < workers; ++t)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
-    if (first_error)
-        std::rethrow_exception(first_error);
-}
-
-std::vector<RunOutcome>
-runSweep(const std::vector<SweepPoint> &points, int jobs)
-{
-    std::vector<RunOutcome> results(points.size());
-    parallelFor(points.size(), jobs, [&](std::size_t i) {
-        trace::Span span("sweep.point", "sweep", "index", i);
-        const SweepPoint &p = points[i];
-        results[i] = runConfigurationGuarded(
-            *p.workload, p.opts, p.keepProgram, p.maxCycles);
-    });
-    return results;
-}
-
-// ---- Crash-resilient sweeps ----------------------------------------
-
-std::optional<HarnessFault>
-parseHarnessFault()
-{
-    const char *env = std::getenv("RCSIM_HARNESS_FAULT");
-    if (!env || !*env)
-        return std::nullopt;
-    std::string spec = env;
-    std::size_t c1 = spec.find(':');
-    if (c1 == std::string::npos) {
-        warn("ignoring malformed RCSIM_HARNESS_FAULT '", spec, "'");
-        return std::nullopt;
-    }
-    HarnessFault f;
-    f.index = std::strtoull(spec.substr(0, c1).c_str(), nullptr, 10);
-    std::size_t c2 = spec.find(':', c1 + 1);
-    std::string mode = spec.substr(
-        c1 + 1, c2 == std::string::npos ? std::string::npos
-                                        : c2 - c1 - 1);
-    if (mode == "crash")
-        f.mode = HarnessFault::Mode::Crash;
-    else if (mode == "throw")
-        f.mode = HarnessFault::Mode::Throw;
-    else if (mode == "stall")
-        f.mode = HarnessFault::Mode::Stall;
-    else {
-        warn("ignoring malformed RCSIM_HARNESS_FAULT '", spec, "'");
-        return std::nullopt;
-    }
-    if (c2 != std::string::npos)
-        f.count = std::atoi(spec.substr(c2 + 1).c_str());
-    if (f.count < 1)
-        f.count = 1;
-    return f;
-}
-
-void
-harnessCrashNow()
-{
-    std::_Exit(86);
-}
 
 namespace
 {
@@ -186,6 +64,26 @@ payloadNumber(const std::string &payload, const std::string &field,
     return true;
 }
 
+/**
+ * Affinity shard of a point: FNV-1a over the fields the frontend
+ * cache keys compilation on (workload, opt level, unroll limit).
+ * Points sharing a shard run on one worker, whose frontend /
+ * predecode cache entries and arena buffers are warm for them.
+ */
+std::uint64_t
+shardOfPoint(const SweepPoint &p)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h = (h ^ v) * 1099511628211ull;
+    };
+    for (char c : p.workload->name)
+        mix(static_cast<unsigned char>(c));
+    mix(static_cast<std::uint64_t>(p.opts.level));
+    mix(static_cast<std::uint64_t>(p.opts.ilp.maxUnroll));
+    return h;
+}
+
 } // namespace
 
 std::string
@@ -216,31 +114,6 @@ sweepKey(const std::vector<SweepPoint> &points)
     std::snprintf(buf, sizeof buf, "n=%zu;crc=%08x", points.size(),
                   crc32(all));
     return buf;
-}
-
-int
-backoffDelayMs(std::uint64_t index, int attempt, int base_ms,
-               int max_ms)
-{
-    if (base_ms < 1)
-        base_ms = 1;
-    if (max_ms < base_ms)
-        max_ms = base_ms;
-    // Exponential step, capped before the shift can overflow.
-    std::uint64_t step = static_cast<std::uint64_t>(base_ms);
-    for (int i = 0; i < attempt && step < static_cast<std::uint64_t>(max_ms); ++i)
-        step *= 2;
-    if (step > static_cast<std::uint64_t>(max_ms))
-        step = static_cast<std::uint64_t>(max_ms);
-    // Deterministic jitter in the upper half of the step: the
-    // schedule decorrelates across points yet reproduces exactly.
-    SplitMix rng(index * 0x9e3779b97f4a7c15ull +
-                 static_cast<std::uint64_t>(attempt) + 1);
-    std::uint64_t half = step / 2;
-    std::uint64_t delay = step - half + rng.next() % (half + 1);
-    if (delay > static_cast<std::uint64_t>(max_ms))
-        delay = static_cast<std::uint64_t>(max_ms);
-    return static_cast<int>(delay);
 }
 
 std::string
@@ -274,185 +147,129 @@ runSweepResilient(const std::vector<SweepPoint> &points,
     report.outcomes.resize(n);
     report.pointJson.resize(n);
 
-    const std::string grid_key = sweepKey(points);
-    std::vector<char> restored(n, 0);
+    // One simulator arena per worker slot (executor.hh: TaskCtx
+    // names a stable worker index), so state reuse needs no locks.
+    int workers = resolveJobs(opts.jobs);
+    std::vector<sim::SimArena> arenas(
+        static_cast<std::size_t>(workers < 1 ? 1 : workers));
 
-    // ---- Resume: validate the journal, restore completed points. --
-    if (opts.resume && !opts.journal.empty()) {
-        JournalScan scan = scanJournal(opts.journal);
-        if (scan.ok) {
-            if (scan.sweepKey != grid_key)
-                throw RcError(ErrorCategory::Resource,
-                              "journal '" + opts.journal +
-                                  "' belongs to a different sweep (" +
-                                  scan.sweepKey + " != " + grid_key +
-                                  ")")
-                    .addContext("resuming sweep");
-            report.journalQuarantined = scan.quarantined;
-            report.journalTruncated = scan.truncatedTail;
-            for (const JournalRecord &rec : scan.records) {
-                RunStatus status;
-                if (rec.index >= n ||
-                    rec.key != sweepPointKey(points[rec.index]) ||
-                    !runStatusFromString(rec.status, status) ||
-                    rec.payload.empty()) {
-                    // A record the grid does not recognize: drop it
-                    // and re-run the point.
-                    ++report.journalQuarantined;
-                    continue;
-                }
-                RunOutcome out;
-                out.status = status;
-                out.attempts = rec.attempts;
-                std::uint64_t v = 0;
-                if (payloadNumber(rec.payload, "cycles", v))
-                    out.cycles = v;
-                if (payloadNumber(rec.payload, "instructions", v))
-                    out.instructions = v;
-                out.verified = status == RunStatus::Ok;
-                report.outcomes[rec.index] = std::move(out);
-                report.pointJson[rec.index] = rec.payload;
-                restored[rec.index] = 1;
-            }
-        }
-        // A missing/empty journal is not an error: first run.
-    }
-    for (char r : restored)
-        report.restored += r != 0;
-
-    // ---- Journal writer (truncates unless resuming). ---------------
-    Journal journal;
-    if (!opts.journal.empty()) {
-        if (!opts.resume)
-            std::remove(opts.journal.c_str());
-        journal.open(opts.journal, grid_key,
-                     static_cast<std::uint64_t>(n));
-    }
-    std::atomic<bool> journal_broken{false};
-
-    // ---- Watchdog (one monitor for the whole sweep). ---------------
-    std::optional<Watchdog> watchdog;
-    if (opts.deadlineMs > 0)
-        watchdog.emplace();
-
-    std::optional<HarnessFault> fault = parseHarnessFault();
-    std::atomic<std::size_t> retry_count{0};
-
-    parallelFor(n, opts.jobs, [&](std::size_t i) {
-        if (restored[i])
-            return;
-        trace::Span span("sweep.point", "sweep", "index", i);
-        const SweepPoint &p = points[i];
-
-        RunOutcome out;
-        int attempt = 0;
-        for (;;) {
-            Watchdog::Lease lease;
-            if (watchdog)
-                lease = watchdog->arm(
-                    std::chrono::milliseconds(opts.deadlineMs));
-            bool fault_here =
-                fault && fault->index == i && attempt < fault->count;
-            try {
-                if (fault_here &&
-                    fault->mode == HarnessFault::Mode::Crash)
-                    harnessCrashNow();
-                if (fault_here &&
-                    fault->mode == HarnessFault::Mode::Throw)
-                    throw RcError(ErrorCategory::Transient,
-                                  "injected harness fault (throw)")
-                        .addContext("running sweep point " +
-                                    std::to_string(i));
-                if (fault_here &&
-                    fault->mode == HarnessFault::Mode::Stall) {
-                    // Park until the watchdog cancels us (capped so
-                    // a stall without a deadline cannot wedge CI).
-                    auto give_up =
-                        std::chrono::steady_clock::now() +
-                        std::chrono::seconds(30);
-                    while (!lease.fired() &&
-                           std::chrono::steady_clock::now() <
-                               give_up)
-                        std::this_thread::sleep_for(
-                            std::chrono::milliseconds(10));
-                    out = RunOutcome{};
-                    out.status = RunStatus::Deadline;
-                    out.error = "stalled worker cancelled by "
-                                "wall-clock watchdog";
-                } else {
-                    out = runConfigurationGuarded(
-                        *p.workload, p.opts, p.keepProgram,
-                        p.maxCycles, lease.flag());
-                }
-            } catch (const std::exception &e) {
-                // The harness boundary: fold anything that still
-                // escaped (e.g. the throw probe) into the taxonomy.
-                out = RunOutcome{};
-                switch (classifyException(e)) {
-                  case ErrorCategory::Transient:
-                    out.status = RunStatus::TransientFailure;
-                    break;
-                  case ErrorCategory::Hang:
-                    out.status = RunStatus::CycleLimit;
-                    break;
-                  case ErrorCategory::Resource:
-                    out.status = RunStatus::FatalFailure;
-                    break;
-                  case ErrorCategory::Corrupt:
-                    out.status = RunStatus::PanicFailure;
-                    break;
-                }
-                if (auto *rc = dynamic_cast<const RcError *>(&e))
-                    out.error = rc->describe();
-                else
-                    out.error = e.what();
-            }
-            out.attempts = attempt + 1;
-            if (!out.failed() || !isRetryable(classify(out.status)) ||
-                attempt >= opts.retries)
-                break;
-            int delay = backoffDelayMs(i, attempt,
-                                       opts.backoffBaseMs,
-                                       opts.backoffMaxMs);
-            trace::instant("retry.scheduled", "harness", "index", i);
-            retry_count.fetch_add(1, std::memory_order_relaxed);
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(delay));
-            ++attempt;
-        }
-
+    // Fold a finished outcome into slot i and render its task result.
+    auto render = [&](std::size_t i, RunOutcome out) {
+        TaskResult tr;
+        tr.failed = out.failed();
+        if (tr.failed)
+            tr.category = classify(out.status);
+        tr.status = toString(out.status);
         report.outcomes[i] = std::move(out);
-        report.pointJson[i] =
-            pointToJson(i, p, report.outcomes[i]);
+        tr.payload = pointToJson(i, points[i], report.outcomes[i]);
+        return tr;
+    };
 
-        if (journal.isOpen() && !journal_broken.load()) {
-            JournalRecord rec;
-            rec.index = i;
-            rec.key = sweepPointKey(p);
-            rec.status = toString(report.outcomes[i].status);
-            rec.attempts = report.outcomes[i].attempts;
-            rec.payload = report.pointJson[i];
-            try {
-                journal.append(rec);
-            } catch (const RcError &e) {
-                // A broken journal must not kill the sweep itself;
-                // the run completes, it just loses resumability.
-                journal_broken.store(true);
-                warn("run journal disabled: ", e.describe());
-            }
+    TaskGrid grid;
+    grid.key = sweepKey(points);
+    grid.size = n;
+    grid.kind = "sweep";
+    grid.spanName = "sweep.point";
+    grid.spanCat = "sweep";
+    grid.retryCat = "harness";
+    grid.faultContext = "running sweep point ";
+    grid.keyOf = [&](std::size_t i) {
+        return sweepPointKey(points[i]);
+    };
+    grid.shardOf = [&](std::size_t i) {
+        return shardOfPoint(points[i]);
+    };
+    grid.run = [&](std::size_t i, const TaskCtx &ctx) {
+        const SweepPoint &p = points[i];
+        RunOutcome out = runConfigurationGuarded(
+            *p.workload, p.opts, p.keepProgram, p.maxCycles,
+            ctx.cancel, &arenas[ctx.worker]);
+        out.attempts = ctx.attempt + 1;
+        return render(i, std::move(out));
+    };
+    grid.fold = [&](std::size_t i, const std::exception &e,
+                    const TaskCtx &ctx) {
+        RunOutcome out;
+        switch (classifyException(e)) {
+          case ErrorCategory::Transient:
+            out.status = RunStatus::TransientFailure;
+            break;
+          case ErrorCategory::Hang:
+            out.status = RunStatus::CycleLimit;
+            break;
+          case ErrorCategory::Resource:
+            out.status = RunStatus::FatalFailure;
+            break;
+          case ErrorCategory::Corrupt:
+            out.status = RunStatus::PanicFailure;
+            break;
         }
-    });
+        if (auto *rc = dynamic_cast<const RcError *>(&e))
+            out.error = rc->describe();
+        else
+            out.error = e.what();
+        out.attempts = ctx.attempt + 1;
+        return render(i, std::move(out));
+    };
+    grid.stall = [&](std::size_t i, const TaskCtx &ctx) {
+        RunOutcome out;
+        out.status = RunStatus::Deadline;
+        out.error =
+            "stalled worker cancelled by wall-clock watchdog";
+        out.attempts = ctx.attempt + 1;
+        return render(i, std::move(out));
+    };
+    grid.restore = [&](const JournalRecord &rec, TaskResult &tr) {
+        RunStatus status;
+        if (!runStatusFromString(rec.status, status))
+            return false;
+        RunOutcome out;
+        out.status = status;
+        out.attempts = rec.attempts;
+        std::uint64_t v = 0;
+        if (payloadNumber(rec.payload, "cycles", v))
+            out.cycles = v;
+        if (payloadNumber(rec.payload, "instructions", v))
+            out.instructions = v;
+        out.verified = status == RunStatus::Ok;
+        tr.failed = out.failed();
+        if (tr.failed)
+            tr.category = classify(status);
+        report.outcomes[rec.index] = std::move(out);
+        return true;
+    };
 
-    report.retries = retry_count.load();
-    for (std::size_t i = 0; i < n; ++i) {
-        const RunOutcome &o = report.outcomes[i];
-        if (o.failed())
-            report.quarantine.push_back(
-                {static_cast<std::uint64_t>(i),
-                 toString(o.status),
-                 toString(classify(o.status))});
-    }
+    ExecutorOptions eo;
+    eo.jobs = opts.jobs;
+    eo.journal = opts.journal;
+    eo.resume = opts.resume;
+    eo.deadlineMs = opts.deadlineMs;
+    eo.retries = opts.retries;
+    eo.backoffBaseMs = opts.backoffBaseMs;
+    eo.backoffMaxMs = opts.backoffMaxMs;
+    eo.stealing = opts.stealing;
+
+    ExecutorReport er = runTasks(grid, eo);
+
+    for (std::size_t i = 0; i < n; ++i)
+        report.pointJson[i] = std::move(er.results[i].payload);
+    report.quarantine = std::move(er.quarantine);
+    report.restored = er.restored;
+    report.retries = er.retries;
+    report.journalQuarantined = er.journalQuarantined;
+    report.journalTruncated = er.journalTruncated;
     return report;
+}
+
+std::vector<RunOutcome>
+runSweep(const std::vector<SweepPoint> &points, int jobs)
+{
+    // The plain runner is the resilient one with every defense at
+    // its default (no journal, no deadline, no retries) — one
+    // executor implementation serves both.
+    SweepOptions opts;
+    opts.jobs = jobs;
+    return runSweepResilient(points, opts).outcomes;
 }
 
 SweepReport

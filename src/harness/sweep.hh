@@ -1,53 +1,62 @@
 /**
  * @file
- * Parallel experiment sweeps: a thread-pool runner for (workload ×
- * configuration × seed) grids.
+ * Experiment sweeps: (workload × configuration) grids run through the
+ * payload-generic task executor (harness/executor.hh).
  *
  * The paper's evaluation is an embarrassingly parallel grid — 12
- * benchmarks × issue widths × register configurations — that the
- * figure benches, Experiment and the fault-injection campaigns used
- * to walk serially.  runSweep() and parallelFor() execute such grids
- * on a pool of worker threads while keeping the results
- * deterministic: every grid point writes only its own slot, indexed
- * by grid position, so the output is identical to the serial path
- * regardless of the number of jobs or the scheduling order (the
- * parity is enforced by tests/test_perf_parity.cc).
+ * benchmarks × issue widths × register configurations.  This layer is
+ * the sweep-shaped adapter over the executor: it describes the grid
+ * (point identity keys, affinity shards, the guarded
+ * compile-and-simulate run, the rendered point JSON) and the executor
+ * owns scheduling, journaling, resume, watchdog, retry and
+ * quarantine.  Determinism is inherited from the executor's
+ * slot-indexed output contract: every grid point writes only its own
+ * slot, so results are identical to the serial path regardless of job
+ * count or scheduling order (enforced by tests/test_perf_parity.cc
+ * and tests/test_executor.cc).
  *
- * Thread-safety contract for work run under parallelFor(): the
- * compile + simulate pipeline holds no mutable global state (the
- * logging quiet flags are atomic), so independent grid points may run
- * concurrently as long as each writes only its own result slot.
+ * Thread-safety contract for sweep work: the compile + simulate
+ * pipeline holds no mutable global state (the logging quiet flags are
+ * atomic, the frontend/predecode caches lock internally), so
+ * independent grid points may run concurrently as long as each writes
+ * only its own result slot.  Each worker additionally owns a
+ * sim::SimArena, so simulator state reuse needs no locking.
+ *
+ * runSweepResilient() layers four defenses around the plain runner:
+ *
+ *  journal   every completed point is durably appended to a JSONL
+ *            run journal (harness/journal.hh) the moment it
+ *            finishes, so a crashed or killed sweep loses at most
+ *            the points that were in flight;
+ *  resume    a restarted sweep validates the journal and skips the
+ *            recorded points, splicing their journaled JSON bytes
+ *            into the final document — the resumed report is
+ *            byte-identical to an uninterrupted run;
+ *  watchdog  a per-point wall-clock deadline cancels runaway
+ *            simulations cooperatively (RunStatus::Deadline);
+ *  retry     Transient failures are retried with bounded exponential
+ *            backoff and deterministic per-(point, attempt) jitter;
+ *            Hang (CycleLimit / Deadline), Corrupt and Resource
+ *            failures are never retried.  Points that exhaust the
+ *            attempt cap land in the quarantine report.
+ *
+ * RCSIM_HARNESS_FAULT=<point>:<mode>[:<count>] (mode = crash, throw
+ * or stall) injects harness-level faults into the executor for the
+ * kill-and-resume tests (see executor.hh).
  */
 
 #ifndef RCSIM_HARNESS_SWEEP_HH
 #define RCSIM_HARNESS_SWEEP_HH
 
 #include <cstddef>
-#include <functional>
-#include <optional>
+#include <string>
 #include <vector>
 
+#include "harness/executor.hh"
 #include "harness/experiment.hh"
 
 namespace rcsim::harness
 {
-
-/**
- * Resolve a job-count request: values >= 1 are returned unchanged;
- * 0 (or negative) means "auto" — the RCSIM_JOBS environment variable
- * when set, otherwise std::thread::hardware_concurrency().
- */
-int resolveJobs(int jobs);
-
-/**
- * Run fn(0) .. fn(n - 1) on up to @p jobs worker threads (see
- * resolveJobs()).  With jobs <= 1 the calls happen inline, in order,
- * on the calling thread — the serial reference path.  The first
- * exception thrown by any call is rethrown on the calling thread
- * after all workers have joined.
- */
-void parallelFor(std::size_t n, int jobs,
-                 const std::function<void(std::size_t)> &fn);
 
 /** One grid point of a sweep. */
 struct SweepPoint
@@ -66,33 +75,7 @@ struct SweepPoint
 std::vector<RunOutcome> runSweep(const std::vector<SweepPoint> &points,
                                  int jobs = 0);
 
-// ---- Crash-resilient sweeps ----------------------------------------
-//
-// runSweepResilient() adds four defenses around the plain runner:
-//
-//  journal   every completed point is durably appended to a JSONL
-//            run journal (harness/journal.hh) the moment it
-//            finishes, so a crashed or killed sweep loses at most
-//            the points that were in flight;
-//  resume    a restarted sweep validates the journal and skips the
-//            recorded points, splicing their journaled JSON bytes
-//            into the final document — the resumed report is
-//            byte-identical to an uninterrupted run;
-//  watchdog  a per-point wall-clock deadline cancels runaway
-//            simulations cooperatively (RunStatus::Deadline);
-//  retry     Transient failures are retried with bounded exponential
-//            backoff and deterministic per-(point, attempt) jitter;
-//            Hang (CycleLimit / Deadline), Corrupt and Resource
-//            failures are never retried.  Points that exhaust the
-//            attempt cap land in the quarantine report.
-//
-// RCSIM_HARNESS_FAULT=<point>:<mode>[:<count>] (mode = crash, throw
-// or stall) injects harness-level faults into the sweep worker for
-// the kill-and-resume tests: crash calls _Exit(86) before the point
-// runs, throw raises an RcError{Transient} on the point's first
-// <count> attempts, stall parks the worker until the watchdog fires.
-
-/** Knobs for a resilient sweep. */
+/** Knobs for a resilient sweep (mirrors ExecutorOptions). */
 struct SweepOptions
 {
     int jobs = 0;            // as runSweep()
@@ -102,14 +85,7 @@ struct SweepOptions
     int retries = 0;         // extra attempts for Transient failures
     int backoffBaseMs = 100; // first retry delay
     int backoffMaxMs = 2000; // backoff growth cap
-};
-
-/** One quarantined (finally-failed) point in the report. */
-struct QuarantineEntry
-{
-    std::uint64_t index = 0;
-    std::string status;   // toString(RunStatus)
-    std::string category; // toString(ErrorCategory)
+    bool stealing = true;    // cross-shard work stealing
 };
 
 /** Outcome of a resilient sweep. */
@@ -117,7 +93,7 @@ struct SweepReport
 {
     std::vector<RunOutcome> outcomes;    // grid order; restored
                                          // entries carry status +
-                                         // attempts only
+                                         // attempts + measurements
     std::vector<std::string> pointJson;  // rendered per-point JSON
     std::vector<QuarantineEntry> quarantine; // failed points, grid
                                              // order
@@ -134,43 +110,11 @@ struct SweepReport
     std::string toJson() const;
 };
 
-/**
- * Parsed RCSIM_HARNESS_FAULT=<point>:<mode>[:<count>] probe, shared
- * by the sweep and campaign runners (the kill-and-resume tests).
- */
-struct HarnessFault
-{
-    enum class Mode
-    {
-        Crash, // _Exit(86) before the point runs
-        Throw, // RcError{Transient} on the first <count> attempts
-        Stall, // park the worker until the watchdog fires
-    };
-    std::uint64_t index = 0;
-    Mode mode = Mode::Throw;
-    int count = 1;
-};
-
-/** Read + parse the env var; nullopt when unset or malformed. */
-std::optional<HarnessFault> parseHarnessFault();
-
-/** The crash probe: exits the process with the sentinel code 86. */
-[[noreturn]] void harnessCrashNow();
-
 /** Identity key of one grid point (journal validation). */
 std::string sweepPointKey(const SweepPoint &p);
 
 /** Identity key of the whole grid (journal header). */
 std::string sweepKey(const std::vector<SweepPoint> &points);
-
-/**
- * Retry delay in ms for @p attempt (0-based) of point @p index:
- * exponential in the attempt with a deterministic per-(index,
- * attempt) jitter in the upper half of the step, clamped to
- * [base, max].  Pure — the schedule is reproducible.
- */
-int backoffDelayMs(std::uint64_t index, int attempt, int base_ms,
-                   int max_ms);
 
 /** Run a sweep with journaling / resume / watchdog / retries. */
 SweepReport runSweepResilient(const std::vector<SweepPoint> &points,

@@ -2,13 +2,10 @@
 
 #include <chrono>
 #include <cstdio>
-#include <optional>
-#include <thread>
 
 #include "harness/journal.hh"
 #include "harness/predecode_cache.hh"
 #include "harness/sweep.hh"
-#include "harness/watchdog.hh"
 #include "inject/injector.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -516,171 +513,100 @@ runCampaignSweepResilient(const std::vector<CampaignConfig> &cfgs,
     report.campaignJson.resize(n);
     report.restoredFlags.assign(n, false);
 
-    const std::string grid_key =
-        campaignSweepKey(cfgs, opts.includeRuns);
-
-    // ---- Resume: validate the journal, restore completed ones. -----
-    if (opts.resume && !opts.journal.empty()) {
-        harness::JournalScan scan =
-            harness::scanJournal(opts.journal);
-        if (scan.ok) {
-            if (scan.sweepKey != grid_key)
-                throw RcError(ErrorCategory::Resource,
-                              "journal '" + opts.journal +
-                                  "' belongs to a different campaign "
-                                  "sweep (" +
-                                  scan.sweepKey + " != " + grid_key +
-                                  ")")
-                    .addContext("resuming campaign sweep");
-            report.journalQuarantined = scan.quarantined;
-            report.journalTruncated = scan.truncatedTail;
-            for (const harness::JournalRecord &rec : scan.records) {
-                bool failed = false;
-                int sdc = 0;
-                int hang = 0;
-                if (rec.index >= n ||
-                    rec.key != campaignKey(cfgs[rec.index],
-                                           opts.includeRuns) ||
-                    !campaignStatusValid(rec.status) ||
-                    rec.payload.empty() ||
-                    !parseCampaignMeta(rec.meta, failed, sdc,
-                                       hang)) {
-                    ++report.journalQuarantined;
-                    continue;
-                }
-                CampaignResult res;
-                res.workload = cfgs[rec.index].workload;
-                res.label = cfgs[rec.index].label;
-                res.seedBase = cfgs[rec.index].seedBase;
-                res.failed = failed;
-                res.sdc = sdc;
-                res.hang = hang;
-                report.results[rec.index] = std::move(res);
-                report.campaignJson[rec.index] = rec.payload;
-                report.restoredFlags[rec.index] = true;
-            }
-        }
-        // A missing/empty journal is not an error: first run.
-    }
-    for (std::size_t i = 0; i < n; ++i)
-        report.restored += report.restoredFlags[i] ? 1 : 0;
-
-    // ---- Journal writer (truncates unless resuming). ---------------
-    harness::Journal journal;
-    if (!opts.journal.empty()) {
-        if (!opts.resume)
-            std::remove(opts.journal.c_str());
-        journal.open(opts.journal, grid_key,
-                     static_cast<std::uint64_t>(n));
-    }
-    bool journal_broken = false;
-
-    // ---- Watchdog (one monitor for the whole sweep). ---------------
-    std::optional<harness::Watchdog> watchdog;
-    if (opts.deadlineMs > 0)
-        watchdog.emplace();
-
-    std::optional<harness::HarnessFault> fault =
-        harness::parseHarnessFault();
-
-    // Campaigns run serially here: each one already fans its faulted
-    // replays out over CampaignConfig::jobs.
-    for (std::size_t i = 0; i < n; ++i) {
-        if (report.restoredFlags[i])
-            continue;
-        trace::Span span("campaign.point", "inject", "index", i);
-        const CampaignConfig &cfg = cfgs[i];
-
-        CampaignResult res;
-        ErrorCategory category = ErrorCategory::Corrupt;
-        int attempt = 0;
-        for (;;) {
-            harness::Watchdog::Lease lease;
-            if (watchdog)
-                lease = watchdog->arm(
-                    std::chrono::milliseconds(opts.deadlineMs));
-            bool fault_here = fault && fault->index == i &&
-                              attempt < fault->count;
-            try {
-                if (fault_here &&
-                    fault->mode ==
-                        harness::HarnessFault::Mode::Crash)
-                    harness::harnessCrashNow();
-                if (fault_here &&
-                    fault->mode ==
-                        harness::HarnessFault::Mode::Throw)
-                    throw RcError(ErrorCategory::Transient,
-                                  "injected harness fault (throw)")
-                        .addContext("running campaign " +
-                                    std::to_string(i));
-                if (fault_here &&
-                    fault->mode ==
-                        harness::HarnessFault::Mode::Stall) {
-                    // Park until the watchdog cancels us (capped so
-                    // a stall without a deadline cannot wedge CI).
-                    auto give_up =
-                        std::chrono::steady_clock::now() +
-                        std::chrono::seconds(30);
-                    while (!lease.fired() &&
-                           std::chrono::steady_clock::now() <
-                               give_up)
-                        std::this_thread::sleep_for(
-                            std::chrono::milliseconds(10));
-                    res = failedCampaign(
-                        cfg, "stalled worker cancelled by "
-                             "wall-clock watchdog");
-                    category = ErrorCategory::Hang;
-                } else {
-                    ScopedQuietErrors hush;
-                    CampaignConfig run_cfg = cfg;
-                    run_cfg.cancel = lease.flag();
-                    res = runCampaign(run_cfg);
-                }
-            } catch (const std::exception &e) {
-                category = classifyException(e);
-                if (auto *rc = dynamic_cast<const RcError *>(&e))
-                    res = failedCampaign(cfg, rc->describe());
-                else
-                    res = failedCampaign(cfg, e.what());
-            }
-            if (!res.failed || !isRetryable(category) ||
-                attempt >= opts.retries)
-                break;
-            int delay = harness::backoffDelayMs(
-                static_cast<std::uint64_t>(i), attempt,
-                opts.backoffBaseMs, opts.backoffMaxMs);
-            trace::instant("retry.scheduled", "inject", "index", i);
-            ++report.retries;
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(delay));
-            ++attempt;
-        }
-
+    // Fold a finished campaign into slot i and render its result.
+    auto render = [&](std::size_t i, CampaignResult res,
+                      ErrorCategory category) {
+        harness::TaskResult tr;
+        tr.failed = res.failed;
+        if (tr.failed)
+            tr.category = category;
+        tr.status = res.failed ? toString(category) : "ok";
+        tr.meta = campaignMeta(res);
         report.results[i] = std::move(res);
-        report.campaignJson[i] =
-            report.results[i].toJson(opts.includeRuns);
+        tr.payload = report.results[i].toJson(opts.includeRuns);
+        return tr;
+    };
 
-        if (journal.isOpen() && !journal_broken) {
-            harness::JournalRecord rec;
-            rec.index = i;
-            rec.key = campaignKey(cfg, opts.includeRuns);
-            rec.status = report.results[i].failed
-                             ? toString(category)
-                             : "ok";
-            rec.attempts = attempt + 1;
-            rec.meta = campaignMeta(report.results[i]);
-            rec.payload = report.campaignJson[i];
-            try {
-                journal.append(rec);
-            } catch (const RcError &e) {
-                // A broken journal must not kill the sweep itself;
-                // the run completes, it just loses resumability.
-                journal_broken = true;
-                warn("run journal disabled: ", e.describe());
-            }
-        }
+    harness::TaskGrid grid;
+    grid.key = campaignSweepKey(cfgs, opts.includeRuns);
+    grid.size = n;
+    grid.kind = "campaign sweep";
+    grid.spanName = "campaign.point";
+    grid.spanCat = "inject";
+    grid.retryCat = "inject";
+    grid.faultContext = "running campaign ";
+    grid.keyOf = [&](std::size_t i) {
+        return campaignKey(cfgs[i], opts.includeRuns);
+    };
+    grid.run = [&](std::size_t i, const harness::TaskCtx &ctx) {
+        // A bad configuration is reported in the sweep result; don't
+        // let its panic/fatal print mid-sweep.
+        ScopedQuietErrors hush;
+        CampaignConfig run_cfg = cfgs[i];
+        run_cfg.cancel = ctx.cancel;
+        return render(i, runCampaign(run_cfg),
+                      ErrorCategory::Corrupt); // category unused: a
+                                               // returned result is
+                                               // never failed
+    };
+    grid.fold = [&](std::size_t i, const std::exception &e,
+                    const harness::TaskCtx &) {
+        ErrorCategory category = classifyException(e);
+        CampaignResult res;
+        if (auto *rc = dynamic_cast<const RcError *>(&e))
+            res = failedCampaign(cfgs[i], rc->describe());
+        else
+            res = failedCampaign(cfgs[i], e.what());
+        return render(i, std::move(res), category);
+    };
+    grid.stall = [&](std::size_t i, const harness::TaskCtx &) {
+        return render(i,
+                      failedCampaign(cfgs[i],
+                                     "stalled worker cancelled by "
+                                     "wall-clock watchdog"),
+                      ErrorCategory::Hang);
+    };
+    grid.restore = [&](const harness::JournalRecord &rec,
+                       harness::TaskResult &tr) {
+        bool failed = false;
+        int sdc = 0;
+        int hang = 0;
+        if (!campaignStatusValid(rec.status) ||
+            !parseCampaignMeta(rec.meta, failed, sdc, hang))
+            return false;
+        CampaignResult res;
+        res.workload = cfgs[rec.index].workload;
+        res.label = cfgs[rec.index].label;
+        res.seedBase = cfgs[rec.index].seedBase;
+        res.failed = failed;
+        res.sdc = sdc;
+        res.hang = hang;
+        report.results[rec.index] = std::move(res);
+        tr.failed = failed;
+        return true;
+    };
+
+    harness::ExecutorOptions eo;
+    // Campaigns run serially at the grid level: each one already
+    // fans its faulted replays out over CampaignConfig::jobs.
+    eo.jobs = 1;
+    eo.journal = opts.journal;
+    eo.resume = opts.resume;
+    eo.deadlineMs = opts.deadlineMs;
+    eo.retries = opts.retries;
+    eo.backoffBaseMs = opts.backoffBaseMs;
+    eo.backoffMaxMs = opts.backoffMaxMs;
+
+    harness::ExecutorReport er = harness::runTasks(grid, eo);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        report.campaignJson[i] = std::move(er.results[i].payload);
+        report.restoredFlags[i] = er.restoredFlags[i] != 0;
     }
-
+    report.restored = er.restored;
+    report.retries = er.retries;
+    report.journalQuarantined = er.journalQuarantined;
+    report.journalTruncated = er.journalTruncated;
     for (const CampaignResult &res : report.results) {
         if (res.failed)
             ++report.failedConfigs;

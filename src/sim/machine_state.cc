@@ -9,7 +9,7 @@ namespace rcsim::sim
 
 MachineState::MachineState(const isa::Program &prog,
                            const SimConfig &cfg)
-    : prog_(prog), cfg_(cfg),
+    : prog_(&prog), cfg_(&cfg),
       imap_(cfg.rc.core(isa::RegClass::Int),
             cfg.rc.total(isa::RegClass::Int), !cfg.rc.splitMaps),
       fmap_(cfg.rc.core(isa::RegClass::Fp),
@@ -19,22 +19,35 @@ MachineState::MachineState(const isa::Program &prog,
 }
 
 void
+MachineState::rebind(const isa::Program &prog, const SimConfig &cfg)
+{
+    prog_ = &prog;
+    cfg_ = &cfg;
+    imap_.reconfigure(cfg.rc.core(isa::RegClass::Int),
+                      cfg.rc.total(isa::RegClass::Int),
+                      !cfg.rc.splitMaps);
+    fmap_.reconfigure(cfg.rc.core(isa::RegClass::Fp),
+                      cfg.rc.total(isa::RegClass::Fp),
+                      !cfg.rc.splitMaps);
+}
+
+void
 MachineState::reset()
 {
-    iregs_.assign(cfg_.rc.total(isa::RegClass::Int), 0);
-    fregs_.assign(cfg_.rc.total(isa::RegClass::Fp), 0.0);
+    iregs_.assign(cfg_->rc.total(isa::RegClass::Int), 0);
+    fregs_.assign(cfg_->rc.total(isa::RegClass::Fp), 0.0);
     imap_.reset();
     fmap_.reset();
     psw_ = core::ProcessorStatusWord{};
-    psw_.setExtendedFormat(cfg_.rc.enabled);
+    psw_.setExtendedFormat(cfg_->rc.enabled);
 
-    memory_.assign(prog_.memorySize, 0);
-    if (prog_.dataBase + prog_.dataImage.size() > memory_.size())
+    memory_.assign(prog_->memorySize, 0);
+    if (prog_->dataBase + prog_->dataImage.size() > memory_.size())
         fatal("program data image exceeds configured memory");
-    std::memcpy(memory_.data() + prog_.dataBase,
-                prog_.dataImage.data(), prog_.dataImage.size());
+    std::memcpy(memory_.data() + prog_->dataBase,
+                prog_->dataImage.data(), prog_->dataImage.size());
 
-    pc = prog_.entry;
+    pc = prog_->entry;
     epc = 0;
     epsw = psw_.bits;
     // The stack grows down from the top of memory.
@@ -63,10 +76,10 @@ MachineState::saveContext() const
     } else {
         ctx.iregs.assign(iregs_.begin(),
                          iregs_.begin() +
-                             cfg_.rc.core(isa::RegClass::Int));
+                             cfg_->rc.core(isa::RegClass::Int));
         ctx.fregs.assign(fregs_.begin(),
                          fregs_.begin() +
-                             cfg_.rc.core(isa::RegClass::Fp));
+                             cfg_->rc.core(isa::RegClass::Fp));
     }
     return ctx;
 }

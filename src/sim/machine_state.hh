@@ -51,6 +51,15 @@ class MachineState
     /** Reset registers, maps and memory to the program's image. */
     void reset();
 
+    /**
+     * Point this state at a different (program, config) pair and
+     * re-shape the mapping tables for it, reusing the register-file
+     * and memory buffers — the simulator-arena reuse path
+     * (sim/sim_arena.hh).  Both referents must outlive the next
+     * rebind; the caller (Simulator::rebind) follows with reset().
+     */
+    void rebind(const isa::Program &prog, const SimConfig &cfg);
+
     // -- Register access through the mapping table ---------------------
 
     // Resolution runs once per operand per simulated instruction, so
@@ -60,7 +69,7 @@ class MachineState
     int
     resolveRead(const isa::Reg &r) const
     {
-        if (!cfg_.rc.enabled || !psw_.mapEnable())
+        if (!cfg_->rc.enabled || !psw_.mapEnable())
             return r.idx;
         return map(r.cls).readMap(r.idx);
     }
@@ -69,7 +78,7 @@ class MachineState
     int
     resolveWrite(const isa::Reg &r) const
     {
-        if (!cfg_.rc.enabled || !psw_.mapEnable())
+        if (!cfg_->rc.enabled || !psw_.mapEnable())
             return r.idx;
         return map(r.cls).writeMap(r.idx);
     }
@@ -165,8 +174,11 @@ class MachineState
     void restoreContext(const ProcessContext &ctx);
 
   private:
-    const isa::Program &prog_;
-    const SimConfig &cfg_;
+    // Pointers, not references: rebind() retargets them in place so
+    // an arena-pooled state can serve successive (program, config)
+    // pairs without reconstruction.
+    const isa::Program *prog_;
+    const SimConfig *cfg_;
 
     std::vector<Word> iregs_;
     std::vector<double> fregs_;

@@ -1,0 +1,39 @@
+#include "sim/sim_arena.hh"
+
+#include <cstdlib>
+
+namespace rcsim::sim
+{
+
+namespace
+{
+
+/** RCSIM_ARENA: unset, empty or anything but "0" means reuse on. */
+bool
+arenaReuseEnabled()
+{
+    static const bool enabled = [] {
+        const char *e = std::getenv("RCSIM_ARENA");
+        return e == nullptr || *e == '\0' ||
+               !(e[0] == '0' && e[1] == '\0');
+    }();
+    return enabled;
+}
+
+} // namespace
+
+Simulator &
+SimArena::acquire(const isa::Program &prog, const SimConfig &cfg,
+                  std::shared_ptr<const Predecoded> predecoded)
+{
+    if (sim_ && arenaReuseEnabled()) {
+        sim_->rebind(prog, cfg, std::move(predecoded));
+        ++rebinds_;
+    } else {
+        sim_ = std::make_unique<Simulator>(prog, cfg,
+                                           std::move(predecoded));
+    }
+    return *sim_;
+}
+
+} // namespace rcsim::sim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-worker simulator arena: one reusable Simulator per sweep worker.
+ *
+ * A grid walk constructs a simulator per point, and construction is
+ * dominated by allocation — the memory image alone is megabytes per
+ * workload, plus register files, scoreboards and mapping tables.  An
+ * arena keeps one Simulator alive across the points a worker runs and
+ * retargets it with Simulator::rebind(), which re-shapes the state in
+ * place: every std::vector involved is re-assign()ed to the new
+ * configuration's size, so capacity (and the allocation) is reused
+ * whenever the worker stays on similar configurations — exactly what
+ * the executor's affinity sharding (harness/executor.hh) arranges.
+ *
+ * Bit-identity contract: rebind() ends in reset(), which reassigns
+ * every mutable member, so a run from an arena-reused simulator is
+ * bit-identical to one from a freshly constructed simulator (pinned
+ * by tests/test_executor.cc).  RCSIM_ARENA=0 disables the reuse —
+ * acquire() then constructs a fresh Simulator every time — as the
+ * escape hatch for bisecting any suspected reuse bug.
+ *
+ * Lifetime contract: the returned simulator holds a pointer to the
+ * bound program, so it may only be used while that program is alive.
+ * The bound program is allowed to die *between* uses — the pooled
+ * instance then holds a dangling binding, which is harmless because
+ * acquire() rebinds (and resets) before handing the simulator out
+ * again.  An arena is single-worker state: acquire() and the
+ * returned simulator must not be used concurrently.
+ */
+
+#ifndef RCSIM_SIM_SIM_ARENA_HH
+#define RCSIM_SIM_SIM_ARENA_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/simulator.hh"
+
+namespace rcsim::sim
+{
+
+/** One worker's reusable simulator slot. */
+class SimArena
+{
+  public:
+    /**
+     * A simulator bound to (@p prog, @p cfg, @p predecoded): the
+     * pooled instance rebound in place when reuse is enabled, a
+     * fresh construction otherwise.  Valid until the next acquire().
+     */
+    Simulator &acquire(const isa::Program &prog, const SimConfig &cfg,
+                       std::shared_ptr<const Predecoded> predecoded =
+                           nullptr);
+
+    /** Rebinds served (reuse hits); fresh constructions excluded. */
+    std::uint64_t rebinds() const { return rebinds_; }
+
+  private:
+    std::unique_ptr<Simulator> sim_;
+    std::uint64_t rebinds_ = 0;
+};
+
+} // namespace rcsim::sim
+
+#endif // RCSIM_SIM_SIM_ARENA_HH

@@ -83,18 +83,36 @@ Simulator::Simulator(const isa::Program &prog, const SimConfig &cfg)
 
 Simulator::Simulator(const isa::Program &prog, const SimConfig &cfg,
                      std::shared_ptr<const Predecoded> predecoded)
-    : prog_(prog), cfg_(cfg), state_(prog, cfg_),
-      pd_(std::move(predecoded))
+    : prog_(&prog), cfg_(cfg), state_(prog, cfg_)
+{
+    configure(std::move(predecoded));
+}
+
+void
+Simulator::rebind(const isa::Program &prog, const SimConfig &cfg,
+                  std::shared_ptr<const Predecoded> predecoded)
+{
+    prog_ = &prog;
+    cfg_ = cfg;
+    // state_ keeps referring to the member cfg_, never the caller's.
+    state_.rebind(prog, cfg_);
+    probe_ = nullptr; // fresh-simulator semantics: no probe attached
+    configure(std::move(predecoded));
+}
+
+void
+Simulator::configure(std::shared_ptr<const Predecoded> predecoded)
 {
     if (cfg_.rc.enabled && !cfg_.rc.splitMaps &&
         cfg_.rc.model != core::RcModel::NoReset)
         fatal("unified maps require the no-reset model");
+    pd_ = std::move(predecoded);
     rcEnabled_ = cfg_.rc.enabled;
     useGeneric_ = cfg_.forceGeneric || genericSimRequested();
     if (!useGeneric_) {
         if (!pd_)
             pd_ = std::make_shared<const Predecoded>(
-                Predecoded::build(prog_, cfg_));
+                Predecoded::build(*prog_, cfg_));
         if (!pd_->valid)
             useGeneric_ = true; // checked-path fallback
     }
@@ -106,7 +124,7 @@ Simulator::invalidatePredecode()
 {
     if (useGeneric_)
         return; // the generic loop reads prog_ directly
-    Predecoded fresh = Predecoded::build(prog_, cfg_);
+    Predecoded fresh = Predecoded::build(*prog_, cfg_);
     if (!fresh.valid) {
         useGeneric_ = true;
         pd_.reset();
@@ -282,11 +300,11 @@ Simulator::issueCycleTail()
     int issued = 0;
     while (slots > 0 && !halted_) {
         if (state_.pc < 0 ||
-            state_.pc >= static_cast<std::int32_t>(prog_.code.size())) {
+            state_.pc >= static_cast<std::int32_t>(prog_->code.size())) {
             fail("program counter out of range");
             break;
         }
-        const Instruction &ins = prog_.code[state_.pc];
+        const Instruction &ins = prog_->code[state_.pc];
         const OpcodeInfo &info = ins.info();
         bool rc_on = cfg_.rc.enabled && state_.psw().mapEnable();
 

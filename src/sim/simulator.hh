@@ -74,6 +74,18 @@ class Simulator
     Simulator(const isa::Program &prog, const SimConfig &cfg,
               std::shared_ptr<const Predecoded> predecoded);
 
+    /**
+     * Re-target this simulator at a new (program, config) pair, as
+     * if freshly constructed — but reusing the register-file,
+     * scoreboard, map and memory buffers instead of reallocating
+     * them (the per-worker arena path, sim/sim_arena.hh).  Detaches
+     * any probe; @p prog must outlive the next rebind.  Ends in
+     * reset(), so the subsequent run() is bit-identical to one from
+     * a fresh Simulator(prog, cfg, predecoded).
+     */
+    void rebind(const isa::Program &prog, const SimConfig &cfg,
+                std::shared_ptr<const Predecoded> predecoded = nullptr);
+
     /** Reset and run until halt (or error / cycle limit). */
     SimResult run();
 
@@ -126,6 +138,13 @@ class Simulator
     bool usingGenericLoop() const { return useGeneric_; }
 
   private:
+    /**
+     * Shared tail of construction and rebind(): validate the config,
+     * cache the mode flags, build (or adopt) the predecoded table
+     * and reset().
+     */
+    void configure(std::shared_ptr<const Predecoded> predecoded);
+
     /** Issue one cycle's group; updates pc/cycle bookkeeping. */
     void issueCycle();
 
@@ -225,7 +244,9 @@ class Simulator
                                          : readyFp_[phys];
     }
 
-    const isa::Program &prog_;
+    // A pointer, not a reference: rebind() retargets it (cfg_ is
+    // by-value and simply reassigned; state_ rebinds alongside).
+    const isa::Program *prog_;
     SimConfig cfg_;
     MachineState state_;
 

@@ -296,7 +296,7 @@ Simulator::issueCycleTailT(FastCtx &ctx)
                     head, sizeof head, "%llu  %d: ",
                     static_cast<unsigned long long>(cycle), pc);
                 trace_.append(head, static_cast<std::size_t>(n));
-                trace_ += prog_.code[pc].toString();
+                trace_ += prog_->code[pc].toString();
                 trace_ += '\n';
             }
         }

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the payload-generic task executor (harness/executor.hh):
+ * the scheduling primitive (coverage, affinity, stealing), the
+ * lowest-grid-index exception contract of parallelFor(), the
+ * determinism contract (sweep and campaign JSON byte-identical across
+ * job counts, stealing on/off, and crash/resume at fuzzed cut
+ * points), and the per-worker simulator arena's bit-identity
+ * contract (sim/sim_arena.hh).
+ *
+ * The fuzzed cut points honour RCSIM_FUZZ_SEED like the other fuzz
+ * suites, so a failing seed can be replayed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/executor.hh"
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "inject/campaign.hh"
+#include "sim/sim_arena.hh"
+#include "sim/simulator.hh"
+#include "support/error.hh"
+
+namespace rcsim
+{
+namespace
+{
+
+using harness::RunOutcome;
+using harness::RunStatus;
+using harness::SweepOptions;
+using harness::SweepPoint;
+using harness::SweepReport;
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "rcsim_" + name;
+}
+
+std::uint64_t
+fuzzSeed()
+{
+    if (const char *env = std::getenv("RCSIM_FUZZ_SEED"))
+        return std::strtoull(env, nullptr, 0);
+    return 0xec5ec5ull; // fixed default: reproducible in CI
+}
+
+// ---- Scheduling primitive ------------------------------------------
+
+TEST(ExecutorSchedule, EveryIndexRunsExactlyOnce)
+{
+    for (bool stealing : {true, false}) {
+        const std::size_t n = 97;
+        std::vector<std::atomic<int>> hits(n);
+        for (auto &h : hits)
+            h = 0;
+        harness::scheduleGrid(
+            n, 4, [](std::size_t i) { return i % 7; }, stealing,
+            [&](std::size_t i, std::size_t worker) {
+                EXPECT_LT(worker, 4u);
+                ++hits[i];
+            });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ExecutorSchedule, SerialPathUsesWorkerZeroInGridOrder)
+{
+    std::vector<std::size_t> order;
+    harness::scheduleGrid(5, 1, nullptr, true,
+                          [&](std::size_t i, std::size_t worker) {
+                              EXPECT_EQ(worker, 0u);
+                              order.push_back(i);
+                          });
+    ASSERT_EQ(order.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ExecutorSchedule, AffinityKeepsAShardOnOneWorker)
+{
+    // With stealing off, every index of one shard must be executed
+    // by the same worker slot — that is the arena-warmth guarantee.
+    const std::size_t n = 64;
+    std::vector<int> worker_of(n, -1);
+    std::mutex m;
+    harness::scheduleGrid(
+        n, 4, [](std::size_t i) { return i % 3; }, false,
+        [&](std::size_t i, std::size_t worker) {
+            std::lock_guard<std::mutex> lock(m);
+            worker_of[i] = static_cast<int>(worker);
+        });
+    for (std::size_t shard = 0; shard < 3; ++shard) {
+        int first = worker_of[shard];
+        ASSERT_GE(first, 0);
+        for (std::size_t i = shard; i < n; i += 3)
+            EXPECT_EQ(worker_of[i], first)
+                << "index " << i << " left shard " << shard;
+    }
+}
+
+// ---- parallelFor exception contract (satellite) --------------------
+
+TEST(ExecutorParallelFor, RethrowsTheLowestIndexException)
+{
+    // Three indices throw; whichever worker finishes first, the
+    // caller must always see index 5's exception — and every other
+    // index must still have run.
+    for (int jobs : {1, 2, 4}) {
+        const std::size_t n = 32;
+        std::vector<std::atomic<int>> hits(n);
+        for (auto &h : hits)
+            h = 0;
+        try {
+            harness::parallelFor(n, jobs, [&](std::size_t i) {
+                ++hits[i];
+                if (i == 5 || i == 9 || i == 17)
+                    throw std::runtime_error(
+                        "boom at " + std::to_string(i));
+            });
+            FAIL() << "parallelFor swallowed the exception (jobs="
+                   << jobs << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom at 5") << "jobs=" << jobs;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1)
+                << "index " << i << " skipped (jobs=" << jobs << ")";
+    }
+}
+
+TEST(ExecutorParallelFor, TypedExceptionsSurviveTheRethrow)
+{
+    // The winner is rethrown via std::exception_ptr, so the caller
+    // can still catch the concrete type (RcError with its category).
+    try {
+        harness::parallelFor(8, 2, [&](std::size_t i) {
+            if (i == 2)
+                throw RcError(ErrorCategory::Resource, "disk full");
+            if (i == 6)
+                throw std::runtime_error("later index");
+        });
+        FAIL() << "parallelFor swallowed the exception";
+    } catch (const RcError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Resource);
+    }
+}
+
+// ---- Determinism fuzz: sweep JSON ----------------------------------
+
+std::vector<SweepPoint>
+mixedGrid()
+{
+    // Two workloads × three issue widths: enough shards for the
+    // affinity map to be non-trivial at 2+ workers, cheap enough to
+    // run many times.
+    std::vector<SweepPoint> points;
+    for (const char *name : {"cmp", "grep"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        EXPECT_NE(w, nullptr) << name;
+        for (int issue : {1, 2, 4}) {
+            SweepPoint p;
+            p.workload = w;
+            p.opts.rc = harness::rcConfigFor(false, 16);
+            p.opts.machine = harness::Experiment::machineFor(issue);
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+TEST(ExecutorDeterminism, SweepJsonIdenticalAcrossJobsAndStealing)
+{
+    std::vector<SweepPoint> points = mixedGrid();
+
+    SweepOptions serial;
+    serial.jobs = 1;
+    std::string reference =
+        harness::runSweepResilient(points, serial).toJson();
+
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw < 1)
+        hw = 1;
+    for (int jobs : {1, 2, hw})
+        for (bool stealing : {true, false}) {
+            SweepOptions opts;
+            opts.jobs = jobs;
+            opts.stealing = stealing;
+            EXPECT_EQ(harness::runSweepResilient(points, opts)
+                          .toJson(),
+                      reference)
+                << "jobs=" << jobs << " stealing=" << stealing;
+        }
+}
+
+TEST(ExecutorDeterminism, SweepResumeByteIdenticalAtFuzzedCuts)
+{
+    std::vector<SweepPoint> points = mixedGrid();
+
+    // Reference: one uninterrupted journaled run.
+    std::string ref_path = tempPath("executor_sweep_ref.jsonl");
+    std::remove(ref_path.c_str());
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.journal = ref_path;
+    std::string reference =
+        harness::runSweepResilient(points, opts).toJson();
+
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(ref_path, std::ios::binary);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), points.size() + 1); // header + points
+
+    // Crash at a fuzzed point: keep the header plus a random number
+    // of records (possibly zero), resume at a fuzzed job count, and
+    // demand the exact reference bytes back.
+    std::mt19937_64 rng(fuzzSeed());
+    std::string cut_path = tempPath("executor_sweep_cut.jsonl");
+    for (int round = 0; round < 6; ++round) {
+        std::size_t keep =
+            1 + rng() % lines.size(); // header + [0, n] records
+        std::remove(cut_path.c_str());
+        {
+            std::ofstream out(cut_path, std::ios::binary);
+            for (std::size_t i = 0; i < keep; ++i)
+                out << lines[i] << "\n";
+        }
+        SweepOptions resume_opts;
+        resume_opts.jobs = 1 + static_cast<int>(rng() % 3);
+        resume_opts.journal = cut_path;
+        SweepReport resumed =
+            harness::resumeSweep(points, resume_opts);
+        EXPECT_EQ(resumed.restored, keep - 1)
+            << "seed=" << fuzzSeed() << " round=" << round;
+        EXPECT_EQ(resumed.toJson(), reference)
+            << "seed=" << fuzzSeed() << " round=" << round
+            << " keep=" << keep << " jobs=" << resume_opts.jobs;
+    }
+    std::remove(ref_path.c_str());
+    std::remove(cut_path.c_str());
+}
+
+// ---- Determinism fuzz: campaign JSON -------------------------------
+
+TEST(ExecutorDeterminism, CampaignResumeByteIdenticalAtFuzzedCuts)
+{
+    std::vector<inject::CampaignConfig> cfgs;
+    for (int model : {1, 3}) {
+        inject::CampaignConfig cc;
+        cc.workload = "cmp";
+        cc.label = "model" + std::to_string(model);
+        cc.seeds = 4;
+        cc.targets = inject::parseTargets("map");
+        cc.opts.rc = harness::rcConfigFor(
+            false, 16, static_cast<core::RcModel>(model));
+        cc.opts.machine = harness::Experiment::machineFor(4);
+        cfgs.push_back(std::move(cc));
+    }
+
+    std::string ref_path = tempPath("executor_campaign_ref.jsonl");
+    std::remove(ref_path.c_str());
+    inject::CampaignSweepOptions opts;
+    opts.journal = ref_path;
+    std::string reference =
+        inject::runCampaignSweepResilient(cfgs, opts).toJson();
+
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(ref_path, std::ios::binary);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), cfgs.size() + 1);
+
+    std::mt19937_64 rng(fuzzSeed() ^ 0xca3bull);
+    std::string cut_path = tempPath("executor_campaign_cut.jsonl");
+    for (int round = 0; round < 3; ++round) {
+        std::size_t keep = 1 + rng() % lines.size();
+        std::remove(cut_path.c_str());
+        {
+            std::ofstream out(cut_path, std::ios::binary);
+            for (std::size_t i = 0; i < keep; ++i)
+                out << lines[i] << "\n";
+        }
+        inject::CampaignSweepOptions resume_opts;
+        resume_opts.journal = cut_path;
+        inject::CampaignSweepReport resumed =
+            inject::resumeCampaign(cfgs, resume_opts);
+        EXPECT_EQ(resumed.restored, keep - 1)
+            << "seed=" << fuzzSeed() << " round=" << round;
+        EXPECT_EQ(resumed.toJson(), reference)
+            << "seed=" << fuzzSeed() << " round=" << round
+            << " keep=" << keep;
+    }
+    std::remove(ref_path.c_str());
+    std::remove(cut_path.c_str());
+}
+
+// ---- Simulator arena bit-identity ----------------------------------
+
+TEST(ExecutorArena, RebindIsBitIdenticalToFreshConstruction)
+{
+    // The arena's whole contract: a rebound simulator produces the
+    // exact measurements a freshly constructed one does, even when
+    // the arena hops between workloads and configurations.
+    struct Cell
+    {
+        const char *workload;
+        int issue;
+    };
+    const Cell cells[] = {
+        {"cmp", 1}, {"grep", 4}, {"cmp", 4}, {"grep", 1}, {"cmp", 1},
+    };
+
+    sim::SimArena arena;
+    for (const Cell &c : cells) {
+        const workloads::Workload *w =
+            workloads::findWorkload(c.workload);
+        ASSERT_NE(w, nullptr);
+        harness::CompileOptions opts;
+        opts.rc = harness::rcConfigFor(false, 16);
+        opts.machine = harness::Experiment::machineFor(c.issue);
+
+        RunOutcome fresh = harness::runConfiguration(*w, opts);
+        RunOutcome reused = harness::runConfiguration(
+            *w, opts, false, 0, nullptr, &arena);
+        EXPECT_EQ(fresh.status, RunStatus::Ok);
+        EXPECT_EQ(reused.status, fresh.status);
+        EXPECT_EQ(reused.cycles, fresh.cycles);
+        EXPECT_EQ(reused.instructions, fresh.instructions);
+        EXPECT_EQ(reused.result, fresh.result);
+        EXPECT_EQ(reused.verified, fresh.verified);
+    }
+    // Reuse actually happened (unless RCSIM_ARENA=0 disabled it).
+    const char *env = std::getenv("RCSIM_ARENA");
+    bool disabled = env && std::string(env) == "0";
+    if (!disabled)
+        EXPECT_EQ(arena.rebinds(),
+                  sizeof cells / sizeof cells[0] - 1);
+    else
+        EXPECT_EQ(arena.rebinds(), 0u);
+}
+
+} // namespace
+} // namespace rcsim
