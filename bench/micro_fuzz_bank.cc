@@ -1,0 +1,69 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the differential fuzz bank
+ * (src/fuzz): the cost of one full multi-oracle bank run (compile +
+ * six simulated members + commit/trace comparison) and of its two
+ * building blocks, input generation and compilation.
+ *
+ * The bank run is the fuzzer's unit of throughput — campaigns are
+ * rounds x batch of these — so BM_RunBank is the number that decides
+ * how much coverage a CI time budget buys.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fuzz/bank.hh"
+#include "support/logging.hh"
+
+namespace
+{
+
+using namespace rcsim;
+
+void
+BM_RandomInput(benchmark::State &state)
+{
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        fuzz::FuzzInput in = fuzz::randomInput(seed++);
+        benchmark::DoNotOptimize(in.prog.seed);
+    }
+}
+BENCHMARK(BM_RandomInput);
+
+void
+BM_CompileInput(benchmark::State &state)
+{
+    setQuiet(true);
+    fuzz::FuzzInput in = fuzz::randomInput(7);
+    for (auto _ : state) {
+        fuzz::CompiledInput ci = fuzz::compileInput(in);
+        benchmark::DoNotOptimize(ci.compiled.golden);
+    }
+}
+BENCHMARK(BM_CompileInput);
+
+void
+BM_RunBank(benchmark::State &state)
+{
+    setQuiet(true);
+    fuzz::FuzzInput in =
+        fuzz::randomInput(static_cast<std::uint64_t>(state.range(0)));
+    sim::SimArena arena;
+    fuzz::BankOptions opt;
+    opt.arena = &arena;
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        fuzz::BankVerdict v = fuzz::runBank(in, opt);
+        if (v.status != "ok")
+            fatal("bench bank diverged: ", v.pair, " ", v.detail);
+        cycles += v.cycles;
+    }
+    state.counters["ref_cycles"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RunBank)->Arg(1)->Arg(2)->Arg(3);
+
+} // namespace
+
+BENCHMARK_MAIN();

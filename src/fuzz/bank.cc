@@ -1,0 +1,352 @@
+#include "fuzz/bank.hh"
+
+#include <optional>
+
+#include "inject/injector.hh"
+#include "pipeline/compile.hh"
+
+namespace rcsim::fuzz
+{
+
+namespace
+{
+
+/**
+ * First field-level difference between two results ("" when equal):
+ * outcome, timing, then the full stat map.
+ */
+std::string
+diffResults(const sim::SimResult &a, const sim::SimResult &b)
+{
+    if (a.ok != b.ok)
+        return std::string("ok ") + (a.ok ? "1" : "0") + " vs " +
+               (b.ok ? "1" : "0");
+    if (a.reason != b.reason)
+        return std::string("reason ") + sim::toString(a.reason) +
+               " vs " + sim::toString(b.reason);
+    if (a.error != b.error)
+        return "error '" + a.error + "' vs '" + b.error + "'";
+    if (a.cycles != b.cycles)
+        return "cycles " + std::to_string(a.cycles) + " vs " +
+               std::to_string(b.cycles);
+    if (a.instructions != b.instructions)
+        return "instructions " + std::to_string(a.instructions) +
+               " vs " + std::to_string(b.instructions);
+    if (a.stats.all() != b.stats.all()) {
+        auto ia = a.stats.all().begin(), ea = a.stats.all().end();
+        auto ib = b.stats.all().begin(), eb = b.stats.all().end();
+        while (ia != ea && ib != eb) {
+            if (ia->first != ib->first)
+                return "stat set differs at '" +
+                       std::min(ia->first, ib->first) + "'";
+            if (ia->second != ib->second)
+                return "stat " + ia->first + " " +
+                       std::to_string(ia->second) + " vs " +
+                       std::to_string(ib->second);
+            ++ia;
+            ++ib;
+        }
+        return "stat set differs at '" +
+               (ia != ea ? ia->first : ib->first) + "'";
+    }
+    return "";
+}
+
+/** One checked member's run, compared against the reference. */
+struct Member
+{
+    sim::SimResult res;
+    Word result = 0;
+    std::string trace;
+};
+
+Member
+observe(sim::Simulator &s, Addr result_addr)
+{
+    Member m;
+    m.res = s.run();
+    m.result = s.state().loadWord(result_addr);
+    m.trace = s.trace();
+    return m;
+}
+
+/**
+ * Compare a checked member against the reference; fills the verdict
+ * and returns true when a divergence was recorded.
+ */
+bool
+compareMember(BankVerdict &v, const Member &ref, const Member &m,
+              const char *pair)
+{
+    std::string d = diffResults(ref.res, m.res);
+    if (d.empty() && ref.result != m.result)
+        d = "result " + std::to_string(ref.result) + " vs " +
+            std::to_string(m.result);
+    if (d.empty() && ref.trace != m.trace)
+        d = "issue trace differs";
+    if (d.empty())
+        return false;
+    v.status = "divergence";
+    v.pair = pair;
+    v.detail = d;
+    return true;
+}
+
+} // namespace
+
+CompiledInput
+compileInput(const FuzzInput &input)
+{
+    CompiledInput out;
+    workloads::Workload w = specWorkload(input.prog);
+    // Cold frontend (use_cache = false): runs inline on this thread,
+    // so the thread_local spec staging in specWorkload() is sound on
+    // executor workers, and fuzz programs never enter the shared
+    // frontend memo cache.
+    out.compiled = pipeline::compile(w, compileOptionsFor(input.cfg),
+                                     nullptr, nullptr, false);
+    out.cfg = simConfigFor(input.cfg);
+    if (!input.cfg.interrupts.empty()) {
+        out.cfg.interruptCycles = input.cfg.interrupts;
+        isa::Instruction rfe;
+        rfe.op = isa::Opcode::RFE;
+        out.compiled.program.code.push_back(rfe);
+        out.cfg.trapVector = static_cast<std::int32_t>(
+            out.compiled.program.code.size() - 1);
+    }
+    return out;
+}
+
+BankVerdict
+runBank(const FuzzInput &input, const BankOptions &opt)
+{
+    BankVerdict v;
+    CompiledInput ci = compileInput(input);
+    ci.cfg.maxCycles = opt.maxCycles;
+    ci.cfg.cancel = opt.cancel;
+    ci.cfg.traceLimit = opt.traceLimit;
+    const isa::Program &prog = ci.compiled.program;
+    v.staticSize = ci.compiled.staticSize;
+
+    // Reference member: generic loop, commit stream recorded.
+    sim::SimConfig genCfg = ci.cfg;
+    genCfg.forceGeneric = true;
+    inject::CommitRecorder rec(opt.commitCap);
+    Member ref;
+    {
+        sim::Simulator s(prog, genCfg);
+        s.attachProbe(&rec);
+        ref = observe(s, ci.compiled.resultAddr);
+    }
+    v.cycles = ref.res.cycles;
+    v.instructions = ref.res.instructions;
+    v.commitTruncated = rec.truncated();
+
+    if (ref.res.reason == sim::StopReason::CycleLimit ||
+        ref.res.reason == sim::StopReason::Deadline) {
+        v.status = ref.res.reason == sim::StopReason::CycleLimit
+                       ? "cycle-limit"
+                       : "deadline";
+        v.detail = "reference stopped: " +
+                   std::string(sim::toString(ref.res.reason));
+        v.features = extractFeatures(prog, ref.res, v.status);
+        return v;
+    }
+    if (!ref.res.ok) {
+        v.status = "divergence";
+        v.pair = "generic";
+        v.detail = "reference simulation error: " + ref.res.error;
+        v.features = extractFeatures(prog, ref.res, v.status);
+        return v;
+    }
+
+    // Oracle 1: the IR interpreter's golden checksum.
+    if (ref.result != ci.compiled.golden) {
+        v.status = "divergence";
+        v.pair = "interpreter/generic";
+        v.detail = "result " + std::to_string(ref.result) +
+                   " != golden " +
+                   std::to_string(ci.compiled.golden);
+        v.features = extractFeatures(prog, ref.res, v.status);
+        return v;
+    }
+
+    v.features = extractFeatures(prog, ref.res, "ok");
+
+    // Oracle 2: fast loops, probed — the commit stream is replayed
+    // online, so the first divergent instruction is pinpointed.  The
+    // injected fault (self-test) rides here; Instruction-target
+    // faults mutate the program, so that member runs its own copy.
+    {
+        isa::Program faultCopy;
+        const isa::Program *checkProg = &prog;
+        std::optional<inject::FaultInjector> inj;
+        if (opt.fault) {
+            faultCopy = prog;
+            checkProg = &faultCopy;
+            inj.emplace(faultCopy, *opt.fault);
+        }
+        inject::DivergenceChecker chk(rec.log(), *checkProg);
+        sim::ProbeChain chain;
+        if (opt.fault)
+            chain.add(&*inj);
+        if (!rec.truncated())
+            chain.add(&chk);
+        Member m;
+        {
+            sim::Simulator s(*checkProg, ci.cfg);
+            s.attachProbe(&chain);
+            m = observe(s, ci.compiled.resultAddr);
+        }
+        if (!rec.truncated()) {
+            const inject::Divergence &d = chk.finish();
+            if (d.diverged) {
+                v.status = "divergence";
+                v.pair = "generic/fast-probed";
+                v.detail = d.toString();
+                v.div = d;
+                return v;
+            }
+        }
+        if (compareMember(v, ref, m, "generic/fast-probed"))
+            return v;
+    }
+
+    // Oracle 3: fast loops, no probe (the production path).
+    {
+        sim::Simulator s(prog, ci.cfg);
+        Member m = observe(s, ci.compiled.resultAddr);
+        if (compareMember(v, ref, m, "generic/fast-unprobed"))
+            return v;
+    }
+
+    // Oracle 4: generic loop, no probe (probe-attachment parity).
+    {
+        sim::Simulator s(prog, genCfg);
+        Member m = observe(s, ci.compiled.resultAddr);
+        if (compareMember(v, ref, m, "generic/generic-unprobed"))
+            return v;
+    }
+
+    // Oracle 5: arena-rebound simulator (the RCSIM_ARENA reuse path).
+    {
+        sim::SimArena local;
+        sim::SimArena &arena = opt.arena ? *opt.arena : local;
+        sim::Simulator &s = arena.acquire(prog, ci.cfg);
+        Member m = observe(s, ci.compiled.resultAddr);
+        if (compareMember(v, ref, m, "generic/arena-rebind"))
+            return v;
+    }
+
+    return v;
+}
+
+namespace
+{
+
+bool
+splitColons(const std::string &s, std::vector<std::string> &out)
+{
+    out.clear();
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t colon = s.find(':', pos);
+        if (colon == std::string::npos) {
+            out.push_back(s.substr(pos));
+            break;
+        }
+        out.push_back(s.substr(pos, colon - pos));
+        pos = colon + 1;
+    }
+    return !out.empty();
+}
+
+} // namespace
+
+bool
+parseFaultSpec(const std::string &spec, inject::Fault &out,
+               std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    std::vector<std::string> tok;
+    splitColons(spec, tok);
+    if (tok.size() != 5)
+        return fail("fault spec needs target:kind:cycle:index:bit");
+
+    inject::Fault f;
+    if (tok[0] == "read-map")
+        f.target = inject::FaultTarget::ReadMap;
+    else if (tok[0] == "write-map")
+        f.target = inject::FaultTarget::WriteMap;
+    else if (tok[0] == "ireg")
+        f.target = inject::FaultTarget::IntReg;
+    else if (tok[0] == "freg") {
+        f.target = inject::FaultTarget::FpReg;
+        f.cls = isa::RegClass::Fp;
+    } else if (tok[0] == "psw")
+        f.target = inject::FaultTarget::Psw;
+    else if (tok[0] == "instr")
+        f.target = inject::FaultTarget::Instruction;
+    else
+        return fail("unknown fault target '" + tok[0] + "'");
+
+    if (tok[1] == "flip")
+        f.kind = inject::FaultKind::BitFlip;
+    else if (tok[1] == "stuck0")
+        f.kind = inject::FaultKind::StuckAt0;
+    else if (tok[1] == "stuck1")
+        f.kind = inject::FaultKind::StuckAt1;
+    else
+        return fail("unknown fault kind '" + tok[1] + "'");
+
+    for (int i = 2; i < 5; ++i)
+        if (tok[i].empty() ||
+            tok[i].find_first_not_of("0123456789") !=
+                std::string::npos)
+            return fail("bad fault number '" + tok[i] + "'");
+    f.cycle = std::strtoull(tok[2].c_str(), nullptr, 10);
+    f.index = static_cast<int>(std::strtol(tok[3].c_str(), nullptr, 10));
+    f.bit = static_cast<int>(std::strtol(tok[4].c_str(), nullptr, 10));
+    out = f;
+    return true;
+}
+
+std::string
+formatFaultSpec(const inject::Fault &fault)
+{
+    const char *target = "";
+    switch (fault.target) {
+      case inject::FaultTarget::ReadMap:
+        target = "read-map";
+        break;
+      case inject::FaultTarget::WriteMap:
+        target = "write-map";
+        break;
+      case inject::FaultTarget::IntReg:
+        target = "ireg";
+        break;
+      case inject::FaultTarget::FpReg:
+        target = "freg";
+        break;
+      case inject::FaultTarget::Psw:
+        target = "psw";
+        break;
+      case inject::FaultTarget::Instruction:
+        target = "instr";
+        break;
+    }
+    const char *kind =
+        fault.kind == inject::FaultKind::BitFlip ? "flip"
+        : fault.kind == inject::FaultKind::StuckAt0 ? "stuck0"
+                                                    : "stuck1";
+    return std::string(target) + ":" + kind + ":" +
+           std::to_string(fault.cycle) + ":" +
+           std::to_string(fault.index) + ":" +
+           std::to_string(fault.bit);
+}
+
+} // namespace rcsim::fuzz

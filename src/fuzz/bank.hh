@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The multi-oracle differential bank: one FuzzInput, every execution
+ * mode we have, all compared down to commit streams and stat parity.
+ *
+ * Members, in check order:
+ *
+ *   interpreter      the IR interpreter's golden checksum, computed
+ *                    at compile time (CompiledProgram::golden)
+ *   generic probed   SimConfig::forceGeneric with a CommitRecorder —
+ *                    the reference member every other run is
+ *                    compared against
+ *   fast probed      the predecoded specialized loops with a
+ *                    DivergenceChecker replaying the reference
+ *                    commit stream online (first divergence lands on
+ *                    the exact instruction); the optional injected
+ *                    fault rides on this member
+ *   fast unprobed    no probe at all (the production fast path)
+ *   generic unprobed no probe, generic loop
+ *   arena rebind     a SimArena-acquired (rebound) simulator, the
+ *                    RCSIM_ARENA reuse path
+ *
+ * Every member must match the reference in outcome, cycle count,
+ * instruction count, full stat map, final result word and issue
+ * trace; the probed members additionally replay the commit stream
+ * effect for effect.  Interrupt-carrying inputs get a one-rfe bounce
+ * handler appended (compileInput), so the architectural result stays
+ * that of the uninterrupted program and the interpreter oracle stays
+ * sound.
+ */
+
+#ifndef RCSIM_FUZZ_BANK_HH
+#define RCSIM_FUZZ_BANK_HH
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "fuzz/coverage.hh"
+#include "fuzz/generator.hh"
+#include "fuzz/spec.hh"
+#include "inject/fault.hh"
+#include "inject/oracle.hh"
+#include "pipeline/compiled.hh"
+#include "sim/sim_arena.hh"
+
+namespace rcsim::fuzz
+{
+
+/** Knobs of one bank run. */
+struct BankOptions
+{
+    /** Per-member runaway guard (well above any generated program). */
+    Cycle maxCycles = 20'000'000;
+
+    /** Cooperative watchdog flag; nullptr disables. */
+    const std::atomic<bool> *cancel = nullptr;
+
+    /** Arena for the rebind member; a local one when null. */
+    sim::SimArena *arena = nullptr;
+
+    /**
+     * Fault injected into the fast-probed member (self-test mode):
+     * the bank is expected to catch it as a divergence.
+     */
+    const inject::Fault *fault = nullptr;
+
+    /** Commit-stream recording cap (memory safety). */
+    std::size_t commitCap = std::size_t(1) << 21;
+
+    /** Issue-trace length compared across members. */
+    Count traceLimit = 256;
+};
+
+/** Outcome of one bank run. */
+struct BankVerdict
+{
+    /** "ok" / "divergence" / "cycle-limit" / "deadline". */
+    std::string status = "ok";
+
+    /** The two members that disagreed ("interpreter/generic", ...). */
+    std::string pair;
+
+    /** Human-readable first difference. */
+    std::string detail;
+
+    /** Commit-stream divergence report, when that oracle fired. */
+    inject::Divergence div;
+
+    Cycle cycles = 0;        // reference member cycles
+    Count instructions = 0;  // reference member instructions
+    Count staticSize = 0;    // compiled static size (non-nop)
+    bool commitTruncated = false;
+
+    /** Coverage features of the reference run (fuzz/coverage.hh). */
+    std::vector<std::uint32_t> features;
+
+    bool diverged() const { return status == "divergence"; }
+};
+
+/** A compiled input ready to simulate. */
+struct CompiledInput
+{
+    pipeline::CompiledProgram compiled;
+    sim::SimConfig cfg; // trapVector/interrupts wired when needed
+};
+
+/**
+ * Compile @p input (cold frontend — specs are staged thread-locally,
+ * so this is safe on executor worker threads) and wire the interrupt
+ * plumbing: inputs with interrupt cycles get a one-instruction rfe
+ * bounce handler appended and trapVector pointed at it.
+ */
+CompiledInput compileInput(const FuzzInput &input);
+
+/** Run the full differential bank on one input. */
+BankVerdict runBank(const FuzzInput &input, const BankOptions &opt = {});
+
+/**
+ * Parse "target:kind:cycle:index:bit" (targets read-map, write-map,
+ * ireg, freg, psw, instr; kinds flip, stuck0, stuck1) — the
+ * RCSIM_FUZZ_FAULT / --fault format.  ireg/freg faults target the
+ * matching register class; map faults target the integer map.
+ */
+bool parseFaultSpec(const std::string &spec, inject::Fault &out,
+                    std::string *error = nullptr);
+
+/** Inverse of parseFaultSpec(). */
+std::string formatFaultSpec(const inject::Fault &fault);
+
+} // namespace rcsim::fuzz
+
+#endif // RCSIM_FUZZ_BANK_HH

@@ -1,0 +1,429 @@
+#include "fuzz/campaign.hh"
+
+#include "fuzz/repro.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "harness/executor.hh"
+#include "support/error.hh"
+#include "support/json.hh"
+#include "trace/check.hh"
+#include "trace/trace.hh"
+
+namespace rcsim::fuzz
+{
+
+namespace
+{
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Per-(round, slot) derived seed; pure in (seed, r, i). */
+std::uint64_t
+slotSeed(std::uint64_t seed, int r, int i)
+{
+    return seed ^
+           (static_cast<std::uint64_t>(r + 1) *
+            0xd1b54a32d192ed03ull) ^
+           (static_cast<std::uint64_t>(i + 1) *
+            0x2545f4914f6cdd1dull);
+}
+
+std::string
+renderFeatures(const std::vector<std::uint32_t> &features)
+{
+    std::string s = "[";
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        if (i)
+            s += ",";
+        s += std::to_string(features[i]);
+    }
+    s += "]";
+    return s;
+}
+
+/** The per-task JSON payload (journaled verbatim; order matters). */
+std::string
+renderPayload(std::uint64_t key, const BankVerdict &v)
+{
+    std::string s = "{\"key\":\"" + hex16(key) + "\"";
+    s += ",\"status\":" + json::str(v.status);
+    s += ",\"pair\":" + json::str(v.pair);
+    s += ",\"cycles\":" + std::to_string(v.cycles);
+    s += ",\"instructions\":" + std::to_string(v.instructions);
+    s += ",\"static\":" + std::to_string(v.staticSize);
+    s += std::string(",\"truncated\":") +
+         (v.commitTruncated ? "true" : "false");
+    s += ",\"features\":" + renderFeatures(v.features);
+    if (v.div.diverged)
+        s += ",\"oracle\":" + v.div.toJson();
+    s += ",\"detail\":" + json::str(v.detail);
+    s += "}";
+    return s;
+}
+
+std::string
+renderFailurePayload(std::uint64_t key, const std::string &what,
+                     ErrorCategory cat)
+{
+    std::string s = "{\"key\":\"" + hex16(key) + "\"";
+    s += ",\"status\":\"harness-failure\"";
+    s += ",\"category\":" + json::str(toString(cat));
+    s += ",\"features\":[]";
+    s += ",\"detail\":" + json::str(what);
+    s += "}";
+    return s;
+}
+
+/** The fields the fold stage reads back out of a payload. */
+struct ParsedPayload
+{
+    std::string status;
+    std::string pair;
+    std::string detail;
+    std::vector<std::uint32_t> features;
+};
+
+/** Read the JSON string starting at @p pos (the opening quote). */
+bool
+jsonStringAt(const std::string &s, std::size_t pos, std::string &out)
+{
+    if (pos >= s.size() || s[pos] != '"')
+        return false;
+    std::string raw;
+    for (std::size_t i = pos + 1; i < s.size(); ++i) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            raw += s[i];
+            raw += s[i + 1];
+            ++i;
+            continue;
+        }
+        if (s[i] == '"') {
+            out = json::unescape(raw);
+            return true;
+        }
+        raw += s[i];
+    }
+    return false;
+}
+
+bool
+stringField(const std::string &s, const char *name, std::string &out)
+{
+    std::string tag = std::string("\"") + name + "\":";
+    std::size_t pos = s.find(tag);
+    if (pos == std::string::npos)
+        return false;
+    return jsonStringAt(s, pos + tag.size(), out);
+}
+
+bool
+parsePayload(const std::string &s, ParsedPayload &out)
+{
+    if (!stringField(s, "status", out.status))
+        return false;
+    stringField(s, "pair", out.pair);
+    stringField(s, "detail", out.detail);
+    std::size_t pos = s.find("\"features\":[");
+    if (pos != std::string::npos) {
+        pos += 12;
+        while (pos < s.size() && s[pos] != ']') {
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            char *end = nullptr;
+            out.features.push_back(static_cast<std::uint32_t>(
+                std::strtoul(s.c_str() + pos, &end, 10)));
+            if (!end || end == s.c_str() + pos)
+                return false;
+            pos = static_cast<std::size_t>(end - s.c_str());
+        }
+    }
+    return true;
+}
+
+ErrorCategory
+parseCategory(const std::string &name)
+{
+    for (ErrorCategory c :
+         {ErrorCategory::Transient, ErrorCategory::Hang,
+          ErrorCategory::Corrupt, ErrorCategory::Resource})
+        if (name == toString(c))
+            return c;
+    return ErrorCategory::Corrupt;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw RcError(ErrorCategory::Resource,
+                      "cannot write " + path);
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+}
+
+} // namespace
+
+CampaignReport
+runCampaign(const CampaignOptions &opt)
+{
+    CampaignReport report;
+    CoverageMap cov;
+    std::vector<FuzzInput> pool; // admitted corpus (mutation bases)
+    int jobs = harness::resolveJobs(opt.jobs);
+    std::vector<sim::SimArena> arenas(
+        static_cast<std::size_t>(std::max(jobs, 1)));
+
+    if (!opt.corpusDir.empty())
+        std::filesystem::create_directories(opt.corpusDir);
+    if (!opt.reproDir.empty())
+        std::filesystem::create_directories(opt.reproDir);
+
+    std::string roundsJson = "[";
+    std::size_t corpusSeq = 0;
+
+    for (int r = 0; r < opt.rounds; ++r) {
+        // Inputs are derived *before* the round runs, from state the
+        // previous rounds folded deterministically — so a resumed
+        // round regenerates the identical batch.
+        std::vector<FuzzInput> inputs(
+            static_cast<std::size_t>(opt.batch));
+        std::vector<std::uint64_t> keys(inputs.size());
+        for (int i = 0; i < opt.batch; ++i) {
+            std::uint64_t s = slotSeed(opt.seed, r, i);
+            if (r == 0 || pool.empty()) {
+                inputs[i] = randomInput(s);
+            } else {
+                SplitMix rng(s);
+                const FuzzInput &base = pool[rng.below(
+                    static_cast<std::uint32_t>(pool.size()))];
+                inputs[i] = mutateInput(base, rng);
+            }
+            keys[i] = inputKey(inputs[i]);
+        }
+
+        harness::TaskGrid grid;
+        grid.key = "rcfuzz:" + std::to_string(opt.seed) + ":" +
+                   std::to_string(opt.rounds) + "x" +
+                   std::to_string(opt.batch) + ":mc" +
+                   std::to_string(opt.maxCycles) + ":r" +
+                   std::to_string(r);
+        grid.size = inputs.size();
+        grid.kind = "fuzz campaign";
+        grid.spanName = "rcfuzz.case";
+        grid.spanCat = "fuzz";
+        grid.faultContext = "running fuzz case ";
+        grid.keyOf = [&](std::size_t i) { return hex16(keys[i]); };
+        grid.run = [&](std::size_t i, const harness::TaskCtx &ctx) {
+            BankOptions b;
+            b.maxCycles = opt.maxCycles;
+            b.cancel = ctx.cancel;
+            b.arena = &arenas[ctx.worker];
+            b.fault = opt.fault;
+            BankVerdict v = runBank(inputs[i], b);
+            harness::TaskResult tr;
+            tr.status = v.status;
+            tr.payload = renderPayload(keys[i], v);
+            return tr;
+        };
+        grid.fold = [&](std::size_t i, const std::exception &e,
+                        const harness::TaskCtx &) {
+            harness::TaskResult tr;
+            tr.status = "harness-failure";
+            tr.failed = true;
+            tr.category = classifyException(e);
+            tr.meta =
+                std::string("category=") + toString(tr.category);
+            tr.payload =
+                renderFailurePayload(keys[i], e.what(), tr.category);
+            return tr;
+        };
+        grid.stall = [&](std::size_t i, const harness::TaskCtx &) {
+            harness::TaskResult tr;
+            tr.status = "harness-failure";
+            tr.failed = true;
+            tr.category = ErrorCategory::Hang;
+            tr.meta =
+                std::string("category=") + toString(tr.category);
+            tr.payload = renderFailurePayload(
+                keys[i], "task stalled past its watchdog lease",
+                tr.category);
+            return tr;
+        };
+        grid.restore = [](const harness::JournalRecord &rec,
+                          harness::TaskResult &out) {
+            if (rec.status != "ok" && rec.status != "divergence" &&
+                rec.status != "cycle-limit" &&
+                rec.status != "deadline" &&
+                rec.status != "harness-failure")
+                return false;
+            out.failed = rec.status == "harness-failure";
+            if (out.failed) {
+                std::size_t eq = rec.meta.find("category=");
+                out.category = parseCategory(
+                    eq == std::string::npos
+                        ? ""
+                        : rec.meta.substr(eq + 9));
+            }
+            return true;
+        };
+
+        harness::ExecutorOptions eo;
+        eo.jobs = opt.jobs;
+        if (!opt.journal.empty())
+            eo.journal = opt.journal + ".r" + std::to_string(r);
+        eo.resume = opt.resume;
+        eo.deadlineMs = opt.deadlineMs;
+        eo.retries = opt.retries;
+        harness::ExecutorReport rep = harness::runTasks(grid, eo);
+
+        // Fold in grid order — the one path both fresh and restored
+        // results flow through, so coverage, corpus and summary are
+        // byte-identical across any crash/resume sequence.
+        std::size_t roundAdmitted = 0, roundDiv = 0, roundFail = 0;
+        std::string tasksJson = "[";
+        for (std::size_t i = 0; i < rep.results.size(); ++i) {
+            const harness::TaskResult &tr = rep.results[i];
+            if (i)
+                tasksJson += ",";
+            tasksJson += tr.payload;
+            ParsedPayload p;
+            if (!parsePayload(tr.payload, p)) {
+                ++report.harnessFailures;
+                ++roundFail;
+                continue;
+            }
+            if (tr.failed) {
+                ++report.harnessFailures;
+                ++roundFail;
+                continue;
+            }
+            if (cov.admit(p.features)) {
+                pool.push_back(inputs[i]);
+                ++report.admitted;
+                ++roundAdmitted;
+                if (!opt.corpusDir.empty()) {
+                    char seq[16];
+                    std::snprintf(seq, sizeof seq, "%04zu",
+                                  corpusSeq);
+                    writeFile(opt.corpusDir + "/" + seq + "-" +
+                                  hex16(keys[i]) + ".rcspec",
+                              specText(inputs[i]));
+                }
+                ++corpusSeq;
+            }
+            if (p.status == "divergence") {
+                CampaignDivergence f;
+                f.input = inputs[i];
+                f.key = keys[i];
+                f.pair = p.pair;
+                f.detail = p.detail;
+                report.findings.push_back(std::move(f));
+                ++roundDiv;
+            }
+        }
+        tasksJson += "]";
+
+        if (r)
+            roundsJson += ",";
+        roundsJson += "{\"round\":" + std::to_string(r) +
+                      ",\"admitted\":" +
+                      std::to_string(roundAdmitted) +
+                      ",\"divergences\":" + std::to_string(roundDiv) +
+                      ",\"failures\":" + std::to_string(roundFail) +
+                      ",\"tasks\":" + tasksJson + "}";
+    }
+    roundsJson += "]";
+    report.features = cov.size();
+
+    // Minimize the first maxMinimize divergences and write repros.
+    std::string divJson = "[";
+    for (std::size_t j = 0; j < report.findings.size(); ++j) {
+        CampaignDivergence &f = report.findings[j];
+        if (static_cast<int>(j) < opt.maxMinimize) {
+            MinimizeOptions mo;
+            mo.bank.maxCycles = opt.maxCycles;
+            mo.bank.fault = opt.fault;
+            mo.budget = opt.minimizeBudget;
+            MinimizeOutcome out = minimizeInput(f.input, mo);
+            if (out.reproduced) {
+                f.minimized = true;
+                f.minInput = out.input;
+                f.minStaticSize = out.verdict.staticSize;
+                if (!opt.reproDir.empty()) {
+                    CompiledInput ci = compileInput(out.input);
+                    f.reproPath = opt.reproDir + "/" +
+                                  hex16(f.key) + ".rcrepro";
+                    writeFile(f.reproPath,
+                              renderRepro(out.input, out.verdict,
+                                          ci.compiled.program,
+                                          opt.fault,
+                                          opt.maxCycles));
+                }
+            }
+        }
+        if (j)
+            divJson += ",";
+        divJson += "{\"key\":\"" + hex16(f.key) + "\"";
+        divJson += ",\"pair\":" + json::str(f.pair);
+        divJson += ",\"detail\":" + json::str(f.detail);
+        divJson += std::string(",\"minimized\":") +
+                   (f.minimized ? "true" : "false");
+        if (f.minimized)
+            divJson += ",\"instructions\":" +
+                       std::to_string(f.minStaticSize);
+        divJson += ",\"repro\":" + json::str(f.reproPath);
+        divJson += "}";
+    }
+    divJson += "]";
+
+    // Validate our own trace emission when tracing is live.
+    std::string tracecheck = "skipped";
+    if (trace::on()) {
+        trace::TraceCheck chk =
+            trace::checkChromeTrace(trace::chromeJson());
+        tracecheck = chk.ok ? "ok" : "failed";
+        if (!chk.ok)
+            ++report.harnessFailures;
+    }
+
+    report.exitCode = report.harnessFailures != 0 ? 5
+                      : !report.findings.empty() ? 3
+                                                 : 0;
+    const char *status = report.harnessFailures != 0
+                             ? "harness-failure"
+                         : !report.findings.empty() ? "divergence"
+                                                    : "clean";
+
+    std::string s = "{\"rcfuzz\":{";
+    s += "\"seed\":" + std::to_string(opt.seed);
+    s += ",\"rounds\":" + std::to_string(opt.rounds);
+    s += ",\"batch\":" + std::to_string(opt.batch);
+    s += ",\"maxcycles\":" + std::to_string(opt.maxCycles);
+    if (opt.fault)
+        s += ",\"fault\":" + json::str(formatFaultSpec(*opt.fault));
+    s += "}";
+    s += ",\"corpus\":{\"size\":" + std::to_string(report.admitted) +
+         ",\"features\":" + std::to_string(report.features) + "}";
+    s += ",\"rounds\":" + roundsJson;
+    s += ",\"divergences\":" + divJson;
+    s += ",\"tracecheck\":" + json::str(tracecheck);
+    s += ",\"status\":" + json::str(status);
+    s += "}\n";
+    report.summaryJson = s;
+    return report;
+}
+
+} // namespace rcsim::fuzz

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Coverage-guided campaign driver.
+ *
+ * A campaign is a fixed grid of rounds × batch bank runs (never
+ * wall-clock bounded: the shape must be a pure function of the
+ * options so reruns and resumes are byte-identical).  Round 0 draws
+ * fresh random inputs; later rounds mutate corpus entries.  Each
+ * round executes through the harness task executor (runTasks), so
+ * campaigns get journaling, crash resume, watchdog deadlines and
+ * Transient retry for free; the per-round journal is
+ * `<journal>.r<round>`.
+ *
+ * After every round the results are folded in grid order: feature
+ * coverage (fuzz/coverage.hh) decides corpus admission, admitted
+ * inputs join the mutation pool (and the corpus directory as
+ * `<seq>-<key>.rcspec`), and divergences are collected.  After the
+ * last round the first maxMinimize divergences are delta-debugged
+ * (fuzz/minimize.hh) and written as `.rcrepro` artifacts.
+ *
+ * Exit codes (mirrored by tools/rcfuzz): 0 clean, 3 at least one
+ * divergence, 5 harness failure (5 wins over 3).
+ */
+
+#ifndef RCSIM_FUZZ_CAMPAIGN_HH
+#define RCSIM_FUZZ_CAMPAIGN_HH
+
+#include "fuzz/bank.hh"
+#include "fuzz/minimize.hh"
+
+namespace rcsim::fuzz
+{
+
+struct CampaignOptions
+{
+    std::uint64_t seed = 1;
+    int rounds = 4;
+    int batch = 16;
+    int jobs = 0; // as harness::resolveJobs()
+
+    /** Admitted-input directory (.rcspec files); empty = disabled. */
+    std::string corpusDir;
+
+    /** Minimized-divergence directory (.rcrepro); empty = disabled. */
+    std::string reproDir;
+
+    /** Journal path stem; empty = no journal. */
+    std::string journal;
+    bool resume = false;
+
+    Cycle maxCycles = 20'000'000;
+    int deadlineMs = 0; // per-task watchdog; 0 = off
+    int retries = 0;    // Transient retries per task
+
+    /** Self-test fault injected into every bank run's fast member. */
+    const inject::Fault *fault = nullptr;
+
+    /** Divergences to minimize (the rest are only reported). */
+    int maxMinimize = 4;
+    int minimizeBudget = 300;
+};
+
+/** One collected (and possibly minimized) divergence. */
+struct CampaignDivergence
+{
+    FuzzInput input;    // the diverging input, as generated
+    std::uint64_t key = 0;
+    std::string pair;
+    std::string detail;
+
+    bool minimized = false;
+    FuzzInput minInput;
+    Count minStaticSize = 0; // static size of the minimized program
+    std::string reproPath;   // written artifact ("" when disabled)
+};
+
+struct CampaignReport
+{
+    /** The deterministic summary document. */
+    std::string summaryJson;
+
+    /** 0 clean / 3 divergence / 5 harness failure. */
+    int exitCode = 0;
+
+    std::size_t admitted = 0;        // corpus size
+    std::size_t features = 0;        // distinct coverage features
+    std::size_t harnessFailures = 0; // failed/quarantined tasks
+    std::vector<CampaignDivergence> findings;
+};
+
+CampaignReport runCampaign(const CampaignOptions &opt);
+
+} // namespace rcsim::fuzz
+
+#endif // RCSIM_FUZZ_CAMPAIGN_HH

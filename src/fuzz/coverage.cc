@@ -1,0 +1,89 @@
+#include "fuzz/coverage.hh"
+
+#include <algorithm>
+
+namespace rcsim::fuzz
+{
+
+namespace
+{
+
+constexpr std::uint32_t kPairDomain = 1u << 28;
+constexpr std::uint32_t kStatDomain = 2u << 28;
+constexpr std::uint32_t kDerivedDomain = 3u << 28;
+constexpr std::uint32_t kStatusDomain = 4u << 28;
+
+std::uint32_t
+fnv32(std::string_view s)
+{
+    std::uint32_t h = 0x811c9dc5u;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x01000193u;
+    }
+    return h;
+}
+
+/** floor(log2(v)) + 1, clamped to [0, 63]; 0 for v == 0. */
+std::uint32_t
+log2Bucket(Count v)
+{
+    std::uint32_t b = 0;
+    while (v != 0 && b < 63) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+extractFeatures(const isa::Program &prog, const sim::SimResult &res,
+                std::string_view status)
+{
+    std::vector<std::uint32_t> out;
+
+    // Static opcode-class pairs (NOPs skipped): which latency-class
+    // transitions the compiled code contains at all.
+    std::uint32_t prev =
+        static_cast<std::uint32_t>(isa::LatencyClass::None);
+    for (const isa::Instruction &ins : prog.code) {
+        if (ins.op == isa::Opcode::NOP)
+            continue;
+        std::uint32_t cls =
+            static_cast<std::uint32_t>(ins.info().latClass);
+        out.push_back(kPairDomain | (prev * 16 + cls));
+        prev = cls;
+    }
+
+    // Log2 buckets of every exported stat (stall windows, connect and
+    // trap counts, the issued_<n> histogram bins, ...).
+    for (const auto &[name, count] : res.stats.all())
+        out.push_back(kStatDomain |
+                      ((fnv32(name) & 0xffffu) << 6) |
+                      log2Bucket(count));
+
+    // Derived shape buckets.
+    Count cycles = res.cycles ? res.cycles : 1;
+    Count stalled = res.stats.get("cycles_stalled");
+    std::uint32_t decile = static_cast<std::uint32_t>(
+        std::min<Count>(9, stalled * 10 / cycles));
+    out.push_back(kDerivedDomain | (0u << 8) | decile);
+
+    Count instrs = res.instructions ? res.instructions : 1;
+    Count connects = res.stats.get("connects");
+    std::uint32_t cpk = log2Bucket(connects * 1000 / instrs);
+    out.push_back(kDerivedDomain | (1u << 8) | cpk);
+
+    if (res.stats.get("traps") != 0)
+        out.push_back(kDerivedDomain | (2u << 8) | 1u);
+
+    out.push_back(kStatusDomain | (fnv32(status) & 0xffffu));
+
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace rcsim::fuzz

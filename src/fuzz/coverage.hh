@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The fuzzer's feature-coverage signal.
+ *
+ * No compiler instrumentation: features are derived entirely from
+ * artifacts every differential run already produces — the compiled
+ * program and the reference member's SimResult.  That keeps the
+ * signal fully deterministic (same input → same feature set on every
+ * machine), which the corpus-determinism guarantee depends on.
+ *
+ * Feature encoding: one uint32 per feature, with a domain tag in the
+ * top nibble so domains can never collide:
+ *
+ *   (1 << 28) | prevClass * 16 + class   consecutive LatencyClass
+ *                                        pairs in the static code
+ *                                        (NOPs skipped) — the
+ *                                        "opcode-class pair" signal
+ *   (2 << 28) | statId << 6 | bucket     log2 bucket of each exported
+ *                                        stat (statId = fnv32 of the
+ *                                        stat name, truncated)
+ *   (3 << 28) | derived buckets          stall-ratio decile,
+ *                                        connects-per-kilo-
+ *                                        instruction bucket, trap
+ *                                        presence
+ *   (4 << 28) | statusId                 the bank verdict status
+ */
+
+#ifndef RCSIM_FUZZ_COVERAGE_HH
+#define RCSIM_FUZZ_COVERAGE_HH
+
+#include <cstdint>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/simulator.hh"
+
+namespace rcsim::fuzz
+{
+
+/**
+ * Extract the (sorted, unique) feature set of one run: static
+ * opcode-class pairs from @p prog, stat and derived buckets from
+ * @p res, and the status feature for @p status.
+ */
+std::vector<std::uint32_t> extractFeatures(const isa::Program &prog,
+                                           const sim::SimResult &res,
+                                           std::string_view status);
+
+/** The campaign's accumulated coverage; drives corpus admission. */
+class CoverageMap
+{
+  public:
+    /**
+     * Merge @p features; returns true (admit to the corpus) when at
+     * least one feature was new.
+     */
+    bool
+    admit(const std::vector<std::uint32_t> &features)
+    {
+        bool fresh = false;
+        for (std::uint32_t f : features)
+            fresh |= seen_.insert(f).second;
+        return fresh;
+    }
+
+    std::size_t size() const { return seen_.size(); }
+
+  private:
+    std::set<std::uint32_t> seen_;
+};
+
+} // namespace rcsim::fuzz
+
+#endif // RCSIM_FUZZ_COVERAGE_HH

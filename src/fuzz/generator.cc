@@ -1,0 +1,398 @@
+#include "fuzz/generator.hh"
+
+namespace rcsim::fuzz
+{
+
+namespace
+{
+
+using IRBuilder = ir::IRBuilder;
+using MemRef = ir::MemRef;
+using Opc = ir::Opc;
+using RegClass = ir::RegClass;
+using VReg = ir::VReg;
+
+/**
+ * The spec-driven generator.  Structure mirrors RandomProgram, with
+ * two deliberate differences: every top-level slot consumes its own
+ * child RNG stream (so the keep mask removes slots without
+ * perturbing the rest — the minimizer's stability contract), and
+ * the RC stress shapes (map-pressure pools, connect-heavy hot
+ * loops, jsr/rts call storms) are explicit slot kinds instead of
+ * lucky draws.
+ */
+class SpecProgram
+{
+  public:
+    explicit SpecProgram(const ProgramSpec &spec) : spec_(spec) {}
+
+    ir::Module
+    build()
+    {
+        SplitMix main(spec_.seed);
+        ir::Module m;
+        m.name = "rcfuzz";
+        gInt_ = workloads::makeIntZeros(m, "ibuf", 64);
+        {
+            SplitMix data(main.next());
+            ir::Global &g = m.globals[gInt_];
+            g.init.resize(64 * 4);
+            for (std::size_t i = 0; i < g.init.size(); ++i)
+                g.init[i] = static_cast<std::uint8_t>(data.next());
+        }
+        if (spec_.fp) {
+            gFp_ = workloads::makeFpZeros(m, "fbuf", 32);
+            SplitMix data(main.next());
+            ir::Global &g = m.globals[gFp_];
+            g.init.resize(32 * 8);
+            for (int i = 0; i < 32; ++i) {
+                double v = (data.next() % 2048) / 512.0 - 2.0;
+                std::memcpy(g.init.data() + i * 8, &v, 8);
+            }
+        }
+
+        bool wantCalls = spec_.calls || spec_.callStorm > 0;
+        if (wantCalls) {
+            helper_ = m.addFunction("helper");
+            ir::Function &f = m.fn(helper_);
+            VReg p = f.newVreg(RegClass::Int);
+            f.params = {p};
+            f.returnsValue = true;
+            f.retClass = RegClass::Int;
+            IRBuilder hb(m, helper_);
+            VReg v = hb.xor_(p, hb.iconst(0x5a5a));
+            VReg w = hb.mul(v, hb.iconst(17));
+            hb.ret(hb.andi(w, 0xffff));
+        }
+
+        int fi = m.addFunction("main");
+        m.fn(fi).returnsValue = true;
+        m.fn(fi).retClass = RegClass::Int;
+        m.entryFunction = fi;
+        IRBuilder b(m, fi);
+
+        ibase_ = b.addrOf(gInt_);
+        if (spec_.fp)
+            fbase_ = b.addrOf(gFp_);
+        iacc_ = b.temp(RegClass::Int);
+        b.assignI(iacc_, 1);
+        if (spec_.fp) {
+            facc_ = b.temp(RegClass::Fp);
+            b.assign(facc_, b.fconst(1.0));
+        }
+        // The pool: base four plus the map-pressure extras.  Every
+        // pool temp is live across the whole function, so a large
+        // pool forces many simultaneous live ranges — map-pressure
+        // spikes under RC.
+        int ipool = 4 + spec_.mapPressure;
+        for (int i = 0; i < ipool; ++i) {
+            VReg v = b.temp(RegClass::Int);
+            b.assignI(v, static_cast<Word>(main.below(1000)));
+            ints_.push_back(v);
+        }
+        if (spec_.fp)
+            for (int i = 0; i < 3; ++i) {
+                VReg v = b.temp(RegClass::Fp);
+                b.assign(v,
+                         b.fconst(0.25 + 0.125 * main.below(16)));
+                fps_.push_back(v);
+            }
+
+        // Top-level slots, each on its own child stream.  The main
+        // stream is never touched here, so a skipped slot leaves
+        // every other slot's code byte-identical.
+        for (int slot = 0; slot < spec_.slots(); ++slot) {
+            if (!spec_.kept(slot))
+                continue;
+            SplitMix srng(spec_.seed ^
+                          (0x9e3779b97f4a7c15ull *
+                           static_cast<std::uint64_t>(slot + 2)));
+            if (slot < spec_.stmts)
+                statement(b, srng, spec_.maxDepth);
+            else if (slot < spec_.stmts + spec_.connectHot)
+                hotLoop(b, srng);
+            else
+                callStorm(b, srng);
+        }
+
+        if (spec_.fp) {
+            VReg fp_bits =
+                b.un(Opc::CvtFI,
+                     b.fmul(clampFp(b, facc_), b.fconst(64.0)));
+            b.ret(b.xor_(iacc_, fp_bits));
+        } else {
+            b.ret(iacc_);
+        }
+        return m;
+    }
+
+  private:
+    VReg
+    randInt(IRBuilder &b, SplitMix &rng)
+    {
+        if (rng.below(5) == 0)
+            return b.iconst(static_cast<Word>(rng.below(512)));
+        return ints_[rng.below(
+            static_cast<std::uint32_t>(ints_.size()))];
+    }
+
+    VReg
+    randFp(SplitMix &rng)
+    {
+        return fps_[rng.below(
+            static_cast<std::uint32_t>(fps_.size()))];
+    }
+
+    /** Keep fp magnitudes bounded so CvtFI stays in range. */
+    VReg
+    clampFp(IRBuilder &b, VReg v)
+    {
+        VReg lo = b.fconst(-4096.0);
+        VReg hi = b.fconst(4096.0);
+        return b.rr(Opc::FMin, b.rr(Opc::FMax, v, lo), hi);
+    }
+
+    void
+    intExpr(IRBuilder &b, SplitMix &rng)
+    {
+        VReg x = randInt(b, rng), y = randInt(b, rng);
+        VReg r;
+        switch (rng.below(8)) {
+          case 0:
+            r = b.add(x, y);
+            break;
+          case 1:
+            r = b.sub(x, y);
+            break;
+          case 2:
+            r = b.mul(x, y);
+            break;
+          case 3:
+            // Guarded division: denominator in [1, 8].
+            r = b.div(x, b.addi(b.andi(y, 7), 1));
+            break;
+          case 4:
+            r = b.xor_(x, y);
+            break;
+          case 5:
+            r = b.slli(x, static_cast<Word>(rng.below(5)));
+            break;
+          case 6: {
+            VReg idx = b.andi(x, 63);
+            r = b.loadW(workloads::elemAddr(b, ibase_, idx, 2), 0,
+                        MemRef::global(gInt_));
+            break;
+          }
+          default: {
+            VReg idx = b.andi(y, 63);
+            b.storeW(x, workloads::elemAddr(b, ibase_, idx, 2), 0,
+                     MemRef::global(gInt_));
+            r = x;
+            break;
+          }
+        }
+        // Assign into a stable pool temporary (initialised at
+        // entry) so conditionally-executed statements cannot create
+        // possibly-undefined uses at join points.
+        b.assign(ints_[rng.below(
+                     static_cast<std::uint32_t>(ints_.size()))],
+                 r);
+        b.assignRR(Opc::Xor, iacc_, iacc_, r);
+    }
+
+    void
+    fpExpr(IRBuilder &b, SplitMix &rng)
+    {
+        VReg x = randFp(rng), y = randFp(rng);
+        VReg r;
+        switch (rng.below(5)) {
+          case 0:
+            r = b.fadd(x, y);
+            break;
+          case 1:
+            r = b.fsub(x, y);
+            break;
+          case 2:
+            r = b.fmul(x, y);
+            break;
+          case 3: {
+            VReg idx = b.andi(randInt(b, rng), 31);
+            r = b.loadF(workloads::elemAddr(b, fbase_, idx, 3), 0,
+                        MemRef::global(gFp_));
+            break;
+          }
+          default:
+            // Division with a denominator bounded away from zero.
+            r = b.fdiv(x, b.fadd(b.fabs(y), b.fconst(1.0)));
+            break;
+        }
+        r = clampFp(b, r);
+        b.assign(fps_[rng.below(
+                     static_cast<std::uint32_t>(fps_.size()))],
+                 r);
+        b.assignRR(Opc::FAdd, facc_, facc_, r);
+        b.assign(facc_, clampFp(b, facc_));
+    }
+
+    void
+    callStmt(IRBuilder &b, SplitMix &rng)
+    {
+        VReg r =
+            b.call(helper_, {randInt(b, rng)}, RegClass::Int);
+        b.assignRR(Opc::Add, iacc_, iacc_, r);
+    }
+
+    void
+    statement(IRBuilder &b, SplitMix &rng, int depth)
+    {
+        switch (rng.below(depth > 0 ? 6u : 3u)) {
+          case 0:
+          case 1:
+            intExpr(b, rng);
+            break;
+          case 2:
+            if (spec_.fp)
+                fpExpr(b, rng);
+            else
+                intExpr(b, rng);
+            break;
+          case 3:
+            if (spec_.calls)
+                callStmt(b, rng);
+            else
+                intExpr(b, rng);
+            break;
+          case 4: { // counted loop
+            int trip = 2 + static_cast<int>(rng.below(
+                               static_cast<std::uint32_t>(
+                                   spec_.maxTrip)));
+            VReg bound = b.iconst(trip);
+            workloads::DoLoop loop(b, 0, bound);
+            int body = 1 + static_cast<int>(rng.below(3));
+            for (int i = 0; i < body; ++i)
+                statement(b, rng, depth - 1);
+            b.assignRR(Opc::Add, iacc_, iacc_, loop.iv());
+            loop.finish();
+            break;
+          }
+          default: { // if / else diamond
+            int then_b = b.newBlock();
+            int else_b = b.newBlock();
+            int join_b = b.newBlock();
+            VReg x = randInt(b, rng), y = randInt(b, rng);
+            Opc cmp = static_cast<Opc>(
+                static_cast<int>(Opc::Beq) + rng.below(6));
+            b.br(cmp, x, y, then_b, else_b);
+            b.setBlock(then_b);
+            statement(b, rng, depth - 1);
+            b.jmp(join_b);
+            b.setBlock(else_b);
+            statement(b, rng, depth - 1);
+            b.jmp(join_b);
+            b.setBlock(join_b);
+            break;
+          }
+        }
+    }
+
+    /**
+     * Connect-heavy hot loop: a counted loop whose body reads and
+     * writes many pool temporaries, so values stay live across the
+     * back edge and the RC backend has to keep many extended
+     * registers connected inside the loop.
+     */
+    void
+    hotLoop(IRBuilder &b, SplitMix &rng)
+    {
+        int trip = 4 + static_cast<int>(rng.below(
+                           static_cast<std::uint32_t>(
+                               spec_.maxTrip)));
+        VReg bound = b.iconst(trip);
+        workloads::DoLoop loop(b, 0, bound);
+        int body = 4 + static_cast<int>(rng.below(5));
+        for (int i = 0; i < body; ++i)
+            intExpr(b, rng);
+        if (spec_.fp && rng.below(2) == 0)
+            fpExpr(b, rng);
+        b.assignRR(Opc::Add, iacc_, iacc_, loop.iv());
+        loop.finish();
+    }
+
+    /**
+     * jsr/rts reset storm: a tight loop of helper calls, so the
+     * automatic map reset on call/return fires every iteration.
+     */
+    void
+    callStorm(IRBuilder &b, SplitMix &rng)
+    {
+        int trip = 2 + static_cast<int>(rng.below(8));
+        VReg bound = b.iconst(trip);
+        workloads::DoLoop loop(b, 0, bound);
+        callStmt(b, rng);
+        if (rng.below(2) == 0)
+            intExpr(b, rng);
+        b.assignRR(Opc::Add, iacc_, iacc_, loop.iv());
+        loop.finish();
+    }
+
+    const ProgramSpec &spec_;
+    int gInt_ = -1, gFp_ = -1, helper_ = -1;
+    VReg ibase_, fbase_, iacc_, facc_;
+    std::vector<VReg> ints_, fps_;
+};
+
+/** Stable identity suffix for spec workload names. */
+std::uint64_t
+specHash(const ProgramSpec &s)
+{
+    std::uint64_t vals[] = {
+        s.seed,
+        static_cast<std::uint64_t>(s.stmts),
+        static_cast<std::uint64_t>(s.maxDepth),
+        static_cast<std::uint64_t>(s.maxTrip),
+        static_cast<std::uint64_t>(s.mapPressure),
+        static_cast<std::uint64_t>(s.connectHot),
+        static_cast<std::uint64_t>(s.callStorm),
+        static_cast<std::uint64_t>(s.fp ? 1 : 0),
+        static_cast<std::uint64_t>(s.calls ? 1 : 0),
+    };
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (std::uint64_t v : vals)
+        mix(v);
+    for (std::uint8_t k : s.keep)
+        mix(k);
+    return h;
+}
+
+} // namespace
+
+ir::Module
+buildFromSpec(const ProgramSpec &spec)
+{
+    SpecProgram sp(spec);
+    return sp.build();
+}
+
+ir::Module
+buildCurrentSpec()
+{
+    return buildFromSpec(*currentSpec);
+}
+
+workloads::Workload
+specWorkload(const ProgramSpec &spec)
+{
+    currentSpec = &spec;
+    char name[32];
+    std::snprintf(name, sizeof name, "rcfuzz%016llx",
+                  static_cast<unsigned long long>(specHash(spec)));
+    return workloads::Workload{name, false, buildCurrentSpec};
+}
+
+} // namespace rcsim::fuzz

@@ -1,34 +1,51 @@
 /**
  * @file
- * Shared random-program generator for the fuzz-style tests.
+ * Random-program generators shared by the fuzz-style tests and the
+ * rcfuzz differential fuzzer (tools/rcfuzz).
  *
- * RandomProgram builds a deterministic pseudo-random but well-formed
- * IR module from a seed: loops, branches, calls, int and fp
- * arithmetic, and memory traffic.  test_fuzz.cc pushes these through
- * the full pipeline against the reference interpreter; test_trace.cc
- * reuses them to fuzz the tracing layer with realistic programs.
+ * Two generators live here:
  *
- * The Workload build callback is a capture-free function pointer, so
- * the seed is staged in a thread-local (seedWorkload() wraps the
- * pattern and gives the workload a seed-unique name — workload names
- * key the frontend memoization cache, so distinct seeds must never
- * share one).
+ *  RandomProgram   the original seed-only generator promoted from
+ *                  tests/fuzz_common.hh, byte-for-byte unchanged so
+ *                  the long-standing fuzz suites (test_fuzz,
+ *                  test_predecode, test_trace) keep their exact
+ *                  historical seed streams.  It builds a
+ *                  deterministic pseudo-random but well-formed IR
+ *                  module: loops, branches, calls, int and fp
+ *                  arithmetic, and memory traffic.
+ *
+ *  buildFromSpec   the structure-aware generator behind rcfuzz
+ *                  (parameterized by fuzz::ProgramSpec): every
+ *                  top-level slot draws from its own child RNG
+ *                  stream, so the minimizer can drop slots through
+ *                  the keep mask without perturbing the others, and
+ *                  RC-directed stress shapes (connect-heavy hot
+ *                  loops, map-pressure pools, jsr/rts call storms)
+ *                  are first-class slot kinds.
+ *
+ * Workload build callbacks are capture-free function pointers, so
+ * seeds/specs are staged in thread-locals (seedWorkload() /
+ * specWorkload() wrap the pattern and give workloads seed-unique
+ * names — workload names key the frontend memoization cache, so
+ * distinct seeds must never share one).
  */
 
-#ifndef RCSIM_TESTS_FUZZ_COMMON_HH
-#define RCSIM_TESTS_FUZZ_COMMON_HH
+#ifndef RCSIM_FUZZ_GENERATOR_HH
+#define RCSIM_FUZZ_GENERATOR_HH
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "fuzz/spec.hh"
 #include "ir/builder.hh"
 #include "support/random.hh"
 #include "workloads/common.hh"
 #include "workloads/workloads.hh"
 
-namespace rcsim::fuzzer
+namespace rcsim::fuzz
 {
 
 /** Builds a random but well-formed module from a seed. */
@@ -305,6 +322,35 @@ seedWorkload(std::uint64_t seed)
                                buildCurrent};
 }
 
-} // namespace rcsim::fuzzer
+/**
+ * The RCSIM_FUZZ_SEED repro override shared by every fuzz-style
+ * suite; 0 / unset / unparsable means "none".
+ */
+inline std::uint64_t
+seedOverride()
+{
+    const char *env = std::getenv("RCSIM_FUZZ_SEED");
+    if (!env || env[0] == '\0')
+        return 0;
+    return std::strtoull(env, nullptr, 0);
+}
 
-#endif // RCSIM_TESTS_FUZZ_COMMON_HH
+/** Build the module a ProgramSpec describes (fuzz/spec.hh). */
+ir::Module buildFromSpec(const ProgramSpec &spec);
+
+/** Spec staged for the capture-free Workload build callback. */
+inline thread_local const ProgramSpec *currentSpec = nullptr;
+
+ir::Module buildCurrentSpec();
+
+/**
+ * Workload for @p spec, named uniquely per spec identity.  The spec
+ * is staged by pointer for the capture-free build callback, so it
+ * must stay alive (and unmodified) until the workload is built —
+ * the bank compiles immediately after staging, on the same thread.
+ */
+workloads::Workload specWorkload(const ProgramSpec &spec);
+
+} // namespace rcsim::fuzz
+
+#endif // RCSIM_FUZZ_GENERATOR_HH

@@ -1,0 +1,204 @@
+#include "fuzz/minimize.hh"
+
+#include <algorithm>
+#include <functional>
+
+namespace rcsim::fuzz
+{
+
+namespace
+{
+
+/** Materialize the keep mask at full slot length. */
+std::vector<std::uint8_t>
+keptMask(const ProgramSpec &p)
+{
+    std::vector<std::uint8_t> k(
+        static_cast<std::size_t>(p.slots()));
+    for (int i = 0; i < p.slots(); ++i)
+        k[static_cast<std::size_t>(i)] = p.kept(i) ? 1 : 0;
+    return k;
+}
+
+} // namespace
+
+MinimizeOutcome
+minimizeInput(const FuzzInput &start, const MinimizeOptions &opt)
+{
+    MinimizeOutcome o;
+    o.input = start;
+
+    auto check = [&](const FuzzInput &cand, BankVerdict &out) {
+        if (o.runs >= opt.budget)
+            return false;
+        ++o.runs;
+        out = runBank(cand, opt.bank);
+        return out.diverged();
+    };
+
+    BankVerdict v0;
+    if (!check(start, v0)) {
+        o.verdict = v0;
+        return o;
+    }
+    o.reproduced = true;
+    o.verdict = v0;
+
+    // Scalar shrinks, cheapest-win first.  Shrinks that change the
+    // slot layout (stress-slot removal, statement-count trims) must
+    // clear the keep mask — slot indices shift, so a stale mask
+    // would keep the wrong slots.
+    using Shrink = std::function<bool(FuzzInput &)>;
+    const Shrink shrinks[] = {
+        [](FuzzInput &in) {
+            if (in.cfg.interrupts.empty())
+                return false;
+            in.cfg.interrupts.clear();
+            return true;
+        },
+        [](FuzzInput &in) {
+            if (in.prog.callStorm == 0)
+                return false;
+            in.prog.callStorm = 0;
+            in.prog.keep.clear();
+            return true;
+        },
+        [](FuzzInput &in) {
+            if (in.prog.connectHot == 0)
+                return false;
+            in.prog.connectHot = 0;
+            in.prog.keep.clear();
+            return true;
+        },
+        [](FuzzInput &in) {
+            if (in.prog.mapPressure == 0)
+                return false;
+            in.prog.mapPressure = 0;
+            return true;
+        },
+        [](FuzzInput &in) {
+            if (!in.prog.calls || in.prog.callStorm != 0)
+                return false;
+            in.prog.calls = false;
+            return true;
+        },
+        [](FuzzInput &in) {
+            if (!in.prog.fp)
+                return false;
+            in.prog.fp = false;
+            return true;
+        },
+        [](FuzzInput &in) {
+            if (in.prog.maxDepth <= 0)
+                return false;
+            --in.prog.maxDepth;
+            return true;
+        },
+        [](FuzzInput &in) {
+            if (in.prog.maxTrip <= 2)
+                return false;
+            in.prog.maxTrip = std::max(2, in.prog.maxTrip / 2);
+            return true;
+        },
+        [](FuzzInput &in) {
+            if (in.cfg.scalar)
+                return false;
+            in.cfg.scalar = true;
+            return true;
+        },
+        [](FuzzInput &in) {
+            if (!in.cfg.extraPipeStage)
+                return false;
+            in.cfg.extraPipeStage = false;
+            return true;
+        },
+        [](FuzzInput &in) {
+            if (in.cfg.connectLatency == 0)
+                return false;
+            in.cfg.connectLatency = 0;
+            return true;
+        },
+        [](FuzzInput &in) {
+            if (!in.cfg.fetchAfterDispatch)
+                return false;
+            in.cfg.fetchAfterDispatch = false;
+            return true;
+        },
+        [](FuzzInput &in) {
+            if (in.cfg.loadLatency == 2)
+                return false;
+            in.cfg.loadLatency = 2;
+            return true;
+        },
+    };
+
+    bool changed = true;
+    while (changed && o.runs < opt.budget) {
+        changed = false;
+
+        // ddmin over the keep mask: clear aligned chunks of still-
+        // kept slots, halving the chunk size down to single slots.
+        int n = o.input.prog.slots();
+        for (int chunk = std::max(1, (n + 1) / 2); chunk >= 1;
+             chunk /= 2) {
+            for (int at = 0; at < n && o.runs < opt.budget;
+                 at += chunk) {
+                std::vector<std::uint8_t> k =
+                    keptMask(o.input.prog);
+                bool any = false;
+                for (int i = at; i < std::min(at + chunk, n); ++i)
+                    if (k[static_cast<std::size_t>(i)]) {
+                        k[static_cast<std::size_t>(i)] = 0;
+                        any = true;
+                    }
+                if (!any)
+                    continue;
+                FuzzInput cand = o.input;
+                cand.prog.keep = k;
+                BankVerdict v;
+                if (check(cand, v)) {
+                    o.input = cand;
+                    o.verdict = v;
+                    changed = true;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+
+        // Pure cleanup, no re-check needed: trailing never-kept
+        // regular slots generate no code, so dropping them (when no
+        // stress slots follow) leaves the program byte-identical.
+        if (!o.input.prog.keep.empty() &&
+            o.input.prog.connectHot == 0 &&
+            o.input.prog.callStorm == 0) {
+            std::vector<std::uint8_t> k = keptMask(o.input.prog);
+            int last = -1;
+            for (int i = 0; i < static_cast<int>(k.size()); ++i)
+                if (k[static_cast<std::size_t>(i)])
+                    last = i;
+            if (last + 1 < o.input.prog.stmts) {
+                o.input.prog.stmts = last + 1;
+                k.resize(static_cast<std::size_t>(last + 1));
+                o.input.prog.keep = k;
+            }
+        }
+
+        for (const Shrink &shrink : shrinks) {
+            if (o.runs >= opt.budget)
+                break;
+            FuzzInput cand = o.input;
+            if (!shrink(cand))
+                continue;
+            BankVerdict v;
+            if (check(cand, v)) {
+                o.input = cand;
+                o.verdict = v;
+                changed = true;
+            }
+        }
+    }
+    return o;
+}
+
+} // namespace rcsim::fuzz

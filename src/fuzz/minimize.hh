@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Automatic divergence minimization.
+ *
+ * Delta debugging over the generator's slot structure: the per-slot
+ * keep mask (fuzz/spec.hh) removes top-level slots without
+ * perturbing any other slot's RNG stream, so ddmin converges on the
+ * few slots that matter.  Scalar shrinks then simplify the remaining
+ * knobs (interrupt storms, stress slots, fp/calls, nesting depth,
+ * configuration complexity); shrinks that change the slot layout
+ * clear the keep mask and ddmin runs again on the reshaped program.
+ *
+ * The predicate is "the bank still reports a divergence" — any
+ * divergence, not necessarily the original pair: when shrinking
+ * shifts the first-failing oracle, the shrunk input is still a
+ * faithful, smaller witness of the same underlying bug.
+ */
+
+#ifndef RCSIM_FUZZ_MINIMIZE_HH
+#define RCSIM_FUZZ_MINIMIZE_HH
+
+#include "fuzz/bank.hh"
+
+namespace rcsim::fuzz
+{
+
+struct MinimizeOptions
+{
+    BankOptions bank;
+
+    /** Total bank runs the minimizer may spend. */
+    int budget = 300;
+};
+
+struct MinimizeOutcome
+{
+    /** False when the starting input did not diverge at all. */
+    bool reproduced = false;
+
+    /** The minimized input (== start when nothing shrank). */
+    FuzzInput input;
+
+    /** Bank verdict of the minimized input. */
+    BankVerdict verdict;
+
+    /** Bank runs actually spent. */
+    int runs = 0;
+};
+
+MinimizeOutcome minimizeInput(const FuzzInput &start,
+                              const MinimizeOptions &opt = {});
+
+} // namespace rcsim::fuzz
+
+#endif // RCSIM_FUZZ_MINIMIZE_HH

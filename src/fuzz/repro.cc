@@ -1,0 +1,85 @@
+#include "fuzz/repro.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rcsim::fuzz
+{
+
+std::string
+renderRepro(const FuzzInput &input, const BankVerdict &verdict,
+            const isa::Program &prog, const inject::Fault *fault,
+            Cycle max_cycles)
+{
+    std::string s;
+    s += "# rcfuzz repro v1\n";
+    s += "status " + verdict.status + "\n";
+    if (!verdict.pair.empty())
+        s += "pair " + verdict.pair + "\n";
+    if (!verdict.detail.empty())
+        s += "detail " + verdict.detail + "\n";
+    s += "instructions " + std::to_string(verdict.staticSize) + "\n";
+    if (fault)
+        s += "fault " + formatFaultSpec(*fault) + "\n";
+    s += "maxcycles " + std::to_string(max_cycles) + "\n";
+    s += specText(input);
+    s += "disasm-begin\n";
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        if (prog.code[i].op == isa::Opcode::NOP)
+            continue;
+        char idx[24];
+        std::snprintf(idx, sizeof idx, "%04zu ", i);
+        s += idx;
+        s += prog.code[i].toString();
+        s += "\n";
+    }
+    s += "disasm-end\n";
+    return s;
+}
+
+bool
+parseRepro(const std::string &text, ReproFile &out,
+           std::string *error)
+{
+    ReproFile r;
+    if (!parseSpecText(text, r.input, error))
+        return false;
+
+    std::istringstream ss(text);
+    std::string line;
+    bool inSpec = false, inDisasm = false;
+    while (std::getline(ss, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line == "spec-begin") {
+            inSpec = true;
+            continue;
+        }
+        if (line == "spec-end") {
+            inSpec = false;
+            continue;
+        }
+        if (line == "disasm-begin") {
+            inDisasm = true;
+            continue;
+        }
+        if (line == "disasm-end") {
+            inDisasm = false;
+            continue;
+        }
+        if (inSpec || inDisasm)
+            continue;
+        if (line.rfind("fault ", 0) == 0) {
+            if (!parseFaultSpec(line.substr(6), r.fault, error))
+                return false;
+            r.hasFault = true;
+        } else if (line.rfind("maxcycles ", 0) == 0) {
+            r.maxCycles =
+                std::strtoull(line.c_str() + 10, nullptr, 10);
+        }
+    }
+    out = r;
+    return true;
+}
+
+} // namespace rcsim::fuzz

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Self-contained .rcrepro divergence artifacts.
+ *
+ * A repro file carries everything needed to replay one divergence:
+ * the bank verdict headline (status, diverging pair, first-diverging
+ * commit), the exact FuzzInput as a spec block (fuzz/spec.hh), the
+ * injected fault when one was active, and the disassembly of the
+ * compiled program for human consumption.  `rcfuzz --minimize file`
+ * parses the spec back, re-runs the bank, re-minimizes and re-emits
+ * — byte-identically when the input was already minimal.
+ */
+
+#ifndef RCSIM_FUZZ_REPRO_HH
+#define RCSIM_FUZZ_REPRO_HH
+
+#include "fuzz/bank.hh"
+#include "fuzz/minimize.hh"
+
+namespace rcsim::fuzz
+{
+
+/** The machine-readable half of a parsed .rcrepro. */
+struct ReproFile
+{
+    FuzzInput input;
+    bool hasFault = false;
+    inject::Fault fault;
+    Cycle maxCycles = 0; // 0 = bank default
+};
+
+/**
+ * Render one divergence as a .rcrepro artifact.  @p prog is the
+ * compiled program (including the appended rfe bounce handler when
+ * interrupts are wired); @p fault may be null.  Deterministic.
+ */
+std::string renderRepro(const FuzzInput &input,
+                        const BankVerdict &verdict,
+                        const isa::Program &prog,
+                        const inject::Fault *fault, Cycle max_cycles);
+
+/**
+ * Parse a .rcrepro (or bare .rcspec) back into its input.  Headline
+ * and disassembly lines are ignored — only the spec block, the
+ * fault line and the maxcycles line are load-bearing.
+ */
+bool parseRepro(const std::string &text, ReproFile &out,
+                std::string *error = nullptr);
+
+} // namespace rcsim::fuzz
+
+#endif // RCSIM_FUZZ_REPRO_HH

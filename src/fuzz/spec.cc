@@ -1,0 +1,406 @@
+#include "fuzz/spec.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "harness/experiment.hh"
+
+namespace rcsim::fuzz
+{
+
+harness::CompileOptions
+compileOptionsFor(const ConfigSpec &cfg)
+{
+    harness::CompileOptions opts;
+    opts.level =
+        cfg.scalar ? opt::OptLevel::Scalar : opt::OptLevel::Ilp;
+    opts.machine = harness::Experiment::machineFor(cfg.issueWidth,
+                                                   cfg.loadLatency);
+    if (cfg.memChannels > 0)
+        opts.machine.memChannels = cfg.memChannels;
+    if (cfg.rc) {
+        opts.rc = core::RcConfig::withRc(
+            cfg.core, cfg.core,
+            static_cast<core::RcModel>(cfg.model));
+        opts.rc.connectLatency = cfg.connectLatency;
+        opts.machine.lat.connectLatency = cfg.connectLatency;
+        opts.rc.extraPipeStage = cfg.extraPipeStage;
+        opts.rc.hoistConnects = cfg.hoistConnects;
+        opts.rc.splitMaps = cfg.splitMaps;
+    } else {
+        opts.rc = core::RcConfig::withoutRc(cfg.core, cfg.core);
+    }
+    return opts;
+}
+
+sim::SimConfig
+simConfigFor(const ConfigSpec &cfg)
+{
+    harness::CompileOptions opts = compileOptionsFor(cfg);
+    sim::SimConfig sc;
+    sc.machine = opts.machine;
+    sc.rc = opts.rc;
+    sc.fetchAfterDispatch = cfg.fetchAfterDispatch;
+    return sc;
+}
+
+FuzzInput
+randomInput(std::uint64_t seed)
+{
+    FuzzInput in;
+    SplitMix rng(seed ^ 0xfc2bf5a3u);
+
+    in.prog.seed = seed;
+    in.prog.stmts = 3 + static_cast<int>(rng.below(6));
+    in.prog.maxDepth = 1 + static_cast<int>(rng.below(2));
+    in.prog.maxTrip = 4 + static_cast<int>(rng.below(21));
+    in.prog.mapPressure =
+        rng.below(3) != 0 ? 0 : static_cast<int>(rng.below(25));
+    in.prog.connectHot =
+        rng.below(3) != 0 ? 0 : 1 + static_cast<int>(rng.below(3));
+    in.prog.callStorm =
+        rng.below(4) != 0 ? 0 : 1 + static_cast<int>(rng.below(2));
+    in.prog.fp = rng.below(4) != 0;
+    in.prog.calls = rng.below(3) != 0;
+
+    const int cores[] = {8, 12, 16, 24, 64};
+    in.cfg.core = cores[rng.below(5)];
+    in.cfg.rc = rng.below(3) != 0; // bias towards RC
+    in.cfg.model = 1 + static_cast<int>(rng.below(4));
+    in.cfg.connectLatency = static_cast<int>(rng.below(2));
+    in.cfg.extraPipeStage = rng.below(2) != 0;
+    in.cfg.hoistConnects = rng.below(4) != 0;
+    // Unified maps are only meaningful under the no-reset model.
+    in.cfg.splitMaps =
+        !(in.cfg.model == 1 && rng.below(4) == 0);
+    in.cfg.scalar = rng.below(4) == 0;
+    const int widths[] = {1, 2, 4, 8};
+    in.cfg.issueWidth = widths[rng.below(4)];
+    in.cfg.loadLatency = rng.below(2) != 0 ? 2 : 4;
+    in.cfg.fetchAfterDispatch = rng.below(8) == 0;
+    if (rng.below(3) == 0) {
+        int n = 1 + static_cast<int>(rng.below(4));
+        Cycle at = 50 + rng.below(2000);
+        for (int i = 0; i < n; ++i) {
+            in.cfg.interrupts.push_back(at);
+            at += 64 + rng.below(512);
+        }
+    }
+    return in;
+}
+
+FuzzInput
+mutateInput(const FuzzInput &base, SplitMix &rng)
+{
+    FuzzInput in = base;
+    int mutations = 1 + static_cast<int>(rng.below(3));
+    bool reshaped = false;
+    for (int m = 0; m < mutations; ++m) {
+        switch (rng.below(13)) {
+          case 0: // fresh program stream
+            in.prog.seed = rng.next();
+            reshaped = true;
+            break;
+          case 1:
+            in.prog.stmts =
+                1 + static_cast<int>(rng.below(10));
+            reshaped = true;
+            break;
+          case 2:
+            in.prog.maxTrip = 2 + static_cast<int>(rng.below(40));
+            in.prog.maxDepth = 1 + static_cast<int>(rng.below(2));
+            break;
+          case 3: // map-pressure spike
+            in.prog.mapPressure =
+                in.prog.mapPressure != 0
+                    ? 0
+                    : 8 + static_cast<int>(rng.below(24));
+            break;
+          case 4: // connect-heavy hot loops
+            in.prog.connectHot =
+                1 + static_cast<int>(rng.below(4));
+            reshaped = true;
+            break;
+          case 5: // jsr/rts reset storm
+            in.prog.callStorm =
+                1 + static_cast<int>(rng.below(3));
+            in.prog.calls = true;
+            reshaped = true;
+            break;
+          case 6: // trap / interrupt interleaving
+            if (in.cfg.interrupts.empty() || rng.below(2) != 0) {
+                in.cfg.interrupts.clear();
+                int n = 1 + static_cast<int>(rng.below(6));
+                Cycle at = 20 + rng.below(3000);
+                for (int i = 0; i < n; ++i) {
+                    in.cfg.interrupts.push_back(at);
+                    at += 64 + rng.below(256);
+                }
+            } else {
+                in.cfg.interrupts.clear();
+            }
+            break;
+          case 7: { // core-size boundary hop
+            const int cores[] = {8, 12, 16, 24, 64};
+            in.cfg.core = cores[rng.below(5)];
+            break;
+          }
+          case 8:
+            in.cfg.rc = true;
+            in.cfg.model = 1 + static_cast<int>(rng.below(4));
+            if (in.cfg.model != 1)
+                in.cfg.splitMaps = true;
+            break;
+          case 9:
+            in.cfg.connectLatency =
+                static_cast<int>(rng.below(2));
+            in.cfg.extraPipeStage = rng.below(2) != 0;
+            break;
+          case 10: {
+            const int widths[] = {1, 2, 4, 8};
+            in.cfg.issueWidth = widths[rng.below(4)];
+            in.cfg.loadLatency = rng.below(2) != 0 ? 2 : 4;
+            break;
+          }
+          case 11:
+            in.cfg.scalar = !in.cfg.scalar;
+            break;
+          default:
+            in.prog.fp = rng.below(2) != 0;
+            in.prog.calls = rng.below(4) != 0;
+            reshaped = true;
+            break;
+        }
+    }
+    // A reshaped program invalidates any slot-indexed keep mask.
+    if (reshaped)
+        in.prog.keep.clear();
+    return in;
+}
+
+namespace
+{
+
+std::string
+keepString(const std::vector<std::uint8_t> &keep)
+{
+    if (keep.empty())
+        return "-";
+    std::string s;
+    for (std::uint8_t k : keep)
+        s += k ? '1' : '0';
+    return s;
+}
+
+std::string
+irqString(const std::vector<Cycle> &irq)
+{
+    if (irq.empty())
+        return "-";
+    std::string s;
+    for (std::size_t i = 0; i < irq.size(); ++i) {
+        if (i)
+            s += ',';
+        s += std::to_string(irq[i]);
+    }
+    return s;
+}
+
+} // namespace
+
+std::string
+specText(const FuzzInput &in)
+{
+    std::string s;
+    s += "spec-begin\n";
+    s += "prog.seed " + std::to_string(in.prog.seed) + "\n";
+    s += "prog.stmts " + std::to_string(in.prog.stmts) + "\n";
+    s += "prog.depth " + std::to_string(in.prog.maxDepth) + "\n";
+    s += "prog.trip " + std::to_string(in.prog.maxTrip) + "\n";
+    s += "prog.pressure " + std::to_string(in.prog.mapPressure) +
+         "\n";
+    s += "prog.hot " + std::to_string(in.prog.connectHot) + "\n";
+    s += "prog.storm " + std::to_string(in.prog.callStorm) + "\n";
+    s += "prog.fp " + std::to_string(in.prog.fp ? 1 : 0) + "\n";
+    s += "prog.calls " + std::to_string(in.prog.calls ? 1 : 0) +
+         "\n";
+    s += "prog.keep " + keepString(in.prog.keep) + "\n";
+    s += "cfg.rc " + std::to_string(in.cfg.rc ? 1 : 0) + "\n";
+    s += "cfg.core " + std::to_string(in.cfg.core) + "\n";
+    s += "cfg.model " + std::to_string(in.cfg.model) + "\n";
+    s += "cfg.clat " + std::to_string(in.cfg.connectLatency) + "\n";
+    s += "cfg.extra " +
+         std::to_string(in.cfg.extraPipeStage ? 1 : 0) + "\n";
+    s += "cfg.hoist " +
+         std::to_string(in.cfg.hoistConnects ? 1 : 0) + "\n";
+    s += "cfg.split " + std::to_string(in.cfg.splitMaps ? 1 : 0) +
+         "\n";
+    s += "cfg.scalar " + std::to_string(in.cfg.scalar ? 1 : 0) +
+         "\n";
+    s += "cfg.width " + std::to_string(in.cfg.issueWidth) + "\n";
+    s += "cfg.chan " + std::to_string(in.cfg.memChannels) + "\n";
+    s += "cfg.loadlat " + std::to_string(in.cfg.loadLatency) + "\n";
+    s += "cfg.fad " +
+         std::to_string(in.cfg.fetchAfterDispatch ? 1 : 0) + "\n";
+    s += "cfg.irq " + irqString(in.cfg.interrupts) + "\n";
+    s += "spec-end\n";
+    return s;
+}
+
+namespace
+{
+
+bool
+parseKeep(const std::string &v, std::vector<std::uint8_t> &out)
+{
+    out.clear();
+    if (v == "-")
+        return true;
+    for (char c : v) {
+        if (c != '0' && c != '1')
+            return false;
+        out.push_back(c == '1' ? 1 : 0);
+    }
+    return true;
+}
+
+bool
+parseIrq(const std::string &v, std::vector<Cycle> &out)
+{
+    out.clear();
+    if (v == "-")
+        return true;
+    std::size_t pos = 0;
+    while (pos <= v.size()) {
+        std::size_t comma = v.find(',', pos);
+        std::string tok = v.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (tok.empty() ||
+            tok.find_first_not_of("0123456789") != std::string::npos)
+            return false;
+        out.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return !out.empty();
+}
+
+} // namespace
+
+bool
+parseSpecText(const std::string &text, FuzzInput &out,
+              std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    FuzzInput in;
+    bool inside = false, ended = false;
+    std::istringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line == "spec-begin") {
+            inside = true;
+            continue;
+        }
+        if (line == "spec-end") {
+            if (!inside)
+                return fail("spec-end before spec-begin");
+            ended = true;
+            break;
+        }
+        if (!inside || line.empty())
+            continue;
+        std::size_t sp = line.find(' ');
+        if (sp == std::string::npos)
+            return fail("malformed spec line: " + line);
+        std::string key = line.substr(0, sp);
+        std::string val = line.substr(sp + 1);
+        auto num = [&]() {
+            return std::strtoll(val.c_str(), nullptr, 10);
+        };
+        if (key == "prog.seed")
+            in.prog.seed = std::strtoull(val.c_str(), nullptr, 10);
+        else if (key == "prog.stmts")
+            in.prog.stmts = static_cast<int>(num());
+        else if (key == "prog.depth")
+            in.prog.maxDepth = static_cast<int>(num());
+        else if (key == "prog.trip")
+            in.prog.maxTrip = static_cast<int>(num());
+        else if (key == "prog.pressure")
+            in.prog.mapPressure = static_cast<int>(num());
+        else if (key == "prog.hot")
+            in.prog.connectHot = static_cast<int>(num());
+        else if (key == "prog.storm")
+            in.prog.callStorm = static_cast<int>(num());
+        else if (key == "prog.fp")
+            in.prog.fp = num() != 0;
+        else if (key == "prog.calls")
+            in.prog.calls = num() != 0;
+        else if (key == "prog.keep") {
+            if (!parseKeep(val, in.prog.keep))
+                return fail("bad prog.keep '" + val + "'");
+        } else if (key == "cfg.rc")
+            in.cfg.rc = num() != 0;
+        else if (key == "cfg.core")
+            in.cfg.core = static_cast<int>(num());
+        else if (key == "cfg.model")
+            in.cfg.model = static_cast<int>(num());
+        else if (key == "cfg.clat")
+            in.cfg.connectLatency = static_cast<int>(num());
+        else if (key == "cfg.extra")
+            in.cfg.extraPipeStage = num() != 0;
+        else if (key == "cfg.hoist")
+            in.cfg.hoistConnects = num() != 0;
+        else if (key == "cfg.split")
+            in.cfg.splitMaps = num() != 0;
+        else if (key == "cfg.scalar")
+            in.cfg.scalar = num() != 0;
+        else if (key == "cfg.width")
+            in.cfg.issueWidth = static_cast<int>(num());
+        else if (key == "cfg.chan")
+            in.cfg.memChannels = static_cast<int>(num());
+        else if (key == "cfg.loadlat")
+            in.cfg.loadLatency = static_cast<int>(num());
+        else if (key == "cfg.fad")
+            in.cfg.fetchAfterDispatch = num() != 0;
+        else if (key == "cfg.irq") {
+            if (!parseIrq(val, in.cfg.interrupts))
+                return fail("bad cfg.irq '" + val + "'");
+        } else
+            return fail("unknown spec key '" + key + "'");
+    }
+    if (!inside)
+        return fail("no spec-begin block");
+    if (!ended)
+        return fail("unterminated spec block");
+    if (in.prog.stmts < 0 || in.prog.maxTrip < 1 ||
+        in.prog.maxDepth < 0 || in.cfg.model < 1 ||
+        in.cfg.model > 4 || in.cfg.issueWidth < 1 ||
+        in.cfg.issueWidth > 8)
+        return fail("spec values out of range");
+    out = in;
+    return true;
+}
+
+std::uint64_t
+inputKey(const FuzzInput &in)
+{
+    std::string text = specText(in);
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace rcsim::fuzz

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The fuzzer's input domain: one FuzzInput is a (program spec,
+ * configuration spec) pair that deterministically describes one
+ * differential test case.
+ *
+ * A ProgramSpec parameterizes the structure-aware generator
+ * (fuzz/generator.hh): how many top-level statement slots, how deep
+ * control flow nests, how much register pressure the temp pool
+ * exerts, and how many RC-directed stress slots (connect-heavy hot
+ * loops, jsr/rts call storms) are appended.  Every slot draws from
+ * its own child RNG stream seeded by (seed, slot index), so removing
+ * a slot through the keep mask leaves every other slot's code
+ * byte-identical — the property the delta-debugging minimizer
+ * (fuzz/minimize.hh) relies on.
+ *
+ * A ConfigSpec mirrors the configuration distribution of the
+ * long-standing interpreter fuzz (tests/test_fuzz.cc) and adds the
+ * simulator-only knobs the bank stresses: external interrupt storms
+ * and the fetch-after-dispatch pipeline variant.
+ *
+ * randomInput()/mutateInput() are the generator/mutator pair the
+ * campaign draws from; both are pure functions of their RNG, so a
+ * campaign is reproducible bit-for-bit from its seed.
+ */
+
+#ifndef RCSIM_FUZZ_SPEC_HH
+#define RCSIM_FUZZ_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/pipeline.hh"
+#include "sim/sim_config.hh"
+#include "support/random.hh"
+
+namespace rcsim::fuzz
+{
+
+/** Parameters of one generated program (see fuzz/generator.hh). */
+struct ProgramSpec
+{
+    std::uint64_t seed = 1;
+
+    /** Regular top-level statement slots. */
+    int stmts = 6;
+
+    /** Maximum nesting depth of loops / diamonds inside a slot. */
+    int maxDepth = 2;
+
+    /** Upper bound on counted-loop trip counts (>= 1). */
+    int maxTrip = 24;
+
+    /**
+     * Extra integer pool temporaries beyond the base four.  More
+     * live pool values means more simultaneous live ranges, which
+     * under RC turns into map-pressure spikes (more extended
+     * registers, more connects).
+     */
+    int mapPressure = 0;
+
+    /** Connect-heavy hot-loop slots appended after the regular ones. */
+    int connectHot = 0;
+
+    /** Call-storm slots (jsr/rts map-reset storms) appended last. */
+    int callStorm = 0;
+
+    /** Allow floating-point statements (and the fp accumulator tail). */
+    bool fp = true;
+
+    /** Allow call statements (and emit the helper function). */
+    bool calls = true;
+
+    /**
+     * Per-slot keep mask for minimization: empty means "keep all";
+     * otherwise slot i is emitted iff keep[i] != 0.  Skipping a slot
+     * does not perturb any other slot's RNG stream.
+     */
+    std::vector<std::uint8_t> keep;
+
+    /** Total top-level slots (regular + hot + storm). */
+    int
+    slots() const
+    {
+        return stmts + connectHot + callStorm;
+    }
+
+    bool
+    kept(int slot) const
+    {
+        return keep.empty() ||
+               (slot < static_cast<int>(keep.size()) &&
+                keep[slot] != 0);
+    }
+
+    bool operator==(const ProgramSpec &) const = default;
+};
+
+/** Compile + simulate configuration of one differential case. */
+struct ConfigSpec
+{
+    bool rc = true;
+    int core = 16;       // core section size m (both classes)
+    int model = 3;       // automatic reset model 1-4
+    int connectLatency = 0;
+    bool extraPipeStage = false;
+    bool hoistConnects = true;
+    bool splitMaps = true;
+    bool scalar = false; // OptLevel::Scalar instead of Ilp
+    int issueWidth = 4;
+    int memChannels = 0; // 0 = the model default for the width
+    int loadLatency = 2;
+    bool fetchAfterDispatch = false;
+
+    /**
+     * External interrupt cycles, sorted ascending with >= 64 cycles
+     * of spacing so the single-level trap state (epc/epsw) is never
+     * overwritten by a nested interrupt — the bounce handler is a
+     * lone rfe, so the architectural result stays that of the
+     * uninterrupted program and the interpreter oracle stays sound.
+     */
+    std::vector<Cycle> interrupts;
+
+    bool operator==(const ConfigSpec &) const = default;
+};
+
+/** One complete fuzz case. */
+struct FuzzInput
+{
+    ProgramSpec prog;
+    ConfigSpec cfg;
+
+    bool operator==(const FuzzInput &) const = default;
+};
+
+/** Compile options a ConfigSpec describes. */
+harness::CompileOptions compileOptionsFor(const ConfigSpec &cfg);
+
+/**
+ * Simulator configuration a ConfigSpec describes.  trapVector is
+ * left unset: the bank wires it to the bounce handler it appends
+ * when the spec carries interrupts (fuzz/bank.hh).
+ */
+sim::SimConfig simConfigFor(const ConfigSpec &cfg);
+
+/** A fresh random input, fully determined by @p seed. */
+FuzzInput randomInput(std::uint64_t seed);
+
+/**
+ * Apply 1-3 structure-aware mutations to @p base, consuming entropy
+ * from @p rng: reseed / reshape the program, bump the RC stress
+ * knobs (map pressure, connect-hot loops, call storms), toggle the
+ * interrupt storm, or move the configuration (core size boundaries,
+ * reset model, latencies, issue width).
+ */
+FuzzInput mutateInput(const FuzzInput &base, SplitMix &rng);
+
+/**
+ * Canonical text serialization of an input: the "spec-begin" ..
+ * "spec-end" block shared by corpus files (.rcspec) and repro
+ * artifacts (.rcrepro, fuzz/repro.hh).  Byte-deterministic.
+ */
+std::string specText(const FuzzInput &input);
+
+/**
+ * Parse a spec block serialized by specText() (leading/trailing
+ * lines outside the block are ignored).  Returns false (with a
+ * message in @p error) on malformed input.
+ */
+bool parseSpecText(const std::string &text, FuzzInput &out,
+                   std::string *error = nullptr);
+
+/** FNV-1a hash of specText(): the input's stable identity. */
+std::uint64_t inputKey(const FuzzInput &input);
+
+} // namespace rcsim::fuzz
+
+#endif // RCSIM_FUZZ_SPEC_HH

@@ -1,5 +1,7 @@
 #include "inject/oracle.hh"
 
+#include "support/json.hh"
+
 namespace rcsim::inject
 {
 
@@ -19,6 +21,19 @@ Divergence::toString() const
            ", cycle " + std::to_string(cycle) + ", pc " +
            std::to_string(pc) + " (" + disasm + "): expected " +
            expected + ", got " + actual;
+}
+
+std::string
+Divergence::toJson() const
+{
+    if (!diverged)
+        return "{\"diverged\":false}";
+    return "{\"diverged\":true,\"index\":" + std::to_string(index) +
+           ",\"cycle\":" + std::to_string(cycle) +
+           ",\"pc\":" + std::to_string(pc) +
+           ",\"disasm\":" + json::str(disasm) +
+           ",\"expected\":" + json::str(expected) +
+           ",\"actual\":" + json::str(actual) + "}";
 }
 
 namespace

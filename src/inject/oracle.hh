@@ -43,6 +43,13 @@ struct Divergence
 
     /** One-line report for logs and JSON. */
     std::string toString() const;
+
+    /**
+     * Deterministic JSON object ({"index":..,"cycle":..,"pc":..,
+     * "disasm":..,"expected":..,"actual":..}; {"diverged":false}
+     * when clean) for machine-readable reports (rcfuzz payloads).
+     */
+    std::string toJson() const;
 };
 
 /** Records the committed-effects stream of a (golden) run. */

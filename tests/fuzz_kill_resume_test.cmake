@@ -1,0 +1,75 @@
+# Kill-and-resume driver for the rcfuzz campaign, run as a ctest
+# script:
+#
+#   cmake -DRCFUZZ=<path> -DWORKDIR=<dir> -P fuzz_kill_resume_test.cmake
+#
+# 1. an uninterrupted reference campaign produces ref.json;
+# 2. the same campaign with RCSIM_HARNESS_FAULT=3:crash journals a few
+#    tasks of round 0 and dies with the crash sentinel (86);
+# 3. --resume restores the journaled tasks, runs the rest, and must
+#    produce a summary byte-identical to the uninterrupted reference.
+
+if(NOT RCFUZZ OR NOT WORKDIR)
+    message(FATAL_ERROR "usage: cmake -DRCFUZZ=... -DWORKDIR=... "
+                        "-P fuzz_kill_resume_test.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+set(campaign_args --seed 7 --rounds 2 --batch 6)
+
+# ---- 1. Uninterrupted reference -------------------------------------
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env --unset=RCSIM_HARNESS_FAULT
+            --unset=RCSIM_FUZZ_SEED --unset=RCSIM_FUZZ_FAULT
+            "${RCFUZZ}" ${campaign_args} --json "${WORKDIR}/ref.json"
+    RESULT_VARIABLE ref_rc)
+if(NOT ref_rc EQUAL 0)
+    message(FATAL_ERROR "reference campaign exited ${ref_rc}")
+endif()
+
+# ---- 2. Crash mid-campaign ------------------------------------------
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env RCSIM_HARNESS_FAULT=3:crash
+            --unset=RCSIM_FUZZ_SEED --unset=RCSIM_FUZZ_FAULT
+            "${RCFUZZ}" ${campaign_args}
+            --journal "${WORKDIR}/run.jsonl"
+            --json "${WORKDIR}/crash.json"
+    RESULT_VARIABLE crash_rc)
+if(NOT crash_rc EQUAL 86)
+    message(FATAL_ERROR "crash probe: expected the sentinel exit "
+                        "code 86, got ${crash_rc}")
+endif()
+if(EXISTS "${WORKDIR}/crash.json")
+    message(FATAL_ERROR "the crashed campaign must not have written "
+                        "its summary JSON")
+endif()
+if(NOT EXISTS "${WORKDIR}/run.jsonl.r0")
+    message(FATAL_ERROR "the crashed campaign left no round-0 journal")
+endif()
+
+# ---- 3. Resume ------------------------------------------------------
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env --unset=RCSIM_HARNESS_FAULT
+            --unset=RCSIM_FUZZ_SEED --unset=RCSIM_FUZZ_FAULT
+            "${RCFUZZ}" ${campaign_args}
+            --journal "${WORKDIR}/run.jsonl" --resume
+            --json "${WORKDIR}/resumed.json"
+    RESULT_VARIABLE resume_rc)
+if(NOT resume_rc EQUAL ref_rc)
+    message(FATAL_ERROR "resumed campaign exited ${resume_rc}, the "
+                        "uninterrupted reference exited ${ref_rc}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORKDIR}/ref.json" "${WORKDIR}/resumed.json"
+    RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    message(FATAL_ERROR "resumed summary differs from the "
+                        "uninterrupted reference (byte-identity "
+                        "contract violated)")
+endif()
+
+message(STATUS "rcfuzz kill-and-resume: byte-identical summary")

@@ -1,0 +1,87 @@
+# Self-test + minimize round-trip driver for rcfuzz, run as a ctest
+# script:
+#
+#   cmake -DRCFUZZ=<path> -DWORKDIR=<dir> -P fuzz_minimize_test.cmake
+#
+# 1. a --self-test campaign injects a known fault, must catch it via
+#    the oracle bank, minimize it to <= 32 instructions, and write
+#    .rcrepro artifacts (exit 0: in self-test mode the caught fault is
+#    the expected outcome);
+# 2. --minimize on a written artifact must reproduce the divergence
+#    (exit 3) and, because the artifact is already minimal, print it
+#    back byte-identically;
+# 3. --minimize on its own output is a fixed point (byte-identical
+#    again).
+
+if(NOT RCFUZZ OR NOT WORKDIR)
+    message(FATAL_ERROR "usage: cmake -DRCFUZZ=... -DWORKDIR=... "
+                        "-P fuzz_minimize_test.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# ---- 1. Self-test campaign ------------------------------------------
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env --unset=RCSIM_HARNESS_FAULT
+            --unset=RCSIM_FUZZ_SEED --unset=RCSIM_FUZZ_FAULT
+            "${RCFUZZ}" --self-test
+            --repro-dir "${WORKDIR}/repros"
+            --json "${WORKDIR}/selftest.json"
+    RESULT_VARIABLE st_rc
+    ERROR_VARIABLE st_err)
+if(NOT st_rc EQUAL 0)
+    message(FATAL_ERROR "--self-test exited ${st_rc} (the injected "
+                        "fault was not caught + minimized):\n${st_err}")
+endif()
+if(NOT st_err MATCHES "self-test ok")
+    message(FATAL_ERROR "--self-test did not report success:\n${st_err}")
+endif()
+
+file(GLOB repros "${WORKDIR}/repros/*.rcrepro")
+list(LENGTH repros nrepros)
+if(nrepros EQUAL 0)
+    message(FATAL_ERROR "self-test wrote no .rcrepro artifacts")
+endif()
+list(SORT repros)
+list(GET repros 0 repro)
+
+# ---- 2. Minimize the artifact: exit 3 + byte-identical --------------
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env --unset=RCSIM_FUZZ_SEED
+            "${RCFUZZ}" --minimize "${repro}"
+    RESULT_VARIABLE m1_rc
+    OUTPUT_FILE "${WORKDIR}/m1.rcrepro"
+    ERROR_VARIABLE m1_err)
+if(NOT m1_rc EQUAL 3)
+    message(FATAL_ERROR "--minimize: expected exit 3 (divergence "
+                        "reproduced), got ${m1_rc}:\n${m1_err}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${repro}" "${WORKDIR}/m1.rcrepro"
+    RESULT_VARIABLE same1)
+if(NOT same1 EQUAL 0)
+    message(FATAL_ERROR "re-minimizing the written artifact changed "
+                        "its bytes (round-trip contract violated)")
+endif()
+
+# ---- 3. Fixed point -------------------------------------------------
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env --unset=RCSIM_FUZZ_SEED
+            "${RCFUZZ}" --minimize "${WORKDIR}/m1.rcrepro"
+    RESULT_VARIABLE m2_rc
+    OUTPUT_FILE "${WORKDIR}/m2.rcrepro")
+if(NOT m2_rc EQUAL 3)
+    message(FATAL_ERROR "second --minimize exited ${m2_rc}, not 3")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORKDIR}/m1.rcrepro" "${WORKDIR}/m2.rcrepro"
+    RESULT_VARIABLE same2)
+if(NOT same2 EQUAL 0)
+    message(FATAL_ERROR "--minimize is not a fixed point")
+endif()
+
+message(STATUS "rcfuzz minimize: caught, minimized, byte-stable "
+               "(${nrepros} artifacts)")

@@ -1,7 +1,7 @@
 /**
  * @file
  * Differential fuzzing: deterministic pseudo-random IR programs
- * (tests/fuzz_common.hh) are pushed through the entire pipeline
+ * (src/fuzz/generator.hh) are pushed through the entire pipeline
  * (optimize, schedule, allocate, insert connects, emit, simulate)
  * under a configuration derived from the same seed, and the simulated
  * result must equal the reference interpreter's.  Every seed
@@ -21,7 +21,7 @@
 
 #include <cstdlib>
 
-#include "fuzz_common.hh"
+#include "fuzz/generator.hh"
 #include "harness/experiment.hh"
 #include "support/logging.hh"
 
@@ -29,16 +29,6 @@ namespace rcsim
 {
 namespace
 {
-
-/** RCSIM_FUZZ_SEED override; 0 / unset / unparsable means "none". */
-std::uint64_t
-seedOverride()
-{
-    const char *env = std::getenv("RCSIM_FUZZ_SEED");
-    if (!env || env[0] == '\0')
-        return 0;
-    return std::strtoull(env, nullptr, 0);
-}
 
 class Fuzz : public ::testing::TestWithParam<int>
 {
@@ -48,9 +38,9 @@ TEST_P(Fuzz, PipelineMatchesInterpreterUnderRandomConfig)
 {
     setQuiet(true);
     std::uint64_t seed = 0xf00d + 977 * GetParam();
-    if (std::uint64_t forced = seedOverride())
+    if (std::uint64_t forced = fuzz::seedOverride())
         seed = forced;
-    workloads::Workload w = fuzzer::seedWorkload(seed);
+    workloads::Workload w = fuzz::seedWorkload(seed);
 
     // Configuration also derived from the seed.
     SplitMix cfg_rng(seed ^ 0xc0ffee);

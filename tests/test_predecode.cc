@@ -11,7 +11,7 @@
  *
  * Three layers pin that promise:
  *  - Seeds/PredecodeFuzz.* runs random whole-pipeline programs
- *    (tests/fuzz_common.hh) through both loops, with and without a
+ *    (src/fuzz/generator.hh) through both loops, with and without a
  *    commit-recording probe, and requires identical outcomes down to
  *    each CommitEffect (cycle included).
  *  - PredecodeDiff.* are directed programs for the transitions the
@@ -30,7 +30,7 @@
 #include <string>
 #include <vector>
 
-#include "fuzz_common.hh"
+#include "fuzz/generator.hh"
 #include "harness/experiment.hh"
 #include "inject/oracle.hh"
 #include "isa/assembler.hh"
@@ -149,7 +149,7 @@ TEST_P(PredecodeFuzz, FastLoopMatchesGenericReference)
 {
     setQuiet(true);
     std::uint64_t seed = 0xbeef + 1301 * GetParam();
-    workloads::Workload w = fuzzer::seedWorkload(seed);
+    workloads::Workload w = fuzz::seedWorkload(seed);
 
     // Configuration derived from the seed, same distribution as the
     // interpreter fuzz (test_fuzz.cc) so the two suites stress the

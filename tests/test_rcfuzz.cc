@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Tests for the coverage-guided differential conformance fuzzer
+ * (src/fuzz): spec serialization, the structure-aware generator's
+ * slot independence, the feature-coverage signal, the multi-oracle
+ * bank, first-divergence reporting on hand-crafted twin runs, the
+ * delta-debugging minimizer, repro-artifact round-trips, and
+ * campaign determinism across job counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/bank.hh"
+#include "fuzz/campaign.hh"
+#include "fuzz/minimize.hh"
+#include "fuzz/repro.hh"
+#include "inject/oracle.hh"
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+
+namespace rcsim::fuzz
+{
+namespace
+{
+
+isa::Program
+prog(const std::string &src)
+{
+    isa::AsmResult r = isa::assemble(src);
+    EXPECT_TRUE(r.ok()) << r.error;
+    isa::Program p = r.program;
+    p.memorySize = 1 << 16;
+    return p;
+}
+
+std::vector<sim::CommitEffect>
+record(const isa::Program &p, const sim::SimConfig &cfg)
+{
+    sim::Simulator sim(p, cfg);
+    inject::CommitRecorder rec;
+    sim.attachProbe(&rec);
+    EXPECT_TRUE(sim.run().ok);
+    EXPECT_FALSE(rec.truncated());
+    return rec.log();
+}
+
+// --- Spec serialization ---------------------------------------------
+
+TEST(RcFuzzSpec, SpecTextRoundTripsEveryField)
+{
+    FuzzInput in = randomInput(42);
+    in.prog.mapPressure = 9;
+    in.prog.connectHot = 2;
+    in.prog.callStorm = 1;
+    in.prog.keep.assign(static_cast<std::size_t>(in.prog.slots()), 1);
+    in.prog.keep[1] = 0;
+    in.cfg.interrupts = {100, 180, 999};
+    in.cfg.fetchAfterDispatch = true;
+
+    std::string text = specText(in);
+    FuzzInput back;
+    std::string error;
+    ASSERT_TRUE(parseSpecText(text, back, &error)) << error;
+    EXPECT_EQ(in, back);
+    EXPECT_EQ(inputKey(in), inputKey(back));
+    // Identity is stable text, not object identity.
+    EXPECT_EQ(specText(back), text);
+}
+
+TEST(RcFuzzSpec, ParseRejectsMalformedSpecs)
+{
+    FuzzInput out;
+    std::string error;
+    EXPECT_FALSE(parseSpecText("not a spec at all", out, &error));
+    EXPECT_FALSE(error.empty());
+
+    // A field pushed out of range must be rejected, not clamped.
+    FuzzInput in = randomInput(3);
+    std::string text = specText(in);
+    std::size_t pos = text.find("cfg.model ");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, text.find('\n', pos) - pos, "cfg.model 9");
+    EXPECT_FALSE(parseSpecText(text, out, &error));
+}
+
+TEST(RcFuzzSpec, GeneratorAndMutatorAreDeterministic)
+{
+    EXPECT_EQ(randomInput(7), randomInput(7));
+    EXPECT_NE(inputKey(randomInput(7)), inputKey(randomInput(8)));
+
+    FuzzInput base = randomInput(7);
+    SplitMix a(99), b(99);
+    EXPECT_EQ(mutateInput(base, a), mutateInput(base, b));
+}
+
+// --- Generator slot independence ------------------------------------
+
+TEST(RcFuzzGenerator, SameSpecCompilesToIdenticalProgram)
+{
+    FuzzInput in = randomInput(11);
+    CompiledInput a = compileInput(in);
+    CompiledInput b = compileInput(in);
+    ASSERT_EQ(a.compiled.program.code.size(),
+              b.compiled.program.code.size());
+    for (std::size_t i = 0; i < a.compiled.program.code.size(); ++i)
+        EXPECT_EQ(a.compiled.program.code[i].toString(),
+                  b.compiled.program.code[i].toString())
+            << "at " << i;
+    EXPECT_EQ(a.compiled.golden, b.compiled.golden);
+}
+
+TEST(RcFuzzGenerator, KeepMaskOnlyRemovesCode)
+{
+    FuzzInput in = randomInput(11);
+    Count full = compileInput(in).compiled.program.staticSize();
+
+    in.prog.keep.assign(static_cast<std::size_t>(in.prog.slots()), 1);
+    in.prog.keep[0] = 0;
+    Count pruned = compileInput(in).compiled.program.staticSize();
+    EXPECT_LT(pruned, full);
+}
+
+// --- Coverage signal ------------------------------------------------
+
+TEST(RcFuzzCoverage, FeaturesAreDeterministicAndDomainTagged)
+{
+    FuzzInput in = randomInput(5);
+    BankVerdict a = runBank(in);
+    BankVerdict b = runBank(in);
+    ASSERT_EQ(a.status, "ok");
+    EXPECT_EQ(a.features, b.features);
+    EXPECT_FALSE(a.features.empty());
+    // Sorted, unique, and every feature carries a domain tag.
+    for (std::size_t i = 0; i < a.features.size(); ++i) {
+        if (i) {
+            EXPECT_LT(a.features[i - 1], a.features[i]);
+        }
+        std::uint32_t domain = a.features[i] >> 28;
+        EXPECT_GE(domain, 1u);
+        EXPECT_LE(domain, 4u);
+    }
+}
+
+TEST(RcFuzzCoverage, AdmitFiresOnlyOnFreshFeatures)
+{
+    CoverageMap cov;
+    EXPECT_TRUE(cov.admit({1, 2, 3}));
+    EXPECT_FALSE(cov.admit({1, 2, 3}));
+    EXPECT_TRUE(cov.admit({3, 4}));
+    EXPECT_EQ(cov.size(), 4u);
+}
+
+// --- First-divergence reporting on hand-crafted twins ---------------
+
+// Twin programs: identical up to the value stored second.  The first
+// divergent commit must be pinned to that instruction — exact pc,
+// the cycle of the offending commit, and its disassembly.
+TEST(RcFuzzOracle, TwinRunsPinFirstDivergentInstruction)
+{
+    const char *tmplA = R"(
+func main:
+  li r1, 5
+  sw r1, r0, 8
+  li r2, 7
+  sw r2, r0, 12
+  halt
+)";
+    const char *tmplB = R"(
+func main:
+  li r1, 5
+  sw r1, r0, 8
+  li r2, 9
+  sw r2, r0, 12
+  halt
+)";
+    sim::SimConfig cfg;
+    cfg.machine.issueWidth = 1;
+
+    isa::Program pa = prog(tmplA);
+    std::vector<sim::CommitEffect> golden = record(pa, cfg);
+    std::vector<sim::CommitEffect> twin = record(prog(tmplB), cfg);
+    ASSERT_EQ(golden.size(), twin.size());
+
+    inject::Divergence div =
+        inject::firstDivergence(golden, twin, pa);
+    ASSERT_TRUE(div.diverged);
+    EXPECT_EQ(div.pc, 2); // the second li, nothing later
+    EXPECT_EQ(div.disasm, pa.code[2].toString());
+    EXPECT_NE(div.disasm.find("li"), std::string::npos);
+    EXPECT_EQ(div.index, 2u);
+    EXPECT_EQ(div.cycle, twin[div.index].cycle);
+    EXPECT_NE(div.expected, div.actual);
+    EXPECT_NE(div.toString().find("pc 2"), std::string::npos);
+}
+
+// A pure timing shift (same program, different issue width) commits
+// the identical architectural effect stream — no divergence, because
+// the oracle deliberately ignores cycle numbers.
+TEST(RcFuzzOracle, PureTimingShiftDoesNotDiverge)
+{
+    const char *src = R"(
+func main:
+  li r1, 3
+  li r2, 4
+  add r3, r1, r2
+  sw r3, r0, 8
+  halt
+)";
+    isa::Program p = prog(src);
+    sim::SimConfig narrow;
+    narrow.machine.issueWidth = 1;
+    sim::SimConfig wide;
+    wide.machine.issueWidth = 4;
+
+    std::vector<sim::CommitEffect> a = record(p, narrow);
+    std::vector<sim::CommitEffect> b = record(p, wide);
+    ASSERT_EQ(a.size(), b.size());
+    bool shifted = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        shifted |= a[i].cycle != b[i].cycle;
+    EXPECT_TRUE(shifted); // widths really did change the timing
+    EXPECT_FALSE(inject::firstDivergence(a, b, p).diverged);
+}
+
+TEST(RcFuzzOracle, DivergenceRendersAsJson)
+{
+    inject::Divergence clean;
+    EXPECT_EQ(clean.toJson(), "{\"diverged\":false}");
+
+    inject::Divergence div;
+    div.diverged = true;
+    div.index = 4;
+    div.cycle = 17;
+    div.pc = 2;
+    div.disasm = "sw r1, r0, 8";
+    div.expected = "a \"quoted\" effect";
+    div.actual = "b";
+    std::string json = div.toJson();
+    EXPECT_NE(json.find("\"diverged\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"pc\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"cycle\":17"), std::string::npos);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+// --- The differential bank ------------------------------------------
+
+TEST(RcFuzzBank, CleanInputsPassEveryOracle)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        BankVerdict v = runBank(randomInput(seed));
+        EXPECT_EQ(v.status, "ok") << "seed " << seed << ": "
+                                  << v.pair << " " << v.detail;
+        EXPECT_GT(v.cycles, 0u);
+        EXPECT_GT(v.instructions, 0u);
+        EXPECT_GT(v.staticSize, 0u);
+    }
+}
+
+TEST(RcFuzzBank, InterruptStormKeepsArchitecturalParity)
+{
+    FuzzInput in = randomInput(4);
+    in.cfg.interrupts = {64, 128, 256, 512, 1024};
+    BankVerdict v = runBank(in);
+    EXPECT_EQ(v.status, "ok") << v.pair << " " << v.detail;
+}
+
+TEST(RcFuzzBank, InjectedFaultIsCaughtByTheProbedOracle)
+{
+    inject::Fault fault;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("ireg:stuck0:2:5:0", fault, &error))
+        << error;
+
+    BankOptions opt;
+    opt.fault = &fault;
+    BankVerdict v = runBank(randomInput(1), opt);
+    ASSERT_TRUE(v.diverged()) << v.status;
+    EXPECT_EQ(v.pair, "generic/fast-probed");
+    ASSERT_TRUE(v.div.diverged);
+    EXPECT_FALSE(v.div.disasm.empty());
+    EXPECT_GE(v.div.cycle, fault.cycle);
+}
+
+TEST(RcFuzzBank, FaultSpecRoundTripsAndRejectsGarbage)
+{
+    inject::Fault f;
+    ASSERT_TRUE(parseFaultSpec("write-map:flip:100:3:2", f));
+    EXPECT_EQ(formatFaultSpec(f), "write-map:flip:100:3:2");
+    ASSERT_TRUE(parseFaultSpec("freg:stuck1:0:7:63", f));
+    EXPECT_EQ(f.cls, isa::RegClass::Fp);
+    EXPECT_EQ(formatFaultSpec(f), "freg:stuck1:0:7:63");
+
+    std::string error;
+    EXPECT_FALSE(parseFaultSpec("bogus:flip:0:0:0", f, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseFaultSpec("ireg:melt:0:0:0", f));
+    EXPECT_FALSE(parseFaultSpec("ireg:flip:0:0", f));
+}
+
+// --- Repro artifacts ------------------------------------------------
+
+TEST(RcFuzzRepro, ArtifactRoundTripsInputFaultAndBudget)
+{
+    FuzzInput in = randomInput(6);
+    in.cfg.interrupts = {77, 200};
+    CompiledInput ci = compileInput(in);
+
+    inject::Fault fault;
+    ASSERT_TRUE(parseFaultSpec("psw:flip:9:0:1", fault));
+
+    BankVerdict v;
+    v.status = "divergence";
+    v.pair = "generic/fast-probed";
+    v.detail = "synthetic";
+    v.staticSize = ci.compiled.program.staticSize();
+
+    std::string artifact = renderRepro(in, v, ci.compiled.program,
+                                       &fault, 1234);
+    EXPECT_NE(artifact.find("# rcfuzz repro v1"), std::string::npos);
+    EXPECT_NE(artifact.find("disasm-begin"), std::string::npos);
+
+    ReproFile back;
+    std::string error;
+    ASSERT_TRUE(parseRepro(artifact, back, &error)) << error;
+    EXPECT_EQ(back.input, in);
+    ASSERT_TRUE(back.hasFault);
+    EXPECT_EQ(formatFaultSpec(back.fault), "psw:flip:9:0:1");
+    EXPECT_EQ(back.maxCycles, 1234u);
+}
+
+// --- Minimization ---------------------------------------------------
+
+TEST(RcFuzzMinimize, CleanInputIsReportedClean)
+{
+    MinimizeOutcome out = minimizeInput(randomInput(2));
+    EXPECT_FALSE(out.reproduced);
+    EXPECT_EQ(out.runs, 1);
+}
+
+TEST(RcFuzzMinimize, InjectedFaultShrinksToATinyWitness)
+{
+    inject::Fault fault;
+    ASSERT_TRUE(parseFaultSpec("ireg:stuck0:2:5:0", fault));
+
+    MinimizeOptions mo;
+    mo.bank.fault = &fault;
+    MinimizeOutcome out = minimizeInput(randomInput(1), mo);
+    ASSERT_TRUE(out.reproduced);
+    EXPECT_TRUE(out.verdict.diverged());
+    EXPECT_LE(out.verdict.staticSize, 32u)
+        << "minimizer stalled at " << out.verdict.staticSize
+        << " instructions after " << out.runs << " runs";
+    EXPECT_LE(out.runs, mo.budget);
+
+    // Minimization converged: re-minimizing the minimized input is a
+    // fixed point (the --minimize round-trip guarantee).
+    MinimizeOutcome again = minimizeInput(out.input, mo);
+    ASSERT_TRUE(again.reproduced);
+    EXPECT_EQ(again.input, out.input);
+}
+
+// --- Campaign determinism -------------------------------------------
+
+CampaignOptions
+smallCampaign(std::uint64_t seed)
+{
+    CampaignOptions opt;
+    opt.seed = seed;
+    opt.rounds = 2;
+    opt.batch = 4;
+    opt.jobs = 1;
+    opt.maxMinimize = 1;
+    return opt;
+}
+
+TEST(RcFuzzCampaign, SummaryIsByteIdenticalAcrossRunsAndJobs)
+{
+    CampaignOptions opt = smallCampaign(9);
+    CampaignReport serial = runCampaign(opt);
+    EXPECT_EQ(serial.exitCode, 0);
+    EXPECT_GT(serial.admitted, 0u);
+    EXPECT_GT(serial.features, 0u);
+
+    EXPECT_EQ(runCampaign(opt).summaryJson, serial.summaryJson);
+
+    opt.jobs = 4;
+    EXPECT_EQ(runCampaign(opt).summaryJson, serial.summaryJson);
+
+    // A different seed explores a different campaign.
+    EXPECT_NE(runCampaign(smallCampaign(10)).summaryJson,
+              serial.summaryJson);
+}
+
+TEST(RcFuzzCampaign, FaultCampaignFindsAndMinimizesTheDivergence)
+{
+    inject::Fault fault;
+    ASSERT_TRUE(parseFaultSpec("ireg:stuck0:2:5:0", fault));
+
+    CampaignOptions opt = smallCampaign(1);
+    opt.rounds = 1;
+    opt.fault = &fault;
+    CampaignReport report = runCampaign(opt);
+    EXPECT_EQ(report.exitCode, 3);
+    ASSERT_FALSE(report.findings.empty());
+    const CampaignDivergence &f = report.findings.front();
+    EXPECT_EQ(f.pair, "generic/fast-probed");
+    EXPECT_TRUE(f.minimized);
+    EXPECT_LE(f.minStaticSize, 32u);
+    EXPECT_NE(report.summaryJson.find("\"divergences\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace rcsim::fuzz

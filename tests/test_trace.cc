@@ -7,7 +7,7 @@
  *                      spans nest, sinks emit valid JSON, env/CLI
  *                      path resolution)
  *  - TraceCheck:       the validator rejects malformed documents
- *  - TraceFuzz:        random programs (tests/fuzz_common.hh) produce
+ *  - TraceFuzz:        random programs (src/fuzz/generator.hh) produce
  *                      well-formed traces whose event counts match
  *                      the simulator's own counters
  *  - TraceParity:      tracing on vs off changes neither the stats,
@@ -25,7 +25,7 @@
 #include <cstdlib>
 #include <thread>
 
-#include "fuzz_common.hh"
+#include "fuzz/generator.hh"
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
 #include "inject/oracle.hh"
@@ -271,7 +271,7 @@ TEST(TraceFuzz, RandomProgramsProduceWellFormedTraces)
     Count connects = 0;
     for (int i = 0; i < 6; ++i) {
         std::uint64_t seed = 0xace + 1013 * i;
-        workloads::Workload w = fuzzer::seedWorkload(seed);
+        workloads::Workload w = fuzz::seedWorkload(seed);
 
         harness::CompileOptions opts;
         opts.level = opt::OptLevel::Ilp;

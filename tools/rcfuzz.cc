@@ -1,0 +1,328 @@
+/**
+ * @file
+ * rcfuzz — coverage-guided differential conformance fuzzer.
+ *
+ * Runs a deterministic campaign of generated programs through the
+ * multi-oracle differential bank (IR interpreter vs generic issue
+ * loop vs predecoded fast loops, probed and unprobed, vs the arena
+ * rebind path), admits inputs to a corpus when they light up new
+ * coverage features, delta-debugs every divergence to a minimal
+ * repro, and emits a byte-deterministic JSON summary (same seed →
+ * identical bytes, at any --jobs count, across crash/resume).
+ *
+ *   rcfuzz --seed 7 --rounds 4 --batch 16 --corpus corpus/
+ *   rcfuzz --minimize div.rcrepro
+ *   rcfuzz --self-test
+ *
+ * Options:
+ *   --seed N          campaign seed (default 1); the RCSIM_FUZZ_SEED
+ *                     environment variable overrides it
+ *   --rounds N        mutation rounds (default 4; 2 in --self-test)
+ *   --batch N         inputs per round (default 16; 8 in --self-test)
+ *   --jobs N          worker threads; 1 = serial, 0 = auto
+ *                     (RCSIM_JOBS env or hardware concurrency;
+ *                     default 1).  Output is byte-identical at any
+ *                     job count.
+ *   --corpus DIR      write admitted inputs as <seq>-<key>.rcspec
+ *   --repro-dir DIR   write minimized divergences as <key>.rcrepro
+ *   --max-cycles N    per-member cycle budget (default 20000000)
+ *   --max-minimize N  divergences to minimize (default 4)
+ *   --json FILE       write the summary JSON to FILE (default stdout)
+ *   --summary         human-readable one-liner to stderr
+ *   --minimize FILE   re-run + re-minimize a .rcrepro / .rcspec and
+ *                     print the minimized artifact to stdout
+ *                     (byte-identical when FILE is already minimal);
+ *                     exit 3 when the divergence reproduces, 0 when
+ *                     it does not
+ *   --fault SPEC      inject target:kind:cycle:index:bit (targets
+ *                     read-map write-map ireg freg psw instr; kinds
+ *                     flip stuck0 stuck1) into the fast-probed bank
+ *                     member; RCSIM_FUZZ_FAULT is equivalent
+ *   --self-test       fuzz with an injected fault (default
+ *                     ireg:stuck0:2:5:0) and demand that the bank
+ *                     catches it and minimizes it to <= 32
+ *                     instructions; exit 0 exactly then — the
+ *                     injected divergence is the expected outcome
+ *   --trace [FILE]    Chrome trace_event JSON (RCSIM_TRACE works too)
+ *   --trace-metrics FILE  aggregated metrics JSON
+ *
+ * Resilience (as rcinject): --journal FILE (per-round JSONL files
+ * FILE.r<k>), --resume, --deadline-ms N, --retries N.
+ *
+ * Exit codes: 0 clean (or --self-test caught + minimized its fault)
+ *             1 operational error (unwritable output, bad resume)
+ *             2 usage error
+ *             3 at least one divergence (campaign or --minimize)
+ *             5 harness failure (outranks 3)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/campaign.hh"
+#include "fuzz/repro.hh"
+#include "support/error.hh"
+#include "support/logging.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+using namespace rcsim;
+
+struct Args
+{
+    std::uint64_t seed = 1;
+    int rounds = -1; // -1 = default (mode-dependent)
+    int batch = -1;
+    int jobs = 1;
+    std::string corpusDir;
+    std::string reproDir;
+    Cycle maxCycles = 20'000'000;
+    int maxMinimize = 4;
+    std::string jsonFile;
+    bool summary = false;
+    std::string minimizeFile;
+    std::string faultSpec;
+    bool selfTest = false;
+    std::string traceFile;
+    std::string metricsFile;
+    std::string journal;
+    bool resume = false;
+    int deadlineMs = 0;
+    int retries = 0;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: rcfuzz [--seed N] [options]\n"
+                 "see the header of tools/rcfuzz.cc for the "
+                 "option list\n");
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, Args &args)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (a == "--seed" && next())
+            args.seed =
+                static_cast<std::uint64_t>(std::atoll(argv[i]));
+        else if (a == "--rounds" && next())
+            args.rounds = std::atoi(argv[i]);
+        else if (a == "--batch" && next())
+            args.batch = std::atoi(argv[i]);
+        else if (a == "--jobs" && next())
+            args.jobs = std::atoi(argv[i]);
+        else if (a == "--corpus" && next())
+            args.corpusDir = argv[i];
+        else if (a == "--repro-dir" && next())
+            args.reproDir = argv[i];
+        else if (a == "--max-cycles" && next())
+            args.maxCycles =
+                static_cast<Cycle>(std::atoll(argv[i]));
+        else if (a == "--max-minimize" && next())
+            args.maxMinimize = std::atoi(argv[i]);
+        else if (a == "--json" && next())
+            args.jsonFile = argv[i];
+        else if (a == "--summary")
+            args.summary = true;
+        else if (a == "--minimize" && next())
+            args.minimizeFile = argv[i];
+        else if (a == "--fault" && next())
+            args.faultSpec = argv[i];
+        else if (a == "--self-test")
+            args.selfTest = true;
+        else if (a == "--journal" && next())
+            args.journal = argv[i];
+        else if (a == "--resume")
+            args.resume = true;
+        else if (a == "--deadline-ms" && next())
+            args.deadlineMs = std::atoi(argv[i]);
+        else if (a == "--retries" && next())
+            args.retries = std::atoi(argv[i]);
+        else if (a.rfind("--trace=", 0) == 0)
+            args.traceFile = a.substr(8);
+        else if (a.rfind("--trace-metrics=", 0) == 0)
+            args.metricsFile = a.substr(16);
+        else if (a == "--trace-metrics" && next())
+            args.metricsFile = argv[i];
+        else if (a == "--trace") {
+            // Optional FILE operand; bare --trace uses the default.
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                args.traceFile = argv[++i];
+            else
+                args.traceFile = "rcfuzz_trace.json";
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return false;
+        }
+    }
+    if (args.resume && args.journal.empty()) {
+        std::fprintf(stderr, "--resume requires --journal FILE\n");
+        return false;
+    }
+    if (args.rounds == 0 || args.batch == 0)
+        return false;
+    return true;
+}
+
+int
+runMinimize(const Args &args, const inject::Fault *fault)
+{
+    std::ifstream in(args.minimizeFile);
+    if (!in) {
+        std::fprintf(stderr, "cannot read '%s'\n",
+                     args.minimizeFile.c_str());
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    fuzz::ReproFile repro;
+    std::string error;
+    if (!fuzz::parseRepro(buf.str(), repro, &error)) {
+        std::fprintf(stderr, "bad repro '%s': %s\n",
+                     args.minimizeFile.c_str(), error.c_str());
+        return 2;
+    }
+
+    fuzz::MinimizeOptions mo;
+    mo.bank.maxCycles =
+        repro.maxCycles != 0 ? repro.maxCycles : args.maxCycles;
+    if (repro.hasFault)
+        mo.bank.fault = &repro.fault;
+    else
+        mo.bank.fault = fault;
+    fuzz::MinimizeOutcome out =
+        fuzz::minimizeInput(repro.input, mo);
+    if (!out.reproduced) {
+        std::fprintf(stderr,
+                     "no divergence: input is clean "
+                     "(%d bank runs)\n",
+                     out.runs);
+        return 0;
+    }
+    fuzz::CompiledInput ci = fuzz::compileInput(out.input);
+    std::string artifact = fuzz::renderRepro(
+        out.input, out.verdict, ci.compiled.program, mo.bank.fault,
+        mo.bank.maxCycles);
+    std::fputs(artifact.c_str(), stdout);
+    std::fprintf(stderr, "divergence reproduced (%d bank runs)\n",
+                 out.runs);
+    return 3;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, args))
+        return usage();
+    setQuiet(true);
+
+    trace::ScopedDump tracer(
+        trace::resolveTracePath(args.traceFile, "rcfuzz_trace.json"),
+        args.metricsFile);
+
+    if (std::uint64_t env_seed = fuzz::seedOverride())
+        args.seed = env_seed;
+    if (args.faultSpec.empty())
+        if (const char *env = std::getenv("RCSIM_FUZZ_FAULT"))
+            args.faultSpec = env;
+    if (args.selfTest && args.faultSpec.empty())
+        args.faultSpec = "ireg:stuck0:2:5:0";
+
+    inject::Fault fault;
+    bool haveFault = false;
+    if (!args.faultSpec.empty()) {
+        std::string error;
+        if (!fuzz::parseFaultSpec(args.faultSpec, fault, &error)) {
+            std::fprintf(stderr, "bad --fault spec '%s': %s\n",
+                         args.faultSpec.c_str(), error.c_str());
+            return 2;
+        }
+        haveFault = true;
+    }
+
+    if (!args.minimizeFile.empty())
+        return runMinimize(args, haveFault ? &fault : nullptr);
+
+    fuzz::CampaignOptions opt;
+    opt.seed = args.seed;
+    opt.rounds = args.rounds > 0 ? args.rounds
+                 : args.selfTest ? 2
+                                 : 4;
+    opt.batch = args.batch > 0 ? args.batch : args.selfTest ? 8 : 16;
+    opt.jobs = args.jobs;
+    opt.corpusDir = args.corpusDir;
+    opt.reproDir = args.reproDir;
+    opt.journal = args.journal;
+    opt.resume = args.resume;
+    opt.maxCycles = args.maxCycles;
+    opt.deadlineMs = args.deadlineMs;
+    opt.retries = args.retries;
+    opt.maxMinimize = args.maxMinimize;
+    if (haveFault)
+        opt.fault = &fault;
+
+    fuzz::CampaignReport report;
+    try {
+        report = fuzz::runCampaign(opt);
+    } catch (const RcError &e) {
+        // e.g. resuming against a journal from a different campaign.
+        std::fprintf(stderr, "error: %s\n", e.describe().c_str());
+        return 1;
+    }
+
+    if (args.jsonFile.empty()) {
+        std::fputs(report.summaryJson.c_str(), stdout);
+    } else {
+        std::ofstream out(args.jsonFile, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         args.jsonFile.c_str());
+            return 1;
+        }
+        out << report.summaryJson;
+    }
+
+    if (args.summary)
+        std::fprintf(stderr,
+                     "rcfuzz: %zu corpus entries, %zu features, "
+                     "%zu divergences, %zu harness failures\n",
+                     report.admitted, report.features,
+                     report.findings.size(),
+                     report.harnessFailures);
+
+    if (args.selfTest) {
+        // Inverted contract: the injected fault MUST be caught and
+        // minimized small, or the oracle bank is broken.
+        for (const fuzz::CampaignDivergence &f : report.findings)
+            if (f.minimized && f.minStaticSize <= 32) {
+                std::fprintf(stderr,
+                             "self-test ok: fault caught, "
+                             "minimized to %llu instructions\n",
+                             (unsigned long long)f.minStaticSize);
+                return 0;
+            }
+        std::fprintf(stderr,
+                     "self-test FAILED: injected fault was not "
+                     "caught and minimized (%zu divergences)\n",
+                     report.findings.size());
+        return 5;
+    }
+
+    return report.exitCode;
+}
