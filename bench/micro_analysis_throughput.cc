@@ -1,0 +1,177 @@
+/**
+ * @file
+ * micro_analysis_throughput — the tracked performance benchmark for
+ * the map-state static analyzer (src/analysis).
+ *
+ * Compiles every workload at the fig12-style configuration (4-issue,
+ * RC on, ILP) and repeatedly analyzes the emitted machine code until
+ * a minimum wall-clock budget is spent; instructions analyzed per
+ * second is the headline metric.  Every run re-checks determinism:
+ * the instruction count, diagnostic count and claim count must not
+ * change between repetitions, and the compiler's output must be
+ * diagnostic-clean.
+ *
+ * Emits a machine-readable JSON file (BENCH_analysis_throughput.json)
+ * in the same shape as BENCH_sim_throughput.json, with
+ * "instructions" as the deterministic per-entry key and "ips"
+ * (analyzed instructions per second) as the rate — tools/benchdiff
+ * understands both layouts.
+ *
+ * Options:
+ *   --json FILE     output file (default
+ *                   BENCH_analysis_throughput.json, "-" = stdout)
+ *   --min-time S    minimum seconds per workload (default 0.5)
+ *   --smoke         tiny smoke run used by the ctest target
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "bench/bench_common.hh"
+
+namespace
+{
+
+using namespace rcsim;
+using Clock = std::chrono::steady_clock;
+
+struct Measurement
+{
+    std::string name;
+    Count instructions = 0; // analyzed per run (deterministic)
+    std::size_t claims = 0; // emitted per run (deterministic)
+    int runs = 0;
+    double secs = 0.0;
+    double ips = 0.0; // analyzed instructions / second
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rcsim::bench;
+    setQuiet(true);
+
+    std::string json_file = "BENCH_analysis_throughput.json";
+    double min_time = 0.5;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (a == "--json" && next())
+            json_file = argv[i];
+        else if (a == "--min-time" && next())
+            min_time = std::atof(argv[i]);
+        else if (a == "--smoke")
+            min_time = 0.01;
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<Measurement> results;
+    for (const workloads::Workload &w : workloads::allWorkloads()) {
+        harness::CompileOptions opts =
+            withRc(w, paperCore(w), 4);
+        harness::CompiledProgram cp =
+            harness::compileWorkload(w, opts);
+
+        analysis::AnalyzerOptions ao;
+        ao.rc = opts.rc;
+
+        Measurement m;
+        m.name = w.name;
+        analysis::AnalysisResult first =
+            analysis::analyzeProgram(cp.program, ao);
+        if (!first.clean()) {
+            std::fprintf(stderr, "%s: compiler output not clean:\n%s",
+                         w.name.c_str(),
+                         analysis::renderDiagnostics(first.diags)
+                             .c_str());
+            return 1;
+        }
+        m.instructions = first.instructions;
+        m.claims = first.claims.size();
+
+        Count analyzed = 0;
+        Clock::time_point t0 = Clock::now();
+        do {
+            analysis::AnalysisResult r =
+                analysis::analyzeProgram(cp.program, ao);
+            if (r.instructions != m.instructions ||
+                !r.clean() || r.claims.size() != m.claims) {
+                std::fprintf(stderr, "%s: NONDETERMINISTIC result\n",
+                             w.name.c_str());
+                return 1;
+            }
+            analyzed += r.instructions;
+            ++m.runs;
+            m.secs = std::chrono::duration<double>(Clock::now() - t0)
+                         .count();
+        } while (m.secs < min_time);
+        m.ips = static_cast<double>(analyzed) / m.secs;
+
+        std::printf("%-12s %10.0f instr/s  (%llu instrs, "
+                    "%zu claims, %d runs, %.2fs)\n",
+                    m.name.c_str(), m.ips,
+                    static_cast<unsigned long long>(m.instructions),
+                    m.claims, m.runs, m.secs);
+        results.push_back(std::move(m));
+    }
+
+    double total_secs = 0.0, total_analyzed = 0.0;
+    for (const Measurement &m : results) {
+        total_secs += m.secs;
+        total_analyzed += m.ips * m.secs;
+    }
+    double aggregate_ips =
+        total_secs > 0 ? total_analyzed / total_secs : 0.0;
+    std::printf("%-12s %10.0f instr/s\n", "aggregate", aggregate_ips);
+
+    // ---- JSON report (benchdiff-compatible layout). ----
+    char buf[256];
+    std::string j = "{\n  \"bench\": \"analysis_throughput\",\n"
+                    "  \"config\": {\"issue\": 4, \"load_latency\": 2,"
+                    " \"core_int\": 16, \"core_fp\": 32, \"rc\": true,"
+                    " \"opt\": \"ilp\"},\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Measurement &m = results[i];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"name\": \"%s\", \"instructions\": %llu, "
+            "\"claims\": %zu, \"runs\": %d, \"secs\": %.4f, "
+            "\"ips\": %.0f}%s\n",
+            m.name.c_str(),
+            static_cast<unsigned long long>(m.instructions),
+            m.claims, m.runs, m.secs, m.ips,
+            i + 1 < results.size() ? "," : "");
+        j += buf;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "  ],\n  \"aggregate\": {\"ips\": %.0f}\n}\n",
+                  aggregate_ips);
+    j += buf;
+
+    if (json_file == "-") {
+        std::fputs(j.c_str(), stdout);
+    } else {
+        std::ofstream out(json_file);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         json_file.c_str());
+            return 1;
+        }
+        out << j;
+        std::printf("wrote %s\n", json_file.c_str());
+    }
+    return 0;
+}

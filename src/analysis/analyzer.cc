@@ -1,0 +1,481 @@
+#include "analysis/analyzer.hh"
+
+#include <algorithm>
+
+namespace rcsim::analysis
+{
+
+namespace
+{
+
+/** Encoding field widths for connect operands (isa/encoding). */
+constexpr int encodeMapIdxLimit = 32;  // 5-bit map index field
+constexpr int encodePhysLimit = 256;   // 8-bit physical field
+
+/** Backward may-live sets: one bit per map entry, per class/map. */
+struct LiveSet
+{
+    // [class][0 = read map binding, 1 = write map binding]
+    std::vector<std::uint8_t> v[isa::numRegClasses][2];
+
+    static LiveSet
+    sized(const core::RcConfig &rc, bool all)
+    {
+        LiveSet s;
+        for (int c = 0; c < isa::numRegClasses; ++c) {
+            auto m = static_cast<std::size_t>(
+                rc.core(static_cast<isa::RegClass>(c)));
+            s.v[c][0].assign(m, all ? 1 : 0);
+            s.v[c][1].assign(m, all ? 1 : 0);
+        }
+        return s;
+    }
+
+    bool
+    orWith(const LiveSet &o)
+    {
+        bool changed = false;
+        for (int c = 0; c < isa::numRegClasses; ++c)
+            for (int k = 0; k < 2; ++k)
+                for (std::size_t i = 0; i < v[c][k].size(); ++i)
+                    if (o.v[c][k][i] && !v[c][k][i]) {
+                        v[c][k][i] = 1;
+                        changed = true;
+                    }
+        return changed;
+    }
+};
+
+/** Context shared by the reporting walks. */
+struct Reporter
+{
+    const isa::Program &prog;
+    const MapEngine &eng;
+    AnalysisResult &res;
+
+    /** Per-pc enable fact (Bot = never reached). */
+    std::vector<AbsEnable> enableAt;
+
+    /** Per-pc set of already-emitted kinds (dedup per pc). */
+    std::vector<std::uint8_t> emitted;
+
+    Reporter(const isa::Program &p, const MapEngine &e,
+             AnalysisResult &r)
+        : prog(p), eng(e), res(r),
+          enableAt(p.code.size(), AbsEnable::Bot),
+          emitted(p.code.size(), 0)
+    {
+    }
+
+    void
+    diag(DiagKind kind, DiagSeverity sev, std::int32_t pc,
+         std::string message, bool dedup = true)
+    {
+        auto bit = static_cast<std::uint8_t>(
+            1u << static_cast<unsigned>(kind));
+        if (dedup) {
+            if (emitted[static_cast<std::size_t>(pc)] & bit)
+                return;
+            emitted[static_cast<std::size_t>(pc)] |= bit;
+        }
+        Diagnostic d;
+        d.kind = kind;
+        d.severity = sev;
+        d.pc = pc;
+        d.disasm =
+            prog.code[static_cast<std::size_t>(pc)].toString();
+        d.message = std::move(message);
+        d.witness = eng.witness(eng.cfg().blockAt(pc));
+        res.diags.push_back(std::move(d));
+    }
+};
+
+/** "int map entry 3" / "fp map entry 3" spelling. */
+std::string
+entryName(isa::RegClass cls, int idx)
+{
+    return std::string(cls == isa::RegClass::Int ? "int" : "fp") +
+           " map entry " + std::to_string(idx);
+}
+
+/** Forward reporting walk of one reached block. */
+void
+walkBlock(Reporter &rep, int block)
+{
+    const MapEngine &eng = rep.eng;
+    const core::RcConfig &rc = eng.options().rc;
+    bool conservative = eng.conservative();
+
+    eng.forEachInstr(block, [&](std::int32_t pc,
+                                const isa::Instruction &ins,
+                                const AbsState &st) {
+        ++rep.res.instructions;
+        rep.enableAt[static_cast<std::size_t>(pc)] = st.enable;
+        const isa::OpcodeInfo &info = ins.info();
+
+        if (info.isConnect) {
+            if (!rc.enabled) {
+                rep.diag(DiagKind::BoundViolation,
+                         DiagSeverity::Definite, pc,
+                         "connect instruction without RC support");
+                return;
+            }
+            int cls = static_cast<int>(ins.connCls);
+            int m = rc.core(ins.connCls);
+            int tot = rc.total(ins.connCls);
+            bool unified = !rc.splitMaps;
+            // Local copy: pair k's facts are judged with pairs < k
+            // already applied, exactly as the hardware applies them.
+            std::vector<AbsVal> read = st.read[cls];
+            std::vector<AbsVal> write = st.write[cls];
+            bool all_redundant = ins.nconn > 0;
+            for (int k = 0; k < ins.nconn; ++k) {
+                const isa::ConnectPair &p = ins.conn[k];
+                auto pairTag = [&] {
+                    return ins.nconn > 1
+                               ? " (pair " + std::to_string(k) + ")"
+                               : std::string();
+                };
+                if (static_cast<int>(p.mapIdx) >= m ||
+                    static_cast<int>(p.phys) >= tot) {
+                    rep.diag(
+                        DiagKind::BoundViolation,
+                        DiagSeverity::Definite, pc,
+                        (static_cast<int>(p.mapIdx) >= m
+                             ? "map index " +
+                                   std::to_string(p.mapIdx) +
+                                   " out of range [0, " +
+                                   std::to_string(m) + ")"
+                             : "physical register " +
+                                   std::to_string(p.phys) +
+                                   " out of range [0, " +
+                                   std::to_string(tot) + ")") +
+                            pairTag());
+                    return; // the simulator faults the run here
+                }
+                if (static_cast<int>(p.mapIdx) >=
+                        encodeMapIdxLimit ||
+                    static_cast<int>(p.phys) >= encodePhysLimit)
+                    rep.diag(DiagKind::BoundViolation,
+                             DiagSeverity::Definite, pc,
+                             "connect operand exceeds the encoding "
+                             "field limits (map index < 32, "
+                             "physical < 256)" +
+                                 pairTag());
+                auto idx = static_cast<std::size_t>(p.mapIdx);
+                auto phys = static_cast<AbsVal>(p.phys);
+                bool redundant =
+                    unified ? read[idx] == phys &&
+                                  write[idx] == phys
+                    : p.isDef ? write[idx] == phys
+                              : read[idx] == phys;
+                if (redundant && !conservative)
+                    rep.diag(DiagKind::RedundantConnect,
+                             DiagSeverity::Definite, pc,
+                             entryName(ins.connCls,
+                                       static_cast<int>(p.mapIdx)) +
+                                 " already maps " +
+                                 (p.isDef ? "writes" : "reads") +
+                                 " to p" + std::to_string(p.phys) +
+                                 pairTag(),
+                             /*dedup=*/false);
+                all_redundant = all_redundant && redundant;
+                if (p.isDef || unified)
+                    write[idx] = phys;
+                if (!p.isDef || unified)
+                    read[idx] = phys;
+            }
+            if (all_redundant && !conservative)
+                rep.res.redundantConnectPcs.push_back(pc);
+            return;
+        }
+
+        // ---- Ordinary instruction: per-operand facts. ----
+        auto operand = [&](const isa::Reg &r, bool is_write) {
+            int tot = rc.total(r.cls);
+            int idx = r.idx;
+            const char *way = is_write ? "write" : "read";
+            if (idx >= tot) {
+                rep.diag(DiagKind::BoundViolation,
+                         DiagSeverity::Definite, pc,
+                         std::string("register ") + way +
+                             " index " + std::to_string(idx) +
+                             " out of range [0, " +
+                             std::to_string(tot) + ")");
+                return;
+            }
+            if (!rc.enabled)
+                return;
+            int m = rc.core(r.cls);
+            if (idx >= m) {
+                // Legal only with the map disabled.
+                if (st.enable == AbsEnable::On)
+                    rep.diag(DiagKind::BoundViolation,
+                             DiagSeverity::Definite, pc,
+                             std::string(way) + " index " +
+                                 std::to_string(idx) +
+                                 " exceeds the map size " +
+                                 std::to_string(m) +
+                                 " with the map enabled");
+                else if (st.enable == AbsEnable::Top)
+                    rep.diag(DiagKind::BoundViolation,
+                             DiagSeverity::Maybe, pc,
+                             std::string(way) + " index " +
+                                 std::to_string(idx) +
+                                 " exceeds the map size " +
+                                 std::to_string(m) +
+                                 " while the map may be enabled");
+                return;
+            }
+            if (conservative)
+                return;
+            const std::vector<AbsVal> &map =
+                is_write ? st.write[static_cast<int>(r.cls)]
+                         : st.read[static_cast<int>(r.cls)];
+            AbsVal v = map[static_cast<std::size_t>(idx)];
+            if (enableMayBeOn(st.enable) && v == absTop)
+                rep.diag(DiagKind::StaleRead,
+                         st.enable == AbsEnable::On
+                             ? DiagSeverity::Definite
+                             : DiagSeverity::Maybe,
+                         pc,
+                         std::string(way) + " through " +
+                             entryName(r.cls, idx) +
+                             " whose binding differs across "
+                             "incoming paths");
+            else if (st.enable == AbsEnable::Top && absExact(v) &&
+                     v != static_cast<AbsVal>(idx))
+                rep.diag(DiagKind::EnableHazard,
+                         DiagSeverity::Maybe, pc,
+                         entryName(r.cls, idx) + " maps to p" +
+                             std::to_string(v) +
+                             " but the PSW map-enable bit may be "
+                             "clear, steering the " +
+                             way + " to p" + std::to_string(idx));
+            if (st.enable == AbsEnable::On && absExact(v))
+                rep.res.claims.push_back(
+                    MapClaim{pc, r.cls,
+                             static_cast<std::uint16_t>(idx),
+                             is_write,
+                             static_cast<core::PhysIndex>(v)});
+        };
+        for (int k = 0; k < info.numSrcs; ++k)
+            operand(ins.src[k], false);
+        if (info.hasDst)
+            operand(ins.dst, true);
+    });
+}
+
+/**
+ * Backward walk of one block from @p live, recording dead connect
+ * pairs into @p rep when non-null.
+ */
+void
+backwardBlock(const Reporter &rep, const McCfg &cfg,
+              const core::RcConfig &rc, int block, LiveSet &live,
+              std::vector<std::pair<std::int32_t, int>> *dead)
+{
+    const isa::Program &prog = *cfg.prog;
+    const McBlock &blk = cfg.blocks[static_cast<std::size_t>(block)];
+    bool unified = !rc.splitMaps;
+
+    for (std::int32_t pc = blk.last; pc >= blk.first; --pc) {
+        AbsEnable en = rep.enableAt[static_cast<std::size_t>(pc)];
+        if (en == AbsEnable::Bot)
+            continue; // never executes (unreached / after a fault)
+        const isa::Instruction &ins =
+            prog.code[static_cast<std::size_t>(pc)];
+        const isa::OpcodeInfo &info = ins.info();
+
+        if (info.isConnect) {
+            int cls = static_cast<int>(ins.connCls);
+            int m = rc.core(ins.connCls);
+            bool faulting = false;
+            for (int k = 0; k < ins.nconn; ++k)
+                if (static_cast<int>(ins.conn[k].mapIdx) >= m ||
+                    static_cast<int>(ins.conn[k].phys) >=
+                        rc.total(ins.connCls))
+                    faulting = true;
+            if (faulting)
+                continue; // diagnosed by the forward walk
+            for (int k = ins.nconn - 1; k >= 0; --k) {
+                const isa::ConnectPair &p = ins.conn[k];
+                auto idx = static_cast<std::size_t>(p.mapIdx);
+                bool isLive =
+                    unified ? live.v[cls][0][idx] ||
+                                  live.v[cls][1][idx]
+                    : p.isDef ? live.v[cls][1][idx] != 0
+                              : live.v[cls][0][idx] != 0;
+                if (!isLive && dead)
+                    dead->emplace_back(pc, k);
+                // The connect redefines the binding: older bindings
+                // of the same entry are dead beyond this point.
+                if (p.isDef || unified)
+                    live.v[cls][1][idx] = 0;
+                if (!p.isDef || unified)
+                    live.v[cls][0][idx] = 0;
+            }
+            continue;
+        }
+
+        // Time order forward: read sources -> resolve write ->
+        // side effect.  Backward: undo in reverse.
+        if (info.hasDst) {
+            int cls = static_cast<int>(ins.dst.cls);
+            int m = rc.core(ins.dst.cls);
+            int idx = ins.dst.idx;
+            if (idx < m) {
+                if (en == AbsEnable::On) {
+                    // Definite side effect redefines map entries.
+                    switch (rc.model) {
+                      case core::RcModel::NoReset:
+                        break;
+                      case core::RcModel::WriteReset:
+                        live.v[cls][1]
+                              [static_cast<std::size_t>(idx)] = 0;
+                        break;
+                      case core::RcModel::WriteResetReadUpdate:
+                      case core::RcModel::ReadWriteReset:
+                        live.v[cls][0]
+                              [static_cast<std::size_t>(idx)] = 0;
+                        live.v[cls][1]
+                              [static_cast<std::size_t>(idx)] = 0;
+                        break;
+                    }
+                }
+                if (enableMayBeOn(en))
+                    live.v[cls][1][static_cast<std::size_t>(idx)] =
+                        1;
+            }
+        }
+        if (enableMayBeOn(en))
+            for (int k = 0; k < info.numSrcs; ++k) {
+                int cls = static_cast<int>(ins.src[k].cls);
+                int idx = ins.src[k].idx;
+                if (idx < rc.core(ins.src[k].cls))
+                    live.v[cls][0][static_cast<std::size_t>(idx)] =
+                        1;
+            }
+    }
+}
+
+/** The dead-connect backward fixpoint + final reporting pass. */
+void
+deadConnects(Reporter &rep)
+{
+    const MapEngine &eng = rep.eng;
+    const McCfg &cfg = eng.cfg();
+    const core::RcConfig &rc = eng.options().rc;
+    auto nblocks = cfg.blocks.size();
+
+    std::vector<LiveSet> liveIn(nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b)
+        liveIn[b] = LiveSet::sized(rc, false);
+    LiveSet allLive = LiveSet::sized(rc, true);
+
+    auto liveOut = [&](std::size_t b) -> LiveSet {
+        switch (cfg.blocks[b].term) {
+          case TermKind::Fall:
+          case TermKind::Branch:
+          case TermKind::Jump: {
+            LiveSet out = LiveSet::sized(rc, false);
+            for (int s : cfg.succs[b])
+                out.orWith(liveIn[static_cast<std::size_t>(s)]);
+            return out;
+          }
+          case TermKind::Call:
+          case TermKind::Ret:
+          case TermKind::Halt:
+            // jsr / rts reset every binding; halt ends the program.
+            return LiveSet::sized(rc, false);
+          case TermKind::Trap:
+          case TermKind::Rfe:
+            // The maps survive into / out of the handler: assume
+            // every binding may still be consumed.
+            return allLive;
+        }
+        return allLive;
+    };
+
+    std::vector<std::uint8_t> queued(nblocks, 1);
+    std::vector<int> worklist;
+    for (std::size_t b = nblocks; b-- > 0;)
+        worklist.push_back(static_cast<int>(b));
+    while (!worklist.empty()) {
+        auto b = static_cast<std::size_t>(worklist.back());
+        worklist.pop_back();
+        queued[b] = 0;
+        if (!eng.blockIn(static_cast<int>(b)).reached)
+            continue;
+        LiveSet live = liveOut(b);
+        backwardBlock(rep, cfg, rc, static_cast<int>(b), live,
+                      nullptr);
+        if (liveIn[b].orWith(live))
+            for (int p : cfg.preds[b])
+                if (!queued[static_cast<std::size_t>(p)]) {
+                    queued[static_cast<std::size_t>(p)] = 1;
+                    worklist.push_back(p);
+                }
+        // Note orWith: liveIn grows monotonically, which keeps the
+        // fixpoint finite; the sets start empty so the first pass
+        // already assigns the full transfer result.
+    }
+
+    std::vector<std::pair<std::int32_t, int>> dead;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        if (!eng.blockIn(static_cast<int>(b)).reached)
+            continue;
+        LiveSet live = liveOut(b);
+        backwardBlock(rep, cfg, rc, static_cast<int>(b), live,
+                      &dead);
+    }
+    std::sort(dead.begin(), dead.end());
+    for (auto [pc, k] : dead) {
+        const isa::Instruction &ins =
+            rep.prog.code[static_cast<std::size_t>(pc)];
+        const isa::ConnectPair &p = ins.conn[k];
+        rep.diag(DiagKind::DeadConnect, DiagSeverity::Definite, pc,
+                 entryName(ins.connCls,
+                           static_cast<int>(p.mapIdx)) +
+                     " -> p" + std::to_string(p.phys) +
+                     " is never consumed before remap, reset or "
+                     "exit" +
+                     (ins.nconn > 1
+                          ? " (pair " + std::to_string(k) + ")"
+                          : ""),
+                 /*dedup=*/false);
+    }
+}
+
+} // namespace
+
+AnalysisResult
+analyzeProgram(const isa::Program &prog, const AnalyzerOptions &opts)
+{
+    AnalysisResult res;
+    MapEngine eng(prog, opts);
+    eng.run();
+    res.conservative = eng.conservative();
+
+    Reporter rep(prog, eng, res);
+    for (std::size_t b = 0; b < eng.cfg().blocks.size(); ++b)
+        if (eng.blockIn(static_cast<int>(b)).reached)
+            walkBlock(rep, static_cast<int>(b));
+
+    if (opts.rc.enabled && !res.conservative)
+        deadConnects(rep);
+
+    if (res.conservative)
+        res.claims.clear();
+
+    std::stable_sort(res.diags.begin(), res.diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.pc != b.pc)
+                             return a.pc < b.pc;
+                         return static_cast<int>(a.kind) <
+                                static_cast<int>(b.kind);
+                     });
+    return res;
+}
+
+} // namespace rcsim::analysis

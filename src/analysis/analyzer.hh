@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Whole-program map-state static analysis (DESIGN.md §15).
+ *
+ * analyzeProgram() runs the forward dataflow engine
+ * (analysis/engine.hh) over final RC machine code and reports five
+ * analyses as structured diagnostics (analysis/diagnostics.hh):
+ *
+ *   stale-read         read/write through a map entry whose binding
+ *                      is ambiguous across incoming paths
+ *   redundant-connect  re-connecting an entry to its already-proven
+ *                      physical register
+ *   dead-connect       a binding never consumed before it is
+ *                      remapped, reset or the program exits
+ *   enable-hazard      a non-home mapped operand reachable both with
+ *                      the PSW map-enable bit set and clear
+ *   bound-violation    mapIdx/phys out of configured range, operand
+ *                      index illegal under the enable state, or a
+ *                      connect exceeding the isa/encoding field limits
+ *
+ * It also emits the *claims* the fuzz cross-validation oracle
+ * (fuzz/xval.hh) checks dynamically: for every instruction proven to
+ * execute with the map enabled and an exactly-known binding, the
+ * physical register each operand must resolve to.
+ */
+
+#ifndef RCSIM_ANALYSIS_ANALYZER_HH
+#define RCSIM_ANALYSIS_ANALYZER_HH
+
+#include "analysis/diagnostics.hh"
+#include "analysis/engine.hh"
+#include "core/mapping_table.hh"
+
+namespace rcsim::analysis
+{
+
+using AnalyzerOptions = EngineOptions;
+
+/**
+ * One statically-proven map resolution: executing code[pc] reads
+ * (isWrite == false) or writes (isWrite == true) map entry idx of
+ * class cls, and at that moment the entry must map to phys.  Only
+ * emitted for points where the enable bit is proven set.
+ */
+struct MapClaim
+{
+    std::int32_t pc = 0;
+    isa::RegClass cls = isa::RegClass::Int;
+    std::uint16_t idx = 0;
+    bool isWrite = false;
+    core::PhysIndex phys = 0;
+};
+
+struct AnalysisResult
+{
+    std::vector<Diagnostic> diags;
+    std::vector<MapClaim> claims;
+
+    /**
+     * Redundant-connect sites: pcs whose connect re-established an
+     * already-proven binding (subset of diags; the cross-validation
+     * oracle deletes these and demands an identical commit stream).
+     */
+    std::vector<std::int32_t> redundantConnectPcs;
+
+    /**
+     * Opaque interrupt handler: only enable-independent bound checks
+     * were run and no claims were emitted.
+     */
+    bool conservative = false;
+
+    /** Reachable instructions analyzed (bench throughput metric). */
+    Count instructions = 0;
+
+    bool clean() const { return diags.empty(); }
+};
+
+AnalysisResult analyzeProgram(const isa::Program &prog,
+                              const AnalyzerOptions &opts);
+
+} // namespace rcsim::analysis
+
+#endif // RCSIM_ANALYSIS_ANALYZER_HH

@@ -1,0 +1,172 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+namespace rcsim::analysis
+{
+
+namespace
+{
+
+/** Terminator kind an instruction imposes on its block, if any. */
+bool
+terminates(const isa::Instruction &ins, TermKind &kind)
+{
+    const isa::OpcodeInfo &info = ins.info();
+    if (info.isBranch) {
+        kind = TermKind::Branch;
+        return true;
+    }
+    switch (ins.op) {
+      case isa::Opcode::J:
+        kind = TermKind::Jump;
+        return true;
+      case isa::Opcode::JSR:
+        kind = TermKind::Call;
+        return true;
+      case isa::Opcode::RTS:
+        kind = TermKind::Ret;
+        return true;
+      case isa::Opcode::TRAP:
+        kind = TermKind::Trap;
+        return true;
+      case isa::Opcode::RFE:
+        kind = TermKind::Rfe;
+        return true;
+      case isa::Opcode::HALT:
+        kind = TermKind::Halt;
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+McCfg
+McCfg::build(const isa::Program &prog, std::int32_t trap_vector)
+{
+    McCfg cfg;
+    cfg.prog = &prog;
+    const auto n = static_cast<std::int32_t>(prog.code.size());
+
+    auto inRange = [&](std::int32_t pc) {
+        return pc >= 0 && pc < n;
+    };
+
+    // ---- Leaders. ----
+    std::vector<std::uint8_t> leader(
+        static_cast<std::size_t>(std::max<std::int32_t>(n, 1)), 0);
+    auto mark = [&](std::int32_t pc) {
+        if (inRange(pc))
+            leader[static_cast<std::size_t>(pc)] = 1;
+    };
+    mark(prog.entry);
+    for (const isa::FunctionInfo &fn : prog.functions)
+        mark(fn.entry);
+    mark(trap_vector);
+    for (std::int32_t pc = 0; pc < n; ++pc) {
+        const isa::Instruction &ins =
+            prog.code[static_cast<std::size_t>(pc)];
+        TermKind kind;
+        if (!terminates(ins, kind))
+            continue;
+        mark(pc + 1);
+        if (kind == TermKind::Branch || kind == TermKind::Jump ||
+            kind == TermKind::Call)
+            mark(ins.target);
+    }
+
+    // ---- Blocks and the pc -> block map. ----
+    cfg.blockOf.assign(static_cast<std::size_t>(n), -1);
+    for (std::int32_t pc = 0; pc < n; ++pc) {
+        if (pc == 0 || leader[static_cast<std::size_t>(pc)]) {
+            McBlock b;
+            b.first = pc;
+            b.last = pc;
+            cfg.blocks.push_back(b);
+        }
+        McBlock &cur = cfg.blocks.back();
+        cur.last = pc;
+        cfg.blockOf[static_cast<std::size_t>(pc)] =
+            static_cast<int>(cfg.blocks.size()) - 1;
+        TermKind kind;
+        if (terminates(prog.code[static_cast<std::size_t>(pc)],
+                       kind)) {
+            cur.term = kind;
+            if (pc + 1 < n)
+                leader[static_cast<std::size_t>(pc + 1)] = 1;
+        }
+    }
+    // A block cut by a following leader (not by its own terminator)
+    // falls through; blocks running off the end of the code halt the
+    // machine ("program counter out of range"), modeled as Halt.
+    for (McBlock &b : cfg.blocks) {
+        TermKind kind;
+        if (!terminates(
+                prog.code[static_cast<std::size_t>(b.last)], kind) &&
+            b.last + 1 >= n)
+            b.term = TermKind::Halt;
+    }
+
+    // ---- Function ownership (for rts -> return-site routing). ----
+    cfg.funcOf.assign(static_cast<std::size_t>(n), -1);
+    for (std::size_t f = 0; f < prog.functions.size(); ++f) {
+        const isa::FunctionInfo &fn = prog.functions[f];
+        for (std::int32_t pc = fn.entry;
+             pc < fn.end && inRange(pc); ++pc)
+            cfg.funcOf[static_cast<std::size_t>(pc)] =
+                static_cast<int>(f);
+    }
+
+    // ---- Plain edges + call/trap bookkeeping. ----
+    cfg.succs.assign(cfg.blocks.size(), {});
+    cfg.preds.assign(cfg.blocks.size(), {});
+    auto edge = [&](int from, std::int32_t to_pc) {
+        int to = cfg.blockAt(to_pc);
+        if (to < 0)
+            return;
+        cfg.succs[static_cast<std::size_t>(from)].push_back(to);
+        cfg.preds[static_cast<std::size_t>(to)].push_back(from);
+    };
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const McBlock &blk = cfg.blocks[b];
+        const isa::Instruction &tail =
+            prog.code[static_cast<std::size_t>(blk.last)];
+        int from = static_cast<int>(b);
+        switch (blk.term) {
+          case TermKind::Fall:
+            edge(from, blk.last + 1);
+            break;
+          case TermKind::Branch:
+            edge(from, tail.target);
+            edge(from, blk.last + 1);
+            break;
+          case TermKind::Jump:
+            edge(from, tail.target);
+            break;
+          case TermKind::Call: {
+            CallSite site;
+            site.pc = blk.last;
+            site.callee = inRange(tail.target)
+                              ? cfg.funcOf[static_cast<std::size_t>(
+                                    tail.target)]
+                              : -1;
+            cfg.calls.push_back(site);
+            break;
+          }
+          case TermKind::Trap:
+            cfg.trapReturnPcs.push_back(blk.last + 1);
+            break;
+          case TermKind::Ret:
+          case TermKind::Rfe:
+          case TermKind::Halt:
+            break;
+        }
+    }
+
+    cfg.trapBlock = cfg.blockAt(trap_vector);
+    return cfg;
+}
+
+} // namespace rcsim::analysis

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Control-flow graph recovery from final RC machine code.
+ *
+ * Mirrors the ir/cfg idioms (leader-based blocks, successor /
+ * predecessor lists, reverse postorder) but starts from a flat
+ * isa::Program: leaders are the program entry, every function entry,
+ * every branch/jump/call target, every instruction following a
+ * control-flow instruction, and the trap vector.  Blocks partition
+ * [0, code.size()), so every pc belongs to exactly one block.
+ *
+ * Call/return and trap/rfe edges are *not* materialized as plain
+ * successors: the terminator kind records them and the dataflow
+ * engine (analysis/engine.hh) applies their special state transforms
+ * (map resets at JSR/RTS, enable save/restore at TRAP/RFE).
+ */
+
+#ifndef RCSIM_ANALYSIS_CFG_HH
+#define RCSIM_ANALYSIS_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace rcsim::analysis
+{
+
+/** How a recovered block transfers control. */
+enum class TermKind : std::uint8_t
+{
+    Fall,   // falls through to the next block
+    Branch, // conditional: target + fallthrough
+    Jump,   // unconditional J: target only
+    Call,   // JSR: callee entry + (via the callee's rts) pc+1
+    Ret,    // RTS: returns to every caller's return site
+    Trap,   // TRAP: handler entry, pc+1 is a trap return site
+    Rfe,    // RFE: resumes at every trap return site
+    Halt,   // HALT (or an instruction that faults the machine)
+};
+
+/** One recovered basic block: code[first .. last] inclusive. */
+struct McBlock
+{
+    std::int32_t first = 0;
+    std::int32_t last = 0;
+    TermKind term = TermKind::Fall;
+};
+
+/** The machine-code CFG of one program. */
+struct McCfg
+{
+    const isa::Program *prog = nullptr;
+
+    std::vector<McBlock> blocks; // ascending by first pc
+    std::vector<int> blockOf;    // pc -> block index
+
+    /** Plain (non-call/ret/trap/rfe) edges, by block index. */
+    std::vector<std::vector<int>> succs;
+    std::vector<std::vector<int>> preds;
+
+    /** Function index containing each pc (-1 when out of any). */
+    std::vector<int> funcOf;
+
+    /** Call sites: (JSR pc, callee function index or -1). */
+    struct CallSite
+    {
+        std::int32_t pc = 0;
+        int callee = -1;
+    };
+    std::vector<CallSite> calls;
+
+    /** pc+1 of every explicit TRAP (rfe resume points). */
+    std::vector<std::int32_t> trapReturnPcs;
+
+    /** Block containing the trap vector (-1 when none). */
+    int trapBlock = -1;
+
+    int
+    blockAt(std::int32_t pc) const
+    {
+        return pc >= 0 &&
+                       pc < static_cast<std::int32_t>(blockOf.size())
+                   ? blockOf[static_cast<std::size_t>(pc)]
+                   : -1;
+    }
+
+    /**
+     * Recover the CFG of @p prog.  @p trap_vector (when in range)
+     * becomes a leader so the handler is analyzable even if no
+     * explicit TRAP instruction targets it.
+     */
+    static McCfg build(const isa::Program &prog,
+                       std::int32_t trap_vector);
+};
+
+} // namespace rcsim::analysis
+
+#endif // RCSIM_ANALYSIS_CFG_HH

@@ -1,0 +1,82 @@
+#include "analysis/diagnostics.hh"
+
+#include "support/json.hh"
+
+namespace rcsim::analysis
+{
+
+const char *
+diagKindName(DiagKind kind)
+{
+    switch (kind) {
+      case DiagKind::StaleRead:
+        return "stale-read";
+      case DiagKind::RedundantConnect:
+        return "redundant-connect";
+      case DiagKind::DeadConnect:
+        return "dead-connect";
+      case DiagKind::EnableHazard:
+        return "enable-hazard";
+      case DiagKind::BoundViolation:
+        return "bound-violation";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::string s = "pc=" + std::to_string(pc) + " [" +
+                    diagKindName(kind) + "]";
+    if (severity == DiagSeverity::Maybe)
+        s += " (may)";
+    s += " " + disasm + ": " + message;
+    return s;
+}
+
+std::string
+renderDiagnostics(const std::vector<Diagnostic> &diags)
+{
+    std::string out;
+    for (const Diagnostic &d : diags) {
+        out += d.toString();
+        out += "\n";
+        if (!d.witness.empty()) {
+            out += "  witness:";
+            for (std::int32_t pc : d.witness)
+                out += " " + std::to_string(pc);
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+std::string
+diagnosticsToJson(const std::vector<Diagnostic> &diags)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        out += i ? ",\n " : "\n ";
+        out += "{\"kind\": ";
+        out += json::str(diagKindName(d.kind));
+        out += ", \"severity\": ";
+        out += json::str(d.severity == DiagSeverity::Definite
+                             ? "definite"
+                             : "maybe");
+        out += ", \"pc\": " + std::to_string(d.pc);
+        out += ", \"disasm\": " + json::str(d.disasm);
+        out += ", \"message\": " + json::str(d.message);
+        out += ", \"witness\": [";
+        for (std::size_t w = 0; w < d.witness.size(); ++w) {
+            if (w)
+                out += ", ";
+            out += std::to_string(d.witness[w]);
+        }
+        out += "]}";
+    }
+    out += diags.empty() ? "]\n" : "\n]\n";
+    return out;
+}
+
+} // namespace rcsim::analysis

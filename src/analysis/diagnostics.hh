@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Structured analyzer diagnostics: every finding carries the program
+ * counter, the disassembly of the offending instruction, a
+ * human-readable message and a path witness (a pc chain from the
+ * entry that makes the flagged state reachable, plus — for join
+ * ambiguities — the two incoming points that disagree).
+ */
+
+#ifndef RCSIM_ANALYSIS_DIAGNOSTICS_HH
+#define RCSIM_ANALYSIS_DIAGNOSTICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcsim::analysis
+{
+
+/** Which analysis produced a diagnostic. */
+enum class DiagKind : std::uint8_t
+{
+    StaleRead,       // read/write through an ambiguous map entry
+    RedundantConnect, // re-connecting an already-proven binding
+    DeadConnect,     // binding never consumed before remap/reset/exit
+    EnableHazard,    // mapped operand reachable with enable maybe-off
+    BoundViolation,  // mapIdx/phys range or encoding-limit violation
+};
+
+const char *diagKindName(DiagKind kind);
+
+/** Definite findings fail a clean-compile gate; Maybe ones do too,
+ *  but the distinction is kept for the human reading the report. */
+enum class DiagSeverity : std::uint8_t
+{
+    Definite, // fires on every execution reaching the point
+    Maybe,    // fires on at least one abstract path
+};
+
+/** One analyzer finding. */
+struct Diagnostic
+{
+    DiagKind kind = DiagKind::StaleRead;
+    DiagSeverity severity = DiagSeverity::Definite;
+
+    /** Instruction index (the machine program counter). */
+    std::int32_t pc = 0;
+
+    /** Disassembly of code[pc]. */
+    std::string disasm;
+
+    /** What is wrong, with the concrete lattice facts. */
+    std::string message;
+
+    /**
+     * Path witness: a pc chain from the program entry to the block
+     * containing @ref pc (block leaders, bounded), demonstrating
+     * reachability of the flagged state.
+     */
+    std::vector<std::int32_t> witness;
+
+    /** One line: "pc=12 [stale-read] lw r3, 0(r1): ...". */
+    std::string toString() const;
+};
+
+/** Render a full report, one line per diagnostic plus witnesses. */
+std::string renderDiagnostics(const std::vector<Diagnostic> &diags);
+
+/** Deterministic JSON array for tooling (rclint --json). */
+std::string diagnosticsToJson(const std::vector<Diagnostic> &diags);
+
+} // namespace rcsim::analysis
+
+#endif // RCSIM_ANALYSIS_DIAGNOSTICS_HH

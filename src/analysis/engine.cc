@@ -1,0 +1,455 @@
+#include "analysis/engine.hh"
+
+#include <algorithm>
+
+#include "core/psw.hh"
+
+namespace rcsim::analysis
+{
+
+// ---- ConstTracker --------------------------------------------------
+
+void
+ConstTracker::clear()
+{
+    consts_.clear();
+}
+
+bool
+ConstTracker::lookup(int phys, Word &out) const
+{
+    for (const auto &[p, v] : consts_)
+        if (p == phys) {
+            out = v;
+            return true;
+        }
+    return false;
+}
+
+namespace
+{
+
+/**
+ * Physical register an exact-state access resolves to, or -1 when
+ * the abstract state cannot pin it down.  @p map is the relevant map
+ * (read for sources, write for destinations).
+ */
+int
+resolvePhys(const AbsState &st, const core::RcConfig &rc, int idx,
+            const std::vector<AbsVal> &map)
+{
+    if (!rc.enabled || st.enable == AbsEnable::Off)
+        return idx;
+    if (st.enable != AbsEnable::On)
+        return -1;
+    if (idx >= static_cast<int>(map.size()))
+        return -1;
+    AbsVal v = map[static_cast<std::size_t>(idx)];
+    return absExact(v) ? static_cast<int>(v) : -1;
+}
+
+} // namespace
+
+void
+ConstTracker::update(const isa::Instruction &ins, const AbsState &st,
+                     const core::RcConfig &rc)
+{
+    const isa::OpcodeInfo &info = ins.info();
+    if (!info.hasDst || info.dstClass != isa::RegClass::Int)
+        return;
+    int phys =
+        resolvePhys(st, rc, ins.dst.idx,
+                    st.write[static_cast<int>(ins.dst.cls)]);
+    if (phys < 0) {
+        // Unknown write target may clobber any register.
+        consts_.clear();
+        return;
+    }
+    for (std::size_t i = 0; i < consts_.size(); ++i)
+        if (consts_[i].first == phys) {
+            consts_.erase(consts_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    if (ins.op == isa::Opcode::LI)
+        consts_.emplace_back(phys, ins.imm);
+}
+
+// ---- MapEngine -----------------------------------------------------
+
+MapEngine::MapEngine(const isa::Program &prog,
+                     const EngineOptions &opts)
+    : prog_(prog), opts_(opts),
+      cfg_(McCfg::build(prog, opts.trapVector))
+{
+    blockIn_.resize(cfg_.blocks.size());
+    witnessPred_.assign(cfg_.blocks.size(), -1);
+    witnessPc_.assign(cfg_.blocks.size(), -1);
+    retEnable_.assign(prog.functions.size() + 1, AbsEnable::Bot);
+    inWorklist_.assign(cfg_.blocks.size(), 0);
+}
+
+bool
+MapEngine::transfer(const isa::Instruction &ins, AbsState &st,
+                    ConstTracker &ct) const
+{
+    const isa::OpcodeInfo &info = ins.info();
+    const core::RcConfig &rc = opts_.rc;
+
+    if (info.isConnect) {
+        if (!rc.enabled)
+            return false; // "connect instruction without RC support"
+        int cls = static_cast<int>(ins.connCls);
+        int m = static_cast<int>(st.read[cls].size());
+        int tot = rc.total(ins.connCls);
+        for (int k = 0; k < ins.nconn; ++k)
+            if (static_cast<int>(ins.conn[k].phys) >= tot ||
+                static_cast<int>(ins.conn[k].mapIdx) >= m)
+                return false; // the simulator faults the run
+        // Connects execute regardless of the PSW enable bit.
+        for (int k = 0; k < ins.nconn; ++k) {
+            auto idx =
+                static_cast<std::size_t>(ins.conn[k].mapIdx);
+            auto phys = static_cast<AbsVal>(ins.conn[k].phys);
+            bool unified = !rc.splitMaps;
+            if (ins.conn[k].isDef || unified)
+                st.write[cls][idx] = phys;
+            if (!ins.conn[k].isDef || unified)
+                st.read[cls][idx] = phys;
+        }
+        return true;
+    }
+
+    // ---- Operand bound refinement (issueCycleTail limits). ----
+    auto checkOperand = [&](const isa::Reg &r) {
+        int tot = rc.total(r.cls);
+        if (r.idx >= tot)
+            return false;
+        if (!rc.enabled)
+            return true;
+        int m = rc.core(r.cls);
+        if (r.idx < m)
+            return true;
+        // [m, total): legal only with the map disabled.
+        if (st.enable == AbsEnable::On)
+            return false;
+        if (st.enable == AbsEnable::Top)
+            st.enable = AbsEnable::Off; // surviving paths ran mapped-off
+        return true;
+    };
+    for (int k = 0; k < info.numSrcs; ++k)
+        if (!checkOperand(ins.src[k]))
+            return false;
+    if (info.hasDst && !checkOperand(ins.dst))
+        return false;
+
+    if (ins.op == isa::Opcode::MTPSW) {
+        // psw.bits <- src value: resolve through the read map and the
+        // in-block constant tracker; ambiguous otherwise.
+        int phys =
+            resolvePhys(st, rc, ins.src[0].idx,
+                        st.read[static_cast<int>(ins.src[0].cls)]);
+        Word v = 0;
+        if (phys >= 0 && ct.lookup(phys, v))
+            st.enable = (static_cast<UWord>(v) &
+                         core::ProcessorStatusWord::mapEnableBit)
+                            ? AbsEnable::On
+                            : AbsEnable::Off;
+        else
+            st.enable = AbsEnable::Top;
+        return true;
+    }
+
+    // Register-value constants (before the side effect rewrites the
+    // write map the resolution depends on).
+    ct.update(ins, st, rc);
+
+    // ---- Automatic write side effect (Section 2.3). ----
+    if (info.hasDst && rc.enabled &&
+        enableMayBeOn(st.enable)) {
+        int cls = static_cast<int>(ins.dst.cls);
+        auto idx = static_cast<std::size_t>(ins.dst.idx);
+        if (idx < st.write[cls].size()) {
+            bool definite = st.enable == AbsEnable::On;
+            AbsVal old_write = st.write[cls][idx];
+            auto home = static_cast<AbsVal>(ins.dst.idx);
+            auto set = [&](AbsVal &slot, AbsVal v) {
+                slot = definite ? v : absJoin(slot, v);
+            };
+            switch (rc.model) {
+              case core::RcModel::NoReset:
+                break;
+              case core::RcModel::WriteReset:
+                set(st.write[cls][idx], home);
+                break;
+              case core::RcModel::WriteResetReadUpdate:
+                set(st.read[cls][idx], old_write);
+                set(st.write[cls][idx], home);
+                break;
+              case core::RcModel::ReadWriteReset:
+                set(st.read[cls][idx], home);
+                set(st.write[cls][idx], home);
+                break;
+            }
+        }
+    }
+    return true;
+}
+
+void
+MapEngine::enqueue(int block)
+{
+    if (!inWorklist_[static_cast<std::size_t>(block)]) {
+        inWorklist_[static_cast<std::size_t>(block)] = 1;
+        worklist_.push_back(block);
+    }
+}
+
+void
+MapEngine::propagate(int to, const AbsState &state, int from_block,
+                     std::int32_t from_pc)
+{
+    if (to < 0 || !state.reached)
+        return;
+    AbsState &dst = blockIn_[static_cast<std::size_t>(to)];
+    bool first = !dst.reached;
+    if (dst.joinWith(state)) {
+        if (first) {
+            witnessPred_[static_cast<std::size_t>(to)] = from_block;
+            witnessPc_[static_cast<std::size_t>(to)] = from_pc;
+        }
+        enqueue(to);
+    }
+}
+
+bool
+MapEngine::handlerTransparent() const
+{
+    if (cfg_.trapBlock < 0)
+        return false;
+    std::vector<std::uint8_t> seen(cfg_.blocks.size(), 0);
+    std::vector<int> stack{cfg_.trapBlock};
+    while (!stack.empty()) {
+        int b = stack.back();
+        stack.pop_back();
+        if (seen[static_cast<std::size_t>(b)])
+            continue;
+        seen[static_cast<std::size_t>(b)] = 1;
+        const McBlock &blk = cfg_.blocks[static_cast<std::size_t>(b)];
+        for (std::int32_t pc = blk.first; pc <= blk.last; ++pc) {
+            isa::Opcode op =
+                prog_.code[static_cast<std::size_t>(pc)].op;
+            if (op != isa::Opcode::NOP && op != isa::Opcode::RFE)
+                return false;
+        }
+        switch (blk.term) {
+          case TermKind::Rfe:
+            break; // a transparent exit
+          case TermKind::Fall:
+          case TermKind::Branch:
+          case TermKind::Jump:
+            for (int s : cfg_.succs[static_cast<std::size_t>(b)])
+                stack.push_back(s);
+            break;
+          default:
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+MapEngine::run()
+{
+    if (ran_)
+        return;
+    ran_ = true;
+
+    if (opts_.interrupts)
+        conservative_ = !handlerTransparent();
+
+    if (prog_.code.empty())
+        return;
+
+    rfeResume_ = AbsState{};
+
+    int entry = cfg_.blockAt(prog_.entry);
+    if (entry < 0)
+        return;
+    // Power-up state: all maps home, PSW map-enable set.
+    propagate(entry, AbsState::home(opts_.rc, AbsEnable::On), -1,
+              -1);
+
+    // Call sites / trap sites that actually fired, so returns and
+    // rfe resumes never resurrect unreachable code.
+    std::vector<std::uint8_t> callFired(cfg_.calls.size(), 0);
+    std::vector<std::uint8_t> trapFired(cfg_.trapReturnPcs.size(),
+                                        0);
+    auto calleeSlot = [&](int callee) {
+        return callee < 0 ? static_cast<int>(prog_.functions.size())
+                          : callee;
+    };
+
+    std::vector<int> rfeBlocks;
+    for (std::size_t b = 0; b < cfg_.blocks.size(); ++b)
+        if (cfg_.blocks[b].term == TermKind::Rfe)
+            rfeBlocks.push_back(static_cast<int>(b));
+
+    while (!worklist_.empty()) {
+        int b = worklist_.back();
+        worklist_.pop_back();
+        inWorklist_[static_cast<std::size_t>(b)] = 0;
+
+        const AbsState &in = blockIn_[static_cast<std::size_t>(b)];
+        if (!in.reached)
+            continue;
+        AbsState st = in;
+        ConstTracker ct;
+        const McBlock &blk = cfg_.blocks[static_cast<std::size_t>(b)];
+        bool ok = true;
+        for (std::int32_t pc = blk.first; pc <= blk.last && ok; ++pc)
+            ok = transfer(prog_.code[static_cast<std::size_t>(pc)],
+                          st, ct);
+        if (!ok)
+            continue; // faults: no successors
+
+        switch (blk.term) {
+          case TermKind::Fall:
+          case TermKind::Branch:
+          case TermKind::Jump:
+            for (int s : cfg_.succs[static_cast<std::size_t>(b)])
+                propagate(s, st, b, blk.last);
+            break;
+
+          case TermKind::Call: {
+            std::size_t c = 0;
+            while (c < cfg_.calls.size() &&
+                   cfg_.calls[c].pc != blk.last)
+                ++c;
+            const McCfg::CallSite &site = cfg_.calls[c];
+            callFired[c] = 1;
+            const isa::Instruction &jsr =
+                prog_.code[static_cast<std::size_t>(blk.last)];
+            // Callee entry: maps reset (Section 4.1), enable flows.
+            propagate(cfg_.blockAt(jsr.target),
+                      AbsState::home(opts_.rc, st.enable), b,
+                      blk.last);
+            // Return site: maps reset by the rts, enable joined over
+            // the callee's rts sites (when one has been reached).
+            AbsEnable ret =
+                retEnable_[static_cast<std::size_t>(
+                    calleeSlot(site.callee))];
+            if (ret != AbsEnable::Bot)
+                propagate(cfg_.blockAt(blk.last + 1),
+                          AbsState::home(opts_.rc, ret), b,
+                          blk.last);
+            break;
+          }
+
+          case TermKind::Ret: {
+            int f = calleeSlot(
+                cfg_.funcOf[static_cast<std::size_t>(blk.last)]);
+            AbsEnable joined = enableJoin(
+                retEnable_[static_cast<std::size_t>(f)], st.enable);
+            if (joined ==
+                retEnable_[static_cast<std::size_t>(f)])
+                break;
+            retEnable_[static_cast<std::size_t>(f)] = joined;
+            for (std::size_t c = 0; c < cfg_.calls.size(); ++c)
+                if (callFired[c] &&
+                    calleeSlot(cfg_.calls[c].callee) == f)
+                    propagate(cfg_.blockAt(cfg_.calls[c].pc + 1),
+                              AbsState::home(opts_.rc, joined),
+                              cfg_.blockAt(cfg_.calls[c].pc),
+                              cfg_.calls[c].pc);
+            break;
+          }
+
+          case TermKind::Trap: {
+            if (opts_.trapVector < 0)
+                break; // fatal: no successors
+            for (std::size_t t = 0;
+                 t < cfg_.trapReturnPcs.size(); ++t)
+                if (cfg_.trapReturnPcs[t] == blk.last + 1)
+                    trapFired[t] = 1;
+            AbsEnable saved =
+                enableJoin(trapSavedEnable_, st.enable);
+            bool saved_changed = saved != trapSavedEnable_;
+            trapSavedEnable_ = saved;
+            // Handler: maps intact, enable cleared (Section 4.3).
+            AbsState hs = st;
+            hs.enable = AbsEnable::Off;
+            propagate(cfg_.trapBlock, hs, b, blk.last);
+            if (rfeResume_.reached) {
+                AbsState rs = rfeResume_;
+                rs.enable = trapSavedEnable_;
+                propagate(cfg_.blockAt(blk.last + 1), rs, b,
+                          blk.last);
+            }
+            if (saved_changed)
+                for (int rb : rfeBlocks)
+                    if (blockIn_[static_cast<std::size_t>(rb)]
+                            .reached)
+                        enqueue(rb);
+            break;
+          }
+
+          case TermKind::Rfe: {
+            // Resume: maps of the rfe point, epsw-restored enable.
+            AbsState rs = st;
+            rs.enable = trapSavedEnable_;
+            if (trapSavedEnable_ == AbsEnable::Bot)
+                break; // no trap has fired yet
+            if (!rfeResume_.joinWith(rs))
+                break;
+            for (std::size_t t = 0;
+                 t < cfg_.trapReturnPcs.size(); ++t)
+                if (trapFired[t])
+                    propagate(
+                        cfg_.blockAt(cfg_.trapReturnPcs[t]),
+                        rfeResume_, b, blk.last);
+            break;
+          }
+
+          case TermKind::Halt:
+            break;
+        }
+    }
+}
+
+void
+MapEngine::forEachInstr(
+    int block,
+    const std::function<void(std::int32_t, const isa::Instruction &,
+                             const AbsState &)> &fn) const
+{
+    const AbsState &in = blockIn_[static_cast<std::size_t>(block)];
+    if (!in.reached)
+        return;
+    AbsState st = in;
+    ConstTracker ct;
+    const McBlock &blk =
+        cfg_.blocks[static_cast<std::size_t>(block)];
+    for (std::int32_t pc = blk.first; pc <= blk.last; ++pc) {
+        const isa::Instruction &ins =
+            prog_.code[static_cast<std::size_t>(pc)];
+        fn(pc, ins, st);
+        if (!transfer(ins, st, ct))
+            return;
+    }
+}
+
+std::vector<std::int32_t>
+MapEngine::witness(int block, int limit) const
+{
+    std::vector<std::int32_t> path;
+    int b = block;
+    while (b >= 0 && static_cast<int>(path.size()) < limit) {
+        path.push_back(cfg_.blocks[static_cast<std::size_t>(b)].first);
+        b = witnessPred_[static_cast<std::size_t>(b)];
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace rcsim::analysis

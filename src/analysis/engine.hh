@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The forward dataflow engine: a worklist fixpoint over the
+ * recovered machine-code CFG (analysis/cfg.hh) computing one
+ * AbsState (analysis/lattice.hh) per block entry.
+ *
+ * Transfer functions mirror sim/simulator.cc's execute() exactly:
+ *
+ *  - connects mutate the maps whenever the RC extension is
+ *    configured, regardless of the PSW enable bit;
+ *  - the automatic write side effect (RcModel) applies only when the
+ *    extension is configured *and* the enable bit is set — with an
+ *    ambiguous enable both outcomes are joined;
+ *  - jsr and rts reset both maps (callee entries and return sites
+ *    start all-home); the enable bit flows into the callee and
+ *    returns as the join over the callee's rts sites;
+ *  - trap clears the enable bit and jumps to the trap vector with
+ *    the maps intact; rfe resumes at every trap return site with the
+ *    maps of the rfe point and the joined saved enable;
+ *  - mtpsw sets the enable bit from a register — ambiguous in
+ *    general, but a small in-block constant tracker resolves the
+ *    common `li; mtpsw` idiom;
+ *  - an operand index in [core, total) faults when the map is
+ *    enabled, so paths surviving such an access are refined to
+ *    enable = Off.
+ *
+ * External interrupts: when the handler at the trap vector is
+ * provably transparent (nops and a lone rfe — the shape the fuzz
+ * bank generates), interrupts cannot perturb map state and are
+ * ignored.  An opaque handler makes the whole analysis conservative
+ * (MapEngine::conservative()); the analyzer then reports only
+ * enable-independent facts and emits no exact claims.
+ */
+
+#ifndef RCSIM_ANALYSIS_ENGINE_HH
+#define RCSIM_ANALYSIS_ENGINE_HH
+
+#include <functional>
+
+#include "analysis/cfg.hh"
+#include "analysis/lattice.hh"
+#include "core/rc_config.hh"
+
+namespace rcsim::analysis
+{
+
+/** What the analyzer needs to know about the execution environment. */
+struct EngineOptions
+{
+    core::RcConfig rc;
+
+    /** SimConfig::trapVector (-1 = traps are fatal). */
+    std::int32_t trapVector = -1;
+
+    /** External interrupts may fire at any cycle. */
+    bool interrupts = false;
+};
+
+/** In-block constant tracker for the `li; mtpsw` idiom. */
+class ConstTracker
+{
+  public:
+    void clear();
+
+    /** Record / invalidate constants for one transferred op. */
+    void update(const isa::Instruction &ins, const AbsState &st,
+                const core::RcConfig &rc);
+
+    /** Known constant value of int physical register @p phys? */
+    bool lookup(int phys, Word &out) const;
+
+  private:
+    std::vector<std::pair<int, Word>> consts_; // (phys, value)
+};
+
+class MapEngine
+{
+  public:
+    MapEngine(const isa::Program &prog, const EngineOptions &opts);
+
+    /** Run the fixpoint; idempotent. */
+    void run();
+
+    const McCfg &cfg() const { return cfg_; }
+    const EngineOptions &options() const { return opts_; }
+
+    /** Fixpoint state at a block's entry. */
+    const AbsState &blockIn(int block) const
+    {
+        return blockIn_[static_cast<std::size_t>(block)];
+    }
+
+    /** Opaque interrupt handler: only enable-independent facts hold. */
+    bool conservative() const { return conservative_; }
+
+    /**
+     * Sequentially apply @p ins to @p st (and the in-block constant
+     * tracker @p ct).  Returns false when the machine faults at this
+     * instruction on every surviving path — execution cannot
+     * continue.  Deterministic: the analyzer's reporting walks replay
+     * the same transfers the fixpoint ran.
+     */
+    bool transfer(const isa::Instruction &ins, AbsState &st,
+                  ConstTracker &ct) const;
+
+    /**
+     * Walk one reached block, invoking @p fn with every instruction's
+     * pre-state, stopping at a faulting transfer.
+     */
+    void forEachInstr(
+        int block,
+        const std::function<void(std::int32_t pc,
+                                 const isa::Instruction &ins,
+                                 const AbsState &before)> &fn) const;
+
+    /**
+     * Path witness for a block: leader pcs from the program entry to
+     * @p block along first-reaching edges, capped at @p limit.
+     */
+    std::vector<std::int32_t> witness(int block,
+                                      int limit = 16) const;
+
+  private:
+    void propagate(int to, const AbsState &state, int from_block,
+                   std::int32_t from_pc);
+    void enqueue(int block);
+    AbsState outState(int block) const;
+    void applyTerminator(int block, const AbsState &out);
+    bool handlerTransparent() const;
+
+    const isa::Program &prog_;
+    EngineOptions opts_;
+    McCfg cfg_;
+
+    std::vector<AbsState> blockIn_;
+    std::vector<int> witnessPred_;
+    std::vector<std::int32_t> witnessPc_;
+
+    /** Join of rts-site enables per function (+1 slot for unknown). */
+    std::vector<AbsEnable> retEnable_;
+
+    AbsEnable trapSavedEnable_ = AbsEnable::Bot;
+    AbsState rfeResume_;
+
+    std::vector<int> worklist_;
+    std::vector<std::uint8_t> inWorklist_;
+    bool conservative_ = false;
+    bool ran_ = false;
+};
+
+} // namespace rcsim::analysis
+
+#endif // RCSIM_ANALYSIS_ENGINE_HH

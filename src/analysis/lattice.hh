@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The abstract domain of the map-state analyzer.
+ *
+ * Per map entry the analyzer tracks which physical register the
+ * entry's read map and write map point at, as a flat lattice
+ *
+ *     bottom (unreached)  <  Phys(p)  <  top (ambiguous at a join)
+ *
+ * encoded in a uint16_t: physical register numbers occupy [0, 256)
+ * and the two sentinels sit far above any legal PhysIndex.  The PSW
+ * map-enable bit gets the matching four-point lattice {bottom, On,
+ * Off, top}.  Join is elementwise; everything else in the engine is
+ * a transfer function over AbsState mirroring the simulator's
+ * architectural semantics (sim/simulator.cc execute()).
+ */
+
+#ifndef RCSIM_ANALYSIS_LATTICE_HH
+#define RCSIM_ANALYSIS_LATTICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rc_config.hh"
+#include "isa/reg.hh"
+
+namespace rcsim::analysis
+{
+
+/** One abstract map value: a physical register or a sentinel. */
+using AbsVal = std::uint16_t;
+
+/** Unreached (lattice bottom). */
+constexpr AbsVal absBot = 0xffff;
+
+/** Ambiguous at a join (lattice top). */
+constexpr AbsVal absTop = 0xfffe;
+
+/** True for a proven-exact physical register value. */
+inline bool
+absExact(AbsVal v)
+{
+    return v != absBot && v != absTop;
+}
+
+/** Join of two abstract map values. */
+inline AbsVal
+absJoin(AbsVal a, AbsVal b)
+{
+    if (a == absBot)
+        return b;
+    if (b == absBot || a == b)
+        return a;
+    return absTop;
+}
+
+/** The PSW map-enable bit, abstracted. */
+enum class AbsEnable : std::uint8_t
+{
+    Bot, // unreached
+    On,
+    Off,
+    Top, // both reachable
+};
+
+inline AbsEnable
+enableJoin(AbsEnable a, AbsEnable b)
+{
+    if (a == AbsEnable::Bot)
+        return b;
+    if (b == AbsEnable::Bot || a == b)
+        return a;
+    return AbsEnable::Top;
+}
+
+/** May the map-enable bit be set here? */
+inline bool
+enableMayBeOn(AbsEnable e)
+{
+    return e == AbsEnable::On || e == AbsEnable::Top;
+}
+
+/** May the map-enable bit be clear here? */
+inline bool
+enableMayBeOff(AbsEnable e)
+{
+    return e == AbsEnable::Off || e == AbsEnable::Top;
+}
+
+/**
+ * Abstract machine state at one program point: both register
+ * classes' read and write maps plus the enable bit.  A state with
+ * reached == false is the bottom element (join identity).
+ */
+struct AbsState
+{
+    bool reached = false;
+    AbsEnable enable = AbsEnable::Bot;
+    std::vector<AbsVal> read[isa::numRegClasses];
+    std::vector<AbsVal> write[isa::numRegClasses];
+
+    /** All-home maps (the post-reset state) with @p e enable. */
+    static AbsState
+    home(const core::RcConfig &rc, AbsEnable e)
+    {
+        AbsState s;
+        s.reached = true;
+        s.enable = e;
+        for (int c = 0; c < isa::numRegClasses; ++c) {
+            int m = rc.core(static_cast<isa::RegClass>(c));
+            s.read[c].resize(static_cast<std::size_t>(m));
+            s.write[c].resize(static_cast<std::size_t>(m));
+            for (int i = 0; i < m; ++i) {
+                s.read[c][static_cast<std::size_t>(i)] =
+                    static_cast<AbsVal>(i);
+                s.write[c][static_cast<std::size_t>(i)] =
+                    static_cast<AbsVal>(i);
+            }
+        }
+        return s;
+    }
+
+    /** Join @p other into this state; true when anything changed. */
+    bool
+    joinWith(const AbsState &other)
+    {
+        if (!other.reached)
+            return false;
+        if (!reached) {
+            *this = other;
+            return true;
+        }
+        bool changed = false;
+        AbsEnable e = enableJoin(enable, other.enable);
+        if (e != enable) {
+            enable = e;
+            changed = true;
+        }
+        for (int c = 0; c < isa::numRegClasses; ++c) {
+            for (std::size_t i = 0; i < read[c].size(); ++i) {
+                AbsVal v = absJoin(read[c][i], other.read[c][i]);
+                if (v != read[c][i]) {
+                    read[c][i] = v;
+                    changed = true;
+                }
+            }
+            for (std::size_t i = 0; i < write[c].size(); ++i) {
+                AbsVal v = absJoin(write[c][i], other.write[c][i]);
+                if (v != write[c][i]) {
+                    write[c][i] = v;
+                    changed = true;
+                }
+            }
+        }
+        return changed;
+    }
+
+    bool operator==(const AbsState &) const = default;
+};
+
+} // namespace rcsim::analysis
+
+#endif // RCSIM_ANALYSIS_LATTICE_HH

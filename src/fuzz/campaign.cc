@@ -423,6 +423,7 @@ runCampaign(const CampaignOptions &opt)
     s += ",\"status\":" + json::str(status);
     s += "}\n";
     report.summaryJson = s;
+    report.corpus = std::move(pool);
     return report;
 }
 

@@ -86,6 +86,13 @@ struct CampaignReport
     std::size_t features = 0;        // distinct coverage features
     std::size_t harnessFailures = 0; // failed/quarantined tasks
     std::vector<CampaignDivergence> findings;
+
+    /**
+     * The admitted corpus inputs, in admission order (deterministic
+     * for a seed).  rcfuzz --xval sweeps the static-vs-dynamic
+     * cross-validation oracle (fuzz/xval.hh) over these.
+     */
+    std::vector<FuzzInput> corpus;
 };
 
 CampaignReport runCampaign(const CampaignOptions &opt);

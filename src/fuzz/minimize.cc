@@ -1,7 +1,6 @@
 #include "fuzz/minimize.hh"
 
 #include <algorithm>
-#include <functional>
 
 namespace rcsim::fuzz
 {
@@ -22,27 +21,23 @@ keptMask(const ProgramSpec &p)
 
 } // namespace
 
-MinimizeOutcome
-minimizeInput(const FuzzInput &start, const MinimizeOptions &opt)
+ShrinkOutcome
+minimizeWhile(const FuzzInput &start, int budget,
+              const std::function<bool(const FuzzInput &)> &predicate)
 {
-    MinimizeOutcome o;
+    ShrinkOutcome o;
     o.input = start;
 
-    auto check = [&](const FuzzInput &cand, BankVerdict &out) {
-        if (o.runs >= opt.budget)
+    auto check = [&](const FuzzInput &cand) {
+        if (o.runs >= budget)
             return false;
         ++o.runs;
-        out = runBank(cand, opt.bank);
-        return out.diverged();
+        return predicate(cand);
     };
 
-    BankVerdict v0;
-    if (!check(start, v0)) {
-        o.verdict = v0;
+    if (!check(start))
         return o;
-    }
     o.reproduced = true;
-    o.verdict = v0;
 
     // Scalar shrinks, cheapest-win first.  Shrinks that change the
     // slot layout (stress-slot removal, statement-count trims) must
@@ -133,7 +128,7 @@ minimizeInput(const FuzzInput &start, const MinimizeOptions &opt)
     };
 
     bool changed = true;
-    while (changed && o.runs < opt.budget) {
+    while (changed && o.runs < budget) {
         changed = false;
 
         // ddmin over the keep mask: clear aligned chunks of still-
@@ -141,7 +136,7 @@ minimizeInput(const FuzzInput &start, const MinimizeOptions &opt)
         int n = o.input.prog.slots();
         for (int chunk = std::max(1, (n + 1) / 2); chunk >= 1;
              chunk /= 2) {
-            for (int at = 0; at < n && o.runs < opt.budget;
+            for (int at = 0; at < n && o.runs < budget;
                  at += chunk) {
                 std::vector<std::uint8_t> k =
                     keptMask(o.input.prog);
@@ -155,10 +150,8 @@ minimizeInput(const FuzzInput &start, const MinimizeOptions &opt)
                     continue;
                 FuzzInput cand = o.input;
                 cand.prog.keep = k;
-                BankVerdict v;
-                if (check(cand, v)) {
+                if (check(cand)) {
                     o.input = cand;
-                    o.verdict = v;
                     changed = true;
                 }
             }
@@ -185,19 +178,42 @@ minimizeInput(const FuzzInput &start, const MinimizeOptions &opt)
         }
 
         for (const Shrink &shrink : shrinks) {
-            if (o.runs >= opt.budget)
+            if (o.runs >= budget)
                 break;
             FuzzInput cand = o.input;
             if (!shrink(cand))
                 continue;
-            BankVerdict v;
-            if (check(cand, v)) {
+            if (check(cand)) {
                 o.input = cand;
-                o.verdict = v;
                 changed = true;
             }
         }
     }
+    return o;
+}
+
+MinimizeOutcome
+minimizeInput(const FuzzInput &start, const MinimizeOptions &opt)
+{
+    MinimizeOutcome o;
+
+    // The verdict of the last candidate the predicate accepted — the
+    // minimized input itself — or of the (non-diverging) start.
+    BankVerdict last;
+    bool first = true;
+    auto predicate = [&](const FuzzInput &cand) {
+        BankVerdict v = runBank(cand, opt.bank);
+        if (v.diverged() || first)
+            last = v;
+        first = false;
+        return v.diverged();
+    };
+
+    ShrinkOutcome s = minimizeWhile(start, opt.budget, predicate);
+    o.reproduced = s.reproduced;
+    o.input = s.input;
+    o.runs = s.runs;
+    o.verdict = last;
     return o;
 }
 

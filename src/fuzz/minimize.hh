@@ -19,10 +19,37 @@
 #ifndef RCSIM_FUZZ_MINIMIZE_HH
 #define RCSIM_FUZZ_MINIMIZE_HH
 
+#include <functional>
+
 #include "fuzz/bank.hh"
 
 namespace rcsim::fuzz
 {
+
+/** Outcome of the generalized shrinker (minimizeWhile). */
+struct ShrinkOutcome
+{
+    /** False when the starting input did not satisfy the predicate. */
+    bool reproduced = false;
+
+    /** The minimized input (== start when nothing shrank). */
+    FuzzInput input;
+
+    /** Predicate evaluations actually spent. */
+    int runs = 0;
+};
+
+/**
+ * Generalized delta debugging: shrink @p start (keep-mask ddmin plus
+ * the scalar shrinks) while @p predicate keeps holding, spending at
+ * most @p budget predicate evaluations.  minimizeInput() is the
+ * "bank still diverges" specialization; the static-vs-dynamic
+ * cross-validation oracle (fuzz/xval.hh) minimizes contradictions
+ * with its own predicate.
+ */
+ShrinkOutcome minimizeWhile(
+    const FuzzInput &start, int budget,
+    const std::function<bool(const FuzzInput &)> &predicate);
 
 struct MinimizeOptions
 {

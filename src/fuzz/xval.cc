@@ -1,0 +1,152 @@
+#include "fuzz/xval.hh"
+
+#include "analysis/analyzer.hh"
+#include "sim/map_trace.hh"
+#include "sim/simulator.hh"
+
+namespace rcsim::fuzz
+{
+
+namespace
+{
+
+/** One recorded architectural run: commit stream + outcome. */
+struct ArchRun
+{
+    sim::SimResult res;
+    Word result = 0;
+    std::vector<sim::CommitEffect> log;
+    bool truncated = false;
+};
+
+ArchRun
+archRun(const isa::Program &prog, const sim::SimConfig &cfg,
+        Addr result_addr, std::size_t commit_cap)
+{
+    ArchRun r;
+    inject::CommitRecorder rec(commit_cap);
+    sim::Simulator s(prog, cfg);
+    s.attachProbe(&rec);
+    r.res = s.run();
+    r.result = s.state().loadWord(result_addr);
+    r.log = rec.log();
+    r.truncated = rec.truncated();
+    return r;
+}
+
+/** "" when the two runs are architecturally identical. */
+std::string
+diffArch(const ArchRun &ref, const ArchRun &mut,
+         const isa::Program &prog)
+{
+    if (ref.res.reason != mut.res.reason)
+        return std::string("reason ") +
+               sim::toString(ref.res.reason) + " vs " +
+               sim::toString(mut.res.reason);
+    if (ref.res.error != mut.res.error)
+        return "error '" + ref.res.error + "' vs '" +
+               mut.res.error + "'";
+    if (ref.result != mut.result)
+        return "result " + std::to_string(ref.result) + " vs " +
+               std::to_string(mut.result);
+    inject::Divergence d =
+        inject::firstDivergence(ref.log, mut.log, prog);
+    if (d.diverged)
+        return "commit stream: " + d.toString();
+    return "";
+}
+
+} // namespace
+
+XvalReport
+crossValidate(const FuzzInput &input, const XvalOptions &opt)
+{
+    XvalReport rep;
+
+    CompiledInput ci = compileInput(input);
+    ci.cfg.maxCycles = opt.maxCycles;
+    ci.cfg.cancel = opt.cancel;
+    const isa::Program &prog = ci.compiled.program;
+
+    analysis::AnalyzerOptions aopts;
+    aopts.rc = ci.cfg.rc;
+    aopts.trapVector = ci.cfg.trapVector;
+    aopts.interrupts = !ci.cfg.interruptCycles.empty();
+    analysis::AnalysisResult ar =
+        analysis::analyzeProgram(prog, aopts);
+    rep.conservative = ar.conservative;
+    rep.instructions = ar.instructions;
+    rep.claims = ar.claims.size();
+    rep.redundantConnects = ar.redundantConnectPcs.size();
+
+    // The reference architectural run (generic loop; the claims leg
+    // additionally needs width 1 so the pre-issue pc enumerates every
+    // executed instruction — see sim/map_trace.hh).
+    sim::SimConfig cfg1 = ci.cfg;
+    cfg1.forceGeneric = true;
+    cfg1.machine.issueWidth = 1;
+
+    // ---- Claims: replay under the map-trace probe. ----
+    if (!ar.claims.empty()) {
+        std::vector<sim::MapCheck> checks;
+        checks.reserve(ar.claims.size());
+        for (const analysis::MapClaim &c : ar.claims)
+            checks.push_back(
+                sim::MapCheck{c.pc, c.cls, c.idx, c.isWrite,
+                              c.phys});
+        sim::MapTraceProbe probe(std::move(checks),
+                                 prog.code.size());
+        sim::Simulator s(prog, cfg1);
+        s.attachProbe(&probe);
+        sim::SimResult res = s.run();
+        rep.claimsHit = probe.checksHit();
+        if (res.reason == sim::StopReason::CycleLimit ||
+            res.reason == sim::StopReason::Deadline) {
+            rep.note = std::string("claim replay stopped: ") +
+                       sim::toString(res.reason);
+        }
+        for (const sim::MapViolation &v : probe.violations())
+            rep.findings.push_back(XvalFinding{
+                "stale-read", v.check.pc, v.toString()});
+    }
+
+    // ---- Redundant connects: delete and compare architectures. ----
+    if (!ar.redundantConnectPcs.empty()) {
+        ArchRun ref = archRun(prog, cfg1, ci.compiled.resultAddr,
+                              opt.commitCap);
+        bool refUsable =
+            ref.res.reason == sim::StopReason::Halted &&
+            !ref.truncated;
+        if (!refUsable && rep.note.empty())
+            rep.note = "redundant-connect reference not usable "
+                       "(non-halt or truncated commit stream)";
+        std::size_t budget = opt.maxConnectChecks;
+        for (std::int32_t pc : ar.redundantConnectPcs) {
+            if (!refUsable)
+                break;
+            if (rep.connectsChecked >= budget) {
+                ++rep.connectsSkipped;
+                continue;
+            }
+            isa::Program mutProg = prog;
+            isa::Instruction nop;
+            nop.op = isa::Opcode::NOP;
+            mutProg.code[static_cast<std::size_t>(pc)] = nop;
+            ArchRun mut = archRun(mutProg, cfg1,
+                                  ci.compiled.resultAddr,
+                                  opt.commitCap);
+            ++rep.connectsChecked;
+            std::string d = diffArch(ref, mut, prog);
+            if (!d.empty())
+                rep.findings.push_back(XvalFinding{
+                    "redundant-connect", pc,
+                    "deleting the connect at pc " +
+                        std::to_string(pc) +
+                        " changed the architecture: " + d});
+        }
+    }
+
+    return rep;
+}
+
+} // namespace rcsim::fuzz

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Static-vs-dynamic cross-validation of the map-state analyzer.
+ *
+ * The analyzer (analysis/analyzer.hh) makes two kinds of falsifiable
+ * statements about a program:
+ *
+ *   claims             "when code[pc] issues with the map enabled,
+ *                      entry idx resolves to physical register phys"
+ *                      — checked by replaying the program at issue
+ *                      width 1 under a MapTraceProbe (sim/map_trace.hh)
+ *                      and comparing every observation
+ *
+ *   redundant connects "deleting this connect cannot change the
+ *                      architecture" — checked by substituting a NOP
+ *                      (layout preserved) and demanding a bit-
+ *                      identical architectural commit stream, final
+ *                      result word and stop reason
+ *
+ * A dynamic observation contradicting a static statement is a bug in
+ * the analyzer or the simulator — either way a finding.  rcfuzz
+ * --xval sweeps this oracle over the admitted corpus and minimizes
+ * contradictions through the generalized ddmin (fuzz/minimize.hh).
+ */
+
+#ifndef RCSIM_FUZZ_XVAL_HH
+#define RCSIM_FUZZ_XVAL_HH
+
+#include "fuzz/bank.hh"
+
+namespace rcsim::fuzz
+{
+
+/** Knobs of one cross-validation run. */
+struct XvalOptions
+{
+    /** Per-run runaway guard. */
+    Cycle maxCycles = 20'000'000;
+
+    /** Cooperative watchdog flag; nullptr disables. */
+    const std::atomic<bool> *cancel = nullptr;
+
+    /** Commit-stream recording cap (memory safety). */
+    std::size_t commitCap = std::size_t(1) << 21;
+
+    /** Redundant-connect deletions tried per input (cost bound). */
+    std::size_t maxConnectChecks = 32;
+};
+
+/** One static-vs-dynamic contradiction. */
+struct XvalFinding
+{
+    /** "stale-read" (claim contradicted) or "redundant-connect". */
+    std::string kind;
+
+    std::int32_t pc = 0;
+
+    /** Human-readable first difference. */
+    std::string detail;
+};
+
+/** Outcome of crossValidate() on one input. */
+struct XvalReport
+{
+    /** Analyzer ran in conservative mode (no claims emitted). */
+    bool conservative = false;
+
+    /** Reachable instructions the analyzer visited. */
+    Count instructions = 0;
+
+    std::size_t claims = 0;          // static claims emitted
+    Count claimsHit = 0;             // claims observed dynamically
+    std::size_t redundantConnects = 0;
+    std::size_t connectsChecked = 0; // NOP substitutions run
+    std::size_t connectsSkipped = 0; // dropped past maxConnectChecks
+
+    std::vector<XvalFinding> findings;
+
+    /** Why checking was (partly) skipped, "" when fully run. */
+    std::string note;
+
+    bool contradicted() const { return !findings.empty(); }
+};
+
+/** Run the full cross-validation oracle on one input. */
+XvalReport crossValidate(const FuzzInput &input,
+                         const XvalOptions &opt = {});
+
+} // namespace rcsim::fuzz
+
+#endif // RCSIM_FUZZ_XVAL_HH

@@ -113,10 +113,12 @@ encode(const Instruction &ins, std::int32_t pc)
         if (ins.nconn == 1) {
             if (ins.conn[0].mapIdx >= 32) {
                 r.error = EncodeError::RegisterTooHigh;
+                r.errorConn = 0;
                 return r;
             }
             if (ins.conn[0].phys >= 256) {
                 r.error = EncodeError::PhysTooHigh;
+                r.errorConn = 0;
                 return r;
             }
             w |= field(ins.connCls == RegClass::Fp ? 1 : 0, 25);
@@ -126,10 +128,12 @@ encode(const Instruction &ins, std::int32_t pc)
             for (int k = 0; k < 2; ++k) {
                 if (ins.conn[k].mapIdx >= 32) {
                     r.error = EncodeError::RegisterTooHigh;
+                    r.errorConn = k;
                     return r;
                 }
                 if (ins.conn[k].phys >= 256) {
                     r.error = EncodeError::PhysTooHigh;
+                    r.errorConn = k;
                     return r;
                 }
             }
@@ -419,6 +423,10 @@ encodeProgram(const Program &prog)
             std::ostringstream os;
             os << "instruction " << i << " ("
                << prog.code[i].toString() << ") not encodable: ";
+            // Dual connects carry two independent (mapIdx, phys)
+            // payloads; name the half that overflowed.
+            if (r.errorConn >= 0 && prog.code[i].nconn == 2)
+                os << "connect pair " << r.errorConn << " ";
             switch (r.error) {
               case EncodeError::ImmediateTooWide:
                 os << "immediate too wide";

@@ -52,6 +52,14 @@ struct EncodeResult
 {
     EncodeError error = EncodeError::Ok;
     MachineWord word = 0;
+
+    /**
+     * For a connect-field failure (RegisterTooHigh/PhysTooHigh on a
+     * connect): which conn[] pair overflowed, so dual-connect
+     * diagnostics can name the offending half.  -1 otherwise.
+     */
+    int errorConn = -1;
+
     bool ok() const { return error == EncodeError::Ok; }
 };
 

@@ -1,15 +1,32 @@
 #include "pipeline/backend.hh"
 
+#include <cstdlib>
+
+#include "analysis/analyzer.hh"
 #include "codegen/codegen.hh"
 #include "regalloc/connect.hh"
 #include "regalloc/rewrite.hh"
 #include "sched/scheduler.hh"
+#include "support/error.hh"
 
 namespace rcsim::pipeline
 {
 
 namespace
 {
+
+/**
+ * Whether the post-emit map-state analyzer gate is on: RCSIM_ANALYZE
+ * ("1"/"0"), default off — fuzz-generated programs compile through
+ * this backend too and intentionally carry analyzer findings.  Read
+ * per query like verifyIrEnabled(), so tests can toggle it.
+ */
+bool
+analyzeEnabled()
+{
+    const char *env = std::getenv("RCSIM_ANALYZE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 PassManager
 buildBackendPasses()
@@ -81,6 +98,27 @@ buildBackendPasses()
         ctx.out.connectOps = of(isa::InstrOrigin::Connect);
         ctx.out.saveRestoreOps =
             of(isa::InstrOrigin::SaveRestore);
+    });
+
+    // Post-emit verification: the whole-program map-state analyzer
+    // (analysis/analyzer.hh) must find nothing in compiler output —
+    // any diagnostic here is a backend bug (a stale or dead connect
+    // the inserter emitted, an out-of-range operand the rewriter
+    // produced).  Env-gated off by default: see analyzeEnabled().
+    pm.add("analyze", VerifyMode::Off, [](PassContext &ctx) {
+        if (!analyzeEnabled())
+            return;
+        analysis::AnalyzerOptions ao;
+        ao.rc = ctx.rc;
+        analysis::AnalysisResult res =
+            analysis::analyzeProgram(ctx.out.program, ao);
+        if (!res.clean())
+            throw RcError(ErrorCategory::Corrupt,
+                          "map-state analyzer found " +
+                              std::to_string(res.diags.size()) +
+                              " issue(s) in compiler output:\n" +
+                              analysis::renderDiagnostics(res.diags))
+                .addContext("backend analyze pass");
     });
 
     return pm;

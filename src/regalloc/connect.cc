@@ -94,6 +94,26 @@ class NextUseIndex
     std::unordered_map<std::uint32_t, std::vector<int>> positions_;
 };
 
+void
+applyWriteSideEffect(core::RcModel model, MapState &s, int idx)
+{
+    switch (model) {
+      case core::RcModel::NoReset:
+        break;
+      case core::RcModel::WriteReset:
+        s.write[idx] = idx;
+        break;
+      case core::RcModel::WriteResetReadUpdate:
+        s.read[idx] = s.write[idx];
+        s.write[idx] = idx;
+        break;
+      case core::RcModel::ReadWriteReset:
+        s.read[idx] = idx;
+        s.write[idx] = idx;
+        break;
+    }
+}
+
 Op
 makeConnect(RegClass cls, bool is_def, int idx, int phys,
             ir::InstrOrigin origin)
@@ -496,7 +516,7 @@ class Inserter
                 op.dst = ir::VReg(cls, found, true);
 
                 // Automatic reset side effect (Section 2.3).
-                applyWriteSideEffect(state[c], found, m);
+                applyWriteSideEffect(rc_.model, state[c], found);
             }
 
             // Emit the needed connects, combined pairwise per class.
@@ -552,27 +572,6 @@ class Inserter
             out.push_back(std::move(op));
         }
         bb.ops = std::move(out);
-    }
-
-    void
-    applyWriteSideEffect(MapState &s, int idx, int m)
-    {
-        switch (rc_.model) {
-          case core::RcModel::NoReset:
-            break;
-          case core::RcModel::WriteReset:
-            (void)m;
-            s.write[idx] = idx;
-            break;
-          case core::RcModel::WriteResetReadUpdate:
-            s.read[idx] = s.write[idx];
-            s.write[idx] = idx;
-            break;
-          case core::RcModel::ReadWriteReset:
-            s.read[idx] = idx;
-            s.write[idx] = idx;
-            break;
-        }
     }
 
     void
@@ -644,6 +643,401 @@ class Inserter
     std::vector<char> processed_;
 };
 
+/**
+ * Post-insertion cleanup.  The insertion pass above is a single
+ * forward sweep: volatile map entries meet to unknown along back
+ * edges, so loop bodies can re-emit connects whose binding in fact
+ * holds on every incoming path, and loop hoisting plants connects
+ * without proving the loop ever consumes them.  This pass
+ * re-analyzes the finished function with iterated dataflow
+ * fixpoints — the same facts the whole-program map-state analyzer
+ * (src/analysis) checks on the emitted machine code — and deletes
+ * connect pairs that are
+ *
+ *  - redundant: the targeted map already reaches the physical
+ *    register on every path (deleting a no-op leaves the map state
+ *    unchanged everywhere), or
+ *  - dead: the binding is never consumed before a remap, a jsr/rts
+ *    reset or function exit (deleting changes only bindings that
+ *    are never read).
+ *
+ * A deletion can expose further redundancy (a dead connect's
+ * disappearance may leave an entry at a value a later connect
+ * re-establishes), so the two eliminations run until neither finds
+ * anything.
+ */
+class Cleanup
+{
+  public:
+    Cleanup(ir::Function &fn, const core::RcConfig &rc)
+        : fn_(fn), rc_(rc), unified_(!rc.splitMaps)
+    {
+    }
+
+    /** Delete removable connect pairs; returns how many went. */
+    int
+    run()
+    {
+        int removed = 0;
+        for (;;) {
+            int n = dropRedundant();
+            n += dropDead();
+            if (n == 0)
+                return removed;
+            removed += n;
+        }
+    }
+
+  private:
+    int entriesOf(RegClass cls) const { return rc_.core(cls); }
+
+    /** Both classes' emulated tables. */
+    struct State
+    {
+        MapState m[isa::numRegClasses];
+
+        bool
+        operator==(const State &o) const
+        {
+            for (int c = 0; c < isa::numRegClasses; ++c)
+                if (m[c].read != o.m[c].read ||
+                    m[c].write != o.m[c].write)
+                    return false;
+            return true;
+        }
+    };
+
+    State
+    homeState() const
+    {
+        State s;
+        for (int c = 0; c < isa::numRegClasses; ++c)
+            s.m[c] = MapState::allHome(
+                entriesOf(static_cast<RegClass>(c)));
+        return s;
+    }
+
+    bool
+    pairRedundant(const State &s, RegClass cls,
+                  const isa::ConnectPair &p) const
+    {
+        const MapState &ms = s.m[static_cast<int>(cls)];
+        int phys = static_cast<int>(p.phys);
+        auto idx = static_cast<std::size_t>(p.mapIdx);
+        if (unified_)
+            return ms.read[idx] == phys && ms.write[idx] == phys;
+        return p.isDef ? ms.write[idx] == phys
+                       : ms.read[idx] == phys;
+    }
+
+    void
+    applyPair(State &s, RegClass cls, const isa::ConnectPair &p)
+    {
+        MapState &ms = s.m[static_cast<int>(cls)];
+        auto idx = static_cast<std::size_t>(p.mapIdx);
+        if (p.isDef || unified_)
+            ms.write[idx] = static_cast<int>(p.phys);
+        if (!p.isDef || unified_)
+            ms.read[idx] = static_cast<int>(p.phys);
+    }
+
+    /**
+     * Forward transfer of one op.  When @p redundant is non-null,
+     * pair k is recorded if the state with pairs < k applied (the
+     * hardware's sequential order) already holds its binding.
+     */
+    void
+    transfer(const Op &op, State &s, std::vector<int> *redundant)
+    {
+        if (ir::isConnectOpc(op.opc)) {
+            for (int k = 0; k < op.nconn; ++k) {
+                if (redundant &&
+                    pairRedundant(s, op.connCls, op.conn[k]))
+                    redundant->push_back(k);
+                applyPair(s, op.connCls, op.conn[k]);
+            }
+            return;
+        }
+        if (op.opc == Opc::Jsr || op.opc == Opc::Rts) {
+            s = homeState();
+            return;
+        }
+        const ir::OpcInfo &info = op.info();
+        if (info.hasDst && op.dst.valid() && op.dst.phys &&
+            static_cast<int>(op.dst.id) < entriesOf(op.dst.cls))
+            applyWriteSideEffect(
+                rc_.model, s.m[static_cast<int>(op.dst.cls)],
+                static_cast<int>(op.dst.id));
+    }
+
+    /** Meet of all processed predecessors (entry: all home). */
+    State
+    inState(int b, const ir::Cfg &cfg,
+            const std::vector<State> &out,
+            const std::vector<char> &reached) const
+    {
+        if (b == fn_.entryBlock)
+            return homeState();
+        State s;
+        bool have = false;
+        for (int p : cfg.preds[static_cast<std::size_t>(b)]) {
+            if (!reached[static_cast<std::size_t>(p)])
+                continue;
+            if (!have) {
+                s = out[static_cast<std::size_t>(p)];
+                have = true;
+            } else {
+                for (int c = 0; c < isa::numRegClasses; ++c)
+                    s.m[c].meet(out[static_cast<std::size_t>(p)].m[c]);
+            }
+        }
+        return have ? s : homeState();
+    }
+
+    /**
+     * Drop the given pair indices from the connect at @p oi.
+     * Returns the number of pairs removed; erases the op entirely
+     * when none survive (the caller must then not advance oi).
+     */
+    int
+    erasePairs(std::vector<Op> &ops, std::size_t oi,
+               const std::vector<int> &gone, bool *op_erased)
+    {
+        Op &op = ops[oi];
+        isa::ConnectPair keep[2];
+        int nkeep = 0;
+        for (int k = 0; k < op.nconn; ++k)
+            if (std::find(gone.begin(), gone.end(), k) == gone.end())
+                keep[nkeep++] = op.conn[k];
+        int removed = op.nconn - nkeep;
+        *op_erased = nkeep == 0;
+        if (nkeep == 0) {
+            ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(oi));
+            return removed;
+        }
+        if (nkeep == 1) {
+            op.opc = keep[0].isDef ? Opc::ConnDef : Opc::ConnUse;
+            op.conn[0] = keep[0];
+            op.conn[1] = {};
+            op.nconn = 1;
+        }
+        return removed;
+    }
+
+    int
+    dropRedundant()
+    {
+        ir::Cfg cfg = ir::Cfg::build(fn_);
+        std::vector<State> out(fn_.blocks.size());
+        std::vector<char> reached(fn_.blocks.size(), 0);
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (int b : cfg.rpo) {
+                State s = inState(b, cfg, out, reached);
+                for (const Op &op :
+                     fn_.blocks[static_cast<std::size_t>(b)].ops)
+                    transfer(op, s, nullptr);
+                auto bi = static_cast<std::size_t>(b);
+                if (!reached[bi] || !(out[bi] == s)) {
+                    out[bi] = std::move(s);
+                    reached[bi] = 1;
+                    changed = true;
+                }
+            }
+        }
+
+        int removed = 0;
+        for (int b : cfg.rpo) {
+            State s = inState(b, cfg, out, reached);
+            std::vector<Op> &ops =
+                fn_.blocks[static_cast<std::size_t>(b)].ops;
+            for (std::size_t oi = 0; oi < ops.size();) {
+                std::vector<int> redundant;
+                // Redundant pairs are no-ops, so applying them in
+                // the transfer leaves the post-state correct even
+                // though they are about to be deleted.
+                transfer(ops[oi], s, &redundant);
+                if (redundant.empty()) {
+                    ++oi;
+                    continue;
+                }
+                bool op_erased = false;
+                removed += erasePairs(ops, oi, redundant, &op_erased);
+                if (!op_erased)
+                    ++oi;
+            }
+        }
+        return removed;
+    }
+
+    // -- Dead-connect elimination ---------------------------------------
+
+    /** May-live bits per class for the read and write map bindings. */
+    struct Live
+    {
+        std::vector<std::uint8_t> v[isa::numRegClasses][2];
+
+        bool
+        orWith(const Live &o)
+        {
+            bool changed = false;
+            for (int c = 0; c < isa::numRegClasses; ++c)
+                for (int k = 0; k < 2; ++k)
+                    for (std::size_t i = 0; i < v[c][k].size(); ++i)
+                        if (o.v[c][k][i] && !v[c][k][i]) {
+                            v[c][k][i] = 1;
+                            changed = true;
+                        }
+            return changed;
+        }
+    };
+
+    Live
+    emptyLive() const
+    {
+        Live l;
+        for (int c = 0; c < isa::numRegClasses; ++c) {
+            auto m = static_cast<std::size_t>(
+                entriesOf(static_cast<RegClass>(c)));
+            l.v[c][0].assign(m, 0);
+            l.v[c][1].assign(m, 0);
+        }
+        return l;
+    }
+
+    void
+    genUses(const Op &op, Live &live) const
+    {
+        for (const ir::VReg &r : op.uses())
+            if (r.valid() && r.phys &&
+                static_cast<int>(r.id) < entriesOf(r.cls))
+                live.v[static_cast<int>(r.cls)][0][r.id] = 1;
+    }
+
+    /**
+     * Backward walk of one block from the live-out set.  Mirrors
+     * the forward time order (read sources -> resolve write via the
+     * write map -> automatic reset side effect; jsr/rts read before
+     * they reset) in reverse.  Records dead pairs when asked.
+     */
+    void
+    backwardBlock(std::vector<Op> &ops, Live &live,
+                  std::vector<std::pair<std::size_t, int>> *dead)
+        const
+    {
+        for (std::size_t i = ops.size(); i-- > 0;) {
+            const Op &op = ops[i];
+            if (ir::isConnectOpc(op.opc)) {
+                const int c = static_cast<int>(op.connCls);
+                for (int k = op.nconn - 1; k >= 0; --k) {
+                    const isa::ConnectPair &p = op.conn[k];
+                    auto idx = static_cast<std::size_t>(p.mapIdx);
+                    bool is_live =
+                        unified_ ? live.v[c][0][idx] ||
+                                       live.v[c][1][idx]
+                        : p.isDef ? live.v[c][1][idx] != 0
+                                  : live.v[c][0][idx] != 0;
+                    if (!is_live && dead)
+                        dead->emplace_back(i, k);
+                    // The pair redefines the binding: older
+                    // bindings of the entry die here.
+                    if (p.isDef || unified_)
+                        live.v[c][1][idx] = 0;
+                    if (!p.isDef || unified_)
+                        live.v[c][0][idx] = 0;
+                }
+                continue;
+            }
+            if (op.opc == Opc::Jsr || op.opc == Opc::Rts) {
+                // The reset kills every binding; the instruction's
+                // own reads happen before it.
+                for (int c = 0; c < isa::numRegClasses; ++c)
+                    for (int k = 0; k < 2; ++k)
+                        std::fill(live.v[c][k].begin(),
+                                  live.v[c][k].end(), 0);
+                genUses(op, live);
+                continue;
+            }
+            const ir::OpcInfo &info = op.info();
+            if (info.hasDst && op.dst.valid() && op.dst.phys &&
+                static_cast<int>(op.dst.id) <
+                    entriesOf(op.dst.cls)) {
+                const int c = static_cast<int>(op.dst.cls);
+                auto idx = static_cast<std::size_t>(op.dst.id);
+                switch (rc_.model) {
+                  case core::RcModel::NoReset:
+                    break;
+                  case core::RcModel::WriteReset:
+                    live.v[c][1][idx] = 0;
+                    break;
+                  case core::RcModel::WriteResetReadUpdate:
+                  case core::RcModel::ReadWriteReset:
+                    live.v[c][0][idx] = 0;
+                    live.v[c][1][idx] = 0;
+                    break;
+                }
+                live.v[c][1][idx] = 1;
+            }
+            genUses(op, live);
+        }
+    }
+
+    Live
+    liveOut(int b, const ir::Cfg &cfg,
+            const std::vector<Live> &live_in) const
+    {
+        Live out = emptyLive();
+        for (int s : cfg.succs[static_cast<std::size_t>(b)])
+            out.orWith(live_in[static_cast<std::size_t>(s)]);
+        return out;
+    }
+
+    int
+    dropDead()
+    {
+        ir::Cfg cfg = ir::Cfg::build(fn_);
+        std::vector<Live> liveIn(fn_.blocks.size(), emptyLive());
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (auto it = cfg.rpo.rbegin(); it != cfg.rpo.rend();
+                 ++it) {
+                Live live = liveOut(*it, cfg, liveIn);
+                backwardBlock(
+                    fn_.blocks[static_cast<std::size_t>(*it)].ops,
+                    live, nullptr);
+                if (liveIn[static_cast<std::size_t>(*it)].orWith(
+                        live))
+                    changed = true;
+            }
+        }
+
+        int removed = 0;
+        for (int b : cfg.rpo) {
+            Live live = liveOut(b, cfg, liveIn);
+            std::vector<std::pair<std::size_t, int>> dead;
+            std::vector<Op> &ops =
+                fn_.blocks[static_cast<std::size_t>(b)].ops;
+            backwardBlock(ops, live, &dead);
+            // Backward discovery order: descending op index, and
+            // descending pair index within an op — safe to erase
+            // in place as we go.
+            for (auto &[oi, k] : dead) {
+                bool op_erased = false;
+                removed += erasePairs(ops, oi, {k}, &op_erased);
+            }
+        }
+        return removed;
+    }
+
+    ir::Function &fn_;
+    const core::RcConfig &rc_;
+    bool unified_ = false;
+};
+
 } // namespace
 
 ConnectStats
@@ -656,7 +1050,22 @@ insertConnects(ir::Function &fn, int fn_index,
         fatal("unified maps require the no-reset model (the "
               "automatic reset models are defined for split maps)");
     Inserter ins(fn, fn_index, rc, profile);
-    return ins.run();
+    ConnectStats stats = ins.run();
+
+    Cleanup cleanup(fn, rc);
+    cleanup.run();
+    // Recount what survived: the cleanup may have deleted whole
+    // connect ops or reduced duals to singles.
+    stats.connectOps = 0;
+    stats.combinedOps = 0;
+    for (const ir::BasicBlock &bb : fn.blocks)
+        for (const Op &op : bb.ops)
+            if (ir::isConnectOpc(op.opc)) {
+                ++stats.connectOps;
+                if (op.nconn == 2)
+                    ++stats.combinedOps;
+            }
+    return stats;
 }
 
 } // namespace rcsim::regalloc

@@ -1,0 +1,87 @@
+#include "sim/map_trace.hh"
+
+#include <algorithm>
+
+#include "sim/simulator.hh"
+
+namespace rcsim::sim
+{
+
+std::string
+MapViolation::toString() const
+{
+    // Built with append rather than one operator+ chain: GCC 12's
+    // -Wrestrict false-positives on the chained temporary.
+    std::string s = "c";
+    s += std::to_string(cycle);
+    s += " pc";
+    s += std::to_string(check.pc);
+    s += check.cls == isa::RegClass::Int ? " imap[" : " fmap[";
+    s += std::to_string(check.idx);
+    s += check.isWrite ? "].write" : "].read";
+    s += ": claimed p";
+    s += std::to_string(check.phys);
+    if (!enableObserved)
+        s += " but the map was disabled";
+    else
+        s += " observed p" + std::to_string(observed);
+    return s;
+}
+
+MapTraceProbe::MapTraceProbe(std::vector<MapCheck> checks,
+                             std::size_t code_size)
+    : checks_(std::move(checks))
+{
+    std::erase_if(checks_, [&](const MapCheck &c) {
+        return c.pc < 0 ||
+               c.pc >= static_cast<std::int32_t>(code_size);
+    });
+    std::stable_sort(checks_.begin(), checks_.end(),
+                     [](const MapCheck &a, const MapCheck &b) {
+                         return a.pc < b.pc;
+                     });
+    off_.assign(code_size + 1, 0);
+    for (const MapCheck &c : checks_)
+        ++off_[static_cast<std::size_t>(c.pc) + 1];
+    for (std::size_t i = 1; i < off_.size(); ++i)
+        off_[i] += off_[i - 1];
+    hit_.assign(checks_.size(), 0);
+    flagged_.assign(checks_.size(), 0);
+}
+
+void
+MapTraceProbe::onCycle(Simulator &sim, Cycle cycle)
+{
+    const MachineState &st = sim.state();
+    std::int32_t pc = st.pc;
+    if (pc < 0 || static_cast<std::size_t>(pc) + 1 >= off_.size())
+        return;
+    std::uint32_t lo = off_[static_cast<std::size_t>(pc)];
+    std::uint32_t hi = off_[static_cast<std::size_t>(pc) + 1];
+    if (lo == hi)
+        return;
+    bool enable = st.psw().mapEnable();
+    for (std::uint32_t i = lo; i < hi; ++i) {
+        const MapCheck &c = checks_[i];
+        if (!hit_[i]) {
+            hit_[i] = 1;
+            ++checksHit_;
+        }
+        int observed = -1;
+        if (enable) {
+            const core::RegisterMappingTable &map = st.map(c.cls);
+            if (c.idx < map.size())
+                observed = c.isWrite ? map.writeMap(c.idx)
+                                     : map.readMap(c.idx);
+        }
+        if (enable && observed == static_cast<int>(c.phys))
+            continue;
+        if (flagged_[i] || violations_.size() >= maxViolations)
+            continue;
+        flagged_[i] = 1;
+        violations_.push_back(
+            MapViolation{c, enable, observed, cycle});
+    }
+}
+
+} // namespace rcsim::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Dynamic map-state trace checking.
+ *
+ * MapTraceProbe validates statically-derived map claims ("when
+ * code[pc] issues, map entry idx of class cls resolves reads/writes
+ * to physical register phys") against the live machine.  It is the
+ * dynamic half of the fuzz-bank cross-validation oracle
+ * (fuzz/xval.hh): the static analyzer (analysis/analyzer.hh) proves a
+ * resolution, this probe watches an actual run and records every
+ * contradiction.
+ *
+ * The probe must run at issue width 1: onCycle() fires at each cycle
+ * boundary before fetch, where MachineState::pc names the next
+ * instruction to issue and the maps hold exactly the state that
+ * instruction's operands will resolve through.  At wider issue the
+ * pre-issue pc skips over instructions issued mid-group, so claims
+ * would silently go unchecked.  The map-state *sequence* is issue-
+ * width-invariant, so checking at width 1 validates the claim for
+ * every width.
+ */
+
+#ifndef RCSIM_SIM_MAP_TRACE_HH
+#define RCSIM_SIM_MAP_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/mapping_table.hh"
+#include "isa/reg.hh"
+#include "sim/probe.hh"
+
+namespace rcsim::sim
+{
+
+/** One statically-claimed map resolution to check dynamically. */
+struct MapCheck
+{
+    std::int32_t pc = 0;
+    isa::RegClass cls = isa::RegClass::Int;
+    std::uint16_t idx = 0;
+    bool isWrite = false;
+    core::PhysIndex phys = 0;
+};
+
+/** A dynamic observation contradicting a static claim. */
+struct MapViolation
+{
+    MapCheck check;
+
+    /** PSW map-enable bit observed at the claim point. */
+    bool enableObserved = false;
+
+    /** Observed resolution (-1 when the map was disabled). */
+    int observed = -1;
+
+    Cycle cycle = 0;
+
+    /** One-line report for logs and repro payloads. */
+    std::string toString() const;
+};
+
+class MapTraceProbe : public SimProbe
+{
+  public:
+    /**
+     * @param checks    claims to validate (any order)
+     * @param code_size program length; claims with pc outside
+     *                  [0, code_size) are ignored
+     */
+    MapTraceProbe(std::vector<MapCheck> checks,
+                  std::size_t code_size);
+
+    void onCycle(Simulator &sim, Cycle cycle) override;
+
+    /** Distinct claims observed at least once. */
+    Count checksHit() const { return checksHit_; }
+
+    const std::vector<MapViolation> &violations() const
+    {
+        return violations_;
+    }
+
+  private:
+    std::vector<MapCheck> checks_;   // sorted by pc
+    std::vector<std::uint32_t> off_; // pc -> first check (CSR)
+    std::vector<std::uint8_t> hit_;  // per check: observed once
+    std::vector<std::uint8_t> flagged_; // per check: reported once
+    std::vector<MapViolation> violations_;
+    Count checksHit_ = 0;
+
+    static constexpr std::size_t maxViolations = 64;
+};
+
+} // namespace rcsim::sim
+
+#endif // RCSIM_SIM_MAP_TRACE_HH

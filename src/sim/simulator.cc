@@ -52,14 +52,20 @@ CommitEffect::toString() const
         where = "mem8[" + std::to_string(addr) + "]";
         break;
     }
-    return "c" + std::to_string(cycle) + " pc" + std::to_string(pc) +
-           ": " + where + " <- 0x" +
-           [](std::uint64_t v) {
-               char buf[17];
-               std::snprintf(buf, sizeof buf, "%llx",
-                             static_cast<unsigned long long>(v));
-               return std::string(buf);
-           }(bits);
+    // Appends, not one operator+ chain: GCC 12's -Wrestrict
+    // false-positives on the chained temporary.
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%llx",
+                  static_cast<unsigned long long>(bits));
+    std::string s = "c";
+    s += std::to_string(cycle);
+    s += " pc";
+    s += std::to_string(pc);
+    s += ": ";
+    s += where;
+    s += " <- 0x";
+    s += hex;
+    return s;
 }
 
 namespace

@@ -1,0 +1,9 @@
+# Directed case: static bound violation.
+#
+# With a 16-entry map (rclint --core 16) and the map enabled, the
+# operand r20 indexes past the end of the register mapping table.
+#
+# Expected: one [bound-violation] diagnostic on the add.
+func main:
+  add  r6, r20, r20
+  halt

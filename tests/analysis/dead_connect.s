@@ -1,0 +1,10 @@
+# Directed case: dead connect.
+#
+# i5 is rebound to p100 but no instruction ever reads through map
+# entry 5 before the program halts, so the binding is never observed.
+#
+# Expected: one [dead-connect] diagnostic on the connect.
+func main:
+  connect.use int i5, p100
+  li   r1, 7
+  halt

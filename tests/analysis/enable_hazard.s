@@ -1,0 +1,14 @@
+# Directed case: map-enable hazard.
+#
+# mtpsw from a runtime-loaded value makes the PSW map-enable bit
+# unknown to the analyzer, while map entry 5 provably holds the
+# non-home binding p100: the following read of r5 resolves to a
+# different physical register depending on the (unknown) enable bit.
+#
+# Expected: one [enable-hazard] diagnostic on the add.
+func main:
+  connect.use int i5, p100
+  lw   r1, r0, 0
+  mtpsw r1
+  add  r6, r5, r5
+  halt

@@ -1,0 +1,11 @@
+# Directed case: redundant connect.
+#
+# At function entry every map entry holds its home binding
+# (read[i] = write[i] = i), so connecting i5 -> p5 re-establishes a
+# binding that already holds on every path.
+#
+# Expected: one [redundant-connect] diagnostic on the connect.
+func main:
+  connect.use int i5, p5
+  add  r6, r5, r5
+  halt

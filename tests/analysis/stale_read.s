@@ -1,0 +1,17 @@
+# Directed case: stale/ambiguous-map read.
+#
+# The two branch arms bind int map entry 5 to different physical
+# registers; at the join the abstract binding is Top, so the read of
+# r5 cannot be attributed to a single physical register.
+#
+# Expected: one [stale-read] diagnostic at the join-block add.
+func main:
+  li   r1, 1
+  beq  r1, r0, other
+  connect.use int i5, p100
+  j    join
+other:
+  connect.use int i5, p101
+join:
+  add  r6, r5, r5
+  halt

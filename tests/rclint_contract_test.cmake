@@ -1,0 +1,34 @@
+# Pins the rclint exit-code contract (mirrors rcinject/rcfuzz):
+#   0  analysis ran, no findings
+#   1  analysis ran, findings reported
+#   2  usage error (bad option, unknown workload)
+#   5  internal error (here: a compile panic from an impossibly
+#      small core register file, caught at the tool boundary)
+#
+# Invoked as:
+#   cmake -DRCLINT=<path> -DANALYSIS_DIR=<tests/analysis> -P this
+#
+# (cli_reject_test.cmake separately pins the unknown-option wording.)
+
+function(expect_exit code description)
+    # ARGN: the rclint command line.
+    execute_process(COMMAND ${RCLINT} ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL ${code})
+        message(FATAL_ERROR
+            "${description}: expected exit ${code}, got '${rc}'\n"
+            "stdout:\n${out}\nstderr:\n${err}")
+    endif()
+endfunction()
+
+expect_exit(0 "clean workload" cmp)
+expect_exit(1 "directed finding"
+    ${ANALYSIS_DIR}/dead_connect.s --core 16)
+expect_exit(2 "unknown workload" definitely-not-a-workload)
+expect_exit(2 "bad model value" cmp --model 9)
+expect_exit(2 "missing operand" cmp --core)
+expect_exit(5 "internal error" cmp --core 3)
+
+message(STATUS "rclint exit-code contract: OK")

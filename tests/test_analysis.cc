@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Map-state static analyzer tests (ctest label: analysis).
+ *
+ *  - AnalysisGolden: one directed assembly case per analysis under
+ *    tests/analysis/, each pinned to a golden diagnostic report
+ *    (byte-identical renderDiagnostics output) plus a kind check.
+ *  - AnalysisClean: the compiler's output must be diagnostic-clean
+ *    for every workload x {Scalar,Ilp} x {base,RC} combination — any
+ *    finding is a compiler bug, not an analyzer report to triage.
+ *  - AnalysisXval: the fuzz-bank cross-validation oracle must find
+ *    zero contradictions between static claims and dynamic traces
+ *    across a bank of random inputs.
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hh"
+#include "fuzz/spec.hh"
+#include "fuzz/xval.hh"
+#include "harness/experiment.hh"
+#include "isa/assembler.hh"
+#include "support/logging.hh"
+
+namespace rcsim
+{
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Assemble tests/analysis/<name>.s at the rclint --core 16
+ * configuration, analyze it, and pin the rendered report to
+ * tests/analysis/<name>.golden plus the expected finding kind.
+ */
+void
+expectGoldenDiagnostics(const std::string &name,
+                        analysis::DiagKind kind)
+{
+    setQuiet(true);
+    const std::string dir = RCSIM_ANALYSIS_DIR;
+    isa::AsmResult as = isa::assemble(readFile(dir + "/" + name + ".s"));
+    ASSERT_TRUE(as.ok()) << as.error;
+
+    analysis::AnalyzerOptions opts;
+    opts.rc = core::RcConfig::withRc(16, 16);
+    analysis::AnalysisResult ar =
+        analysis::analyzeProgram(as.program, opts);
+
+    ASSERT_EQ(ar.diags.size(), 1u)
+        << analysis::renderDiagnostics(ar.diags);
+    EXPECT_EQ(ar.diags[0].kind, kind);
+    EXPECT_FALSE(ar.diags[0].disasm.empty());
+    EXPECT_FALSE(ar.diags[0].witness.empty());
+    EXPECT_EQ(analysis::renderDiagnostics(ar.diags),
+              readFile(dir + "/" + name + ".golden"));
+}
+
+TEST(AnalysisGolden, StaleRead)
+{
+    expectGoldenDiagnostics("stale_read",
+                            analysis::DiagKind::StaleRead);
+}
+
+TEST(AnalysisGolden, RedundantConnect)
+{
+    expectGoldenDiagnostics("redundant_connect",
+                            analysis::DiagKind::RedundantConnect);
+}
+
+TEST(AnalysisGolden, DeadConnect)
+{
+    expectGoldenDiagnostics("dead_connect",
+                            analysis::DiagKind::DeadConnect);
+}
+
+TEST(AnalysisGolden, EnableHazard)
+{
+    expectGoldenDiagnostics("enable_hazard",
+                            analysis::DiagKind::EnableHazard);
+}
+
+TEST(AnalysisGolden, BoundViolation)
+{
+    expectGoldenDiagnostics("bound_violation",
+                            analysis::DiagKind::BoundViolation);
+}
+
+// The compiler's emitted code must be diagnostic-clean at every
+// supported configuration: 12 workloads x {Scalar,Ilp} x {base,RC}.
+// The connect inserter's cleanup phase exists precisely to keep this
+// true — a finding here is a compiler regression.
+TEST(AnalysisClean, CompilerOutputIsCleanForAllCombinations)
+{
+    setQuiet(true);
+    for (const workloads::Workload &w : workloads::allWorkloads()) {
+        const int core = w.isFp ? 32 : 16;
+        for (opt::OptLevel level :
+             {opt::OptLevel::Scalar, opt::OptLevel::Ilp}) {
+            for (bool rc : {false, true}) {
+                harness::CompileOptions o;
+                o.level = level;
+                o.rc = rc ? harness::rcConfigFor(w.isFp, core)
+                          : harness::baseConfigFor(w.isFp, core);
+                o.machine = harness::Experiment::machineFor(4, 2);
+                harness::CompiledProgram cp =
+                    harness::compileWorkload(w, o);
+
+                analysis::AnalyzerOptions ao;
+                ao.rc = o.rc;
+                analysis::AnalysisResult ar =
+                    analysis::analyzeProgram(cp.program, ao);
+                EXPECT_TRUE(ar.clean())
+                    << w.name << " "
+                    << (level == opt::OptLevel::Ilp ? "ilp"
+                                                    : "scalar")
+                    << (rc ? " rc:\n" : " base:\n")
+                    << analysis::renderDiagnostics(ar.diags);
+                EXPECT_GT(ar.instructions, 0u) << w.name;
+            }
+        }
+    }
+}
+
+// Fuzz-bank soundness: crossValidate() replays the analyzer's claims
+// against dynamic map traces, deletes statically-redundant connects
+// demanding a bit-identical commit stream, and ddmin-minimizes any
+// contradiction.  A bank of random inputs must produce none.
+TEST(AnalysisXval, FuzzBankFindsNoContradictions)
+{
+    setQuiet(true);
+    std::size_t total_claims = 0;
+    Count total_hits = 0;
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        fuzz::FuzzInput input = fuzz::randomInput(seed);
+        fuzz::XvalReport rep = fuzz::crossValidate(input, {});
+        EXPECT_FALSE(rep.contradicted())
+            << "seed " << seed << ": " << rep.note;
+        total_claims += rep.claims;
+        total_hits += rep.claimsHit;
+    }
+    // The bank must actually exercise the oracle: some inputs emit
+    // exact claims and some of those are observed dynamically.
+    EXPECT_GT(total_claims, 0u);
+    EXPECT_GT(total_hits, 0u);
+}
+
+} // namespace
+} // namespace rcsim

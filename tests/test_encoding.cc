@@ -224,7 +224,35 @@ TEST(Encoding, ConnectIndexTooHighRejected)
     ins.conn[0].phys = 1;
     ins.conn[0].isDef = true;
     ins.conn[1].isDef = true;
-    EXPECT_EQ(encode(ins, 0).error, EncodeError::RegisterTooHigh);
+    EncodeResult r = encode(ins, 0);
+    EXPECT_EQ(r.error, EncodeError::RegisterTooHigh);
+    EXPECT_EQ(r.errorConn, 0);
+}
+
+// A dual connect carries two independent payloads: a range failure
+// must name the offending pair, both in EncodeResult and in the
+// whole-program error text.
+TEST(Encoding, DualConnectRangeErrorNamesTheOffendingPair)
+{
+    Instruction ins;
+    ins.op = Opcode::CONNECT_UU;
+    ins.nconn = 2;
+    ins.conn[0].mapIdx = 3;
+    ins.conn[0].phys = 40;
+    ins.conn[1].mapIdx = 4;
+    ins.conn[1].phys = 300; // pair 1 overflows the 8-bit field
+    EncodeResult r = encode(ins, 0);
+    EXPECT_EQ(r.error, EncodeError::PhysTooHigh);
+    EXPECT_EQ(r.errorConn, 1);
+
+    Program prog;
+    prog.code.push_back(ins);
+    ProgramImage img = encodeProgram(prog);
+    ASSERT_FALSE(img.ok());
+    EXPECT_NE(img.error.find("connect pair 1"), std::string::npos)
+        << img.error;
+    EXPECT_NE(img.error.find("more than 8 bits"), std::string::npos)
+        << img.error;
 }
 
 TEST(Encoding, GarbageWordRejected)

@@ -47,7 +47,8 @@ TEST(PassManager, StageNamesMatchThePaperPipeline)
     EXPECT_EQ(backendPasses().passNames(),
               (std::vector<std::string>{
                   "prepass-schedule", "allocate", "rewrite",
-                  "frames", "schedule", "connect", "emit"}));
+                  "frames", "schedule", "connect", "emit",
+                  "analyze"}));
 }
 
 TEST(PassManager, ReportHasOneRowPerStageWithOpDeltas)
@@ -58,7 +59,7 @@ TEST(PassManager, ReportHasOneRowPerStageWithOpDeltas)
                                  /*use_cache=*/false);
     EXPECT_GT(cp.program.code.size(), 0u);
 
-    ASSERT_EQ(report.stages.size(), 6u + 7u);
+    ASSERT_EQ(report.stages.size(), 6u + 8u);
     EXPECT_FALSE(report.frontendCached);
     for (const StageStats &st : report.stages) {
         EXPECT_GE(st.seconds, 0.0) << st.name;
@@ -71,7 +72,7 @@ TEST(PassManager, ReportHasOneRowPerStageWithOpDeltas)
     EXPECT_GT(report.stages[0].opsAfter, 0u);
     EXPECT_TRUE(report.stages[0].frontend);
     EXPECT_FALSE(report.stages.back().frontend);
-    EXPECT_EQ(report.stages.back().name, "emit");
+    EXPECT_EQ(report.stages.back().name, "analyze");
     EXPECT_GT(report.frontendSeconds(), 0.0);
     EXPECT_GT(report.backendSeconds(), 0.0);
 
@@ -122,7 +123,7 @@ TEST(VerifyIr, CleanModulesPassEveryStageBoundary)
     CompiledProgram cp =
         runBackend(*fe, smallOptions(), &report, &hooks);
     EXPECT_GT(cp.program.code.size(), 0u);
-    EXPECT_EQ(report.stages.size(), 7u);
+    EXPECT_EQ(report.stages.size(), 8u);
 }
 
 TEST(VerifyIr, EnvironmentVariableControls)

@@ -116,13 +116,18 @@ expectCmpMatchesGolden()
 void
 expectTomcatvMatchesGolden()
 {
-    expectStatsMatchGolden("tomcatv", 288339, 898759,
+    // Re-captured after the connect-cleanup phase landed: the
+    // map-state analyzer proved two hoisted fp connects dead and the
+    // inserter now deletes them, so the dynamic connect count (and
+    // the issue-slot mix) dropped while the cycle count and checksum
+    // stayed identical.
+    expectStatsMatchGolden("tomcatv", 288339, 898483,
                            {
                                {"calls", 1u},
-                               {"connects", 86123u},
+                               {"connects", 85847u},
                                {"cycles_redirect", 283u},
                                {"cycles_stalled", 36437u},
-                               {"dyn_connect", 86123u},
+                               {"dyn_connect", 85847u},
                                {"dyn_glue", 12u},
                                {"dyn_normal", 812596u},
                                {"dyn_save_restore", 28u},
@@ -130,13 +135,13 @@ expectTomcatvMatchesGolden()
                                {"dyn_spill_store", 0u},
                                {"issued_0", 36437u},
                                {"issued_1", 15330u},
-                               {"issued_2", 14784u},
+                               {"issued_2", 14922u},
                                {"issued_3", 32159u},
-                               {"issued_4", 189346u},
+                               {"issued_4", 189208u},
                                {"loads", 232689u},
                                {"mispredicts", 283u},
                                {"stall_mem_channel", 9669u},
-                               {"stall_src", 85027u},
+                               {"stall_src", 85165u},
                                {"stores", 25408u},
                                {"taken_branches", 4412u},
                            });

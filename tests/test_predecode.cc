@@ -107,8 +107,9 @@ diffAllModes(const isa::Program &p, sim::SimConfig cfg,
     Observed gen = observe(p, generic_cfg, true);
     Observed fast = observe(p, cfg, true);
     EXPECT_TRUE(gen.usedGeneric);
-    if (expect_fast)
+    if (expect_fast) {
         EXPECT_FALSE(fast.usedGeneric);
+    }
     expectSame(gen, fast, "probed");
 
     Observed gen_np = observe(p, generic_cfg, false);

@@ -98,8 +98,9 @@ TEST_P(LayoutEveryWorkload, InvariantsHoldAfterOptimization)
             }
         }
         // Layout should make fall-through overwhelmingly common.
-        if (fallthrough_ok + fallthrough_other > 3)
+        if (fallthrough_ok + fallthrough_other > 3) {
             EXPECT_GT(fallthrough_ok, fallthrough_other) << fn.name;
+        }
     }
 }
 

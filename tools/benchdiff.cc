@@ -5,12 +5,18 @@
  *
  *   benchdiff BASELINE FRESH [--min-ratio R]
  *
+ * Understands two report layouts, keyed off the baseline:
+ *  - BENCH_sim_throughput.json: "cycles" is the deterministic
+ *    per-entry count and "mips" the rate;
+ *  - BENCH_analysis_throughput.json: "instructions" is the
+ *    deterministic count and "ips" the rate.
+ *
  * Checks, in order:
  *  - every baseline workload is present in the fresh report and its
- *    cycle count is unchanged (cycle counts are deterministic; drift
- *    means the timing model changed, which a perf PR must not do —
- *    an intentional model change updates the baseline instead);
- *  - fresh aggregate MIPS >= R * baseline aggregate MIPS (default
+ *    deterministic count is unchanged (drift means the timing model
+ *    or the analyzed program changed, which a perf PR must not do —
+ *    an intentional change updates the baseline instead);
+ *  - fresh aggregate rate >= R * baseline aggregate rate (default
  *    R = 0.85, leaving headroom for machine noise).
  *
  * Exit codes: 0 pass (including "no baseline, skipping" when the
@@ -45,14 +51,16 @@ namespace
 struct BenchEntry
 {
     std::string name;
-    unsigned long long cycles = 0;
-    double mips = 0.0;
+    unsigned long long det = 0; // cycles / instructions
+    double rate = 0.0;          // mips / ips
 };
 
 struct Report
 {
     std::vector<BenchEntry> benchmarks;
-    double aggregateMips = -1.0;
+    double aggregateRate = -1.0;
+    std::string detKey;  // "cycles" or "instructions"
+    std::string rateKey; // "mips" or "ips"
 };
 
 [[noreturn]] void
@@ -109,13 +117,22 @@ load(const std::string &file)
     std::string s = buf.str();
 
     Report r;
+    // Layout detection: the sim report carries cycles + mips, the
+    // analysis report instructions + ips.  The same keys must then
+    // be present in both files being diffed.
+    r.detKey = s.find("\"cycles\"") != std::string::npos
+                   ? "cycles"
+                   : "instructions";
+    r.rateKey =
+        s.find("\"mips\"") != std::string::npos ? "mips" : "ips";
+
     std::size_t agg = s.find("\"aggregate\"");
     if (agg == std::string::npos)
         parseFail(file, "no \"aggregate\" section");
     std::string v;
-    if (!scalarAfter(s, "mips", agg, v))
-        parseFail(file, "no aggregate mips value");
-    r.aggregateMips = std::atof(v.c_str());
+    if (!scalarAfter(s, r.rateKey, agg, v))
+        parseFail(file, "no aggregate " + r.rateKey + " value");
+    r.aggregateRate = std::atof(v.c_str());
 
     std::size_t arr = s.find("\"benchmarks\"");
     if (arr == std::string::npos)
@@ -130,12 +147,12 @@ load(const std::string &file)
         if (!scalarAfter(s, "name", pos, e.name, &name_pos) ||
             name_pos >= end)
             break;
-        if (!scalarAfter(s, "cycles", name_pos, v))
-            parseFail(file, e.name + ": no cycles value");
-        e.cycles = std::strtoull(v.c_str(), nullptr, 10);
-        if (!scalarAfter(s, "mips", name_pos, v))
-            parseFail(file, e.name + ": no mips value");
-        e.mips = std::atof(v.c_str());
+        if (!scalarAfter(s, r.detKey, name_pos, v))
+            parseFail(file, e.name + ": no " + r.detKey + " value");
+        e.det = std::strtoull(v.c_str(), nullptr, 10);
+        if (!scalarAfter(s, r.rateKey, name_pos, v))
+            parseFail(file, e.name + ": no " + r.rateKey + " value");
+        e.rate = std::atof(v.c_str());
         pos = name_pos;
         r.benchmarks.push_back(std::move(e));
     }
@@ -205,44 +222,54 @@ main(int argc, char **argv)
 
     Report base = load(baseline_file);
     Report fresh = load(fresh_file);
+    if (fresh.detKey != base.detKey ||
+        fresh.rateKey != base.rateKey) {
+        std::fprintf(stderr,
+                     "benchdiff: layout mismatch: baseline is "
+                     "%s/%s, fresh is %s/%s\n",
+                     base.detKey.c_str(), base.rateKey.c_str(),
+                     fresh.detKey.c_str(), fresh.rateKey.c_str());
+        return 2;
+    }
 
     bool failed = false;
     std::printf("%-12s %10s %10s %7s  %s\n", "workload", "base",
-                "fresh", "ratio", "cycles");
+                "fresh", "ratio", base.detKey.c_str());
     for (const BenchEntry &b : base.benchmarks) {
         const BenchEntry *f = find(fresh, b.name);
         if (!f) {
             std::printf("%-12s %10.2f %10s %7s  MISSING\n",
-                        b.name.c_str(), b.mips, "-", "-");
+                        b.name.c_str(), b.rate, "-", "-");
             failed = true;
             continue;
         }
-        bool cycles_ok = f->cycles == b.cycles;
+        bool det_ok = f->det == b.det;
         std::printf("%-12s %10.2f %10.2f %6.2fx  %s\n",
-                    b.name.c_str(), b.mips, f->mips,
-                    b.mips > 0 ? f->mips / b.mips : 0.0,
-                    cycles_ok ? "ok" : "DRIFT");
-        if (!cycles_ok) {
+                    b.name.c_str(), b.rate, f->rate,
+                    b.rate > 0 ? f->rate / b.rate : 0.0,
+                    det_ok ? "ok" : "DRIFT");
+        if (!det_ok) {
             std::fprintf(stderr,
-                         "benchdiff: %s: cycle count drifted "
+                         "benchdiff: %s: %s count drifted "
                          "(%llu -> %llu)\n",
-                         b.name.c_str(), b.cycles, f->cycles);
+                         b.name.c_str(), base.detKey.c_str(), b.det,
+                         f->det);
             failed = true;
         }
     }
 
-    double ratio = base.aggregateMips > 0
-                       ? fresh.aggregateMips / base.aggregateMips
+    double ratio = base.aggregateRate > 0
+                       ? fresh.aggregateRate / base.aggregateRate
                        : 0.0;
     std::printf("%-12s %10.2f %10.2f %6.2fx  (min %.2fx)\n",
-                "aggregate", base.aggregateMips, fresh.aggregateMips,
+                "aggregate", base.aggregateRate, fresh.aggregateRate,
                 ratio, min_ratio);
     if (ratio < min_ratio) {
         std::fprintf(stderr,
-                     "benchdiff: aggregate MIPS regressed: "
+                     "benchdiff: aggregate %s regressed: "
                      "%.2f -> %.2f (%.2fx < %.2fx)\n",
-                     base.aggregateMips, fresh.aggregateMips, ratio,
-                     min_ratio);
+                     base.rateKey.c_str(), base.aggregateRate,
+                     fresh.aggregateRate, ratio, min_ratio);
         failed = true;
     }
 

@@ -22,6 +22,10 @@
  *   --connect-latency N   0 or 1 (default 0)
  *   --extra-stage         add the RC decode stage (Figure 12)
  *   --scalar              scalar optimization only
+ *   --analyze             run the whole-program map-state static
+ *                         analyzer on the compiled output before
+ *                         simulating (see tools/rclint.cc); any
+ *                         finding fails the run
  *   --stats               dump simulator statistics
  *   --trace N             print the first N issued instructions
  *   --trace=FILE          write a Chrome trace_event JSON trace
@@ -51,6 +55,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/analyzer.hh"
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
 #include "isa/assembler.hh"
@@ -77,6 +82,7 @@ struct Args
     int connectLatency = 0;
     bool extraStage = false;
     bool scalar = false;
+    bool analyze = false;
     bool stats = false;
     long trace = 0;
     std::string traceFile;   // --trace=FILE (structured trace)
@@ -138,6 +144,8 @@ parseArgs(int argc, char **argv, Args &args)
             args.extraStage = true;
         else if (a == "--scalar")
             args.scalar = true;
+        else if (a == "--analyze")
+            args.analyze = true;
         else if (a == "--stats")
             args.stats = true;
         else if (a.rfind("--trace=", 0) == 0)
@@ -406,6 +414,23 @@ main(int argc, char **argv)
         if (args.command == "run") {
             harness::CompileOptions o = optionsFor(args, w->isFp);
             harness::CompiledProgram cp = compileTarget(*w, args, o);
+            if (args.analyze) {
+                analysis::AnalyzerOptions ao;
+                ao.rc = o.rc;
+                analysis::AnalysisResult ar =
+                    analysis::analyzeProgram(cp.program, ao);
+                std::fputs(
+                    analysis::renderDiagnostics(ar.diags).c_str(),
+                    stdout);
+                std::fprintf(
+                    stderr,
+                    "analyze: %llu instructions, %zu diagnostics, "
+                    "%zu claims\n",
+                    (unsigned long long)ar.instructions,
+                    ar.diags.size(), ar.claims.size());
+                if (!ar.clean())
+                    return 1;
+            }
             sim::SimConfig sc;
             sc.machine = o.machine;
             sc.rc = o.rc;

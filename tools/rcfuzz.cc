@@ -38,6 +38,16 @@
  *                     read-map write-map ireg freg psw instr; kinds
  *                     flip stuck0 stuck1) into the fast-probed bank
  *                     member; RCSIM_FUZZ_FAULT is equivalent
+ *   --xval            after the campaign, sweep the static-vs-
+ *                     dynamic cross-validation oracle (fuzz/xval.hh)
+ *                     over the admitted corpus in admission order:
+ *                     every map-resolution claim of the static
+ *                     analyzer is replayed under a map-trace probe,
+ *                     every claimed-redundant connect is deleted and
+ *                     the architecture compared; a contradiction is
+ *                     minimized through the generalized ddmin and
+ *                     written to --repro-dir as xval-<n>.rcrepro,
+ *                     and the run exits 3 (5 still outranks it)
  *   --self-test       fuzz with an injected fault (default
  *                     ireg:stuck0:2:5:0) and demand that the bank
  *                     catches it and minimizes it to <= 32
@@ -64,6 +74,7 @@
 
 #include "fuzz/campaign.hh"
 #include "fuzz/repro.hh"
+#include "fuzz/xval.hh"
 #include "support/error.hh"
 #include "support/logging.hh"
 #include "trace/trace.hh"
@@ -88,6 +99,7 @@ struct Args
     std::string minimizeFile;
     std::string faultSpec;
     bool selfTest = false;
+    bool xval = false;
     std::string traceFile;
     std::string metricsFile;
     std::string journal;
@@ -142,6 +154,8 @@ parseArgs(int argc, char **argv, Args &args)
             args.faultSpec = argv[i];
         else if (a == "--self-test")
             args.selfTest = true;
+        else if (a == "--xval")
+            args.xval = true;
         else if (a == "--journal" && next())
             args.journal = argv[i];
         else if (a == "--resume")
@@ -220,6 +234,74 @@ runMinimize(const Args &args, const inject::Fault *fault)
     std::fprintf(stderr, "divergence reproduced (%d bank runs)\n",
                  out.runs);
     return 3;
+}
+
+/**
+ * Post-campaign cross-validation sweep; returns the number of
+ * corpus inputs whose static claims were contradicted dynamically.
+ */
+std::size_t
+runXval(const Args &args, const fuzz::CampaignReport &report)
+{
+    fuzz::XvalOptions xo;
+    xo.maxCycles = args.maxCycles;
+
+    std::size_t contradicted = 0;
+    Count claims = 0, hits = 0, connects = 0;
+    for (std::size_t i = 0; i < report.corpus.size(); ++i) {
+        const fuzz::FuzzInput &input = report.corpus[i];
+        fuzz::XvalReport xr = fuzz::crossValidate(input, xo);
+        claims += xr.claims;
+        hits += xr.claimsHit;
+        connects += xr.connectsChecked;
+        if (!xr.contradicted())
+            continue;
+        ++contradicted;
+        std::fprintf(stderr,
+                     "xval: corpus entry %zu contradicted (%s)\n",
+                     i, xr.findings.front().detail.c_str());
+
+        // Shrink the witness with the generalized ddmin; the
+        // predicate is "still contradicts", not necessarily via the
+        // original finding.
+        fuzz::ShrinkOutcome s = fuzz::minimizeWhile(
+            input, 120, [&](const fuzz::FuzzInput &cand) {
+                return fuzz::crossValidate(cand, xo).contradicted();
+            });
+        const fuzz::FuzzInput &minInput =
+            s.reproduced ? s.input : input;
+        fuzz::XvalReport minRep = fuzz::crossValidate(minInput, xo);
+        const fuzz::XvalFinding &f =
+            minRep.contradicted() ? minRep.findings.front()
+                                  : xr.findings.front();
+
+        fuzz::BankVerdict v;
+        v.status = "divergence";
+        v.pair = "static/dynamic";
+        v.detail = f.kind + ": " + f.detail;
+        fuzz::CompiledInput ci = fuzz::compileInput(minInput);
+        std::string artifact =
+            fuzz::renderRepro(minInput, v, ci.compiled.program,
+                              nullptr, args.maxCycles);
+        if (!args.reproDir.empty()) {
+            std::string path = args.reproDir + "/xval-" +
+                               std::to_string(contradicted - 1) +
+                               ".rcrepro";
+            std::ofstream out(path, std::ios::binary);
+            out << artifact;
+            std::fprintf(stderr, "xval: wrote %s\n", path.c_str());
+        } else {
+            std::fputs(artifact.c_str(), stderr);
+        }
+    }
+    std::fprintf(stderr,
+                 "xval: %zu corpus inputs, %llu claims "
+                 "(%llu observed), %llu connect deletions, "
+                 "%zu contradictions\n",
+                 report.corpus.size(), (unsigned long long)claims,
+                 (unsigned long long)hits,
+                 (unsigned long long)connects, contradicted);
+    return contradicted;
 }
 
 } // namespace
@@ -305,6 +387,12 @@ main(int argc, char **argv)
                      report.admitted, report.features,
                      report.findings.size(),
                      report.harnessFailures);
+
+    if (args.xval) {
+        std::size_t contradicted = runXval(args, report);
+        if (contradicted != 0 && report.exitCode == 0)
+            report.exitCode = 3;
+    }
 
     if (args.selfTest) {
         // Inverted contract: the injected fault MUST be caught and

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * rclint — whole-program map-state static analyzer.
+ *
+ * Recovers a CFG from final RC machine code and abstractly
+ * interprets the register mapping table and the PSW map-enable bit
+ * over it (analysis/analyzer.hh), reporting stale or ambiguous map
+ * reads, redundant connects, dead connects, map-enable hazards and
+ * static bound violations — each with its pc, disassembly and a
+ * path witness from the program entry.
+ *
+ *   rclint <workload> [options]        # compile, then analyze
+ *   rclint file.s [options]            # assemble, then analyze
+ *
+ * Options:
+ *   --rc | --no-rc        enable/disable the RC extension (default on)
+ *   --core N              core registers (16/32; default per class)
+ *   --model N             automatic reset model 1-4 (default 3)
+ *   --scalar              scalar optimization only (workloads)
+ *   --unified-maps        single map per entry (split-map ablation)
+ *   --trap-vector N       handler entry pc for TRAP (.s programs;
+ *                         default: traps are fatal)
+ *   --interrupts          assume external interrupts may fire
+ *   --claims              also list the exact map-resolution claims
+ *                         the fuzz cross-validation oracle checks
+ *   --json                machine-readable diagnostics on stdout
+ *
+ * A summary line ("N instructions, D diagnostics, C claims") always
+ * goes to stderr.
+ *
+ * Exit codes: 0 clean
+ *             1 findings reported
+ *             2 usage error (bad option, unknown workload,
+ *               unreadable or unassemblable input)
+ *             5 internal error
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/analyzer.hh"
+#include "harness/experiment.hh"
+#include "isa/assembler.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace rcsim;
+
+struct Args
+{
+    std::string target;
+    bool rc = true;
+    int core = -1; // default chosen by benchmark class
+    int model = 3;
+    bool scalar = false;
+    bool unifiedMaps = false;
+    std::int32_t trapVector = -1;
+    bool interrupts = false;
+    bool claims = false;
+    bool json = false;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: rclint <workload|file.s> [options]\n"
+                 "see the header of tools/rclint.cc for the "
+                 "option list\n");
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, Args &args)
+{
+    if (argc < 2)
+        return false;
+    args.target = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (a == "--rc")
+            args.rc = true;
+        else if (a == "--no-rc")
+            args.rc = false;
+        else if (a == "--core" && next())
+            args.core = std::atoi(argv[i]);
+        else if (a == "--model" && next()) {
+            args.model = std::atoi(argv[i]);
+            if (args.model < 1 || args.model > 4) {
+                std::fprintf(stderr, "bad --model '%s' (1-4)\n",
+                             argv[i]);
+                return false;
+            }
+        }
+        else if (a == "--scalar")
+            args.scalar = true;
+        else if (a == "--unified-maps")
+            args.unifiedMaps = true;
+        else if (a == "--trap-vector" && next())
+            args.trapVector = std::atoi(argv[i]);
+        else if (a == "--interrupts")
+            args.interrupts = true;
+        else if (a == "--claims")
+            args.claims = true;
+        else if (a == "--json")
+            args.json = true;
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         a.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Report the result; returns the process exit code (0 or 1). */
+int
+report(const analysis::AnalysisResult &res, const Args &args)
+{
+    if (args.json)
+        std::fputs(analysis::diagnosticsToJson(res.diags).c_str(),
+                   stdout);
+    else
+        std::fputs(analysis::renderDiagnostics(res.diags).c_str(),
+                   stdout);
+    if (args.claims && !args.json)
+        for (const analysis::MapClaim &c : res.claims)
+            std::printf("claim: pc=%d %cmap[%u].%s -> p%u\n", c.pc,
+                        c.cls == isa::RegClass::Int ? 'i' : 'f',
+                        c.idx, c.isWrite ? "write" : "read",
+                        c.phys);
+    std::fprintf(stderr,
+                 "rclint: %llu instructions, %zu diagnostics, "
+                 "%zu claims%s\n",
+                 (unsigned long long)res.instructions,
+                 res.diags.size(), res.claims.size(),
+                 res.conservative ? " (conservative)" : "");
+    return res.clean() ? 0 : 1;
+}
+
+int
+lintAssemblyFile(const Args &args)
+{
+    std::ifstream in(args.target);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n",
+                     args.target.c_str());
+        return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    isa::AsmResult ar = isa::assemble(ss.str());
+    if (!ar.ok()) {
+        std::fprintf(stderr, "assembly error: %s\n",
+                     ar.error.c_str());
+        return 2;
+    }
+
+    analysis::AnalyzerOptions ao;
+    int core = args.core > 0 ? args.core : 32;
+    ao.rc = args.rc
+                ? core::RcConfig::withRc(
+                      core, core,
+                      static_cast<core::RcModel>(args.model))
+                : core::RcConfig::withoutRc(core, core);
+    ao.rc.splitMaps = !args.unifiedMaps;
+    ao.trapVector = args.trapVector;
+    ao.interrupts = args.interrupts;
+    return report(analysis::analyzeProgram(ar.program, ao), args);
+}
+
+int
+lintWorkload(const workloads::Workload &w, const Args &args)
+{
+    harness::CompileOptions o;
+    o.level =
+        args.scalar ? opt::OptLevel::Scalar : opt::OptLevel::Ilp;
+    int core = args.core > 0 ? args.core : (w.isFp ? 32 : 16);
+    if (args.rc)
+        o.rc = harness::rcConfigFor(
+            w.isFp, core, static_cast<core::RcModel>(args.model));
+    else
+        o.rc = harness::baseConfigFor(w.isFp, core);
+    o.rc.splitMaps = !args.unifiedMaps;
+    harness::CompiledProgram cp = harness::compileWorkload(w, o);
+
+    analysis::AnalyzerOptions ao;
+    ao.rc = o.rc;
+    ao.trapVector = args.trapVector;
+    ao.interrupts = args.interrupts;
+    return report(analysis::analyzeProgram(cp.program, ao), args);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, args))
+        return usage();
+    setQuiet(true);
+
+    try {
+        if (args.target.size() > 2 &&
+            args.target.substr(args.target.size() - 2) == ".s")
+            return lintAssemblyFile(args);
+
+        const workloads::Workload *w =
+            workloads::findWorkload(args.target);
+        if (!w) {
+            std::fprintf(stderr,
+                         "unknown workload '%s' (try 'rcc list')\n",
+                         args.target.c_str());
+            return 2;
+        }
+        return lintWorkload(*w, args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return 5;
+    }
+}
